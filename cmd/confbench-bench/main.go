@@ -1,0 +1,218 @@
+// Command confbench-bench regenerates the paper's tables and figures
+// on the simulated test bed and prints them as text.
+//
+// Usage:
+//
+//	confbench-bench [-fig all|3|dbms|4|5|6|7|8|colocation] [-trials N]
+//	                [-scale-divisor N] [-size N] [-seed N]
+//
+// With the defaults it runs the paper's full protocol (10 trials,
+// full workload scales, speedtest size 100); pass -quick for a
+// CI-sized run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"confbench"
+	"confbench/internal/bench"
+	"confbench/internal/tee"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "confbench-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("confbench-bench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: all, 3, dbms, 4, 5, 6, 7, 8, colocation")
+	trials := fs.Int("trials", 10, "independent trials per measurement point")
+	scaleDiv := fs.Int("scale-divisor", 1, "divide workload scales by this factor")
+	dbSize := fs.Int("size", 100, "speedtest relative size (speedtest1 --size)")
+	images := fs.Int("images", 40, "ML dataset size")
+	seed := fs.Int64("seed", 1, "deterministic noise seed")
+	quick := fs.Bool("quick", false, "CI-sized run (3 trials, scales ÷8, size 20, 10 images)")
+	jsonPath := fs.String("json", "", "also write results as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *quick {
+		*trials, *scaleDiv, *dbSize, *images = 3, 8, 20, 10
+	}
+
+	cluster, err := confbench.NewCluster(confbench.ClusterConfig{Seed: *seed, GuestMemoryMB: 16})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	opts := bench.Options{Trials: *trials, ScaleDivisor: *scaleDiv}
+	report := &bench.Report{Meta: map[string]any{
+		"trials": *trials, "scale_divisor": *scaleDiv, "db_size": *dbSize,
+		"images": *images, "seed": *seed,
+	}}
+
+	if want("3") {
+		var results []bench.MLResult
+		for _, kind := range cluster.Kinds() {
+			pair, err := cluster.Pair(kind)
+			if err != nil {
+				return err
+			}
+			res, err := bench.ML(pair, bench.MLOptions{Images: *images})
+			if err != nil {
+				return fmt.Errorf("fig 3 (%s): %w", kind, err)
+			}
+			results = append(results, res)
+		}
+		report.ML = results
+		fmt.Println(bench.RenderML(results))
+	}
+
+	if want("dbms") {
+		var results []bench.DBMSResult
+		for _, kind := range cluster.Kinds() {
+			pair, err := cluster.Pair(kind)
+			if err != nil {
+				return err
+			}
+			res, err := bench.DBMS(pair, bench.DBMSOptions{Size: *dbSize})
+			if err != nil {
+				return fmt.Errorf("dbms (%s): %w", kind, err)
+			}
+			results = append(results, res)
+		}
+		report.DBMS = results
+		fmt.Println(bench.RenderDBMS(results))
+	}
+
+	if want("4") {
+		var results []bench.UnixBenchResult
+		for _, kind := range cluster.Kinds() {
+			pair, err := cluster.Pair(kind)
+			if err != nil {
+				return err
+			}
+			scale := 1.0 / float64(*scaleDiv)
+			res, err := bench.UnixBench(pair, bench.UnixBenchOptions{Scale: scale})
+			if err != nil {
+				return fmt.Errorf("fig 4 (%s): %w", kind, err)
+			}
+			results = append(results, res)
+		}
+		report.UnixBench = results
+		fmt.Println(bench.RenderUnixBench(results))
+	}
+
+	if want("5") {
+		var results []bench.AttestationResult
+		ta, tv, err := cluster.TDXAttestation()
+		if err != nil {
+			return err
+		}
+		tdxRes, err := bench.Attestation(tee.KindTDX, ta, tv, *trials)
+		if err != nil {
+			return fmt.Errorf("fig 5 (tdx): %w", err)
+		}
+		results = append(results, tdxRes)
+		sa, sv, err := cluster.SEVAttestation()
+		if err != nil {
+			return err
+		}
+		sevRes, err := bench.Attestation(tee.KindSEV, sa, sv, *trials)
+		if err != nil {
+			return fmt.Errorf("fig 5 (sev): %w", err)
+		}
+		results = append(results, sevRes)
+		report.Attestation = results
+		fmt.Println(bench.RenderAttestation(results))
+	}
+
+	heatmap := func(kind tee.Kind) error {
+		pair, err := cluster.Pair(kind)
+		if err != nil {
+			return err
+		}
+		res, err := bench.FaaS(pair, cluster.Catalog(), bench.FaaSOptions{Options: opts})
+		if err != nil {
+			return fmt.Errorf("heatmap (%s): %w", kind, err)
+		}
+		report.FaaS = append(report.FaaS, res)
+		fmt.Println(bench.RenderHeatmap(res))
+		return nil
+	}
+	if want("6") {
+		for _, kind := range bench.KindsTDXSEV {
+			if err := heatmap(kind); err != nil {
+				return err
+			}
+		}
+	}
+	if want("7") {
+		if err := heatmap(tee.KindCCA); err != nil {
+			return err
+		}
+	}
+
+	if want("8") {
+		pair, err := cluster.Pair(tee.KindCCA)
+		if err != nil {
+			return err
+		}
+		res, err := bench.FaaS(pair, cluster.Catalog(), bench.FaaSOptions{
+			Options: bench.Options{Trials: 10, ScaleDivisor: *scaleDiv},
+			Workloads: []string{
+				"cpustress", "memstress", "iostress", "logging", "factors", "filesystem",
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("fig 8: %w", err)
+		}
+		var rendered []string
+		for _, lang := range res.Languages {
+			out, err := bench.RenderBoxPlots(res, lang)
+			if err != nil {
+				return err
+			}
+			rendered = append(rendered, out)
+		}
+		fmt.Println(strings.Join(rendered, "\n"))
+	}
+
+	if want("colocation") {
+		for _, kind := range cluster.Kinds() {
+			backend, err := cluster.Backend(kind)
+			if err != nil {
+				return err
+			}
+			res, err := bench.CoLocation(backend, cluster.Catalog(), bench.CoLocationOptions{
+				Tenants: 4, Trials: *trials,
+			})
+			if err != nil {
+				return fmt.Errorf("colocation (%s): %w", kind, err)
+			}
+			report.CoLocation = append(report.CoLocation, res)
+			fmt.Println(bench.RenderCoLocation(res))
+		}
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return fmt.Errorf("create json report: %w", err)
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote JSON report to %s\n", *jsonPath)
+	}
+	return nil
+}

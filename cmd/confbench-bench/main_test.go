@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestQuickFig5EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a full cluster")
+	}
+	if err := run([]string{"-quick", "-fig", "5"}); err != nil {
+		t.Fatalf("quick fig 5: %v", err)
+	}
+}

@@ -1,0 +1,157 @@
+// Command confbench-cli is the user-side client of the ConfBench
+// gateway: it uploads functions and submits execution requests,
+// printing the results with the piggybacked perf metrics.
+//
+// Usage:
+//
+//	confbench-cli -gateway URL upload -name NAME -lang LANG -workload W
+//	confbench-cli -gateway URL invoke -name NAME [-tee KIND] [-secure] [-scale N]
+//	confbench-cli -gateway URL functions
+//	confbench-cli -gateway URL pools
+//	confbench-cli -gateway URL attest -tee KIND
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"confbench/internal/api"
+	"confbench/internal/faas"
+	"confbench/internal/tee"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "confbench-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("confbench-cli", flag.ContinueOnError)
+	gatewayURL := fs.String("gateway", "http://127.0.0.1:8080", "gateway base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing subcommand: upload, invoke, functions, pools, metrics, attest")
+	}
+	client := api.NewClient(*gatewayURL)
+
+	switch rest[0] {
+	case "upload":
+		return cmdUpload(client, rest[1:])
+	case "invoke":
+		return cmdInvoke(client, rest[1:])
+	case "functions":
+		names, err := client.Functions()
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+	case "metrics":
+		m, err := client.Metrics()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("uptime:       %.1fs\n", m.UptimeSeconds)
+		fmt.Printf("invocations:  %d\n", m.Invocations)
+		fmt.Printf("attestations: %d\n", m.Attestations)
+		fmt.Printf("errors:       %d\n", m.Errors)
+		for pool, n := range m.PerPool {
+			fmt.Printf("  pool %-10s %d\n", pool, n)
+		}
+		return nil
+	case "pools":
+		pools, err := client.Pools()
+		if err != nil {
+			return err
+		}
+		for _, p := range pools {
+			fmt.Printf("%-10s endpoints=%d policy=%s in-flight=%d\n",
+				p.TEE, p.Endpoints, p.Policy, p.InFlight)
+		}
+		return nil
+	case "attest":
+		return cmdAttest(client, rest[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}
+
+func cmdUpload(client *api.Client, args []string) error {
+	fs := flag.NewFlagSet("upload", flag.ContinueOnError)
+	name := fs.String("name", "", "function name")
+	lang := fs.String("lang", "go", "implementation language")
+	workload := fs.String("workload", "", "catalog workload the function performs")
+	source := fs.String("source", "", "optional source file to attach")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fn := faas.Function{Name: *name, Language: *lang, Workload: *workload}
+	if *source != "" {
+		data, err := os.ReadFile(*source)
+		if err != nil {
+			return fmt.Errorf("read source: %w", err)
+		}
+		fn.Source = data
+	}
+	if err := client.Upload(fn); err != nil {
+		return err
+	}
+	fmt.Printf("registered %q (%s, workload %s)\n", fn.Name, fn.Language, fn.Workload)
+	return nil
+}
+
+func cmdInvoke(client *api.Client, args []string) error {
+	fs := flag.NewFlagSet("invoke", flag.ContinueOnError)
+	name := fs.String("name", "", "function name")
+	teeKind := fs.String("tee", "", "TEE platform (tdx, sev-snp, cca)")
+	secure := fs.Bool("secure", false, "run in a confidential VM")
+	scale := fs.Int("scale", 0, "workload scale (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	start := time.Now()
+	resp, err := client.Invoke(api.InvokeRequest{
+		Function: *name,
+		TEE:      tee.Kind(*teeKind),
+		Secure:   *secure,
+		Scale:    *scale,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("output:     %s\n", resp.Output)
+	fmt.Printf("ran on:     %s / %s (secure=%v, platform=%s)\n", resp.Host, resp.VM, resp.Secure, resp.Platform)
+	fmt.Printf("exec time:  %v (runtime bootstrap %v, request round trip %v)\n",
+		resp.Wall(), time.Duration(resp.BootstrapNs), time.Since(start))
+	fmt.Printf("perf:\n%s\n", resp.Perf)
+	return nil
+}
+
+func cmdAttest(client *api.Client, args []string) error {
+	fs := flag.NewFlagSet("attest", flag.ContinueOnError)
+	teeKind := fs.String("tee", "tdx", "TEE platform (tdx, sev-snp)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nonce := make([]byte, 64)
+	if _, err := rand.Read(nonce); err != nil {
+		return err
+	}
+	resp, err := client.Attest(api.AttestRequest{TEE: tee.Kind(*teeKind), Nonce: nonce})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("evidence:   %d bytes\n", len(resp.Evidence))
+	fmt.Printf("attest:     %v\n", time.Duration(resp.AttestNs))
+	return nil
+}

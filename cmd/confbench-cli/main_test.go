@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	// Connection-refused paths: every subcommand must surface an
+	// error, not hang, when the gateway is down.
+	for _, sub := range [][]string{
+		{"functions"}, {"pools"}, {"metrics"},
+		{"invoke", "-name", "x"},
+		{"upload", "-name", "x", "-workload", "w"},
+		{"attest", "-tee", "tdx"},
+	} {
+		args := append([]string{"-gateway", "http://127.0.0.1:1"}, sub...)
+		if err := run(args); err == nil {
+			t.Errorf("%v: expected connection error", sub)
+		}
+	}
+}
+
+func TestUploadMissingSource(t *testing.T) {
+	err := run([]string{"-gateway", "http://127.0.0.1:1",
+		"upload", "-name", "x", "-workload", "w", "-source", "/no/such/file.py"})
+	if err == nil {
+		t.Error("missing source file accepted")
+	}
+}

@@ -1,0 +1,116 @@
+// Command confbench-gateway runs the ConfBench REST gateway.
+//
+// Two modes:
+//
+//   - embedded (default): boots the full paper test bed in-process —
+//     one host per TEE (TDX, SEV-SNP, CCA), each with its secure and
+//     normal VM — and serves the REST API in front of it.
+//   - external: -hosts FILE points at a JSON file produced by
+//     confbench-host invocations ({"name": ..., "endpoints": [...]}
+//     entries), and the gateway dispatches to those processes.
+//
+// Usage:
+//
+//	confbench-gateway [-addr 127.0.0.1:8080] [-hosts FILE]
+//	                  [-policy round-robin|least-loaded]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"confbench"
+	"confbench/internal/gateway"
+	"confbench/internal/hostagent"
+)
+
+// hostEntry is one record of the -hosts file.
+type hostEntry struct {
+	Name      string               `json:"name"`
+	Endpoints []hostagent.Endpoint `json:"endpoints"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "confbench-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("confbench-gateway", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	hostsFile := fs.String("hosts", "", "JSON host config (empty = embedded test bed)")
+	policy := fs.String("policy", "round-robin", "pool load balancing: round-robin, least-loaded")
+	seed := fs.Int64("seed", 1, "deterministic noise seed (embedded mode)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var policyFactory func() gateway.Policy
+	switch *policy {
+	case "round-robin":
+		policyFactory = nil
+	case "least-loaded":
+		policyFactory = func() gateway.Policy { return gateway.LeastLoaded{} }
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if *hostsFile == "" {
+		// Embedded mode: the Cluster boots gateway + hosts; we expose
+		// a second gateway bound to the requested address on the same
+		// host endpoints.
+		cluster, err := confbench.NewCluster(confbench.ClusterConfig{
+			Seed: *seed, GuestMemoryMB: 16, LeastLoaded: *policy == "least-loaded",
+		})
+		if err != nil {
+			return err
+		}
+		defer cluster.Close()
+		gw := gateway.New(gateway.Config{Policy: policyFactory})
+		for _, kind := range cluster.Kinds() {
+			agent, err := cluster.Agent(kind)
+			if err != nil {
+				return err
+			}
+			gw.AddHost(agent.Name(), agent.Endpoints())
+		}
+		url, err := gw.Start(*addr)
+		if err != nil {
+			return err
+		}
+		defer gw.Close()
+		fmt.Fprintf(os.Stderr, "gateway serving %s (embedded test bed: %v)\n", url, cluster.Kinds())
+		<-sig
+		return nil
+	}
+
+	data, err := os.ReadFile(*hostsFile)
+	if err != nil {
+		return fmt.Errorf("read hosts file: %w", err)
+	}
+	var hosts []hostEntry
+	if err := json.Unmarshal(data, &hosts); err != nil {
+		return fmt.Errorf("parse hosts file: %w", err)
+	}
+	gw := gateway.New(gateway.Config{Policy: policyFactory})
+	for _, h := range hosts {
+		gw.AddHost(h.Name, h.Endpoints)
+	}
+	url, err := gw.Start(*addr)
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+	fmt.Fprintf(os.Stderr, "gateway serving %s (%d external hosts)\n", url, len(hosts))
+	<-sig
+	return nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-policy", "random"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run([]string{"-hosts", "/no/such/hosts.json"}); err == nil {
+		t.Error("missing hosts file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "hosts.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-hosts", bad}); err == nil {
+		t.Error("malformed hosts file accepted")
+	}
+}

@@ -1,0 +1,84 @@
+// Command confbench-host runs one TEE-enabled host agent: it boots the
+// secure/normal VM pair for the selected platform, exposes both VMs
+// through socat-style relays, and prints the endpoint list the gateway
+// needs (as JSON on stdout).
+//
+// Usage:
+//
+//	confbench-host -tee tdx|sev-snp|cca [-name NAME] [-memory MB]
+//
+// The process serves until interrupted.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"confbench/internal/hostagent"
+	"confbench/internal/tee"
+	"confbench/internal/tee/cca"
+	"confbench/internal/tee/sev"
+	"confbench/internal/tee/tdx"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "confbench-host:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("confbench-host", flag.ContinueOnError)
+	teeFlag := fs.String("tee", "tdx", "TEE platform: tdx, sev-snp, cca")
+	name := fs.String("name", "", "host name (default <tee>-host)")
+	memory := fs.Int("memory", 64, "guest memory in MiB")
+	seed := fs.Int64("seed", 1, "deterministic noise seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	backend, err := newBackend(tee.Kind(*teeFlag), *seed)
+	if err != nil {
+		return err
+	}
+	agent, err := hostagent.NewAgent(hostagent.AgentConfig{
+		Name:    *name,
+		Backend: backend,
+		Guest:   tee.GuestConfig{MemoryMB: *memory},
+	})
+	if err != nil {
+		return err
+	}
+	defer agent.Close()
+
+	fmt.Fprintf(os.Stderr, "host %q up: %s\n", agent.Name(), backend.Name())
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(agent.Endpoints()); err != nil {
+		return err
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "shutting down")
+	return nil
+}
+
+func newBackend(kind tee.Kind, seed int64) (tee.Backend, error) {
+	switch kind {
+	case tee.KindTDX:
+		return tdx.NewBackend(tdx.Options{Seed: seed})
+	case tee.KindSEV:
+		return sev.NewBackend(sev.Options{Seed: seed})
+	case tee.KindCCA:
+		return cca.NewBackend(cca.Options{Seed: seed})
+	default:
+		return nil, fmt.Errorf("unknown TEE %q (want tdx, sev-snp, or cca)", kind)
+	}
+}

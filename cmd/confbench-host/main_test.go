@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"confbench/internal/tee"
+)
+
+func TestNewBackendKinds(t *testing.T) {
+	for _, kind := range []tee.Kind{tee.KindTDX, tee.KindSEV, tee.KindCCA} {
+		b, err := newBackend(kind, 1)
+		if err != nil {
+			t.Errorf("%s: %v", kind, err)
+			continue
+		}
+		if b.Kind() != kind {
+			t.Errorf("backend kind = %v, want %v", b.Kind(), kind)
+		}
+	}
+	if _, err := newBackend(tee.Kind("sgx"), 1); err == nil {
+		t.Error("unknown TEE accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-tee", "sgx"}); err == nil {
+		t.Error("unknown TEE accepted by run")
+	}
+}

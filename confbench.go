@@ -1,0 +1,48 @@
+// Package confbench is a tool for easy evaluation of confidential
+// virtual machines, reproducing the system of the DSN 2025 paper
+// "ConfBench: A Tool for Easy Evaluation of Confidential Virtual
+// Machines".
+//
+// ConfBench executes Function-as-a-Service and classic workloads in
+// confidential VMs backed by Intel TDX, AMD SEV-SNP, and (simulated)
+// ARM CCA, side by side with normal VMs on the same hosts, and
+// collects perf-style metrics so that secure/normal overhead ratios
+// can be studied per workload, per language runtime, and per TEE.
+//
+// Because no TEE hardware is available in this environment, the three
+// platforms are high-fidelity simulations (see internal/tee/...): the
+// TDX module with SEAM transitions and TDREPORTs, the SEV-SNP RMP and
+// AMD-SP with a real ECDSA VCEK chain, and the CCA RMM inside an FVP
+// simulator model. Workloads perform real computation and meter their
+// resource usage; machine profiles and TEE cost models convert that
+// usage into virtual execution time, deterministically.
+//
+// The top-level entry point is Cluster, which boots the full paper
+// architecture in-process: one host agent per TEE (each with a
+// confidential and a normal VM reachable through socat-style port
+// relays), the REST gateway with its TEE pools, and the attestation
+// infrastructure (a DCAP quoting enclave plus a simulated Intel PCS
+// for TDX, and the AMD-SP certificate chain for SEV-SNP).
+//
+//	cluster, err := confbench.NewCluster(confbench.ClusterConfig{})
+//	defer cluster.Close()
+//	client := cluster.Client()
+//	client.Upload(faas.Function{Name: "hot", Language: "python", Workload: "cpustress"})
+//	resp, err := client.Invoke(api.InvokeRequest{Function: "hot", Secure: true, TEE: tee.KindTDX})
+package confbench
+
+import "confbench/internal/core"
+
+// ClusterConfig parameterizes an in-process ConfBench deployment. See
+// internal/core for the orchestration it drives.
+type ClusterConfig = core.ClusterConfig
+
+// Cluster is a running in-process ConfBench deployment: per-TEE host
+// agents with their secure/normal VM pairs, the REST gateway with its
+// TEE pools, and the attestation infrastructure.
+type Cluster = core.Cluster
+
+// NewCluster boots a deployment. Close it when done.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	return core.NewCluster(cfg)
+}

@@ -1,0 +1,70 @@
+// Quickstart: boot a full ConfBench deployment in-process, upload one
+// function, and run it in a confidential and a normal VM on each TEE.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"confbench"
+	"confbench/internal/api"
+	"confbench/internal/faas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Boot the paper's full test bed: a TDX host, an SEV-SNP host,
+	// and a (simulated-FVP) CCA host, each with a confidential and a
+	// normal VM, fronted by the REST gateway.
+	cluster, err := confbench.NewCluster(confbench.ClusterConfig{GuestMemoryMB: 16})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	fmt.Printf("gateway up at %s, platforms: %v\n\n", cluster.GatewayURL(), cluster.Kinds())
+
+	// Upload a function: a Python implementation of the cpustress
+	// workload (intensive trigonometric and arithmetic operations).
+	client := cluster.Client()
+	fn := faas.Function{
+		Name:     "hot-loop",
+		Language: "python",
+		Workload: "cpustress",
+		Source:   []byte("# def handler(scale): ... trigonometric loop ..."),
+	}
+	if err := client.Upload(fn); err != nil {
+		return err
+	}
+	fmt.Printf("uploaded %q (%s)\n\n", fn.Name, fn.Language)
+
+	// Run it on every platform, secure and normal, and report the
+	// overhead ratio with the piggybacked perf metrics.
+	for _, kind := range cluster.Kinds() {
+		secure, err := client.Invoke(api.InvokeRequest{
+			Function: "hot-loop", Secure: true, TEE: kind, Scale: 100_000,
+		})
+		if err != nil {
+			return fmt.Errorf("secure invoke on %s: %w", kind, err)
+		}
+		normal, err := client.Invoke(api.InvokeRequest{
+			Function: "hot-loop", Secure: false, TEE: kind, Scale: 100_000,
+		})
+		if err != nil {
+			return fmt.Errorf("normal invoke on %s: %w", kind, err)
+		}
+		ratio := float64(secure.WallNs) / float64(normal.WallNs)
+		fmt.Printf("[%s]\n", kind)
+		fmt.Printf("  confidential VM: %-12v (monitor %s, %d TEE exits)\n",
+			secure.Wall(), secure.Perf.Monitor, secure.Perf.TEEExits)
+		fmt.Printf("  normal VM:       %-12v\n", normal.Wall())
+		fmt.Printf("  overhead ratio:  %.3f\n\n", ratio)
+	}
+	return nil
+}

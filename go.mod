@@ -1,0 +1,3 @@
+module confbench
+
+go 1.22

@@ -1,0 +1,248 @@
+// Package api defines ConfBench's wire protocol: the JSON request and
+// response types exchanged between clients, the gateway, host agents,
+// and in-VM guest agents, plus an HTTP client for the gateway's REST
+// interface (§III-A: "Users can submit workloads to execute via a
+// REST-based interface together with the corresponding runtime
+// parameters").
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"confbench/internal/faas"
+	"confbench/internal/perfmon"
+	"confbench/internal/tee"
+)
+
+// Paths served by the gateway.
+const (
+	PathFunctions = "/functions"
+	PathInvoke    = "/invoke"
+	PathAttest    = "/attest"
+	PathPools     = "/pools"
+	PathHealth    = "/health"
+	PathMetrics   = "/metrics"
+)
+
+// Paths served by guest agents inside VMs.
+const (
+	GuestPathInvoke = "/guest/invoke"
+	GuestPathAttest = "/guest/attest"
+	GuestPathHealth = "/guest/health"
+)
+
+// UploadRequest registers a function with the gateway.
+type UploadRequest struct {
+	Function faas.Function `json:"function"`
+}
+
+// InvokeRequest asks the gateway to execute a registered function.
+type InvokeRequest struct {
+	// Function is the registered function name.
+	Function string `json:"function"`
+	// Scale overrides the workload's default argument (0 = default).
+	Scale int `json:"scale,omitempty"`
+	// Secure selects a confidential VM.
+	Secure bool `json:"secure"`
+	// TEE selects the platform (tdx, sev-snp, cca). Required when
+	// Secure; optional otherwise (any platform's normal VM will do).
+	TEE tee.Kind `json:"tee,omitempty"`
+}
+
+// GuestInvokeRequest is the request a guest agent executes. The full
+// function definition travels with it, so VMs stay stateless.
+type GuestInvokeRequest struct {
+	Function faas.Function `json:"function"`
+	Scale    int           `json:"scale,omitempty"`
+}
+
+// InvokeResponse reports one execution, with the perf metrics
+// ConfBench piggybacks on results (§III-B).
+type InvokeResponse struct {
+	Output string `json:"output"`
+	// WallNs is the priced execution time in nanoseconds.
+	WallNs int64 `json:"wall_ns"`
+	// BootstrapNs is the runtime startup time (excluded from WallNs).
+	BootstrapNs int64         `json:"bootstrap_ns"`
+	Perf        perfmon.Stats `json:"perf"`
+	Secure      bool          `json:"secure"`
+	Platform    tee.Kind      `json:"platform"`
+	// Host and VM identify where the function ran.
+	Host string `json:"host,omitempty"`
+	VM   string `json:"vm,omitempty"`
+}
+
+// Wall returns the priced wall-clock duration.
+func (r InvokeResponse) Wall() time.Duration { return time.Duration(r.WallNs) }
+
+// AttestRequest asks for an attestation round trip.
+type AttestRequest struct {
+	TEE   tee.Kind `json:"tee"`
+	Nonce []byte   `json:"nonce"`
+}
+
+// AttestResponse reports evidence and phase timings.
+type AttestResponse struct {
+	Evidence []byte `json:"evidence"`
+	// AttestNs is the evidence-production latency.
+	AttestNs int64 `json:"attest_ns"`
+}
+
+// Metrics is the gateway's request accounting for GET /metrics.
+type Metrics struct {
+	// UptimeSeconds since the gateway started serving.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Invocations counts successful function executions.
+	Invocations uint64 `json:"invocations"`
+	// Errors counts failed requests (any endpoint).
+	Errors uint64 `json:"errors"`
+	// Attestations counts successful attestation requests.
+	Attestations uint64 `json:"attestations"`
+	// PerPool breaks invocations down by TEE pool.
+	PerPool map[string]uint64 `json:"per_pool"`
+}
+
+// PoolInfo describes one TEE pool for GET /pools.
+type PoolInfo struct {
+	TEE       tee.Kind `json:"tee"`
+	Endpoints int      `json:"endpoints"`
+	Policy    string   `json:"policy"`
+	InFlight  int      `json:"in_flight"`
+}
+
+// ErrorResponse is the JSON error envelope.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// WriteJSON writes v as a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// An encode failure here means the client went away; ignore it.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes an error envelope.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	WriteJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// Client is an HTTP client for the gateway REST API.
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+// NewClient builds a client for the gateway at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		baseURL: baseURL,
+		http:    &http.Client{Timeout: 120 * time.Second},
+	}
+}
+
+// post sends a JSON POST and decodes the response into out.
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("api: marshal request: %w", err)
+	}
+	resp, err := c.http.Post(c.baseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("api: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, path, out)
+}
+
+// get sends a GET and decodes the response into out.
+func (c *Client) get(path string, out any) error {
+	resp, err := c.http.Get(c.baseURL + path)
+	if err != nil {
+		return fmt.Errorf("api: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, path, out)
+}
+
+func decodeResponse(resp *http.Response, path string, out any) error {
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("api: read %s response: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("api: %s: %s (status %d)", path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("api: %s: status %d", path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("api: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Upload registers a function.
+func (c *Client) Upload(fn faas.Function) error {
+	return c.post(PathFunctions, UploadRequest{Function: fn}, nil)
+}
+
+// Functions lists registered function names.
+func (c *Client) Functions() ([]string, error) {
+	var out []string
+	if err := c.get(PathFunctions, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Invoke executes a registered function.
+func (c *Client) Invoke(req InvokeRequest) (InvokeResponse, error) {
+	var out InvokeResponse
+	if err := c.post(PathInvoke, req, &out); err != nil {
+		return InvokeResponse{}, err
+	}
+	return out, nil
+}
+
+// Attest requests attestation evidence from a confidential VM.
+func (c *Client) Attest(req AttestRequest) (AttestResponse, error) {
+	var out AttestResponse
+	if err := c.post(PathAttest, req, &out); err != nil {
+		return AttestResponse{}, err
+	}
+	return out, nil
+}
+
+// Metrics fetches the gateway's request accounting.
+func (c *Client) Metrics() (Metrics, error) {
+	var out Metrics
+	if err := c.get(PathMetrics, &out); err != nil {
+		return Metrics{}, err
+	}
+	return out, nil
+}
+
+// Pools lists the gateway's TEE pools.
+func (c *Client) Pools() ([]PoolInfo, error) {
+	var out []PoolInfo
+	if err := c.get(PathPools, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Health checks gateway liveness.
+func (c *Client) Health() error {
+	return c.get(PathHealth, nil)
+}

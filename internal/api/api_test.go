@@ -1,0 +1,110 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"confbench/internal/faas"
+	"confbench/internal/tee"
+)
+
+func TestWriteJSONAndError(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusTeapot, map[string]int{"x": 1})
+	if rec.Code != http.StatusTeapot {
+		t.Errorf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	rec = httptest.NewRecorder()
+	WriteError(rec, http.StatusBadRequest, errors.New("boom"))
+	var e ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error != "boom" {
+		t.Errorf("error envelope = %q, %v", rec.Body.String(), err)
+	}
+}
+
+func TestClientDecodesErrorEnvelope(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		WriteError(w, http.StatusConflict, errors.New("function exists"))
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	err := c.Upload(faas.Function{Name: "x", Language: "go", Workload: "w"})
+	if err == nil || !strings.Contains(err.Error(), "function exists") {
+		t.Errorf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "409") {
+		t.Errorf("status code missing from error: %v", err)
+	}
+}
+
+func TestClientNonJSONErrorBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "plain text failure", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	if err := c.Health(); err == nil || !strings.Contains(err.Error(), "status 500") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestClientRoundTripsInvoke(t *testing.T) {
+	want := InvokeResponse{
+		Output:   "ok",
+		WallNs:   int64(3 * time.Millisecond),
+		Secure:   true,
+		Platform: tee.KindTDX,
+		Host:     "h",
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req InvokeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Function != "fn" || !req.Secure || req.TEE != tee.KindTDX {
+			WriteError(w, http.StatusBadRequest, errors.New("request fields lost"))
+			return
+		}
+		WriteJSON(w, http.StatusOK, want)
+	}))
+	defer srv.Close()
+	got, err := NewClient(srv.URL).Invoke(InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Output != want.Output || got.Wall() != 3*time.Millisecond || got.Host != "h" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestClientConnectionRefused(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1")
+	if err := c.Health(); err == nil {
+		t.Error("expected connection error")
+	}
+	if _, err := c.Functions(); err == nil {
+		t.Error("expected connection error")
+	}
+	if _, err := c.Pools(); err == nil {
+		t.Error("expected connection error")
+	}
+	if _, err := c.Attest(AttestRequest{}); err == nil {
+		t.Error("expected connection error")
+	}
+}
+
+func TestInvokeResponseWall(t *testing.T) {
+	r := InvokeResponse{WallNs: 1_500_000}
+	if r.Wall() != 1500*time.Microsecond {
+		t.Errorf("Wall = %v", r.Wall())
+	}
+}

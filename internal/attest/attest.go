@@ -1,0 +1,83 @@
+// Package attest defines the common remote-attestation vocabulary
+// used by ConfBench's TDX (DCAP) and SEV-SNP attestation flows.
+//
+// Following §II of the paper, remote attestation involves three
+// parties: the attester (the confidential VM) collects claims about
+// its state and cryptographically signs them; the verifier checks the
+// claims against platform endorsements; and the relying party consumes
+// the verdict. ConfBench measures the wall-clock latency of the two
+// user-visible phases — producing evidence ("attest") and validating
+// it ("check") — which Fig. 5 compares across TDX and SEV-SNP.
+package attest
+
+import (
+	"errors"
+	"time"
+
+	"confbench/internal/tee"
+)
+
+// Attestation errors shared across flows.
+var (
+	// ErrVerification is returned when evidence fails validation.
+	ErrVerification = errors.New("attest: evidence verification failed")
+	// ErrNonceMismatch is returned when the evidence does not bind the
+	// verifier's nonce.
+	ErrNonceMismatch = errors.New("attest: nonce not bound in evidence")
+	// ErrTCBOutOfDate is returned when the platform TCB is below the
+	// verifier's policy minimum.
+	ErrTCBOutOfDate = errors.New("attest: platform TCB out of date")
+	// ErrRevoked is returned when a signing key appears on a CRL.
+	ErrRevoked = errors.New("attest: signing key revoked")
+)
+
+// NonceSize is the challenge size bound into evidence (fits the
+// 64-byte report-data fields of both TDX and SNP).
+const NonceSize = 64
+
+// Evidence is serialized attestation material plus its platform kind.
+type Evidence struct {
+	Platform tee.Kind `json:"platform"`
+	Data     []byte   `json:"data"`
+}
+
+// Timing records the latency of one attestation phase as a user
+// perceives it: real compute time plus the modeled infrastructure
+// latency (QE processing, PCS round trips, firmware mailbox) that the
+// simulation cannot spend for real.
+type Timing struct {
+	// Compute is the locally measured execution time.
+	Compute time.Duration `json:"compute"`
+	// Infra is modeled infrastructure latency (network, firmware).
+	Infra time.Duration `json:"infra"`
+}
+
+// Total returns the end-to-end latency of the phase.
+func (t Timing) Total() time.Duration { return t.Compute + t.Infra }
+
+// Verdict is the verifier's decision about a piece of evidence.
+type Verdict struct {
+	// OK reports whether the evidence verified.
+	OK bool `json:"ok"`
+	// Platform is the attested TEE kind.
+	Platform tee.Kind `json:"platform"`
+	// Measurement is the hex build-time measurement extracted from the
+	// evidence (MRTD for TDX, launch digest for SNP).
+	Measurement string `json:"measurement"`
+	// TCBStatus summarizes the platform TCB evaluation.
+	TCBStatus string `json:"tcb_status"`
+	// Details carries flow-specific notes for the relying party.
+	Details []string `json:"details,omitempty"`
+}
+
+// Attester produces evidence bound to a verifier nonce.
+type Attester interface {
+	// Attest produces evidence binding nonce and reports its latency.
+	Attest(nonce []byte) (Evidence, Timing, error)
+}
+
+// Verifier validates evidence against platform endorsements.
+type Verifier interface {
+	// Verify checks the evidence and nonce binding, reporting latency.
+	Verify(ev Evidence, nonce []byte) (*Verdict, Timing, error)
+}

@@ -1,0 +1,170 @@
+package attest
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file implements attested secure channels: the reason remote
+// attestation exists in the first place (§II: a relying party uses the
+// verifier's verdict to decide whether to use the attester's
+// services). A confidential VM binds a fresh ECDH public key into its
+// attestation evidence; the relying party verifies the evidence, then
+// both sides derive the same symmetric session key. Tampering with the
+// key exchange breaks the evidence binding, so a machine-in-the-middle
+// cannot splice itself in.
+
+// Session errors.
+var (
+	// ErrBadChallenge is returned for challenges of the wrong size.
+	ErrBadChallenge = errors.New("attest: challenge must be 32 bytes")
+	// ErrSessionKey is returned when key agreement fails.
+	ErrSessionKey = errors.New("attest: session key agreement failed")
+)
+
+// ChallengeSize is the relying party's nonce length; the other 32
+// bytes of the evidence's report data bind the attester's ECDH key.
+const ChallengeSize = 32
+
+// SessionOffer is what the attesting guest sends to the relying
+// party: evidence whose report data binds (challenge, hash(pub)), and
+// the ECDH public key itself.
+type SessionOffer struct {
+	Evidence    Evidence `json:"evidence"`
+	AttesterPub []byte   `json:"attester_pub"`
+}
+
+// Session is an established attested channel.
+type Session struct {
+	key [32]byte
+}
+
+// Key returns the derived 32-byte session key.
+func (s Session) Key() [32]byte { return s.key }
+
+// Seal encrypts plaintext under the session key with AES-256-GCM,
+// prepending the nonce.
+func (s Session) Seal(plaintext []byte) ([]byte, error) {
+	gcm, err := s.aead()
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("attest: nonce: %w", err)
+	}
+	return gcm.Seal(nonce, nonce, plaintext, nil), nil
+}
+
+// Open decrypts a Seal output.
+func (s Session) Open(sealed []byte) ([]byte, error) {
+	gcm, err := s.aead()
+	if err != nil {
+		return nil, err
+	}
+	if len(sealed) < gcm.NonceSize() {
+		return nil, errors.New("attest: sealed message too short")
+	}
+	return gcm.Open(nil, sealed[:gcm.NonceSize()], sealed[gcm.NonceSize():], nil)
+}
+
+func (s Session) aead() (cipher.AEAD, error) {
+	block, err := aes.NewCipher(s.key[:])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// GuestSession is the attester-side half of a handshake in flight.
+type GuestSession struct {
+	priv      *ecdh.PrivateKey
+	challenge [ChallengeSize]byte
+}
+
+// sessionReportData builds the 64-byte report data binding the
+// challenge and the attester's public key.
+func sessionReportData(challenge []byte, pub []byte) []byte {
+	data := make([]byte, NonceSize)
+	copy(data, challenge)
+	h := sha256.Sum256(pub)
+	copy(data[ChallengeSize:], h[:])
+	return data
+}
+
+// NewGuestSession starts a handshake inside the guest: it generates an
+// ephemeral X25519 key and produces evidence binding it to the relying
+// party's challenge.
+func NewGuestSession(attester Attester, challenge []byte) (*GuestSession, SessionOffer, error) {
+	if len(challenge) != ChallengeSize {
+		return nil, SessionOffer{}, ErrBadChallenge
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, SessionOffer{}, fmt.Errorf("attest: generate session key: %w", err)
+	}
+	gs := &GuestSession{priv: priv}
+	copy(gs.challenge[:], challenge)
+
+	ev, _, err := attester.Attest(sessionReportData(challenge, priv.PublicKey().Bytes()))
+	if err != nil {
+		return nil, SessionOffer{}, err
+	}
+	return gs, SessionOffer{Evidence: ev, AttesterPub: priv.PublicKey().Bytes()}, nil
+}
+
+// Complete derives the guest's session from the relying party's
+// public key.
+func (g *GuestSession) Complete(relyingPub []byte) (Session, error) {
+	return deriveSession(g.priv, relyingPub, g.challenge[:])
+}
+
+// AcceptSession is the relying-party side: verify the offer against
+// the challenge (evidence must bind both the challenge and the offered
+// public key), then answer with a fresh key and derive the session.
+// It returns the session, the relying party's public key to send back
+// to the guest, and the verifier's verdict.
+func AcceptSession(verifier Verifier, offer SessionOffer, challenge []byte) (Session, []byte, *Verdict, error) {
+	if len(challenge) != ChallengeSize {
+		return Session{}, nil, nil, ErrBadChallenge
+	}
+	verdict, _, err := verifier.Verify(offer.Evidence, sessionReportData(challenge, offer.AttesterPub))
+	if err != nil {
+		return Session{}, nil, nil, err
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return Session{}, nil, nil, fmt.Errorf("attest: generate session key: %w", err)
+	}
+	session, err := deriveSession(priv, offer.AttesterPub, challenge)
+	if err != nil {
+		return Session{}, nil, nil, err
+	}
+	return session, priv.PublicKey().Bytes(), verdict, nil
+}
+
+// deriveSession computes X25519(priv, peer) and hashes it with the
+// challenge into the session key.
+func deriveSession(priv *ecdh.PrivateKey, peerPub []byte, challenge []byte) (Session, error) {
+	peer, err := ecdh.X25519().NewPublicKey(peerPub)
+	if err != nil {
+		return Session{}, fmt.Errorf("%w: %v", ErrSessionKey, err)
+	}
+	secret, err := priv.ECDH(peer)
+	if err != nil {
+		return Session{}, fmt.Errorf("%w: %v", ErrSessionKey, err)
+	}
+	h := sha256.New()
+	h.Write([]byte("confbench-attested-session-v1"))
+	h.Write(secret)
+	h.Write(challenge)
+	var s Session
+	copy(s.key[:], h.Sum(nil))
+	return s, nil
+}

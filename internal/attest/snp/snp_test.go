@@ -1,0 +1,173 @@
+package snp
+
+import (
+	"errors"
+	"testing"
+
+	"confbench/internal/attest"
+	"confbench/internal/tee"
+	"confbench/internal/tee/sev"
+)
+
+type testStack struct {
+	backend *sev.Backend
+	guest   tee.Guest
+}
+
+func newStack(t *testing.T) *testStack {
+	t.Helper()
+	backend, err := sev.NewBackend(sev.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guest, err := backend.Launch(tee.GuestConfig{Name: "snp-guest", MemoryMB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = guest.Destroy() })
+	return &testStack{backend: backend, guest: guest}
+}
+
+func nonce64(s string) []byte {
+	n := make([]byte, attest.NonceSize)
+	copy(n, s)
+	return n
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	st := newStack(t)
+	attester := NewAttester(st.guest)
+	verifier := NewVerifier(st.backend.SecureProcessor().CertChainCopy())
+
+	nonce := nonce64("challenge")
+	ev, timing, err := attester.Attest(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Platform != tee.KindSEV || timing.Infra <= 0 {
+		t.Errorf("evidence = %v, timing = %+v", ev.Platform, timing)
+	}
+	verdict, checkTiming, err := verifier.Verify(ev, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdict.OK || verdict.Measurement == "" {
+		t.Errorf("verdict = %+v", verdict)
+	}
+	// SNP's check phase reads the cert chain locally — no network.
+	if checkTiming.Infra >= 50_000_000 { // < 50ms
+		t.Errorf("SNP check infra should be local-fast, got %v", checkTiming.Infra)
+	}
+}
+
+func TestSNPFasterThanDCAPInfra(t *testing.T) {
+	// Fig. 5's asymmetry: the SNP attester/verifier carry less modeled
+	// infrastructure latency than the DCAP QE + PCS path.
+	st := newStack(t)
+	attester := NewAttester(st.guest)
+	if attester.FirmwareLatency >= 100_000_000 {
+		t.Errorf("SNP firmware latency %v too high", attester.FirmwareLatency)
+	}
+	verifier := NewVerifier(st.backend.SecureProcessor().CertChainCopy())
+	if verifier.HardwareFetchLatency >= 50_000_000 {
+		t.Errorf("SNP fetch latency %v too high", verifier.HardwareFetchLatency)
+	}
+}
+
+func TestVerifyRejectsWrongNonce(t *testing.T) {
+	st := newStack(t)
+	attester := NewAttester(st.guest)
+	verifier := NewVerifier(st.backend.SecureProcessor().CertChainCopy())
+	ev, _, err := attester.Attest(nonce64("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := verifier.Verify(ev, nonce64("B")); !errors.Is(err, attest.ErrNonceMismatch) {
+		t.Errorf("want nonce mismatch, got %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedReport(t *testing.T) {
+	st := newStack(t)
+	attester := NewAttester(st.guest)
+	verifier := NewVerifier(st.backend.SecureProcessor().CertChainCopy())
+	nonce := nonce64("n")
+	ev, _, err := attester.Attest(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sev.UnmarshalReport(ev.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Measurement[0] ^= 0xff
+	data, _ := report.Marshal()
+	if _, _, err := verifier.Verify(attest.Evidence{Platform: tee.KindSEV, Data: data}, nonce); !errors.Is(err, attest.ErrVerification) {
+		t.Errorf("tampered report: %v", err)
+	}
+}
+
+func TestVerifyRejectsForeignChain(t *testing.T) {
+	st := newStack(t)
+	attester := NewAttester(st.guest)
+	// A verifier trusting a *different* chip's chain must reject.
+	other, err := sev.NewBackend(sev.Options{Seed: 777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := NewVerifier(other.SecureProcessor().CertChainCopy())
+	nonce := nonce64("n")
+	ev, _, err := attester.Attest(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := verifier.Verify(ev, nonce); !errors.Is(err, attest.ErrVerification) {
+		t.Errorf("foreign chain: %v", err)
+	}
+}
+
+func TestVerifyRejectsLowTCB(t *testing.T) {
+	st := newStack(t)
+	attester := NewAttester(st.guest)
+	verifier := NewVerifier(st.backend.SecureProcessor().CertChainCopy())
+	verifier.MinTCB = sev.TCBVersion{Bootloader: 99}
+	nonce := nonce64("n")
+	ev, _, err := attester.Attest(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := verifier.Verify(ev, nonce); !errors.Is(err, attest.ErrTCBOutOfDate) {
+		t.Errorf("low TCB: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongPlatform(t *testing.T) {
+	st := newStack(t)
+	verifier := NewVerifier(st.backend.SecureProcessor().CertChainCopy())
+	if _, _, err := verifier.Verify(attest.Evidence{Platform: tee.KindTDX, Data: []byte("{}")}, nil); err == nil {
+		t.Error("TDX evidence accepted by SNP verifier")
+	}
+}
+
+func TestMeasurementPinning(t *testing.T) {
+	st := newStack(t)
+	attester := NewAttester(st.guest)
+	verifier := NewVerifier(st.backend.SecureProcessor().CertChainCopy())
+	nonce := nonce64("n")
+	ev, _, err := attester.Attest(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict, _, err := verifier.Verify(ev, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier.ExpectedMeasurement = verdict.Measurement
+	if _, _, err := verifier.Verify(ev, nonce); err != nil {
+		t.Errorf("pinned genuine measurement rejected: %v", err)
+	}
+	verifier.ExpectedMeasurement = "deadbeef"
+	if _, _, err := verifier.Verify(ev, nonce); !errors.Is(err, attest.ErrVerification) {
+		t.Errorf("wrong pinned measurement: %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"confbench/internal/attest"
+	"confbench/internal/stats"
+	"confbench/internal/tee"
+)
+
+// AttestationResult is the Fig. 5 data for one platform: absolute
+// latencies of the evidence-generation ("attest") and verification
+// ("check") phases.
+type AttestationResult struct {
+	Kind     tee.Kind      `json:"tee"`
+	AttestMs stats.Summary `json:"attest_ms"`
+	CheckMs  stats.Summary `json:"check_ms"`
+}
+
+// Attestation reproduces the attestation experiment (§IV-C, Fig. 5)
+// for one platform: trials× produce evidence bound to a fresh nonce
+// and verify it, recording both phases' wall-clock latencies.
+func Attestation(kind tee.Kind, attester attest.Attester, verifier attest.Verifier, trials int) (AttestationResult, error) {
+	if trials <= 0 {
+		trials = 10
+	}
+	attestMs := make([]float64, 0, trials)
+	checkMs := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		nonce := freshNonce(kind, i)
+		ev, t1, err := attester.Attest(nonce)
+		if err != nil {
+			return AttestationResult{}, fmt.Errorf("bench attest %s trial %d: %w", kind, i, err)
+		}
+		verdict, t2, err := verifier.Verify(ev, nonce)
+		if err != nil {
+			return AttestationResult{}, fmt.Errorf("bench check %s trial %d: %w", kind, i, err)
+		}
+		if !verdict.OK {
+			return AttestationResult{}, fmt.Errorf("bench check %s trial %d: verdict not OK", kind, i)
+		}
+		attestMs = append(attestMs, float64(t1.Total().Nanoseconds())/1e6)
+		checkMs = append(checkMs, float64(t2.Total().Nanoseconds())/1e6)
+	}
+	aSum, err := stats.Summarize(attestMs)
+	if err != nil {
+		return AttestationResult{}, err
+	}
+	cSum, err := stats.Summarize(checkMs)
+	if err != nil {
+		return AttestationResult{}, err
+	}
+	return AttestationResult{Kind: kind, AttestMs: aSum, CheckMs: cSum}, nil
+}
+
+// freshNonce derives a deterministic 64-byte verifier challenge.
+func freshNonce(kind tee.Kind, trial int) []byte {
+	var seed [8]byte
+	binary.LittleEndian.PutUint64(seed[:], uint64(trial))
+	h1 := sha256.Sum256(append([]byte("confbench-nonce:"+string(kind)+":"), seed[:]...))
+	h2 := sha256.Sum256(h1[:])
+	return append(h1[:], h2[:]...)
+}

@@ -1,0 +1,80 @@
+// Package bench is ConfBench's experiment harness: one entry point per
+// table and figure of the paper's evaluation (§IV), producing the same
+// rows and series so the results can be compared shape-for-shape.
+//
+//	Fig. 3  — ML               → ML (stacked percentiles, secure vs normal)
+//	DBMS §IV-C (text)          → DBMS (per-test secure/normal ratios)
+//	Fig. 4  — UnixBench        → UnixBench (index-score time ratios)
+//	Fig. 5  — Attestation      → Attestation (attest/check latencies)
+//	Fig. 6  — FaaS TDX/SEV     → FaaS heatmaps (ratio per workload × language)
+//	Fig. 7  — FaaS CCA         → FaaS heatmap on the CCA pair
+//	Fig. 8  — CCA distribution → FaaS per-run samples → box plots
+//
+// Every experiment follows the paper's protocol: run the same workload
+// with the same arguments on the secure and the normal VM of one host,
+// repeat for a number of independent trials, and report the ratio of
+// mean execution times (or the full distribution where a figure needs
+// it).
+package bench
+
+import (
+	"time"
+
+	"confbench/internal/stats"
+	"confbench/internal/tee"
+)
+
+// Options tunes experiment size. The defaults trade a little
+// statistical resolution for CI-friendly run times; the paper's exact
+// protocol (10 trials, full scales) is one Options value away.
+type Options struct {
+	// Trials is the number of independent runs per measurement point
+	// (paper: 10).
+	Trials int
+	// ScaleDivisor divides each workload's default scale (1 = the
+	// paper-equivalent size).
+	ScaleDivisor int
+}
+
+// WithDefaults fills unset fields.
+func (o Options) WithDefaults() Options {
+	if o.Trials <= 0 {
+		o.Trials = 10
+	}
+	if o.ScaleDivisor <= 0 {
+		o.ScaleDivisor = 1
+	}
+	return o
+}
+
+// PaperOptions returns the paper's exact protocol.
+func PaperOptions() Options { return Options{Trials: 10, ScaleDivisor: 1} }
+
+// QuickOptions returns a CI-friendly configuration.
+func QuickOptions() Options { return Options{Trials: 3, ScaleDivisor: 4} }
+
+// SecureNormal pairs distributions measured on the two VMs of a host.
+type SecureNormal struct {
+	Secure stats.Summary `json:"secure"`
+	Normal stats.Summary `json:"normal"`
+}
+
+// Ratio returns the ratio of mean execution times, the paper's primary
+// metric ("we systematically study the ratios between the confidential
+// and the non-confidential execution time").
+func (sn SecureNormal) Ratio() float64 {
+	return stats.Ratio(sn.Secure.Mean, sn.Normal.Mean)
+}
+
+// durationsMs converts sampled durations to float milliseconds.
+func durationsMs(ds []time.Duration) []float64 {
+	return stats.DurationsToMillis(ds)
+}
+
+// summarizeMs summarizes duration samples in milliseconds.
+func summarizeMs(ds []time.Duration) (stats.Summary, error) {
+	return stats.Summarize(durationsMs(ds))
+}
+
+// KindsTDXSEV is the Fig. 6 platform set.
+var KindsTDXSEV = []tee.Kind{tee.KindTDX, tee.KindSEV}

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"confbench/internal/meter"
+	"confbench/internal/minidb"
+	"confbench/internal/mlinfer"
+	"confbench/internal/stats"
+	"confbench/internal/tee"
+	"confbench/internal/unixbench"
+	"confbench/internal/vm"
+)
+
+// MLResult is the Fig. 3 data: per-image inference-time distributions
+// for the secure and normal VM of one platform.
+type MLResult struct {
+	Kind tee.Kind `json:"tee"`
+	// Images is the dataset size (paper: 40).
+	Images int          `json:"images"`
+	Times  SecureNormal `json:"times_ms"`
+	// SecureMs and NormalMs are the raw per-image samples.
+	SecureMs []float64 `json:"secure_ms"`
+	NormalMs []float64 `json:"normal_ms"`
+}
+
+// MLOptions sizes the confidential-ML experiment.
+type MLOptions struct {
+	// Images is the dataset size (0 = 40, as in the paper).
+	Images int
+	// InputSize is the model input resolution (0 = 96).
+	InputSize int
+}
+
+// ML reproduces the confidential-ML experiment (§IV-C, Fig. 3): a
+// MobileNet-style model classifies every image of the synthetic 1-MB
+// dataset inside both VMs of the pair; per-image inference times give
+// the stacked-percentile distributions.
+func ML(pair vm.Pair, opts MLOptions) (MLResult, error) {
+	if opts.Images <= 0 {
+		opts.Images = 40
+	}
+	if opts.InputSize <= 0 {
+		opts.InputSize = 96
+	}
+	model, err := mlinfer.NewMobileNet(mlinfer.MobileNetConfig{InputSize: opts.InputSize})
+	if err != nil {
+		return MLResult{}, err
+	}
+	dataset := mlinfer.Dataset(opts.Images)
+
+	classifyAll := func(machine *vm.VM) ([]time.Duration, error) {
+		times := make([]time.Duration, 0, len(dataset))
+		for i, raw := range dataset {
+			res, err := machine.RunMetered(fmt.Sprintf("ml-image-%d", i), func(m *meter.Context) (string, error) {
+				img, err := mlinfer.DecodeAndResize(m, raw, opts.InputSize)
+				if err != nil {
+					return "", err
+				}
+				preds, err := model.Classify(m, img, 1)
+				if err != nil {
+					return "", err
+				}
+				return preds[0].Label, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			times = append(times, res.Wall)
+		}
+		return times, nil
+	}
+
+	secure, err := classifyAll(pair.Secure)
+	if err != nil {
+		return MLResult{}, fmt.Errorf("bench ml secure: %w", err)
+	}
+	normal, err := classifyAll(pair.Normal)
+	if err != nil {
+		return MLResult{}, fmt.Errorf("bench ml normal: %w", err)
+	}
+	sSum, err := summarizeMs(secure)
+	if err != nil {
+		return MLResult{}, err
+	}
+	nSum, err := summarizeMs(normal)
+	if err != nil {
+		return MLResult{}, err
+	}
+	return MLResult{
+		Kind:     pair.Secure.Platform(),
+		Images:   opts.Images,
+		Times:    SecureNormal{Secure: sSum, Normal: nSum},
+		SecureMs: durationsMs(secure),
+		NormalMs: durationsMs(normal),
+	}, nil
+}
+
+// DBMSTestRatio is one speedtest1-style test's secure/normal ratio.
+type DBMSTestRatio struct {
+	ID       int     `json:"id"`
+	Name     string  `json:"name"`
+	SecureMs float64 `json:"secure_ms"`
+	NormalMs float64 `json:"normal_ms"`
+	Ratio    float64 `json:"ratio"`
+}
+
+// DBMSResult is the §IV-C DBMS finding for one platform.
+type DBMSResult struct {
+	Kind     tee.Kind        `json:"tee"`
+	Size     int             `json:"size"`
+	PerTest  []DBMSTestRatio `json:"per_test"`
+	AvgRatio float64         `json:"avg_ratio"`
+	MaxRatio float64         `json:"max_ratio"`
+}
+
+// DBMSOptions sizes the DBMS experiment.
+type DBMSOptions struct {
+	// Size is the speedtest relative size (0 = 100, the paper's
+	// default).
+	Size int
+}
+
+// DBMS reproduces the confidential-DBMS experiment (§IV-C): the
+// speedtest1-style suite runs in both VMs; per-test execution times
+// are priced per test so the ratios can be compared test by test.
+func DBMS(pair vm.Pair, opts DBMSOptions) (DBMSResult, error) {
+	if opts.Size <= 0 {
+		opts.Size = 100
+	}
+
+	// Per-test timing needs per-test usage, so the suite runs outside
+	// RunMetered and each test's usage is priced under both VMs.
+	type testRun struct {
+		id    int
+		name  string
+		usage meter.Usage
+	}
+	runSuite := func() ([]testRun, error) {
+		st := minidb.NewSpeedTest(opts.Size)
+		m := meter.NewContext()
+		prev := meter.Usage{}
+		var runs []testRun
+		results, err := st.RunWithProgress(m, func(res minidb.TestResult) {
+			cur := m.Snapshot()
+			delta := diffUsage(cur, prev)
+			prev = cur
+			runs = append(runs, testRun{id: res.ID, name: res.Name, usage: delta})
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(results) != len(runs) {
+			return nil, fmt.Errorf("bench dbms: %d results vs %d progress callbacks", len(results), len(runs))
+		}
+		return runs, nil
+	}
+
+	runs, err := runSuite()
+	if err != nil {
+		return DBMSResult{}, err
+	}
+	out := DBMSResult{Kind: pair.Secure.Platform(), Size: opts.Size}
+	var ratios []float64
+	for _, r := range runs {
+		sMs := float64(pair.Secure.PriceUsage(r.usage).Nanoseconds()) / 1e6
+		nMs := float64(pair.Normal.PriceUsage(r.usage).Nanoseconds()) / 1e6
+		ratio := stats.Ratio(sMs, nMs)
+		out.PerTest = append(out.PerTest, DBMSTestRatio{
+			ID: r.id, Name: r.name, SecureMs: sMs, NormalMs: nMs, Ratio: ratio,
+		})
+		ratios = append(ratios, ratio)
+		if ratio > out.MaxRatio {
+			out.MaxRatio = ratio
+		}
+	}
+	out.AvgRatio = stats.Mean(ratios)
+	return out, nil
+}
+
+// diffUsage returns cur - prev per counter.
+func diffUsage(cur, prev meter.Usage) meter.Usage {
+	out := make(meter.Usage, len(cur))
+	for c, v := range cur {
+		if d := v - prev[c]; d > 0 {
+			out[c] = d
+		}
+	}
+	return out
+}
+
+// UnixBenchResult is the Fig. 4 data for one platform.
+type UnixBenchResult struct {
+	Kind tee.Kind `json:"tee"`
+	// SecureIndex and NormalIndex are the aggregate UnixBench index
+	// scores (throughput: higher is better).
+	SecureIndex float64 `json:"secure_index"`
+	NormalIndex float64 `json:"normal_index"`
+	// TimeRatio is the secure/normal execution-time ratio implied by
+	// the indexes (Fig. 4 plots time ratios, so > 1 means slower).
+	TimeRatio float64 `json:"time_ratio"`
+	// PerTest breaks the ratio down by UnixBench test.
+	PerTest []UnixBenchTestRatio `json:"per_test"`
+}
+
+// UnixBenchTestRatio is one test's time ratio.
+type UnixBenchTestRatio struct {
+	Name      string  `json:"name"`
+	TimeRatio float64 `json:"time_ratio"`
+}
+
+// UnixBenchOptions sizes the OS experiment.
+type UnixBenchOptions struct {
+	// Scale multiplies iteration counts (0 = 1.0).
+	Scale float64
+}
+
+// UnixBench reproduces the OS experiment (§IV-C, Fig. 4): the
+// single-threaded suite runs with durations priced under each VM, and
+// the aggregate index scores yield the secure/normal time ratio.
+func UnixBench(pair vm.Pair, opts UnixBenchOptions) (UnixBenchResult, error) {
+	suite := unixbench.New(unixbench.Options{Scale: opts.Scale})
+	mS := meter.NewContext()
+	secure, err := suite.Run(mS, pair.Secure.PriceUsage)
+	if err != nil {
+		return UnixBenchResult{}, fmt.Errorf("bench unixbench secure: %w", err)
+	}
+	mN := meter.NewContext()
+	normal, err := suite.Run(mN, pair.Normal.PriceUsage)
+	if err != nil {
+		return UnixBenchResult{}, fmt.Errorf("bench unixbench normal: %w", err)
+	}
+	res := UnixBenchResult{
+		Kind:        pair.Secure.Platform(),
+		SecureIndex: secure.Index,
+		NormalIndex: normal.Index,
+		// Index is throughput, so time ratio = normal/secure index.
+		TimeRatio: stats.Ratio(normal.Index, secure.Index),
+	}
+	for i := range secure.Scores {
+		res.PerTest = append(res.PerTest, UnixBenchTestRatio{
+			Name:      secure.Scores[i].Name,
+			TimeRatio: stats.Ratio(normal.Scores[i].Index, secure.Scores[i].Index),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+
+	"confbench/internal/faas"
+	"confbench/internal/faas/langs"
+	"confbench/internal/stats"
+	"confbench/internal/tee"
+	"confbench/internal/vm"
+	"confbench/internal/workloads"
+)
+
+// Cell is one heatmap cell: the ratio between mean secure and mean
+// normal execution times over the trials, plus the raw samples for
+// the Fig. 8 distributions.
+type Cell struct {
+	Workload string    `json:"workload"`
+	Language string    `json:"language"`
+	Ratio    float64   `json:"ratio"`
+	SecureMs []float64 `json:"secure_ms"`
+	NormalMs []float64 `json:"normal_ms"`
+}
+
+// FaaSResult is the Fig. 6/7 heatmap (and, with its raw samples, the
+// Fig. 8 distribution data) for one platform.
+type FaaSResult struct {
+	Kind      tee.Kind `json:"tee"`
+	Workloads []string `json:"workloads"`
+	Languages []string `json:"languages"`
+	// Cells is indexed [workload][language] following the two lists.
+	Cells [][]Cell `json:"cells"`
+}
+
+// Cell returns the cell for (workload, language).
+func (r FaaSResult) Cell(workload, language string) (Cell, error) {
+	for i, w := range r.Workloads {
+		if w != workload {
+			continue
+		}
+		for j, l := range r.Languages {
+			if l == language {
+				return r.Cells[i][j], nil
+			}
+		}
+	}
+	return Cell{}, fmt.Errorf("bench: no cell for %s/%s", workload, language)
+}
+
+// MeanRatio averages all cell ratios (a one-number platform summary).
+func (r FaaSResult) MeanRatio() float64 {
+	var all []float64
+	for _, row := range r.Cells {
+		for _, c := range row {
+			all = append(all, c.Ratio)
+		}
+	}
+	return stats.Mean(all)
+}
+
+// CellsBelowOne counts the cells where the secure VM was faster — the
+// paper's counterintuitive cache-residency effect.
+func (r FaaSResult) CellsBelowOne() int {
+	var n int
+	for _, row := range r.Cells {
+		for _, c := range row {
+			if c.Ratio < 1 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// FaaSOptions sizes the FaaS experiment.
+type FaaSOptions struct {
+	Options
+	// Workloads restricts the catalog (nil = all).
+	Workloads []string
+	// Languages restricts the runtimes (nil = all seven).
+	Languages []string
+}
+
+// FaaS reproduces the FaaS experiments (§IV-D, Figs. 6–8) on one
+// platform pair: every (workload, language) function executes
+// Trials× in the secure and the normal VM with identical arguments,
+// and the cell ratio is the ratio of mean execution times. Timings
+// exclude runtime bootstrap, matching the paper's protocol.
+func FaaS(pair vm.Pair, catalog *workloads.Registry, opts FaaSOptions) (FaaSResult, error) {
+	opts.Options = opts.Options.WithDefaults()
+	if catalog == nil {
+		catalog = workloads.Default()
+	}
+	ws := opts.Workloads
+	if ws == nil {
+		ws = catalog.Names()
+	}
+	languages := opts.Languages
+	if languages == nil {
+		languages = langs.Names()
+	}
+
+	res := FaaSResult{
+		Kind:      pair.Secure.Platform(),
+		Workloads: ws,
+		Languages: languages,
+		Cells:     make([][]Cell, len(ws)),
+	}
+	for i, w := range ws {
+		entry, err := catalog.Lookup(w)
+		if err != nil {
+			return FaaSResult{}, err
+		}
+		scale := entry.DefaultScale / opts.ScaleDivisor
+		if scale < 1 {
+			scale = 1
+		}
+		res.Cells[i] = make([]Cell, len(languages))
+		for j, lang := range languages {
+			fn := faas.Function{Name: w + "-" + lang, Language: lang, Workload: w}
+			cell := Cell{Workload: w, Language: lang}
+			var secureSum, normalSum float64
+			for trial := 0; trial < opts.Trials; trial++ {
+				sRes, err := pair.Secure.InvokeFunction(fn, scale)
+				if err != nil {
+					return FaaSResult{}, fmt.Errorf("bench faas %s/%s secure: %w", w, lang, err)
+				}
+				nRes, err := pair.Normal.InvokeFunction(fn, scale)
+				if err != nil {
+					return FaaSResult{}, fmt.Errorf("bench faas %s/%s normal: %w", w, lang, err)
+				}
+				if sRes.Output != nRes.Output {
+					return FaaSResult{}, fmt.Errorf("bench faas %s/%s: secure output %q != normal %q",
+						w, lang, sRes.Output, nRes.Output)
+				}
+				sMs := float64(sRes.Wall.Nanoseconds()) / 1e6
+				nMs := float64(nRes.Wall.Nanoseconds()) / 1e6
+				cell.SecureMs = append(cell.SecureMs, sMs)
+				cell.NormalMs = append(cell.NormalMs, nMs)
+				secureSum += sMs
+				normalSum += nMs
+			}
+			cell.Ratio = stats.Ratio(secureSum, normalSum)
+			res.Cells[i][j] = cell
+		}
+	}
+	return res, nil
+}
+
+// BoxPlotsFor computes the Fig. 8 box-and-whisker summaries for one
+// language column: per workload, one box for the secure and one for
+// the normal samples.
+func (r FaaSResult) BoxPlotsFor(language string) (map[string]SecureNormalBox, error) {
+	j := -1
+	for idx, l := range r.Languages {
+		if l == language {
+			j = idx
+			break
+		}
+	}
+	if j < 0 {
+		return nil, fmt.Errorf("bench: language %q not in result", language)
+	}
+	out := make(map[string]SecureNormalBox, len(r.Workloads))
+	for i, w := range r.Workloads {
+		c := r.Cells[i][j]
+		sb, err := stats.Box(c.SecureMs)
+		if err != nil {
+			return nil, err
+		}
+		nb, err := stats.Box(c.NormalMs)
+		if err != nil {
+			return nil, err
+		}
+		out[w] = SecureNormalBox{Secure: sb, Normal: nb}
+	}
+	return out, nil
+}
+
+// SecureNormalBox pairs the two box plots of one Fig. 8 entry.
+type SecureNormalBox struct {
+	Secure stats.BoxPlot `json:"secure"`
+	Normal stats.BoxPlot `json:"normal"`
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderML renders the Fig. 3 stacked-percentile view for a set of
+// platforms.
+func RenderML(results []MLResult) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 3 — Confidential ML: inference-time distribution (ms, log-scale in the paper)\n")
+	fmt.Fprintf(&sb, "%-10s %-8s %10s %10s %10s %10s %10s %8s\n",
+		"tee", "vm", "min", "p25", "median", "p95", "max", "ratio")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-10s %-8s %10.3f %10.3f %10.3f %10.3f %10.3f %8.3f\n",
+			r.Kind, "secure", r.Times.Secure.Min, r.Times.Secure.P25, r.Times.Secure.Median,
+			r.Times.Secure.P95, r.Times.Secure.Max, r.Times.Ratio())
+		fmt.Fprintf(&sb, "%-10s %-8s %10.3f %10.3f %10.3f %10.3f %10.3f %8s\n",
+			r.Kind, "normal", r.Times.Normal.Min, r.Times.Normal.P25, r.Times.Normal.Median,
+			r.Times.Normal.P95, r.Times.Normal.Max, "-")
+	}
+	return sb.String()
+}
+
+// RenderDBMS renders the §IV-C DBMS table for a set of platforms.
+func RenderDBMS(results []DBMSResult) string {
+	var sb strings.Builder
+	sb.WriteString("DBMS (§IV-C) — speedtest per-test secure/normal time ratios\n")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "[%s]  avg ratio %.2f, max ratio %.2f (size %d)\n", r.Kind, r.AvgRatio, r.MaxRatio, r.Size)
+		for _, t := range r.PerTest {
+			fmt.Fprintf(&sb, "  %3d %-46s secure %9.3fms normal %9.3fms ratio %6.2f\n",
+				t.ID, truncate(t.Name, 46), t.SecureMs, t.NormalMs, t.Ratio)
+		}
+	}
+	return sb.String()
+}
+
+// RenderUnixBench renders the Fig. 4 view.
+func RenderUnixBench(results []UnixBenchResult) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 4 — UnixBench: secure/normal time ratios from index scores\n")
+	fmt.Fprintf(&sb, "%-10s %14s %14s %10s\n", "tee", "secure index", "normal index", "ratio")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-10s %14.1f %14.1f %10.2f\n", r.Kind, r.SecureIndex, r.NormalIndex, r.TimeRatio)
+	}
+	for _, r := range results {
+		fmt.Fprintf(&sb, "  [%s] per test:\n", r.Kind)
+		for _, t := range r.PerTest {
+			fmt.Fprintf(&sb, "    %-20s ratio %6.2f\n", t.Name, t.TimeRatio)
+		}
+	}
+	return sb.String()
+}
+
+// RenderAttestation renders the Fig. 5 view.
+func RenderAttestation(results []AttestationResult) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 5 — Attestation: absolute phase latencies (ms, log-scale in the paper)\n")
+	fmt.Fprintf(&sb, "%-10s %-8s %10s %10s %10s\n", "tee", "phase", "mean", "min", "max")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-10s %-8s %10.2f %10.2f %10.2f\n", r.Kind, "attest",
+			r.AttestMs.Mean, r.AttestMs.Min, r.AttestMs.Max)
+		fmt.Fprintf(&sb, "%-10s %-8s %10.2f %10.2f %10.2f\n", r.Kind, "check",
+			r.CheckMs.Mean, r.CheckMs.Min, r.CheckMs.Max)
+	}
+	return sb.String()
+}
+
+// RenderHeatmap renders a Fig. 6/7-style heatmap: rows are workloads,
+// columns languages, cells the secure/normal ratio.
+func RenderHeatmap(r FaaSResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "FaaS heatmap [%s] — ratio of mean execution times (secure/normal)\n", r.Kind)
+	fmt.Fprintf(&sb, "%-14s", "")
+	for _, l := range r.Languages {
+		fmt.Fprintf(&sb, "%9s", truncate(l, 8))
+	}
+	sb.WriteByte('\n')
+	for i, w := range r.Workloads {
+		fmt.Fprintf(&sb, "%-14s", truncate(w, 14))
+		for j := range r.Languages {
+			fmt.Fprintf(&sb, "%9.2f", r.Cells[i][j].Ratio)
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "mean ratio %.2f, cells < 1.0: %d\n", r.MeanRatio(), r.CellsBelowOne())
+	return sb.String()
+}
+
+// RenderBoxPlots renders the Fig. 8 distributions for one language.
+func RenderBoxPlots(r FaaSResult, language string) (string, error) {
+	boxes, err := r.BoxPlotsFor(language)
+	if err != nil {
+		return "", err
+	}
+	names := make([]string, 0, len(boxes))
+	for w := range boxes {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 8 — [%s/%s] execution-time distributions (ms)\n", r.Kind, language)
+	fmt.Fprintf(&sb, "%-14s %-8s %9s %9s %9s %9s %9s %9s\n",
+		"workload", "vm", "wlow", "q1", "median", "q3", "whigh", "span")
+	for _, w := range names {
+		b := boxes[w]
+		fmt.Fprintf(&sb, "%-14s %-8s %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+			truncate(w, 14), "secure", b.Secure.WhiskerLow, b.Secure.Q1, b.Secure.Median,
+			b.Secure.Q3, b.Secure.WhiskerHi, b.Secure.WhiskerSpan())
+		fmt.Fprintf(&sb, "%-14s %-8s %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+			truncate(w, 14), "normal", b.Normal.WhiskerLow, b.Normal.Q1, b.Normal.Median,
+			b.Normal.Q3, b.Normal.WhiskerHi, b.Normal.WhiskerSpan())
+	}
+	return sb.String(), nil
+}
+
+// RenderCoLocation renders the multi-tenant extension sweep.
+func RenderCoLocation(r CoLocationResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Co-location (§VI future work) [%s] — probe time vs tenant count\n", r.Kind)
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "  %d tenant(s): %9.3f ms (%.2fx vs single)\n", p.Tenants, p.MeanMs, p.VsSingle)
+	}
+	return sb.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,284 @@
+// Package core implements the heart of ConfBench — the paper's
+// primary contribution: the orchestration that boots TEE-enabled
+// hosts with confidential/normal VM pairs, wires the REST gateway and
+// its load-balanced TEE pools in front of them, and provisions the
+// attestation infrastructure. The public entry point is re-exported
+// by the root confbench package.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"confbench/internal/api"
+	"confbench/internal/attest"
+	"confbench/internal/attest/dcap"
+	"confbench/internal/attest/snp"
+	"confbench/internal/faas"
+	"confbench/internal/faas/langs"
+	"confbench/internal/gateway"
+	"confbench/internal/hostagent"
+	"confbench/internal/tee"
+	"confbench/internal/tee/cca"
+	"confbench/internal/tee/sev"
+	"confbench/internal/tee/tdx"
+	"confbench/internal/vm"
+	"confbench/internal/workloads"
+)
+
+// ClusterConfig parameterizes an in-process ConfBench deployment.
+type ClusterConfig struct {
+	// TEEs selects the platforms to deploy (default: TDX, SEV-SNP,
+	// CCA — the paper's full test bed).
+	TEEs []tee.Kind
+	// Seed drives every deterministic noise source.
+	Seed int64
+	// LeastLoaded switches pool load balancing from round-robin.
+	LeastLoaded bool
+	// TDXFirmware overrides the TDX module version (the buggy
+	// pre-upgrade firmware reproduces the paper's 10× anomaly).
+	TDXFirmware string
+	// GuestMemoryMB sizes the measured boot image of each guest.
+	GuestMemoryMB int
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if len(c.TEEs) == 0 {
+		c.TEEs = []tee.Kind{tee.KindTDX, tee.KindSEV, tee.KindCCA}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.GuestMemoryMB == 0 {
+		c.GuestMemoryMB = 64
+	}
+	return c
+}
+
+// Cluster is a running in-process ConfBench deployment.
+type Cluster struct {
+	cfg      ClusterConfig
+	catalog  *workloads.Registry
+	backends map[tee.Kind]tee.Backend
+	agents   map[tee.Kind]*hostagent.Agent
+	gw       *gateway.Gateway
+	client   *api.Client
+
+	pcs *dcap.PCS
+	qe  *dcap.QuotingEnclave
+}
+
+// NewCluster boots the deployment: backends, host agents (each with
+// its secure/normal VM pair, guest agents and relays), the gateway,
+// and the attestation services.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:      cfg,
+		catalog:  workloads.Default(),
+		backends: make(map[tee.Kind]tee.Backend, len(cfg.TEEs)),
+		agents:   make(map[tee.Kind]*hostagent.Agent, len(cfg.TEEs)),
+	}
+	if err := c.boot(); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cluster) boot() error {
+	for _, kind := range c.cfg.TEEs {
+		backend, err := c.newBackend(kind)
+		if err != nil {
+			return err
+		}
+		c.backends[kind] = backend
+		agent, err := hostagent.NewAgent(hostagent.AgentConfig{
+			Name:    string(kind) + "-host",
+			Backend: backend,
+			Guest:   tee.GuestConfig{MemoryMB: c.cfg.GuestMemoryMB},
+			Catalog: c.catalog,
+		})
+		if err != nil {
+			return fmt.Errorf("confbench: boot %s host: %w", kind, err)
+		}
+		c.agents[kind] = agent
+	}
+
+	var policy func() gateway.Policy
+	if c.cfg.LeastLoaded {
+		policy = func() gateway.Policy { return gateway.LeastLoaded{} }
+	}
+	c.gw = gateway.New(gateway.Config{Policy: policy})
+	for kind, agent := range c.agents {
+		c.gw.AddHost(string(kind)+"-host", agent.Endpoints())
+	}
+	url, err := c.gw.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	c.client = api.NewClient(url)
+
+	// Attestation infrastructure for TDX (QE + PCS).
+	if b, ok := c.backends[tee.KindTDX]; ok {
+		tdxBackend, ok := b.(*tdx.Backend)
+		if !ok {
+			return errors.New("confbench: TDX backend has unexpected type")
+		}
+		pcs, err := dcap.NewPCS("confbench-fmspc-0001")
+		if err != nil {
+			return err
+		}
+		if err := pcs.Start(); err != nil {
+			return err
+		}
+		c.pcs = pcs
+		qe, err := dcap.NewQuotingEnclave(tdxBackend.Module(), "confbench-fmspc-0001")
+		if err != nil {
+			return err
+		}
+		c.qe = qe
+	}
+	return nil
+}
+
+func (c *Cluster) newBackend(kind tee.Kind) (tee.Backend, error) {
+	switch kind {
+	case tee.KindTDX:
+		return tdx.NewBackend(tdx.Options{FirmwareVersion: c.cfg.TDXFirmware, Seed: c.cfg.Seed})
+	case tee.KindSEV:
+		return sev.NewBackend(sev.Options{Seed: c.cfg.Seed + 1000})
+	case tee.KindCCA:
+		return cca.NewBackend(cca.Options{Seed: c.cfg.Seed + 2000})
+	default:
+		return nil, fmt.Errorf("confbench: unsupported TEE %q", kind)
+	}
+}
+
+// Client returns a REST client bound to the gateway.
+func (c *Cluster) Client() *api.Client { return c.client }
+
+// GatewayURL returns the gateway's base URL.
+func (c *Cluster) GatewayURL() string { return c.gw.BaseURL() }
+
+// Backend returns the platform backend for kind.
+func (c *Cluster) Backend(kind tee.Kind) (tee.Backend, error) {
+	b, ok := c.backends[kind]
+	if !ok {
+		return nil, fmt.Errorf("confbench: no %q backend deployed", kind)
+	}
+	return b, nil
+}
+
+// Agent returns the host agent for kind.
+func (c *Cluster) Agent(kind tee.Kind) (*hostagent.Agent, error) {
+	a, ok := c.agents[kind]
+	if !ok {
+		return nil, fmt.Errorf("confbench: no %q host deployed", kind)
+	}
+	return a, nil
+}
+
+// Pair returns the secure/normal VM pair on the kind host, for
+// in-process classic-workload runs that bypass the network path.
+func (c *Cluster) Pair(kind tee.Kind) (vm.Pair, error) {
+	a, err := c.Agent(kind)
+	if err != nil {
+		return vm.Pair{}, err
+	}
+	return a.Pair(), nil
+}
+
+// Kinds lists the deployed TEE kinds in stable order.
+func (c *Cluster) Kinds() []tee.Kind {
+	out := make([]tee.Kind, 0, len(c.backends))
+	for k := range c.backends {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Catalog returns the workload catalog shared by every VM.
+func (c *Cluster) Catalog() *workloads.Registry { return c.catalog }
+
+// UploadCatalog registers one function per (workload, language) pair
+// under the name "<workload>-<language>", mirroring the paper's
+// cross-language function porting.
+func (c *Cluster) UploadCatalog(languages []string) error {
+	if languages == nil {
+		languages = langs.Names()
+	}
+	for _, w := range c.catalog.Names() {
+		for _, lang := range languages {
+			fn := faas.Function{
+				Name:     w + "-" + lang,
+				Language: lang,
+				Workload: w,
+				Source:   []byte(fmt.Sprintf("// %s implemented in %s", w, lang)),
+			}
+			if err := c.client.Upload(fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TDXAttestation returns the attester and verifier implementing the
+// paper's go-tdx-guest-style DCAP flow for the TDX confidential VM.
+func (c *Cluster) TDXAttestation() (attest.Attester, attest.Verifier, error) {
+	if c.qe == nil || c.pcs == nil {
+		return nil, nil, errors.New("confbench: TDX attestation stack not deployed")
+	}
+	pair, err := c.Pair(tee.KindTDX)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dcap.NewAttester(pair.Secure.Guest(), c.qe), dcap.NewVerifier(c.pcs), nil
+}
+
+// SEVAttestation returns the attester and verifier implementing the
+// paper's snpguest-style flow for the SEV-SNP confidential VM.
+func (c *Cluster) SEVAttestation() (attest.Attester, attest.Verifier, error) {
+	b, err := c.Backend(tee.KindSEV)
+	if err != nil {
+		return nil, nil, err
+	}
+	sevBackend, ok := b.(*sev.Backend)
+	if !ok {
+		return nil, nil, errors.New("confbench: SEV backend has unexpected type")
+	}
+	pair, err := c.Pair(tee.KindSEV)
+	if err != nil {
+		return nil, nil, err
+	}
+	return snp.NewAttester(pair.Secure.Guest()),
+		snp.NewVerifier(sevBackend.SecureProcessor().CertChainCopy()), nil
+}
+
+// PCS exposes the simulated Intel provisioning service (for tests and
+// the attestation example).
+func (c *Cluster) PCS() *dcap.PCS { return c.pcs }
+
+// Close tears the whole deployment down.
+func (c *Cluster) Close() error {
+	var firstErr error
+	if c.gw != nil {
+		if err := c.gw.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	for _, a := range c.agents {
+		if err := a.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.pcs != nil {
+		if err := c.pcs.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"confbench/internal/tee"
+)
+
+func TestDefaultsFillAllThreeTEEs(t *testing.T) {
+	cfg := ClusterConfig{}.withDefaults()
+	if len(cfg.TEEs) != 3 || cfg.Seed == 0 || cfg.GuestMemoryMB == 0 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestUnsupportedTEERejectedAtBoot(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{TEEs: []tee.Kind{tee.Kind("sgx")}}); err == nil {
+		t.Error("unsupported TEE accepted")
+	}
+}
+
+func TestClusterCloseIsIdempotent(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{TEEs: []tee.Kind{tee.KindSEV}, GuestMemoryMB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestGatewayURLAndPools(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{TEEs: []tee.Kind{tee.KindTDX}, GuestMemoryMB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.GatewayURL() == "" {
+		t.Error("no gateway URL")
+	}
+	pools, err := c.Client().Pools()
+	if err != nil || len(pools) != 1 || pools[0].TEE != tee.KindTDX {
+		t.Errorf("pools = %+v, %v", pools, err)
+	}
+}
+
+func TestLeastLoadedConfig(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{TEEs: []tee.Kind{tee.KindTDX}, LeastLoaded: true, GuestMemoryMB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	pools, err := c.Client().Pools()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pools[0].Policy != "least-loaded" {
+		t.Errorf("policy = %s", pools[0].Policy)
+	}
+}
+
+func TestUploadCatalogAndDuplicates(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{TEEs: []tee.Kind{tee.KindSEV}, GuestMemoryMB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.UploadCatalog([]string{"go"}); err != nil {
+		t.Fatal(err)
+	}
+	// A second pass collides with the already-registered names.
+	if err := c.UploadCatalog([]string{"go"}); err == nil {
+		t.Error("duplicate catalog upload accepted")
+	}
+	// Unknown language surfaces the gateway's rejection.
+	if err := c.UploadCatalog([]string{"cobol"}); err == nil {
+		t.Error("unknown language accepted")
+	}
+}
+
+func TestPairUnknownKind(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{TEEs: []tee.Kind{tee.KindSEV}, GuestMemoryMB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Pair(tee.KindTDX); err == nil {
+		t.Error("pair for undeployed kind should fail")
+	}
+	if _, err := c.Agent(tee.KindCCA); err == nil {
+		t.Error("agent for undeployed kind should fail")
+	}
+}

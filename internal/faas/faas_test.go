@@ -1,0 +1,89 @@
+package faas
+
+import (
+	"errors"
+	"testing"
+)
+
+func validFn() Function {
+	return Function{Name: "f", Language: "python", Workload: "cpustress"}
+}
+
+func TestFunctionValidate(t *testing.T) {
+	if err := validFn().Validate(); err != nil {
+		t.Errorf("valid function rejected: %v", err)
+	}
+	bad := []Function{
+		{},
+		{Name: "f"},
+		{Name: "f", Language: "go"},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestDBRegisterLookup(t *testing.T) {
+	db := NewDB([]string{"python", "go"})
+	if err := db.Register(validFn()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := db.Lookup("f")
+	if err != nil || f.Workload != "cpustress" {
+		t.Errorf("lookup = %+v, %v", f, err)
+	}
+}
+
+func TestDBRejectsDuplicate(t *testing.T) {
+	db := NewDB([]string{"python"})
+	if err := db.Register(validFn()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register(validFn()); !errors.Is(err, ErrFunctionExists) {
+		t.Errorf("duplicate register: %v", err)
+	}
+}
+
+func TestDBRejectsUnknownLanguage(t *testing.T) {
+	db := NewDB([]string{"go"})
+	if err := db.Register(validFn()); !errors.Is(err, ErrLanguageUnknown) {
+		t.Errorf("unknown language: %v", err)
+	}
+}
+
+func TestDBRemove(t *testing.T) {
+	db := NewDB([]string{"python"})
+	_ = db.Register(validFn())
+	if err := db.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Lookup("f"); !errors.Is(err, ErrFunctionNotFound) {
+		t.Errorf("lookup after remove: %v", err)
+	}
+	if err := db.Remove("f"); !errors.Is(err, ErrFunctionNotFound) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestDBNamesSorted(t *testing.T) {
+	db := NewDB([]string{"go"})
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := db.Register(Function{Name: n, Language: "go", Workload: "w"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := db.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestDBLanguages(t *testing.T) {
+	db := NewDB([]string{"ruby", "go"})
+	langs := db.Languages()
+	if len(langs) != 2 || langs[0] != "go" || langs[1] != "ruby" {
+		t.Errorf("languages = %v", langs)
+	}
+}

@@ -1,0 +1,243 @@
+package langs
+
+import (
+	"testing"
+
+	"confbench/internal/faas"
+	"confbench/internal/meter"
+	"confbench/internal/tee"
+	"confbench/internal/workloads"
+)
+
+func TestSevenLanguages(t *testing.T) {
+	names := Names()
+	if len(names) != 7 {
+		t.Fatalf("got %d languages, the paper evaluates 7", len(names))
+	}
+	want := map[string]bool{
+		LangPython: true, LangNode: true, LangRuby: true, LangLua: true,
+		LangLuaJIT: true, LangGo: true, LangWasm: true,
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected language %q", n)
+		}
+	}
+}
+
+func TestPaperVersions(t *testing.T) {
+	// Spot-check the per-platform versions from §IV-B.
+	p, err := ProfileFor(LangPython)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Version(tee.KindTDX) != "3.12.3" || p.Version(tee.KindSEV) != "3.10.12" || p.Version(tee.KindCCA) != "3.11.8" {
+		t.Errorf("python versions = %v", p.Versions)
+	}
+	node, _ := ProfileFor(LangNode)
+	if node.Version(tee.KindCCA) != "20.12.2" {
+		t.Errorf("node CCA version = %s", node.Version(tee.KindCCA))
+	}
+	// Unknown platform falls back to TDX.
+	if p.Version(tee.KindNone) != "3.12.3" {
+		t.Errorf("fallback version = %s", p.Version(tee.KindNone))
+	}
+}
+
+func TestProfileForUnknown(t *testing.T) {
+	if _, err := ProfileFor("perl"); err == nil {
+		t.Error("unknown language accepted")
+	}
+}
+
+func TestHeavierRuntimesWeighMore(t *testing.T) {
+	py, _ := ProfileFor(LangPython)
+	lua, _ := ProfileFor(LangLua)
+	goP, _ := ProfileFor(LangGo)
+	if py.InterpFactor <= lua.InterpFactor {
+		t.Error("python should interpret slower than lua")
+	}
+	if lua.InterpFactor <= goP.InterpFactor {
+		t.Error("lua should interpret slower than go")
+	}
+	if py.WorkingSetMB <= lua.WorkingSetMB {
+		t.Error("python working set should exceed lua's")
+	}
+	if py.AllocPerOp <= goP.AllocPerOp {
+		t.Error("python boxes more than go")
+	}
+}
+
+func TestAmplifyScalesWork(t *testing.T) {
+	raw := meter.Usage{
+		meter.CPUOps:         1_000_000,
+		meter.FPOps:          500_000,
+		meter.BytesAllocated: 1 << 20,
+		meter.Syscalls:       100,
+	}
+	py, _ := ProfileFor(LangPython)
+	goP, _ := ProfileFor(LangGo)
+	pyAmp := Amplify(py, raw)
+	goAmp := Amplify(goP, raw)
+	if pyAmp.Get(meter.CPUOps) <= goAmp.Get(meter.CPUOps) {
+		t.Error("python CPU amplification should exceed go's")
+	}
+	if pyAmp.Get(meter.BytesAllocated) <= goAmp.Get(meter.BytesAllocated) {
+		t.Error("python allocation amplification should exceed go's")
+	}
+	if pyAmp.Get(meter.BytesTouched) <= goAmp.Get(meter.BytesTouched) {
+		t.Error("python memory traffic should exceed go's")
+	}
+	if pyAmp.Get(meter.PageFaults) <= goAmp.Get(meter.PageFaults) {
+		t.Error("python fresh-page faults should exceed go's")
+	}
+	// Amplification must never lose the original I/O traffic.
+	if pyAmp.Get(meter.Syscalls) < raw.Get(meter.Syscalls) {
+		t.Error("amplified syscalls below raw")
+	}
+}
+
+func TestBootstrapUsageReflectsWorkingSet(t *testing.T) {
+	py, _ := ProfileFor(LangPython)
+	lua, _ := ProfileFor(LangLua)
+	if BootstrapUsage(py).Get(meter.BytesTouched) <= BootstrapUsage(lua).Get(meter.BytesTouched) {
+		t.Error("python bootstrap should touch more memory than lua")
+	}
+}
+
+func TestRuntimeLauncherRuns(t *testing.T) {
+	catalog := workloads.Default()
+	l, err := NewRuntimeLauncher(LangPython, tee.KindTDX, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Language() != LangPython || l.Version() != "3.12.3" {
+		t.Errorf("launcher metadata: %s %s", l.Language(), l.Version())
+	}
+	res, err := l.Launch(faas.Function{Name: "f", Language: LangPython, Workload: "factors"}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output == "" {
+		t.Error("empty output")
+	}
+	if res.RunUsage.Get(meter.CPUOps) == 0 {
+		t.Error("no usage recorded")
+	}
+	if res.BootstrapUsage.Get(meter.BytesTouched) == 0 {
+		t.Error("no bootstrap usage recorded")
+	}
+}
+
+func TestRuntimeLauncherRejectsWrongLanguage(t *testing.T) {
+	l, _ := NewRuntimeLauncher(LangPython, tee.KindTDX, nil)
+	if _, err := l.Launch(faas.Function{Name: "f", Language: LangGo, Workload: "factors"}, 1); err == nil {
+		t.Error("wrong-language function accepted")
+	}
+}
+
+func TestRuntimeLauncherUsesDefaultScale(t *testing.T) {
+	l, _ := NewRuntimeLauncher(LangGo, tee.KindTDX, nil)
+	res, err := l.Launch(faas.Function{Name: "f", Language: LangGo, Workload: "fib"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "fib(22)=17711" { // catalog default scale is 22
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestWasmLauncherRunsBytecode(t *testing.T) {
+	wl, err := NewWasmLauncher(tee.KindTDX, workloads.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wl.HasBytecode("cpustress") || !wl.HasBytecode("fib") || !wl.HasBytecode("primes") {
+		t.Error("expected bytecode mappings missing")
+	}
+	if wl.HasBytecode("logging") {
+		t.Error("logging should not have bytecode")
+	}
+	res, err := wl.Launch(faas.Function{Name: "f", Language: LangWasm, Workload: "fib"}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "fib(15) = 610" {
+		t.Errorf("wasm fib output = %q", res.Output)
+	}
+	if res.RunUsage.Get(meter.CPUOps) == 0 || res.RunUsage.Get(meter.BytesTouched) == 0 {
+		t.Error("wasm run usage empty")
+	}
+}
+
+func TestWasmLauncherFallsBack(t *testing.T) {
+	wl, err := NewWasmLauncher(tee.KindTDX, workloads.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wl.Launch(faas.Function{Name: "f", Language: LangWasm, Workload: "logging"}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output == "" || res.RunUsage.Get(meter.LogLines) == 0 {
+		t.Errorf("fallback run incomplete: %q %v", res.Output, res.RunUsage)
+	}
+}
+
+func TestWasmLauncherClampsScale(t *testing.T) {
+	wl, _ := NewWasmLauncher(tee.KindTDX, workloads.Default())
+	// A huge fib argument must be clamped, not hang.
+	res, err := wl.Launch(faas.Function{Name: "f", Language: LangWasm, Workload: "fib"}, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output == "" {
+		t.Error("clamped run failed")
+	}
+}
+
+func TestNewAllLaunchers(t *testing.T) {
+	ls, err := NewAllLaunchers(tee.KindSEV, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 7 {
+		t.Fatalf("got %d launchers", len(ls))
+	}
+	for lang, l := range ls {
+		if l.Language() != lang {
+			t.Errorf("launcher %q reports language %q", lang, l.Language())
+		}
+	}
+	if _, ok := ls[LangWasm].(*WasmLauncher); !ok {
+		t.Error("wasm launcher is not the bytecode one")
+	}
+}
+
+func TestLaunchersProduceEqualOutputsAcrossLanguages(t *testing.T) {
+	// The paper stresses a "common output across the diverse languages,
+	// easing the comparison efforts": every launcher must compute the
+	// same function result (Wasm bytecode paths excepted, they report
+	// raw VM results).
+	ls, err := NewAllLaunchers(tee.KindTDX, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fnFor := func(lang string) faas.Function {
+		return faas.Function{Name: "f", Language: lang, Workload: "factors"}
+	}
+	want := ""
+	for _, lang := range []string{LangGo, LangPython, LangRuby, LangLua, LangLuaJIT, LangNode} {
+		res, err := ls[lang].Launch(fnFor(lang), 5040)
+		if err != nil {
+			t.Fatalf("%s: %v", lang, err)
+		}
+		if want == "" {
+			want = res.Output
+			continue
+		}
+		if res.Output != want {
+			t.Errorf("%s output %q != %q", lang, res.Output, want)
+		}
+	}
+}

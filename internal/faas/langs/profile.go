@@ -1,0 +1,180 @@
+// Package langs implements ConfBench's per-language function
+// launchers for the seven runtimes the paper evaluates: Python,
+// Node.js, Ruby, Lua, LuaJIT, Go, and Wasm (Wasmi).
+//
+// Each launcher executes the function's catalog workload for real and
+// then amplifies the metered usage according to the runtime's weight:
+// interpretation overhead multiplies CPU work, boxed object models
+// multiply allocation, GC adds memory traffic proportional to
+// allocation, and the resident working set adds per-invocation memory
+// touches and page faults. The weights are what make heavier runtimes
+// (Python, Node.js) show larger TEE overhead ratios than lightweight
+// ones (Lua, LuaJIT, Go), as the paper observes: the amplified memory
+// traffic is exactly what memory encryption and integrity checking
+// make more expensive inside a confidential VM.
+//
+// The Wasm launcher is special: for workloads with a compiled
+// equivalent it executes real bytecode on internal/wasmvm and converts
+// the VM's instruction/memory statistics into meter counters.
+package langs
+
+import (
+	"fmt"
+	"sort"
+
+	"confbench/internal/tee"
+)
+
+// Language keys as the gateway exposes them.
+const (
+	LangPython = "python"
+	LangNode   = "node"
+	LangRuby   = "ruby"
+	LangLua    = "lua"
+	LangLuaJIT = "luajit"
+	LangGo     = "go"
+	LangWasm   = "wasm"
+)
+
+// Profile quantifies a language runtime's execution weight.
+type Profile struct {
+	// Name is the language key.
+	Name string
+	// Versions maps TEE platform to the runtime version used on it
+	// (the paper ran slightly different versions per test bed).
+	Versions map[tee.Kind]string
+	// StartupNs is the runtime bootstrap cost (excluded from the
+	// paper's timings but reported by launchers).
+	StartupNs float64
+	// InterpFactor multiplies the workload's integer CPU work.
+	InterpFactor float64
+	// FPFactor multiplies the workload's floating-point work.
+	FPFactor float64
+	// AllocFactor multiplies allocated bytes (boxing, object headers).
+	AllocFactor float64
+	// TouchPerOp adds bytes of memory traffic per original CPU op
+	// (bytecode dispatch tables, boxed operand access).
+	TouchPerOp float64
+	// AllocPerOp adds heap bytes allocated per original CPU op (boxed
+	// ints/floats, call frames). Together with TouchPerOp this is the
+	// dominant source of per-language TEE overhead differences: boxed
+	// allocation churns fresh pages, which confidential VMs must
+	// accept/validate.
+	AllocPerOp float64
+	// GCShare adds touched bytes proportional to allocated bytes
+	// (mark/sweep traffic).
+	GCShare float64
+	// WorkingSetMB is the resident runtime footprint.
+	WorkingSetMB int
+	// ResidencyTouch is the fraction of the working set touched per
+	// invocation.
+	ResidencyTouch float64
+	// SyscallAmp multiplies syscall counts (runtime bookkeeping I/O).
+	SyscallAmp float64
+}
+
+// Version returns the runtime version for platform k, falling back to
+// the TDX entry when the platform is not listed.
+func (p Profile) Version(k tee.Kind) string {
+	if v, ok := p.Versions[k]; ok {
+		return v
+	}
+	return p.Versions[tee.KindTDX]
+}
+
+// Profiles returns the seven paper runtimes keyed by language.
+// Versions follow §IV-B of the paper.
+func Profiles() map[string]Profile {
+	return map[string]Profile{
+		LangPython: {
+			Name: LangPython,
+			Versions: map[tee.Kind]string{
+				tee.KindTDX: "3.12.3", tee.KindSEV: "3.10.12", tee.KindCCA: "3.11.8",
+			},
+			StartupNs:    38e6,
+			InterpFactor: 34, FPFactor: 28,
+			AllocFactor: 6.0, TouchPerOp: 46, AllocPerOp: 58, GCShare: 0.85,
+			WorkingSetMB: 55, ResidencyTouch: 0.05, SyscallAmp: 1.35,
+		},
+		LangNode: {
+			Name: LangNode,
+			Versions: map[tee.Kind]string{
+				tee.KindTDX: "22.2.0", tee.KindSEV: "22.2.0", tee.KindCCA: "20.12.2",
+			},
+			StartupNs:    92e6,
+			InterpFactor: 2.9, FPFactor: 2.1,
+			AllocFactor: 4.6, TouchPerOp: 14, AllocPerOp: 11, GCShare: 1.25,
+			WorkingSetMB: 110, ResidencyTouch: 0.04, SyscallAmp: 1.40,
+		},
+		LangRuby: {
+			Name: LangRuby,
+			Versions: map[tee.Kind]string{
+				tee.KindTDX: "3.2", tee.KindSEV: "3.0", tee.KindCCA: "3.3",
+			},
+			StartupNs:    55e6,
+			InterpFactor: 31, FPFactor: 27,
+			AllocFactor: 7.2, TouchPerOp: 42, AllocPerOp: 50, GCShare: 1.0,
+			WorkingSetMB: 45, ResidencyTouch: 0.05, SyscallAmp: 1.30,
+		},
+		LangLua: {
+			Name: LangLua,
+			Versions: map[tee.Kind]string{
+				tee.KindTDX: "5.4.6", tee.KindSEV: "5.4.6", tee.KindCCA: "5.4.6",
+			},
+			StartupNs:    4e6,
+			InterpFactor: 17, FPFactor: 13,
+			AllocFactor: 2.4, TouchPerOp: 20, AllocPerOp: 16, GCShare: 0.40,
+			WorkingSetMB: 4, ResidencyTouch: 0.12, SyscallAmp: 1.05,
+		},
+		LangLuaJIT: {
+			Name: LangLuaJIT,
+			Versions: map[tee.Kind]string{
+				tee.KindTDX: "2.1", tee.KindSEV: "2.1", tee.KindCCA: "2.1",
+			},
+			StartupNs:    6e6,
+			InterpFactor: 1.9, FPFactor: 1.5,
+			AllocFactor: 2.0, TouchPerOp: 5, AllocPerOp: 1.5, GCShare: 0.30,
+			WorkingSetMB: 8, ResidencyTouch: 0.08, SyscallAmp: 1.05,
+		},
+		LangGo: {
+			Name: LangGo,
+			Versions: map[tee.Kind]string{
+				tee.KindTDX: "1.20.3", tee.KindSEV: "1.20.3", tee.KindCCA: "1.20.3",
+			},
+			StartupNs:    2.5e6,
+			InterpFactor: 1.0, FPFactor: 1.0,
+			AllocFactor: 1.0, TouchPerOp: 1.5, AllocPerOp: 0.6, GCShare: 0.25,
+			WorkingSetMB: 12, ResidencyTouch: 0.05, SyscallAmp: 1.0,
+		},
+		LangWasm: {
+			Name: LangWasm,
+			Versions: map[tee.Kind]string{
+				tee.KindTDX: "wasmi-0.32", tee.KindSEV: "wasmi-0.32", tee.KindCCA: "wasmi-0.32",
+			},
+			StartupNs:    9e6,
+			InterpFactor: 5.5, FPFactor: 7.0,
+			AllocFactor: 1.4, TouchPerOp: 9, AllocPerOp: 0.4, GCShare: 0,
+			WorkingSetMB: 6, ResidencyTouch: 0.06, SyscallAmp: 1.0,
+		},
+	}
+}
+
+// Names returns the language keys in sorted order.
+func Names() []string {
+	ps := Profiles()
+	out := make([]string, 0, len(ps))
+	for n := range ps {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProfileFor resolves one language profile.
+func ProfileFor(lang string) (Profile, error) {
+	p, ok := Profiles()[lang]
+	if !ok {
+		return Profile{}, fmt.Errorf("langs: unknown language %q", lang)
+	}
+	return p, nil
+}

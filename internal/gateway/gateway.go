@@ -1,0 +1,361 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"confbench/internal/api"
+	"confbench/internal/faas"
+	"confbench/internal/faas/langs"
+	"confbench/internal/hostagent"
+	"confbench/internal/tee"
+)
+
+// Gateway is ConfBench's REST entry point.
+type Gateway struct {
+	db            *faas.DB
+	client        *http.Client
+	policyFactory func() Policy
+
+	mu    sync.RWMutex
+	pools map[tee.Kind]*Pool
+
+	server   *http.Server
+	listener net.Listener
+	baseURL  string
+	started  time.Time
+
+	invocations  atomic.Uint64
+	errors       atomic.Uint64
+	attestations atomic.Uint64
+	perPool      sync.Map // tee.Kind → *atomic.Uint64
+}
+
+// countError bumps the error counter and writes the envelope.
+func (g *Gateway) countError(w http.ResponseWriter, status int, err error) {
+	g.errors.Add(1)
+	api.WriteError(w, status, err)
+}
+
+// poolCounter returns the invocation counter for kind.
+func (g *Gateway) poolCounter(kind tee.Kind) *atomic.Uint64 {
+	if v, ok := g.perPool.Load(kind); ok {
+		counter, ok := v.(*atomic.Uint64)
+		if ok {
+			return counter
+		}
+	}
+	counter := &atomic.Uint64{}
+	actual, _ := g.perPool.LoadOrStore(kind, counter)
+	stored, ok := actual.(*atomic.Uint64)
+	if !ok {
+		return counter
+	}
+	return stored
+}
+
+// Config assembles a gateway.
+type Config struct {
+	// Policy is the pool load-balancing policy (nil = round-robin per
+	// pool).
+	Policy func() Policy
+	// Languages restricts the function DB (nil = all seven).
+	Languages []string
+}
+
+// New builds a gateway with empty pools.
+func New(cfg Config) *Gateway {
+	languages := cfg.Languages
+	if languages == nil {
+		languages = langs.Names()
+	}
+	g := &Gateway{
+		db:     faas.NewDB(languages),
+		client: &http.Client{Timeout: 120 * time.Second},
+		pools:  make(map[tee.Kind]*Pool, 4),
+	}
+	g.policyFactory = cfg.Policy
+	return g
+}
+
+// AddHost registers every endpoint of a host agent, creating the TEE
+// pool on first sight. This mirrors the gateway configuration file
+// that "maps TEEs and their interface ports".
+func (g *Gateway) AddHost(name string, eps []hostagent.Endpoint) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, ep := range eps {
+		pool, ok := g.pools[ep.TEE]
+		if !ok {
+			var policy Policy
+			if g.policyFactory != nil {
+				policy = g.policyFactory()
+			}
+			pool = NewPool(ep.TEE, policy)
+			g.pools[ep.TEE] = pool
+		}
+		pool.Add(name, ep)
+	}
+}
+
+// DB exposes the function database.
+func (g *Gateway) DB() *faas.DB { return g.db }
+
+// Start serves the REST API on addr ("127.0.0.1:0" for ephemeral) and
+// returns the base URL.
+func (g *Gateway) Start(addr string) (string, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.listener != nil {
+		return "", errors.New("gateway: already started")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(api.PathFunctions, g.handleFunctions)
+	mux.HandleFunc(api.PathInvoke, g.handleInvoke)
+	mux.HandleFunc(api.PathAttest, g.handleAttest)
+	mux.HandleFunc(api.PathPools, g.handlePools)
+	mux.HandleFunc(api.PathMetrics, g.handleMetrics)
+	mux.HandleFunc(api.PathHealth, func(w http.ResponseWriter, _ *http.Request) {
+		api.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	g.started = time.Now()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("gateway: listen %s: %w", addr, err)
+	}
+	g.listener = ln
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	g.server = srv
+	g.baseURL = "http://" + ln.Addr().String()
+	go func() {
+		_ = srv.Serve(ln) // ErrServerClosed on shutdown
+	}()
+	return g.baseURL, nil
+}
+
+// BaseURL returns the served URL (empty before Start).
+func (g *Gateway) BaseURL() string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.baseURL
+}
+
+// Close shuts the REST server down.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	srv := g.server
+	g.server = nil
+	g.listener = nil
+	g.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+func (g *Gateway) handleFunctions(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req api.UploadRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			g.countError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		if err := g.db.Register(req.Function); err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, faas.ErrFunctionExists) {
+				status = http.StatusConflict
+			}
+			g.countError(w, status, err)
+			return
+		}
+		api.WriteJSON(w, http.StatusOK, map[string]string{"registered": req.Function.Name})
+	case http.MethodGet:
+		api.WriteJSON(w, http.StatusOK, g.db.Names())
+	default:
+		g.countError(w, http.StatusMethodNotAllowed, errors.New("GET or POST required"))
+	}
+}
+
+// pickPool resolves the pool for an invocation. A non-secure request
+// without an explicit TEE runs on any platform's normal VM (stable
+// order for determinism).
+func (g *Gateway) pickPool(kind tee.Kind, secure bool) (*Pool, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if kind != "" {
+		pool, ok := g.pools[kind]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoPool, kind)
+		}
+		return pool, nil
+	}
+	if secure {
+		return nil, errors.New("gateway: secure invocation requires a TEE kind")
+	}
+	kinds := make([]tee.Kind, 0, len(g.pools))
+	for k := range g.pools {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		return g.pools[k], nil
+	}
+	return nil, ErrNoPool
+}
+
+func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		g.countError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req api.InvokeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		g.countError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	fn, err := g.db.Lookup(req.Function)
+	if err != nil {
+		g.countError(w, http.StatusNotFound, err)
+		return
+	}
+	pool, err := g.pickPool(req.TEE, req.Secure)
+	if err != nil {
+		g.countError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, err := pool.Acquire(req.Secure)
+	if err != nil {
+		g.countError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer pool.Release(entry)
+
+	var resp api.InvokeResponse
+	err = g.forward(entry.Endpoint.Addr, api.GuestPathInvoke,
+		api.GuestInvokeRequest{Function: fn, Scale: req.Scale}, &resp)
+	if err != nil {
+		g.countError(w, http.StatusBadGateway, err)
+		return
+	}
+	resp.Host = entry.Host
+	g.invocations.Add(1)
+	g.poolCounter(pool.TEE).Add(1)
+	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gateway) handleAttest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		g.countError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req api.AttestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		g.countError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	pool, err := g.pickPool(req.TEE, true)
+	if err != nil {
+		g.countError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, err := pool.Acquire(true)
+	if err != nil {
+		g.countError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer pool.Release(entry)
+
+	var resp api.AttestResponse
+	if err := g.forward(entry.Endpoint.Addr, api.GuestPathAttest, req, &resp); err != nil {
+		g.countError(w, http.StatusBadGateway, err)
+		return
+	}
+	g.attestations.Add(1)
+	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gateway) handlePools(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		g.countError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	g.mu.RLock()
+	infos := make([]api.PoolInfo, 0, len(g.pools))
+	for _, p := range g.pools {
+		infos = append(infos, api.PoolInfo{
+			TEE:       p.TEE,
+			Endpoints: p.Len(),
+			Policy:    p.PolicyName(),
+			InFlight:  int(p.InFlight()),
+		})
+	}
+	g.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].TEE < infos[j].TEE })
+	api.WriteJSON(w, http.StatusOK, infos)
+}
+
+// handleMetrics serves the gateway's request accounting.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		g.countError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	m := api.Metrics{
+		UptimeSeconds: time.Since(g.started).Seconds(),
+		Invocations:   g.invocations.Load(),
+		Errors:        g.errors.Load(),
+		Attestations:  g.attestations.Load(),
+		PerPool:       make(map[string]uint64),
+	}
+	g.perPool.Range(func(k, v any) bool {
+		kind, okK := k.(tee.Kind)
+		counter, okV := v.(*atomic.Uint64)
+		if okK && okV {
+			m.PerPool[string(kind)] = counter.Load()
+		}
+		return true
+	})
+	api.WriteJSON(w, http.StatusOK, m)
+}
+
+// forward POSTs a JSON payload to a VM endpoint (through the host's
+// relay) and decodes the response.
+func (g *Gateway) forward(addr, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("gateway: marshal forward body: %w", err)
+	}
+	resp, err := g.client.Post("http://"+addr+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("gateway: forward to %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("gateway: read %s response: %w", addr, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e api.ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("gateway: vm %s: %s", addr, e.Error)
+		}
+		return fmt.Errorf("gateway: vm %s: status %d", addr, resp.StatusCode)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("gateway: decode %s response: %w", addr, err)
+	}
+	return nil
+}

@@ -1,0 +1,371 @@
+package gateway
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"confbench/internal/api"
+	"confbench/internal/faas"
+	"confbench/internal/hostagent"
+	"confbench/internal/tee"
+	"confbench/internal/tee/sev"
+	"confbench/internal/tee/tdx"
+)
+
+// testDeployment boots a gateway over TDX and SEV host agents.
+func testDeployment(t *testing.T, policy func() Policy) (*Gateway, *api.Client) {
+	t.Helper()
+	g := New(Config{Policy: policy})
+
+	tdxBackend, err := tdx.NewBackend(tdx.Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdxAgent, err := hostagent.NewAgent(hostagent.AgentConfig{
+		Name: "tdx-host", Backend: tdxBackend, Guest: tee.GuestConfig{MemoryMB: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tdxAgent.Close() })
+
+	sevBackend, err := sev.NewBackend(sev.Options{Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sevAgent, err := hostagent.NewAgent(hostagent.AgentConfig{
+		Name: "sev-host", Backend: sevBackend, Guest: tee.GuestConfig{MemoryMB: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sevAgent.Close() })
+
+	g.AddHost("tdx-host", tdxAgent.Endpoints())
+	g.AddHost("sev-host", sevAgent.Endpoints())
+	url, err := g.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = g.Close() })
+	return g, api.NewClient(url)
+}
+
+func uploadFn(t *testing.T, c *api.Client, name, lang, workload string) {
+	t.Helper()
+	if err := c.Upload(faas.Function{Name: name, Language: lang, Workload: workload}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndInvoke(t *testing.T) {
+	_, client := testDeployment(t, nil)
+	if err := client.Health(); err != nil {
+		t.Fatal(err)
+	}
+	uploadFn(t, client, "hot", "python", "cpustress")
+
+	resp, err := client.Invoke(api.InvokeRequest{Function: "hot", Secure: true, TEE: tee.KindTDX, Scale: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Secure || resp.Platform != tee.KindTDX || resp.Host != "tdx-host" {
+		t.Errorf("response = %+v", resp)
+	}
+	if resp.Wall() <= 0 || resp.Output == "" {
+		t.Errorf("missing result data: %+v", resp)
+	}
+
+	normal, err := client.Invoke(api.InvokeRequest{Function: "hot", Secure: false, TEE: tee.KindSEV, Scale: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normal.Secure || normal.Platform != tee.KindNone {
+		t.Errorf("normal response = %+v", normal)
+	}
+}
+
+func TestInvokeWithoutTEEUsesAnyNormalPool(t *testing.T) {
+	_, client := testDeployment(t, nil)
+	uploadFn(t, client, "fn", "go", "factors")
+	resp, err := client.Invoke(api.InvokeRequest{Function: "fn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Secure {
+		t.Error("defaulted to a secure VM")
+	}
+}
+
+func TestSecureWithoutTEERejected(t *testing.T) {
+	_, client := testDeployment(t, nil)
+	uploadFn(t, client, "fn", "go", "factors")
+	if _, err := client.Invoke(api.InvokeRequest{Function: "fn", Secure: true}); err == nil {
+		t.Error("secure invoke without TEE kind accepted")
+	}
+}
+
+func TestInvokeUnknownFunction(t *testing.T) {
+	_, client := testDeployment(t, nil)
+	if _, err := client.Invoke(api.InvokeRequest{Function: "ghost", TEE: tee.KindTDX}); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestInvokeUnknownTEE(t *testing.T) {
+	_, client := testDeployment(t, nil)
+	uploadFn(t, client, "fn", "go", "factors")
+	if _, err := client.Invoke(api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindCCA}); err == nil {
+		t.Error("unregistered TEE accepted")
+	}
+}
+
+func TestUploadValidation(t *testing.T) {
+	_, client := testDeployment(t, nil)
+	if err := client.Upload(faas.Function{Name: "x", Language: "cobol", Workload: "w"}); err == nil {
+		t.Error("unknown language accepted")
+	}
+	uploadFn(t, client, "dup", "go", "factors")
+	err := client.Upload(faas.Function{Name: "dup", Language: "go", Workload: "factors"})
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate upload: %v", err)
+	}
+}
+
+func TestFunctionListing(t *testing.T) {
+	_, client := testDeployment(t, nil)
+	uploadFn(t, client, "b-fn", "go", "factors")
+	uploadFn(t, client, "a-fn", "lua", "fib")
+	names, err := client.Functions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a-fn" || names[1] != "b-fn" {
+		t.Errorf("functions = %v", names)
+	}
+}
+
+func TestPoolsEndpoint(t *testing.T) {
+	_, client := testDeployment(t, nil)
+	pools, err := client.Pools()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pools) != 2 {
+		t.Fatalf("pools = %+v", pools)
+	}
+	for _, p := range pools {
+		if p.Endpoints != 2 {
+			t.Errorf("pool %s endpoints = %d", p.TEE, p.Endpoints)
+		}
+		if p.Policy != "round-robin" {
+			t.Errorf("pool %s policy = %s", p.TEE, p.Policy)
+		}
+	}
+}
+
+func TestAttestViaGateway(t *testing.T) {
+	_, client := testDeployment(t, nil)
+	resp, err := client.Attest(api.AttestRequest{TEE: tee.KindSEV, Nonce: []byte("n")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Evidence) == 0 {
+		t.Error("no evidence returned")
+	}
+}
+
+func TestConcurrentInvocations(t *testing.T) {
+	_, client := testDeployment(t, nil)
+	uploadFn(t, client, "fn", "go", "factors")
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := client.Invoke(api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX, Scale: 1000})
+			if err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestRoundRobinPolicy(t *testing.T) {
+	rr := &RoundRobin{}
+	entries := []*Entry{{Host: "a"}, {Host: "b"}, {Host: "c"}}
+	seen := map[int]int{}
+	for i := 0; i < 9; i++ {
+		seen[rr.Pick(entries)]++
+	}
+	for i := range entries {
+		if seen[i] != 3 {
+			t.Errorf("entry %d picked %d times", i, seen[i])
+		}
+	}
+}
+
+func TestLeastLoadedPolicy(t *testing.T) {
+	ll := LeastLoaded{}
+	entries := []*Entry{{Host: "a"}, {Host: "b"}, {Host: "c"}}
+	entries[0].inFlight.Store(5)
+	entries[2].inFlight.Store(3)
+	if got := ll.Pick(entries); got != 1 {
+		t.Errorf("picked %d, want 1 (zero load)", got)
+	}
+	entries[1].inFlight.Store(9)
+	if got := ll.Pick(entries); got != 2 {
+		t.Errorf("picked %d, want 2 (load 3)", got)
+	}
+}
+
+func TestPoolAcquireRelease(t *testing.T) {
+	p := NewPool(tee.KindTDX, nil)
+	p.Add("h", hostagent.Endpoint{Addr: "1.2.3.4:1", Secure: true, TEE: tee.KindTDX})
+	p.Add("h", hostagent.Endpoint{Addr: "1.2.3.4:2", Secure: false, TEE: tee.KindTDX})
+
+	e, err := p.Acquire(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Endpoint.Secure {
+		t.Error("acquired wrong endpoint")
+	}
+	if p.InFlight() != 1 {
+		t.Errorf("in-flight = %d", p.InFlight())
+	}
+	p.Release(e)
+	if p.InFlight() != 0 {
+		t.Errorf("in-flight after release = %d", p.InFlight())
+	}
+	p.Release(nil) // must not panic
+}
+
+func TestPoolAcquireNoMatch(t *testing.T) {
+	p := NewPool(tee.KindTDX, nil)
+	p.Add("h", hostagent.Endpoint{Addr: "x", Secure: false, TEE: tee.KindTDX})
+	if _, err := p.Acquire(true); err == nil {
+		t.Error("no secure endpoint but Acquire succeeded")
+	}
+}
+
+func TestLeastLoadedGatewayConfig(t *testing.T) {
+	_, client := testDeployment(t, func() Policy { return LeastLoaded{} })
+	pools, err := client.Pools()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pools {
+		if p.Policy != "least-loaded" {
+			t.Errorf("policy = %s", p.Policy)
+		}
+	}
+}
+
+func TestGatewayDoubleStartFails(t *testing.T) {
+	g := New(Config{})
+	if _, err := g.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := g.Start("127.0.0.1:0"); err == nil {
+		t.Error("second Start should fail")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, client := testDeployment(t, nil)
+	uploadFn(t, client, "fn", "go", "factors")
+	for i := 0; i < 3; i++ {
+		if _, err := client.Invoke(api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX, Scale: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Invoke(api.InvokeRequest{Function: "fn", Secure: false, TEE: tee.KindSEV, Scale: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Invoke(api.InvokeRequest{Function: "ghost", TEE: tee.KindTDX}); err == nil {
+		t.Fatal("expected error for unknown function")
+	}
+	if _, err := client.Attest(api.AttestRequest{TEE: tee.KindSEV, Nonce: []byte("n")}); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Invocations != 4 {
+		t.Errorf("invocations = %d, want 4", m.Invocations)
+	}
+	if m.Errors == 0 {
+		t.Error("errors not counted")
+	}
+	if m.Attestations != 1 {
+		t.Errorf("attestations = %d", m.Attestations)
+	}
+	if m.PerPool["tdx"] != 3 || m.PerPool["sev-snp"] != 1 {
+		t.Errorf("per-pool = %v", m.PerPool)
+	}
+	if m.UptimeSeconds <= 0 {
+		t.Error("uptime missing")
+	}
+}
+
+func TestInvokeDeadEndpointSurfacesBadGateway(t *testing.T) {
+	// A pool whose endpoint points at a dead address must fail with a
+	// gateway error, not hang or panic — the paper's hosts can go away.
+	g := New(Config{})
+	g.AddHost("ghost-host", []hostagent.Endpoint{{
+		Addr: "127.0.0.1:1", Secure: true, TEE: tee.KindTDX, VMName: "ghost",
+	}})
+	url, err := g.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	client := api.NewClient(url)
+	uploadFn(t, client, "fn", "go", "factors")
+	_, err = client.Invoke(api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX})
+	if err == nil || !strings.Contains(err.Error(), "502") {
+		t.Errorf("dead endpoint error = %v", err)
+	}
+	m, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Errors == 0 || m.Invocations != 0 {
+		t.Errorf("metrics after failure = %+v", m)
+	}
+}
+
+func TestInFlightReleasedOnFailure(t *testing.T) {
+	g := New(Config{})
+	g.AddHost("ghost-host", []hostagent.Endpoint{{
+		Addr: "127.0.0.1:1", Secure: true, TEE: tee.KindTDX,
+	}})
+	url, err := g.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	client := api.NewClient(url)
+	uploadFn(t, client, "fn", "go", "factors")
+	for i := 0; i < 3; i++ {
+		_, _ = client.Invoke(api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX})
+	}
+	pools, err := client.Pools()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pools[0].InFlight != 0 {
+		t.Errorf("in-flight leaked: %+v", pools[0])
+	}
+}

@@ -1,0 +1,152 @@
+// Package gateway implements ConfBench's entry point: the REST server
+// that receives workload submissions and execution requests,
+// dispatches them to TEE-enabled hosts, and returns results with the
+// piggybacked perf metrics (§III).
+//
+// The gateway keeps a database of available functions per supported
+// language, a configuration mapping TEEs to host endpoints, and "TEE
+// pools" that load-balance workload requests across hosts of the same
+// platform, with a pluggable policy (round-robin or least-loaded) that
+// cloud providers would adjust to their needs (§III-A).
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"confbench/internal/hostagent"
+	"confbench/internal/tee"
+)
+
+// Pool errors.
+var (
+	ErrNoEndpoint = errors.New("gateway: no endpoint available")
+	ErrNoPool     = errors.New("gateway: no pool for TEE")
+)
+
+// Entry is one VM endpoint inside a pool, with its in-flight counter.
+type Entry struct {
+	Host     string
+	Endpoint hostagent.Endpoint
+	inFlight atomic.Int64
+}
+
+// InFlight returns the endpoint's current in-flight request count.
+func (e *Entry) InFlight() int64 { return e.inFlight.Load() }
+
+// Policy selects an endpoint from a candidate set.
+type Policy interface {
+	// Name identifies the policy in GET /pools output.
+	Name() string
+	// Pick returns the index of the chosen candidate (candidates is
+	// never empty).
+	Pick(candidates []*Entry) int
+}
+
+// RoundRobin cycles through endpoints.
+type RoundRobin struct {
+	counter atomic.Uint64
+}
+
+var _ Policy = (*RoundRobin)(nil)
+
+// Name implements Policy.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (r *RoundRobin) Pick(candidates []*Entry) int {
+	return int(r.counter.Add(1)-1) % len(candidates)
+}
+
+// LeastLoaded picks the endpoint with the fewest in-flight requests.
+type LeastLoaded struct{}
+
+var _ Policy = (*LeastLoaded)(nil)
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Policy.
+func (LeastLoaded) Pick(candidates []*Entry) int {
+	best := 0
+	bestLoad := candidates[0].InFlight()
+	for i := 1; i < len(candidates); i++ {
+		if load := candidates[i].InFlight(); load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// Pool groups the endpoints of one TEE platform.
+type Pool struct {
+	TEE    tee.Kind
+	policy Policy
+
+	mu      sync.RWMutex
+	entries []*Entry
+}
+
+// NewPool builds a pool with the given policy (nil = round-robin).
+func NewPool(kind tee.Kind, policy Policy) *Pool {
+	if policy == nil {
+		policy = &RoundRobin{}
+	}
+	return &Pool{TEE: kind, policy: policy}
+}
+
+// Add registers an endpoint.
+func (p *Pool) Add(host string, ep hostagent.Endpoint) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries = append(p.entries, &Entry{Host: host, Endpoint: ep})
+}
+
+// Len returns the endpoint count.
+func (p *Pool) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.entries)
+}
+
+// InFlight sums in-flight requests across the pool.
+func (p *Pool) InFlight() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var total int64
+	for _, e := range p.entries {
+		total += e.InFlight()
+	}
+	return total
+}
+
+// PolicyName returns the load-balancing policy label.
+func (p *Pool) PolicyName() string { return p.policy.Name() }
+
+// Acquire picks an endpoint matching secure, incrementing its
+// in-flight counter. Callers must Release it.
+func (p *Pool) Acquire(secure bool) (*Entry, error) {
+	p.mu.RLock()
+	candidates := make([]*Entry, 0, len(p.entries))
+	for _, e := range p.entries {
+		if e.Endpoint.Secure == secure {
+			candidates = append(candidates, e)
+		}
+	}
+	p.mu.RUnlock()
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("%w: %s secure=%v", ErrNoEndpoint, p.TEE, secure)
+	}
+	e := candidates[p.policy.Pick(candidates)]
+	e.inFlight.Add(1)
+	return e, nil
+}
+
+// Release returns an acquired endpoint.
+func (p *Pool) Release(e *Entry) {
+	if e != nil {
+		e.inFlight.Add(-1)
+	}
+}

@@ -1,0 +1,141 @@
+package hostagent
+
+import (
+	"fmt"
+
+	"confbench/internal/relay"
+	"confbench/internal/tee"
+	"confbench/internal/vm"
+	"confbench/internal/workloads"
+)
+
+// Endpoint is one VM reachable through the host's port relays.
+type Endpoint struct {
+	// Addr is the relayed host:port the gateway dials.
+	Addr string `json:"addr"`
+	// Secure reports whether the VM behind it is confidential.
+	Secure bool `json:"secure"`
+	// TEE is the platform kind.
+	TEE tee.Kind `json:"tee"`
+	// VMName labels the backing VM.
+	VMName string `json:"vm"`
+}
+
+// Agent is one TEE-enabled host: it owns the secure/normal VM pair,
+// their in-VM guest agents, and the socat-style relays exposing them.
+type Agent struct {
+	name    string
+	backend tee.Backend
+	pair    vm.Pair
+	guests  []*GuestServer
+	relays  []*relay.Relay
+	eps     []Endpoint
+}
+
+// AgentConfig assembles a host agent.
+type AgentConfig struct {
+	// Name labels the host.
+	Name string
+	// Backend is the host's TEE platform.
+	Backend tee.Backend
+	// Guest configures the VM pair.
+	Guest tee.GuestConfig
+	// Catalog backs the VMs' launchers (nil = default).
+	Catalog *workloads.Registry
+}
+
+// NewAgent boots a host: launches the VM pair, starts a guest agent in
+// each, and wires one relay per VM.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("hostagent: nil backend")
+	}
+	if cfg.Name == "" {
+		cfg.Name = string(cfg.Backend.Kind()) + "-host"
+	}
+	if cfg.Guest.Name == "" {
+		cfg.Guest.Name = cfg.Name
+	}
+	pair, err := vm.NewPair(cfg.Backend, cfg.Guest, cfg.Catalog)
+	if err != nil {
+		return nil, fmt.Errorf("hostagent: %s: %w", cfg.Name, err)
+	}
+	a := &Agent{name: cfg.Name, backend: cfg.Backend, pair: pair}
+	for _, machine := range []*vm.VM{pair.Secure, pair.Normal} {
+		gs, err := NewGuestServer(machine)
+		if err != nil {
+			_ = a.Close()
+			return nil, err
+		}
+		a.guests = append(a.guests, gs)
+		rl := relay.New(gs.Addr())
+		addr, err := rl.Start("127.0.0.1:0")
+		if err != nil {
+			_ = gs.Close()
+			_ = a.Close()
+			return nil, err
+		}
+		a.relays = append(a.relays, rl)
+		a.eps = append(a.eps, Endpoint{
+			Addr:   addr,
+			Secure: machine.Secure(),
+			TEE:    cfg.Backend.Kind(),
+			VMName: machine.Name(),
+		})
+	}
+	return a, nil
+}
+
+// Name returns the host label.
+func (a *Agent) Name() string { return a.name }
+
+// Backend returns the host's TEE platform.
+func (a *Agent) Backend() tee.Backend { return a.backend }
+
+// Pair returns the secure/normal VM pair (for in-process benchmarks
+// that bypass the network path).
+func (a *Agent) Pair() vm.Pair { return a.pair }
+
+// Endpoints lists the relayed VM endpoints.
+func (a *Agent) Endpoints() []Endpoint {
+	return append([]Endpoint(nil), a.eps...)
+}
+
+// Endpoint returns the relayed address of the secure or normal VM.
+func (a *Agent) Endpoint(secure bool) (Endpoint, error) {
+	for _, ep := range a.eps {
+		if ep.Secure == secure {
+			return ep, nil
+		}
+	}
+	return Endpoint{}, fmt.Errorf("hostagent: %s has no secure=%v endpoint", a.name, secure)
+}
+
+// RelayStats sums accepted connections and forwarded bytes over the
+// host's relays.
+func (a *Agent) RelayStats() (accepted, bytes uint64) {
+	for _, r := range a.relays {
+		accepted += r.Accepted()
+		bytes += r.BytesForwarded()
+	}
+	return accepted, bytes
+}
+
+// Close tears down relays, guest agents, and the VM pair.
+func (a *Agent) Close() error {
+	var firstErr error
+	for _, r := range a.relays {
+		if err := r.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, g := range a.guests {
+		if err := g.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := a.pair.Stop(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,117 @@
+// Package hostagent implements ConfBench's host-side daemon: the
+// TEE-enabled machine that launches the secure/normal VM pair, runs a
+// guest agent inside each VM, and steers incoming gateway traffic to
+// the right VM through socat-style port relays (§III-A: hosts "receive
+// requests from the gateway, and, based on the query arguments (i.e.,
+// destination port), they will route them to the appropriate
+// destination").
+package hostagent
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"confbench/internal/api"
+	"confbench/internal/vm"
+)
+
+// GuestServer is the agent running inside one VM: a small HTTP server
+// executing invoke and attest requests against the VM.
+type GuestServer struct {
+	vm       *vm.VM
+	server   *http.Server
+	listener net.Listener
+	addr     string
+}
+
+// NewGuestServer starts the guest agent on a localhost ephemeral port.
+func NewGuestServer(machine *vm.VM) (*GuestServer, error) {
+	if machine == nil {
+		return nil, errors.New("hostagent: nil vm")
+	}
+	g := &GuestServer{vm: machine}
+	mux := http.NewServeMux()
+	mux.HandleFunc(api.GuestPathInvoke, g.handleInvoke)
+	mux.HandleFunc(api.GuestPathAttest, g.handleAttest)
+	mux.HandleFunc(api.GuestPathHealth, func(w http.ResponseWriter, _ *http.Request) {
+		api.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok", "vm": g.vm.Name()})
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("hostagent: guest listen: %w", err)
+	}
+	g.listener = ln
+	g.addr = ln.Addr().String()
+	g.server = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		_ = g.server.Serve(ln) // returns ErrServerClosed on shutdown
+	}()
+	return g, nil
+}
+
+// Addr returns the guest agent's listen address.
+func (g *GuestServer) Addr() string { return g.addr }
+
+// VM returns the wrapped VM.
+func (g *GuestServer) VM() *vm.VM { return g.vm }
+
+func (g *GuestServer) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		api.WriteError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req api.GuestInvokeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		api.WriteError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	res, err := g.vm.InvokeFunction(req.Function, req.Scale)
+	if err != nil {
+		api.WriteError(w, http.StatusInternalServerError, err)
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, api.InvokeResponse{
+		Output:      res.Output,
+		WallNs:      res.Wall.Nanoseconds(),
+		BootstrapNs: res.Bootstrap.Nanoseconds(),
+		Perf:        res.Perf,
+		Secure:      res.Secure,
+		Platform:    res.Platform,
+		VM:          g.vm.Name(),
+	})
+}
+
+func (g *GuestServer) handleAttest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		api.WriteError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req api.AttestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		api.WriteError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	start := time.Now()
+	evidence, err := g.vm.AttestationReport(req.Nonce)
+	if err != nil {
+		api.WriteError(w, http.StatusInternalServerError, err)
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, api.AttestResponse{
+		Evidence: evidence,
+		AttestNs: time.Since(start).Nanoseconds(),
+	})
+}
+
+// Close shuts the guest agent down (the VM itself is owned by the
+// host agent).
+func (g *GuestServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return g.server.Shutdown(ctx)
+}

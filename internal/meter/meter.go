@@ -1,0 +1,246 @@
+// Package meter provides resource metering for workload execution.
+//
+// Every ConfBench workload runs real Go code while recording its
+// resource consumption in a Context: abstract CPU operations, bytes
+// allocated and touched, I/O traffic, syscalls, and log lines. The
+// machine model (internal/cpumodel) converts these counters into
+// virtual time, and TEE backends (internal/tee) charge confidential-
+// computing overheads on top of them. Metering keeps benchmark runs
+// deterministic and fast while the work performed stays genuine.
+package meter
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Counter identifies one metered resource dimension.
+type Counter int
+
+// Metered resource dimensions.
+const (
+	// CPUOps counts abstract arithmetic/logic operations executed.
+	CPUOps Counter = iota + 1
+	// FPOps counts floating-point operations (Whetstone-style work).
+	FPOps
+	// BytesAllocated counts heap bytes requested by the workload.
+	BytesAllocated
+	// BytesTouched counts bytes read or written in memory (working-set
+	// pressure; drives TEE memory encryption/integrity charges).
+	BytesTouched
+	// IOReadBytes counts bytes read from storage devices.
+	IOReadBytes
+	// IOWriteBytes counts bytes written to storage devices.
+	IOWriteBytes
+	// NetBytes counts bytes moved over the (virtual) network.
+	NetBytes
+	// Syscalls counts kernel entries (each may become a TEE exit).
+	Syscalls
+	// ContextSwitches counts scheduler context switches.
+	ContextSwitches
+	// ProcessSpawns counts process (or process-like) creations.
+	ProcessSpawns
+	// LogLines counts emitted log lines (console I/O).
+	LogLines
+	// FileOps counts file-metadata operations (create/unlink/mkdir).
+	FileOps
+	// PageFaults counts first-touch page faults (RMP/TDX accept cost).
+	PageFaults
+)
+
+var counterNames = map[Counter]string{
+	CPUOps:          "cpu-ops",
+	FPOps:           "fp-ops",
+	BytesAllocated:  "bytes-allocated",
+	BytesTouched:    "bytes-touched",
+	IOReadBytes:     "io-read-bytes",
+	IOWriteBytes:    "io-write-bytes",
+	NetBytes:        "net-bytes",
+	Syscalls:        "syscalls",
+	ContextSwitches: "context-switches",
+	ProcessSpawns:   "process-spawns",
+	LogLines:        "log-lines",
+	FileOps:         "file-ops",
+	PageFaults:      "page-faults",
+}
+
+// String returns the canonical lowercase name of the counter.
+func (c Counter) String() string {
+	if s, ok := counterNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("counter(%d)", int(c))
+}
+
+// AllCounters returns every defined counter in a stable order.
+func AllCounters() []Counter {
+	out := make([]Counter, 0, len(counterNames))
+	for c := range counterNames {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Context accumulates resource usage for a single workload execution.
+// It is safe for concurrent use; workloads that fan out goroutines may
+// share one Context.
+type Context struct {
+	mu     sync.Mutex
+	counts map[Counter]uint64
+}
+
+// NewContext returns an empty metering context.
+func NewContext() *Context {
+	return &Context{counts: make(map[Counter]uint64, 16)}
+}
+
+// Add increments counter c by n. Negative increments are ignored.
+func (m *Context) Add(c Counter, n int64) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.counts[c] += uint64(n)
+	m.mu.Unlock()
+}
+
+// Get returns the current value of counter c.
+func (m *Context) Get(c Counter) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts[c]
+}
+
+// CPU records n abstract CPU operations.
+func (m *Context) CPU(n int64) { m.Add(CPUOps, n) }
+
+// FP records n floating-point operations.
+func (m *Context) FP(n int64) { m.Add(FPOps, n) }
+
+// Alloc records a heap allocation of n bytes. The bytes are also
+// counted as touched, since Go zeroes allocations.
+func (m *Context) Alloc(n int64) {
+	m.Add(BytesAllocated, n)
+	m.Add(BytesTouched, n)
+}
+
+// Touch records n bytes of memory traffic (reads or writes).
+func (m *Context) Touch(n int64) { m.Add(BytesTouched, n) }
+
+// ReadIO records an n-byte storage read plus the syscall driving it.
+func (m *Context) ReadIO(n int64) {
+	m.Add(IOReadBytes, n)
+	m.Add(Syscalls, 1)
+}
+
+// WriteIO records an n-byte storage write plus the syscall driving it.
+func (m *Context) WriteIO(n int64) {
+	m.Add(IOWriteBytes, n)
+	m.Add(Syscalls, 1)
+}
+
+// Syscall records n kernel entries.
+func (m *Context) Syscall(n int64) { m.Add(Syscalls, n) }
+
+// Log records n emitted log lines (each one write syscall).
+func (m *Context) Log(n int64) {
+	m.Add(LogLines, n)
+	m.Add(Syscalls, n)
+}
+
+// FileOp records n file metadata operations (each one syscall).
+func (m *Context) FileOp(n int64) {
+	m.Add(FileOps, n)
+	m.Add(Syscalls, n)
+}
+
+// Spawn records n process creations.
+func (m *Context) Spawn(n int64) {
+	m.Add(ProcessSpawns, n)
+	m.Add(Syscalls, 3*n) // fork+exec+wait style triple
+}
+
+// Switch records n context switches.
+func (m *Context) Switch(n int64) { m.Add(ContextSwitches, n) }
+
+// Fault records n first-touch page faults.
+func (m *Context) Fault(n int64) { m.Add(PageFaults, n) }
+
+// Snapshot returns a copy of all counters.
+func (m *Context) Snapshot() Usage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	u := make(Usage, len(m.counts))
+	for c, v := range m.counts {
+		u[c] = v
+	}
+	return u
+}
+
+// Reset zeroes all counters.
+func (m *Context) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counts = make(map[Counter]uint64, 16)
+}
+
+// Merge adds every counter of u into the context.
+func (m *Context) Merge(u Usage) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for c, v := range u {
+		m.counts[c] += v
+	}
+}
+
+// Usage is an immutable snapshot of counter values.
+type Usage map[Counter]uint64
+
+// Get returns the value of counter c (0 when absent).
+func (u Usage) Get(c Counter) uint64 { return u[c] }
+
+// Add returns a new Usage holding the element-wise sum of u and v.
+func (u Usage) Add(v Usage) Usage {
+	out := make(Usage, len(u)+len(v))
+	for c, x := range u {
+		out[c] = x
+	}
+	for c, x := range v {
+		out[c] += x
+	}
+	return out
+}
+
+// Scale returns a new Usage with every counter multiplied by f.
+// Negative factors are treated as zero.
+func (u Usage) Scale(f float64) Usage {
+	if f < 0 {
+		f = 0
+	}
+	out := make(Usage, len(u))
+	for c, x := range u {
+		out[c] = uint64(float64(x) * f)
+	}
+	return out
+}
+
+// String renders the non-zero counters in stable order.
+func (u Usage) String() string {
+	keys := make([]Counter, 0, len(u))
+	for c := range u {
+		if u[c] != 0 {
+			keys = append(keys, c)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	s := ""
+	for i, c := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", c, u[c])
+	}
+	return s
+}

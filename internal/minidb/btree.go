@@ -1,0 +1,243 @@
+package minidb
+
+// btree is a B+tree multi-map from Value keys to rowids, used for
+// secondary indexes. Leaves hold (key, rowid) pairs sorted by
+// (key, rowid); interior nodes hold separator keys. Deletion is lazy
+// (entries are removed from leaves without rebalancing), which keeps
+// the structure simple while staying O(log n) for the workload mixes
+// speedtest exercises.
+type btree struct {
+	root  *bnode
+	order int
+	size  int
+}
+
+type bentry struct {
+	key   Value
+	rowid int64
+}
+
+type bnode struct {
+	leaf     bool
+	entries  []bentry // leaf payload
+	keys     []Value  // interior separators (len = len(children)-1)
+	children []*bnode
+	next     *bnode // leaf chain for range scans
+}
+
+// defaultOrder is the maximum number of entries/children per node.
+const defaultOrder = 64
+
+func newBTree() *btree {
+	return &btree{root: &bnode{leaf: true}, order: defaultOrder}
+}
+
+// cmpEntry orders entries by (key, rowid).
+func cmpEntry(a bentry, key Value, rowid int64) int {
+	if c := Compare(a.key, key); c != 0 {
+		return c
+	}
+	switch {
+	case a.rowid < rowid:
+		return -1
+	case a.rowid > rowid:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// leafInsertPos finds the insertion slot in a leaf.
+func leafInsertPos(n *bnode, key Value, rowid int64) int {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmpEntry(n.entries[mid], key, rowid) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex picks the child to descend into for inserting key:
+// entries equal to a separator go right of it.
+func childIndex(n *bnode, key Value) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Compare(n.keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// seekChildIndex picks the leftmost child that may contain key: when
+// duplicates straddle a split, entries equal to the separator can live
+// in the left sibling, so seeks must not skip it.
+func seekChildIndex(n *bnode, key Value) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Compare(n.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds (key, rowid).
+func (t *btree) Insert(key Value, rowid int64) {
+	root := t.root
+	if t.full(root) {
+		newRoot := &bnode{leaf: false, children: []*bnode{root}}
+		t.splitChild(newRoot, 0)
+		t.root = newRoot
+		root = newRoot
+	}
+	t.insertNonFull(root, key, rowid)
+	t.size++
+}
+
+func (t *btree) full(n *bnode) bool {
+	if n.leaf {
+		return len(n.entries) >= t.order
+	}
+	return len(n.children) >= t.order
+}
+
+// splitChild splits child i of parent p.
+func (t *btree) splitChild(p *bnode, i int) {
+	child := p.children[i]
+	var sepKey Value
+	var right *bnode
+	if child.leaf {
+		mid := len(child.entries) / 2
+		right = &bnode{leaf: true, entries: append([]bentry(nil), child.entries[mid:]...)}
+		child.entries = child.entries[:mid]
+		right.next = child.next
+		child.next = right
+		sepKey = right.entries[0].key
+	} else {
+		mid := len(child.children) / 2
+		sepKey = child.keys[mid-1]
+		right = &bnode{
+			leaf:     false,
+			keys:     append([]Value(nil), child.keys[mid:]...),
+			children: append([]*bnode(nil), child.children[mid:]...),
+		}
+		child.keys = child.keys[:mid-1]
+		child.children = child.children[:mid]
+	}
+	p.children = append(p.children, nil)
+	copy(p.children[i+2:], p.children[i+1:])
+	p.children[i+1] = right
+	p.keys = append(p.keys, Null())
+	copy(p.keys[i+1:], p.keys[i:])
+	p.keys[i] = sepKey
+}
+
+func (t *btree) insertNonFull(n *bnode, key Value, rowid int64) {
+	for !n.leaf {
+		i := childIndex(n, key)
+		if t.full(n.children[i]) {
+			t.splitChild(n, i)
+			if Compare(n.keys[i], key) <= 0 {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+	pos := leafInsertPos(n, key, rowid)
+	n.entries = append(n.entries, bentry{})
+	copy(n.entries[pos+1:], n.entries[pos:])
+	n.entries[pos] = bentry{key: key, rowid: rowid}
+}
+
+// Delete removes (key, rowid), reporting whether it was present.
+// Removal is lazy: nodes are not rebalanced. Duplicate keys may span
+// several leaves, so the search walks the leaf chain from the leftmost
+// candidate until the keys pass the target.
+func (t *btree) Delete(key Value, rowid int64) bool {
+	n := t.seekLeaf(key)
+	for n != nil {
+		pos := leafInsertPos(n, key, rowid)
+		if pos < len(n.entries) && cmpEntry(n.entries[pos], key, rowid) == 0 {
+			n.entries = append(n.entries[:pos], n.entries[pos+1:]...)
+			t.size--
+			return true
+		}
+		if pos < len(n.entries) && Compare(n.entries[pos].key, key) > 0 {
+			return false // passed every possible position
+		}
+		n = n.next
+	}
+	return false
+}
+
+// Len returns the number of stored entries.
+func (t *btree) Len() int { return t.size }
+
+// seekLeaf finds the leftmost leaf that may contain key.
+func (t *btree) seekLeaf(key Value) *bnode {
+	n := t.root
+	for !n.leaf {
+		n = n.children[seekChildIndex(n, key)]
+	}
+	return n
+}
+
+// Range calls fn for every (key, rowid) with lo ≤ key ≤ hi in key
+// order, stopping early when fn returns false. Steps counts entries
+// visited (for metering).
+func (t *btree) Range(lo, hi Value, fn func(key Value, rowid int64) bool) (steps int) {
+	n := t.seekLeaf(lo)
+	for n != nil {
+		for _, e := range n.entries {
+			if Compare(e.key, lo) < 0 {
+				continue
+			}
+			if Compare(e.key, hi) > 0 {
+				return steps
+			}
+			steps++
+			if !fn(e.key, e.rowid) {
+				return steps
+			}
+		}
+		n = n.next
+	}
+	return steps
+}
+
+// Lookup collects the rowids stored under key.
+func (t *btree) Lookup(key Value) []int64 {
+	var out []int64
+	t.Range(key, key, func(_ Value, rowid int64) bool {
+		out = append(out, rowid)
+		return true
+	})
+	return out
+}
+
+// Walk visits every entry in key order.
+func (t *btree) Walk(fn func(key Value, rowid int64) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil {
+		for _, e := range n.entries {
+			if !fn(e.key, e.rowid) {
+				return
+			}
+		}
+		n = n.next
+	}
+}

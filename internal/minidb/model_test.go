@@ -1,0 +1,162 @@
+package minidb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"confbench/internal/meter"
+)
+
+// refModel is a trivially-correct in-memory reference the engine is
+// checked against under long random operation sequences, including
+// transactions (rollback restores a snapshot).
+type refModel struct {
+	rows     map[int64]int64 // a → b
+	snapshot map[int64]int64 // non-nil while a transaction is open
+}
+
+func newRefModel() *refModel {
+	return &refModel{rows: make(map[int64]int64)}
+}
+
+func (r *refModel) begin() {
+	r.snapshot = make(map[int64]int64, len(r.rows))
+	for k, v := range r.rows {
+		r.snapshot[k] = v
+	}
+}
+
+func (r *refModel) commit()   { r.snapshot = nil }
+func (r *refModel) rollback() { r.rows, r.snapshot = r.snapshot, nil }
+
+func (r *refModel) insert(a, b int64) { r.rows[a] = b }
+func (r *refModel) deleteWhereA(a int64) int {
+	if _, ok := r.rows[a]; ok {
+		delete(r.rows, a)
+		return 1
+	}
+	return 0
+}
+
+func (r *refModel) updateWhereA(a, b int64) int {
+	if _, ok := r.rows[a]; ok {
+		r.rows[a] = b
+		return 1
+	}
+	return 0
+}
+
+func (r *refModel) countWhereB(b int64) int64 {
+	var n int64
+	for _, v := range r.rows {
+		if v == b {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *refModel) sumB() (int64, bool) {
+	if len(r.rows) == 0 {
+		return 0, false
+	}
+	var s int64
+	for _, v := range r.rows {
+		s += v
+	}
+	return s, true
+}
+
+// TestEngineMatchesReferenceModel runs long random operation mixes
+// against the engine and the reference model, comparing observable
+// state after every step. The table keeps an index on b so indexed
+// and full-scan paths are both exercised.
+func TestEngineMatchesReferenceModel(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			db := New()
+			exec(t, db, "CREATE TABLE t(a INTEGER, b INTEGER)")
+			exec(t, db, "CREATE INDEX ib ON t(b)")
+			ref := newRefModel()
+			m := meter.NewContext()
+
+			nextA := int64(0)
+			inTxn := false
+			const steps = 600
+			for step := 0; step < steps; step++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // insert a fresh row
+					nextA++
+					b := int64(rng.Intn(20))
+					exec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", nextA, b))
+					ref.insert(nextA, b)
+				case op < 6: // delete by key
+					a := int64(rng.Intn(int(nextA + 1)))
+					rs, err := db.Exec(m, fmt.Sprintf("DELETE FROM t WHERE a = %d", a))
+					if err != nil {
+						t.Fatalf("step %d delete: %v", step, err)
+					}
+					if want := ref.deleteWhereA(a); rs.Affected != want {
+						t.Fatalf("step %d: delete affected %d, want %d", step, rs.Affected, want)
+					}
+				case op < 8: // update by key
+					a := int64(rng.Intn(int(nextA + 1)))
+					b := int64(rng.Intn(20))
+					rs, err := db.Exec(m, fmt.Sprintf("UPDATE t SET b = %d WHERE a = %d", b, a))
+					if err != nil {
+						t.Fatalf("step %d update: %v", step, err)
+					}
+					if want := ref.updateWhereA(a, b); rs.Affected != want {
+						t.Fatalf("step %d: update affected %d, want %d", step, rs.Affected, want)
+					}
+				case op == 8: // transaction boundary
+					switch {
+					case !inTxn:
+						exec(t, db, "BEGIN")
+						ref.begin()
+						inTxn = true
+					case rng.Intn(2) == 0:
+						exec(t, db, "COMMIT")
+						ref.commit()
+						inTxn = false
+					default:
+						exec(t, db, "ROLLBACK")
+						ref.rollback()
+						inTxn = false
+					}
+				default: // occasionally vacuum (outside transactions)
+					if !inTxn {
+						exec(t, db, "VACUUM")
+					}
+				}
+
+				// Check observable state every few steps.
+				if step%7 != 0 {
+					continue
+				}
+				rs := exec(t, db, "SELECT count(*), sum(b) FROM t")
+				gotCount := rs.Rows[0][0].Int
+				if gotCount != int64(len(ref.rows)) {
+					t.Fatalf("step %d: count %d, want %d", step, gotCount, len(ref.rows))
+				}
+				wantSum, any := ref.sumB()
+				if !any {
+					if !rs.Rows[0][1].IsNull() {
+						t.Fatalf("step %d: sum over empty table = %v", step, rs.Rows[0][1])
+					}
+				} else if rs.Rows[0][1].Int != wantSum {
+					t.Fatalf("step %d: sum %v, want %d", step, rs.Rows[0][1], wantSum)
+				}
+				// Indexed point query on b.
+				b := int64(rng.Intn(20))
+				rs = exec(t, db, fmt.Sprintf("SELECT count(*) FROM t WHERE b = %d", b))
+				if got, want := rs.Rows[0][0].Int, ref.countWhereB(b); got != want {
+					t.Fatalf("step %d: indexed count(b=%d) = %d, want %d", step, b, got, want)
+				}
+			}
+		})
+	}
+}

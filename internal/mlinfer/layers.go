@@ -1,0 +1,359 @@
+package mlinfer
+
+import (
+	"fmt"
+	"math"
+
+	"confbench/internal/meter"
+)
+
+// Layer transforms a tensor, metering its arithmetic.
+type Layer interface {
+	// Name identifies the layer in model listings.
+	Name() string
+	// Forward applies the layer.
+	Forward(m *meter.Context, in Tensor) (Tensor, error)
+	// MACs estimates multiply-accumulates for an input shape.
+	MACs(h, w, c int) int64
+	// OutShape predicts the output shape.
+	OutShape(h, w, c int) (int, int, int)
+}
+
+// Conv2D is a standard convolution with same-padding.
+type Conv2D struct {
+	name    string
+	kernel  int
+	stride  int
+	inCh    int
+	outCh   int
+	weights []float32 // [k][k][inCh][outCh]
+	bias    []float32
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D builds a k×k convolution with stride s and random
+// deterministic weights drawn from r.
+func NewConv2D(name string, kernel, stride, inCh, outCh int, r *rng) *Conv2D {
+	c := &Conv2D{
+		name:    name,
+		kernel:  kernel,
+		stride:  stride,
+		inCh:    inCh,
+		outCh:   outCh,
+		weights: make([]float32, kernel*kernel*inCh*outCh),
+		bias:    make([]float32, outCh),
+	}
+	fillWeights(c.weights, kernel*kernel*inCh, r)
+	fillWeights(c.bias, 4, r)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(h, w, _ int) (int, int, int) {
+	return (h + c.stride - 1) / c.stride, (w + c.stride - 1) / c.stride, c.outCh
+}
+
+// MACs implements Layer.
+func (c *Conv2D) MACs(h, w, _ int) int64 {
+	oh, ow, _ := c.OutShape(h, w, 0)
+	return int64(oh) * int64(ow) * int64(c.kernel*c.kernel) * int64(c.inCh) * int64(c.outCh)
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(m *meter.Context, in Tensor) (Tensor, error) {
+	if in.C != c.inCh {
+		return Tensor{}, fmt.Errorf("mlinfer: %s: input channels %d, want %d", c.name, in.C, c.inCh)
+	}
+	oh, ow, oc := c.OutShape(in.H, in.W, in.C)
+	out := NewTensor(oh, ow, oc)
+	pad := c.kernel / 2
+	k, ic := c.kernel, c.inCh
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for ky := 0; ky < k; ky++ {
+				iy := oy*c.stride + ky - pad
+				if iy < 0 || iy >= in.H {
+					continue
+				}
+				for kx := 0; kx < k; kx++ {
+					ix := ox*c.stride + kx - pad
+					if ix < 0 || ix >= in.W {
+						continue
+					}
+					inBase := (iy*in.W + ix) * ic
+					wBase := ((ky*k + kx) * ic) * oc
+					outBase := (oy*ow + ox) * oc
+					for ci := 0; ci < ic; ci++ {
+						v := in.Data[inBase+ci]
+						wRow := wBase + ci*oc
+						for co := 0; co < oc; co++ {
+							out.Data[outBase+co] += v * c.weights[wRow+co]
+						}
+					}
+				}
+			}
+			outBase := (oy*ow + ox) * oc
+			for co := 0; co < oc; co++ {
+				out.Data[outBase+co] += c.bias[co]
+			}
+		}
+	}
+	macs := c.MACs(in.H, in.W, in.C)
+	m.FP(macs * 2)
+	m.Touch(macs * 4)
+	m.Alloc(out.Bytes())
+	return out, nil
+}
+
+// DepthwiseConv2D applies one k×k filter per channel (MobileNet's
+// separable building block).
+type DepthwiseConv2D struct {
+	name    string
+	kernel  int
+	stride  int
+	ch      int
+	weights []float32 // [k][k][ch]
+	bias    []float32
+}
+
+var _ Layer = (*DepthwiseConv2D)(nil)
+
+// NewDepthwiseConv2D builds a depthwise convolution.
+func NewDepthwiseConv2D(name string, kernel, stride, ch int, r *rng) *DepthwiseConv2D {
+	d := &DepthwiseConv2D{
+		name:    name,
+		kernel:  kernel,
+		stride:  stride,
+		ch:      ch,
+		weights: make([]float32, kernel*kernel*ch),
+		bias:    make([]float32, ch),
+	}
+	fillWeights(d.weights, kernel*kernel, r)
+	fillWeights(d.bias, 4, r)
+	return d
+}
+
+// Name implements Layer.
+func (d *DepthwiseConv2D) Name() string { return d.name }
+
+// OutShape implements Layer.
+func (d *DepthwiseConv2D) OutShape(h, w, _ int) (int, int, int) {
+	return (h + d.stride - 1) / d.stride, (w + d.stride - 1) / d.stride, d.ch
+}
+
+// MACs implements Layer.
+func (d *DepthwiseConv2D) MACs(h, w, _ int) int64 {
+	oh, ow, _ := d.OutShape(h, w, 0)
+	return int64(oh) * int64(ow) * int64(d.kernel*d.kernel) * int64(d.ch)
+}
+
+// Forward implements Layer.
+func (d *DepthwiseConv2D) Forward(m *meter.Context, in Tensor) (Tensor, error) {
+	if in.C != d.ch {
+		return Tensor{}, fmt.Errorf("mlinfer: %s: input channels %d, want %d", d.name, in.C, d.ch)
+	}
+	oh, ow, oc := d.OutShape(in.H, in.W, in.C)
+	out := NewTensor(oh, ow, oc)
+	pad := d.kernel / 2
+	k := d.kernel
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			outBase := (oy*ow + ox) * oc
+			for ky := 0; ky < k; ky++ {
+				iy := oy*d.stride + ky - pad
+				if iy < 0 || iy >= in.H {
+					continue
+				}
+				for kx := 0; kx < k; kx++ {
+					ix := ox*d.stride + kx - pad
+					if ix < 0 || ix >= in.W {
+						continue
+					}
+					inBase := (iy*in.W + ix) * oc
+					wBase := (ky*k + kx) * oc
+					for ch := 0; ch < oc; ch++ {
+						out.Data[outBase+ch] += in.Data[inBase+ch] * d.weights[wBase+ch]
+					}
+				}
+			}
+			for ch := 0; ch < oc; ch++ {
+				out.Data[outBase+ch] += d.bias[ch]
+			}
+		}
+	}
+	macs := d.MACs(in.H, in.W, in.C)
+	m.FP(macs * 2)
+	m.Touch(macs * 4)
+	m.Alloc(out.Bytes())
+	return out, nil
+}
+
+// ReLU6 clamps activations to [0, 6] in place.
+type ReLU6 struct{ name string }
+
+var _ Layer = (*ReLU6)(nil)
+
+// NewReLU6 builds the activation layer.
+func NewReLU6(name string) *ReLU6 { return &ReLU6{name: name} }
+
+// Name implements Layer.
+func (r *ReLU6) Name() string { return r.name }
+
+// OutShape implements Layer.
+func (r *ReLU6) OutShape(h, w, c int) (int, int, int) { return h, w, c }
+
+// MACs implements Layer.
+func (r *ReLU6) MACs(h, w, c int) int64 { return int64(h) * int64(w) * int64(c) }
+
+// Forward implements Layer.
+func (r *ReLU6) Forward(m *meter.Context, in Tensor) (Tensor, error) {
+	for i, v := range in.Data {
+		if v < 0 {
+			in.Data[i] = 0
+		} else if v > 6 {
+			in.Data[i] = 6
+		}
+	}
+	m.FP(int64(in.Len()))
+	m.Touch(int64(in.Len()) * 4)
+	return in, nil
+}
+
+// GlobalAvgPool reduces H×W×C to 1×1×C.
+type GlobalAvgPool struct{ name string }
+
+var _ Layer = (*GlobalAvgPool)(nil)
+
+// NewGlobalAvgPool builds the pooling layer.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{name: name} }
+
+// Name implements Layer.
+func (g *GlobalAvgPool) Name() string { return g.name }
+
+// OutShape implements Layer.
+func (g *GlobalAvgPool) OutShape(_, _, c int) (int, int, int) { return 1, 1, c }
+
+// MACs implements Layer.
+func (g *GlobalAvgPool) MACs(h, w, c int) int64 { return int64(h) * int64(w) * int64(c) }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(m *meter.Context, in Tensor) (Tensor, error) {
+	out := NewTensor(1, 1, in.C)
+	n := float32(in.H * in.W)
+	for y := 0; y < in.H; y++ {
+		for x := 0; x < in.W; x++ {
+			base := (y*in.W + x) * in.C
+			for c := 0; c < in.C; c++ {
+				out.Data[c] += in.Data[base+c]
+			}
+		}
+	}
+	for c := 0; c < in.C; c++ {
+		out.Data[c] /= n
+	}
+	m.FP(int64(in.Len()) + int64(in.C))
+	m.Touch(int64(in.Len()) * 4)
+	m.Alloc(out.Bytes())
+	return out, nil
+}
+
+// Dense is a fully connected layer over a 1×1×C input.
+type Dense struct {
+	name    string
+	in, out int
+	weights []float32 // [in][out]
+	bias    []float32
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense builds a fully connected layer.
+func NewDense(name string, in, out int, r *rng) *Dense {
+	d := &Dense{
+		name:    name,
+		in:      in,
+		out:     out,
+		weights: make([]float32, in*out),
+		bias:    make([]float32, out),
+	}
+	fillWeights(d.weights, in, r)
+	fillWeights(d.bias, 4, r)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(_, _, _ int) (int, int, int) { return 1, 1, d.out }
+
+// MACs implements Layer.
+func (d *Dense) MACs(_, _, _ int) int64 { return int64(d.in) * int64(d.out) }
+
+// Forward implements Layer.
+func (d *Dense) Forward(m *meter.Context, in Tensor) (Tensor, error) {
+	if in.Len() != d.in {
+		return Tensor{}, fmt.Errorf("mlinfer: %s: input size %d, want %d", d.name, in.Len(), d.in)
+	}
+	out := NewTensor(1, 1, d.out)
+	for i := 0; i < d.in; i++ {
+		v := in.Data[i]
+		row := i * d.out
+		for j := 0; j < d.out; j++ {
+			out.Data[j] += v * d.weights[row+j]
+		}
+	}
+	for j := 0; j < d.out; j++ {
+		out.Data[j] += d.bias[j]
+	}
+	macs := d.MACs(0, 0, 0)
+	m.FP(macs * 2)
+	m.Touch(macs * 4)
+	m.Alloc(out.Bytes())
+	return out, nil
+}
+
+// Softmax normalizes a 1×1×C vector into a probability distribution.
+type Softmax struct{ name string }
+
+var _ Layer = (*Softmax)(nil)
+
+// NewSoftmax builds the softmax head.
+func NewSoftmax(name string) *Softmax { return &Softmax{name: name} }
+
+// Name implements Layer.
+func (s *Softmax) Name() string { return s.name }
+
+// OutShape implements Layer.
+func (s *Softmax) OutShape(h, w, c int) (int, int, int) { return h, w, c }
+
+// MACs implements Layer.
+func (s *Softmax) MACs(h, w, c int) int64 { return int64(h) * int64(w) * int64(c) * 4 }
+
+// Forward implements Layer.
+func (s *Softmax) Forward(m *meter.Context, in Tensor) (Tensor, error) {
+	maxV := in.Data[0]
+	for _, v := range in.Data {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range in.Data {
+		e := math.Exp(float64(v - maxV))
+		in.Data[i] = float32(e)
+		sum += e
+	}
+	if sum == 0 {
+		return Tensor{}, fmt.Errorf("mlinfer: %s: degenerate logits", s.name)
+	}
+	for i := range in.Data {
+		in.Data[i] = float32(float64(in.Data[i]) / sum)
+	}
+	m.FP(int64(in.Len()) * 8)
+	return in, nil
+}

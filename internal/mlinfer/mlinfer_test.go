@@ -1,0 +1,293 @@
+package mlinfer
+
+import (
+	"math"
+	"testing"
+
+	"confbench/internal/meter"
+)
+
+func smallModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewMobileNet(MobileNetConfig{InputSize: 32, Alpha: 0.25, Classes: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTensorAccessors(t *testing.T) {
+	tn := NewTensor(2, 3, 4)
+	if tn.Len() != 24 || tn.Bytes() != 96 {
+		t.Errorf("len/bytes = %d/%d", tn.Len(), tn.Bytes())
+	}
+	tn.Set(1, 2, 3, 42)
+	if tn.At(1, 2, 3) != 42 {
+		t.Error("Set/At mismatch")
+	}
+	if tn.ShapeString() != "2x3x4" {
+		t.Errorf("shape = %s", tn.ShapeString())
+	}
+}
+
+func TestConv2DShapes(t *testing.T) {
+	r := newRNG(1)
+	conv := NewConv2D("c", 3, 2, 3, 8, r)
+	h, w, c := conv.OutShape(32, 32, 3)
+	if h != 16 || w != 16 || c != 8 {
+		t.Errorf("out shape = %dx%dx%d", h, w, c)
+	}
+	in := NewTensor(32, 32, 3)
+	out, err := conv.Forward(meter.NewContext(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.H != 16 || out.W != 16 || out.C != 8 {
+		t.Errorf("forward shape = %s", out.ShapeString())
+	}
+}
+
+func TestConv2DRejectsWrongChannels(t *testing.T) {
+	r := newRNG(1)
+	conv := NewConv2D("c", 3, 1, 3, 8, r)
+	if _, err := conv.Forward(meter.NewContext(), NewTensor(8, 8, 5)); err == nil {
+		t.Error("wrong channel count accepted")
+	}
+	dw := NewDepthwiseConv2D("d", 3, 1, 4, r)
+	if _, err := dw.Forward(meter.NewContext(), NewTensor(8, 8, 5)); err == nil {
+		t.Error("depthwise wrong channels accepted")
+	}
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// A 1×1 conv with identity weights must reproduce its input.
+	conv := &Conv2D{
+		name: "id", kernel: 1, stride: 1, inCh: 2, outCh: 2,
+		weights: []float32{1, 0, 0, 1}, // [1][1][in=2][out=2]
+		bias:    []float32{0, 0},
+	}
+	in := NewTensor(2, 2, 2)
+	for i := range in.Data {
+		in.Data[i] = float32(i) + 1
+	}
+	out, err := conv.Forward(meter.NewContext(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Data {
+		if math.Abs(float64(out.Data[i]-in.Data[i])) > 1e-6 {
+			t.Fatalf("identity conv changed data at %d: %v vs %v", i, out.Data[i], in.Data[i])
+		}
+	}
+}
+
+func TestReLU6Clamps(t *testing.T) {
+	relu := NewReLU6("r")
+	in := NewTensor(1, 1, 3)
+	in.Data[0], in.Data[1], in.Data[2] = -5, 3, 100
+	out, err := relu.Forward(meter.NewContext(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data[0] != 0 || out.Data[1] != 3 || out.Data[2] != 6 {
+		t.Errorf("relu6 = %v", out.Data)
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	pool := NewGlobalAvgPool("p")
+	in := NewTensor(2, 2, 1)
+	in.Data = []float32{1, 2, 3, 4}
+	out, err := pool.Forward(meter.NewContext(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Data[0] != 2.5 {
+		t.Errorf("avgpool = %v", out.Data)
+	}
+}
+
+func TestDense(t *testing.T) {
+	d := &Dense{
+		name: "fc", in: 2, out: 2,
+		weights: []float32{1, 2, 3, 4}, // row-major [in][out]
+		bias:    []float32{10, 20},
+	}
+	in := NewTensor(1, 1, 2)
+	in.Data = []float32{1, 1}
+	out, err := d.Forward(meter.NewContext(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data[0] != 14 || out.Data[1] != 26 {
+		t.Errorf("dense = %v", out.Data)
+	}
+	if _, err := d.Forward(meter.NewContext(), NewTensor(1, 1, 3)); err == nil {
+		t.Error("wrong input size accepted")
+	}
+}
+
+func TestSoftmaxNormalizes(t *testing.T) {
+	s := NewSoftmax("s")
+	in := NewTensor(1, 1, 4)
+	in.Data = []float32{1, 2, 3, 4}
+	out, err := s.Forward(meter.NewContext(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := 1; i < len(out.Data); i++ {
+		if out.Data[i-1] >= out.Data[i] {
+			t.Error("softmax not monotone in logits")
+		}
+	}
+	for _, p := range out.Data {
+		if p < 0 || p > 1 {
+			t.Errorf("probability %v out of range", p)
+		}
+		sum += float64(p)
+	}
+	if math.Abs(sum-1) > 1e-5 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}
+
+func TestMobileNetForward(t *testing.T) {
+	model := smallModel(t)
+	m := meter.NewContext()
+	in := NewTensor(32, 32, 3)
+	out, err := model.Forward(m, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 10 {
+		t.Errorf("output classes = %d", out.Len())
+	}
+	if m.Get(meter.FPOps) == 0 {
+		t.Error("forward metered no FP work")
+	}
+}
+
+func TestMobileNetRejectsWrongInput(t *testing.T) {
+	model := smallModel(t)
+	if _, err := model.Forward(meter.NewContext(), NewTensor(16, 16, 3)); err == nil {
+		t.Error("wrong input shape accepted")
+	}
+}
+
+func TestMobileNetDeterministic(t *testing.T) {
+	a := smallModel(t)
+	b := smallModel(t)
+	img, err := DecodeAndResize(meter.NewContext(), GenerateImage(3), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := a.Classify(meter.NewContext(), img, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, _ := DecodeAndResize(meter.NewContext(), GenerateImage(3), 32)
+	pb, err := b.Classify(meter.NewContext(), img2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pa {
+		if pa[i].Index != pb[i].Index {
+			t.Errorf("prediction %d differs: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestClassifyTopKOrdered(t *testing.T) {
+	model := smallModel(t)
+	img, _ := DecodeAndResize(meter.NewContext(), GenerateImage(0), 32)
+	preds, err := model.Classify(meter.NewContext(), img, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 5 {
+		t.Fatalf("got %d predictions", len(preds))
+	}
+	for i := 1; i < len(preds); i++ {
+		if preds[i-1].Confidence < preds[i].Confidence {
+			t.Error("predictions not sorted by confidence")
+		}
+	}
+	if preds[0].Label == "" {
+		t.Error("empty label")
+	}
+}
+
+func TestDifferentImagesClassifyIndependently(t *testing.T) {
+	// At least the confidences should differ across distinct images.
+	model := smallModel(t)
+	p0, _ := model.Classify(meter.NewContext(), mustImg(t, 0), 1)
+	p1, _ := model.Classify(meter.NewContext(), mustImg(t, 17), 1)
+	if p0[0].Confidence == p1[0].Confidence {
+		t.Error("distinct images yield identical confidence — inputs likely ignored")
+	}
+}
+
+func mustImg(t *testing.T, idx int) Tensor {
+	t.Helper()
+	img, err := DecodeAndResize(meter.NewContext(), GenerateImage(idx), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestImageIsOneMB(t *testing.T) {
+	img := GenerateImage(0)
+	if len(img) != ImageBytes {
+		t.Fatalf("image = %d bytes", len(img))
+	}
+	if ImageBytes < 1_000_000 || ImageBytes > 1_100_000 {
+		t.Errorf("dataset images should be ≈1 MB, got %d", ImageBytes)
+	}
+}
+
+func TestDatasetDiversified(t *testing.T) {
+	imgs := Dataset(4)
+	if len(imgs) != 4 {
+		t.Fatal("dataset size")
+	}
+	same := 0
+	for i := 0; i < len(imgs[0]); i += 1024 {
+		if imgs[0][i] == imgs[1][i] {
+			same++
+		}
+	}
+	if same > len(imgs[0])/1024/2 {
+		t.Error("images 0 and 1 look identical — not diversified")
+	}
+}
+
+func TestDecodeRejectsBadSize(t *testing.T) {
+	if _, err := DecodeAndResize(meter.NewContext(), make([]byte, 100), 32); err == nil {
+		t.Error("short image accepted")
+	}
+}
+
+func TestDecodeNormalizesRange(t *testing.T) {
+	img, err := DecodeAndResize(meter.NewContext(), GenerateImage(1), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range img.Data {
+		if v < -1.0001 || v > 1.0001 {
+			t.Fatalf("pixel %v outside [-1,1]", v)
+		}
+	}
+}
+
+func TestTotalMACsPositiveAndScalesWithInput(t *testing.T) {
+	small, _ := NewMobileNet(MobileNetConfig{InputSize: 32, Classes: 10})
+	big, _ := NewMobileNet(MobileNetConfig{InputSize: 64, Classes: 10})
+	if small.TotalMACs() <= 0 {
+		t.Error("MACs not positive")
+	}
+	if big.TotalMACs() <= small.TotalMACs() {
+		t.Error("larger input should need more MACs")
+	}
+}

@@ -1,0 +1,115 @@
+package perfmon
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"confbench/internal/cpumodel"
+	"confbench/internal/meter"
+	"confbench/internal/tee"
+)
+
+func sampleCharge() (meter.Usage, tee.Charge) {
+	u := meter.Usage{
+		meter.CPUOps:          4_000_000,
+		meter.FPOps:           1_000_000,
+		meter.BytesTouched:    64 << 20,
+		meter.ContextSwitches: 42,
+		meter.PageFaults:      7,
+	}
+	return u, tee.Charge{Total: 10 * time.Millisecond, Exits: 99}
+}
+
+func TestPerfStatCollect(t *testing.T) {
+	u, ch := sampleCharge()
+	ps := NewPerfStat()
+	st := ps.Collect(u, ch, cpumodel.XeonGold5515)
+	if st.Wall != ch.Total {
+		t.Errorf("wall = %v", st.Wall)
+	}
+	if st.Instructions != 5_000_000 {
+		t.Errorf("instructions = %d", st.Instructions)
+	}
+	if st.Cycles == 0 {
+		t.Error("cycles not derived")
+	}
+	if st.CacheRefs != (64<<20)/64 {
+		t.Errorf("cache refs = %d", st.CacheRefs)
+	}
+	if st.CacheMisses == 0 || st.CacheMisses >= st.CacheRefs {
+		t.Errorf("cache misses = %d of %d", st.CacheMisses, st.CacheRefs)
+	}
+	if st.ContextSwitches != 42 || st.PageFaults != 7 || st.TEEExits != 99 {
+		t.Errorf("counters = %+v", st)
+	}
+	if st.Monitor != "perf-stat" {
+		t.Errorf("monitor = %s", st.Monitor)
+	}
+}
+
+func TestPerfStatDerivedMetrics(t *testing.T) {
+	u, ch := sampleCharge()
+	st := NewPerfStat().Collect(u, ch, cpumodel.XeonGold5515)
+	if ipc := st.IPC(); ipc <= 0 {
+		t.Errorf("IPC = %v", ipc)
+	}
+	if mr := st.MissRate(); mr <= 0 || mr >= 1 {
+		t.Errorf("miss rate = %v", mr)
+	}
+	var zero Stats
+	if zero.IPC() != 0 || zero.MissRate() != 0 {
+		t.Error("zero stats should yield zero derived metrics")
+	}
+}
+
+func TestCCAScriptOmitsHardwareCounters(t *testing.T) {
+	u, ch := sampleCharge()
+	st := NewCCAScript().Collect(u, ch, cpumodel.FVPNeoverse)
+	if st.Instructions != 0 || st.Cycles != 0 || st.CacheRefs != 0 {
+		t.Errorf("script monitor exposed hardware counters: %+v", st)
+	}
+	if st.Wall != ch.Total || st.TEEExits != 99 || st.PageFaults != 7 {
+		t.Errorf("software counters wrong: %+v", st)
+	}
+}
+
+func TestAvailability(t *testing.T) {
+	ps := NewPerfStat()
+	// §III-B: perf counters are not available inside CCA realms.
+	if ps.Available(tee.KindCCA) {
+		t.Error("perf must be unavailable in CCA realms")
+	}
+	for _, k := range []tee.Kind{tee.KindNone, tee.KindTDX, tee.KindSEV} {
+		if !ps.Available(k) {
+			t.Errorf("perf should be available on %s", k)
+		}
+	}
+	if !NewCCAScript().Available(tee.KindCCA) {
+		t.Error("script monitor must cover CCA")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	if Select(tee.KindTDX).Name() != "perf-stat" {
+		t.Error("TDX should use perf stat")
+	}
+	if Select(tee.KindCCA).Name() != "cca-script" {
+		t.Error("CCA should use the custom script monitor")
+	}
+}
+
+func TestStringRendersPerfStyle(t *testing.T) {
+	u, ch := sampleCharge()
+	out := NewPerfStat().Collect(u, ch, cpumodel.XeonGold5515).String()
+	for _, want := range []string{"instructions", "cache-misses", "tee-exits", "wall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The script monitor omits the hardware lines.
+	scriptOut := NewCCAScript().Collect(u, ch, cpumodel.FVPNeoverse).String()
+	if strings.Contains(scriptOut, "instructions") {
+		t.Error("script render should omit instruction counts")
+	}
+}

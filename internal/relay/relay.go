@@ -1,0 +1,177 @@
+// Package relay implements the socat-style TCP relay ConfBench hosts
+// use to steer traffic to their VMs (§III-B: "Each host machine relies
+// on socat, a network relay tool, to steer traffic to its hosted
+// VMs"). A Relay listens on one address and bidirectionally forwards
+// every accepted connection to a fixed target — here, the guest
+// agent's listener inside a VM.
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Relay forwards TCP connections to a fixed target address.
+type Relay struct {
+	target string
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	accepted atomic.Uint64
+	bytesFwd atomic.Uint64
+}
+
+// New builds a relay toward target (host:port).
+func New(target string) *Relay {
+	return &Relay{target: target, conns: make(map[net.Conn]struct{}, 8)}
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and
+// begins forwarding. It returns the bound address.
+func (r *Relay) Start(addr string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.listener != nil {
+		return "", errors.New("relay: already started")
+	}
+	if r.closed {
+		return "", errors.New("relay: closed")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("relay: listen %s: %w", addr, err)
+	}
+	r.listener = ln
+	r.wg.Add(1)
+	go r.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound listen address (empty before Start).
+func (r *Relay) Addr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.listener == nil {
+		return ""
+	}
+	return r.listener.Addr().String()
+}
+
+// Target returns the forward destination.
+func (r *Relay) Target() string { return r.target }
+
+// Accepted returns the number of accepted connections.
+func (r *Relay) Accepted() uint64 { return r.accepted.Load() }
+
+// BytesForwarded returns the total bytes relayed in both directions.
+func (r *Relay) BytesForwarded() uint64 { return r.bytesFwd.Load() }
+
+func (r *Relay) acceptLoop(ln net.Listener) {
+	defer r.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		r.conns[conn] = struct{}{}
+		r.mu.Unlock()
+		r.accepted.Add(1)
+		r.wg.Add(1)
+		go r.forward(conn)
+	}
+}
+
+func (r *Relay) forward(client net.Conn) {
+	defer r.wg.Done()
+	defer r.drop(client)
+
+	server, err := net.Dial("tcp", r.target)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		_ = server.Close()
+		return
+	}
+	r.conns[server] = struct{}{}
+	r.mu.Unlock()
+	defer r.drop(server)
+
+	done := make(chan struct{}, 2)
+	pipe := func(dst, src net.Conn) {
+		// Count bytes as they stream so long-lived (keep-alive)
+		// connections report traffic before they close.
+		_, _ = io.Copy(&countingWriter{w: dst, count: &r.bytesFwd}, src)
+		// Half-close so the peer sees EOF while the other direction
+		// drains, like socat.
+		if tc, ok := dst.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}
+	go pipe(server, client)
+	pipe(client, server)
+	<-done
+}
+
+// countingWriter adds every written byte to an atomic counter.
+type countingWriter struct {
+	w     io.Writer
+	count *atomic.Uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.count.Add(uint64(n))
+	return n, err
+}
+
+func (r *Relay) drop(c net.Conn) {
+	r.mu.Lock()
+	delete(r.conns, c)
+	r.mu.Unlock()
+	_ = c.Close()
+}
+
+// Close stops accepting and closes every live connection, waiting for
+// forwarders to exit.
+func (r *Relay) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	ln := r.listener
+	conns := make([]net.Conn, 0, len(r.conns))
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	r.wg.Wait()
+	return err
+}

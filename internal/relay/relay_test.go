@@ -1,0 +1,229 @@
+package relay
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes every line back.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestRelayForwardsBothDirections(t *testing.T) {
+	target := echoServer(t)
+	r := New(target)
+	addr, err := r.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := "hello through socat\n"
+	if _, err := conn.Write([]byte(msg)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != msg {
+		t.Errorf("echo = %q", got)
+	}
+	if r.Accepted() != 1 {
+		t.Errorf("accepted = %d", r.Accepted())
+	}
+	// Close the write side and wait for the forwarder to drain so the
+	// byte counters are final.
+	_ = conn.(*net.TCPConn).CloseWrite()
+	deadline := time.Now().Add(2 * time.Second)
+	for r.BytesForwarded() < 2*uint64(len(msg)) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r.BytesForwarded() < 2*uint64(len(msg)) {
+		t.Errorf("bytes forwarded = %d, want ≥ %d", r.BytesForwarded(), 2*len(msg))
+	}
+}
+
+func TestRelayConcurrentConnections(t *testing.T) {
+	target := echoServer(t)
+	r := New(target)
+	addr, err := r.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			msg := fmt.Sprintf("conn-%d\n", i)
+			if _, err := conn.Write([]byte(msg)); err != nil {
+				errs <- err
+				return
+			}
+			got, err := bufio.NewReader(conn).ReadString('\n')
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got != msg {
+				errs <- fmt.Errorf("conn %d echoed %q", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if r.Accepted() != 16 {
+		t.Errorf("accepted = %d", r.Accepted())
+	}
+}
+
+func TestRelayCarriesHTTP(t *testing.T) {
+	// The gateway speaks HTTP through the relay; verify a full HTTP
+	// round trip survives it.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "pong")
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	r := New(ln.Addr().String())
+	addr, err := r.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	resp, err := http.Get("http://" + addr + "/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "pong" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestRelayCloseStopsAccepting(t *testing.T) {
+	target := echoServer(t)
+	r := New(target)
+	addr, err := r.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Error("closed relay still accepting")
+	}
+	if err := r.Close(); err != nil {
+		t.Error("Close should be idempotent")
+	}
+}
+
+func TestRelayDeadTargetDropsConnection(t *testing.T) {
+	// Reserve and release a port so nothing listens on it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	_ = ln.Close()
+
+	r := New(deadAddr)
+	addr, err := r.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("expected closed connection to dead target")
+	}
+}
+
+func TestRelayDoubleStartFails(t *testing.T) {
+	r := New("127.0.0.1:1")
+	if _, err := r.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Start("127.0.0.1:0"); err == nil {
+		t.Error("second Start should fail")
+	}
+}
+
+func TestRelayAddrAndTarget(t *testing.T) {
+	r := New("10.0.0.1:80")
+	if r.Target() != "10.0.0.1:80" {
+		t.Errorf("target = %s", r.Target())
+	}
+	if r.Addr() != "" {
+		t.Error("Addr before Start should be empty")
+	}
+	addr, err := r.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Addr() != addr || !strings.HasPrefix(addr, "127.0.0.1:") {
+		t.Errorf("addr = %s", r.Addr())
+	}
+}

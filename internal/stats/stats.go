@@ -1,0 +1,208 @@
+// Package stats implements the small statistical toolkit ConfBench
+// uses to summarize benchmark runs: percentiles (for the stacked
+// percentile plots of Fig. 3), box-and-whisker summaries (Fig. 8),
+// means, geometric means (UnixBench index scores), and ratio helpers.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+)
+
+// ErrEmpty is returned when a summary is requested over no samples.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// GeoMean returns the geometric mean of xs. Non-positive samples make
+// the geometric mean undefined; they are skipped. An empty or fully
+// non-positive input yields 0.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	var n int
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		logSum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It returns ErrEmpty for empty
+// input and clamps p into [0,100].
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p), nil
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary captures the stacked-percentile view used by the paper's
+// Fig. 3 (min, 25th, median, 95th, max) plus mean and count.
+type Summary struct {
+	N      int
+	Min    float64
+	P25    float64
+	Median float64
+	P95    float64
+	Max    float64
+	Mean   float64
+	StdDev float64
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		P25:    percentileSorted(sorted, 25),
+		Median: percentileSorted(sorted, 50),
+		P95:    percentileSorted(sorted, 95),
+		Max:    sorted[len(sorted)-1],
+		Mean:   Mean(sorted),
+		StdDev: StdDev(sorted),
+	}, nil
+}
+
+// BoxPlot captures the box-and-whisker view used by Fig. 8: quartiles
+// plus whiskers at the most extreme samples within 1.5×IQR of the box,
+// and any samples beyond the whiskers as outliers.
+type BoxPlot struct {
+	N          int
+	Q1         float64
+	Median     float64
+	Q3         float64
+	WhiskerLow float64
+	WhiskerHi  float64
+	Outliers   []float64
+}
+
+// IQR returns the interquartile range of the box.
+func (b BoxPlot) IQR() float64 { return b.Q3 - b.Q1 }
+
+// WhiskerSpan returns the total whisker-to-whisker extent, the
+// "length of the whiskers" the paper reads variability from.
+func (b BoxPlot) WhiskerSpan() float64 { return b.WhiskerHi - b.WhiskerLow }
+
+// Box computes a BoxPlot over xs.
+func Box(xs []float64) (BoxPlot, error) {
+	if len(xs) == 0 {
+		return BoxPlot{}, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	b := BoxPlot{
+		N:      len(sorted),
+		Q1:     percentileSorted(sorted, 25),
+		Median: percentileSorted(sorted, 50),
+		Q3:     percentileSorted(sorted, 75),
+	}
+	loFence := b.Q1 - 1.5*b.IQR()
+	hiFence := b.Q3 + 1.5*b.IQR()
+	b.WhiskerLow = math.Inf(1)
+	b.WhiskerHi = math.Inf(-1)
+	for _, x := range sorted {
+		if x < loFence || x > hiFence {
+			b.Outliers = append(b.Outliers, x)
+			continue
+		}
+		if x < b.WhiskerLow {
+			b.WhiskerLow = x
+		}
+		if x > b.WhiskerHi {
+			b.WhiskerHi = x
+		}
+	}
+	if math.IsInf(b.WhiskerLow, 1) { // every point was an outlier
+		b.WhiskerLow, b.WhiskerHi = b.Median, b.Median
+	}
+	return b, nil
+}
+
+// Ratio returns secure/normal, guarding against a zero denominator.
+func Ratio(secure, normal float64) float64 {
+	if normal == 0 {
+		return 0
+	}
+	return secure / normal
+}
+
+// DurationsToSeconds converts a slice of durations to float seconds.
+func DurationsToSeconds(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// DurationsToMillis converts a slice of durations to float ms.
+func DurationsToMillis(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d.Nanoseconds()) / 1e6
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); !almostEqual(got, 2.5) {
+		t.Errorf("Mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEqual(got, 2) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("single sample stddev should be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); !almostEqual(got, 10) {
+		t.Errorf("GeoMean = %v, want 10", got)
+	}
+	// Non-positive samples are skipped.
+	if got := GeoMean([]float64{-5, 0, 4, 9}); !almostEqual(got, 6) {
+		t.Errorf("GeoMean with skips = %v, want 6", got)
+	}
+	if GeoMean([]float64{0, -1}) != 0 {
+		t.Error("all non-positive should yield 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", c.p, err)
+		}
+		if !almostEqual(got, c.want) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	got, err := Percentile([]float64{10, 20}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 15) {
+		t.Errorf("median of {10,20} = %v, want 15", got)
+	}
+}
+
+func TestPercentileClampsP(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	lo, _ := Percentile(xs, -10)
+	hi, _ := Percentile(xs, 200)
+	if lo != 1 || hi != 3 {
+		t.Errorf("clamped percentiles = %v, %v", lo, hi)
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input slice was sorted in place")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{5, 1, 4, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || !almostEqual(s.Median, 3) || !almostEqual(s.Mean, 3) {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P25 != 2 {
+		t.Errorf("P25 = %v", s.P25)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty input should error")
+	}
+}
+
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.P25 && s.P25 <= s.Median && s.Median <= s.P95 && s.P95 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBox(t *testing.T) {
+	b, err := Box([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Median != 4.5 || b.Q1 >= b.Q3 {
+		t.Errorf("box = %+v", b)
+	}
+	if b.WhiskerLow != 1 || b.WhiskerHi != 8 {
+		t.Errorf("whiskers = %v..%v", b.WhiskerLow, b.WhiskerHi)
+	}
+	if len(b.Outliers) != 0 {
+		t.Errorf("unexpected outliers %v", b.Outliers)
+	}
+}
+
+func TestBoxOutliers(t *testing.T) {
+	b, err := Box([]float64{1, 2, 3, 4, 5, 6, 7, 8, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Errorf("outliers = %v", b.Outliers)
+	}
+	if b.WhiskerHi == 100 {
+		t.Error("whisker should exclude outlier")
+	}
+}
+
+func TestBoxWhiskerSpanGrowsWithVariance(t *testing.T) {
+	tight, _ := Box([]float64{10, 10.1, 10.2, 10.3, 10.4})
+	wide, _ := Box([]float64{5, 8, 10, 12, 15})
+	if tight.WhiskerSpan() >= wide.WhiskerSpan() {
+		t.Errorf("tight span %v should be < wide span %v", tight.WhiskerSpan(), wide.WhiskerSpan())
+	}
+}
+
+func TestBoxEmpty(t *testing.T) {
+	if _, err := Box(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty input should error")
+	}
+}
+
+func TestBoxInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		b, err := Box(xs)
+		if err != nil {
+			return false
+		}
+		if !(b.Q1 <= b.Median && b.Median <= b.Q3) {
+			return false
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		// Whiskers must lie within the sample range.
+		return b.WhiskerLow >= sorted[0] && b.WhiskerHi <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(3, 2) != 1.5 {
+		t.Error("Ratio(3,2)")
+	}
+	if Ratio(3, 0) != 0 {
+		t.Error("zero denominator should yield 0")
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	ds := []time.Duration{time.Second, 500 * time.Millisecond}
+	secs := DurationsToSeconds(ds)
+	if !almostEqual(secs[0], 1) || !almostEqual(secs[1], 0.5) {
+		t.Errorf("seconds = %v", secs)
+	}
+	ms := DurationsToMillis(ds)
+	if !almostEqual(ms[0], 1000) || !almostEqual(ms[1], 500) {
+		t.Errorf("millis = %v", ms)
+	}
+}

@@ -1,0 +1,155 @@
+package cca
+
+import (
+	"errors"
+	"fmt"
+)
+
+// REC errors.
+var (
+	ErrRECNotFound   = errors.New("cca: no such REC")
+	ErrRECState      = errors.New("cca: operation illegal in current REC state")
+	ErrRealmInactive = errors.New("cca: realm not active")
+)
+
+// RECState is the run state of a realm execution context.
+type RECState int
+
+// REC states.
+const (
+	RECReady RECState = iota + 1
+	RECRunning
+	RECDestroyed
+)
+
+// String names the state.
+func (s RECState) String() string {
+	switch s {
+	case RECReady:
+		return "ready"
+	case RECRunning:
+		return "running"
+	case RECDestroyed:
+		return "destroyed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// REC is a Realm Execution Context — the vCPU-like unit the host
+// schedules into a realm with RMI_REC_ENTER. Exits back to the host
+// (the world switches the CCA cost model prices) are counted per REC.
+type REC struct {
+	id      uint64
+	realmID uint64
+	state   RECState
+	entries uint64
+	exits   uint64
+}
+
+// ID returns the REC identifier.
+func (r *REC) ID() uint64 { return r.id }
+
+// RealmID returns the owning realm.
+func (r *REC) RealmID() uint64 { return r.realmID }
+
+// State returns the run state.
+func (r *REC) State() RECState { return r.state }
+
+// Entries returns the number of RMI_REC_ENTER calls.
+func (r *REC) Entries() uint64 { return r.entries }
+
+// Exits returns the number of realm exits back to the host.
+func (r *REC) Exits() uint64 { return r.exits }
+
+// RMIRecCreate creates a REC for an active realm (RMI_REC_CREATE must
+// happen before activation on real hardware; the simulation allows it
+// for realms in either New or Active state and tracks it per realm).
+func (m *RMM) RMIRecCreate(realmID uint64) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, err := m.realm(realmID)
+	if err != nil {
+		return 0, err
+	}
+	if r.state == RealmDestroyed {
+		return 0, fmt.Errorf("%w: rec create in %s", ErrRealmState, r.state)
+	}
+	id := m.nextRecID
+	m.nextRecID++
+	m.recs[id] = &REC{id: id, realmID: realmID, state: RECReady}
+	return id, nil
+}
+
+func (m *RMM) rec(id uint64) (*REC, error) {
+	rec, ok := m.recs[id]
+	if !ok {
+		return nil, ErrRECNotFound
+	}
+	return rec, nil
+}
+
+// RMIRecEnter schedules the REC into its realm (RMI_REC_ENTER). The
+// realm must be active and the REC not already running.
+func (m *RMM) RMIRecEnter(recID uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, err := m.rec(recID)
+	if err != nil {
+		return err
+	}
+	if rec.state != RECReady {
+		return fmt.Errorf("%w: enter in %s", ErrRECState, rec.state)
+	}
+	realm, err := m.realm(rec.realmID)
+	if err != nil {
+		return err
+	}
+	if realm.state != RealmActive {
+		return ErrRealmInactive
+	}
+	rec.state = RECRunning
+	rec.entries++
+	return nil
+}
+
+// RecExit records the REC leaving the realm back to the host (a realm
+// exit: hypercall, interrupt, or fault).
+func (m *RMM) RecExit(recID uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, err := m.rec(recID)
+	if err != nil {
+		return err
+	}
+	if rec.state != RECRunning {
+		return fmt.Errorf("%w: exit in %s", ErrRECState, rec.state)
+	}
+	rec.state = RECReady
+	rec.exits++
+	return nil
+}
+
+// RMIRecDestroy tears a REC down (RMI_REC_DESTROY); running RECs must
+// exit first.
+func (m *RMM) RMIRecDestroy(recID uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, err := m.rec(recID)
+	if err != nil {
+		return err
+	}
+	if rec.state == RECRunning {
+		return fmt.Errorf("%w: destroy while running", ErrRECState)
+	}
+	rec.state = RECDestroyed
+	delete(m.recs, recID)
+	return nil
+}
+
+// RECByID returns the REC for inspection in tests.
+func (m *RMM) RECByID(id uint64) (*REC, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rec(id)
+}

@@ -1,0 +1,137 @@
+package tee
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"confbench/internal/cpumodel"
+	"confbench/internal/meter"
+)
+
+// guestSeq numbers guests for unique IDs across all backends.
+var guestSeq atomic.Uint64
+
+// NextGuestID mints a unique guest identifier with the given prefix.
+func NextGuestID(prefix string) string {
+	return fmt.Sprintf("%s-%06d", prefix, guestSeq.Add(1))
+}
+
+// ReportFunc produces attestation evidence for a guest given a nonce.
+type ReportFunc func(nonce []byte) ([]byte, error)
+
+// DestroyFunc releases backend-side resources of a guest.
+type DestroyFunc func() error
+
+// ModelGuest is the shared Guest implementation used by every backend.
+// Backends compose it with their structural simulations (TDX module,
+// SEV RMP, CCA RMM) by supplying a cost model, a report function, and
+// a destroy hook.
+type ModelGuest struct {
+	id     string
+	kind   Kind
+	secure bool
+	model  CostModel
+	boot   time.Duration
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	destroyed bool
+
+	report  ReportFunc
+	destroy DestroyFunc
+}
+
+var _ Guest = (*ModelGuest)(nil)
+
+// ModelGuestConfig assembles a ModelGuest.
+type ModelGuestConfig struct {
+	IDPrefix string
+	Kind     Kind
+	Secure   bool
+	Model    CostModel
+	// BootBase is the baseline VM boot time; the model's StartupNs is
+	// added on top for secure guests.
+	BootBase time.Duration
+	Seed     int64
+	Report   ReportFunc
+	Destroy  DestroyFunc
+}
+
+// NewModelGuest builds a guest from cfg.
+func NewModelGuest(cfg ModelGuestConfig) *ModelGuest {
+	boot := cfg.BootBase
+	if cfg.Secure {
+		boot += cfg.Model.BootCost()
+	}
+	return &ModelGuest{
+		id:      NextGuestID(cfg.IDPrefix),
+		kind:    cfg.Kind,
+		secure:  cfg.Secure,
+		model:   cfg.Model.WithSalt(uint64(cfg.Seed) * 0x9E3779B97F4A7C15),
+		boot:    boot,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		report:  cfg.Report,
+		destroy: cfg.Destroy,
+	}
+}
+
+// ID implements Guest.
+func (g *ModelGuest) ID() string { return g.id }
+
+// Kind implements Guest.
+func (g *ModelGuest) Kind() Kind { return g.kind }
+
+// Secure implements Guest.
+func (g *ModelGuest) Secure() bool { return g.secure }
+
+// BootCost implements Guest.
+func (g *ModelGuest) BootCost() time.Duration { return g.boot }
+
+// Price implements Guest.
+func (g *ModelGuest) Price(u meter.Usage, base cpumodel.Breakdown) Charge {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.model.Apply(u, base, g.rng)
+}
+
+// AttestationReport implements Guest.
+func (g *ModelGuest) AttestationReport(nonce []byte) ([]byte, error) {
+	g.mu.Lock()
+	destroyed := g.destroyed
+	g.mu.Unlock()
+	if destroyed {
+		return nil, ErrGuestDestroyed
+	}
+	if !g.secure {
+		return nil, ErrNotSecure
+	}
+	if g.report == nil {
+		return nil, ErrNoAttestation
+	}
+	return g.report(nonce)
+}
+
+// Destroy implements Guest. Destroy is idempotent.
+func (g *ModelGuest) Destroy() error {
+	g.mu.Lock()
+	if g.destroyed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.destroyed = true
+	g.mu.Unlock()
+	if g.destroy != nil {
+		return g.destroy()
+	}
+	return nil
+}
+
+// Destroyed reports whether Destroy has been called.
+func (g *ModelGuest) Destroyed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.destroyed
+}

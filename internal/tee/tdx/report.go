@@ -1,0 +1,63 @@
+package tdx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+)
+
+// ReportDataSize is the user-data field size in a TDREPORT (the
+// verifier's nonce is bound here).
+const ReportDataSize = 64
+
+// Report models the TDREPORT_STRUCT a TD obtains via TDG.MR.REPORT.
+// It carries the TD's measurements and platform TCB information and is
+// MAC'd with a CPU-held key, so it is only locally verifiable; the
+// Quoting Enclave (internal/attest/dcap) converts it into a remotely
+// verifiable quote.
+type Report struct {
+	ModuleVersion string                          `json:"module_version"`
+	TeeTcbSvn     uint32                          `json:"tee_tcb_svn"`
+	Attributes    uint64                          `json:"attributes"`
+	Xfam          uint64                          `json:"xfam"`
+	MRTD          [MeasurementSize]byte           `json:"mrtd"`
+	RTMRs         [NumRTMRs][MeasurementSize]byte `json:"rtmrs"`
+	ReportData    [ReportDataSize]byte            `json:"report_data"`
+	MAC           [MeasurementSize]byte           `json:"mac"`
+}
+
+// bindingBytes serializes the MAC'd portion of the report.
+func (r *Report) bindingBytes() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("TDREPORT")
+	buf.WriteString(r.ModuleVersion)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], r.TeeTcbSvn)
+	buf.Write(u32[:])
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], r.Attributes)
+	buf.Write(u64[:])
+	binary.LittleEndian.PutUint64(u64[:], r.Xfam)
+	buf.Write(u64[:])
+	buf.Write(r.MRTD[:])
+	for i := range r.RTMRs {
+		buf.Write(r.RTMRs[i][:])
+	}
+	buf.Write(r.ReportData[:])
+	return buf.Bytes()
+}
+
+// Marshal serializes the report for transport to the Quoting Enclave.
+func (r *Report) Marshal() ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// UnmarshalReport parses a serialized TDREPORT.
+func UnmarshalReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("tdx: parse report: %w", err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,192 @@
+// Package tee defines the trusted-execution-environment abstraction
+// used throughout ConfBench.
+//
+// A Backend models one TEE technology (Intel TDX, AMD SEV-SNP, ARM
+// CCA) and launches Guests — confidential VM contexts that charge
+// TEE-specific overheads on top of the base machine cost computed by
+// internal/cpumodel. The NoTEE backend models the "normal VM" of the
+// paper, so overhead ratios come out of running the same workload
+// under two guests of the same host.
+//
+// Concrete implementations live in the tdx, sev, and cca
+// sub-packages; they add structural simulations (TDX module SEAM
+// transitions, the SEV RMP, the CCA RMM) that the attestation stack
+// and the tests exercise directly.
+package tee
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"confbench/internal/cpumodel"
+	"confbench/internal/meter"
+)
+
+// Kind identifies a TEE technology. The zero value is invalid.
+type Kind string
+
+// Supported TEE kinds. KindNone denotes a regular, non-confidential
+// VM used as the comparison baseline.
+const (
+	KindNone Kind = "none"
+	KindTDX  Kind = "tdx"
+	KindSEV  Kind = "sev-snp"
+	KindCCA  Kind = "cca"
+)
+
+// Valid reports whether k names a known TEE kind.
+func (k Kind) Valid() bool {
+	switch k {
+	case KindNone, KindTDX, KindSEV, KindCCA:
+		return true
+	default:
+		return false
+	}
+}
+
+// Secure reports whether guests of this kind are confidential.
+func (k Kind) Secure() bool { return k.Valid() && k != KindNone }
+
+// Errors shared by TEE implementations.
+var (
+	// ErrGuestDestroyed is returned when operating on a torn-down guest.
+	ErrGuestDestroyed = errors.New("tee: guest destroyed")
+	// ErrNotSecure is returned when requesting attestation from a
+	// non-confidential guest.
+	ErrNotSecure = errors.New("tee: guest is not confidential")
+	// ErrNoAttestation is returned when the platform cannot attest
+	// (e.g. the FVP simulator lacks the hardware support, §IV-B).
+	ErrNoAttestation = errors.New("tee: attestation not supported on this platform")
+)
+
+// GuestConfig parameterizes a guest launch.
+type GuestConfig struct {
+	// Name labels the guest (for reports and routing).
+	Name string
+	// MemoryMB is the guest RAM size.
+	MemoryMB int
+	// VCPUs is the number of virtual CPUs.
+	VCPUs int
+	// Seed drives the guest's deterministic noise source. Two guests
+	// launched with the same seed charge identical jitter sequences.
+	Seed int64
+}
+
+// WithDefaults fills unset fields with sane defaults. Memory is
+// clamped to 4 GiB so measured boot flows stay cheap.
+func (c GuestConfig) WithDefaults() GuestConfig {
+	if c.MemoryMB <= 0 {
+		c.MemoryMB = 256
+	}
+	if c.MemoryMB > 4096 {
+		c.MemoryMB = 4096
+	}
+	if c.VCPUs <= 0 {
+		c.VCPUs = 2
+	}
+	if c.Name == "" {
+		c.Name = "guest"
+	}
+	return c
+}
+
+// Charge is the outcome of pricing one workload execution inside a
+// guest: the adjusted per-counter breakdown, the TEE transition count,
+// and the total adjusted duration.
+type Charge struct {
+	// Breakdown is the adjusted per-counter cost.
+	Breakdown cpumodel.Breakdown
+	// Exits counts world/VM transitions (TDCALL+SEAMCALL for TDX,
+	// VMEXIT for SEV-SNP, RSI/RMI for CCA).
+	Exits uint64
+	// Total is the adjusted wall-clock estimate.
+	Total time.Duration
+}
+
+// Guest is a running (confidential or normal) VM context.
+type Guest interface {
+	// ID returns a unique guest identifier.
+	ID() string
+	// Kind returns the backing TEE kind.
+	Kind() Kind
+	// Secure reports whether the guest is confidential.
+	Secure() bool
+	// BootCost returns the one-time launch cost of the guest.
+	BootCost() time.Duration
+	// Price computes the in-guest cost of a workload whose metered
+	// usage is u and whose base (bare-host) cost is base.
+	Price(u meter.Usage, base cpumodel.Breakdown) Charge
+	// AttestationReport produces serialized attestation evidence bound
+	// to nonce. Non-secure guests return ErrNotSecure; platforms
+	// without attestation hardware return ErrNoAttestation.
+	AttestationReport(nonce []byte) ([]byte, error)
+	// Destroy tears the guest down and releases its resources.
+	Destroy() error
+}
+
+// Backend models one TEE platform on a host machine.
+type Backend interface {
+	// Kind returns the TEE kind this backend implements.
+	Kind() Kind
+	// Name returns a human-readable platform description.
+	Name() string
+	// HostProfile returns the machine profile of the host.
+	HostProfile() cpumodel.Profile
+	// Launch starts a confidential guest.
+	Launch(cfg GuestConfig) (Guest, error)
+	// LaunchNormal starts a plain guest on the same host, used as the
+	// normal-VM baseline of the paper's experiments.
+	LaunchNormal(cfg GuestConfig) (Guest, error)
+}
+
+// Registry maps kinds to backends, mirroring the gateway configuration
+// file that "maps TEEs and their interface ports" (§III-A).
+type Registry struct {
+	mu       sync.RWMutex
+	backends map[Kind]Backend
+}
+
+// NewRegistry returns an empty backend registry.
+func NewRegistry() *Registry {
+	return &Registry{backends: make(map[Kind]Backend, 4)}
+}
+
+// Register installs a backend; re-registering a kind replaces it.
+func (r *Registry) Register(b Backend) error {
+	if b == nil {
+		return errors.New("tee: nil backend")
+	}
+	if !b.Kind().Valid() || b.Kind() == KindNone {
+		return fmt.Errorf("tee: cannot register backend of kind %q", b.Kind())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.backends[b.Kind()] = b
+	return nil
+}
+
+// Lookup returns the backend for kind k.
+func (r *Registry) Lookup(k Kind) (Backend, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	b, ok := r.backends[k]
+	if !ok {
+		return nil, fmt.Errorf("tee: no backend registered for %q", k)
+	}
+	return b, nil
+}
+
+// Kinds lists the registered kinds in stable order.
+func (r *Registry) Kinds() []Kind {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Kind, 0, len(r.backends))
+	for k := range r.backends {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,250 @@
+package tee
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"confbench/internal/cpumodel"
+	"confbench/internal/meter"
+)
+
+func TestKindValidity(t *testing.T) {
+	for _, k := range []Kind{KindNone, KindTDX, KindSEV, KindCCA} {
+		if !k.Valid() {
+			t.Errorf("%q should be valid", k)
+		}
+	}
+	if Kind("sgx").Valid() {
+		t.Error("sgx should be invalid")
+	}
+	if KindNone.Secure() {
+		t.Error("none is not secure")
+	}
+	if !KindTDX.Secure() || !KindSEV.Secure() || !KindCCA.Secure() {
+		t.Error("TEE kinds should be secure")
+	}
+}
+
+func TestGuestConfigDefaults(t *testing.T) {
+	c := GuestConfig{}.WithDefaults()
+	if c.MemoryMB <= 0 || c.VCPUs <= 0 || c.Name == "" {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	big := GuestConfig{MemoryMB: 1 << 20}.WithDefaults()
+	if big.MemoryMB > 4096 {
+		t.Errorf("memory not clamped: %d", big.MemoryMB)
+	}
+}
+
+func testUsage() meter.Usage {
+	return meter.Usage{
+		meter.CPUOps:       1_000_000,
+		meter.BytesTouched: 4 << 20,
+		meter.IOReadBytes:  1 << 20,
+		meter.Syscalls:     1000,
+	}
+}
+
+func TestNormalCostModelIsIdentity(t *testing.T) {
+	u := testUsage()
+	host := cpumodel.XeonGold5515
+	base := host.Cost(u)
+	cm := NormalCostModel()
+	cm.JitterStd = 0 // isolate the factors
+	charge := cm.Apply(u, base, rand.New(rand.NewSource(1)))
+	if charge.Total != base.Total() {
+		t.Errorf("normal model changed cost: %v vs %v", charge.Total, base.Total())
+	}
+	if charge.Exits != 0 {
+		t.Errorf("normal model produced %d exits", charge.Exits)
+	}
+}
+
+func TestCostModelFactorsApply(t *testing.T) {
+	u := meter.Usage{meter.IOReadBytes: 1 << 20}
+	host := cpumodel.XeonGold5515
+	base := host.Cost(u)
+	cm := NormalCostModel()
+	cm.IOReadFactor = 3
+	cm.JitterStd = 0
+	charge := cm.Apply(u, base, rand.New(rand.NewSource(1)))
+	want := 3 * base.Total()
+	if diff := charge.Total - want; diff < -time.Nanosecond || diff > time.Nanosecond {
+		t.Errorf("io factor: got %v, want %v", charge.Total, want)
+	}
+}
+
+func TestExitCharges(t *testing.T) {
+	u := meter.Usage{meter.Syscalls: 1000, meter.ContextSwitches: 500}
+	host := cpumodel.XeonGold5515
+	base := host.Cost(u)
+	cm := NormalCostModel()
+	cm.JitterStd = 0
+	cm.ExitNs = 10_000
+	cm.ExitsPerSys = 0.5
+	cm.ExitsPerSwitch = 1.0
+	charge := cm.Apply(u, base, rand.New(rand.NewSource(1)))
+	if charge.Exits != 1000 { // 500 from syscalls + 500 from switches
+		t.Errorf("exits = %d, want 1000", charge.Exits)
+	}
+	wantExtra := time.Duration(1000 * 10_000)
+	if got := charge.Total - base.Total(); got != wantExtra {
+		t.Errorf("exit charge = %v, want %v", got, wantExtra)
+	}
+}
+
+func TestPageAcceptCharges(t *testing.T) {
+	u := meter.Usage{meter.PageFaults: 100}
+	host := cpumodel.XeonGold5515
+	base := host.Cost(u)
+	cm := NormalCostModel()
+	cm.JitterStd = 0
+	cm.PageAcceptNs = 1000
+	charge := cm.Apply(u, base, rand.New(rand.NewSource(1)))
+	if got := charge.Total - base.Total(); got != 100*time.Microsecond/1 {
+		t.Errorf("accept charge = %v", got)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	u := testUsage()
+	host := cpumodel.XeonGold5515
+	base := host.Cost(u)
+	cm := NormalCostModel()
+	cm.JitterStd = 0.05
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		charge := cm.Apply(u, base, rng)
+		ratio := float64(charge.Total) / float64(base.Total())
+		if ratio < 1-4*0.05-1e-9 || ratio > 1+4*0.05+1e-9 {
+			t.Fatalf("jitter out of ±4σ bounds: %v", ratio)
+		}
+	}
+}
+
+func TestCacheBonusIsStablePerSignature(t *testing.T) {
+	u := testUsage()
+	host := cpumodel.XeonGold5515
+	base := host.Cost(u)
+	cm := CostModel{CPUFactor: 1, MemFactor: 1, CacheBonusProb: 1, CacheBonusMag: 0.2}
+	cm = cm.WithSalt(42)
+	rng := rand.New(rand.NewSource(1))
+	first := cm.Apply(u, base, rng)
+	second := cm.Apply(u, base, rng)
+	if first.Total != second.Total {
+		t.Errorf("bonus not stable: %v vs %v", first.Total, second.Total)
+	}
+	if first.Total >= base.Total() {
+		t.Errorf("bonus did not discount: %v vs base %v", first.Total, base.Total())
+	}
+	// A different salt may select a different magnitude but the model
+	// must stay deterministic for it too.
+	other := cm.WithSalt(43)
+	o1 := other.Apply(u, base, rng)
+	o2 := other.Apply(u, base, rng)
+	if o1.Total != o2.Total {
+		t.Error("bonus not stable under different salt")
+	}
+}
+
+func TestModelGuestLifecycle(t *testing.T) {
+	g := NewModelGuest(ModelGuestConfig{
+		IDPrefix: "t",
+		Kind:     KindTDX,
+		Secure:   true,
+		Model:    NormalCostModel(),
+		BootBase: time.Second,
+		Seed:     1,
+		Report:   func(nonce []byte) ([]byte, error) { return append([]byte("ev:"), nonce...), nil },
+	})
+	if g.ID() == "" || g.Kind() != KindTDX || !g.Secure() {
+		t.Errorf("guest metadata wrong: %s %s %v", g.ID(), g.Kind(), g.Secure())
+	}
+	if g.BootCost() < time.Second {
+		t.Errorf("boot cost %v", g.BootCost())
+	}
+	ev, err := g.AttestationReport([]byte("n"))
+	if err != nil || string(ev) != "ev:n" {
+		t.Errorf("report = %q, %v", ev, err)
+	}
+	if err := g.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Destroyed() {
+		t.Error("not marked destroyed")
+	}
+	if _, err := g.AttestationReport([]byte("n")); !errors.Is(err, ErrGuestDestroyed) {
+		t.Errorf("want ErrGuestDestroyed, got %v", err)
+	}
+	if err := g.Destroy(); err != nil {
+		t.Error("Destroy should be idempotent")
+	}
+}
+
+func TestModelGuestNonSecureAttestation(t *testing.T) {
+	g := NewModelGuest(ModelGuestConfig{IDPrefix: "n", Kind: KindNone, Model: NormalCostModel()})
+	if _, err := g.AttestationReport(nil); !errors.Is(err, ErrNotSecure) {
+		t.Errorf("want ErrNotSecure, got %v", err)
+	}
+}
+
+func TestModelGuestNoAttestationHardware(t *testing.T) {
+	g := NewModelGuest(ModelGuestConfig{IDPrefix: "r", Kind: KindCCA, Secure: true, Model: NormalCostModel()})
+	if _, err := g.AttestationReport(nil); !errors.Is(err, ErrNoAttestation) {
+		t.Errorf("want ErrNoAttestation, got %v", err)
+	}
+}
+
+func TestGuestIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NextGuestID("x")
+		if seen[id] {
+			t.Fatalf("duplicate guest id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+type fakeBackend struct{ kind Kind }
+
+func (f *fakeBackend) Kind() Kind                              { return f.kind }
+func (f *fakeBackend) Name() string                            { return string(f.kind) }
+func (f *fakeBackend) HostProfile() cpumodel.Profile           { return cpumodel.XeonGold5515 }
+func (f *fakeBackend) Launch(GuestConfig) (Guest, error)       { return nil, nil }
+func (f *fakeBackend) LaunchNormal(GuestConfig) (Guest, error) { return nil, nil }
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(&fakeBackend{kind: KindTDX}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(&fakeBackend{kind: KindSEV}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup(KindTDX); err != nil {
+		t.Error(err)
+	}
+	if _, err := r.Lookup(KindCCA); err == nil {
+		t.Error("unregistered kind should error")
+	}
+	kinds := r.Kinds()
+	if len(kinds) != 2 || kinds[0] != KindSEV || kinds[1] != KindTDX {
+		t.Errorf("Kinds = %v", kinds)
+	}
+}
+
+func TestRegistryRejectsInvalid(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(nil); err == nil {
+		t.Error("nil backend should be rejected")
+	}
+	if err := r.Register(&fakeBackend{kind: KindNone}); err == nil {
+		t.Error("none kind should be rejected")
+	}
+	if err := r.Register(&fakeBackend{kind: Kind("bogus")}); err == nil {
+		t.Error("bogus kind should be rejected")
+	}
+}

@@ -1,0 +1,228 @@
+package unixbench
+
+import (
+	"testing"
+	"time"
+
+	"confbench/internal/cpumodel"
+	"confbench/internal/meter"
+)
+
+// flatPrice prices usage under the Xeon profile with no TEE charges.
+func flatPrice(u meter.Usage) time.Duration {
+	return cpumodel.XeonGold5515.TotalCost(u)
+}
+
+// taxedPrice prices usage with every component doubled, standing in
+// for a heavily taxed secure VM.
+func taxedPrice(u meter.Usage) time.Duration {
+	return 2 * cpumodel.XeonGold5515.TotalCost(u)
+}
+
+func TestSuiteRunsAllTests(t *testing.T) {
+	s := New(Options{Scale: 0.05})
+	m := meter.NewContext()
+	res, err := s.Run(m, flatPrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 12 {
+		t.Fatalf("got %d tests, want 12", len(res.Scores))
+	}
+	names := map[string]bool{}
+	for _, sc := range res.Scores {
+		names[sc.Name] = true
+		if sc.Rate <= 0 {
+			t.Errorf("%s rate = %v", sc.Name, sc.Rate)
+		}
+		if sc.Index <= 0 {
+			t.Errorf("%s index = %v", sc.Name, sc.Index)
+		}
+		if sc.Baseline <= 0 || sc.Unit == "" {
+			t.Errorf("%s metadata incomplete: %+v", sc.Name, sc)
+		}
+	}
+	for _, want := range []string{
+		"dhry2reg", "whetstone-double", "execl", "fstime-256", "fstime-1024",
+		"fstime-4096", "pipe", "context1", "spawn", "syscall", "shell1", "shell8",
+	} {
+		if !names[want] {
+			t.Errorf("test %s missing", want)
+		}
+	}
+	if res.Index <= 0 {
+		t.Errorf("aggregate index = %v", res.Index)
+	}
+	// The suite must have metered real usage.
+	if m.Get(meter.Syscalls) == 0 || m.Get(meter.ContextSwitches) == 0 {
+		t.Error("suite metered no kernel interaction")
+	}
+}
+
+func TestIndexIsGeometricMeanOfTestIndexes(t *testing.T) {
+	s := New(Options{Scale: 0.05})
+	res, err := s.Run(meter.NewContext(), flatPrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := 1.0
+	for _, sc := range res.Scores {
+		prod *= sc.Index
+	}
+	geo := 1.0
+	for i := 0; i < len(res.Scores); i++ {
+		geo *= res.Index
+	}
+	// prod^(1/n) == Index  ⇔  prod == Index^n
+	if ratio := prod / geo; ratio < 0.999 || ratio > 1.001 {
+		t.Errorf("index is not the geometric mean (ratio %v)", ratio)
+	}
+}
+
+func TestSlowerPricingLowersIndex(t *testing.T) {
+	s := New(Options{Scale: 0.05})
+	fast, err := s.Run(meter.NewContext(), flatPrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := s.Run(meter.NewContext(), taxedPrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Index >= fast.Index {
+		t.Errorf("taxed index %v should be below flat %v", slow.Index, fast.Index)
+	}
+	ratio := fast.Index / slow.Index
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("2x tax should halve the index, ratio = %v", ratio)
+	}
+}
+
+func TestNilPriceRejected(t *testing.T) {
+	if _, err := New(Options{}).Run(meter.NewContext(), nil); err == nil {
+		t.Error("nil price function accepted")
+	}
+}
+
+func TestScaleAffectsWorkNotRate(t *testing.T) {
+	// Larger scale does more work in proportionally more (virtual)
+	// time, so the rate must stay roughly constant.
+	small, err := New(Options{Scale: 0.05}).Run(meter.NewContext(), flatPrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := New(Options{Scale: 0.1}).Run(meter.NewContext(), flatPrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range small.Scores {
+		s, l := small.Scores[i].Rate, large.Scores[i].Rate
+		if ratio := l / s; ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("%s rate changed with scale: %v vs %v", small.Scores[i].Name, s, l)
+		}
+	}
+}
+
+func TestRenderContainsEveryTest(t *testing.T) {
+	res, err := New(Options{Scale: 0.05}).Run(meter.NewContext(), flatPrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(res)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	for _, sc := range res.Scores {
+		if !contains(out, sc.Name) {
+			t.Errorf("render missing %s", sc.Name)
+		}
+	}
+	if !contains(out, "System Benchmarks Index Score") {
+		t.Error("render missing aggregate line")
+	}
+}
+
+func contains(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && searchString(haystack, needle)
+}
+
+func searchString(h, n string) bool {
+	for i := 0; i+len(n) <= len(h); i++ {
+		if h[i:i+len(n)] == n {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDefaultScale(t *testing.T) {
+	s := New(Options{})
+	if s.scale != 1.0 {
+		t.Errorf("default scale = %v", s.scale)
+	}
+	if New(Options{Scale: -3}).scale != 1.0 {
+		t.Error("negative scale not defaulted")
+	}
+}
+
+func TestDhrystoneMetersCPU(t *testing.T) {
+	m := meter.NewContext()
+	loops := runDhrystone(m, 0.05)
+	if loops <= 0 {
+		t.Fatal("no loops")
+	}
+	if m.Get(meter.CPUOps) == 0 {
+		t.Error("no CPU metered")
+	}
+}
+
+func TestWhetstoneMetersFP(t *testing.T) {
+	m := meter.NewContext()
+	mwips := runWhetstone(m, 0.05)
+	if mwips <= 0 {
+		t.Fatal("no MWIPS")
+	}
+	if m.Get(meter.FPOps) == 0 {
+		t.Error("no FP metered")
+	}
+}
+
+func TestFileCopyMetersIO(t *testing.T) {
+	m := meter.NewContext()
+	kb := fileCopy(1024, 100)(m, 1)
+	if kb != 100 {
+		t.Errorf("copied %v KB, want 100", kb)
+	}
+	if m.Get(meter.IOReadBytes) != 100*1024 || m.Get(meter.IOWriteBytes) != 100*1024 {
+		t.Error("file copy under-metered")
+	}
+}
+
+func TestContextSwitchUsesRealGoroutines(t *testing.T) {
+	m := meter.NewContext()
+	loops := runContext1(m, 0.02)
+	if loops <= 0 {
+		t.Fatal("no round trips")
+	}
+	if m.Get(meter.ContextSwitches) != uint64(loops)*2 {
+		t.Errorf("switches = %d for %v loops", m.Get(meter.ContextSwitches), loops)
+	}
+}
+
+func TestSpawnMeters(t *testing.T) {
+	m := meter.NewContext()
+	n := runSpawn(m, 0.1)
+	if m.Get(meter.ProcessSpawns) != uint64(n) {
+		t.Errorf("spawns = %d, want %v", m.Get(meter.ProcessSpawns), n)
+	}
+}
+
+func TestShellPipelineCounts(t *testing.T) {
+	m1, m8 := meter.NewContext(), meter.NewContext()
+	runShell(1)(m1, 0.1)
+	runShell(8)(m8, 0.1)
+	if m8.Get(meter.ProcessSpawns) != 8*m1.Get(meter.ProcessSpawns) {
+		t.Errorf("shell8 spawns %d, want 8x shell1 %d",
+			m8.Get(meter.ProcessSpawns), m1.Get(meter.ProcessSpawns))
+	}
+}

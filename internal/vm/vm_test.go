@@ -1,0 +1,241 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"confbench/internal/faas"
+	"confbench/internal/meter"
+	"confbench/internal/tee"
+	"confbench/internal/tee/cca"
+	"confbench/internal/tee/sev"
+	"confbench/internal/tee/tdx"
+)
+
+func tdxPair(t *testing.T) Pair {
+	t.Helper()
+	b, err := tdx.NewBackend(tdx.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := NewPair(b, tee.GuestConfig{Name: "t", MemoryMB: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = pair.Stop() })
+	return pair
+}
+
+func TestNewPairFlags(t *testing.T) {
+	pair := tdxPair(t)
+	if !pair.Secure.Secure() || pair.Normal.Secure() {
+		t.Error("pair security flags wrong")
+	}
+	if pair.Secure.Platform() != tee.KindTDX || pair.Normal.Platform() != tee.KindNone {
+		t.Errorf("platforms = %v / %v", pair.Secure.Platform(), pair.Normal.Platform())
+	}
+	if len(pair.Secure.Languages()) != 7 {
+		t.Errorf("languages = %v", pair.Secure.Languages())
+	}
+}
+
+func TestInvokeFunction(t *testing.T) {
+	pair := tdxPair(t)
+	fn := faas.Function{Name: "f", Language: "python", Workload: "factors"}
+	res, err := pair.Secure.InvokeFunction(fn, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output == "" || res.Wall <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if !res.Secure || res.Platform != tee.KindTDX {
+		t.Errorf("flags = %+v", res)
+	}
+	if res.Perf.Monitor != "perf-stat" {
+		t.Errorf("monitor = %s", res.Perf.Monitor)
+	}
+	if res.Bootstrap <= 0 {
+		t.Error("bootstrap time not reported")
+	}
+}
+
+func TestInvokeFunctionUnknownLanguage(t *testing.T) {
+	pair := tdxPair(t)
+	fn := faas.Function{Name: "f", Language: "perl", Workload: "factors"}
+	if _, err := pair.Secure.InvokeFunction(fn, 1); !errors.Is(err, ErrNoLauncher) {
+		t.Errorf("unknown language: %v", err)
+	}
+}
+
+func TestSecureNormalAgreeOnOutput(t *testing.T) {
+	pair := tdxPair(t)
+	fn := faas.Function{Name: "f", Language: "go", Workload: "primes"}
+	s, err := pair.Secure.InvokeFunction(fn, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := pair.Normal.InvokeFunction(fn, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Output != n.Output {
+		t.Errorf("outputs differ: %q vs %q", s.Output, n.Output)
+	}
+}
+
+func TestIOHeavySecureSlower(t *testing.T) {
+	pair := tdxPair(t)
+	fn := faas.Function{Name: "f", Language: "go", Workload: "iostress"}
+	var sSum, nSum float64
+	for i := 0; i < 5; i++ {
+		s, err := pair.Secure.InvokeFunction(fn, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := pair.Normal.InvokeFunction(fn, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sSum += s.Wall.Seconds()
+		nSum += n.Wall.Seconds()
+	}
+	if sSum <= nSum {
+		t.Errorf("I/O in TD should cost more: %v vs %v", sSum, nSum)
+	}
+}
+
+func TestRunMetered(t *testing.T) {
+	pair := tdxPair(t)
+	res, err := pair.Secure.RunMetered("custom", func(m *meter.Context) (string, error) {
+		m.CPU(1_000_000)
+		m.Touch(1 << 20)
+		return "done", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "done" || res.Wall <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestRunMeteredPropagatesError(t *testing.T) {
+	pair := tdxPair(t)
+	wantErr := errors.New("boom")
+	if _, err := pair.Secure.RunMetered("bad", func(*meter.Context) (string, error) {
+		return "", wantErr
+	}); !errors.Is(err, wantErr) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestPriceUsageMonotone(t *testing.T) {
+	pair := tdxPair(t)
+	small := meter.Usage{meter.CPUOps: 1_000_000}
+	large := meter.Usage{meter.CPUOps: 100_000_000}
+	if pair.Secure.PriceUsage(large) <= pair.Secure.PriceUsage(small) {
+		t.Error("pricing not monotone in work")
+	}
+}
+
+func TestStoppedVMRejectsWork(t *testing.T) {
+	pair := tdxPair(t)
+	if err := pair.Secure.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	fn := faas.Function{Name: "f", Language: "go", Workload: "factors"}
+	if _, err := pair.Secure.InvokeFunction(fn, 1); !errors.Is(err, ErrStopped) {
+		t.Errorf("invoke after stop: %v", err)
+	}
+	if _, err := pair.Secure.RunMetered("x", nil); !errors.Is(err, ErrStopped) {
+		t.Errorf("run after stop: %v", err)
+	}
+	if _, err := pair.Secure.AttestationReport(nil); !errors.Is(err, ErrStopped) {
+		t.Errorf("attest after stop: %v", err)
+	}
+	if err := pair.Secure.Stop(); err != nil {
+		t.Error("stop should be idempotent")
+	}
+}
+
+func TestAttestationPassThrough(t *testing.T) {
+	pair := tdxPair(t)
+	ev, err := pair.Secure.AttestationReport([]byte("nonce"))
+	if err != nil || len(ev) == 0 {
+		t.Errorf("attest: %v", err)
+	}
+	if _, err := pair.Normal.AttestationReport(nil); !errors.Is(err, tee.ErrNotSecure) {
+		t.Errorf("normal VM attest: %v", err)
+	}
+}
+
+func TestCCAUsesScriptMonitor(t *testing.T) {
+	b, err := cca.NewBackend(cca.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := NewPair(b, tee.GuestConfig{MemoryMB: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Stop()
+	fn := faas.Function{Name: "f", Language: "lua", Workload: "factors"}
+	res, err := pair.Secure.InvokeFunction(fn, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Perf.Monitor != "cca-script" {
+		t.Errorf("realm monitor = %s", res.Perf.Monitor)
+	}
+	if res.Perf.Instructions != 0 {
+		t.Error("realm perf should have no instruction counter")
+	}
+	// The normal VM in the FVP still has perf counters.
+	nres, err := pair.Normal.InvokeFunction(fn, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nres.Perf.Monitor != "perf-stat" {
+		t.Errorf("normal FVP monitor = %s", nres.Perf.Monitor)
+	}
+}
+
+func TestSEVPairExits(t *testing.T) {
+	b, err := sev.NewBackend(sev.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := NewPair(b, tee.GuestConfig{MemoryMB: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Stop()
+	// Context-switch-heavy metered work must produce VMEXITs in the
+	// secure guest and none in the normal one.
+	task := func(m *meter.Context) (string, error) {
+		m.Switch(10_000)
+		m.Syscall(10_000)
+		return "ok", nil
+	}
+	s, err := pair.Secure.RunMetered("switchy", task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := pair.Normal.RunMetered("switchy", task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Perf.TEEExits == 0 {
+		t.Error("secure guest recorded no exits")
+	}
+	if n.Perf.TEEExits != 0 {
+		t.Errorf("normal guest recorded %d exits", n.Perf.TEEExits)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil guest accepted")
+	}
+}

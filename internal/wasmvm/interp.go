@@ -1,0 +1,361 @@
+package wasmvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// DefaultFuel is the per-invocation instruction budget.
+const DefaultFuel = 500_000_000
+
+// MaxCallDepth bounds recursion.
+const MaxCallDepth = 4096
+
+// ExecStats reports what an invocation consumed; the Wasm FaaS
+// launcher converts these into meter counters.
+type ExecStats struct {
+	// Instructions is the number of bytecode instructions retired.
+	Instructions uint64
+	// MemBytes is the linear-memory traffic in bytes.
+	MemBytes uint64
+	// Calls is the number of function calls performed.
+	Calls uint64
+	// MaxStack is the high-water operand stack depth.
+	MaxStack int
+}
+
+// Instance is an instantiated module with its own globals and memory.
+type Instance struct {
+	module  *Module
+	globals []int64
+	memory  []byte
+	// Fuel is the remaining instruction budget; Invoke fails with
+	// ErrFuelExhausted when it hits zero.
+	Fuel  uint64
+	stats ExecStats
+}
+
+// NewInstance instantiates m with fresh globals and memory.
+func NewInstance(m *Module) (*Instance, error) {
+	if err := Validate(m); err != nil {
+		return nil, err
+	}
+	return &Instance{
+		module:  m,
+		globals: append([]int64(nil), m.Globals...),
+		memory:  make([]byte, m.MemPages*PageSize),
+		Fuel:    DefaultFuel,
+	}, nil
+}
+
+// Stats returns cumulative execution statistics.
+func (in *Instance) Stats() ExecStats { return in.stats }
+
+// ResetStats zeroes the statistics (fuel is left untouched).
+func (in *Instance) ResetStats() { in.stats = ExecStats{} }
+
+// MemoryLen returns the current linear memory size in bytes.
+func (in *Instance) MemoryLen() int { return len(in.memory) }
+
+// ReadMemory copies n bytes at off out of linear memory.
+func (in *Instance) ReadMemory(off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > len(in.memory) {
+		return nil, ErrOOB
+	}
+	out := make([]byte, n)
+	copy(out, in.memory[off:off+n])
+	return out, nil
+}
+
+// Invoke calls the exported function name with the given i64 args and
+// returns its results.
+func (in *Instance) Invoke(name string, args ...int64) ([]int64, error) {
+	idx, err := in.module.ExportIndex(name)
+	if err != nil {
+		return nil, err
+	}
+	f := &in.module.Funcs[idx]
+	if len(args) != f.Params {
+		return nil, fmt.Errorf("%w: %q takes %d args, got %d", ErrBadArity, name, f.Params, len(args))
+	}
+	stack := make([]int64, 0, 64)
+	stack = append(stack, args...)
+	stack, err = in.call(idx, stack, 0)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]int64, f.Results)
+	copy(results, stack[len(stack)-f.Results:])
+	return results, nil
+}
+
+// InvokeF64 is Invoke for a single f64 result.
+func (in *Instance) InvokeF64(name string, args ...int64) (float64, error) {
+	res, err := in.Invoke(name, args...)
+	if err != nil {
+		return 0, err
+	}
+	if len(res) != 1 {
+		return 0, fmt.Errorf("%w: want 1 result, got %d", ErrBadArity, len(res))
+	}
+	return math.Float64frombits(uint64(res[0])), nil
+}
+
+// call runs function fi with its parameters on top of stack; on return
+// the parameters are replaced by the results.
+func (in *Instance) call(fi int, stack []int64, depth int) ([]int64, error) {
+	if depth >= MaxCallDepth {
+		return nil, ErrCallDepth
+	}
+	f := &in.module.Funcs[fi]
+	in.stats.Calls++
+
+	// Locals: parameters moved off the operand stack + zeroed extras.
+	base := len(stack) - f.Params
+	locals := make([]int64, f.Params+f.Locals)
+	copy(locals, stack[base:])
+	stack = stack[:base]
+
+	code := f.Code
+	pc := 0
+	for pc < len(code) {
+		if in.Fuel == 0 {
+			return nil, ErrFuelExhausted
+		}
+		in.Fuel--
+		in.stats.Instructions++
+		if len(stack) > in.stats.MaxStack {
+			in.stats.MaxStack = len(stack)
+		}
+
+		ins := code[pc]
+		switch ins.Op {
+		case OpUnreachable:
+			return nil, ErrUnreachable
+		case OpNop, OpBlock, OpLoop, OpEnd:
+			// Structure markers carry no runtime effect.
+		case OpElse:
+			// Falling into else from the true arm jumps past end.
+			pc = int(ins.A)
+			continue
+		case OpIf:
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v == 0 {
+				pc = int(ins.A)
+				continue
+			}
+		case OpBr:
+			pc = int(ins.A)
+			continue
+		case OpBrIf:
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v != 0 {
+				pc = int(ins.A)
+				continue
+			}
+		case OpReturn:
+			return finishCall(f, base, stack)
+		case OpCall:
+			var err error
+			stack, err = in.call(int(ins.A), stack, depth+1)
+			if err != nil {
+				return nil, err
+			}
+		case OpDrop:
+			stack = stack[:len(stack)-1]
+		case OpSelect:
+			c := stack[len(stack)-1]
+			b := stack[len(stack)-2]
+			a := stack[len(stack)-3]
+			stack = stack[:len(stack)-3]
+			if c != 0 {
+				stack = append(stack, a)
+			} else {
+				stack = append(stack, b)
+			}
+
+		case OpLocalGet:
+			stack = append(stack, locals[ins.A])
+		case OpLocalSet:
+			locals[ins.A] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case OpLocalTee:
+			locals[ins.A] = stack[len(stack)-1]
+		case OpGlobalGet:
+			stack = append(stack, in.globals[ins.A])
+		case OpGlobalSet:
+			in.globals[ins.A] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+
+		case OpI64Load:
+			addr := stack[len(stack)-1] + ins.A
+			if addr < 0 || addr+8 > int64(len(in.memory)) {
+				return nil, fmt.Errorf("%w: load at %d", ErrOOB, addr)
+			}
+			stack[len(stack)-1] = int64(binary.LittleEndian.Uint64(in.memory[addr:]))
+			in.stats.MemBytes += 8
+		case OpI64Store:
+			v := stack[len(stack)-1]
+			addr := stack[len(stack)-2] + ins.A
+			stack = stack[:len(stack)-2]
+			if addr < 0 || addr+8 > int64(len(in.memory)) {
+				return nil, fmt.Errorf("%w: store at %d", ErrOOB, addr)
+			}
+			binary.LittleEndian.PutUint64(in.memory[addr:], uint64(v))
+			in.stats.MemBytes += 8
+		case OpI64Load8U:
+			addr := stack[len(stack)-1] + ins.A
+			if addr < 0 || addr >= int64(len(in.memory)) {
+				return nil, fmt.Errorf("%w: load8 at %d", ErrOOB, addr)
+			}
+			stack[len(stack)-1] = int64(in.memory[addr])
+			in.stats.MemBytes++
+		case OpI64Store8:
+			v := stack[len(stack)-1]
+			addr := stack[len(stack)-2] + ins.A
+			stack = stack[:len(stack)-2]
+			if addr < 0 || addr >= int64(len(in.memory)) {
+				return nil, fmt.Errorf("%w: store8 at %d", ErrOOB, addr)
+			}
+			in.memory[addr] = byte(v)
+			in.stats.MemBytes++
+		case OpMemorySize:
+			stack = append(stack, int64(len(in.memory)/PageSize))
+		case OpMemoryGrow:
+			delta := stack[len(stack)-1]
+			old := int64(len(in.memory) / PageSize)
+			if delta < 0 || old+delta > int64(in.module.MemMaxPages) {
+				stack[len(stack)-1] = -1
+			} else {
+				in.memory = append(in.memory, make([]byte, delta*PageSize)...)
+				stack[len(stack)-1] = old
+			}
+
+		case OpI64Const:
+			stack = append(stack, ins.A)
+		case OpI64Add:
+			stack[len(stack)-2] += stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case OpI64Sub:
+			stack[len(stack)-2] -= stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case OpI64Mul:
+			stack[len(stack)-2] *= stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case OpI64DivS:
+			b := stack[len(stack)-1]
+			if b == 0 {
+				return nil, ErrDivByZero
+			}
+			stack[len(stack)-2] /= b
+			stack = stack[:len(stack)-1]
+		case OpI64RemS:
+			b := stack[len(stack)-1]
+			if b == 0 {
+				return nil, ErrDivByZero
+			}
+			stack[len(stack)-2] %= b
+			stack = stack[:len(stack)-1]
+		case OpI64And:
+			stack[len(stack)-2] &= stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case OpI64Or:
+			stack[len(stack)-2] |= stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case OpI64Xor:
+			stack[len(stack)-2] ^= stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case OpI64Shl:
+			stack[len(stack)-2] <<= uint64(stack[len(stack)-1]) & 63
+			stack = stack[:len(stack)-1]
+		case OpI64ShrS:
+			stack[len(stack)-2] >>= uint64(stack[len(stack)-1]) & 63
+			stack = stack[:len(stack)-1]
+		case OpI64Eqz:
+			stack[len(stack)-1] = b2i(stack[len(stack)-1] == 0)
+		case OpI64Eq:
+			stack[len(stack)-2] = b2i(stack[len(stack)-2] == stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+		case OpI64Ne:
+			stack[len(stack)-2] = b2i(stack[len(stack)-2] != stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+		case OpI64LtS:
+			stack[len(stack)-2] = b2i(stack[len(stack)-2] < stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+		case OpI64GtS:
+			stack[len(stack)-2] = b2i(stack[len(stack)-2] > stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+		case OpI64LeS:
+			stack[len(stack)-2] = b2i(stack[len(stack)-2] <= stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+		case OpI64GeS:
+			stack[len(stack)-2] = b2i(stack[len(stack)-2] >= stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+
+		case OpF64Const:
+			stack = append(stack, ins.A)
+		case OpF64Add:
+			stack[len(stack)-2] = f2i(i2f(stack[len(stack)-2]) + i2f(stack[len(stack)-1]))
+			stack = stack[:len(stack)-1]
+		case OpF64Sub:
+			stack[len(stack)-2] = f2i(i2f(stack[len(stack)-2]) - i2f(stack[len(stack)-1]))
+			stack = stack[:len(stack)-1]
+		case OpF64Mul:
+			stack[len(stack)-2] = f2i(i2f(stack[len(stack)-2]) * i2f(stack[len(stack)-1]))
+			stack = stack[:len(stack)-1]
+		case OpF64Div:
+			stack[len(stack)-2] = f2i(i2f(stack[len(stack)-2]) / i2f(stack[len(stack)-1]))
+			stack = stack[:len(stack)-1]
+		case OpF64Sqrt:
+			stack[len(stack)-1] = f2i(math.Sqrt(i2f(stack[len(stack)-1])))
+		case OpF64Abs:
+			stack[len(stack)-1] = f2i(math.Abs(i2f(stack[len(stack)-1])))
+		case OpF64Neg:
+			stack[len(stack)-1] = f2i(-i2f(stack[len(stack)-1]))
+		case OpF64Eq:
+			stack[len(stack)-2] = b2i(i2f(stack[len(stack)-2]) == i2f(stack[len(stack)-1]))
+			stack = stack[:len(stack)-1]
+		case OpF64Lt:
+			stack[len(stack)-2] = b2i(i2f(stack[len(stack)-2]) < i2f(stack[len(stack)-1]))
+			stack = stack[:len(stack)-1]
+		case OpF64Gt:
+			stack[len(stack)-2] = b2i(i2f(stack[len(stack)-2]) > i2f(stack[len(stack)-1]))
+			stack = stack[:len(stack)-1]
+		case OpF64ConvertI64S:
+			stack[len(stack)-1] = f2i(float64(stack[len(stack)-1]))
+		case OpI64TruncF64S:
+			stack[len(stack)-1] = int64(i2f(stack[len(stack)-1]))
+
+		default:
+			return nil, fmt.Errorf("wasmvm: unknown opcode %v at pc %d", ins.Op, pc)
+		}
+		pc++
+	}
+	return finishCall(f, base, stack)
+}
+
+// finishCall checks the result arity at function exit and truncates
+// the stack to the caller's height plus the callee's results, so
+// early returns from inside loops cannot leak residual operands.
+func finishCall(f *Func, base int, stack []int64) ([]int64, error) {
+	if len(stack)-base < f.Results {
+		return nil, fmt.Errorf("%w: %q returning %d values, %d available",
+			ErrStackUnderflow, f.Name, f.Results, len(stack)-base)
+	}
+	results := make([]int64, f.Results)
+	copy(results, stack[len(stack)-f.Results:])
+	return append(stack[:base], results...), nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func i2f(v int64) float64 { return math.Float64frombits(uint64(v)) }
+func f2i(v float64) int64 { return int64(math.Float64bits(v)) }

@@ -1,0 +1,196 @@
+package wasmvm
+
+import "fmt"
+
+// stackEffect returns (pops, pushes) for op. Control-flow and call
+// opcodes are handled specially by the validator.
+func stackEffect(op Op) (pops, pushes int) {
+	switch op {
+	case OpNop, OpBlock, OpLoop, OpElse, OpEnd, OpBr, OpUnreachable:
+		return 0, 0
+	case OpIf, OpBrIf, OpDrop:
+		return 1, 0
+	case OpSelect:
+		return 3, 1
+	case OpLocalGet, OpGlobalGet, OpI64Const, OpF64Const, OpMemorySize:
+		return 0, 1
+	case OpLocalSet, OpGlobalSet:
+		return 1, 0
+	case OpLocalTee, OpI64Load, OpI64Load8U, OpMemoryGrow,
+		OpI64Eqz, OpF64Sqrt, OpF64Abs, OpF64Neg,
+		OpF64ConvertI64S, OpI64TruncF64S:
+		return 1, 1
+	case OpI64Store, OpI64Store8:
+		return 2, 0
+	case OpI64Add, OpI64Sub, OpI64Mul, OpI64DivS, OpI64RemS,
+		OpI64And, OpI64Or, OpI64Xor, OpI64Shl, OpI64ShrS,
+		OpI64Eq, OpI64Ne, OpI64LtS, OpI64GtS, OpI64LeS, OpI64GeS,
+		OpF64Add, OpF64Sub, OpF64Mul, OpF64Div,
+		OpF64Eq, OpF64Lt, OpF64Gt:
+		return 2, 1
+	default:
+		return 0, 0
+	}
+}
+
+// Validate checks structural well-formedness of a module: index
+// bounds for locals, globals, calls, and branch targets, plus a
+// linear operand-stack balance walk per function. Builder-produced
+// structured code passes; hand-mangled code is rejected before it can
+// corrupt the interpreter.
+func Validate(m *Module) error {
+	if m == nil {
+		return fmt.Errorf("%w: nil module", ErrValidation)
+	}
+	if m.MemPages < 0 || m.MemMaxPages < 0 || (m.MemMaxPages > 0 && m.MemPages > m.MemMaxPages) {
+		return fmt.Errorf("%w: memory pages %d/%d", ErrValidation, m.MemPages, m.MemMaxPages)
+	}
+	for fi := range m.Funcs {
+		if err := validateFunc(m, fi); err != nil {
+			return err
+		}
+	}
+	for name, idx := range m.exports {
+		if idx < 0 || idx >= len(m.Funcs) {
+			return fmt.Errorf("%w: export %q references func %d of %d",
+				ErrValidation, name, idx, len(m.Funcs))
+		}
+	}
+	return nil
+}
+
+func validateFunc(m *Module, fi int) error {
+	f := &m.Funcs[fi]
+	nLocals := f.Params + f.Locals
+	fail := func(pc int, format string, args ...any) error {
+		return fmt.Errorf("%w: func %q pc %d: %s",
+			ErrValidation, f.Name, pc, fmt.Sprintf(format, args...))
+	}
+
+	// Control frames track the operand height at frame entry. Blocks,
+	// loops and ifs are void-typed in this VM: a frame must leave the
+	// stack at its entry height (values flow through locals), which
+	// keeps the linear walk exact even across else/branch edges.
+	type vframe struct {
+		op    Op
+		entry int
+	}
+	var frames []vframe
+	height := 0
+	reachable := true
+	for pc, ins := range f.Code {
+		switch ins.Op {
+		case OpLocalGet, OpLocalSet, OpLocalTee:
+			if ins.A < 0 || ins.A >= int64(nLocals) {
+				return fail(pc, "local index %d of %d", ins.A, nLocals)
+			}
+		case OpGlobalGet, OpGlobalSet:
+			if ins.A < 0 || ins.A >= int64(len(m.Globals)) {
+				return fail(pc, "global index %d of %d", ins.A, len(m.Globals))
+			}
+		case OpCall:
+			if ins.A < 0 || ins.A >= int64(len(m.Funcs)) {
+				return fail(pc, "call target %d of %d funcs", ins.A, len(m.Funcs))
+			}
+		case OpBr, OpBrIf, OpBlock, OpIf, OpElse:
+			if ins.A < 0 || ins.A > int64(len(f.Code)) {
+				return fail(pc, "branch target %d outside code of %d", ins.A, len(f.Code))
+			}
+		case OpLoop:
+			if ins.A < 0 || ins.A > int64(pc) {
+				return fail(pc, "loop target %d past own pc", ins.A)
+			}
+		case OpI64Load, OpI64Store, OpI64Load8U, OpI64Store8:
+			if m.MemPages == 0 && m.MemMaxPages == 0 {
+				return fail(pc, "memory access without declared memory")
+			}
+			if ins.A < 0 {
+				return fail(pc, "negative static offset %d", ins.A)
+			}
+		}
+
+		// Stack-balance walk with explicit control frames. After an
+		// unconditional transfer (br, return, unreachable) the walk is
+		// suspended until the next end/else re-anchors the height at
+		// the enclosing frame's entry.
+		switch ins.Op {
+		case OpBlock, OpLoop:
+			if !reachable {
+				continue
+			}
+			frames = append(frames, vframe{op: ins.Op, entry: height})
+			continue
+		case OpIf:
+			if !reachable {
+				continue
+			}
+			if height < 1 {
+				return fail(pc, "if with empty stack")
+			}
+			height--
+			frames = append(frames, vframe{op: ins.Op, entry: height})
+			continue
+		case OpElse:
+			if len(frames) == 0 {
+				return fail(pc, "else outside frame")
+			}
+			top := frames[len(frames)-1]
+			if reachable && height != top.entry {
+				return fail(pc, "if arm leaves stack at %d, entered at %d (use locals)", height, top.entry)
+			}
+			height = top.entry
+			reachable = true
+			continue
+		case OpEnd:
+			if len(frames) == 0 {
+				return fail(pc, "end outside frame")
+			}
+			top := frames[len(frames)-1]
+			frames = frames[:len(frames)-1]
+			if reachable && height != top.entry {
+				return fail(pc, "frame leaves stack at %d, entered at %d (use locals)", height, top.entry)
+			}
+			height = top.entry
+			reachable = true
+			continue
+		}
+		if !reachable {
+			continue
+		}
+		var pops, pushes int
+		switch ins.Op {
+		case OpCall:
+			callee := &m.Funcs[ins.A]
+			pops, pushes = callee.Params, callee.Results
+		case OpReturn:
+			if height < f.Results {
+				return fail(pc, "return with stack height %d, need %d", height, f.Results)
+			}
+			reachable = false
+			continue
+		case OpBr, OpUnreachable:
+			reachable = false
+			continue
+		case OpBrIf:
+			if height < 1 {
+				return fail(pc, "br_if with empty stack")
+			}
+			height--
+			continue
+		default:
+			pops, pushes = stackEffect(ins.Op)
+		}
+		if height < pops {
+			return fail(pc, "%s pops %d with stack height %d", ins.Op, pops, height)
+		}
+		height += pushes - pops
+	}
+	if len(frames) != 0 {
+		return fmt.Errorf("%w: func %q: %d unclosed frames", ErrValidation, f.Name, len(frames))
+	}
+	if reachable && height != f.Results {
+		return fmt.Errorf("%w: func %q: final stack height %d, want %d results",
+			ErrValidation, f.Name, height, f.Results)
+	}
+	return nil
+}

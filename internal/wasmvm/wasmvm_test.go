@@ -1,0 +1,493 @@
+package wasmvm
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func benchInstance(t *testing.T) *Instance {
+	t.Helper()
+	m, err := BuildBenchModule()
+	if err != nil {
+		t.Fatalf("build bench module: %v", err)
+	}
+	in, err := NewInstance(m)
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	return in
+}
+
+func invoke1(t *testing.T, in *Instance, name string, args ...int64) int64 {
+	t.Helper()
+	res, err := in.Invoke(name, args...)
+	if err != nil {
+		t.Fatalf("invoke %s(%v): %v", name, args, err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("invoke %s: got %d results", name, len(res))
+	}
+	return res[0]
+}
+
+func TestFibRecursive(t *testing.T) {
+	in := benchInstance(t)
+	want := []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for n, w := range want {
+		if got := invoke1(t, in, "fib", int64(n)); got != w {
+			t.Errorf("fib(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestFibIterMatchesRecursive(t *testing.T) {
+	in := benchInstance(t)
+	for n := int64(0); n <= 20; n++ {
+		rec := invoke1(t, in, "fib", n)
+		iter := invoke1(t, in, "fib_iter", n)
+		if rec != iter {
+			t.Errorf("fib(%d): recursive %d != iterative %d", n, rec, iter)
+		}
+	}
+}
+
+func TestSieve(t *testing.T) {
+	in := benchInstance(t)
+	cases := map[int64]int64{10: 4, 100: 25, 1000: 168, 10000: 1229}
+	for limit, want := range cases {
+		if got := invoke1(t, in, "sieve", limit); got != want {
+			t.Errorf("sieve(%d) = %d, want %d", limit, got, want)
+		}
+	}
+}
+
+func TestSieveRepeatable(t *testing.T) {
+	in := benchInstance(t)
+	first := invoke1(t, in, "sieve", 1000)
+	second := invoke1(t, in, "sieve", 1000)
+	if first != second {
+		t.Errorf("sieve not idempotent: %d then %d", first, second)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	in := benchInstance(t)
+	// Reference in Go: A[i]=i%7, B[i]=i%5, C=(A×B), return C[n-1][n-1].
+	ref := func(n int64) int64 {
+		a := make([]int64, n*n)
+		b := make([]int64, n*n)
+		for i := int64(0); i < n*n; i++ {
+			a[i], b[i] = i%7, i%5
+		}
+		var sum int64
+		i, j := n-1, n-1
+		for k := int64(0); k < n; k++ {
+			sum += a[i*n+k] * b[k*n+j]
+		}
+		return sum
+	}
+	for _, n := range []int64{1, 2, 3, 8, 16} {
+		if got, want := invoke1(t, in, "matmul", n), ref(n); got != want {
+			t.Errorf("matmul(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestGCD(t *testing.T) {
+	in := benchInstance(t)
+	cases := [][3]int64{{12, 18, 6}, {17, 5, 1}, {100, 0, 100}, {0, 7, 7}, {252, 105, 21}}
+	for _, c := range cases {
+		if got := invoke1(t, in, "gcd", c[0], c[1]); got != c[2] {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestGCDPropertyMatchesEuclid(t *testing.T) {
+	in := benchInstance(t)
+	euclid := func(a, b int64) int64 {
+		for b != 0 {
+			a, b = b, a%b
+		}
+		return a
+	}
+	f := func(a, b uint16) bool {
+		x, y := int64(a), int64(b)
+		return invoke1(t, in, "gcd", x, y) == euclid(x, y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowMod(t *testing.T) {
+	in := benchInstance(t)
+	ref := func(base, exp, mod int64) int64 {
+		r := int64(1)
+		base %= mod
+		for e := exp; e > 0; e >>= 1 {
+			if e&1 == 1 {
+				r = r * base % mod
+			}
+			base = base * base % mod
+		}
+		return r
+	}
+	f := func(b, e uint8, m uint8) bool {
+		mod := int64(m)%1000 + 2
+		return invoke1(t, in, "powmod", int64(b), int64(e), mod) == ref(int64(b), int64(e), mod)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPUStressConverges(t *testing.T) {
+	in := benchInstance(t)
+	// x = sqrt(x² + 0.25) grows without bound slowly; just check the
+	// kernel runs and yields a sane positive value.
+	got := invoke1(t, in, "cpustress", 1000)
+	if got <= 1000 {
+		t.Errorf("cpustress(1000) = %d, want > 1000 (x > 1.0)", got)
+	}
+}
+
+func TestMemStressChecksumDeterministic(t *testing.T) {
+	in := benchInstance(t)
+	a := invoke1(t, in, "memstress", 1<<16)
+	b := invoke1(t, in, "memstress", 1<<16)
+	if a != b {
+		t.Errorf("memstress checksum not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	in := benchInstance(t)
+	in.Fuel = 100
+	if _, err := in.Invoke("fib", 30); !errors.Is(err, ErrFuelExhausted) {
+		t.Errorf("want ErrFuelExhausted, got %v", err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	in := benchInstance(t)
+	invoke1(t, in, "fib_iter", 10)
+	st := in.Stats()
+	if st.Instructions == 0 || st.Calls == 0 {
+		t.Errorf("stats not recorded: %+v", st)
+	}
+	in.ResetStats()
+	if in.Stats().Instructions != 0 {
+		t.Error("ResetStats did not zero instructions")
+	}
+}
+
+func TestExportNotFound(t *testing.T) {
+	in := benchInstance(t)
+	if _, err := in.Invoke("nope"); !errors.Is(err, ErrNoExport) {
+		t.Errorf("want ErrNoExport, got %v", err)
+	}
+}
+
+func TestBadArity(t *testing.T) {
+	in := benchInstance(t)
+	if _, err := in.Invoke("fib"); !errors.Is(err, ErrBadArity) {
+		t.Errorf("want ErrBadArity, got %v", err)
+	}
+}
+
+func TestDivByZeroTraps(t *testing.T) {
+	mb := NewModuleBuilder()
+	fb := NewFuncBuilder("div", 2, 1, 0)
+	fb.LocalGet(0).LocalGet(1).I64DivS()
+	mb.AddFunc(fb)
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	in, err := NewInstance(m)
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	if _, err := in.Invoke("div", 10, 0); !errors.Is(err, ErrDivByZero) {
+		t.Errorf("want ErrDivByZero, got %v", err)
+	}
+	res, err := in.Invoke("div", 10, 3)
+	if err != nil || res[0] != 3 {
+		t.Errorf("div(10,3) = %v, %v", res, err)
+	}
+}
+
+func TestMemoryOOBTraps(t *testing.T) {
+	mb := NewModuleBuilder().WithMemory(1, 1)
+	fb := NewFuncBuilder("poke", 1, 0, 0)
+	fb.LocalGet(0).I64Const(1).I64Store(0)
+	mb.AddFunc(fb)
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	in, err := NewInstance(m)
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	if _, err := in.Invoke("poke", int64(PageSize)); !errors.Is(err, ErrOOB) {
+		t.Errorf("want ErrOOB, got %v", err)
+	}
+	if _, err := in.Invoke("poke", -8); !errors.Is(err, ErrOOB) {
+		t.Errorf("negative addr: want ErrOOB, got %v", err)
+	}
+	if _, err := in.Invoke("poke", 0); err != nil {
+		t.Errorf("in-bounds store failed: %v", err)
+	}
+}
+
+func TestMemoryGrow(t *testing.T) {
+	mb := NewModuleBuilder().WithMemory(1, 2)
+	fb := NewFuncBuilder("grow", 1, 1, 0)
+	fb.LocalGet(0).MemoryGrow()
+	mb.AddFunc(fb)
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	in, err := NewInstance(m)
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	if got := invoke1(t, in, "grow", 1); got != 1 {
+		t.Errorf("grow(1) = %d, want old size 1", got)
+	}
+	if in.MemoryLen() != 2*PageSize {
+		t.Errorf("memory len %d, want %d", in.MemoryLen(), 2*PageSize)
+	}
+	if got := invoke1(t, in, "grow", 1); got != -1 {
+		t.Errorf("grow beyond max = %d, want -1", got)
+	}
+}
+
+func TestUnreachableTraps(t *testing.T) {
+	mb := NewModuleBuilder()
+	fb := NewFuncBuilder("boom", 0, 0, 0)
+	fb.Unreachable()
+	mb.AddFunc(fb)
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	in, _ := NewInstance(m)
+	if _, err := in.Invoke("boom"); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("want ErrUnreachable, got %v", err)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	mb := NewModuleBuilder()
+	fb := NewFuncBuilder("inf", 0, 0, 0)
+	fb.Call(0)
+	mb.AddFunc(fb)
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	in, _ := NewInstance(m)
+	if _, err := in.Invoke("inf"); !errors.Is(err, ErrCallDepth) {
+		t.Errorf("want ErrCallDepth, got %v", err)
+	}
+}
+
+func TestValidateRejectsBadLocal(t *testing.T) {
+	m := &Module{
+		Funcs:   []Func{{Name: "f", Params: 1, Results: 0, Code: []Instr{{Op: OpLocalGet, A: 5}, {Op: OpDrop}}}},
+		exports: map[string]int{"f": 0},
+	}
+	if err := Validate(m); !errors.Is(err, ErrValidation) {
+		t.Errorf("want ErrValidation, got %v", err)
+	}
+}
+
+func TestValidateRejectsUnderflow(t *testing.T) {
+	m := &Module{
+		Funcs:   []Func{{Name: "f", Params: 0, Results: 0, Code: []Instr{{Op: OpI64Add}}}},
+		exports: map[string]int{"f": 0},
+	}
+	if err := Validate(m); !errors.Is(err, ErrValidation) {
+		t.Errorf("want ErrValidation, got %v", err)
+	}
+}
+
+func TestValidateRejectsBadCallIndex(t *testing.T) {
+	m := &Module{
+		Funcs:   []Func{{Name: "f", Params: 0, Results: 0, Code: []Instr{{Op: OpCall, A: 3}}}},
+		exports: map[string]int{"f": 0},
+	}
+	if err := Validate(m); !errors.Is(err, ErrValidation) {
+		t.Errorf("want ErrValidation, got %v", err)
+	}
+}
+
+func TestValidateRejectsResultMismatch(t *testing.T) {
+	m := &Module{
+		Funcs:   []Func{{Name: "f", Params: 0, Results: 1, Code: []Instr{{Op: OpNop}}}},
+		exports: map[string]int{"f": 0},
+	}
+	if err := Validate(m); !errors.Is(err, ErrValidation) {
+		t.Errorf("want ErrValidation, got %v", err)
+	}
+}
+
+func TestValidateRejectsMemoryAccessWithoutMemory(t *testing.T) {
+	mb := NewModuleBuilder() // no memory declared
+	fb := NewFuncBuilder("f", 0, 1, 0)
+	fb.I64Const(0).I64Load(0)
+	mb.AddFunc(fb)
+	if _, err := mb.Build(); !errors.Is(err, ErrValidation) {
+		t.Errorf("want ErrValidation, got %v", err)
+	}
+}
+
+func TestBuilderRejectsUnclosedFrame(t *testing.T) {
+	mb := NewModuleBuilder()
+	fb := NewFuncBuilder("f", 0, 0, 0)
+	fb.Block() // never closed
+	mb.AddFunc(fb)
+	if _, err := mb.Build(); err == nil {
+		t.Error("want error for unclosed frame")
+	}
+}
+
+func TestBuilderRejectsElseWithoutIf(t *testing.T) {
+	mb := NewModuleBuilder()
+	fb := NewFuncBuilder("f", 0, 0, 0)
+	fb.Else()
+	mb.AddFunc(fb)
+	if _, err := mb.Build(); err == nil {
+		t.Error("want error for else without if")
+	}
+}
+
+func TestIfElseBothArms(t *testing.T) {
+	mb := NewModuleBuilder()
+	// abs(x): if x < 0 { r = -x } else { r = x }; return r
+	fb := NewFuncBuilder("abs", 1, 1, 1)
+	fb.LocalGet(0).I64Const(0).I64LtS().If().
+		I64Const(0).LocalGet(0).I64Sub().LocalSet(1).
+		Else().
+		LocalGet(0).LocalSet(1).
+		End()
+	fb.LocalGet(1)
+	mb.AddFunc(fb)
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	in, _ := NewInstance(m)
+	for _, c := range [][2]int64{{5, 5}, {-5, 5}, {0, 0}, {-123456, 123456}} {
+		if got := invoke1(t, in, "abs", c[0]); got != c[1] {
+			t.Errorf("abs(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	mb := NewModuleBuilder()
+	// max(a,b) via select
+	fb := NewFuncBuilder("max", 2, 1, 0)
+	fb.LocalGet(0).LocalGet(1).LocalGet(0).LocalGet(1).I64GtS().Select()
+	mb.AddFunc(fb)
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	in, _ := NewInstance(m)
+	if got := invoke1(t, in, "max", 3, 9); got != 9 {
+		t.Errorf("max(3,9) = %d", got)
+	}
+	if got := invoke1(t, in, "max", 9, 3); got != 9 {
+		t.Errorf("max(9,3) = %d", got)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	mb := NewModuleBuilder()
+	g := mb.AddGlobal(41)
+	fb := NewFuncBuilder("bump", 0, 1, 0)
+	fb.GlobalGet(g).I64Const(1).I64Add().GlobalSet(g).GlobalGet(g)
+	mb.AddFunc(fb)
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	in, _ := NewInstance(m)
+	if got := invoke1(t, in, "bump"); got != 42 {
+		t.Errorf("bump = %d, want 42", got)
+	}
+	if got := invoke1(t, in, "bump"); got != 43 {
+		t.Errorf("second bump = %d, want 43", got)
+	}
+}
+
+func TestF64Ops(t *testing.T) {
+	mb := NewModuleBuilder()
+	// hyp(scaled): sqrt(3²+4²) = 5 → returns bits of 5.0
+	fb := NewFuncBuilder("hyp", 0, 1, 0)
+	fb.F64Const(3).F64Const(3).F64Mul().
+		F64Const(4).F64Const(4).F64Mul().
+		F64Add().F64Sqrt()
+	mb.AddFunc(fb)
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	in, _ := NewInstance(m)
+	got, err := in.InvokeF64("hyp")
+	if err != nil {
+		t.Fatalf("hyp: %v", err)
+	}
+	if math.Abs(got-5) > 1e-12 {
+		t.Errorf("hyp = %v, want 5", got)
+	}
+}
+
+func TestReadMemory(t *testing.T) {
+	in := benchInstance(t)
+	invoke1(t, in, "memstress", 64)
+	data, err := in.ReadMemory(0, 8)
+	if err != nil {
+		t.Fatalf("ReadMemory: %v", err)
+	}
+	if len(data) != 8 {
+		t.Errorf("got %d bytes", len(data))
+	}
+	if _, err := in.ReadMemory(-1, 8); !errors.Is(err, ErrOOB) {
+		t.Errorf("negative offset: want ErrOOB, got %v", err)
+	}
+	if _, err := in.ReadMemory(in.MemoryLen(), 8); !errors.Is(err, ErrOOB) {
+		t.Errorf("past end: want ErrOOB, got %v", err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	m, err := BuildBenchModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := DisassembleModule(m)
+	for _, want := range []string{"func fib", "i64.const", "br_if", "local.get", "module (funcs 8)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+	// Every pc appears exactly once per function.
+	fib := m.Funcs[FnFib]
+	dis := Disassemble(fib)
+	if got := strings.Count(dis, "\n"); got != len(fib.Code)+1 {
+		t.Errorf("fib disassembly has %d lines, want %d", got, len(fib.Code)+1)
+	}
+	if Disassemble(Func{Params: 0}) == "" {
+		t.Error("anonymous func renders empty")
+	}
+}

@@ -1,0 +1,403 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"confbench/internal/meter"
+)
+
+// cpuWorkloads returns the CPU-bound catalog entries.
+func cpuWorkloads() []Workload {
+	return []Workload{
+		{
+			Name: "cpustress", Kind: KindCPU, DefaultScale: 200_000,
+			Description: "intensive trigonometric and arithmetic operations in a large loop",
+			Run:         runCPUStress,
+		},
+		{
+			Name: "factors", Kind: KindCPU, DefaultScale: 1_000_003,
+			Description: "compute the factors of a number",
+			Run:         runFactors,
+		},
+		{
+			Name: "ack", Kind: KindCPU, DefaultScale: 7,
+			Description: "Ackermann function ack(2, n)",
+			Run:         runAckermann,
+		},
+		{
+			Name: "fib", Kind: KindCPU, DefaultScale: 22,
+			Description: "naive recursive Fibonacci",
+			Run:         runFib,
+		},
+		{
+			Name: "primes", Kind: KindCPU, DefaultScale: 200_000,
+			Description: "sieve of Eratosthenes prime count",
+			Run:         runPrimes,
+		},
+		{
+			Name: "mandelbrot", Kind: KindCPU, DefaultScale: 160,
+			Description: "Mandelbrot set escape iteration over an n×n grid",
+			Run:         runMandelbrot,
+		},
+		{
+			Name: "nbody", Kind: KindCPU, DefaultScale: 12_000,
+			Description: "planetary n-body simulation steps",
+			Run:         runNBody,
+		},
+		{
+			Name: "spectralnorm", Kind: KindCPU, DefaultScale: 180,
+			Description: "spectral norm of an infinite matrix approximation",
+			Run:         runSpectralNorm,
+		},
+		{
+			Name: "fannkuch", Kind: KindCPU, DefaultScale: 8,
+			Description: "fannkuch-redux pancake flips over permutations",
+			Run:         runFannkuch,
+		},
+		{
+			Name: "queens", Kind: KindCPU, DefaultScale: 9,
+			Description: "count solutions to the n-queens problem",
+			Run:         runQueens,
+		},
+		{
+			Name: "collatz", Kind: KindCPU, DefaultScale: 120_000,
+			Description: "longest Collatz chain below n",
+			Run:         runCollatz,
+		},
+	}
+}
+
+// runCPUStress mirrors the paper's cpustress: trigonometric and
+// arithmetic operations within a large iteration loop.
+func runCPUStress(m *meter.Context, scale int) (string, error) {
+	if scale <= 0 {
+		return "", fmt.Errorf("cpustress: scale must be positive, got %d", scale)
+	}
+	acc := 0.0
+	for i := 1; i <= scale; i++ {
+		x := float64(i)
+		acc += math.Sin(x)*math.Cos(x) + math.Sqrt(x)/(1+math.Abs(math.Tan(x)))
+	}
+	m.FP(int64(scale) * 8)
+	m.CPU(int64(scale) * 4)
+	return fmt.Sprintf("acc=%.4f", acc), nil
+}
+
+// runFactors computes the factor list of scale.
+func runFactors(m *meter.Context, scale int) (string, error) {
+	if scale <= 0 {
+		return "", fmt.Errorf("factors: scale must be positive, got %d", scale)
+	}
+	n := scale
+	var factors []int
+	for i := 1; i*i <= n; i++ {
+		if n%i == 0 {
+			factors = append(factors, i)
+			if j := n / i; j != i {
+				factors = append(factors, j)
+			}
+		}
+	}
+	m.CPU(int64(math.Sqrt(float64(n))) * 6)
+	m.Alloc(int64(len(factors)) * 8)
+	return strconv.Itoa(len(factors)) + " factors", nil
+}
+
+// runAckermann computes ack(2, n) — deeply recursive but bounded.
+func runAckermann(m *meter.Context, scale int) (string, error) {
+	if scale < 0 || scale > 12 {
+		return "", fmt.Errorf("ack: scale must be in [0,12], got %d", scale)
+	}
+	var calls int64
+	var ack func(x, y int) int
+	ack = func(x, y int) int {
+		calls++
+		switch {
+		case x == 0:
+			return y + 1
+		case y == 0:
+			return ack(x-1, 1)
+		default:
+			return ack(x-1, ack(x, y-1))
+		}
+	}
+	v := ack(2, scale)
+	m.CPU(calls * 12)
+	return fmt.Sprintf("ack(2,%d)=%d", scale, v), nil
+}
+
+// runFib computes naive recursive Fibonacci.
+func runFib(m *meter.Context, scale int) (string, error) {
+	if scale < 0 || scale > 35 {
+		return "", fmt.Errorf("fib: scale must be in [0,35], got %d", scale)
+	}
+	var calls int64
+	var fib func(n int) int
+	fib = func(n int) int {
+		calls++
+		if n < 2 {
+			return n
+		}
+		return fib(n-1) + fib(n-2)
+	}
+	v := fib(scale)
+	m.CPU(calls * 8)
+	return fmt.Sprintf("fib(%d)=%d", scale, v), nil
+}
+
+// runPrimes counts primes below scale with a sieve.
+func runPrimes(m *meter.Context, scale int) (string, error) {
+	if scale < 2 {
+		return "", fmt.Errorf("primes: scale must be ≥ 2, got %d", scale)
+	}
+	sieve := make([]bool, scale)
+	m.Alloc(int64(scale))
+	count := 0
+	for i := 2; i < scale; i++ {
+		if !sieve[i] {
+			count++
+			for j := i * i; j < scale; j += i {
+				sieve[j] = true
+			}
+		}
+	}
+	m.CPU(int64(float64(scale) * math.Log(math.Log(float64(scale)+4)) * 3))
+	m.Touch(int64(scale))
+	return strconv.Itoa(count) + " primes", nil
+}
+
+// runMandelbrot iterates the Mandelbrot map over an n×n grid.
+func runMandelbrot(m *meter.Context, scale int) (string, error) {
+	if scale <= 0 {
+		return "", fmt.Errorf("mandelbrot: scale must be positive, got %d", scale)
+	}
+	const maxIter = 64
+	inside := 0
+	var totalIter int64
+	for py := 0; py < scale; py++ {
+		for px := 0; px < scale; px++ {
+			cr := float64(px)/float64(scale)*3.0 - 2.0
+			ci := float64(py)/float64(scale)*2.5 - 1.25
+			zr, zi := 0.0, 0.0
+			iter := 0
+			for ; iter < maxIter && zr*zr+zi*zi <= 4; iter++ {
+				zr, zi = zr*zr-zi*zi+cr, 2*zr*zi+ci
+			}
+			totalIter += int64(iter)
+			if iter == maxIter {
+				inside++
+			}
+		}
+	}
+	m.FP(totalIter * 10)
+	m.CPU(int64(scale) * int64(scale) * 4)
+	return fmt.Sprintf("%d inside", inside), nil
+}
+
+type body struct {
+	x, y, z, vx, vy, vz, mass float64
+}
+
+// runNBody advances a 5-body solar-system model `scale` steps
+// (benchmarks-game style).
+func runNBody(m *meter.Context, scale int) (string, error) {
+	if scale <= 0 {
+		return "", fmt.Errorf("nbody: scale must be positive, got %d", scale)
+	}
+	const dt = 0.01
+	bodies := []body{
+		{mass: 39.47841760435743}, // sun
+		{x: 4.84, y: -1.16, z: -0.10, vx: 0.60, vy: 2.81, vz: -0.02, mass: 0.0376},
+		{x: 8.34, y: 4.12, z: -0.40, vx: -1.01, vy: 1.82, vz: 0.008, mass: 0.0113},
+		{x: 12.89, y: -15.11, z: -0.22, vx: 1.08, vy: 0.86, vz: -0.01, mass: 0.0017},
+		{x: 15.38, y: -25.92, z: 0.18, vx: 0.98, vy: 0.59, vz: -0.03, mass: 0.0020},
+	}
+	n := len(bodies)
+	var fpOps int64
+	for step := 0; step < scale; step++ {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := bodies[i].x - bodies[j].x
+				dy := bodies[i].y - bodies[j].y
+				dz := bodies[i].z - bodies[j].z
+				d2 := dx*dx + dy*dy + dz*dz
+				mag := dt / (d2 * math.Sqrt(d2))
+				bodies[i].vx -= dx * bodies[j].mass * mag
+				bodies[i].vy -= dy * bodies[j].mass * mag
+				bodies[i].vz -= dz * bodies[j].mass * mag
+				bodies[j].vx += dx * bodies[i].mass * mag
+				bodies[j].vy += dy * bodies[i].mass * mag
+				bodies[j].vz += dz * bodies[i].mass * mag
+				fpOps += 30
+			}
+		}
+		for i := 0; i < n; i++ {
+			bodies[i].x += dt * bodies[i].vx
+			bodies[i].y += dt * bodies[i].vy
+			bodies[i].z += dt * bodies[i].vz
+			fpOps += 6
+		}
+	}
+	var energy float64
+	for i := 0; i < n; i++ {
+		b := bodies[i]
+		energy += 0.5 * b.mass * (b.vx*b.vx + b.vy*b.vy + b.vz*b.vz)
+	}
+	m.FP(fpOps)
+	return fmt.Sprintf("energy=%.6f", energy), nil
+}
+
+// runSpectralNorm approximates the spectral norm of A(i,j) =
+// 1/((i+j)(i+j+1)/2 + i + 1).
+func runSpectralNorm(m *meter.Context, scale int) (string, error) {
+	if scale <= 0 {
+		return "", fmt.Errorf("spectralnorm: scale must be positive, got %d", scale)
+	}
+	n := scale
+	a := func(i, j int) float64 {
+		return 1.0 / float64((i+j)*(i+j+1)/2+i+1)
+	}
+	multiplyAv := func(v, out []float64, transpose bool) {
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				if transpose {
+					sum += a(j, i) * v[j]
+				} else {
+					sum += a(i, j) * v[j]
+				}
+			}
+			out[i] = sum
+		}
+	}
+	u := make([]float64, n)
+	v := make([]float64, n)
+	w := make([]float64, n)
+	for i := range u {
+		u[i] = 1
+	}
+	for iter := 0; iter < 10; iter++ {
+		multiplyAv(u, w, false)
+		multiplyAv(w, v, true)
+		multiplyAv(v, w, false)
+		multiplyAv(w, u, true)
+	}
+	var vBv, vv float64
+	for i := 0; i < n; i++ {
+		vBv += u[i] * v[i]
+		vv += v[i] * v[i]
+	}
+	m.FP(int64(n) * int64(n) * 40 * 4)
+	m.Alloc(int64(n) * 24)
+	return fmt.Sprintf("norm=%.9f", math.Sqrt(vBv/vv)), nil
+}
+
+// runFannkuch runs fannkuch-redux on permutations of size scale.
+func runFannkuch(m *meter.Context, scale int) (string, error) {
+	if scale < 1 || scale > 10 {
+		return "", fmt.Errorf("fannkuch: scale must be in [1,10], got %d", scale)
+	}
+	n := scale
+	perm := make([]int, n)
+	perm1 := make([]int, n)
+	count := make([]int, n)
+	for i := 0; i < n; i++ {
+		perm1[i] = i
+	}
+	maxFlips, checksum, permCount := 0, 0, 0
+	var ops int64
+	r := n
+	for {
+		for r != 1 {
+			count[r-1] = r
+			r--
+		}
+		copy(perm, perm1)
+		flips := 0
+		for k := perm[0]; k != 0; k = perm[0] {
+			for i, j := 0, k; i < j; i, j = i+1, j-1 {
+				perm[i], perm[j] = perm[j], perm[i]
+			}
+			flips++
+			ops += int64(k)
+		}
+		if flips > maxFlips {
+			maxFlips = flips
+		}
+		if permCount%2 == 0 {
+			checksum += flips
+		} else {
+			checksum -= flips
+		}
+		for {
+			if r == n {
+				m.CPU(ops * 4)
+				return fmt.Sprintf("checksum=%d maxflips=%d", checksum, maxFlips), nil
+			}
+			p0 := perm1[0]
+			copy(perm1, perm1[1:r+1])
+			perm1[r] = p0
+			count[r]--
+			if count[r] > 0 {
+				break
+			}
+			r++
+		}
+		permCount++
+	}
+}
+
+// runQueens counts n-queens solutions with bitmask backtracking.
+func runQueens(m *meter.Context, scale int) (string, error) {
+	if scale < 1 || scale > 13 {
+		return "", fmt.Errorf("queens: scale must be in [1,13], got %d", scale)
+	}
+	var nodes int64
+	all := (1 << scale) - 1
+	var solve func(cols, diag1, diag2 int) int
+	solve = func(cols, diag1, diag2 int) int {
+		nodes++
+		if cols == all {
+			return 1
+		}
+		count := 0
+		avail := all &^ (cols | diag1 | diag2)
+		for avail != 0 {
+			bit := avail & -avail
+			avail ^= bit
+			count += solve(cols|bit, (diag1|bit)<<1&all, (diag2|bit)>>1)
+		}
+		return count
+	}
+	solutions := solve(0, 0, 0)
+	m.CPU(nodes * 10)
+	return fmt.Sprintf("%d solutions", solutions), nil
+}
+
+// runCollatz finds the longest Collatz chain for seeds below scale.
+func runCollatz(m *meter.Context, scale int) (string, error) {
+	if scale < 2 {
+		return "", fmt.Errorf("collatz: scale must be ≥ 2, got %d", scale)
+	}
+	bestSeed, bestLen := 1, 1
+	var steps int64
+	for seed := 2; seed < scale; seed++ {
+		n, length := seed, 1
+		for n != 1 {
+			if n%2 == 0 {
+				n /= 2
+			} else {
+				n = 3*n + 1
+			}
+			length++
+			steps++
+		}
+		if length > bestLen {
+			bestSeed, bestLen = seed, length
+		}
+	}
+	m.CPU(steps * 5)
+	return fmt.Sprintf("seed=%d len=%d", bestSeed, bestLen), nil
+}

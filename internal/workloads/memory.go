@@ -1,0 +1,288 @@
+package workloads
+
+import (
+	"fmt"
+
+	"confbench/internal/meter"
+)
+
+// memoryWorkloads returns the memory-bound catalog entries.
+func memoryWorkloads() []Workload {
+	return []Workload{
+		{
+			Name: "memstress", Kind: KindMemory, DefaultScale: 64,
+			Description: "repeated allocation of 1-MB buffers (scale = buffer count)",
+			Run:         runMemStress,
+		},
+		{
+			Name: "binarytrees", Kind: KindMemory, DefaultScale: 12,
+			Description: "allocate and walk binary trees (GC pressure)",
+			Run:         runBinaryTrees,
+		},
+		{
+			Name: "matrix", Kind: KindMemory, DefaultScale: 96,
+			Description: "dense n×n float64 matrix multiplication",
+			Run:         runMatrix,
+		},
+		{
+			Name: "quicksort", Kind: KindMemory, DefaultScale: 120_000,
+			Description: "quicksort over a pseudo-random int slice",
+			Run:         runQuicksort,
+		},
+		{
+			Name: "mergesort", Kind: KindMemory, DefaultScale: 120_000,
+			Description: "mergesort over a pseudo-random int slice",
+			Run:         runMergesort,
+		},
+		{
+			Name: "memwalk", Kind: KindMemory, DefaultScale: 8,
+			Description: "strided walks over a scale-MiB buffer (cache behaviour)",
+			Run:         runMemWalk,
+		},
+	}
+}
+
+const mib = 1 << 20
+
+// runMemStress mirrors the paper's memstress: repeated allocation of
+// 1-MB buffers so as to cover a large share of the VM's memory.
+func runMemStress(m *meter.Context, scale int) (string, error) {
+	if scale <= 0 {
+		return "", fmt.Errorf("memstress: scale must be positive, got %d", scale)
+	}
+	var sink byte
+	for i := 0; i < scale; i++ {
+		buf := make([]byte, mib)
+		// Touch every page so the allocation is real. Only a share of
+		// the pages is fresh to the VM (the allocator recycles most),
+		// so only those fault in — and, in a confidential VM, need
+		// acceptance/validation.
+		for off := 0; off < mib; off += 4096 {
+			buf[off] = byte(i + off)
+		}
+		sink ^= buf[mib-1]
+		m.Alloc(mib)
+		m.Fault(mib / 16384)
+	}
+	m.CPU(int64(scale) * (mib / 4096) * 2)
+	return fmt.Sprintf("allocated %d MiB sink=%d", scale, sink), nil
+}
+
+type treeNode struct {
+	left, right *treeNode
+}
+
+func buildTree(depth int) *treeNode {
+	if depth == 0 {
+		return &treeNode{}
+	}
+	return &treeNode{left: buildTree(depth - 1), right: buildTree(depth - 1)}
+}
+
+func checkTree(n *treeNode) int {
+	if n.left == nil {
+		return 1
+	}
+	return 1 + checkTree(n.left) + checkTree(n.right)
+}
+
+// runBinaryTrees is the benchmarks-game binary-trees kernel: heavy
+// small-object allocation exercising the runtime's GC — exactly the
+// managed-runtime pressure the paper attributes per-language overhead
+// differences to.
+func runBinaryTrees(m *meter.Context, scale int) (string, error) {
+	if scale < 1 || scale > 18 {
+		return "", fmt.Errorf("binarytrees: scale must be in [1,18], got %d", scale)
+	}
+	const nodeSize = 32
+	total := 0
+	var allocs int64
+	for depth := 4; depth <= scale; depth += 2 {
+		iters := 1 << (scale - depth + 4)
+		for i := 0; i < iters; i++ {
+			t := buildTree(depth)
+			total += checkTree(t)
+			allocs += int64(1)<<(depth+1) - 1
+		}
+	}
+	m.Alloc(allocs * nodeSize)
+	m.CPU(allocs * 6)
+	return fmt.Sprintf("checked %d nodes", total), nil
+}
+
+// runMatrix multiplies two n×n float64 matrices.
+func runMatrix(m *meter.Context, scale int) (string, error) {
+	if scale <= 0 {
+		return "", fmt.Errorf("matrix: scale must be positive, got %d", scale)
+	}
+	n := scale
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%7) + 0.5
+		b[i] = float64(i%5) + 0.25
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			for j := 0; j < n; j++ {
+				c[i*n+j] += aik * b[k*n+j]
+			}
+		}
+	}
+	nn := int64(n) * int64(n)
+	m.Alloc(nn * 24)
+	m.FP(nn * int64(n) * 2)
+	m.Touch(nn * int64(n) * 8)
+	return fmt.Sprintf("c[0]=%.2f c[n²-1]=%.2f", c[0], c[nn-1]), nil
+}
+
+// xorshift is a tiny deterministic PRNG for input generation.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+func randomInts(n int, seed uint64) []int {
+	rng := xorshift(seed | 1)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(rng.next() % 1_000_000)
+	}
+	return out
+}
+
+// runQuicksort sorts a deterministic pseudo-random slice.
+func runQuicksort(m *meter.Context, scale int) (string, error) {
+	if scale <= 0 {
+		return "", fmt.Errorf("quicksort: scale must be positive, got %d", scale)
+	}
+	data := randomInts(scale, 42)
+	var ops int64
+	var qs func(lo, hi int)
+	qs = func(lo, hi int) {
+		for lo < hi {
+			pivot := data[(lo+hi)/2]
+			i, j := lo, hi
+			for i <= j {
+				for data[i] < pivot {
+					i++
+					ops++
+				}
+				for data[j] > pivot {
+					j--
+					ops++
+				}
+				if i <= j {
+					data[i], data[j] = data[j], data[i]
+					i++
+					j--
+					ops += 3
+				}
+			}
+			// Recurse into the smaller half to bound stack depth.
+			if j-lo < hi-i {
+				qs(lo, j)
+				lo = i
+			} else {
+				qs(i, hi)
+				hi = j
+			}
+		}
+	}
+	qs(0, len(data)-1)
+	for i := 1; i < len(data); i++ {
+		if data[i-1] > data[i] {
+			return "", fmt.Errorf("quicksort: not sorted at %d", i)
+		}
+	}
+	m.Alloc(int64(scale) * 8)
+	m.CPU(ops * 3)
+	m.Touch(ops * 8)
+	return fmt.Sprintf("sorted %d ints, median=%d", scale, data[scale/2]), nil
+}
+
+// runMergesort sorts a deterministic pseudo-random slice.
+func runMergesort(m *meter.Context, scale int) (string, error) {
+	if scale <= 0 {
+		return "", fmt.Errorf("mergesort: scale must be positive, got %d", scale)
+	}
+	data := randomInts(scale, 99)
+	tmp := make([]int, len(data))
+	var ops int64
+	var ms func(lo, hi int)
+	ms = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		mid := (lo + hi) / 2
+		ms(lo, mid)
+		ms(mid, hi)
+		i, j, k := lo, mid, lo
+		for i < mid && j < hi {
+			if data[i] <= data[j] {
+				tmp[k] = data[i]
+				i++
+			} else {
+				tmp[k] = data[j]
+				j++
+			}
+			k++
+			ops += 2
+		}
+		for i < mid {
+			tmp[k] = data[i]
+			i, k = i+1, k+1
+			ops++
+		}
+		for j < hi {
+			tmp[k] = data[j]
+			j, k = j+1, k+1
+			ops++
+		}
+		copy(data[lo:hi], tmp[lo:hi])
+	}
+	ms(0, len(data))
+	for i := 1; i < len(data); i++ {
+		if data[i-1] > data[i] {
+			return "", fmt.Errorf("mergesort: not sorted at %d", i)
+		}
+	}
+	m.Alloc(int64(scale) * 16)
+	m.CPU(ops * 3)
+	m.Touch(ops * 16)
+	return fmt.Sprintf("sorted %d ints, median=%d", scale, data[scale/2]), nil
+}
+
+// runMemWalk performs sequential and strided walks over a scale-MiB
+// buffer; the strided pass defeats the prefetcher, exposing the cache
+// effects behind the paper's occasional sub-1.0 secure/normal ratios.
+func runMemWalk(m *meter.Context, scale int) (string, error) {
+	if scale <= 0 {
+		return "", fmt.Errorf("memwalk: scale must be positive, got %d", scale)
+	}
+	buf := make([]byte, scale*mib)
+	m.Alloc(int64(len(buf)))
+	var sum uint64
+	// Sequential pass.
+	for i := 0; i < len(buf); i += 64 {
+		buf[i] = byte(i)
+		sum += uint64(buf[i])
+	}
+	// Strided pass (page-sized stride).
+	for stride := 4096; stride <= 16384; stride *= 2 {
+		for i := 0; i < len(buf); i += stride {
+			sum += uint64(buf[i])
+		}
+	}
+	m.Touch(int64(len(buf)) * 2)
+	m.CPU(int64(len(buf)/64) * 2)
+	return fmt.Sprintf("sum=%d", sum), nil
+}
