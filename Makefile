@@ -1,0 +1,24 @@
+GO ?= go
+
+# Concurrency-sensitive packages: the bench Runner worker pool, the
+# gateway (TEE pools, load balancer, forwarding), and the retrying
+# HTTP client.
+RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/api/...
+
+.PHONY: build test vet race verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Full pre-merge check: compile, vet, unit tests, then the race
+# detector over the worker pool / gateway / client packages.
+verify: build vet test race

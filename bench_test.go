@@ -11,6 +11,7 @@
 package confbench_test
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -59,7 +60,7 @@ func BenchmarkFig3ConfidentialML(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := bench.ML(pair, bench.MLOptions{Images: 10, InputSize: 64})
+			res, err := bench.ML(context.Background(), pair, bench.MLOptions{Images: 10, InputSize: 64})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -79,7 +80,7 @@ func BenchmarkTableDBMS(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := bench.DBMS(pair, bench.DBMSOptions{Size: 30})
+			res, err := bench.DBMS(context.Background(), pair, bench.DBMSOptions{Size: 30})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -100,7 +101,7 @@ func BenchmarkFig4UnixBench(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := bench.UnixBench(pair, bench.UnixBenchOptions{Scale: 0.25})
+			res, err := bench.UnixBench(context.Background(), pair, bench.UnixBenchOptions{Scale: 0.25})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -120,7 +121,7 @@ func BenchmarkFig5Attestation(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		tdxRes, err := bench.Attestation(tee.KindTDX, ta, tv, 5)
+		tdxRes, err := bench.Attestation(context.Background(), tee.KindTDX, ta, tv, 5)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func BenchmarkFig5Attestation(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		sevRes, err := bench.Attestation(tee.KindSEV, sa, sv, 5)
+		sevRes, err := bench.Attestation(context.Background(), tee.KindSEV, sa, sv, 5)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func BenchmarkFig6FaaSHeatmap(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := bench.FaaS(pair, c.Catalog(), fig6Options())
+			res, err := bench.FaaS(context.Background(), pair, c.Catalog(), fig6Options())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -175,7 +176,7 @@ func BenchmarkFig7CCAHeatmap(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := bench.FaaS(pair, c.Catalog(), fig6Options())
+		res, err := bench.FaaS(context.Background(), pair, c.Catalog(), fig6Options())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -199,7 +200,7 @@ func BenchmarkFig8CCADistribution(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := bench.FaaS(pair, c.Catalog(), opts)
+		res, err := bench.FaaS(context.Background(), pair, c.Catalog(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -240,11 +241,11 @@ func BenchmarkAblationTDXFirmware(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		g, err := goodPair.Secure.InvokeFunction(fn, 50_000)
+		g, err := goodPair.Secure.InvokeFunction(context.Background(), fn, 50_000)
 		if err != nil {
 			b.Fatal(err)
 		}
-		bad, err := buggyPair.Secure.InvokeFunction(fn, 50_000)
+		bad, err := buggyPair.Secure.InvokeFunction(context.Background(), fn, 50_000)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -262,7 +263,7 @@ func BenchmarkAblationCollateralCache(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		cold, err := bench.Attestation(tee.KindTDX, ta, tv, 3)
+		cold, err := bench.Attestation(context.Background(), tee.KindTDX, ta, tv, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -275,7 +276,7 @@ func BenchmarkAblationCollateralCache(b *testing.B) {
 			b.Fatal("TDX verifier has unexpected type")
 		}
 		cached.CacheCollateral = true
-		warm, err := bench.Attestation(tee.KindTDX, ta2, cached, 3)
+		warm, err := bench.Attestation(context.Background(), tee.KindTDX, ta2, cached, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -293,7 +294,7 @@ func BenchmarkColocation(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := bench.CoLocation(backend, c.Catalog(), bench.CoLocationOptions{Tenants: 4, Trials: 2})
+		res, err := bench.CoLocation(context.Background(), backend, c.Catalog(), bench.CoLocationOptions{Tenants: 4, Trials: 2})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -309,13 +310,13 @@ func BenchmarkGatewayInvoke(b *testing.B) {
 	fn := faas.Function{Name: "bench-gw", Language: "go", Workload: "factors"}
 	// The benchmark body re-runs during b.N calibration; tolerate the
 	// function already being registered.
-	if err := c.Client().Upload(fn); err != nil && !strings.Contains(err.Error(), "already registered") {
+	if err := c.Client().Upload(context.Background(), fn); err != nil && !strings.Contains(err.Error(), "already registered") {
 		b.Fatal(err)
 	}
 	req := api.InvokeRequest{Function: "bench-gw", Secure: true, TEE: tee.KindTDX, Scale: 5040}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Client().Invoke(req); err != nil {
+		if _, err := c.Client().Invoke(context.Background(), req); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -399,12 +400,12 @@ func BenchmarkExtensionContainers(b *testing.B) {
 			_ = ccPair.Stop()
 			b.Fatal(err)
 		}
-		cc, err := ccPair.Secure.InvokeFunction(fn, 4)
+		cc, err := ccPair.Secure.InvokeFunction(context.Background(), fn, 4)
 		if err != nil {
 			_ = ccPair.Stop()
 			b.Fatal(err)
 		}
-		vmRes, err := vmPair.Secure.InvokeFunction(fn, 4)
+		vmRes, err := vmPair.Secure.InvokeFunction(context.Background(), fn, 4)
 		if err != nil {
 			_ = ccPair.Stop()
 			b.Fatal(err)

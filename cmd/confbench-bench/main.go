@@ -4,17 +4,22 @@
 // Usage:
 //
 //	confbench-bench [-fig all|3|dbms|4|5|6|7|8|colocation] [-trials N]
-//	                [-scale-divisor N] [-size N] [-seed N]
+//	                [-scale-divisor N] [-size N] [-seed N] [-workers N]
 //
 // With the defaults it runs the paper's full protocol (10 trials,
 // full workload scales, speedtest size 100); pass -quick for a
-// CI-sized run.
+// CI-sized run. -workers N schedules heatmap cells and per-image
+// inferences over N concurrent workers (1, the default, keeps the
+// bit-for-bit deterministic serial schedule). Ctrl-C cancels the run
+// cleanly through the context plumbing.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"confbench"
@@ -23,13 +28,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "confbench-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("confbench-bench", flag.ContinueOnError)
 	fig := fs.String("fig", "all", "figure to regenerate: all, 3, dbms, 4, 5, 6, 7, 8, colocation")
 	trials := fs.Int("trials", 10, "independent trials per measurement point")
@@ -37,6 +44,7 @@ func run(args []string) error {
 	dbSize := fs.Int("size", 100, "speedtest relative size (speedtest1 --size)")
 	images := fs.Int("images", 40, "ML dataset size")
 	seed := fs.Int64("seed", 1, "deterministic noise seed")
+	workers := fs.Int("workers", 1, "concurrent measurement units (1 = deterministic serial schedule)")
 	quick := fs.Bool("quick", false, "CI-sized run (3 trials, scales ÷8, size 20, 10 images)")
 	jsonPath := fs.String("json", "", "also write results as JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -53,10 +61,10 @@ func run(args []string) error {
 	defer cluster.Close()
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
-	opts := bench.Options{Trials: *trials, ScaleDivisor: *scaleDiv}
+	opts := bench.Options{Trials: *trials, ScaleDivisor: *scaleDiv, Workers: *workers}
 	report := &bench.Report{Meta: map[string]any{
 		"trials": *trials, "scale_divisor": *scaleDiv, "db_size": *dbSize,
-		"images": *images, "seed": *seed,
+		"images": *images, "seed": *seed, "workers": *workers,
 	}}
 
 	if want("3") {
@@ -66,7 +74,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			res, err := bench.ML(pair, bench.MLOptions{Images: *images})
+			res, err := bench.ML(ctx, pair, bench.MLOptions{Images: *images, Workers: *workers})
 			if err != nil {
 				return fmt.Errorf("fig 3 (%s): %w", kind, err)
 			}
@@ -83,7 +91,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			res, err := bench.DBMS(pair, bench.DBMSOptions{Size: *dbSize})
+			res, err := bench.DBMS(ctx, pair, bench.DBMSOptions{Size: *dbSize})
 			if err != nil {
 				return fmt.Errorf("dbms (%s): %w", kind, err)
 			}
@@ -101,7 +109,7 @@ func run(args []string) error {
 				return err
 			}
 			scale := 1.0 / float64(*scaleDiv)
-			res, err := bench.UnixBench(pair, bench.UnixBenchOptions{Scale: scale})
+			res, err := bench.UnixBench(ctx, pair, bench.UnixBenchOptions{Scale: scale})
 			if err != nil {
 				return fmt.Errorf("fig 4 (%s): %w", kind, err)
 			}
@@ -117,7 +125,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		tdxRes, err := bench.Attestation(tee.KindTDX, ta, tv, *trials)
+		tdxRes, err := bench.Attestation(ctx, tee.KindTDX, ta, tv, *trials)
 		if err != nil {
 			return fmt.Errorf("fig 5 (tdx): %w", err)
 		}
@@ -126,7 +134,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		sevRes, err := bench.Attestation(tee.KindSEV, sa, sv, *trials)
+		sevRes, err := bench.Attestation(ctx, tee.KindSEV, sa, sv, *trials)
 		if err != nil {
 			return fmt.Errorf("fig 5 (sev): %w", err)
 		}
@@ -140,7 +148,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := bench.FaaS(pair, cluster.Catalog(), bench.FaaSOptions{Options: opts})
+		res, err := bench.FaaS(ctx, pair, cluster.Catalog(), bench.FaaSOptions{Options: opts})
 		if err != nil {
 			return fmt.Errorf("heatmap (%s): %w", kind, err)
 		}
@@ -166,8 +174,8 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := bench.FaaS(pair, cluster.Catalog(), bench.FaaSOptions{
-			Options: bench.Options{Trials: 10, ScaleDivisor: *scaleDiv},
+		res, err := bench.FaaS(ctx, pair, cluster.Catalog(), bench.FaaSOptions{
+			Options: bench.Options{Trials: 10, ScaleDivisor: *scaleDiv, Workers: *workers},
 			Workloads: []string{
 				"cpustress", "memstress", "iostress", "logging", "factors", "filesystem",
 			},
@@ -192,7 +200,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			res, err := bench.CoLocation(backend, cluster.Catalog(), bench.CoLocationOptions{
+			res, err := bench.CoLocation(ctx, backend, cluster.Catalog(), bench.CoLocationOptions{
 				Tenants: 4, Trials: *trials,
 			})
 			if err != nil {

@@ -1,9 +1,12 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}); err == nil {
 		t.Error("bad flag accepted")
 	}
 }
@@ -12,7 +15,7 @@ func TestQuickFig5EndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("boots a full cluster")
 	}
-	if err := run([]string{"-quick", "-fig", "5"}); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-fig", "5"}); err != nil {
 		t.Fatalf("quick fig 5: %v", err)
 	}
 }

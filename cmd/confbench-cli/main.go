@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"confbench/internal/api"
@@ -24,13 +26,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "confbench-cli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("confbench-cli", flag.ContinueOnError)
 	gatewayURL := fs.String("gateway", "http://127.0.0.1:8080", "gateway base URL")
 	if err := fs.Parse(args); err != nil {
@@ -40,15 +44,18 @@ func run(args []string) error {
 	if len(rest) == 0 {
 		return fmt.Errorf("missing subcommand: upload, invoke, functions, pools, metrics, attest")
 	}
-	client := api.NewClient(*gatewayURL)
+	client, err := api.NewClient(*gatewayURL)
+	if err != nil {
+		return err
+	}
 
 	switch rest[0] {
 	case "upload":
-		return cmdUpload(client, rest[1:])
+		return cmdUpload(ctx, client, rest[1:])
 	case "invoke":
-		return cmdInvoke(client, rest[1:])
+		return cmdInvoke(ctx, client, rest[1:])
 	case "functions":
-		names, err := client.Functions()
+		names, err := client.Functions(ctx)
 		if err != nil {
 			return err
 		}
@@ -57,7 +64,7 @@ func run(args []string) error {
 		}
 		return nil
 	case "metrics":
-		m, err := client.Metrics()
+		m, err := client.Metrics(ctx)
 		if err != nil {
 			return err
 		}
@@ -70,7 +77,7 @@ func run(args []string) error {
 		}
 		return nil
 	case "pools":
-		pools, err := client.Pools()
+		pools, err := client.Pools(ctx)
 		if err != nil {
 			return err
 		}
@@ -80,13 +87,13 @@ func run(args []string) error {
 		}
 		return nil
 	case "attest":
-		return cmdAttest(client, rest[1:])
+		return cmdAttest(ctx, client, rest[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", rest[0])
 	}
 }
 
-func cmdUpload(client *api.Client, args []string) error {
+func cmdUpload(ctx context.Context, client *api.Client, args []string) error {
 	fs := flag.NewFlagSet("upload", flag.ContinueOnError)
 	name := fs.String("name", "", "function name")
 	lang := fs.String("lang", "go", "implementation language")
@@ -103,14 +110,14 @@ func cmdUpload(client *api.Client, args []string) error {
 		}
 		fn.Source = data
 	}
-	if err := client.Upload(fn); err != nil {
+	if err := client.Upload(ctx, fn); err != nil {
 		return err
 	}
 	fmt.Printf("registered %q (%s, workload %s)\n", fn.Name, fn.Language, fn.Workload)
 	return nil
 }
 
-func cmdInvoke(client *api.Client, args []string) error {
+func cmdInvoke(ctx context.Context, client *api.Client, args []string) error {
 	fs := flag.NewFlagSet("invoke", flag.ContinueOnError)
 	name := fs.String("name", "", "function name")
 	teeKind := fs.String("tee", "", "TEE platform (tdx, sev-snp, cca)")
@@ -120,7 +127,7 @@ func cmdInvoke(client *api.Client, args []string) error {
 		return err
 	}
 	start := time.Now()
-	resp, err := client.Invoke(api.InvokeRequest{
+	resp, err := client.Invoke(ctx, api.InvokeRequest{
 		Function: *name,
 		TEE:      tee.Kind(*teeKind),
 		Secure:   *secure,
@@ -137,7 +144,7 @@ func cmdInvoke(client *api.Client, args []string) error {
 	return nil
 }
 
-func cmdAttest(client *api.Client, args []string) error {
+func cmdAttest(ctx context.Context, client *api.Client, args []string) error {
 	fs := flag.NewFlagSet("attest", flag.ContinueOnError)
 	teeKind := fs.String("tee", "tdx", "TEE platform (tdx, sev-snp)")
 	if err := fs.Parse(args); err != nil {
@@ -147,7 +154,7 @@ func cmdAttest(client *api.Client, args []string) error {
 	if _, err := rand.Read(nonce); err != nil {
 		return err
 	}
-	resp, err := client.Attest(api.AttestRequest{TEE: tee.Kind(*teeKind), Nonce: nonce})
+	resp, err := client.Attest(ctx, api.AttestRequest{TEE: tee.Kind(*teeKind), Nonce: nonce})
 	if err != nil {
 		return err
 	}

@@ -1,15 +1,18 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunValidation(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(context.Background(), nil); err == nil {
 		t.Error("missing subcommand accepted")
 	}
-	if err := run([]string{"frobnicate"}); err == nil {
+	if err := run(context.Background(), []string{"frobnicate"}); err == nil {
 		t.Error("unknown subcommand accepted")
 	}
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}); err == nil {
 		t.Error("bad flag accepted")
 	}
 	// Connection-refused paths: every subcommand must surface an
@@ -21,14 +24,14 @@ func TestRunValidation(t *testing.T) {
 		{"attest", "-tee", "tdx"},
 	} {
 		args := append([]string{"-gateway", "http://127.0.0.1:1"}, sub...)
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("%v: expected connection error", sub)
 		}
 	}
 }
 
 func TestUploadMissingSource(t *testing.T) {
-	err := run([]string{"-gateway", "http://127.0.0.1:1",
+	err := run(context.Background(), []string{"-gateway", "http://127.0.0.1:1",
 		"upload", "-name", "x", "-workload", "w", "-source", "/no/such/file.py"})
 	if err == nil {
 		t.Error("missing source file accepted")

@@ -1,6 +1,7 @@
 package confbench_test
 
 import (
+	"context"
 	"testing"
 
 	"confbench"
@@ -67,19 +68,19 @@ func TestClusterSubsetDeployment(t *testing.T) {
 func TestEndToEndThroughGateway(t *testing.T) {
 	c := newCluster(t, confbench.ClusterConfig{})
 	client := c.Client()
-	if err := client.Health(); err != nil {
+	if err := client.Health(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	fn := faas.Function{Name: "probe", Language: "lua", Workload: "factors"}
-	if err := client.Upload(fn); err != nil {
+	if err := client.Upload(context.Background(), fn); err != nil {
 		t.Fatal(err)
 	}
 	for _, k := range c.Kinds() {
-		s, err := client.Invoke(api.InvokeRequest{Function: "probe", Secure: true, TEE: k, Scale: 5040})
+		s, err := client.Invoke(context.Background(), api.InvokeRequest{Function: "probe", Secure: true, TEE: k, Scale: 5040})
 		if err != nil {
 			t.Fatalf("%s secure invoke: %v", k, err)
 		}
-		n, err := client.Invoke(api.InvokeRequest{Function: "probe", Secure: false, TEE: k, Scale: 5040})
+		n, err := client.Invoke(context.Background(), api.InvokeRequest{Function: "probe", Secure: false, TEE: k, Scale: 5040})
 		if err != nil {
 			t.Fatalf("%s normal invoke: %v", k, err)
 		}
@@ -90,7 +91,7 @@ func TestEndToEndThroughGateway(t *testing.T) {
 			t.Errorf("%s missing timings", k)
 		}
 	}
-	pools, err := client.Pools()
+	pools, err := client.Pools(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,10 +102,10 @@ func TestEndToEndThroughGateway(t *testing.T) {
 
 func TestUploadCatalog(t *testing.T) {
 	c := newCluster(t, confbench.ClusterConfig{TEEs: []tee.Kind{tee.KindTDX}})
-	if err := c.UploadCatalog([]string{"go", "wasm"}); err != nil {
+	if err := c.UploadCatalog(context.Background(), []string{"go", "wasm"}); err != nil {
 		t.Fatal(err)
 	}
-	names, err := c.Client().Functions()
+	names, err := c.Client().Functions(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestUploadCatalog(t *testing.T) {
 	if len(names) != want {
 		t.Errorf("uploaded %d functions, want %d", len(names), want)
 	}
-	resp, err := c.Client().Invoke(api.InvokeRequest{
+	resp, err := c.Client().Invoke(context.Background(), api.InvokeRequest{
 		Function: "fib-go", Secure: true, TEE: tee.KindTDX, Scale: 12,
 	})
 	if err != nil {
@@ -130,7 +131,7 @@ func TestClusterAttestationFlows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tdxRes, err := bench.Attestation(tee.KindTDX, ta, tv, 2)
+	tdxRes, err := bench.Attestation(context.Background(), tee.KindTDX, ta, tv, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestClusterAttestationFlows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sevRes, err := bench.Attestation(tee.KindSEV, sa, sv, 2)
+	sevRes, err := bench.Attestation(context.Background(), tee.KindSEV, sa, sv, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,16 +160,16 @@ func TestBuggyFirmwareCluster(t *testing.T) {
 	})
 	fn := faas.Function{Name: "probe", Language: "go", Workload: "cpustress"}
 	for _, c := range []*confbench.Cluster{good, bad} {
-		if err := c.Client().Upload(fn); err != nil {
+		if err := c.Client().Upload(context.Background(), fn); err != nil {
 			t.Fatal(err)
 		}
 	}
 	req := api.InvokeRequest{Function: "probe", Secure: true, TEE: tee.KindTDX, Scale: 50_000}
-	g, err := good.Client().Invoke(req)
+	g, err := good.Client().Invoke(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := bad.Client().Invoke(req)
+	b, err := bad.Client().Invoke(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestBuggyFirmwareCluster(t *testing.T) {
 
 func TestCCARealmsCannotAttest(t *testing.T) {
 	c := newCluster(t, confbench.ClusterConfig{TEEs: []tee.Kind{tee.KindCCA}})
-	_, err := c.Client().Attest(api.AttestRequest{TEE: tee.KindCCA, Nonce: []byte("n")})
+	_, err := c.Client().Attest(context.Background(), api.AttestRequest{TEE: tee.KindCCA, Nonce: []byte("n")})
 	if err == nil {
 		t.Error("CCA attestation should fail: the FVP lacks hardware support (§IV-B)")
 	}

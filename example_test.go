@@ -1,6 +1,7 @@
 package confbench_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,14 +27,14 @@ func ExampleNewCluster() {
 
 	client := cluster.Client()
 	// Step 1: the user uploads their function to the gateway.
-	err = client.Upload(faas.Function{Name: "fib", Language: "go", Workload: "fib"})
+	err = client.Upload(context.Background(), faas.Function{Name: "fib", Language: "go", Workload: "fib"})
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Steps 2–5: request execution in a confidential VM on TDX; the
 	// gateway routes to the host, the host relays to the TD, and the
 	// result comes back with perf metrics piggybacked.
-	resp, err := client.Invoke(api.InvokeRequest{
+	resp, err := client.Invoke(context.Background(), api.InvokeRequest{
 		Function: "fib", Secure: true, TEE: tee.KindTDX, Scale: 12,
 	})
 	if err != nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"log"
@@ -24,6 +25,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	cluster, err := confbench.NewCluster(confbench.ClusterConfig{
 		TEEs: []tee.Kind{tee.KindTDX, tee.KindSEV}, GuestMemoryMB: 16,
 	})
@@ -43,7 +45,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := roundTrip(ta, tv, nonce); err != nil {
+	if err := roundTrip(ctx, ta, tv, nonce); err != nil {
 		return err
 	}
 	fmt.Printf("(the check phase fetched collateral from the simulated Intel PCS: %d HTTP requests so far)\n\n",
@@ -54,18 +56,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := roundTrip(sa, sv, nonce); err != nil {
+	if err := roundTrip(ctx, sa, sv, nonce); err != nil {
 		return err
 	}
 
 	fmt.Println("== Tamper check: a bit-flipped nonce must be rejected ==")
-	ev, _, err := sa.Attest(nonce)
+	ev, _, err := sa.Attest(ctx, nonce)
 	if err != nil {
 		return err
 	}
 	badNonce := append([]byte(nil), nonce...)
 	badNonce[0] ^= 0xff
-	if _, _, err := sv.Verify(ev, badNonce); err != nil {
+	if _, _, err := sv.Verify(ctx, ev, badNonce); err != nil {
 		fmt.Printf("verification correctly failed: %v\n", err)
 	} else {
 		return fmt.Errorf("tampered nonce was accepted")
@@ -73,12 +75,12 @@ func run() error {
 	return nil
 }
 
-func roundTrip(a attest.Attester, v attest.Verifier, nonce []byte) error {
-	ev, attestTiming, err := a.Attest(nonce)
+func roundTrip(ctx context.Context, a attest.Attester, v attest.Verifier, nonce []byte) error {
+	ev, attestTiming, err := a.Attest(ctx, nonce)
 	if err != nil {
 		return fmt.Errorf("attest: %w", err)
 	}
-	verdict, checkTiming, err := v.Verify(ev, nonce)
+	verdict, checkTiming, err := v.Verify(ctx, ev, nonce)
 	if err != nil {
 		return fmt.Errorf("check: %w", err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +25,7 @@ func main() {
 }
 
 func run(quick bool) error {
+	ctx := context.Background()
 	cluster, err := confbench.NewCluster(confbench.ClusterConfig{GuestMemoryMB: 16})
 	if err != nil {
 		return err
@@ -43,19 +45,19 @@ func run(quick bool) error {
 		if err != nil {
 			return err
 		}
-		ml, err := bench.ML(pair, bench.MLOptions{Images: images})
+		ml, err := bench.ML(ctx, pair, bench.MLOptions{Images: images})
 		if err != nil {
 			return fmt.Errorf("ml on %s: %w", kind, err)
 		}
 		mls = append(mls, ml)
 
-		db, err := bench.DBMS(pair, bench.DBMSOptions{Size: dbSize})
+		db, err := bench.DBMS(ctx, pair, bench.DBMSOptions{Size: dbSize})
 		if err != nil {
 			return fmt.Errorf("dbms on %s: %w", kind, err)
 		}
 		dbs = append(dbs, db)
 
-		ub, err := bench.UnixBench(pair, bench.UnixBenchOptions{Scale: ubScale})
+		ub, err := bench.UnixBench(ctx, pair, bench.UnixBenchOptions{Scale: ubScale})
 		if err != nil {
 			return fmt.Errorf("unixbench on %s: %w", kind, err)
 		}

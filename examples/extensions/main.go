@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"log"
@@ -47,6 +48,7 @@ func run() error {
 }
 
 func containersDemo(cluster *confbench.Cluster) error {
+	ctx := context.Background()
 	fmt.Println("== Confidential containers (pluggable execution unit) ==")
 	inner, err := cluster.Backend(tee.KindTDX)
 	if err != nil {
@@ -67,11 +69,11 @@ func containersDemo(cluster *confbench.Cluster) error {
 	}
 
 	fn := faas.Function{Name: "io", Language: "go", Workload: "iostress"}
-	ccRes, err := ccPair.Secure.InvokeFunction(fn, 4)
+	ccRes, err := ccPair.Secure.InvokeFunction(ctx, fn, 4)
 	if err != nil {
 		return err
 	}
-	vmRes, err := vmPair.Secure.InvokeFunction(fn, 4)
+	vmRes, err := vmPair.Secure.InvokeFunction(ctx, fn, 4)
 	if err != nil {
 		return err
 	}
@@ -82,6 +84,7 @@ func containersDemo(cluster *confbench.Cluster) error {
 }
 
 func attestedChannelDemo(cluster *confbench.Cluster) error {
+	ctx := context.Background()
 	fmt.Println("== Attested secure channel (SEV-SNP) ==")
 	attester, verifier, err := cluster.SEVAttestation()
 	if err != nil {
@@ -94,13 +97,13 @@ func attestedChannelDemo(cluster *confbench.Cluster) error {
 	if _, err := rand.Read(challenge); err != nil {
 		return err
 	}
-	guest, offer, err := attest.NewGuestSession(attester, challenge)
+	guest, offer, err := attest.NewGuestSession(ctx, attester, challenge)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("guest offered %d bytes of evidence binding its ECDH key\n", len(offer.Evidence.Data))
 
-	relying, relyingPub, verdict, err := attest.AcceptSession(verifier, offer, challenge)
+	relying, relyingPub, verdict, err := attest.AcceptSession(ctx, verifier, offer, challenge)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +27,7 @@ func main() {
 }
 
 func run(kind tee.Kind, trials int) error {
+	ctx := context.Background()
 	cluster, err := confbench.NewCluster(confbench.ClusterConfig{
 		TEEs: []tee.Kind{kind}, GuestMemoryMB: 16,
 	})
@@ -38,7 +40,7 @@ func run(kind tee.Kind, trials int) error {
 	if err != nil {
 		return err
 	}
-	res, err := bench.FaaS(pair, cluster.Catalog(), bench.FaaSOptions{
+	res, err := bench.FaaS(ctx, pair, cluster.Catalog(), bench.FaaSOptions{
 		Options: bench.Options{Trials: trials, ScaleDivisor: 4},
 		Workloads: []string{
 			"cpustress", "memstress", "iostress", "logging", "factors", "filesystem",

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,6 +21,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	// Boot the paper's full test bed: a TDX host, an SEV-SNP host,
 	// and a (simulated-FVP) CCA host, each with a confidential and a
 	// normal VM, fronted by the REST gateway.
@@ -39,7 +41,7 @@ func run() error {
 		Workload: "cpustress",
 		Source:   []byte("# def handler(scale): ... trigonometric loop ..."),
 	}
-	if err := client.Upload(fn); err != nil {
+	if err := client.Upload(ctx, fn); err != nil {
 		return err
 	}
 	fmt.Printf("uploaded %q (%s)\n\n", fn.Name, fn.Language)
@@ -47,13 +49,13 @@ func run() error {
 	// Run it on every platform, secure and normal, and report the
 	// overhead ratio with the piggybacked perf metrics.
 	for _, kind := range cluster.Kinds() {
-		secure, err := client.Invoke(api.InvokeRequest{
+		secure, err := client.Invoke(ctx, api.InvokeRequest{
 			Function: "hot-loop", Secure: true, TEE: kind, Scale: 100_000,
 		})
 		if err != nil {
 			return fmt.Errorf("secure invoke on %s: %w", kind, err)
 		}
-		normal, err := client.Invoke(api.InvokeRequest{
+		normal, err := client.Invoke(ctx, api.InvokeRequest{
 			Function: "hot-loop", Secure: false, TEE: kind, Scale: 100_000,
 		})
 		if err != nil {

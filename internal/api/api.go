@@ -8,12 +8,16 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 
+	"confbench/internal/cberr"
 	"confbench/internal/faas"
 	"confbench/internal/perfmon"
 	"confbench/internal/tee"
@@ -115,9 +119,14 @@ type PoolInfo struct {
 	InFlight  int      `json:"in_flight"`
 }
 
-// ErrorResponse is the JSON error envelope.
+// ErrorResponse is the JSON error envelope. Code, Layer and Retryable
+// carry the cberr taxonomy across the wire so clients can reconstruct
+// a classified error with errors.Is support.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string      `json:"error"`
+	Code      cberr.Code  `json:"code,omitempty"`
+	Layer     cberr.Layer `json:"layer,omitempty"`
+	Retryable bool        `json:"retryable,omitempty"`
 }
 
 // WriteJSON writes v as a JSON response with the given status.
@@ -128,44 +137,131 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// WriteError writes an error envelope.
+// WriteError writes an error envelope, deriving the taxonomy fields
+// from err. Unclassified errors fall back to the status-code mapping.
 func WriteError(w http.ResponseWriter, status int, err error) {
-	WriteJSON(w, status, ErrorResponse{Error: err.Error()})
+	env := ErrorResponse{Error: err.Error()}
+	var ce *cberr.Error
+	if errors.As(err, &ce) {
+		env.Code, env.Layer, env.Retryable = ce.Code, ce.Layer, ce.Retryable
+	} else {
+		env.Code = cberr.CodeForHTTPStatus(status)
+	}
+	WriteJSON(w, status, env)
 }
 
-// Client is an HTTP client for the gateway REST API.
+// Client defaults.
+const (
+	// DefaultTimeout bounds the whole HTTP exchange of one attempt.
+	DefaultTimeout = 120 * time.Second
+	// DefaultMaxAttempts is the attempt budget for retryable failures.
+	DefaultMaxAttempts = 3
+	// DefaultRetryBackoff is the initial backoff, doubled per retry.
+	DefaultRetryBackoff = 50 * time.Millisecond
+)
+
+// Client is an HTTP client for the gateway REST API. Every method
+// takes a context that bounds the whole call, including retries;
+// cancellation surfaces as cberr.ErrCanceled.
 type Client struct {
 	baseURL string
 	http    *http.Client
+
+	// MaxAttempts caps the total tries per call. Only failures the
+	// taxonomy marks retryable (unavailable, upstream, deadline) are
+	// retried; cancellation never is.
+	MaxAttempts int
+	// RetryBackoff is the first retry's delay; it doubles per retry.
+	RetryBackoff time.Duration
 }
 
-// NewClient builds a client for the gateway at baseURL.
-func NewClient(baseURL string) *Client {
+// NewClient builds a client for the gateway at baseURL. The URL must
+// be absolute with an http or https scheme; the returned client has an
+// explicit per-attempt timeout so a wedged gateway cannot hang callers
+// that forget a context deadline.
+func NewClient(baseURL string) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, cberr.Wrap(cberr.CodeInvalid, cberr.LayerClient,
+			fmt.Errorf("api: parse base URL %q: %w", baseURL, err))
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, cberr.Newf(cberr.CodeInvalid, cberr.LayerClient,
+			"api: base URL %q: scheme must be http or https", baseURL)
+	}
+	if u.Host == "" {
+		return nil, cberr.Newf(cberr.CodeInvalid, cberr.LayerClient,
+			"api: base URL %q has no host", baseURL)
+	}
 	return &Client{
-		baseURL: baseURL,
-		http:    &http.Client{Timeout: 120 * time.Second},
+		baseURL:      baseURL,
+		http:         &http.Client{Timeout: DefaultTimeout},
+		MaxAttempts:  DefaultMaxAttempts,
+		RetryBackoff: DefaultRetryBackoff,
+	}, nil
+}
+
+// do runs one request with retry-with-backoff on retryable errors.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return cberr.Wrap(cberr.CodeInvalid, cberr.LayerClient,
+				fmt.Errorf("api: marshal request: %w", err))
+		}
+	}
+	attempts := c.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = c.attempt(ctx, method, path, body, out)
+		if err == nil || attempt >= attempts || !cberr.Retryable(err) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return cberr.From(ctx.Err(), cberr.LayerClient)
+		case <-time.After(backoff):
+		}
+		backoff *= 2
 	}
 }
 
-// post sends a JSON POST and decodes the response into out.
-func (c *Client) post(path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return fmt.Errorf("api: marshal request: %w", err)
+// attempt performs a single HTTP exchange.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) error {
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
 	}
-	resp, err := c.http.Post(c.baseURL+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, reader)
 	if err != nil {
-		return fmt.Errorf("api: POST %s: %w", path, err)
+		return cberr.Wrap(cberr.CodeInvalid, cberr.LayerClient,
+			fmt.Errorf("api: %s %s: %w", method, path, err))
 	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, path, out)
-}
-
-// get sends a GET and decodes the response into out.
-func (c *Client) get(path string, out any) error {
-	resp, err := c.http.Get(c.baseURL + path)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("api: GET %s: %w", path, err)
+		// Cancellation and deadline expiry keep their taxonomy codes;
+		// everything else at the transport level is a (retryable)
+		// availability problem: connection refused, reset, DNS.
+		if cerr := ctx.Err(); cerr != nil {
+			return cberr.From(fmt.Errorf("api: %s %s: %w", method, path, cerr), cberr.LayerClient)
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			return cberr.Wrap(cberr.CodeDeadline, cberr.LayerClient,
+				fmt.Errorf("api: %s %s: %w", method, path, err))
+		}
+		return cberr.Wrap(cberr.CodeUnavailable, cberr.LayerClient,
+			fmt.Errorf("api: %s %s: %w", method, path, err))
 	}
 	defer resp.Body.Close()
 	return decodeResponse(resp, path, out)
@@ -174,75 +270,86 @@ func (c *Client) get(path string, out any) error {
 func decodeResponse(resp *http.Response, path string, out any) error {
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
-		return fmt.Errorf("api: read %s response: %w", path, err)
+		return cberr.Wrap(cberr.CodeUnavailable, cberr.LayerClient,
+			fmt.Errorf("api: read %s response: %w", path, err))
 	}
 	if resp.StatusCode != http.StatusOK {
 		var e ErrorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("api: %s: %s (status %d)", path, e.Error, resp.StatusCode)
+			code, retryable := e.Code, e.Retryable
+			if code == "" { // legacy peer without taxonomy fields
+				code = cberr.CodeForHTTPStatus(resp.StatusCode)
+				retryable = cberr.New(code, "", "").Retryable
+			}
+			return fmt.Errorf("api: %s: %w (status %d)", path,
+				cberr.FromWire(code, e.Layer, retryable, e.Error), resp.StatusCode)
 		}
-		return fmt.Errorf("api: %s: status %d", path, resp.StatusCode)
+		code := cberr.CodeForHTTPStatus(resp.StatusCode)
+		return fmt.Errorf("api: %s: %w", path,
+			cberr.FromWire(code, "", cberr.New(code, "", "").Retryable,
+				fmt.Sprintf("status %d", resp.StatusCode)))
 	}
 	if out == nil {
 		return nil
 	}
 	if err := json.Unmarshal(data, out); err != nil {
-		return fmt.Errorf("api: decode %s response: %w", path, err)
+		return cberr.Wrap(cberr.CodeInternal, cberr.LayerClient,
+			fmt.Errorf("api: decode %s response: %w", path, err))
 	}
 	return nil
 }
 
 // Upload registers a function.
-func (c *Client) Upload(fn faas.Function) error {
-	return c.post(PathFunctions, UploadRequest{Function: fn}, nil)
+func (c *Client) Upload(ctx context.Context, fn faas.Function) error {
+	return c.do(ctx, http.MethodPost, PathFunctions, UploadRequest{Function: fn}, nil)
 }
 
 // Functions lists registered function names.
-func (c *Client) Functions() ([]string, error) {
+func (c *Client) Functions(ctx context.Context) ([]string, error) {
 	var out []string
-	if err := c.get(PathFunctions, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, PathFunctions, nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // Invoke executes a registered function.
-func (c *Client) Invoke(req InvokeRequest) (InvokeResponse, error) {
+func (c *Client) Invoke(ctx context.Context, req InvokeRequest) (InvokeResponse, error) {
 	var out InvokeResponse
-	if err := c.post(PathInvoke, req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, PathInvoke, req, &out); err != nil {
 		return InvokeResponse{}, err
 	}
 	return out, nil
 }
 
 // Attest requests attestation evidence from a confidential VM.
-func (c *Client) Attest(req AttestRequest) (AttestResponse, error) {
+func (c *Client) Attest(ctx context.Context, req AttestRequest) (AttestResponse, error) {
 	var out AttestResponse
-	if err := c.post(PathAttest, req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, PathAttest, req, &out); err != nil {
 		return AttestResponse{}, err
 	}
 	return out, nil
 }
 
 // Metrics fetches the gateway's request accounting.
-func (c *Client) Metrics() (Metrics, error) {
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
 	var out Metrics
-	if err := c.get(PathMetrics, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, PathMetrics, nil, &out); err != nil {
 		return Metrics{}, err
 	}
 	return out, nil
 }
 
 // Pools lists the gateway's TEE pools.
-func (c *Client) Pools() ([]PoolInfo, error) {
+func (c *Client) Pools(ctx context.Context) ([]PoolInfo, error) {
 	var out []PoolInfo
-	if err := c.get(PathPools, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, PathPools, nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // Health checks gateway liveness.
-func (c *Client) Health() error {
-	return c.get(PathHealth, nil)
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, PathHealth, nil, nil)
 }

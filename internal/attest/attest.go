@@ -11,6 +11,7 @@
 package attest
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -73,11 +74,13 @@ type Verdict struct {
 // Attester produces evidence bound to a verifier nonce.
 type Attester interface {
 	// Attest produces evidence binding nonce and reports its latency.
-	Attest(nonce []byte) (Evidence, Timing, error)
+	// A canceled ctx aborts before the firmware round trip.
+	Attest(ctx context.Context, nonce []byte) (Evidence, Timing, error)
 }
 
 // Verifier validates evidence against platform endorsements.
 type Verifier interface {
 	// Verify checks the evidence and nonce binding, reporting latency.
-	Verify(ev Evidence, nonce []byte) (*Verdict, Timing, error)
+	// The ctx bounds collateral fetches (PCS round trips).
+	Verify(ctx context.Context, ev Evidence, nonce []byte) (*Verdict, Timing, error)
 }

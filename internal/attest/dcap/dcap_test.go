@@ -1,6 +1,7 @@
 package dcap
 
 import (
+	"context"
 	"crypto/ecdsa"
 	"crypto/sha256"
 	"encoding/json"
@@ -60,7 +61,7 @@ func TestQuoteGenerationAndVerification(t *testing.T) {
 	verifier := NewVerifier(st.pcs)
 
 	nonce := nonce64("fresh-challenge")
-	ev, timing, err := attester.Attest(nonce)
+	ev, timing, err := attester.Attest(context.Background(), nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestQuoteGenerationAndVerification(t *testing.T) {
 	if timing.Infra <= 0 {
 		t.Error("attest infra latency missing")
 	}
-	verdict, checkTiming, err := verifier.Verify(ev, nonce)
+	verdict, checkTiming, err := verifier.Verify(context.Background(), ev, nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,11 +91,11 @@ func TestVerifyRejectsWrongNonce(t *testing.T) {
 	st := newStack(t)
 	attester := NewAttester(st.guest, st.qe)
 	verifier := NewVerifier(st.pcs)
-	ev, _, err := attester.Attest(nonce64("nonce-A"))
+	ev, _, err := attester.Attest(context.Background(), nonce64("nonce-A"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := verifier.Verify(ev, nonce64("nonce-B")); !errors.Is(err, attest.ErrNonceMismatch) {
+	if _, _, err := verifier.Verify(context.Background(), ev, nonce64("nonce-B")); !errors.Is(err, attest.ErrNonceMismatch) {
 		t.Errorf("want nonce mismatch, got %v", err)
 	}
 }
@@ -104,7 +105,7 @@ func TestVerifyRejectsTamperedQuote(t *testing.T) {
 	attester := NewAttester(st.guest, st.qe)
 	verifier := NewVerifier(st.pcs)
 	nonce := nonce64("n")
-	ev, _, err := attester.Attest(nonce)
+	ev, _, err := attester.Attest(context.Background(), nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestVerifyRejectsTamperedQuote(t *testing.T) {
 	}
 	quote.Report.MRTD[0] ^= 0xff
 	data, _ := quote.Marshal()
-	if _, _, err := verifier.Verify(attest.Evidence{Platform: tee.KindTDX, Data: data}, nonce); !errors.Is(err, attest.ErrVerification) {
+	if _, _, err := verifier.Verify(context.Background(), attest.Evidence{Platform: tee.KindTDX, Data: data}, nonce); !errors.Is(err, attest.ErrVerification) {
 		t.Errorf("tampered quote: %v", err)
 	}
 }
@@ -124,12 +125,12 @@ func TestVerifyRejectsRevokedPCK(t *testing.T) {
 	attester := NewAttester(st.guest, st.qe)
 	verifier := NewVerifier(st.pcs)
 	nonce := nonce64("n")
-	ev, _, err := attester.Attest(nonce)
+	ev, _, err := attester.Attest(context.Background(), nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
 	st.pcs.Revoke(st.qe.PCKSerial())
-	if _, _, err := verifier.Verify(ev, nonce); !errors.Is(err, attest.ErrRevoked) {
+	if _, _, err := verifier.Verify(context.Background(), ev, nonce); !errors.Is(err, attest.ErrRevoked) {
 		t.Errorf("revoked PCK: %v", err)
 	}
 }
@@ -139,7 +140,7 @@ func TestVerifyRejectsOutdatedTCB(t *testing.T) {
 	attester := NewAttester(st.guest, st.qe)
 	verifier := NewVerifier(st.pcs)
 	nonce := nonce64("n")
-	ev, _, err := attester.Attest(nonce)
+	ev, _, err := attester.Attest(context.Background(), nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestVerifyRejectsOutdatedTCB(t *testing.T) {
 		FMSPC:  "fmspc-test",
 		Levels: []TCBLevel{{MinTeeTcbSvn: 99, Status: TCBUpToDate}},
 	})
-	if _, _, err := verifier.Verify(ev, nonce); !errors.Is(err, attest.ErrTCBOutOfDate) {
+	if _, _, err := verifier.Verify(context.Background(), ev, nonce); !errors.Is(err, attest.ErrTCBOutOfDate) {
 		t.Errorf("outdated TCB: %v", err)
 	}
 }
@@ -166,7 +167,7 @@ func TestQERejectsForeignReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer otherGuest.Destroy()
-	report, err := otherGuest.AttestationReport(nonce64("n"))
+	report, err := otherGuest.AttestationReport(context.Background(), nonce64("n"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,15 +182,15 @@ func TestCollateralCaching(t *testing.T) {
 	verifier := NewVerifier(st.pcs)
 	verifier.CacheCollateral = true
 	nonce := nonce64("n")
-	ev, _, err := attester.Attest(nonce)
+	ev, _, err := attester.Attest(context.Background(), nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, timing, err := verifier.Verify(ev, nonce); err != nil || timing.Infra == 0 {
+	if _, timing, err := verifier.Verify(context.Background(), ev, nonce); err != nil || timing.Infra == 0 {
 		t.Fatalf("first verify: %v (infra %v)", err, timing.Infra)
 	}
 	before := st.pcs.Requests()
-	if _, timing, err := verifier.Verify(ev, nonce); err != nil || timing.Infra != 0 {
+	if _, timing, err := verifier.Verify(context.Background(), ev, nonce); err != nil || timing.Infra != 0 {
 		t.Fatalf("cached verify: %v (infra %v)", err, timing.Infra)
 	}
 	if st.pcs.Requests() != before {
@@ -203,7 +204,7 @@ func TestPCSCollateralSignatureChecked(t *testing.T) {
 
 	var tcb TCBInfo
 	// Legitimate fetch verifies against the pinned key.
-	if _, err := st.pcs.FetchCollateral(client, PathTCBInfo, &tcb); err != nil {
+	if _, err := st.pcs.FetchCollateral(context.Background(), client, PathTCBInfo, &tcb); err != nil {
 		t.Fatalf("legit fetch: %v", err)
 	}
 
@@ -248,7 +249,7 @@ func TestTCBStatusFor(t *testing.T) {
 func TestVerifyRejectsWrongPlatform(t *testing.T) {
 	st := newStack(t)
 	verifier := NewVerifier(st.pcs)
-	if _, _, err := verifier.Verify(attest.Evidence{Platform: tee.KindSEV, Data: []byte("{}")}, nil); err == nil {
+	if _, _, err := verifier.Verify(context.Background(), attest.Evidence{Platform: tee.KindSEV, Data: []byte("{}")}, nil); err == nil {
 		t.Error("SEV evidence accepted by DCAP verifier")
 	}
 }
@@ -258,23 +259,23 @@ func TestMeasurementPinning(t *testing.T) {
 	attester := NewAttester(st.guest, st.qe)
 	verifier := NewVerifier(st.pcs)
 	nonce := nonce64("n")
-	ev, _, err := attester.Attest(nonce)
+	ev, _, err := attester.Attest(context.Background(), nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// First verify unpinned to learn the genuine MRTD.
-	verdict, _, err := verifier.Verify(ev, nonce)
+	verdict, _, err := verifier.Verify(context.Background(), ev, nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Pinning the genuine measurement passes.
 	verifier.ExpectedMRTD = verdict.Measurement
-	if _, _, err := verifier.Verify(ev, nonce); err != nil {
+	if _, _, err := verifier.Verify(context.Background(), ev, nonce); err != nil {
 		t.Errorf("pinned genuine MRTD rejected: %v", err)
 	}
 	// Pinning a different measurement fails.
 	verifier.ExpectedMRTD = "deadbeef"
-	if _, _, err := verifier.Verify(ev, nonce); !errors.Is(err, attest.ErrVerification) {
+	if _, _, err := verifier.Verify(context.Background(), ev, nonce); !errors.Is(err, attest.ErrVerification) {
 		t.Errorf("wrong pinned MRTD: %v", err)
 	}
 }

@@ -249,13 +249,18 @@ func (p *PCS) handle(get func() any) http.HandlerFunc {
 
 // FetchCollateral retrieves and authenticates one collateral document,
 // decoding it into out. It returns the modeled WAN latency so callers
-// can account for it in their timings.
-func (p *PCS) FetchCollateral(client *http.Client, path string, out any) (time.Duration, error) {
+// can account for it in their timings. The ctx bounds the HTTP round
+// trip; cancellation surfaces through the returned error.
+func (p *PCS) FetchCollateral(ctx context.Context, client *http.Client, path string, out any) (time.Duration, error) {
 	url := p.BaseURL() + path
 	if url == path { // BaseURL empty
 		return 0, errors.New("dcap: PCS not started")
 	}
-	resp, err := client.Get(url)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, fmt.Errorf("dcap: fetch %s: %w", path, err)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, fmt.Errorf("dcap: fetch %s: %w", path, err)
 	}

@@ -1,6 +1,7 @@
 package dcap
 
 import (
+	"context"
 	"crypto/ecdsa"
 	"crypto/elliptic"
 	"crypto/rand"
@@ -194,10 +195,13 @@ func NewAttester(guest tee.Guest, qe *QuotingEnclave) *Attester {
 }
 
 // Attest implements attest.Attester.
-func (a *Attester) Attest(nonce []byte) (attest.Evidence, attest.Timing, error) {
+func (a *Attester) Attest(ctx context.Context, nonce []byte) (attest.Evidence, attest.Timing, error) {
 	start := time.Now()
-	reportBytes, err := a.guest.AttestationReport(nonce)
+	reportBytes, err := a.guest.AttestationReport(ctx, nonce)
 	if err != nil {
+		return attest.Evidence{}, attest.Timing{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return attest.Evidence{}, attest.Timing{}, err
 	}
 	quote, err := a.qe.GenerateQuote(reportBytes)

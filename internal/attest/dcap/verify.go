@@ -2,6 +2,7 @@ package dcap
 
 import (
 	"bytes"
+	"context"
 	"crypto/ecdsa"
 	"crypto/sha256"
 	"crypto/x509"
@@ -51,7 +52,7 @@ func NewVerifier(pcs *PCS) *Verifier {
 }
 
 // Verify implements attest.Verifier for TDX evidence.
-func (v *Verifier) Verify(ev attest.Evidence, nonce []byte) (*attest.Verdict, attest.Timing, error) {
+func (v *Verifier) Verify(ctx context.Context, ev attest.Evidence, nonce []byte) (*attest.Verdict, attest.Timing, error) {
 	start := time.Now()
 	var infra time.Duration
 
@@ -64,7 +65,7 @@ func (v *Verifier) Verify(ev attest.Evidence, nonce []byte) (*attest.Verdict, at
 	}
 
 	// 1. Retrieve collateral (TCB info, PCK CRL, QE identity).
-	tcb, crl, qeid, netLat, err := v.collateral()
+	tcb, crl, qeid, netLat, err := v.collateral(ctx)
 	if err != nil {
 		return nil, attest.Timing{}, err
 	}
@@ -148,8 +149,9 @@ func (v *Verifier) Verify(ev attest.Evidence, nonce []byte) (*attest.Verdict, at
 }
 
 // collateral fetches (or returns cached) TCB info, CRL and QE
-// identity, returning the modeled network latency incurred.
-func (v *Verifier) collateral() (*TCBInfo, *CRL, *QEIdentity, time.Duration, error) {
+// identity, returning the modeled network latency incurred. The ctx
+// bounds each of the three PCS round trips.
+func (v *Verifier) collateral(ctx context.Context) (*TCBInfo, *CRL, *QEIdentity, time.Duration, error) {
 	if v.CacheCollateral && v.cachedTCB != nil {
 		return v.cachedTCB, v.cachedCRL, v.cachedQE, 0, nil
 	}
@@ -159,17 +161,17 @@ func (v *Verifier) collateral() (*TCBInfo, *CRL, *QEIdentity, time.Duration, err
 		qeid QEIdentity
 		lat  time.Duration
 	)
-	l, err := v.pcs.FetchCollateral(v.client, PathTCBInfo, &tcb)
+	l, err := v.pcs.FetchCollateral(ctx, v.client, PathTCBInfo, &tcb)
 	if err != nil {
 		return nil, nil, nil, 0, err
 	}
 	lat += l
-	l, err = v.pcs.FetchCollateral(v.client, PathPCKCRL, &crl)
+	l, err = v.pcs.FetchCollateral(ctx, v.client, PathPCKCRL, &crl)
 	if err != nil {
 		return nil, nil, nil, 0, err
 	}
 	lat += l
-	l, err = v.pcs.FetchCollateral(v.client, PathQEIdentity, &qeid)
+	l, err = v.pcs.FetchCollateral(ctx, v.client, PathQEIdentity, &qeid)
 	if err != nil {
 		return nil, nil, nil, 0, err
 	}

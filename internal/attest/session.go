@@ -1,6 +1,7 @@
 package attest
 
 import (
+	"context"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/ecdh"
@@ -101,7 +102,7 @@ func sessionReportData(challenge []byte, pub []byte) []byte {
 // NewGuestSession starts a handshake inside the guest: it generates an
 // ephemeral X25519 key and produces evidence binding it to the relying
 // party's challenge.
-func NewGuestSession(attester Attester, challenge []byte) (*GuestSession, SessionOffer, error) {
+func NewGuestSession(ctx context.Context, attester Attester, challenge []byte) (*GuestSession, SessionOffer, error) {
 	if len(challenge) != ChallengeSize {
 		return nil, SessionOffer{}, ErrBadChallenge
 	}
@@ -112,7 +113,7 @@ func NewGuestSession(attester Attester, challenge []byte) (*GuestSession, Sessio
 	gs := &GuestSession{priv: priv}
 	copy(gs.challenge[:], challenge)
 
-	ev, _, err := attester.Attest(sessionReportData(challenge, priv.PublicKey().Bytes()))
+	ev, _, err := attester.Attest(ctx, sessionReportData(challenge, priv.PublicKey().Bytes()))
 	if err != nil {
 		return nil, SessionOffer{}, err
 	}
@@ -130,11 +131,11 @@ func (g *GuestSession) Complete(relyingPub []byte) (Session, error) {
 // public key), then answer with a fresh key and derive the session.
 // It returns the session, the relying party's public key to send back
 // to the guest, and the verifier's verdict.
-func AcceptSession(verifier Verifier, offer SessionOffer, challenge []byte) (Session, []byte, *Verdict, error) {
+func AcceptSession(ctx context.Context, verifier Verifier, offer SessionOffer, challenge []byte) (Session, []byte, *Verdict, error) {
 	if len(challenge) != ChallengeSize {
 		return Session{}, nil, nil, ErrBadChallenge
 	}
-	verdict, _, err := verifier.Verify(offer.Evidence, sessionReportData(challenge, offer.AttesterPub))
+	verdict, _, err := verifier.Verify(ctx, offer.Evidence, sessionReportData(challenge, offer.AttesterPub))
 	if err != nil {
 		return Session{}, nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package attest_test
 
 import (
+	"context"
 	"bytes"
 	"crypto/ecdh"
 	"crypto/rand"
@@ -83,11 +84,11 @@ func TestAttestedSessionHandshake(t *testing.T) {
 		name, st := name, st
 		t.Run(name, func(t *testing.T) {
 			ch := challenge(t)
-			guest, offer, err := attest.NewGuestSession(st.a, ch)
+			guest, offer, err := attest.NewGuestSession(context.Background(), st.a, ch)
 			if err != nil {
 				t.Fatal(err)
 			}
-			relying, relyingPub, verdict, err := attest.AcceptSession(st.v, offer, ch)
+			relying, relyingPub, verdict, err := attest.AcceptSession(context.Background(), st.v, offer, ch)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -127,7 +128,7 @@ func TestAttestedSessionHandshake(t *testing.T) {
 func TestAttestedSessionRejectsSubstitutedKey(t *testing.T) {
 	st := stacks(t)["sev"]
 	ch := challenge(t)
-	_, offer, err := attest.NewGuestSession(st.a, ch)
+	_, offer, err := attest.NewGuestSession(context.Background(), st.a, ch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestAttestedSessionRejectsSubstitutedKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	offer.AttesterPub = mitm.PublicKey().Bytes()
-	if _, _, _, err := attest.AcceptSession(st.v, offer, ch); err == nil {
+	if _, _, _, err := attest.AcceptSession(context.Background(), st.v, offer, ch); err == nil {
 		t.Fatal("substituted public key accepted")
 	}
 }
@@ -146,22 +147,22 @@ func TestAttestedSessionRejectsSubstitutedKey(t *testing.T) {
 func TestAttestedSessionRejectsWrongChallenge(t *testing.T) {
 	st := stacks(t)["sev"]
 	ch := challenge(t)
-	_, offer, err := attest.NewGuestSession(st.a, ch)
+	_, offer, err := attest.NewGuestSession(context.Background(), st.a, ch)
 	if err != nil {
 		t.Fatal(err)
 	}
 	other := challenge(t)
-	if _, _, _, err := attest.AcceptSession(st.v, offer, other); err == nil {
+	if _, _, _, err := attest.AcceptSession(context.Background(), st.v, offer, other); err == nil {
 		t.Fatal("stale/replayed offer accepted under a different challenge")
 	}
 }
 
 func TestAttestedSessionChallengeSize(t *testing.T) {
 	st := stacks(t)["sev"]
-	if _, _, err := attest.NewGuestSession(st.a, []byte("short")); err == nil {
+	if _, _, err := attest.NewGuestSession(context.Background(), st.a, []byte("short")); err == nil {
 		t.Error("short challenge accepted by guest")
 	}
-	if _, _, _, err := attest.AcceptSession(st.v, attest.SessionOffer{}, []byte("short")); err == nil {
+	if _, _, _, err := attest.AcceptSession(context.Background(), st.v, attest.SessionOffer{}, []byte("short")); err == nil {
 		t.Error("short challenge accepted by relying party")
 	}
 }
@@ -171,11 +172,11 @@ func TestSessionKeysDifferAcrossHandshakes(t *testing.T) {
 	keys := make(map[[32]byte]bool)
 	for i := 0; i < 3; i++ {
 		ch := challenge(t)
-		guest, offer, err := attest.NewGuestSession(st.a, ch)
+		guest, offer, err := attest.NewGuestSession(context.Background(), st.a, ch)
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, relyingPub, _, err := attest.AcceptSession(st.v, offer, ch)
+		_, relyingPub, _, err := attest.AcceptSession(context.Background(), st.v, offer, ch)
 		if err != nil {
 			t.Fatal(err)
 		}

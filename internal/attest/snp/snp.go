@@ -10,6 +10,7 @@ package snp
 
 import (
 	"bytes"
+	"context"
 	"crypto/ecdsa"
 	"crypto/sha512"
 	"crypto/x509"
@@ -40,9 +41,9 @@ func NewAttester(guest tee.Guest) *Attester {
 }
 
 // Attest implements attest.Attester.
-func (a *Attester) Attest(nonce []byte) (attest.Evidence, attest.Timing, error) {
+func (a *Attester) Attest(ctx context.Context, nonce []byte) (attest.Evidence, attest.Timing, error) {
 	start := time.Now()
-	data, err := a.guest.AttestationReport(nonce)
+	data, err := a.guest.AttestationReport(ctx, nonce)
 	if err != nil {
 		return attest.Evidence{}, attest.Timing{}, err
 	}
@@ -75,9 +76,13 @@ func NewVerifier(chain sev.CertChain) *Verifier {
 	}
 }
 
-// Verify implements attest.Verifier for SNP evidence.
-func (v *Verifier) Verify(ev attest.Evidence, nonce []byte) (*attest.Verdict, attest.Timing, error) {
+// Verify implements attest.Verifier for SNP evidence. The chain comes
+// from local hardware, so ctx is only checked at entry (no network).
+func (v *Verifier) Verify(ctx context.Context, ev attest.Evidence, nonce []byte) (*attest.Verdict, attest.Timing, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, attest.Timing{}, err
+	}
 	if ev.Platform != tee.KindSEV {
 		return nil, attest.Timing{}, fmt.Errorf("snp: evidence platform %q, want %q", ev.Platform, tee.KindSEV)
 	}

@@ -1,6 +1,7 @@
 package snp
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -40,14 +41,14 @@ func TestReportRoundTrip(t *testing.T) {
 	verifier := NewVerifier(st.backend.SecureProcessor().CertChainCopy())
 
 	nonce := nonce64("challenge")
-	ev, timing, err := attester.Attest(nonce)
+	ev, timing, err := attester.Attest(context.Background(), nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ev.Platform != tee.KindSEV || timing.Infra <= 0 {
 		t.Errorf("evidence = %v, timing = %+v", ev.Platform, timing)
 	}
-	verdict, checkTiming, err := verifier.Verify(ev, nonce)
+	verdict, checkTiming, err := verifier.Verify(context.Background(), ev, nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +79,11 @@ func TestVerifyRejectsWrongNonce(t *testing.T) {
 	st := newStack(t)
 	attester := NewAttester(st.guest)
 	verifier := NewVerifier(st.backend.SecureProcessor().CertChainCopy())
-	ev, _, err := attester.Attest(nonce64("A"))
+	ev, _, err := attester.Attest(context.Background(), nonce64("A"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := verifier.Verify(ev, nonce64("B")); !errors.Is(err, attest.ErrNonceMismatch) {
+	if _, _, err := verifier.Verify(context.Background(), ev, nonce64("B")); !errors.Is(err, attest.ErrNonceMismatch) {
 		t.Errorf("want nonce mismatch, got %v", err)
 	}
 }
@@ -92,7 +93,7 @@ func TestVerifyRejectsTamperedReport(t *testing.T) {
 	attester := NewAttester(st.guest)
 	verifier := NewVerifier(st.backend.SecureProcessor().CertChainCopy())
 	nonce := nonce64("n")
-	ev, _, err := attester.Attest(nonce)
+	ev, _, err := attester.Attest(context.Background(), nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestVerifyRejectsTamperedReport(t *testing.T) {
 	}
 	report.Measurement[0] ^= 0xff
 	data, _ := report.Marshal()
-	if _, _, err := verifier.Verify(attest.Evidence{Platform: tee.KindSEV, Data: data}, nonce); !errors.Is(err, attest.ErrVerification) {
+	if _, _, err := verifier.Verify(context.Background(), attest.Evidence{Platform: tee.KindSEV, Data: data}, nonce); !errors.Is(err, attest.ErrVerification) {
 		t.Errorf("tampered report: %v", err)
 	}
 }
@@ -117,11 +118,11 @@ func TestVerifyRejectsForeignChain(t *testing.T) {
 	}
 	verifier := NewVerifier(other.SecureProcessor().CertChainCopy())
 	nonce := nonce64("n")
-	ev, _, err := attester.Attest(nonce)
+	ev, _, err := attester.Attest(context.Background(), nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := verifier.Verify(ev, nonce); !errors.Is(err, attest.ErrVerification) {
+	if _, _, err := verifier.Verify(context.Background(), ev, nonce); !errors.Is(err, attest.ErrVerification) {
 		t.Errorf("foreign chain: %v", err)
 	}
 }
@@ -132,11 +133,11 @@ func TestVerifyRejectsLowTCB(t *testing.T) {
 	verifier := NewVerifier(st.backend.SecureProcessor().CertChainCopy())
 	verifier.MinTCB = sev.TCBVersion{Bootloader: 99}
 	nonce := nonce64("n")
-	ev, _, err := attester.Attest(nonce)
+	ev, _, err := attester.Attest(context.Background(), nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := verifier.Verify(ev, nonce); !errors.Is(err, attest.ErrTCBOutOfDate) {
+	if _, _, err := verifier.Verify(context.Background(), ev, nonce); !errors.Is(err, attest.ErrTCBOutOfDate) {
 		t.Errorf("low TCB: %v", err)
 	}
 }
@@ -144,7 +145,7 @@ func TestVerifyRejectsLowTCB(t *testing.T) {
 func TestVerifyRejectsWrongPlatform(t *testing.T) {
 	st := newStack(t)
 	verifier := NewVerifier(st.backend.SecureProcessor().CertChainCopy())
-	if _, _, err := verifier.Verify(attest.Evidence{Platform: tee.KindTDX, Data: []byte("{}")}, nil); err == nil {
+	if _, _, err := verifier.Verify(context.Background(), attest.Evidence{Platform: tee.KindTDX, Data: []byte("{}")}, nil); err == nil {
 		t.Error("TDX evidence accepted by SNP verifier")
 	}
 }
@@ -154,20 +155,20 @@ func TestMeasurementPinning(t *testing.T) {
 	attester := NewAttester(st.guest)
 	verifier := NewVerifier(st.backend.SecureProcessor().CertChainCopy())
 	nonce := nonce64("n")
-	ev, _, err := attester.Attest(nonce)
+	ev, _, err := attester.Attest(context.Background(), nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
-	verdict, _, err := verifier.Verify(ev, nonce)
+	verdict, _, err := verifier.Verify(context.Background(), ev, nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
 	verifier.ExpectedMeasurement = verdict.Measurement
-	if _, _, err := verifier.Verify(ev, nonce); err != nil {
+	if _, _, err := verifier.Verify(context.Background(), ev, nonce); err != nil {
 		t.Errorf("pinned genuine measurement rejected: %v", err)
 	}
 	verifier.ExpectedMeasurement = "deadbeef"
-	if _, _, err := verifier.Verify(ev, nonce); !errors.Is(err, attest.ErrVerification) {
+	if _, _, err := verifier.Verify(context.Background(), ev, nonce); !errors.Is(err, attest.ErrVerification) {
 		t.Errorf("wrong pinned measurement: %v", err)
 	}
 }

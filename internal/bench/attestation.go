@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -22,7 +23,7 @@ type AttestationResult struct {
 // Attestation reproduces the attestation experiment (§IV-C, Fig. 5)
 // for one platform: trials× produce evidence bound to a fresh nonce
 // and verify it, recording both phases' wall-clock latencies.
-func Attestation(kind tee.Kind, attester attest.Attester, verifier attest.Verifier, trials int) (AttestationResult, error) {
+func Attestation(ctx context.Context, kind tee.Kind, attester attest.Attester, verifier attest.Verifier, trials int) (AttestationResult, error) {
 	if trials <= 0 {
 		trials = 10
 	}
@@ -30,11 +31,11 @@ func Attestation(kind tee.Kind, attester attest.Attester, verifier attest.Verifi
 	checkMs := make([]float64, 0, trials)
 	for i := 0; i < trials; i++ {
 		nonce := freshNonce(kind, i)
-		ev, t1, err := attester.Attest(nonce)
+		ev, t1, err := attester.Attest(ctx, nonce)
 		if err != nil {
 			return AttestationResult{}, fmt.Errorf("bench attest %s trial %d: %w", kind, i, err)
 		}
-		verdict, t2, err := verifier.Verify(ev, nonce)
+		verdict, t2, err := verifier.Verify(ctx, ev, nonce)
 		if err != nil {
 			return AttestationResult{}, fmt.Errorf("bench check %s trial %d: %w", kind, i, err)
 		}

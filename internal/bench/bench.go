@@ -34,6 +34,11 @@ type Options struct {
 	// ScaleDivisor divides each workload's default scale (1 = the
 	// paper-equivalent size).
 	ScaleDivisor int
+	// Workers bounds how many measurement units (heatmap cells,
+	// images) run concurrently. <=1 selects the deterministic serial
+	// schedule that reproduces earlier harness output bit for bit; see
+	// Runner for the full contract.
+	Workers int
 }
 
 // WithDefaults fills unset fields.
@@ -43,6 +48,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.ScaleDivisor <= 0 {
 		o.ScaleDivisor = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 	return o
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -39,11 +40,11 @@ func pairFor(t *testing.T, kind tee.Kind) vm.Pair {
 }
 
 func TestMLShape(t *testing.T) {
-	tdxRes, err := ML(pairFor(t, tee.KindTDX), MLOptions{Images: 6, InputSize: 48})
+	tdxRes, err := ML(context.Background(), pairFor(t, tee.KindTDX), MLOptions{Images: 6, InputSize: 48})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ccaRes, err := ML(pairFor(t, tee.KindCCA), MLOptions{Images: 6, InputSize: 48})
+	ccaRes, err := ML(context.Background(), pairFor(t, tee.KindCCA), MLOptions{Images: 6, InputSize: 48})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,11 +65,11 @@ func TestMLShape(t *testing.T) {
 }
 
 func TestDBMSShape(t *testing.T) {
-	tdxRes, err := DBMS(pairFor(t, tee.KindTDX), DBMSOptions{Size: 15})
+	tdxRes, err := DBMS(context.Background(), pairFor(t, tee.KindTDX), DBMSOptions{Size: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ccaRes, err := DBMS(pairFor(t, tee.KindCCA), DBMSOptions{Size: 15})
+	ccaRes, err := DBMS(context.Background(), pairFor(t, tee.KindCCA), DBMSOptions{Size: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +89,11 @@ func TestDBMSShape(t *testing.T) {
 }
 
 func TestUnixBenchShape(t *testing.T) {
-	tdxRes, err := UnixBench(pairFor(t, tee.KindTDX), UnixBenchOptions{Scale: 0.1})
+	tdxRes, err := UnixBench(context.Background(), pairFor(t, tee.KindTDX), UnixBenchOptions{Scale: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ccaRes, err := UnixBench(pairFor(t, tee.KindCCA), UnixBenchOptions{Scale: 0.1})
+	ccaRes, err := UnixBench(context.Background(), pairFor(t, tee.KindCCA), UnixBenchOptions{Scale: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestAttestationShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tdxRes, err := Attestation(tee.KindTDX, dcap.NewAttester(tdxGuest, qe), dcap.NewVerifier(pcs), 3)
+	tdxRes, err := Attestation(context.Background(), tee.KindTDX, dcap.NewAttester(tdxGuest, qe), dcap.NewVerifier(pcs), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestAttestationShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sevGuest.Destroy()
-	sevRes, err := Attestation(tee.KindSEV,
+	sevRes, err := Attestation(context.Background(), tee.KindSEV,
 		snp.NewAttester(sevGuest),
 		snp.NewVerifier(sevBackend.SecureProcessor().CertChainCopy()), 3)
 	if err != nil {
@@ -185,11 +186,11 @@ func TestFaaSHeatmapShape(t *testing.T) {
 		Workloads: []string{"cpustress", "iostress", "factors", "logging"},
 		Languages: []string{"go", "python", "wasm"},
 	}
-	tdxRes, err := FaaS(pairFor(t, tee.KindTDX), nil, opts)
+	tdxRes, err := FaaS(context.Background(), pairFor(t, tee.KindTDX), nil, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sevRes, err := FaaS(pairFor(t, tee.KindSEV), nil, opts)
+	sevRes, err := FaaS(context.Background(), pairFor(t, tee.KindSEV), nil, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,11 +233,11 @@ func TestFaaSHeatmapShape(t *testing.T) {
 
 func TestFaaSCCAHigherOverheadAndVariance(t *testing.T) {
 	opts := faasSubset()
-	tdxRes, err := FaaS(pairFor(t, tee.KindTDX), nil, opts)
+	tdxRes, err := FaaS(context.Background(), pairFor(t, tee.KindTDX), nil, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ccaRes, err := FaaS(pairFor(t, tee.KindCCA), nil, opts)
+	ccaRes, err := FaaS(context.Background(), pairFor(t, tee.KindCCA), nil, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestFaaSCCAHigherOverheadAndVariance(t *testing.T) {
 func TestFaaSOutputsAgreeOrFail(t *testing.T) {
 	// FaaS asserts secure/normal output equality internally; a clean
 	// run over the default-catalog subset proves the check passes.
-	if _, err := FaaS(pairFor(t, tee.KindTDX), workloads.Default(), faasSubset()); err != nil {
+	if _, err := FaaS(context.Background(), pairFor(t, tee.KindTDX), workloads.Default(), faasSubset()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -275,7 +276,7 @@ func TestCoLocation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := CoLocation(backend, nil, CoLocationOptions{
+	res, err := CoLocation(context.Background(), backend, nil, CoLocationOptions{
 		Tenants: 3, Trials: 2, Workload: "factors", Language: "go",
 	})
 	if err != nil {
@@ -298,28 +299,28 @@ func TestCoLocation(t *testing.T) {
 
 func TestRenderers(t *testing.T) {
 	pair := pairFor(t, tee.KindTDX)
-	ml, err := ML(pair, MLOptions{Images: 3, InputSize: 48})
+	ml, err := ML(context.Background(), pair, MLOptions{Images: 3, InputSize: 48})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out := RenderML([]MLResult{ml}); !strings.Contains(out, "tdx") || !strings.Contains(out, "median") {
 		t.Errorf("ML render:\n%s", out)
 	}
-	db, err := DBMS(pair, DBMSOptions{Size: 10})
+	db, err := DBMS(context.Background(), pair, DBMSOptions{Size: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out := RenderDBMS([]DBMSResult{db}); !strings.Contains(out, "avg ratio") {
 		t.Errorf("DBMS render:\n%s", out)
 	}
-	ub, err := UnixBench(pair, UnixBenchOptions{Scale: 0.05})
+	ub, err := UnixBench(context.Background(), pair, UnixBenchOptions{Scale: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out := RenderUnixBench([]UnixBenchResult{ub}); !strings.Contains(out, "dhry2reg") {
 		t.Errorf("UnixBench render:\n%s", out)
 	}
-	fa, err := FaaS(pair, nil, faasSubset())
+	fa, err := FaaS(context.Background(), pair, nil, faasSubset())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestOptionsDefaults(t *testing.T) {
 
 func TestReportJSONRoundTrip(t *testing.T) {
 	pair := pairFor(t, tee.KindTDX)
-	ml, err := ML(pair, MLOptions{Images: 3, InputSize: 48})
+	ml, err := ML(context.Background(), pair, MLOptions{Images: 3, InputSize: 48})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"confbench/internal/cberr"
 	"confbench/internal/meter"
 	"confbench/internal/minidb"
 	"confbench/internal/mlinfer"
@@ -31,13 +33,16 @@ type MLOptions struct {
 	Images int
 	// InputSize is the model input resolution (0 = 96).
 	InputSize int
+	// Workers bounds concurrent per-image inferences (<=1 = the
+	// deterministic serial harness; see Runner).
+	Workers int
 }
 
 // ML reproduces the confidential-ML experiment (§IV-C, Fig. 3): a
 // MobileNet-style model classifies every image of the synthetic 1-MB
 // dataset inside both VMs of the pair; per-image inference times give
 // the stacked-percentile distributions.
-func ML(pair vm.Pair, opts MLOptions) (MLResult, error) {
+func ML(ctx context.Context, pair vm.Pair, opts MLOptions) (MLResult, error) {
 	if opts.Images <= 0 {
 		opts.Images = 40
 	}
@@ -49,12 +54,13 @@ func ML(pair vm.Pair, opts MLOptions) (MLResult, error) {
 		return MLResult{}, err
 	}
 	dataset := mlinfer.Dataset(opts.Images)
+	runner := Runner{Workers: opts.Workers}
 
 	classifyAll := func(machine *vm.VM) ([]time.Duration, error) {
-		times := make([]time.Duration, 0, len(dataset))
-		for i, raw := range dataset {
-			res, err := machine.RunMetered(fmt.Sprintf("ml-image-%d", i), func(m *meter.Context) (string, error) {
-				img, err := mlinfer.DecodeAndResize(m, raw, opts.InputSize)
+		times := make([]time.Duration, len(dataset))
+		err := runner.Run(ctx, len(dataset), func(ctx context.Context, i int) error {
+			res, err := machine.RunMetered(ctx, fmt.Sprintf("ml-image-%d", i), func(_ context.Context, m *meter.Context) (string, error) {
+				img, err := mlinfer.DecodeAndResize(m, dataset[i], opts.InputSize)
 				if err != nil {
 					return "", err
 				}
@@ -65,9 +71,13 @@ func ML(pair vm.Pair, opts MLOptions) (MLResult, error) {
 				return preds[0].Label, nil
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			times = append(times, res.Wall)
+			times[i] = res.Wall
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		return times, nil
 	}
@@ -125,7 +135,10 @@ type DBMSOptions struct {
 // DBMS reproduces the confidential-DBMS experiment (§IV-C): the
 // speedtest1-style suite runs in both VMs; per-test execution times
 // are priced per test so the ratios can be compared test by test.
-func DBMS(pair vm.Pair, opts DBMSOptions) (DBMSResult, error) {
+func DBMS(ctx context.Context, pair vm.Pair, opts DBMSOptions) (DBMSResult, error) {
+	if err := ctx.Err(); err != nil {
+		return DBMSResult{}, cberr.From(err, cberr.LayerBench)
+	}
 	if opts.Size <= 0 {
 		opts.Size = 100
 	}
@@ -219,7 +232,10 @@ type UnixBenchOptions struct {
 // UnixBench reproduces the OS experiment (§IV-C, Fig. 4): the
 // single-threaded suite runs with durations priced under each VM, and
 // the aggregate index scores yield the secure/normal time ratio.
-func UnixBench(pair vm.Pair, opts UnixBenchOptions) (UnixBenchResult, error) {
+func UnixBench(ctx context.Context, pair vm.Pair, opts UnixBenchOptions) (UnixBenchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return UnixBenchResult{}, cberr.From(err, cberr.LayerBench)
+	}
 	suite := unixbench.New(unixbench.Options{Scale: opts.Scale})
 	mS := meter.NewContext()
 	secure, err := suite.Run(mS, pair.Secure.PriceUsage)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"confbench/internal/faas"
@@ -51,7 +52,7 @@ type CoLocationResult struct {
 }
 
 // CoLocation runs the sweep on the given backend.
-func CoLocation(backend tee.Backend, catalog *workloads.Registry, opts CoLocationOptions) (CoLocationResult, error) {
+func CoLocation(ctx context.Context, backend tee.Backend, catalog *workloads.Registry, opts CoLocationOptions) (CoLocationResult, error) {
 	if opts.Tenants <= 0 {
 		opts.Tenants = 4
 	}
@@ -101,7 +102,7 @@ func CoLocation(backend tee.Backend, catalog *workloads.Registry, opts CoLocatio
 		var samples []float64
 		for trial := 0; trial < opts.Trials; trial++ {
 			for _, machine := range vms {
-				r, err := machine.InvokeFunction(fn, 0)
+				r, err := machine.InvokeFunction(ctx, fn, 0)
 				if err != nil {
 					stopAll(vms)
 					return CoLocationResult{}, err

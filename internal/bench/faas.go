@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"confbench/internal/faas"
@@ -30,21 +31,36 @@ type FaaSResult struct {
 	Languages []string `json:"languages"`
 	// Cells is indexed [workload][language] following the two lists.
 	Cells [][]Cell `json:"cells"`
+
+	// wIndex and lIndex map names to list positions so Cell lookups
+	// cost O(1) instead of scanning the grid. They are built once when
+	// the result is produced; results reconstructed elsewhere (JSON
+	// round trips, literals) fall back to a local rebuild.
+	wIndex map[string]int
+	lIndex map[string]int
+}
+
+// indexMap maps each name to its slice position.
+func indexMap(names []string) map[string]int {
+	m := make(map[string]int, len(names))
+	for i, n := range names {
+		m[n] = i
+	}
+	return m
 }
 
 // Cell returns the cell for (workload, language).
 func (r FaaSResult) Cell(workload, language string) (Cell, error) {
-	for i, w := range r.Workloads {
-		if w != workload {
-			continue
-		}
-		for j, l := range r.Languages {
-			if l == language {
-				return r.Cells[i][j], nil
-			}
-		}
+	wi, li := r.wIndex, r.lIndex
+	if wi == nil || li == nil {
+		wi, li = indexMap(r.Workloads), indexMap(r.Languages)
 	}
-	return Cell{}, fmt.Errorf("bench: no cell for %s/%s", workload, language)
+	i, okW := wi[workload]
+	j, okL := li[language]
+	if !okW || !okL || i >= len(r.Cells) || j >= len(r.Cells[i]) {
+		return Cell{}, fmt.Errorf("bench: no cell for %s/%s", workload, language)
+	}
+	return r.Cells[i][j], nil
 }
 
 // MeanRatio averages all cell ratios (a one-number platform summary).
@@ -86,7 +102,12 @@ type FaaSOptions struct {
 // Trials× in the secure and the normal VM with identical arguments,
 // and the cell ratio is the ratio of mean execution times. Timings
 // exclude runtime bootstrap, matching the paper's protocol.
-func FaaS(pair vm.Pair, catalog *workloads.Registry, opts FaaSOptions) (FaaSResult, error) {
+//
+// Cells are scheduled over Options.Workers workers (see Runner for
+// the determinism contract): Workers<=1 reproduces the serial harness
+// bit for bit; Workers>1 keeps the result shape while cells execute
+// concurrently.
+func FaaS(ctx context.Context, pair vm.Pair, catalog *workloads.Registry, opts FaaSOptions) (FaaSResult, error) {
 	opts.Options = opts.Options.WithDefaults()
 	if catalog == nil {
 		catalog = workloads.Default()
@@ -100,51 +121,78 @@ func FaaS(pair vm.Pair, catalog *workloads.Registry, opts FaaSOptions) (FaaSResu
 		languages = langs.Names()
 	}
 
-	res := FaaSResult{
-		Kind:      pair.Secure.Platform(),
-		Workloads: ws,
-		Languages: languages,
-		Cells:     make([][]Cell, len(ws)),
-	}
+	// Resolve scales up front so the worker pool only executes cells.
+	scales := make([]int, len(ws))
 	for i, w := range ws {
 		entry, err := catalog.Lookup(w)
 		if err != nil {
 			return FaaSResult{}, err
 		}
-		scale := entry.DefaultScale / opts.ScaleDivisor
-		if scale < 1 {
-			scale = 1
-		}
-		res.Cells[i] = make([]Cell, len(languages))
-		for j, lang := range languages {
-			fn := faas.Function{Name: w + "-" + lang, Language: lang, Workload: w}
-			cell := Cell{Workload: w, Language: lang}
-			var secureSum, normalSum float64
-			for trial := 0; trial < opts.Trials; trial++ {
-				sRes, err := pair.Secure.InvokeFunction(fn, scale)
-				if err != nil {
-					return FaaSResult{}, fmt.Errorf("bench faas %s/%s secure: %w", w, lang, err)
-				}
-				nRes, err := pair.Normal.InvokeFunction(fn, scale)
-				if err != nil {
-					return FaaSResult{}, fmt.Errorf("bench faas %s/%s normal: %w", w, lang, err)
-				}
-				if sRes.Output != nRes.Output {
-					return FaaSResult{}, fmt.Errorf("bench faas %s/%s: secure output %q != normal %q",
-						w, lang, sRes.Output, nRes.Output)
-				}
-				sMs := float64(sRes.Wall.Nanoseconds()) / 1e6
-				nMs := float64(nRes.Wall.Nanoseconds()) / 1e6
-				cell.SecureMs = append(cell.SecureMs, sMs)
-				cell.NormalMs = append(cell.NormalMs, nMs)
-				secureSum += sMs
-				normalSum += nMs
-			}
-			cell.Ratio = stats.Ratio(secureSum, normalSum)
-			res.Cells[i][j] = cell
+		scales[i] = entry.DefaultScale / opts.ScaleDivisor
+		if scales[i] < 1 {
+			scales[i] = 1
 		}
 	}
+
+	res := FaaSResult{
+		Kind:      pair.Secure.Platform(),
+		Workloads: ws,
+		Languages: languages,
+		Cells:     make([][]Cell, len(ws)),
+		wIndex:    indexMap(ws),
+		lIndex:    indexMap(languages),
+	}
+	for i := range res.Cells {
+		res.Cells[i] = make([]Cell, len(languages))
+	}
+
+	// One task per heatmap cell, in workload-major order — the same
+	// order the serial harness walked, so Workers=1 replays the exact
+	// invocation sequence against the pair's stateful pricing models.
+	runner := Runner{Workers: opts.Workers}
+	nLangs := len(languages)
+	err := runner.Run(ctx, len(ws)*nLangs, func(ctx context.Context, idx int) error {
+		i, j := idx/nLangs, idx%nLangs
+		cell, err := faasCell(ctx, pair, ws[i], languages[j], scales[i], opts.Trials)
+		if err != nil {
+			return err
+		}
+		res.Cells[i][j] = cell
+		return nil
+	})
+	if err != nil {
+		return FaaSResult{}, err
+	}
 	return res, nil
+}
+
+// faasCell measures one (workload, language) heatmap cell.
+func faasCell(ctx context.Context, pair vm.Pair, w, lang string, scale, trials int) (Cell, error) {
+	fn := faas.Function{Name: w + "-" + lang, Language: lang, Workload: w}
+	cell := Cell{Workload: w, Language: lang}
+	var secureSum, normalSum float64
+	for trial := 0; trial < trials; trial++ {
+		sRes, err := pair.Secure.InvokeFunction(ctx, fn, scale)
+		if err != nil {
+			return Cell{}, fmt.Errorf("bench faas %s/%s secure: %w", w, lang, err)
+		}
+		nRes, err := pair.Normal.InvokeFunction(ctx, fn, scale)
+		if err != nil {
+			return Cell{}, fmt.Errorf("bench faas %s/%s normal: %w", w, lang, err)
+		}
+		if sRes.Output != nRes.Output {
+			return Cell{}, fmt.Errorf("bench faas %s/%s: secure output %q != normal %q",
+				w, lang, sRes.Output, nRes.Output)
+		}
+		sMs := float64(sRes.Wall.Nanoseconds()) / 1e6
+		nMs := float64(nRes.Wall.Nanoseconds()) / 1e6
+		cell.SecureMs = append(cell.SecureMs, sMs)
+		cell.NormalMs = append(cell.NormalMs, nMs)
+		secureSum += sMs
+		normalSum += nMs
+	}
+	cell.Ratio = stats.Ratio(secureSum, normalSum)
+	return cell, nil
 }
 
 // BoxPlotsFor computes the Fig. 8 box-and-whisker summaries for one

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+
+	"confbench/internal/cberr"
+)
+
+// Runner executes a fixed-size batch of indexed tasks over a bounded
+// worker pool. It is the scheduling core of the experiment harness:
+// heatmap cells, per-image inferences, and other embarrassingly
+// parallel measurement units go through it.
+//
+// Determinism contract:
+//
+//   - Workers <= 1 runs every task in index order on the calling
+//     goroutine. Experiments whose measured values depend on a shared
+//     stateful noise source (the per-guest pricing RNG) reproduce the
+//     serial harness bit for bit.
+//   - Workers > 1 runs tasks concurrently, but results are written
+//     into per-index slots by the tasks themselves, so the output
+//     SHAPE (ordering of cells, sample counts) is identical to the
+//     serial run; only values drawn from shared noise sources may
+//     differ. When a task needs private randomness, derive it from
+//     StreamSeed so each index gets a stable, worker-count-independent
+//     stream.
+//
+// Error contract: every started task runs to completion, and the
+// reported error is the one raised by the lowest task index, so error
+// reporting does not depend on goroutine scheduling. After the first
+// failure remaining unstarted tasks are skipped.
+type Runner struct {
+	// Workers bounds the number of concurrently running tasks.
+	// Values <= 1 select the deterministic serial path.
+	Workers int
+}
+
+// Run executes task(ctx, i) for i in [0, n). See the type comment for
+// the determinism and error contracts. A canceled ctx stops scheduling
+// and surfaces cberr.ErrCanceled.
+func (r Runner) Run(ctx context.Context, n int, task func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := r.Workers
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return cberr.From(err, cberr.LayerBench)
+			}
+			if err := task(ctx, i); err != nil {
+				return cberr.From(err, cberr.LayerBench)
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		next     int
+		failed   = n // lowest failed index, n = none
+		taskErrs = make([]error, n)
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		// Indices past the lowest failure are skipped; lower ones still
+		// run so the winning (lowest-index) error is deterministic.
+		if next >= n || next > failed {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := task(ctx, i); err != nil {
+					mu.Lock()
+					taskErrs[i] = err
+					if i < failed {
+						failed = i
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return cberr.From(err, cberr.LayerBench)
+	}
+	for _, err := range taskErrs {
+		if err != nil {
+			return cberr.From(err, cberr.LayerBench)
+		}
+	}
+	return nil
+}
+
+// StreamSeed derives the RNG seed of stream index i from a base seed
+// using splitmix64, so every task index owns a stable random stream
+// regardless of worker count or scheduling order.
+func StreamSeed(base int64, i int) int64 {
+	z := uint64(base) + (uint64(i)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// StreamRNG returns a rand.Rand seeded with StreamSeed(base, i).
+func StreamRNG(base int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(StreamSeed(base, i)))
+}

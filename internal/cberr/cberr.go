@@ -1,0 +1,279 @@
+// Package cberr defines ConfBench's error taxonomy: every failure
+// that crosses a layer boundary of the invocation pipeline
+// (client → gateway → pool → host agent → VM → guest → launcher) is
+// classified with a machine-readable Code, the Layer that produced
+// it, and a Retryable hint. Errors travel the wire as part of the
+// gateway's JSON error envelope and are reconstructed on the client
+// side, so errors.Is works end-to-end across process boundaries.
+//
+// The taxonomy follows the idiom of production Go systems: sentinel
+// values for errors.Is dispatch, a single concrete *Error carrying
+// the structured fields, and wrapping that preserves the cause chain
+// (context.Canceled stays reachable through errors.Is after crossing
+// the gateway).
+package cberr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Code classifies a failure independently of the layer that raised it.
+type Code string
+
+// The taxonomy. Codes are stable wire strings; do not renumber.
+const (
+	// CodeInvalid marks malformed or unsatisfiable requests.
+	CodeInvalid Code = "invalid_request"
+	// CodeNotFound marks lookups of unknown functions, pools, or TEEs.
+	CodeNotFound Code = "not_found"
+	// CodeConflict marks requests racing an existing resource.
+	CodeConflict Code = "conflict"
+	// CodeUnavailable marks transient resource exhaustion (no endpoint
+	// in a pool, VM stopped, connection refused). Retryable.
+	CodeUnavailable Code = "unavailable"
+	// CodeUpstream marks failures forwarded from a host agent or VM
+	// behind the gateway. Retryable.
+	CodeUpstream Code = "upstream_error"
+	// CodeCanceled marks work aborted by context cancellation.
+	CodeCanceled Code = "canceled"
+	// CodeDeadline marks work aborted by a context deadline. Retryable.
+	CodeDeadline Code = "deadline_exceeded"
+	// CodeAttestation marks evidence that failed verification.
+	CodeAttestation Code = "attestation_failed"
+	// CodeInternal marks everything else.
+	CodeInternal Code = "internal"
+)
+
+// Layer names the pipeline stage that classified the failure.
+type Layer string
+
+// Pipeline layers, outermost first.
+const (
+	LayerClient  Layer = "client"
+	LayerGateway Layer = "gateway"
+	LayerPool    Layer = "pool"
+	LayerHost    Layer = "host"
+	LayerVM      Layer = "vm"
+	LayerGuest   Layer = "guest"
+	LayerFaaS    Layer = "faas"
+	LayerAttest  Layer = "attest"
+	LayerBench   Layer = "bench"
+)
+
+// Error is the concrete error type carrying the taxonomy fields. Its
+// JSON form is the wire representation inside the gateway's error
+// envelope.
+type Error struct {
+	Code      Code   `json:"code"`
+	Layer     Layer  `json:"layer,omitempty"`
+	Retryable bool   `json:"retryable,omitempty"`
+	Message   string `json:"message"`
+
+	cause error
+}
+
+// Sentinels for errors.Is dispatch: errors.Is(err, cberr.ErrCanceled)
+// matches any *Error carrying CodeCanceled, wherever in the pipeline
+// it was raised.
+var (
+	ErrInvalid     = &Error{Code: CodeInvalid, Message: "invalid request"}
+	ErrNotFound    = &Error{Code: CodeNotFound, Message: "not found"}
+	ErrConflict    = &Error{Code: CodeConflict, Message: "conflict"}
+	ErrUnavailable = &Error{Code: CodeUnavailable, Retryable: true, Message: "unavailable"}
+	ErrUpstream    = &Error{Code: CodeUpstream, Retryable: true, Message: "upstream error"}
+	ErrCanceled    = &Error{Code: CodeCanceled, Message: "canceled", cause: context.Canceled}
+	ErrDeadline    = &Error{Code: CodeDeadline, Retryable: true, Message: "deadline exceeded", cause: context.DeadlineExceeded}
+	ErrAttestation = &Error{Code: CodeAttestation, Message: "attestation failed"}
+	ErrInternal    = &Error{Code: CodeInternal, Message: "internal error"}
+)
+
+// retryableByDefault reports the Retryable hint a fresh error of the
+// given code carries.
+func retryableByDefault(c Code) bool {
+	switch c {
+	case CodeUnavailable, CodeUpstream, CodeDeadline:
+		return true
+	default:
+		return false
+	}
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Layer != "" {
+		return string(e.Layer) + ": " + e.Message
+	}
+	return e.Message
+}
+
+// Unwrap exposes the cause chain, so errors.Is reaches wrapped
+// sentinels (context.Canceled, vm.ErrNoLauncher, ...).
+func (e *Error) Unwrap() error { return e.cause }
+
+// Is matches other *Error values by Code, making the package-level
+// sentinels work as errors.Is targets.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && e.Code == t.Code
+}
+
+// New builds a fresh classified error.
+func New(code Code, layer Layer, msg string) *Error {
+	return &Error{Code: code, Layer: layer, Retryable: retryableByDefault(code), Message: msg}
+}
+
+// Newf builds a fresh classified error with a formatted message.
+func Newf(code Code, layer Layer, format string, args ...any) *Error {
+	return New(code, layer, fmt.Sprintf(format, args...))
+}
+
+// Wrap classifies an existing error, preserving it as the cause. A nil
+// err yields nil. If err is already an *Error it is returned unchanged
+// (first classification wins — the innermost layer knows best).
+func Wrap(code Code, layer Layer, err error) error {
+	if err == nil {
+		return nil
+	}
+	var ce *Error
+	if errors.As(err, &ce) {
+		return err
+	}
+	return &Error{
+		Code:      code,
+		Layer:     layer,
+		Retryable: retryableByDefault(code),
+		Message:   err.Error(),
+		cause:     err,
+	}
+}
+
+// From classifies an arbitrary error, mapping context cancellation and
+// deadline errors onto their taxonomy codes and defaulting the rest to
+// CodeInternal. Already-classified errors pass through unchanged.
+func From(err error, layer Layer) error {
+	if err == nil {
+		return nil
+	}
+	var ce *Error
+	if errors.As(err, &ce) {
+		return err
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		return Wrap(CodeCanceled, layer, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return Wrap(CodeDeadline, layer, err)
+	default:
+		return Wrap(CodeInternal, layer, err)
+	}
+}
+
+// CodeOf extracts the taxonomy code, classifying unwrapped context
+// errors on the fly. Unclassifiable errors report CodeInternal; a nil
+// error reports the empty code.
+func CodeOf(err error) Code {
+	if err == nil {
+		return ""
+	}
+	var ce *Error
+	if errors.As(err, &ce) {
+		return ce.Code
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline
+	default:
+		return CodeInternal
+	}
+}
+
+// LayerOf extracts the layer of the outermost classified error.
+func LayerOf(err error) Layer {
+	var ce *Error
+	if errors.As(err, &ce) {
+		return ce.Layer
+	}
+	return ""
+}
+
+// Retryable reports whether a retry may succeed.
+func Retryable(err error) bool {
+	var ce *Error
+	if errors.As(err, &ce) {
+		return ce.Retryable
+	}
+	return false
+}
+
+// StatusClientClosedRequest is the non-standard (nginx-convention)
+// status the gateway reports when the caller canceled mid-request.
+const StatusClientClosedRequest = 499
+
+// HTTPStatus maps an error onto the gateway's HTTP status.
+func HTTPStatus(err error) int {
+	switch CodeOf(err) {
+	case CodeInvalid:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeConflict:
+		return http.StatusConflict
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	case CodeUpstream:
+		return http.StatusBadGateway
+	case CodeCanceled:
+		return StatusClientClosedRequest
+	case CodeDeadline:
+		return http.StatusGatewayTimeout
+	case CodeAttestation:
+		return http.StatusForbidden
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// CodeForHTTPStatus is the client-side fallback mapping for error
+// responses that carry no structured code (legacy peers, proxies).
+func CodeForHTTPStatus(status int) Code {
+	switch status {
+	case http.StatusBadRequest, http.StatusMethodNotAllowed:
+		return CodeInvalid
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	case http.StatusBadGateway:
+		return CodeUpstream
+	case StatusClientClosedRequest:
+		return CodeCanceled
+	case http.StatusGatewayTimeout:
+		return CodeDeadline
+	case http.StatusForbidden:
+		return CodeAttestation
+	default:
+		return CodeInternal
+	}
+}
+
+// FromWire reconstructs a classified error from the gateway's error
+// envelope. Canceled and deadline codes re-attach the matching context
+// sentinel as the cause, so errors.Is(err, context.Canceled) keeps
+// holding after a network hop.
+func FromWire(code Code, layer Layer, retryable bool, message string) *Error {
+	e := &Error{Code: code, Layer: layer, Retryable: retryable, Message: message}
+	switch code {
+	case CodeCanceled:
+		e.cause = context.Canceled
+	case CodeDeadline:
+		e.cause = context.DeadlineExceeded
+	}
+	return e
+}

@@ -1,0 +1,121 @@
+package cberr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestSentinelMatchingByCode(t *testing.T) {
+	err := Newf(CodeNotFound, LayerGateway, "no function %q", "ghost")
+	if !errors.Is(err, ErrNotFound) {
+		t.Error("fresh not_found error does not match ErrNotFound")
+	}
+	if errors.Is(err, ErrInvalid) {
+		t.Error("not_found error matches ErrInvalid")
+	}
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Layer != LayerGateway {
+		t.Errorf("As failed or layer lost: %+v", ce)
+	}
+}
+
+func TestWrapPreservesCause(t *testing.T) {
+	cause := errors.New("socket closed")
+	err := Wrap(CodeUpstream, LayerGateway, cause)
+	if !errors.Is(err, cause) {
+		t.Error("cause unreachable through Wrap")
+	}
+	if !errors.Is(err, ErrUpstream) {
+		t.Error("wrapped error does not match ErrUpstream")
+	}
+	if !Retryable(err) {
+		t.Error("upstream error not retryable")
+	}
+}
+
+func TestWrapNilAndDoubleWrap(t *testing.T) {
+	if Wrap(CodeInternal, LayerVM, nil) != nil {
+		t.Error("Wrap(nil) != nil")
+	}
+	inner := New(CodeNotFound, LayerVM, "no launcher")
+	outer := Wrap(CodeInternal, LayerGateway, fmt.Errorf("forward: %w", inner))
+	// First classification wins: the code must stay not_found.
+	if CodeOf(outer) != CodeNotFound {
+		t.Errorf("double wrap reclassified: %v", CodeOf(outer))
+	}
+}
+
+func TestFromClassifiesContextErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := From(ctx.Err(), LayerVM)
+	if !errors.Is(err, ErrCanceled) {
+		t.Error("canceled context not classified as ErrCanceled")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("context.Canceled lost by classification")
+	}
+	if Retryable(err) {
+		t.Error("canceled must not be retryable")
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	<-dctx.Done()
+	derr := From(dctx.Err(), LayerClient)
+	if !errors.Is(derr, ErrDeadline) || !errors.Is(derr, context.DeadlineExceeded) {
+		t.Errorf("deadline classification broken: %v", derr)
+	}
+}
+
+func TestHTTPStatusRoundTrip(t *testing.T) {
+	codes := []Code{
+		CodeInvalid, CodeNotFound, CodeConflict, CodeUnavailable,
+		CodeUpstream, CodeCanceled, CodeDeadline, CodeAttestation, CodeInternal,
+	}
+	for _, c := range codes {
+		status := HTTPStatus(New(c, LayerGateway, "x"))
+		if got := CodeForHTTPStatus(status); got != c {
+			t.Errorf("code %s → status %d → code %s", c, status, got)
+		}
+	}
+	if HTTPStatus(errors.New("plain")) != http.StatusInternalServerError {
+		t.Error("unclassified error should map to 500")
+	}
+	if HTTPStatus(New(CodeCanceled, "", "x")) != StatusClientClosedRequest {
+		t.Error("canceled should map to 499")
+	}
+}
+
+func TestFromWireReattachesContextSentinels(t *testing.T) {
+	err := FromWire(CodeCanceled, LayerGateway, false, "invoke canceled")
+	if !errors.Is(err, context.Canceled) {
+		t.Error("wire-reconstructed canceled error lost context.Canceled")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Error("wire-reconstructed error does not match ErrCanceled")
+	}
+	derr := FromWire(CodeDeadline, LayerGateway, true, "slow host")
+	if !errors.Is(derr, context.DeadlineExceeded) {
+		t.Error("wire-reconstructed deadline error lost context.DeadlineExceeded")
+	}
+}
+
+func TestCodeOfFallbacks(t *testing.T) {
+	if CodeOf(nil) != "" {
+		t.Error("CodeOf(nil) should be empty")
+	}
+	if CodeOf(errors.New("x")) != CodeInternal {
+		t.Error("plain errors classify as internal")
+	}
+	if CodeOf(fmt.Errorf("op: %w", context.Canceled)) != CodeCanceled {
+		t.Error("bare context.Canceled should classify as canceled")
+	}
+	if LayerOf(New(CodeInternal, LayerHost, "x")) != LayerHost {
+		t.Error("LayerOf lost the layer")
+	}
+}

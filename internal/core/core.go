@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -118,7 +119,11 @@ func (c *Cluster) boot() error {
 	if err != nil {
 		return err
 	}
-	c.client = api.NewClient(url)
+	client, err := api.NewClient(url)
+	if err != nil {
+		return err
+	}
+	c.client = client
 
 	// Attestation infrastructure for TDX (QE + PCS).
 	if b, ok := c.backends[tee.KindTDX]; ok {
@@ -205,8 +210,8 @@ func (c *Cluster) Catalog() *workloads.Registry { return c.catalog }
 
 // UploadCatalog registers one function per (workload, language) pair
 // under the name "<workload>-<language>", mirroring the paper's
-// cross-language function porting.
-func (c *Cluster) UploadCatalog(languages []string) error {
+// cross-language function porting. The ctx bounds the whole batch.
+func (c *Cluster) UploadCatalog(ctx context.Context, languages []string) error {
 	if languages == nil {
 		languages = langs.Names()
 	}
@@ -218,7 +223,7 @@ func (c *Cluster) UploadCatalog(languages []string) error {
 				Workload: w,
 				Source:   []byte(fmt.Sprintf("// %s implemented in %s", w, lang)),
 			}
-			if err := c.client.Upload(fn); err != nil {
+			if err := c.client.Upload(ctx, fn); err != nil {
 				return err
 			}
 		}
@@ -262,23 +267,21 @@ func (c *Cluster) SEVAttestation() (attest.Attester, attest.Verifier, error) {
 // the attestation example).
 func (c *Cluster) PCS() *dcap.PCS { return c.pcs }
 
-// Close tears the whole deployment down.
+// Close tears the whole deployment down. Every component is closed
+// even when an earlier one fails; the individual errors are aggregated
+// with errors.Join so none is masked.
 func (c *Cluster) Close() error {
-	var firstErr error
+	var errs []error
 	if c.gw != nil {
-		if err := c.gw.Close(); err != nil {
-			firstErr = err
-		}
+		errs = append(errs, c.gw.Close())
 	}
-	for _, a := range c.agents {
-		if err := a.Close(); err != nil && firstErr == nil {
-			firstErr = err
+	for _, kind := range c.Kinds() {
+		if a, ok := c.agents[kind]; ok {
+			errs = append(errs, a.Close())
 		}
 	}
 	if c.pcs != nil {
-		if err := c.pcs.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		errs = append(errs, c.pcs.Close())
 	}
-	return firstErr
+	return errors.Join(errs...)
 }

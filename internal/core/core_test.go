@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"confbench/internal/tee"
@@ -41,7 +42,7 @@ func TestGatewayURLAndPools(t *testing.T) {
 	if c.GatewayURL() == "" {
 		t.Error("no gateway URL")
 	}
-	pools, err := c.Client().Pools()
+	pools, err := c.Client().Pools(context.Background())
 	if err != nil || len(pools) != 1 || pools[0].TEE != tee.KindTDX {
 		t.Errorf("pools = %+v, %v", pools, err)
 	}
@@ -53,7 +54,7 @@ func TestLeastLoadedConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	pools, err := c.Client().Pools()
+	pools, err := c.Client().Pools(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,15 +69,15 @@ func TestUploadCatalogAndDuplicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.UploadCatalog([]string{"go"}); err != nil {
+	if err := c.UploadCatalog(context.Background(), []string{"go"}); err != nil {
 		t.Fatal(err)
 	}
 	// A second pass collides with the already-registered names.
-	if err := c.UploadCatalog([]string{"go"}); err == nil {
+	if err := c.UploadCatalog(context.Background(), []string{"go"}); err == nil {
 		t.Error("duplicate catalog upload accepted")
 	}
 	// Unknown language surfaces the gateway's rejection.
-	if err := c.UploadCatalog([]string{"cobol"}); err == nil {
+	if err := c.UploadCatalog(context.Background(), []string{"cobol"}); err == nil {
 		t.Error("unknown language accepted")
 	}
 }

@@ -13,6 +13,7 @@
 package faas
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -75,8 +76,9 @@ type Launcher interface {
 	// Version returns the runtime version string for the platform the
 	// launcher was configured for.
 	Version() string
-	// Launch executes fn at the given scale.
-	Launch(fn Function, scale int) (LaunchResult, error)
+	// Launch executes fn at the given scale. A canceled ctx aborts the
+	// launch before (and is re-checked after) the workload body runs.
+	Launch(ctx context.Context, fn Function, scale int) (LaunchResult, error)
 }
 
 // DB is the gateway's function database: uploaded functions, keyed by

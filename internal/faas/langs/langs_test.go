@@ -1,6 +1,7 @@
 package langs
 
 import (
+	"context"
 	"testing"
 
 	"confbench/internal/faas"
@@ -114,7 +115,7 @@ func TestRuntimeLauncherRuns(t *testing.T) {
 	if l.Language() != LangPython || l.Version() != "3.12.3" {
 		t.Errorf("launcher metadata: %s %s", l.Language(), l.Version())
 	}
-	res, err := l.Launch(faas.Function{Name: "f", Language: LangPython, Workload: "factors"}, 1000)
+	res, err := l.Launch(context.Background(), faas.Function{Name: "f", Language: LangPython, Workload: "factors"}, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,14 +132,14 @@ func TestRuntimeLauncherRuns(t *testing.T) {
 
 func TestRuntimeLauncherRejectsWrongLanguage(t *testing.T) {
 	l, _ := NewRuntimeLauncher(LangPython, tee.KindTDX, nil)
-	if _, err := l.Launch(faas.Function{Name: "f", Language: LangGo, Workload: "factors"}, 1); err == nil {
+	if _, err := l.Launch(context.Background(), faas.Function{Name: "f", Language: LangGo, Workload: "factors"}, 1); err == nil {
 		t.Error("wrong-language function accepted")
 	}
 }
 
 func TestRuntimeLauncherUsesDefaultScale(t *testing.T) {
 	l, _ := NewRuntimeLauncher(LangGo, tee.KindTDX, nil)
-	res, err := l.Launch(faas.Function{Name: "f", Language: LangGo, Workload: "fib"}, 0)
+	res, err := l.Launch(context.Background(), faas.Function{Name: "f", Language: LangGo, Workload: "fib"}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestWasmLauncherRunsBytecode(t *testing.T) {
 	if wl.HasBytecode("logging") {
 		t.Error("logging should not have bytecode")
 	}
-	res, err := wl.Launch(faas.Function{Name: "f", Language: LangWasm, Workload: "fib"}, 15)
+	res, err := wl.Launch(context.Background(), faas.Function{Name: "f", Language: LangWasm, Workload: "fib"}, 15)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestWasmLauncherFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := wl.Launch(faas.Function{Name: "f", Language: LangWasm, Workload: "logging"}, 50)
+	res, err := wl.Launch(context.Background(), faas.Function{Name: "f", Language: LangWasm, Workload: "logging"}, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestWasmLauncherFallsBack(t *testing.T) {
 func TestWasmLauncherClampsScale(t *testing.T) {
 	wl, _ := NewWasmLauncher(tee.KindTDX, workloads.Default())
 	// A huge fib argument must be clamped, not hang.
-	res, err := wl.Launch(faas.Function{Name: "f", Language: LangWasm, Workload: "fib"}, 90)
+	res, err := wl.Launch(context.Background(), faas.Function{Name: "f", Language: LangWasm, Workload: "fib"}, 90)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestLaunchersProduceEqualOutputsAcrossLanguages(t *testing.T) {
 	}
 	want := ""
 	for _, lang := range []string{LangGo, LangPython, LangRuby, LangLua, LangLuaJIT, LangNode} {
-		res, err := ls[lang].Launch(fnFor(lang), 5040)
+		res, err := ls[lang].Launch(context.Background(), fnFor(lang), 5040)
 		if err != nil {
 			t.Fatalf("%s: %v", lang, err)
 		}

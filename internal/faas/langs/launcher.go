@@ -1,6 +1,7 @@
 package langs
 
 import (
+	"context"
 	"fmt"
 
 	"confbench/internal/faas"
@@ -39,7 +40,10 @@ func (l *RuntimeLauncher) Language() string { return l.profile.Name }
 func (l *RuntimeLauncher) Version() string { return l.profile.Version(l.platform) }
 
 // Launch implements faas.Launcher.
-func (l *RuntimeLauncher) Launch(fn faas.Function, scale int) (faas.LaunchResult, error) {
+func (l *RuntimeLauncher) Launch(ctx context.Context, fn faas.Function, scale int) (faas.LaunchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return faas.LaunchResult{}, err
+	}
 	if fn.Language != l.profile.Name {
 		return faas.LaunchResult{}, fmt.Errorf("langs: launcher %q got %q function",
 			l.profile.Name, fn.Language)
@@ -55,6 +59,9 @@ func (l *RuntimeLauncher) Launch(fn faas.Function, scale int) (faas.LaunchResult
 	output, err := w.Run(raw, scale)
 	if err != nil {
 		return faas.LaunchResult{}, fmt.Errorf("langs: run %s/%s: %w", fn.Language, fn.Workload, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return faas.LaunchResult{}, err
 	}
 	return faas.LaunchResult{
 		Output:         output,

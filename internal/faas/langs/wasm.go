@@ -1,6 +1,7 @@
 package langs
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -111,13 +112,16 @@ func (l *WasmLauncher) HasBytecode(workload string) bool {
 }
 
 // Launch implements faas.Launcher.
-func (l *WasmLauncher) Launch(fn faas.Function, scale int) (faas.LaunchResult, error) {
+func (l *WasmLauncher) Launch(ctx context.Context, fn faas.Function, scale int) (faas.LaunchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return faas.LaunchResult{}, err
+	}
 	if fn.Language != LangWasm {
 		return faas.LaunchResult{}, fmt.Errorf("langs: wasm launcher got %q function", fn.Language)
 	}
 	mapping, ok := l.mappings[fn.Workload]
 	if !ok {
-		return l.fallback.Launch(fn, scale)
+		return l.fallback.Launch(ctx, fn, scale)
 	}
 	if scale <= 0 {
 		if w, err := l.fallback.catalog.Lookup(fn.Workload); err == nil {
@@ -134,6 +138,9 @@ func (l *WasmLauncher) Launch(fn faas.Function, scale int) (faas.LaunchResult, e
 	res, err := l.instance.Invoke(mapping.export, mapping.arg(scale))
 	if err != nil {
 		return faas.LaunchResult{}, fmt.Errorf("langs: wasm %s: %w", mapping.export, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return faas.LaunchResult{}, err
 	}
 	stats := l.instance.Stats()
 

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"confbench/internal/api"
+	"confbench/internal/cberr"
 	"confbench/internal/faas"
 	"confbench/internal/faas/langs"
 	"confbench/internal/hostagent"
@@ -45,6 +46,12 @@ type Gateway struct {
 func (g *Gateway) countError(w http.ResponseWriter, status int, err error) {
 	g.errors.Add(1)
 	api.WriteError(w, status, err)
+}
+
+// fail writes a classified error, deriving the HTTP status from its
+// taxonomy code.
+func (g *Gateway) fail(w http.ResponseWriter, err error) {
+	g.countError(w, cberr.HTTPStatus(err), err)
 }
 
 // poolCounter returns the invocation counter for kind.
@@ -170,40 +177,45 @@ func (g *Gateway) handleFunctions(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		var req api.UploadRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			g.countError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			g.fail(w, cberr.Wrap(cberr.CodeInvalid, cberr.LayerGateway,
+				fmt.Errorf("decode request: %w", err)))
 			return
 		}
 		if err := g.db.Register(req.Function); err != nil {
-			status := http.StatusBadRequest
+			code := cberr.CodeInvalid
 			if errors.Is(err, faas.ErrFunctionExists) {
-				status = http.StatusConflict
+				code = cberr.CodeConflict
 			}
-			g.countError(w, status, err)
+			g.fail(w, cberr.Wrap(code, cberr.LayerGateway, err))
 			return
 		}
 		api.WriteJSON(w, http.StatusOK, map[string]string{"registered": req.Function.Name})
 	case http.MethodGet:
 		api.WriteJSON(w, http.StatusOK, g.db.Names())
 	default:
-		g.countError(w, http.StatusMethodNotAllowed, errors.New("GET or POST required"))
+		g.countError(w, http.StatusMethodNotAllowed,
+			cberr.New(cberr.CodeInvalid, cberr.LayerGateway, "GET or POST required"))
 	}
 }
 
 // pickPool resolves the pool for an invocation. A non-secure request
 // without an explicit TEE runs on any platform's normal VM (stable
-// order for determinism).
+// order for determinism). Missing pools classify as not_found; a
+// secure request without a TEE kind is invalid.
 func (g *Gateway) pickPool(kind tee.Kind, secure bool) (*Pool, error) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	if kind != "" {
 		pool, ok := g.pools[kind]
 		if !ok {
-			return nil, fmt.Errorf("%w: %q", ErrNoPool, kind)
+			return nil, cberr.Wrap(cberr.CodeNotFound, cberr.LayerPool,
+				fmt.Errorf("%w: %q", ErrNoPool, kind))
 		}
 		return pool, nil
 	}
 	if secure {
-		return nil, errors.New("gateway: secure invocation requires a TEE kind")
+		return nil, cberr.New(cberr.CodeInvalid, cberr.LayerGateway,
+			"gateway: secure invocation requires a TEE kind")
 	}
 	kinds := make([]tee.Kind, 0, len(g.pools))
 	for k := range g.pools {
@@ -213,41 +225,43 @@ func (g *Gateway) pickPool(kind tee.Kind, secure bool) (*Pool, error) {
 	for _, k := range kinds {
 		return g.pools[k], nil
 	}
-	return nil, ErrNoPool
+	return nil, cberr.Wrap(cberr.CodeNotFound, cberr.LayerPool, ErrNoPool)
 }
 
 func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		g.countError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		g.countError(w, http.StatusMethodNotAllowed,
+			cberr.New(cberr.CodeInvalid, cberr.LayerGateway, "POST required"))
 		return
 	}
 	var req api.InvokeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		g.countError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		g.fail(w, cberr.Wrap(cberr.CodeInvalid, cberr.LayerGateway,
+			fmt.Errorf("decode request: %w", err)))
 		return
 	}
 	fn, err := g.db.Lookup(req.Function)
 	if err != nil {
-		g.countError(w, http.StatusNotFound, err)
+		g.fail(w, cberr.Wrap(cberr.CodeNotFound, cberr.LayerGateway, err))
 		return
 	}
 	pool, err := g.pickPool(req.TEE, req.Secure)
 	if err != nil {
-		g.countError(w, http.StatusBadRequest, err)
+		g.fail(w, err)
 		return
 	}
 	entry, err := pool.Acquire(req.Secure)
 	if err != nil {
-		g.countError(w, http.StatusServiceUnavailable, err)
+		g.fail(w, cberr.Wrap(cberr.CodeUnavailable, cberr.LayerPool, err))
 		return
 	}
 	defer pool.Release(entry)
 
 	var resp api.InvokeResponse
-	err = g.forward(entry.Endpoint.Addr, api.GuestPathInvoke,
+	err = g.forward(r.Context(), entry.Endpoint.Addr, api.GuestPathInvoke,
 		api.GuestInvokeRequest{Function: fn, Scale: req.Scale}, &resp)
 	if err != nil {
-		g.countError(w, http.StatusBadGateway, err)
+		g.fail(w, err)
 		return
 	}
 	resp.Host = entry.Host
@@ -258,29 +272,31 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) handleAttest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		g.countError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		g.countError(w, http.StatusMethodNotAllowed,
+			cberr.New(cberr.CodeInvalid, cberr.LayerGateway, "POST required"))
 		return
 	}
 	var req api.AttestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		g.countError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		g.fail(w, cberr.Wrap(cberr.CodeInvalid, cberr.LayerGateway,
+			fmt.Errorf("decode request: %w", err)))
 		return
 	}
 	pool, err := g.pickPool(req.TEE, true)
 	if err != nil {
-		g.countError(w, http.StatusBadRequest, err)
+		g.fail(w, err)
 		return
 	}
 	entry, err := pool.Acquire(true)
 	if err != nil {
-		g.countError(w, http.StatusServiceUnavailable, err)
+		g.fail(w, cberr.Wrap(cberr.CodeUnavailable, cberr.LayerPool, err))
 		return
 	}
 	defer pool.Release(entry)
 
 	var resp api.AttestResponse
-	if err := g.forward(entry.Endpoint.Addr, api.GuestPathAttest, req, &resp); err != nil {
-		g.countError(w, http.StatusBadGateway, err)
+	if err := g.forward(r.Context(), entry.Endpoint.Addr, api.GuestPathAttest, req, &resp); err != nil {
+		g.fail(w, err)
 		return
 	}
 	g.attestations.Add(1)
@@ -289,7 +305,8 @@ func (g *Gateway) handleAttest(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) handlePools(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		g.countError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		g.countError(w, http.StatusMethodNotAllowed,
+			cberr.New(cberr.CodeInvalid, cberr.LayerGateway, "GET required"))
 		return
 	}
 	g.mu.RLock()
@@ -310,7 +327,8 @@ func (g *Gateway) handlePools(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves the gateway's request accounting.
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		g.countError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		g.countError(w, http.StatusMethodNotAllowed,
+			cberr.New(cberr.CodeInvalid, cberr.LayerGateway, "GET required"))
 		return
 	}
 	m := api.Metrics{
@@ -332,30 +350,53 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // forward POSTs a JSON payload to a VM endpoint (through the host's
-// relay) and decodes the response.
-func (g *Gateway) forward(addr, path string, in, out any) error {
+// relay) and decodes the response. The ctx (normally the inbound
+// request's) cancels the upstream hop; transport failures classify as
+// upstream errors unless the caller canceled.
+func (g *Gateway) forward(ctx context.Context, addr, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
-		return fmt.Errorf("gateway: marshal forward body: %w", err)
+		return cberr.Wrap(cberr.CodeInternal, cberr.LayerGateway,
+			fmt.Errorf("gateway: marshal forward body: %w", err))
 	}
-	resp, err := g.client.Post("http://"+addr+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+path, bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("gateway: forward to %s: %w", addr, err)
+		return cberr.Wrap(cberr.CodeInternal, cberr.LayerGateway,
+			fmt.Errorf("gateway: forward to %s: %w", addr, err))
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return cberr.From(fmt.Errorf("gateway: forward to %s: %w", addr, cerr), cberr.LayerGateway)
+		}
+		return cberr.Wrap(cberr.CodeUpstream, cberr.LayerGateway,
+			fmt.Errorf("gateway: forward to %s: %w", addr, err))
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
-		return fmt.Errorf("gateway: read %s response: %w", addr, err)
+		return cberr.Wrap(cberr.CodeUpstream, cberr.LayerGateway,
+			fmt.Errorf("gateway: read %s response: %w", addr, err))
 	}
 	if resp.StatusCode != http.StatusOK {
 		var e api.ErrorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("gateway: vm %s: %s", addr, e.Error)
+			if e.Code != "" {
+				// Re-attach the upstream classification so canceled and
+				// deadline verdicts keep their identity across the hop.
+				return fmt.Errorf("gateway: vm %s: %w", addr,
+					cberr.FromWire(e.Code, e.Layer, e.Retryable, e.Error))
+			}
+			return cberr.Wrap(cberr.CodeUpstream, cberr.LayerGateway,
+				fmt.Errorf("gateway: vm %s: %s", addr, e.Error))
 		}
-		return fmt.Errorf("gateway: vm %s: status %d", addr, resp.StatusCode)
+		return cberr.Wrap(cberr.CodeUpstream, cberr.LayerGateway,
+			fmt.Errorf("gateway: vm %s: status %d", addr, resp.StatusCode))
 	}
 	if err := json.Unmarshal(data, out); err != nil {
-		return fmt.Errorf("gateway: decode %s response: %w", addr, err)
+		return cberr.Wrap(cberr.CodeUpstream, cberr.LayerGateway,
+			fmt.Errorf("gateway: decode %s response: %w", addr, err))
 	}
 	return nil
 }

@@ -1,11 +1,17 @@
 package gateway
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
 
 	"confbench/internal/api"
+	"confbench/internal/cberr"
 	"confbench/internal/faas"
 	"confbench/internal/hostagent"
 	"confbench/internal/tee"
@@ -49,24 +55,24 @@ func testDeployment(t *testing.T, policy func() Policy) (*Gateway, *api.Client) 
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = g.Close() })
-	return g, api.NewClient(url)
+	return g, mustClient(t, url)
 }
 
 func uploadFn(t *testing.T, c *api.Client, name, lang, workload string) {
 	t.Helper()
-	if err := c.Upload(faas.Function{Name: name, Language: lang, Workload: workload}); err != nil {
+	if err := c.Upload(context.Background(), faas.Function{Name: name, Language: lang, Workload: workload}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestEndToEndInvoke(t *testing.T) {
 	_, client := testDeployment(t, nil)
-	if err := client.Health(); err != nil {
+	if err := client.Health(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	uploadFn(t, client, "hot", "python", "cpustress")
 
-	resp, err := client.Invoke(api.InvokeRequest{Function: "hot", Secure: true, TEE: tee.KindTDX, Scale: 10_000})
+	resp, err := client.Invoke(context.Background(), api.InvokeRequest{Function: "hot", Secure: true, TEE: tee.KindTDX, Scale: 10_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +83,7 @@ func TestEndToEndInvoke(t *testing.T) {
 		t.Errorf("missing result data: %+v", resp)
 	}
 
-	normal, err := client.Invoke(api.InvokeRequest{Function: "hot", Secure: false, TEE: tee.KindSEV, Scale: 10_000})
+	normal, err := client.Invoke(context.Background(), api.InvokeRequest{Function: "hot", Secure: false, TEE: tee.KindSEV, Scale: 10_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +95,7 @@ func TestEndToEndInvoke(t *testing.T) {
 func TestInvokeWithoutTEEUsesAnyNormalPool(t *testing.T) {
 	_, client := testDeployment(t, nil)
 	uploadFn(t, client, "fn", "go", "factors")
-	resp, err := client.Invoke(api.InvokeRequest{Function: "fn"})
+	resp, err := client.Invoke(context.Background(), api.InvokeRequest{Function: "fn"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,14 +107,14 @@ func TestInvokeWithoutTEEUsesAnyNormalPool(t *testing.T) {
 func TestSecureWithoutTEERejected(t *testing.T) {
 	_, client := testDeployment(t, nil)
 	uploadFn(t, client, "fn", "go", "factors")
-	if _, err := client.Invoke(api.InvokeRequest{Function: "fn", Secure: true}); err == nil {
+	if _, err := client.Invoke(context.Background(), api.InvokeRequest{Function: "fn", Secure: true}); err == nil {
 		t.Error("secure invoke without TEE kind accepted")
 	}
 }
 
 func TestInvokeUnknownFunction(t *testing.T) {
 	_, client := testDeployment(t, nil)
-	if _, err := client.Invoke(api.InvokeRequest{Function: "ghost", TEE: tee.KindTDX}); err == nil {
+	if _, err := client.Invoke(context.Background(), api.InvokeRequest{Function: "ghost", TEE: tee.KindTDX}); err == nil {
 		t.Error("unknown function accepted")
 	}
 }
@@ -116,18 +122,18 @@ func TestInvokeUnknownFunction(t *testing.T) {
 func TestInvokeUnknownTEE(t *testing.T) {
 	_, client := testDeployment(t, nil)
 	uploadFn(t, client, "fn", "go", "factors")
-	if _, err := client.Invoke(api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindCCA}); err == nil {
+	if _, err := client.Invoke(context.Background(), api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindCCA}); err == nil {
 		t.Error("unregistered TEE accepted")
 	}
 }
 
 func TestUploadValidation(t *testing.T) {
 	_, client := testDeployment(t, nil)
-	if err := client.Upload(faas.Function{Name: "x", Language: "cobol", Workload: "w"}); err == nil {
+	if err := client.Upload(context.Background(), faas.Function{Name: "x", Language: "cobol", Workload: "w"}); err == nil {
 		t.Error("unknown language accepted")
 	}
 	uploadFn(t, client, "dup", "go", "factors")
-	err := client.Upload(faas.Function{Name: "dup", Language: "go", Workload: "factors"})
+	err := client.Upload(context.Background(), faas.Function{Name: "dup", Language: "go", Workload: "factors"})
 	if err == nil || !strings.Contains(err.Error(), "already registered") {
 		t.Errorf("duplicate upload: %v", err)
 	}
@@ -137,7 +143,7 @@ func TestFunctionListing(t *testing.T) {
 	_, client := testDeployment(t, nil)
 	uploadFn(t, client, "b-fn", "go", "factors")
 	uploadFn(t, client, "a-fn", "lua", "fib")
-	names, err := client.Functions()
+	names, err := client.Functions(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +154,7 @@ func TestFunctionListing(t *testing.T) {
 
 func TestPoolsEndpoint(t *testing.T) {
 	_, client := testDeployment(t, nil)
-	pools, err := client.Pools()
+	pools, err := client.Pools(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +173,7 @@ func TestPoolsEndpoint(t *testing.T) {
 
 func TestAttestViaGateway(t *testing.T) {
 	_, client := testDeployment(t, nil)
-	resp, err := client.Attest(api.AttestRequest{TEE: tee.KindSEV, Nonce: []byte("n")})
+	resp, err := client.Attest(context.Background(), api.AttestRequest{TEE: tee.KindSEV, Nonce: []byte("n")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +191,7 @@ func TestConcurrentInvocations(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, err := client.Invoke(api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX, Scale: 1000})
+			_, err := client.Invoke(context.Background(), api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX, Scale: 1000})
 			if err != nil {
 				errs <- err
 			}
@@ -258,7 +264,7 @@ func TestPoolAcquireNoMatch(t *testing.T) {
 
 func TestLeastLoadedGatewayConfig(t *testing.T) {
 	_, client := testDeployment(t, func() Policy { return LeastLoaded{} })
-	pools, err := client.Pools()
+	pools, err := client.Pools(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,21 +290,21 @@ func TestMetricsEndpoint(t *testing.T) {
 	_, client := testDeployment(t, nil)
 	uploadFn(t, client, "fn", "go", "factors")
 	for i := 0; i < 3; i++ {
-		if _, err := client.Invoke(api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX, Scale: 100}); err != nil {
+		if _, err := client.Invoke(context.Background(), api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX, Scale: 100}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := client.Invoke(api.InvokeRequest{Function: "fn", Secure: false, TEE: tee.KindSEV, Scale: 100}); err != nil {
+	if _, err := client.Invoke(context.Background(), api.InvokeRequest{Function: "fn", Secure: false, TEE: tee.KindSEV, Scale: 100}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Invoke(api.InvokeRequest{Function: "ghost", TEE: tee.KindTDX}); err == nil {
+	if _, err := client.Invoke(context.Background(), api.InvokeRequest{Function: "ghost", TEE: tee.KindTDX}); err == nil {
 		t.Fatal("expected error for unknown function")
 	}
-	if _, err := client.Attest(api.AttestRequest{TEE: tee.KindSEV, Nonce: []byte("n")}); err != nil {
+	if _, err := client.Attest(context.Background(), api.AttestRequest{TEE: tee.KindSEV, Nonce: []byte("n")}); err != nil {
 		t.Fatal(err)
 	}
 
-	m, err := client.Metrics()
+	m, err := client.Metrics(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,13 +337,13 @@ func TestInvokeDeadEndpointSurfacesBadGateway(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer g.Close()
-	client := api.NewClient(url)
+	client := mustClient(t, url)
 	uploadFn(t, client, "fn", "go", "factors")
-	_, err = client.Invoke(api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX})
+	_, err = client.Invoke(context.Background(), api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX})
 	if err == nil || !strings.Contains(err.Error(), "502") {
 		t.Errorf("dead endpoint error = %v", err)
 	}
-	m, err := client.Metrics()
+	m, err := client.Metrics(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,16 +362,128 @@ func TestInFlightReleasedOnFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer g.Close()
-	client := api.NewClient(url)
+	client := mustClient(t, url)
 	uploadFn(t, client, "fn", "go", "factors")
 	for i := 0; i < 3; i++ {
-		_, _ = client.Invoke(api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX})
+		_, _ = client.Invoke(context.Background(), api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX})
 	}
-	pools, err := client.Pools()
+	pools, err := client.Pools(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pools[0].InFlight != 0 {
 		t.Errorf("in-flight leaked: %+v", pools[0])
+	}
+}
+
+func mustClient(t *testing.T, url string) *api.Client {
+	t.Helper()
+	c, err := api.NewClient(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// postRaw sends a raw body to the gateway and decodes the error
+// envelope, bypassing the typed client so malformed payloads and wire
+// fields can be asserted directly.
+func postRaw(t *testing.T, url, path, body string) (int, api.ErrorResponse) {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e api.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("decode error envelope: %v", err)
+	}
+	return resp.StatusCode, e
+}
+
+func TestUnknownFunctionWireFormat(t *testing.T) {
+	g, _ := testDeployment(t, nil)
+	status, e := postRaw(t, g.BaseURL(), api.PathInvoke, `{"function":"ghost","tee":"tdx"}`)
+	if status != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", status)
+	}
+	if e.Code != cberr.CodeNotFound || e.Error == "" {
+		t.Errorf("envelope = %+v", e)
+	}
+}
+
+func TestMissingPoolWireFormat(t *testing.T) {
+	g, client := testDeployment(t, nil)
+	uploadFn(t, client, "fn", "go", "factors")
+	// CCA is not deployed in testDeployment.
+	status, e := postRaw(t, g.BaseURL(), api.PathInvoke, `{"function":"fn","secure":true,"tee":"cca"}`)
+	if status != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", status)
+	}
+	if e.Code != cberr.CodeNotFound || e.Layer != cberr.LayerPool {
+		t.Errorf("envelope = %+v", e)
+	}
+	// The typed client must surface the same code.
+	_, err := client.Invoke(context.Background(), api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindCCA})
+	if cberr.CodeOf(err) != cberr.CodeNotFound {
+		t.Errorf("client code = %q, want not_found", cberr.CodeOf(err))
+	}
+}
+
+func TestMalformedJSONWireFormat(t *testing.T) {
+	g, _ := testDeployment(t, nil)
+	for _, path := range []string{api.PathInvoke, api.PathFunctions, api.PathAttest} {
+		status, e := postRaw(t, g.BaseURL(), path, `{"function":`)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", path, status)
+		}
+		if e.Code != cberr.CodeInvalid {
+			t.Errorf("%s: code = %q, want invalid_request", path, e.Code)
+		}
+	}
+}
+
+func TestCanceledContextBeforeInvoke(t *testing.T) {
+	_, client := testDeployment(t, nil)
+	uploadFn(t, client, "fn", "go", "factors")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := client.Invoke(ctx, api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX})
+	if !errors.Is(err, cberr.ErrCanceled) {
+		t.Errorf("err = %v, want cberr.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in chain", err)
+	}
+}
+
+func TestCanceledUpstreamSurvivesWireHops(t *testing.T) {
+	// A VM that reports a canceled invocation must keep its canceled
+	// identity across both wire hops: guest → gateway → client.
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		err := cberr.Wrap(cberr.CodeCanceled, cberr.LayerVM, context.Canceled)
+		api.WriteError(w, cberr.HTTPStatus(err), err)
+	}))
+	defer upstream.Close()
+
+	g := New(Config{})
+	g.AddHost("canceling-host", []hostagent.Endpoint{{
+		Addr: strings.TrimPrefix(upstream.URL, "http://"), Secure: true, TEE: tee.KindTDX, VMName: "c",
+	}})
+	url, err := g.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	client := mustClient(t, url)
+	uploadFn(t, client, "fn", "go", "factors")
+
+	_, err = client.Invoke(context.Background(), api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX})
+	if !errors.Is(err, cberr.ErrCanceled) {
+		t.Errorf("err = %v, want cberr.ErrCanceled after two hops", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in chain after two hops", err)
 	}
 }

@@ -1,6 +1,7 @@
 package hostagent
 
 import (
+	"errors"
 	"fmt"
 
 	"confbench/internal/relay"
@@ -121,21 +122,16 @@ func (a *Agent) RelayStats() (accepted, bytes uint64) {
 	return accepted, bytes
 }
 
-// Close tears down relays, guest agents, and the VM pair.
+// Close tears down relays, guest agents, and the VM pair, aggregating
+// every teardown error rather than stopping at the first.
 func (a *Agent) Close() error {
-	var firstErr error
+	var errs []error
 	for _, r := range a.relays {
-		if err := r.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		errs = append(errs, r.Close())
 	}
 	for _, g := range a.guests {
-		if err := g.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		errs = append(errs, g.Close())
 	}
-	if err := a.pair.Stop(); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	return firstErr
+	errs = append(errs, a.pair.Stop())
+	return errors.Join(errs...)
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"confbench/internal/api"
+	"confbench/internal/cberr"
 	"confbench/internal/vm"
 )
 
@@ -67,12 +68,14 @@ func (g *GuestServer) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	}
 	var req api.GuestInvokeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		api.WriteError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		api.WriteError(w, http.StatusBadRequest,
+			cberr.Wrap(cberr.CodeInvalid, cberr.LayerHost, fmt.Errorf("decode request: %w", err)))
 		return
 	}
-	res, err := g.vm.InvokeFunction(req.Function, req.Scale)
+	res, err := g.vm.InvokeFunction(r.Context(), req.Function, req.Scale)
 	if err != nil {
-		api.WriteError(w, http.StatusInternalServerError, err)
+		err = cberr.From(err, cberr.LayerHost)
+		api.WriteError(w, cberr.HTTPStatus(err), err)
 		return
 	}
 	api.WriteJSON(w, http.StatusOK, api.InvokeResponse{
@@ -93,13 +96,15 @@ func (g *GuestServer) handleAttest(w http.ResponseWriter, r *http.Request) {
 	}
 	var req api.AttestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		api.WriteError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		api.WriteError(w, http.StatusBadRequest,
+			cberr.Wrap(cberr.CodeInvalid, cberr.LayerHost, fmt.Errorf("decode request: %w", err)))
 		return
 	}
 	start := time.Now()
-	evidence, err := g.vm.AttestationReport(req.Nonce)
+	evidence, err := g.vm.AttestationReport(r.Context(), req.Nonce)
 	if err != nil {
-		api.WriteError(w, http.StatusInternalServerError, err)
+		err = cberr.From(err, cberr.LayerHost)
+		api.WriteError(w, cberr.HTTPStatus(err), err)
 		return
 	}
 	api.WriteJSON(w, http.StatusOK, api.AttestResponse{

@@ -1,6 +1,7 @@
 package hostagent
 
 import (
+	"context"
 	"bytes"
 	"encoding/json"
 	"net/http"
@@ -106,7 +107,8 @@ func TestInvokeErrorsSurface(t *testing.T) {
 	req := api.GuestInvokeRequest{
 		Function: faas.Function{Name: "f", Language: "cobol", Workload: "factors"},
 	}
-	if code := postJSON(t, "http://"+ep.Addr+api.GuestPathInvoke, req, nil); code != http.StatusInternalServerError {
+	// An unknown language is a caller mistake, classified invalid_request.
+	if code := postJSON(t, "http://"+ep.Addr+api.GuestPathInvoke, req, nil); code != http.StatusBadRequest {
 		t.Errorf("status = %d", code)
 	}
 }
@@ -174,7 +176,7 @@ func TestAgentCloseTearsDown(t *testing.T) {
 		t.Error("closed agent still serving")
 	}
 	// VMs must be stopped.
-	if _, err := a.Pair().Secure.InvokeFunction(faas.Function{Name: "f", Language: "go", Workload: "factors"}, 1); err == nil {
+	if _, err := a.Pair().Secure.InvokeFunction(context.Background(), faas.Function{Name: "f", Language: "go", Workload: "factors"}, 1); err == nil {
 		t.Error("VM alive after close")
 	}
 }

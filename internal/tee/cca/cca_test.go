@@ -1,6 +1,7 @@
 package cca
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -160,7 +161,7 @@ func TestBackendLaunch(t *testing.T) {
 		t.Errorf("delegated granules = %d", b.Monitor().DelegatedGranules())
 	}
 	// Per §IV-B the FVP lacks attestation hardware support.
-	if _, err := g.AttestationReport([]byte("n")); !errors.Is(err, tee.ErrNoAttestation) {
+	if _, err := g.AttestationReport(context.Background(), []byte("n")); !errors.Is(err, tee.ErrNoAttestation) {
 		t.Errorf("CCA attestation should be unsupported, got %v", err)
 	}
 }

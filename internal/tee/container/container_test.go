@@ -1,6 +1,7 @@
 package container
 
 import (
+	"context"
 	"testing"
 
 	"confbench/internal/faas"
@@ -52,7 +53,7 @@ func TestContainerBootsAndAttests(t *testing.T) {
 		t.Error("confidential container not secure")
 	}
 	// Attestation flows through the pod VM's TD.
-	if ev, err := g.AttestationReport([]byte("n")); err != nil || len(ev) == 0 {
+	if ev, err := g.AttestationReport(context.Background(), []byte("n")); err != nil || len(ev) == 0 {
 		t.Errorf("attest: %v", err)
 	}
 	// The container stack adds startup on top of the pod VM's boot.
@@ -81,11 +82,11 @@ func TestContainersUnpracticalForIO(t *testing.T) {
 		fn := faas.Function{Name: "f", Language: "go", Workload: "iostress"}
 		var s, n float64
 		for i := 0; i < 4; i++ {
-			sr, err := pair.Secure.InvokeFunction(fn, 2)
+			sr, err := pair.Secure.InvokeFunction(context.Background(), fn, 2)
 			if err != nil {
 				t.Fatal(err)
 			}
-			nr, err := pair.Normal.InvokeFunction(fn, 2)
+			nr, err := pair.Normal.InvokeFunction(context.Background(), fn, 2)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -113,11 +114,11 @@ func TestContainersUnpracticalForIO(t *testing.T) {
 	}
 	defer pairCC.Stop()
 	fn := faas.Function{Name: "f", Language: "go", Workload: "iostress"}
-	ccRes, err := pairCC.Secure.InvokeFunction(fn, 2)
+	ccRes, err := pairCC.Secure.InvokeFunction(context.Background(), fn, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	vmRes, err := pairVM.Secure.InvokeFunction(fn, 2)
+	vmRes, err := pairVM.Secure.InvokeFunction(context.Background(), fn, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

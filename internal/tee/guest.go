@@ -1,6 +1,7 @@
 package tee
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -20,7 +21,7 @@ func NextGuestID(prefix string) string {
 }
 
 // ReportFunc produces attestation evidence for a guest given a nonce.
-type ReportFunc func(nonce []byte) ([]byte, error)
+type ReportFunc func(ctx context.Context, nonce []byte) ([]byte, error)
 
 // DestroyFunc releases backend-side resources of a guest.
 type DestroyFunc func() error
@@ -98,7 +99,10 @@ func (g *ModelGuest) Price(u meter.Usage, base cpumodel.Breakdown) Charge {
 }
 
 // AttestationReport implements Guest.
-func (g *ModelGuest) AttestationReport(nonce []byte) ([]byte, error) {
+func (g *ModelGuest) AttestationReport(ctx context.Context, nonce []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g.mu.Lock()
 	destroyed := g.destroyed
 	g.mu.Unlock()
@@ -111,7 +115,7 @@ func (g *ModelGuest) AttestationReport(nonce []byte) ([]byte, error) {
 	if g.report == nil {
 		return nil, ErrNoAttestation
 	}
-	return g.report(nonce)
+	return g.report(ctx, nonce)
 }
 
 // Destroy implements Guest. Destroy is idempotent.

@@ -1,6 +1,7 @@
 package sev
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -151,7 +152,7 @@ func (b *Backend) Launch(cfg tee.GuestConfig) (tee.Guest, error) {
 		Model:    b.CostModel(),
 		BootBase: bootBaseNs,
 		Seed:     seed,
-		Report: func(nonce []byte) ([]byte, error) {
+		Report: func(_ context.Context, nonce []byte) ([]byte, error) {
 			r, err := sp.GuestRequestReport(asid, 0, nonce)
 			if err != nil {
 				return nil, err

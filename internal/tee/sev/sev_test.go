@@ -1,6 +1,7 @@
 package sev
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -240,7 +241,7 @@ func TestBackendLifecycle(t *testing.T) {
 	if got := b.ReverseMap().AssignedPages(1); got != 8 {
 		t.Errorf("RMP pages = %d, want 8", got)
 	}
-	ev, err := g.AttestationReport([]byte("n"))
+	ev, err := g.AttestationReport(context.Background(), []byte("n"))
 	if err != nil || len(ev) == 0 {
 		t.Fatalf("attest: %v", err)
 	}

@@ -1,6 +1,7 @@
 package tdx
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -167,7 +168,7 @@ func (b *Backend) Launch(cfg tee.GuestConfig) (tee.Guest, error) {
 		Model:    b.CostModel(),
 		BootBase: bootBaseNs,
 		Seed:     b.guestSeed(cfg),
-		Report: func(nonce []byte) ([]byte, error) {
+		Report: func(_ context.Context, nonce []byte) ([]byte, error) {
 			r, err := mod.TDGMrReport(id, nonce)
 			if err != nil {
 				return nil, err

@@ -1,6 +1,7 @@
 package tdx
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -221,7 +222,7 @@ func TestBackendLaunchPair(t *testing.T) {
 	if secure.BootCost() <= normal.BootCost() {
 		t.Error("TD boot should cost more than plain VM boot")
 	}
-	if _, err := secure.AttestationReport([]byte("n")); err != nil {
+	if _, err := secure.AttestationReport(context.Background(), []byte("n")); err != nil {
 		t.Errorf("TD attestation: %v", err)
 	}
 }

@@ -15,6 +15,7 @@
 package tee
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -121,8 +122,9 @@ type Guest interface {
 	Price(u meter.Usage, base cpumodel.Breakdown) Charge
 	// AttestationReport produces serialized attestation evidence bound
 	// to nonce. Non-secure guests return ErrNotSecure; platforms
-	// without attestation hardware return ErrNoAttestation.
-	AttestationReport(nonce []byte) ([]byte, error)
+	// without attestation hardware return ErrNoAttestation. A canceled
+	// ctx aborts the request before the firmware round trip.
+	AttestationReport(ctx context.Context, nonce []byte) ([]byte, error)
 	// Destroy tears the guest down and releases its resources.
 	Destroy() error
 }

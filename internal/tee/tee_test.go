@@ -1,6 +1,7 @@
 package tee
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -157,7 +158,7 @@ func TestModelGuestLifecycle(t *testing.T) {
 		Model:    NormalCostModel(),
 		BootBase: time.Second,
 		Seed:     1,
-		Report:   func(nonce []byte) ([]byte, error) { return append([]byte("ev:"), nonce...), nil },
+		Report:   func(_ context.Context, nonce []byte) ([]byte, error) { return append([]byte("ev:"), nonce...), nil },
 	})
 	if g.ID() == "" || g.Kind() != KindTDX || !g.Secure() {
 		t.Errorf("guest metadata wrong: %s %s %v", g.ID(), g.Kind(), g.Secure())
@@ -165,7 +166,7 @@ func TestModelGuestLifecycle(t *testing.T) {
 	if g.BootCost() < time.Second {
 		t.Errorf("boot cost %v", g.BootCost())
 	}
-	ev, err := g.AttestationReport([]byte("n"))
+	ev, err := g.AttestationReport(context.Background(), []byte("n"))
 	if err != nil || string(ev) != "ev:n" {
 		t.Errorf("report = %q, %v", ev, err)
 	}
@@ -175,7 +176,7 @@ func TestModelGuestLifecycle(t *testing.T) {
 	if !g.Destroyed() {
 		t.Error("not marked destroyed")
 	}
-	if _, err := g.AttestationReport([]byte("n")); !errors.Is(err, ErrGuestDestroyed) {
+	if _, err := g.AttestationReport(context.Background(), []byte("n")); !errors.Is(err, ErrGuestDestroyed) {
 		t.Errorf("want ErrGuestDestroyed, got %v", err)
 	}
 	if err := g.Destroy(); err != nil {
@@ -185,14 +186,14 @@ func TestModelGuestLifecycle(t *testing.T) {
 
 func TestModelGuestNonSecureAttestation(t *testing.T) {
 	g := NewModelGuest(ModelGuestConfig{IDPrefix: "n", Kind: KindNone, Model: NormalCostModel()})
-	if _, err := g.AttestationReport(nil); !errors.Is(err, ErrNotSecure) {
+	if _, err := g.AttestationReport(context.Background(), nil); !errors.Is(err, ErrNotSecure) {
 		t.Errorf("want ErrNotSecure, got %v", err)
 	}
 }
 
 func TestModelGuestNoAttestationHardware(t *testing.T) {
 	g := NewModelGuest(ModelGuestConfig{IDPrefix: "r", Kind: KindCCA, Secure: true, Model: NormalCostModel()})
-	if _, err := g.AttestationReport(nil); !errors.Is(err, ErrNoAttestation) {
+	if _, err := g.AttestationReport(context.Background(), nil); !errors.Is(err, ErrNoAttestation) {
 		t.Errorf("want ErrNoAttestation, got %v", err)
 	}
 }

@@ -11,10 +11,13 @@
 package vm
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"confbench/internal/cberr"
 	"confbench/internal/cpumodel"
 	"confbench/internal/faas"
 	"confbench/internal/faas/langs"
@@ -57,7 +60,7 @@ type VM struct {
 	host      cpumodel.Profile
 	launchers map[string]faas.Launcher
 	monitor   perfmon.Monitor
-	stopped   bool
+	stopped   atomic.Bool
 }
 
 // Config assembles a VM.
@@ -145,18 +148,23 @@ func (v *VM) PriceUsage(u meter.Usage) time.Duration {
 }
 
 // InvokeFunction executes a FaaS function at the given scale (0 uses
-// the workload's default).
-func (v *VM) InvokeFunction(fn faas.Function, scale int) (Result, error) {
-	if v.stopped {
-		return Result{}, ErrStopped
+// the workload's default). A canceled ctx aborts the invocation and
+// surfaces cberr.ErrCanceled.
+func (v *VM) InvokeFunction(ctx context.Context, fn faas.Function, scale int) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, cberr.From(err, cberr.LayerVM)
+	}
+	if v.stopped.Load() {
+		return Result{}, cberr.Wrap(cberr.CodeUnavailable, cberr.LayerVM, ErrStopped)
 	}
 	l, ok := v.launchers[fn.Language]
 	if !ok {
-		return Result{}, fmt.Errorf("%w: %q", ErrNoLauncher, fn.Language)
+		return Result{}, cberr.Wrap(cberr.CodeInvalid, cberr.LayerVM,
+			fmt.Errorf("%w: %q", ErrNoLauncher, fn.Language))
 	}
-	lr, err := l.Launch(fn, scale)
+	lr, err := l.Launch(ctx, fn, scale)
 	if err != nil {
-		return Result{}, err
+		return Result{}, cberr.From(err, cberr.LayerVM)
 	}
 	charge, perf := v.price(lr.RunUsage)
 	bootCharge, _ := v.price(lr.BootstrapUsage)
@@ -173,15 +181,20 @@ func (v *VM) InvokeFunction(fn faas.Function, scale int) (Result, error) {
 
 // RunMetered executes an arbitrary metered task inside the VM —
 // ConfBench's "classic workloads" path (ML inference, DBMS, OS
-// benchmarks), where the user ships a cross-compiled executable.
-func (v *VM) RunMetered(name string, task func(m *meter.Context) (string, error)) (Result, error) {
-	if v.stopped {
-		return Result{}, ErrStopped
+// benchmarks), where the user ships a cross-compiled executable. The
+// ctx is handed to the task so long-running workloads can observe
+// cancellation.
+func (v *VM) RunMetered(ctx context.Context, name string, task func(ctx context.Context, m *meter.Context) (string, error)) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, cberr.From(err, cberr.LayerVM)
+	}
+	if v.stopped.Load() {
+		return Result{}, cberr.Wrap(cberr.CodeUnavailable, cberr.LayerVM, ErrStopped)
 	}
 	mctx := meter.NewContext()
-	output, err := task(mctx)
+	output, err := task(ctx, mctx)
 	if err != nil {
-		return Result{}, fmt.Errorf("vm: run %s: %w", name, err)
+		return Result{}, cberr.From(fmt.Errorf("vm: run %s: %w", name, err), cberr.LayerVM)
 	}
 	usage := mctx.Snapshot()
 	charge, perf := v.price(usage)
@@ -196,19 +209,25 @@ func (v *VM) RunMetered(name string, task func(m *meter.Context) (string, error)
 }
 
 // AttestationReport proxies to the guest.
-func (v *VM) AttestationReport(nonce []byte) ([]byte, error) {
-	if v.stopped {
-		return nil, ErrStopped
+func (v *VM) AttestationReport(ctx context.Context, nonce []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, cberr.From(err, cberr.LayerVM)
 	}
-	return v.guest.AttestationReport(nonce)
+	if v.stopped.Load() {
+		return nil, cberr.Wrap(cberr.CodeUnavailable, cberr.LayerVM, ErrStopped)
+	}
+	report, err := v.guest.AttestationReport(ctx, nonce)
+	if err != nil {
+		return nil, cberr.From(err, cberr.LayerVM)
+	}
+	return report, nil
 }
 
 // Stop destroys the backing guest. Stop is idempotent.
 func (v *VM) Stop() error {
-	if v.stopped {
+	if v.stopped.Swap(true) {
 		return nil
 	}
-	v.stopped = true
 	return v.guest.Destroy()
 }
 
@@ -249,18 +268,14 @@ func NewPair(b tee.Backend, cfg tee.GuestConfig, catalog *workloads.Registry) (P
 	return Pair{Secure: secureVM, Normal: normalVM}, nil
 }
 
-// Stop tears both VMs down, returning the first error.
+// Stop tears both VMs down, aggregating every teardown error.
 func (p Pair) Stop() error {
-	var firstErr error
+	var errs []error
 	if p.Secure != nil {
-		if err := p.Secure.Stop(); err != nil {
-			firstErr = err
-		}
+		errs = append(errs, p.Secure.Stop())
 	}
 	if p.Normal != nil {
-		if err := p.Normal.Stop(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		errs = append(errs, p.Normal.Stop())
 	}
-	return firstErr
+	return errors.Join(errs...)
 }

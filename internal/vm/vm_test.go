@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestNewPairFlags(t *testing.T) {
 func TestInvokeFunction(t *testing.T) {
 	pair := tdxPair(t)
 	fn := faas.Function{Name: "f", Language: "python", Workload: "factors"}
-	res, err := pair.Secure.InvokeFunction(fn, 1000)
+	res, err := pair.Secure.InvokeFunction(context.Background(), fn, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestInvokeFunction(t *testing.T) {
 func TestInvokeFunctionUnknownLanguage(t *testing.T) {
 	pair := tdxPair(t)
 	fn := faas.Function{Name: "f", Language: "perl", Workload: "factors"}
-	if _, err := pair.Secure.InvokeFunction(fn, 1); !errors.Is(err, ErrNoLauncher) {
+	if _, err := pair.Secure.InvokeFunction(context.Background(), fn, 1); !errors.Is(err, ErrNoLauncher) {
 		t.Errorf("unknown language: %v", err)
 	}
 }
@@ -71,11 +72,11 @@ func TestInvokeFunctionUnknownLanguage(t *testing.T) {
 func TestSecureNormalAgreeOnOutput(t *testing.T) {
 	pair := tdxPair(t)
 	fn := faas.Function{Name: "f", Language: "go", Workload: "primes"}
-	s, err := pair.Secure.InvokeFunction(fn, 10_000)
+	s, err := pair.Secure.InvokeFunction(context.Background(), fn, 10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := pair.Normal.InvokeFunction(fn, 10_000)
+	n, err := pair.Normal.InvokeFunction(context.Background(), fn, 10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +90,11 @@ func TestIOHeavySecureSlower(t *testing.T) {
 	fn := faas.Function{Name: "f", Language: "go", Workload: "iostress"}
 	var sSum, nSum float64
 	for i := 0; i < 5; i++ {
-		s, err := pair.Secure.InvokeFunction(fn, 2)
+		s, err := pair.Secure.InvokeFunction(context.Background(), fn, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
-		n, err := pair.Normal.InvokeFunction(fn, 2)
+		n, err := pair.Normal.InvokeFunction(context.Background(), fn, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,7 +108,7 @@ func TestIOHeavySecureSlower(t *testing.T) {
 
 func TestRunMetered(t *testing.T) {
 	pair := tdxPair(t)
-	res, err := pair.Secure.RunMetered("custom", func(m *meter.Context) (string, error) {
+	res, err := pair.Secure.RunMetered(context.Background(), "custom", func(_ context.Context, m *meter.Context) (string, error) {
 		m.CPU(1_000_000)
 		m.Touch(1 << 20)
 		return "done", nil
@@ -123,7 +124,7 @@ func TestRunMetered(t *testing.T) {
 func TestRunMeteredPropagatesError(t *testing.T) {
 	pair := tdxPair(t)
 	wantErr := errors.New("boom")
-	if _, err := pair.Secure.RunMetered("bad", func(*meter.Context) (string, error) {
+	if _, err := pair.Secure.RunMetered(context.Background(), "bad", func(context.Context, *meter.Context) (string, error) {
 		return "", wantErr
 	}); !errors.Is(err, wantErr) {
 		t.Errorf("error not propagated: %v", err)
@@ -145,13 +146,13 @@ func TestStoppedVMRejectsWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	fn := faas.Function{Name: "f", Language: "go", Workload: "factors"}
-	if _, err := pair.Secure.InvokeFunction(fn, 1); !errors.Is(err, ErrStopped) {
+	if _, err := pair.Secure.InvokeFunction(context.Background(), fn, 1); !errors.Is(err, ErrStopped) {
 		t.Errorf("invoke after stop: %v", err)
 	}
-	if _, err := pair.Secure.RunMetered("x", nil); !errors.Is(err, ErrStopped) {
+	if _, err := pair.Secure.RunMetered(context.Background(), "x", nil); !errors.Is(err, ErrStopped) {
 		t.Errorf("run after stop: %v", err)
 	}
-	if _, err := pair.Secure.AttestationReport(nil); !errors.Is(err, ErrStopped) {
+	if _, err := pair.Secure.AttestationReport(context.Background(), nil); !errors.Is(err, ErrStopped) {
 		t.Errorf("attest after stop: %v", err)
 	}
 	if err := pair.Secure.Stop(); err != nil {
@@ -161,11 +162,11 @@ func TestStoppedVMRejectsWork(t *testing.T) {
 
 func TestAttestationPassThrough(t *testing.T) {
 	pair := tdxPair(t)
-	ev, err := pair.Secure.AttestationReport([]byte("nonce"))
+	ev, err := pair.Secure.AttestationReport(context.Background(), []byte("nonce"))
 	if err != nil || len(ev) == 0 {
 		t.Errorf("attest: %v", err)
 	}
-	if _, err := pair.Normal.AttestationReport(nil); !errors.Is(err, tee.ErrNotSecure) {
+	if _, err := pair.Normal.AttestationReport(context.Background(), nil); !errors.Is(err, tee.ErrNotSecure) {
 		t.Errorf("normal VM attest: %v", err)
 	}
 }
@@ -181,7 +182,7 @@ func TestCCAUsesScriptMonitor(t *testing.T) {
 	}
 	defer pair.Stop()
 	fn := faas.Function{Name: "f", Language: "lua", Workload: "factors"}
-	res, err := pair.Secure.InvokeFunction(fn, 100)
+	res, err := pair.Secure.InvokeFunction(context.Background(), fn, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestCCAUsesScriptMonitor(t *testing.T) {
 		t.Error("realm perf should have no instruction counter")
 	}
 	// The normal VM in the FVP still has perf counters.
-	nres, err := pair.Normal.InvokeFunction(fn, 100)
+	nres, err := pair.Normal.InvokeFunction(context.Background(), fn, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,16 +214,16 @@ func TestSEVPairExits(t *testing.T) {
 	defer pair.Stop()
 	// Context-switch-heavy metered work must produce VMEXITs in the
 	// secure guest and none in the normal one.
-	task := func(m *meter.Context) (string, error) {
+	task := func(_ context.Context, m *meter.Context) (string, error) {
 		m.Switch(10_000)
 		m.Syscall(10_000)
 		return "ok", nil
 	}
-	s, err := pair.Secure.RunMetered("switchy", task)
+	s, err := pair.Secure.RunMetered(context.Background(), "switchy", task)
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := pair.Normal.RunMetered("switchy", task)
+	n, err := pair.Normal.RunMetered(context.Background(), "switchy", task)
 	if err != nil {
 		t.Fatal(err)
 	}
