@@ -1,11 +1,11 @@
 GO ?= go
 
 # Concurrency-sensitive packages: the bench Runner worker pool, the
-# gateway (TEE pools, load balancer, forwarding), and the retrying
-# HTTP client.
-RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/api/...
+# gateway (TEE pools, load balancer, forwarding), the retrying HTTP
+# client, and the sharded metrics registry.
+RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/api/... ./internal/obs/...
 
-.PHONY: build test vet race verify
+.PHONY: build test vet race obs-smoke verify
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,13 @@ vet:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# Full pre-merge check: compile, vet, unit tests, then the race
-# detector over the worker pool / gateway / client packages.
-verify: build vet test race
+# End-to-end observability check: boot a cluster, run a mixed batch of
+# invocations, and assert the /v1/obs plane (route counters, pool
+# checkouts, TEE transition counters) reports consistent values.
+obs-smoke:
+	$(GO) test -run TestObsSmoke -count=1 .
+
+# Full pre-merge check: compile, vet, unit tests, the race detector
+# over the concurrency-sensitive packages, and the observability
+# smoke test.
+verify: build vet test race obs-smoke

@@ -5,13 +5,17 @@
 //
 //	confbench-bench [-fig all|3|dbms|4|5|6|7|8|colocation] [-trials N]
 //	                [-scale-divisor N] [-size N] [-seed N] [-workers N]
+//	                [-trace]
 //
 // With the defaults it runs the paper's full protocol (10 trials,
 // full workload scales, speedtest size 100); pass -quick for a
 // CI-sized run. -workers N schedules heatmap cells and per-image
 // inferences over N concurrent workers (1, the default, keeps the
 // bit-for-bit deterministic serial schedule). Ctrl-C cancels the run
-// cleanly through the context plumbing.
+// cleanly through the context plumbing. -trace runs one traced secure
+// invocation per catalog workload through the gateway after the
+// figures and prints the slowest span tree per workload — the full
+// gateway → pool → relay → host agent → VM → TEE path with durations.
 package main
 
 import (
@@ -46,6 +50,7 @@ func run(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 1, "deterministic noise seed")
 	workers := fs.Int("workers", 1, "concurrent measurement units (1 = deterministic serial schedule)")
 	quick := fs.Bool("quick", false, "CI-sized run (3 trials, scales ÷8, size 20, 10 images)")
+	trace := fs.Bool("trace", false, "print the slowest traced span tree per workload")
 	jsonPath := fs.String("json", "", "also write results as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,14 +59,18 @@ func run(ctx context.Context, args []string) error {
 		*trials, *scaleDiv, *dbSize, *images = 3, 8, 20, 10
 	}
 
-	cluster, err := confbench.NewCluster(confbench.ClusterConfig{Seed: *seed, GuestMemoryMB: 16})
+	cluster, err := confbench.New(
+		confbench.WithSeed(*seed),
+		confbench.WithGuestMemoryMB(16),
+		confbench.WithWorkers(*workers),
+	)
 	if err != nil {
 		return err
 	}
 	defer cluster.Close()
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
-	opts := bench.Options{Trials: *trials, ScaleDivisor: *scaleDiv, Workers: *workers}
+	opts := bench.Options{Trials: *trials, ScaleDivisor: *scaleDiv, Workers: *workers, Obs: cluster.Obs()}
 	report := &bench.Report{Meta: map[string]any{
 		"trials": *trials, "scale_divisor": *scaleDiv, "db_size": *dbSize,
 		"images": *images, "seed": *seed, "workers": *workers,
@@ -74,7 +83,7 @@ func run(ctx context.Context, args []string) error {
 			if err != nil {
 				return err
 			}
-			res, err := bench.ML(ctx, pair, bench.MLOptions{Images: *images, Workers: *workers})
+			res, err := bench.ML(ctx, pair, bench.MLOptions{Images: *images, Workers: *workers, Obs: cluster.Obs()})
 			if err != nil {
 				return fmt.Errorf("fig 3 (%s): %w", kind, err)
 			}
@@ -211,6 +220,12 @@ func run(ctx context.Context, args []string) error {
 		}
 	}
 
+	if *trace {
+		if err := runTrace(ctx, cluster, *scaleDiv); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
@@ -221,6 +236,44 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote JSON report to %s\n", *jsonPath)
+	}
+	return nil
+}
+
+// runTrace sends one traced secure invocation per catalog workload to
+// every platform and prints the slowest resulting span tree, i.e. the
+// worst gateway → pool → relay-hop → host agent → VM → TEE path.
+func runTrace(ctx context.Context, cluster *confbench.Cluster, scaleDiv int) error {
+	client := cluster.Client()
+	fmt.Println("=== Traced invocations (slowest span tree per workload) ===")
+	for _, name := range cluster.Catalog().Names() {
+		w, err := cluster.Catalog().Lookup(name)
+		if err != nil {
+			return err
+		}
+		fn := confbench.Function{Name: "trace-" + name, Language: "go", Workload: name}
+		if err := client.Upload(ctx, fn); err != nil {
+			return err
+		}
+		scale := w.DefaultScale / scaleDiv
+		if scale < 1 {
+			scale = 1
+		}
+		var slowest *confbench.InvokeResponse
+		for _, kind := range cluster.Kinds() {
+			resp, err := client.Invoke(ctx, confbench.InvokeRequest{
+				Function: fn.Name, Secure: true, TEE: kind, Scale: scale, Trace: true,
+			})
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", name, kind, err)
+			}
+			if slowest == nil || resp.WallNs > slowest.WallNs {
+				slowest = &resp
+			}
+		}
+		fmt.Printf("\n--- %s (slowest of %d platforms, virtual wall %v) ---\n",
+			name, len(cluster.Kinds()), slowest.Wall())
+		fmt.Print(confbench.RenderTrace(slowest.Trace))
 	}
 	return nil
 }

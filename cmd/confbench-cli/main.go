@@ -7,6 +7,7 @@
 //	confbench-cli -gateway URL upload -name NAME -lang LANG -workload W
 //	confbench-cli -gateway URL invoke -name NAME [-tee KIND] [-secure] [-scale N]
 //	confbench-cli -gateway URL functions
+//	confbench-cli -gateway URL obs [-json]
 //	confbench-cli -gateway URL pools
 //	confbench-cli -gateway URL attest -tee KIND
 package main
@@ -14,10 +15,12 @@ package main
 import (
 	"context"
 	"crypto/rand"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"time"
 
 	"confbench/internal/api"
@@ -42,7 +45,7 @@ func run(ctx context.Context, args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing subcommand: upload, invoke, functions, pools, metrics, attest")
+		return fmt.Errorf("missing subcommand: upload, invoke, functions, pools, metrics, obs, attest")
 	}
 	client, err := api.NewClient(*gatewayURL)
 	if err != nil {
@@ -86,6 +89,8 @@ func run(ctx context.Context, args []string) error {
 				p.TEE, p.Endpoints, p.Policy, p.InFlight)
 		}
 		return nil
+	case "obs":
+		return cmdObs(ctx, client, rest[1:])
 	case "attest":
 		return cmdAttest(ctx, client, rest[1:])
 	default:
@@ -141,6 +146,55 @@ func cmdInvoke(ctx context.Context, client *api.Client, args []string) error {
 	fmt.Printf("exec time:  %v (runtime bootstrap %v, request round trip %v)\n",
 		resp.Wall(), time.Duration(resp.BootstrapNs), time.Since(start))
 	fmt.Printf("perf:\n%s\n", resp.Perf)
+	return nil
+}
+
+// cmdObs dumps the gateway's observability registry: every counter
+// and gauge, and each latency histogram's count and mean.
+func cmdObs(ctx context.Context, client *api.Client, args []string) error {
+	fs := flag.NewFlagSet("obs", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "print the raw JSON snapshot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	snap, err := client.Obs(ctx)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap)
+	}
+	ids := make([]string, 0, len(snap.Counters))
+	for id := range snap.Counters {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Printf("%-70s %d\n", id, snap.Counters[id])
+	}
+	ids = ids[:0]
+	for id := range snap.Gauges {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Printf("%-70s %d\n", id, snap.Gauges[id])
+	}
+	ids = ids[:0]
+	for id := range snap.Histograms {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		h := snap.Histograms[id]
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.SumSeconds / float64(h.Count)
+		}
+		fmt.Printf("%-70s count=%d mean=%.6fs\n", id, h.Count, mean)
+	}
 	return nil
 }
 

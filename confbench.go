@@ -24,14 +24,18 @@
 // infrastructure (a DCAP quoting enclave plus a simulated Intel PCS
 // for TDX, and the AMD-SP certificate chain for SEV-SNP).
 //
-//	cluster, err := confbench.NewCluster(confbench.ClusterConfig{})
+//	cluster, err := confbench.New()
 //	defer cluster.Close()
 //	client := cluster.Client()
-//	client.Upload(faas.Function{Name: "hot", Language: "python", Workload: "cpustress"})
-//	resp, err := client.Invoke(api.InvokeRequest{Function: "hot", Secure: true, TEE: tee.KindTDX})
+//	client.Upload(ctx, confbench.Function{Name: "hot", Language: "python", Workload: "cpustress"})
+//	resp, err := client.Invoke(ctx, confbench.InvokeRequest{Function: "hot", Secure: true, TEE: confbench.KindTDX})
 package confbench
 
-import "confbench/internal/core"
+import (
+	"confbench/internal/core"
+	"confbench/internal/obs"
+	"confbench/internal/tee"
+)
 
 // ClusterConfig parameterizes an in-process ConfBench deployment. See
 // internal/core for the orchestration it drives.
@@ -42,7 +46,72 @@ type ClusterConfig = core.ClusterConfig
 // TEE pools, and the attestation infrastructure.
 type Cluster = core.Cluster
 
-// NewCluster boots a deployment. Close it when done.
+// Option configures a Cluster built by New.
+type Option func(*ClusterConfig)
+
+// WithTEEs selects the platforms to deploy (default: TDX, SEV-SNP,
+// CCA — the paper's full test bed).
+func WithTEEs(kinds ...tee.Kind) Option {
+	return func(c *ClusterConfig) { c.TEEs = kinds }
+}
+
+// WithSeed sets the seed behind every deterministic noise source.
+func WithSeed(seed int64) Option {
+	return func(c *ClusterConfig) { c.Seed = seed }
+}
+
+// WithLeastLoaded switches pool load balancing from round-robin to
+// least-loaded.
+func WithLeastLoaded() Option {
+	return func(c *ClusterConfig) { c.LeastLoaded = true }
+}
+
+// WithTDXFirmware overrides the TDX module version (the buggy
+// pre-upgrade firmware reproduces the paper's 10× anomaly).
+func WithTDXFirmware(version string) Option {
+	return func(c *ClusterConfig) { c.TDXFirmware = version }
+}
+
+// WithGuestMemoryMB sizes the measured boot image of each guest.
+func WithGuestMemoryMB(mb int) Option {
+	return func(c *ClusterConfig) { c.GuestMemoryMB = mb }
+}
+
+// WithWorkers sets the default concurrency for benchmark harnesses
+// built on the cluster (0 = serial, the deterministic bit-identical
+// path).
+func WithWorkers(n int) Option {
+	return func(c *ClusterConfig) { c.Workers = n }
+}
+
+// WithObsRegistry points the whole deployment — gateway, pools, host
+// agents, TEE backends — at a dedicated metrics registry instead of
+// the process-wide default. Pair it with NewObsRegistry for isolated
+// measurements.
+func WithObsRegistry(r *ObsRegistry) Option {
+	return func(c *ClusterConfig) { c.Obs = r }
+}
+
+// New boots a deployment configured by opts. Close it when done.
+func New(opts ...Option) (*Cluster, error) {
+	var cfg ClusterConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.NewCluster(cfg)
+}
+
+// NewCluster boots a deployment from an explicit config.
+//
+// Deprecated: use New, which accepts functional options.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return core.NewCluster(cfg)
 }
+
+// ObsRegistry is the observability-plane metrics registry (counters,
+// gauges, latency histograms). See internal/obs.
+type ObsRegistry = obs.Registry
+
+// NewObsRegistry returns an empty metrics registry, for deployments
+// that want isolation from the process-wide default.
+func NewObsRegistry() *ObsRegistry { return obs.New() }

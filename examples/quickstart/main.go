@@ -10,8 +10,6 @@ import (
 	"log"
 
 	"confbench"
-	"confbench/internal/api"
-	"confbench/internal/faas"
 )
 
 func main() {
@@ -25,7 +23,7 @@ func run() error {
 	// Boot the paper's full test bed: a TDX host, an SEV-SNP host,
 	// and a (simulated-FVP) CCA host, each with a confidential and a
 	// normal VM, fronted by the REST gateway.
-	cluster, err := confbench.NewCluster(confbench.ClusterConfig{GuestMemoryMB: 16})
+	cluster, err := confbench.New(confbench.WithGuestMemoryMB(16))
 	if err != nil {
 		return err
 	}
@@ -35,7 +33,7 @@ func run() error {
 	// Upload a function: a Python implementation of the cpustress
 	// workload (intensive trigonometric and arithmetic operations).
 	client := cluster.Client()
-	fn := faas.Function{
+	fn := confbench.Function{
 		Name:     "hot-loop",
 		Language: "python",
 		Workload: "cpustress",
@@ -49,13 +47,13 @@ func run() error {
 	// Run it on every platform, secure and normal, and report the
 	// overhead ratio with the piggybacked perf metrics.
 	for _, kind := range cluster.Kinds() {
-		secure, err := client.Invoke(ctx, api.InvokeRequest{
+		secure, err := client.Invoke(ctx, confbench.InvokeRequest{
 			Function: "hot-loop", Secure: true, TEE: kind, Scale: 100_000,
 		})
 		if err != nil {
 			return fmt.Errorf("secure invoke on %s: %w", kind, err)
 		}
-		normal, err := client.Invoke(ctx, api.InvokeRequest{
+		normal, err := client.Invoke(ctx, confbench.InvokeRequest{
 			Function: "hot-loop", Secure: false, TEE: kind, Scale: 100_000,
 		})
 		if err != nil {

@@ -1,0 +1,49 @@
+package confbench
+
+import (
+	"confbench/internal/api"
+	"confbench/internal/faas"
+	"confbench/internal/obs"
+	"confbench/internal/tee"
+)
+
+// Re-exports of the types a ConfBench consumer touches on every call,
+// so typical programs import only the root package. The internal
+// packages stay the source of truth; these are aliases, not copies.
+
+// Function is a FaaS function definition uploaded to the gateway.
+type Function = faas.Function
+
+// InvokeRequest asks the gateway to run a function in a secure or
+// normal VM on a chosen TEE.
+type InvokeRequest = api.InvokeRequest
+
+// InvokeResponse carries the result: virtual wall time, the perf
+// metrics piggybacked from the guest, and — when tracing was
+// requested — the span tree of the invocation.
+type InvokeResponse = api.InvokeResponse
+
+// Kind identifies a TEE platform.
+type Kind = tee.Kind
+
+// The platforms of the paper's test bed.
+const (
+	KindTDX = tee.KindTDX
+	KindSEV = tee.KindSEV
+	KindCCA = tee.KindCCA
+)
+
+// Client is the REST client returned by Cluster.Client.
+type Client = api.Client
+
+// SpanData is one node of a trace span tree (see InvokeRequest.Trace
+// and Client.Obs).
+type SpanData = obs.SpanData
+
+// ObsSnapshot is a point-in-time copy of a metrics registry, as
+// returned by Client.Obs.
+type ObsSnapshot = obs.Snapshot
+
+// RenderTrace formats a span tree as an indented text tree, one line
+// per span with layer, name, and duration.
+func RenderTrace(d *SpanData) string { return obs.RenderTree(d) }

@@ -19,11 +19,15 @@ import (
 
 	"confbench/internal/cberr"
 	"confbench/internal/faas"
+	"confbench/internal/obs"
 	"confbench/internal/perfmon"
 	"confbench/internal/tee"
 )
 
-// Paths served by the gateway.
+// Paths served by the gateway, relative to a version prefix. The
+// gateway serves every path under APIPrefixV1 and, for compatibility
+// with pre-versioning clients, under the bare path as an alias to the
+// same handler.
 const (
 	PathFunctions = "/functions"
 	PathInvoke    = "/invoke"
@@ -31,6 +35,22 @@ const (
 	PathPools     = "/pools"
 	PathHealth    = "/health"
 	PathMetrics   = "/metrics"
+	PathObs       = "/obs"
+)
+
+// APIPrefixV1 is the versioned mount point of the REST surface.
+const APIPrefixV1 = "/v1"
+
+// Versioned paths — the canonical routes new clients use. The
+// unversioned constants above remain valid aliases.
+const (
+	PathV1Functions = APIPrefixV1 + PathFunctions
+	PathV1Invoke    = APIPrefixV1 + PathInvoke
+	PathV1Attest    = APIPrefixV1 + PathAttest
+	PathV1Pools     = APIPrefixV1 + PathPools
+	PathV1Health    = APIPrefixV1 + PathHealth
+	PathV1Metrics   = APIPrefixV1 + PathMetrics
+	PathV1Obs       = APIPrefixV1 + PathObs
 )
 
 // Paths served by guest agents inside VMs.
@@ -56,6 +76,9 @@ type InvokeRequest struct {
 	// TEE selects the platform (tdx, sev-snp, cca). Required when
 	// Secure; optional otherwise (any platform's normal VM will do).
 	TEE tee.Kind `json:"tee,omitempty"`
+	// Trace asks every layer to record spans; the response then
+	// carries the full span tree.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // GuestInvokeRequest is the request a guest agent executes. The full
@@ -63,6 +86,9 @@ type InvokeRequest struct {
 type GuestInvokeRequest struct {
 	Function faas.Function `json:"function"`
 	Scale    int           `json:"scale,omitempty"`
+	// Trace asks the guest to record spans for this execution and
+	// return them in the response.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // InvokeResponse reports one execution, with the perf metrics
@@ -79,6 +105,10 @@ type InvokeResponse struct {
 	// Host and VM identify where the function ran.
 	Host string `json:"host,omitempty"`
 	VM   string `json:"vm,omitempty"`
+	// Trace is the span tree for this invocation, present only when
+	// the request set Trace. The gateway's root span covers the whole
+	// request; the host-agent subtree is grafted under the relay hop.
+	Trace *obs.SpanData `json:"trace,omitempty"`
 }
 
 // Wall returns the priced wall-clock duration.
@@ -165,6 +195,7 @@ const (
 // cancellation surfaces as cberr.ErrCanceled.
 type Client struct {
 	baseURL string
+	prefix  string
 	http    *http.Client
 
 	// MaxAttempts caps the total tries per call. Only failures the
@@ -175,11 +206,46 @@ type Client struct {
 	RetryBackoff time.Duration
 }
 
-// NewClient builds a client for the gateway at baseURL. The URL must
-// be absolute with an http or https scheme; the returned client has an
-// explicit per-attempt timeout so a wedged gateway cannot hang callers
-// that forget a context deadline.
-func NewClient(baseURL string) (*Client, error) {
+// Option configures a Client built by New.
+type Option func(*Client)
+
+// WithTimeout bounds each HTTP attempt (not the whole retried call —
+// the caller's context does that).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.http.Timeout = d }
+}
+
+// WithRetries caps the total attempts per call, including the first.
+// Values below 1 mean a single attempt.
+func WithRetries(attempts int) Option {
+	return func(c *Client) { c.MaxAttempts = attempts }
+}
+
+// WithBackoff sets the first retry's delay; it doubles per retry.
+func WithBackoff(d time.Duration) Option {
+	return func(c *Client) { c.RetryBackoff = d }
+}
+
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// transports, test doubles). It overrides WithTimeout unless the
+// given client carries its own.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// WithPathPrefix overrides the API version prefix the client puts in
+// front of every path. The default is APIPrefixV1; pass "" to talk to
+// a pre-versioning gateway through the unversioned aliases.
+func WithPathPrefix(prefix string) Option {
+	return func(c *Client) { c.prefix = prefix }
+}
+
+// New builds a client for the gateway at baseURL, configured by opts.
+// The URL must be absolute with an http or https scheme; the returned
+// client has an explicit per-attempt timeout so a wedged gateway
+// cannot hang callers that forget a context deadline. Requests go to
+// the versioned /v1 surface unless WithPathPrefix says otherwise.
+func New(baseURL string, opts ...Option) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil {
 		return nil, cberr.Wrap(cberr.CodeInvalid, cberr.LayerClient,
@@ -193,12 +259,24 @@ func NewClient(baseURL string) (*Client, error) {
 		return nil, cberr.Newf(cberr.CodeInvalid, cberr.LayerClient,
 			"api: base URL %q has no host", baseURL)
 	}
-	return &Client{
+	c := &Client{
 		baseURL:      baseURL,
+		prefix:       APIPrefixV1,
 		http:         &http.Client{Timeout: DefaultTimeout},
 		MaxAttempts:  DefaultMaxAttempts,
 		RetryBackoff: DefaultRetryBackoff,
-	}, nil
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// NewClient builds a client with default settings.
+//
+// Deprecated: use New, which accepts functional options.
+func NewClient(baseURL string) (*Client, error) {
+	return New(baseURL)
 }
 
 // do runs one request with retry-with-backoff on retryable errors.
@@ -240,7 +318,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if body != nil {
 		reader = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, reader)
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+c.prefix+path, reader)
 	if err != nil {
 		return cberr.Wrap(cberr.CodeInvalid, cberr.LayerClient,
 			fmt.Errorf("api: %s %s: %w", method, path, err))
@@ -336,6 +414,17 @@ func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
 	var out Metrics
 	if err := c.do(ctx, http.MethodGet, PathMetrics, nil, &out); err != nil {
 		return Metrics{}, err
+	}
+	return out, nil
+}
+
+// Obs fetches the gateway's observability snapshot (counters, gauges,
+// histograms) in JSON form. The same endpoint serves the Prometheus
+// text format when asked without the JSON accept header.
+func (c *Client) Obs(ctx context.Context) (obs.Snapshot, error) {
+	var out obs.Snapshot
+	if err := c.do(ctx, http.MethodGet, PathObs+"?format=json", nil, &out); err != nil {
+		return obs.Snapshot{}, err
 	}
 	return out, nil
 }

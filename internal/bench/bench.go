@@ -20,6 +20,7 @@ package bench
 import (
 	"time"
 
+	"confbench/internal/obs"
 	"confbench/internal/stats"
 	"confbench/internal/tee"
 )
@@ -39,6 +40,9 @@ type Options struct {
 	// schedule that reproduces earlier harness output bit for bit; see
 	// Runner for the full contract.
 	Workers int
+	// Obs is the metrics registry the scheduling core reports to
+	// (nil = the process-wide default).
+	Obs *obs.Registry
 }
 
 // WithDefaults fills unset fields.

@@ -9,6 +9,7 @@ import (
 	"confbench/internal/meter"
 	"confbench/internal/minidb"
 	"confbench/internal/mlinfer"
+	"confbench/internal/obs"
 	"confbench/internal/stats"
 	"confbench/internal/tee"
 	"confbench/internal/unixbench"
@@ -36,6 +37,9 @@ type MLOptions struct {
 	// Workers bounds concurrent per-image inferences (<=1 = the
 	// deterministic serial harness; see Runner).
 	Workers int
+	// Obs is the metrics registry the scheduling core reports to
+	// (nil = the process-wide default).
+	Obs *obs.Registry
 }
 
 // ML reproduces the confidential-ML experiment (§IV-C, Fig. 3): a
@@ -54,7 +58,7 @@ func ML(ctx context.Context, pair vm.Pair, opts MLOptions) (MLResult, error) {
 		return MLResult{}, err
 	}
 	dataset := mlinfer.Dataset(opts.Images)
-	runner := Runner{Workers: opts.Workers}
+	runner := Runner{Workers: opts.Workers, Obs: opts.Obs}
 
 	classifyAll := func(machine *vm.VM) ([]time.Duration, error) {
 		times := make([]time.Duration, len(dataset))

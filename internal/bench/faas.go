@@ -149,7 +149,7 @@ func FaaS(ctx context.Context, pair vm.Pair, catalog *workloads.Registry, opts F
 	// One task per heatmap cell, in workload-major order — the same
 	// order the serial harness walked, so Workers=1 replays the exact
 	// invocation sequence against the pair's stateful pricing models.
-	runner := Runner{Workers: opts.Workers}
+	runner := Runner{Workers: opts.Workers, Obs: opts.Obs}
 	nLangs := len(languages)
 	err := runner.Run(ctx, len(ws)*nLangs, func(ctx context.Context, idx int) error {
 		i, j := idx/nLangs, idx%nLangs

@@ -3,9 +3,12 @@ package bench
 import (
 	"context"
 	"math/rand"
+	"strconv"
 	"sync"
+	"time"
 
 	"confbench/internal/cberr"
+	"confbench/internal/obs"
 )
 
 // Runner executes a fixed-size batch of indexed tasks over a bounded
@@ -35,6 +38,19 @@ type Runner struct {
 	// Workers bounds the number of concurrently running tasks.
 	// Values <= 1 select the deterministic serial path.
 	Workers int
+	// Obs is the metrics registry the per-worker task counters and
+	// timing histograms and the queue-depth gauge report to (nil = the
+	// process-wide default). Metrics never influence scheduling, so the
+	// determinism contract above is unaffected.
+	Obs *obs.Registry
+}
+
+// workerMetrics resolves one worker's task counter and timing
+// histogram. The serial path is worker 0.
+func workerMetrics(reg *obs.Registry, w int) (*obs.Counter, *obs.Histogram) {
+	id := strconv.Itoa(w)
+	return reg.Counter("confbench_bench_tasks_total", "worker", id),
+		reg.Histogram("confbench_bench_task_seconds", "worker", id)
 }
 
 // Run executes task(ctx, i) for i in [0, n). See the type comment for
@@ -45,12 +61,22 @@ func (r Runner) Run(ctx context.Context, n int, task func(ctx context.Context, i
 		return nil
 	}
 	workers := r.Workers
+	reg := obs.OrDefault(r.Obs)
+	depth := reg.Gauge("confbench_bench_queue_depth")
+	depth.Set(int64(n))
+	defer depth.Set(0)
 	if workers <= 1 {
+		tasks, seconds := workerMetrics(reg, 0)
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return cberr.From(err, cberr.LayerBench)
 			}
-			if err := task(ctx, i); err != nil {
+			start := time.Now()
+			err := task(ctx, i)
+			seconds.Observe(time.Since(start))
+			tasks.Inc()
+			depth.Set(int64(n - i - 1))
+			if err != nil {
 				return cberr.From(err, cberr.LayerBench)
 			}
 		}
@@ -77,12 +103,14 @@ func (r Runner) Run(ctx context.Context, n int, task func(ctx context.Context, i
 		}
 		i := next
 		next++
+		depth.Set(int64(n - next))
 		return i, true
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			tasks, seconds := workerMetrics(reg, w)
 			for {
 				if ctx.Err() != nil {
 					return
@@ -91,7 +119,11 @@ func (r Runner) Run(ctx context.Context, n int, task func(ctx context.Context, i
 				if !ok {
 					return
 				}
-				if err := task(ctx, i); err != nil {
+				start := time.Now()
+				err := task(ctx, i)
+				seconds.Observe(time.Since(start))
+				tasks.Inc()
+				if err != nil {
 					mu.Lock()
 					taskErrs[i] = err
 					if i < failed {
@@ -100,7 +132,7 @@ func (r Runner) Run(ctx context.Context, n int, task func(ctx context.Context, i
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 

@@ -20,6 +20,7 @@ import (
 	"confbench/internal/faas/langs"
 	"confbench/internal/gateway"
 	"confbench/internal/hostagent"
+	"confbench/internal/obs"
 	"confbench/internal/tee"
 	"confbench/internal/tee/cca"
 	"confbench/internal/tee/sev"
@@ -42,6 +43,13 @@ type ClusterConfig struct {
 	TDXFirmware string
 	// GuestMemoryMB sizes the measured boot image of each guest.
 	GuestMemoryMB int
+	// Workers is the default concurrency for benchmark harnesses built
+	// on this cluster (0 = serial, the deterministic bit-identical
+	// path).
+	Workers int
+	// Obs is the metrics registry the whole deployment reports to
+	// (nil = the process-wide default).
+	Obs *obs.Registry
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -61,6 +69,7 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 type Cluster struct {
 	cfg      ClusterConfig
 	catalog  *workloads.Registry
+	obsreg   *obs.Registry
 	backends map[tee.Kind]tee.Backend
 	agents   map[tee.Kind]*hostagent.Agent
 	gw       *gateway.Gateway
@@ -78,6 +87,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	c := &Cluster{
 		cfg:      cfg,
 		catalog:  workloads.Default(),
+		obsreg:   obs.OrDefault(cfg.Obs),
 		backends: make(map[tee.Kind]tee.Backend, len(cfg.TEEs)),
 		agents:   make(map[tee.Kind]*hostagent.Agent, len(cfg.TEEs)),
 	}
@@ -100,6 +110,7 @@ func (c *Cluster) boot() error {
 			Backend: backend,
 			Guest:   tee.GuestConfig{MemoryMB: c.cfg.GuestMemoryMB},
 			Catalog: c.catalog,
+			Obs:     c.obsreg,
 		})
 		if err != nil {
 			return fmt.Errorf("confbench: boot %s host: %w", kind, err)
@@ -111,7 +122,7 @@ func (c *Cluster) boot() error {
 	if c.cfg.LeastLoaded {
 		policy = func() gateway.Policy { return gateway.LeastLoaded{} }
 	}
-	c.gw = gateway.New(gateway.Config{Policy: policy})
+	c.gw = gateway.New(gateway.Config{Policy: policy, Obs: c.obsreg})
 	for kind, agent := range c.agents {
 		c.gw.AddHost(string(kind)+"-host", agent.Endpoints())
 	}
@@ -119,7 +130,7 @@ func (c *Cluster) boot() error {
 	if err != nil {
 		return err
 	}
-	client, err := api.NewClient(url)
+	client, err := api.New(url)
 	if err != nil {
 		return err
 	}
@@ -151,11 +162,11 @@ func (c *Cluster) boot() error {
 func (c *Cluster) newBackend(kind tee.Kind) (tee.Backend, error) {
 	switch kind {
 	case tee.KindTDX:
-		return tdx.NewBackend(tdx.Options{FirmwareVersion: c.cfg.TDXFirmware, Seed: c.cfg.Seed})
+		return tdx.NewBackend(tdx.Options{FirmwareVersion: c.cfg.TDXFirmware, Seed: c.cfg.Seed, Obs: c.obsreg})
 	case tee.KindSEV:
-		return sev.NewBackend(sev.Options{Seed: c.cfg.Seed + 1000})
+		return sev.NewBackend(sev.Options{Seed: c.cfg.Seed + 1000, Obs: c.obsreg})
 	case tee.KindCCA:
-		return cca.NewBackend(cca.Options{Seed: c.cfg.Seed + 2000})
+		return cca.NewBackend(cca.Options{Seed: c.cfg.Seed + 2000, Obs: c.obsreg})
 	default:
 		return nil, fmt.Errorf("confbench: unsupported TEE %q", kind)
 	}
@@ -163,6 +174,12 @@ func (c *Cluster) newBackend(kind tee.Kind) (tee.Backend, error) {
 
 // Client returns a REST client bound to the gateway.
 func (c *Cluster) Client() *api.Client { return c.client }
+
+// Obs returns the registry every layer of the deployment reports to.
+func (c *Cluster) Obs() *obs.Registry { return c.obsreg }
+
+// Workers returns the configured default benchmark concurrency.
+func (c *Cluster) Workers() int { return c.cfg.Workers }
 
 // GatewayURL returns the gateway's base URL.
 func (c *Cluster) GatewayURL() string { return c.gw.BaseURL() }

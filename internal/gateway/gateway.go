@@ -10,6 +10,8 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"confbench/internal/faas"
 	"confbench/internal/faas/langs"
 	"confbench/internal/hostagent"
+	"confbench/internal/obs"
 	"confbench/internal/tee"
 )
 
@@ -27,6 +30,7 @@ type Gateway struct {
 	db            *faas.DB
 	client        *http.Client
 	policyFactory func() Policy
+	obsreg        *obs.Registry
 
 	mu    sync.RWMutex
 	pools map[tee.Kind]*Pool
@@ -78,6 +82,9 @@ type Config struct {
 	Policy func() Policy
 	// Languages restricts the function DB (nil = all seven).
 	Languages []string
+	// Obs is the metrics registry the gateway and its pools report to
+	// (nil = the process-wide default).
+	Obs *obs.Registry
 }
 
 // New builds a gateway with empty pools.
@@ -90,10 +97,14 @@ func New(cfg Config) *Gateway {
 		db:     faas.NewDB(languages),
 		client: &http.Client{Timeout: 120 * time.Second},
 		pools:  make(map[tee.Kind]*Pool, 4),
+		obsreg: obs.OrDefault(cfg.Obs),
 	}
 	g.policyFactory = cfg.Policy
 	return g
 }
+
+// Obs exposes the gateway's metrics registry.
+func (g *Gateway) Obs() *obs.Registry { return g.obsreg }
 
 // AddHost registers every endpoint of a host agent, creating the TEE
 // pool on first sight. This mirrors the gateway configuration file
@@ -108,7 +119,7 @@ func (g *Gateway) AddHost(name string, eps []hostagent.Endpoint) {
 			if g.policyFactory != nil {
 				policy = g.policyFactory()
 			}
-			pool = NewPool(ep.TEE, policy)
+			pool = NewPool(ep.TEE, policy, g.obsreg)
 			g.pools[ep.TEE] = pool
 		}
 		pool.Add(name, ep)
@@ -127,14 +138,32 @@ func (g *Gateway) Start(addr string) (string, error) {
 		return "", errors.New("gateway: already started")
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc(api.PathFunctions, g.handleFunctions)
-	mux.HandleFunc(api.PathInvoke, g.handleInvoke)
-	mux.HandleFunc(api.PathAttest, g.handleAttest)
-	mux.HandleFunc(api.PathPools, g.handlePools)
-	mux.HandleFunc(api.PathMetrics, g.handleMetrics)
-	mux.HandleFunc(api.PathHealth, func(w http.ResponseWriter, _ *http.Request) {
+	handleHealth := func(w http.ResponseWriter, _ *http.Request) {
 		api.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	}
+	// Every route mounts twice — versioned under /v1 and bare for
+	// pre-versioning clients — sharing one instrumented handler
+	// labeled with the canonical v1 route, so per-route counts do not
+	// split by which alias the caller used. The obs endpoint itself is
+	// deliberately NOT instrumented: scraping metrics must not move
+	// them, and the two aliases must return byte-identical bodies.
+	for _, r := range []struct {
+		path    string
+		handler http.HandlerFunc
+	}{
+		{api.PathFunctions, g.handleFunctions},
+		{api.PathInvoke, g.handleInvoke},
+		{api.PathAttest, g.handleAttest},
+		{api.PathPools, g.handlePools},
+		{api.PathMetrics, g.handleMetrics},
+		{api.PathHealth, handleHealth},
+	} {
+		h := g.instrument(api.APIPrefixV1+r.path, r.handler)
+		mux.Handle(api.APIPrefixV1+r.path, h)
+		mux.Handle(r.path, h)
+	}
+	mux.HandleFunc(api.PathV1Obs, g.handleObs)
+	mux.HandleFunc(api.PathObs, g.handleObs)
 	g.started = time.Now()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -170,6 +199,50 @@ func (g *Gateway) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	return srv.Shutdown(ctx)
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with per-route request counting and a
+// latency histogram. The route label is the canonical v1 path even
+// when the request arrived through the unversioned alias.
+func (g *Gateway) instrument(route string, next http.HandlerFunc) http.Handler {
+	hist := g.obsreg.Histogram("confbench_http_request_seconds", "route", route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next(sw, r)
+		hist.Observe(time.Since(start))
+		g.obsreg.Counter("confbench_http_requests_total",
+			"route", route, "status", strconv.Itoa(sw.status)).Inc()
+	})
+}
+
+// handleObs serves the observability snapshot: Prometheus text by
+// default, JSON when asked via ?format=json or Accept.
+func (g *Gateway) handleObs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		g.countError(w, http.StatusMethodNotAllowed,
+			cberr.New(cberr.CodeInvalid, cberr.LayerGateway, "GET required"))
+		return
+	}
+	wantJSON := r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+	if wantJSON {
+		api.WriteJSON(w, http.StatusOK, g.obsreg.Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = g.obsreg.WritePrometheus(w)
 }
 
 func (g *Gateway) handleFunctions(w http.ResponseWriter, r *http.Request) {
@@ -245,24 +318,41 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		g.fail(w, cberr.Wrap(cberr.CodeNotFound, cberr.LayerGateway, err))
 		return
 	}
+	ctx := r.Context()
+	var root *obs.Span
+	if req.Trace {
+		ctx, root = obs.NewRoot(ctx, "gateway", api.PathV1Invoke)
+		root.SetAttr("function", req.Function)
+		root.SetAttr("secure", strconv.FormatBool(req.Secure))
+	}
 	pool, err := g.pickPool(req.TEE, req.Secure)
 	if err != nil {
 		g.fail(w, err)
 		return
 	}
-	entry, err := pool.Acquire(req.Secure)
+	entry, err := pool.Acquire(ctx, req.Secure)
 	if err != nil {
 		g.fail(w, cberr.Wrap(cberr.CodeUnavailable, cberr.LayerPool, err))
 		return
 	}
 	defer pool.Release(entry)
 
+	hopCtx, hop := obs.StartSpan(ctx, "gateway", "relay-hop "+entry.Endpoint.Addr)
 	var resp api.InvokeResponse
-	err = g.forward(r.Context(), entry.Endpoint.Addr, api.GuestPathInvoke,
-		api.GuestInvokeRequest{Function: fn, Scale: req.Scale}, &resp)
+	err = g.forward(hopCtx, entry.Endpoint.Addr, api.GuestPathInvoke,
+		api.GuestInvokeRequest{Function: fn, Scale: req.Scale, Trace: req.Trace}, &resp)
+	hop.End()
 	if err != nil {
 		g.fail(w, err)
 		return
+	}
+	// The guest's span tree rode back inside the response; graft it
+	// under the relay hop (its clock is not ours) and replace it with
+	// the full gateway-rooted tree.
+	if root != nil {
+		hop.AttachRemote(resp.Trace)
+		root.End()
+		resp.Trace = root.Data()
 	}
 	resp.Host = entry.Host
 	g.invocations.Add(1)
@@ -287,7 +377,7 @@ func (g *Gateway) handleAttest(w http.ResponseWriter, r *http.Request) {
 		g.fail(w, err)
 		return
 	}
-	entry, err := pool.Acquire(true)
+	entry, err := pool.Acquire(r.Context(), true)
 	if err != nil {
 		g.fail(w, cberr.Wrap(cberr.CodeUnavailable, cberr.LayerPool, err))
 		return

@@ -14,6 +14,7 @@ import (
 	"confbench/internal/cberr"
 	"confbench/internal/faas"
 	"confbench/internal/hostagent"
+	"confbench/internal/obs"
 	"confbench/internal/tee"
 	"confbench/internal/tee/sev"
 	"confbench/internal/tee/tdx"
@@ -22,7 +23,9 @@ import (
 // testDeployment boots a gateway over TDX and SEV host agents.
 func testDeployment(t *testing.T, policy func() Policy) (*Gateway, *api.Client) {
 	t.Helper()
-	g := New(Config{Policy: policy})
+	// A fresh registry per deployment keeps metric assertions isolated
+	// from other tests sharing the process-wide default.
+	g := New(Config{Policy: policy, Obs: obs.New()})
 
 	tdxBackend, err := tdx.NewBackend(tdx.Options{Seed: 31})
 	if err != nil {
@@ -233,11 +236,11 @@ func TestLeastLoadedPolicy(t *testing.T) {
 }
 
 func TestPoolAcquireRelease(t *testing.T) {
-	p := NewPool(tee.KindTDX, nil)
+	p := NewPool(tee.KindTDX, nil, obs.New())
 	p.Add("h", hostagent.Endpoint{Addr: "1.2.3.4:1", Secure: true, TEE: tee.KindTDX})
 	p.Add("h", hostagent.Endpoint{Addr: "1.2.3.4:2", Secure: false, TEE: tee.KindTDX})
 
-	e, err := p.Acquire(true)
+	e, err := p.Acquire(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,9 +258,9 @@ func TestPoolAcquireRelease(t *testing.T) {
 }
 
 func TestPoolAcquireNoMatch(t *testing.T) {
-	p := NewPool(tee.KindTDX, nil)
+	p := NewPool(tee.KindTDX, nil, obs.New())
 	p.Add("h", hostagent.Endpoint{Addr: "x", Secure: false, TEE: tee.KindTDX})
-	if _, err := p.Acquire(true); err == nil {
+	if _, err := p.Acquire(context.Background(), true); err == nil {
 		t.Error("no secure endpoint but Acquire succeeded")
 	}
 }

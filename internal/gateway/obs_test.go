@@ -1,0 +1,203 @@
+package gateway
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"testing"
+
+	"confbench/internal/api"
+	"confbench/internal/obs"
+	"confbench/internal/tee"
+)
+
+// getRaw fetches a path from the gateway and returns status and body.
+func getRaw(t *testing.T, url, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestVersionedAliasesAreByteIdentical(t *testing.T) {
+	// Every /v1 route must alias its unversioned ancestor: same
+	// handler, same body. /metrics is excluded (uptime moves between
+	// scrapes); the deterministic surfaces must match byte for byte.
+	g, client := testDeployment(t, nil)
+	uploadFn(t, client, "fn", "go", "factors")
+	if _, err := client.Invoke(context.Background(), api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX, Scale: 100}); err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{
+		{api.PathFunctions, api.PathV1Functions},
+		{api.PathPools, api.PathV1Pools},
+		{api.PathHealth, api.PathV1Health},
+		{api.PathObs, api.PathV1Obs},
+	} {
+		oldStatus, oldBody := getRaw(t, g.BaseURL(), pair[0])
+		newStatus, newBody := getRaw(t, g.BaseURL(), pair[1])
+		if oldStatus != http.StatusOK || newStatus != http.StatusOK {
+			t.Errorf("%s: status %d vs %d", pair[0], oldStatus, newStatus)
+		}
+		if oldBody != newBody {
+			t.Errorf("%s: bodies differ between prefixes:\nold: %s\nnew: %s", pair[0], oldBody, newBody)
+		}
+	}
+}
+
+func TestRouteCountersUseCanonicalV1Labels(t *testing.T) {
+	// Requests through either prefix land on the same counter, labeled
+	// with the canonical /v1 route.
+	g, client := testDeployment(t, nil)
+	uploadFn(t, client, "fn", "go", "factors")
+	req := api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX, Scale: 100}
+	// The typed client speaks /v1; send one more invoke via the legacy
+	// unversioned path.
+	if _, err := client.Invoke(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := postRaw(t, g.BaseURL(), api.PathInvoke, `{"function":"fn","secure":true,"tee":"tdx","scale":100}`); status != http.StatusOK {
+		t.Fatalf("legacy invoke status = %d", status)
+	}
+	snap := g.Obs().Snapshot()
+	id := obs.MetricID("confbench_http_requests_total", "route", api.PathV1Invoke, "status", "200")
+	if got := snap.Counters[id]; got != 2 {
+		t.Errorf("%s = %d, want 2 (one per prefix)", id, got)
+	}
+	if _, stray := snap.Counters[obs.MetricID("confbench_http_requests_total", "route", api.PathInvoke, "status", "200")]; stray {
+		t.Error("unversioned route leaked its own counter label")
+	}
+}
+
+func TestObsEndpointReportsGatewayActivity(t *testing.T) {
+	_, client := testDeployment(t, nil)
+	uploadFn(t, client, "fn", "go", "factors")
+	const invokes = 5
+	for i := 0; i < invokes; i++ {
+		if _, err := client.Invoke(context.Background(), api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX, Scale: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := client.Obs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters[obs.MetricID("confbench_http_requests_total", "route", api.PathV1Invoke, "status", "200")]; got != invokes {
+		t.Errorf("invoke requests = %d, want %d", got, invokes)
+	}
+	if got := snap.Counters[obs.MetricID("confbench_pool_checkouts_total", "tee", "tdx")]; got != invokes {
+		t.Errorf("tdx checkouts = %d, want %d", got, invokes)
+	}
+	if got := snap.Gauges[obs.MetricID("confbench_pool_occupancy", "tee", "tdx")]; got != 0 {
+		t.Errorf("tdx occupancy after drain = %d, want 0", got)
+	}
+	h, ok := snap.Histograms[obs.MetricID("confbench_http_request_seconds", "route", api.PathV1Invoke)]
+	if !ok || h.Count != invokes {
+		t.Errorf("latency histogram = %+v, want count %d", h, invokes)
+	}
+	w, ok := snap.Histograms[obs.MetricID("confbench_pool_checkout_wait_seconds", "tee", "tdx")]
+	if !ok || w.Count != invokes {
+		t.Errorf("checkout wait histogram = %+v, want count %d", w, invokes)
+	}
+}
+
+func TestObsPrometheusContentType(t *testing.T) {
+	g, _ := testDeployment(t, nil)
+	resp, err := http.Get(g.BaseURL() + api.PathV1Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content type = %q", ct)
+	}
+	req, _ := http.NewRequest(http.MethodGet, g.BaseURL()+api.PathV1Obs+"?format=json", nil)
+	jr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	if ct := jr.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json content type = %q", ct)
+	}
+}
+
+func TestInvokeTraceSpansAcrossHop(t *testing.T) {
+	// One traced invoke must yield a single tree rooted at the gateway
+	// whose remote subtree (grafted across the HTTP hop to the host
+	// agent) contributes the guest-side layers.
+	_, client := testDeployment(t, nil)
+	uploadFn(t, client, "fn", "go", "cpustress")
+
+	resp, err := client.Invoke(context.Background(), api.InvokeRequest{
+		Function: "fn", Secure: true, TEE: tee.KindTDX, Scale: 10_000, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil {
+		t.Fatal("traced invoke returned no span tree")
+	}
+	if resp.Trace.Layer != "gateway" {
+		t.Errorf("root layer = %q, want gateway", resp.Trace.Layer)
+	}
+	layers := resp.Trace.Layers()
+	if len(layers) < 4 {
+		t.Errorf("span tree covers %d layers (%v), want >= 4", len(layers), layers)
+	}
+	for _, want := range []string{"gateway", "pool", "hostagent", "vm"} {
+		found := false
+		for _, l := range layers {
+			if l == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("layer %q missing from tree (got %v)", want, layers)
+		}
+	}
+	// The host-agent subtree crossed the wire: it must carry a
+	// positive duration measured on the guest side.
+	remote := resp.Trace.FindLayer("hostagent")
+	if remote == nil {
+		t.Fatal("no hostagent span after graft")
+	}
+	if remote.DurNs <= 0 {
+		t.Errorf("remote span duration = %d", remote.DurNs)
+	}
+
+	// Untraced invokes must stay trace-free on the wire.
+	plain, err := client.Invoke(context.Background(), api.InvokeRequest{
+		Function: "fn", Secure: true, TEE: tee.KindTDX, Scale: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Error("untraced invoke carried a span tree")
+	}
+}
+
+func TestLegacyClientAgainstCurrentGateway(t *testing.T) {
+	// A client pinned to the unversioned surface (as pre-/v1 binaries
+	// were) must keep working against a current gateway.
+	g, _ := testDeployment(t, nil)
+	legacy, err := api.New(g.BaseURL(), api.WithPathPrefix(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	uploadFn(t, legacy, "fn", "go", "factors")
+	if _, err := legacy.Invoke(context.Background(), api.InvokeRequest{Function: "fn", Secure: true, TEE: tee.KindTDX, Scale: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,12 +11,15 @@
 package gateway
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"confbench/internal/hostagent"
+	"confbench/internal/obs"
 	"confbench/internal/tee"
 )
 
@@ -85,16 +88,28 @@ type Pool struct {
 	TEE    tee.Kind
 	policy Policy
 
+	checkouts *obs.Counter
+	waitHist  *obs.Histogram
+	occupancy *obs.Gauge
+
 	mu      sync.RWMutex
 	entries []*Entry
 }
 
-// NewPool builds a pool with the given policy (nil = round-robin).
-func NewPool(kind tee.Kind, policy Policy) *Pool {
+// NewPool builds a pool with the given policy (nil = round-robin),
+// registering its metrics in reg (nil = the default registry).
+func NewPool(kind tee.Kind, policy Policy, reg *obs.Registry) *Pool {
 	if policy == nil {
 		policy = &RoundRobin{}
 	}
-	return &Pool{TEE: kind, policy: policy}
+	r := obs.OrDefault(reg)
+	return &Pool{
+		TEE:       kind,
+		policy:    policy,
+		checkouts: r.Counter("confbench_pool_checkouts_total", "tee", string(kind)),
+		waitHist:  r.Histogram("confbench_pool_checkout_wait_seconds", "tee", string(kind)),
+		occupancy: r.Gauge("confbench_pool_occupancy", "tee", string(kind)),
+	}
 }
 
 // Add registers an endpoint.
@@ -126,8 +141,13 @@ func (p *Pool) InFlight() int64 {
 func (p *Pool) PolicyName() string { return p.policy.Name() }
 
 // Acquire picks an endpoint matching secure, incrementing its
-// in-flight counter. Callers must Release it.
-func (p *Pool) Acquire(secure bool) (*Entry, error) {
+// in-flight counter. Callers must Release it. The checkout is counted
+// and its wait timed; when the context carries an active trace, the
+// checkout gets its own pool-layer span.
+func (p *Pool) Acquire(ctx context.Context, secure bool) (*Entry, error) {
+	_, span := obs.StartSpan(ctx, "pool", "checkout "+string(p.TEE))
+	defer span.End()
+	start := time.Now()
 	p.mu.RLock()
 	candidates := make([]*Entry, 0, len(p.entries))
 	for _, e := range p.entries {
@@ -137,10 +157,16 @@ func (p *Pool) Acquire(secure bool) (*Entry, error) {
 	}
 	p.mu.RUnlock()
 	if len(candidates) == 0 {
+		span.SetAttr("error", "no endpoint")
 		return nil, fmt.Errorf("%w: %s secure=%v", ErrNoEndpoint, p.TEE, secure)
 	}
 	e := candidates[p.policy.Pick(candidates)]
 	e.inFlight.Add(1)
+	p.checkouts.Inc()
+	p.waitHist.Observe(time.Since(start))
+	p.occupancy.Set(p.InFlight())
+	span.SetAttr("vm", e.Endpoint.VMName)
+	span.SetAttr("secure", fmt.Sprintf("%v", secure))
 	return e, nil
 }
 
@@ -148,5 +174,6 @@ func (p *Pool) Acquire(secure bool) (*Entry, error) {
 func (p *Pool) Release(e *Entry) {
 	if e != nil {
 		e.inFlight.Add(-1)
+		p.occupancy.Set(p.InFlight())
 	}
 }

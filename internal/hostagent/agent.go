@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"confbench/internal/obs"
 	"confbench/internal/relay"
 	"confbench/internal/tee"
 	"confbench/internal/vm"
@@ -43,6 +44,9 @@ type AgentConfig struct {
 	Guest tee.GuestConfig
 	// Catalog backs the VMs' launchers (nil = default).
 	Catalog *workloads.Registry
+	// Obs is the metrics registry the guest agents report to (nil =
+	// the process-wide default).
+	Obs *obs.Registry
 }
 
 // NewAgent boots a host: launches the VM pair, starts a guest agent in
@@ -63,7 +67,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	}
 	a := &Agent{name: cfg.Name, backend: cfg.Backend, pair: pair}
 	for _, machine := range []*vm.VM{pair.Secure, pair.Normal} {
-		gs, err := NewGuestServer(machine)
+		gs, err := NewGuestServer(machine, cfg.Obs)
 		if err != nil {
 			_ = a.Close()
 			return nil, err

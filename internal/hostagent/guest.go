@@ -18,6 +18,7 @@ import (
 
 	"confbench/internal/api"
 	"confbench/internal/cberr"
+	"confbench/internal/obs"
 	"confbench/internal/vm"
 )
 
@@ -28,14 +29,25 @@ type GuestServer struct {
 	server   *http.Server
 	listener net.Listener
 	addr     string
+
+	requests *obs.Counter
+	errs     *obs.Counter
+	latency  *obs.Histogram
 }
 
-// NewGuestServer starts the guest agent on a localhost ephemeral port.
-func NewGuestServer(machine *vm.VM) (*GuestServer, error) {
+// NewGuestServer starts the guest agent on a localhost ephemeral port,
+// reporting its request metrics to reg (nil = the default registry).
+func NewGuestServer(machine *vm.VM, reg *obs.Registry) (*GuestServer, error) {
 	if machine == nil {
 		return nil, errors.New("hostagent: nil vm")
 	}
-	g := &GuestServer{vm: machine}
+	r := obs.OrDefault(reg)
+	g := &GuestServer{
+		vm:       machine,
+		requests: r.Counter("confbench_hostagent_requests_total", "vm", machine.Name()),
+		errs:     r.Counter("confbench_hostagent_errors_total", "vm", machine.Name()),
+		latency:  r.Histogram("confbench_hostagent_request_seconds", "vm", machine.Name()),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(api.GuestPathInvoke, g.handleInvoke)
 	mux.HandleFunc(api.GuestPathAttest, g.handleAttest)
@@ -68,17 +80,30 @@ func (g *GuestServer) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	}
 	var req api.GuestInvokeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		g.errs.Inc()
 		api.WriteError(w, http.StatusBadRequest,
 			cberr.Wrap(cberr.CodeInvalid, cberr.LayerHost, fmt.Errorf("decode request: %w", err)))
 		return
 	}
-	res, err := g.vm.InvokeFunction(r.Context(), req.Function, req.Scale)
+	g.requests.Inc()
+	start := time.Now()
+	// When the caller wants a trace, this side of the network hop
+	// starts its own root (the gateway's clock is not ours); the tree
+	// rides back in the response for the gateway to graft.
+	ctx := r.Context()
+	var root *obs.Span
+	if req.Trace {
+		ctx, root = obs.NewRoot(ctx, "hostagent", "invoke "+g.vm.Name())
+	}
+	res, err := g.vm.InvokeFunction(ctx, req.Function, req.Scale)
+	g.latency.Observe(time.Since(start))
 	if err != nil {
+		g.errs.Inc()
 		err = cberr.From(err, cberr.LayerHost)
 		api.WriteError(w, cberr.HTTPStatus(err), err)
 		return
 	}
-	api.WriteJSON(w, http.StatusOK, api.InvokeResponse{
+	resp := api.InvokeResponse{
 		Output:      res.Output,
 		WallNs:      res.Wall.Nanoseconds(),
 		BootstrapNs: res.Bootstrap.Nanoseconds(),
@@ -86,7 +111,12 @@ func (g *GuestServer) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		Secure:      res.Secure,
 		Platform:    res.Platform,
 		VM:          g.vm.Name(),
-	})
+	}
+	if root != nil {
+		root.End()
+		resp.Trace = root.Data()
+	}
+	api.WriteJSON(w, http.StatusOK, resp)
 }
 
 func (g *GuestServer) handleAttest(w http.ResponseWriter, r *http.Request) {

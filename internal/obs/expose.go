@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// HistogramSnapshot is the JSON form of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds in seconds; the implicit
+	// final bucket is +Inf.
+	Bounds []float64 `json:"bounds"`
+	// Counts are per-bucket (non-cumulative) observation counts, one
+	// per bound plus the +Inf overflow bucket.
+	Counts []uint64 `json:"counts"`
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+	// SumSeconds is the sum of all observed durations.
+	SumSeconds float64 `json:"sum_seconds"`
+}
+
+// Snapshot is a point-in-time copy of a registry, keyed by canonical
+// metric id (see MetricID). It is the JSON body of GET /v1/obs.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, e := range r.sortedEntries() {
+		id := e.id()
+		switch e.kind {
+		case kindCounter:
+			snap.Counters[id] = e.counter.Value()
+		case kindGauge:
+			snap.Gauges[id] = e.gauge.Value()
+		case kindHistogram:
+			h := e.hist
+			hs := HistogramSnapshot{
+				Bounds:     append([]float64(nil), h.bounds...),
+				Counts:     make([]uint64, len(h.buckets)),
+				Count:      h.Count(),
+				SumSeconds: h.Sum().Seconds(),
+			}
+			for i := range h.buckets {
+				hs.Counts[i] = h.buckets[i].Load()
+			}
+			snap.Histograms[id] = hs
+		}
+	}
+	return snap
+}
+
+// formatFloat renders a float the way Prometheus clients expect
+// (shortest round-trip representation).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4), ordered by metric id so
+// consecutive scrapes of an idle registry are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]bool)
+	for _, e := range r.sortedEntries() {
+		if !typed[e.family] {
+			typed[e.family] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.family, e.kind); err != nil {
+				return err
+			}
+		}
+		switch e.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n",
+				e.family, labelBlock(e.labels, "", ""), e.counter.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n",
+				e.family, labelBlock(e.labels, "", ""), e.gauge.Value()); err != nil {
+				return err
+			}
+		case kindHistogram:
+			if err := writePrometheusHistogram(w, e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePrometheusHistogram emits cumulative le buckets plus _sum and
+// _count series for one histogram entry.
+func writePrometheusHistogram(w io.Writer, e *entry) error {
+	h := e.hist
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			e.family, labelBlock(e.labels, "le", formatFloat(bound)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		e.family, labelBlock(e.labels, "le", "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		e.family, labelBlock(e.labels, "", ""), formatFloat(h.Sum().Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		e.family, labelBlock(e.labels, "", ""), h.Count())
+	return err
+}

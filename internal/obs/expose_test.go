@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedRegistry builds a registry with deterministic contents for the
+// golden exposition tests.
+func fixedRegistry() *Registry {
+	r := New()
+	r.Counter("confbench_http_requests_total", "route", "/v1/invoke", "status", "200").Add(10)
+	r.Counter("confbench_http_requests_total", "route", "/v1/health", "status", "200").Add(2)
+	r.Gauge("confbench_pool_occupancy", "tee", "tdx").Set(3)
+	h := r.HistogramWith("confbench_http_request_seconds", []float64{0.001, 0.01, 0.1}, "route", "/v1/invoke")
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(2 * time.Second)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := fixedRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE confbench_http_request_seconds histogram
+confbench_http_request_seconds_bucket{route="/v1/invoke",le="0.001"} 1
+confbench_http_request_seconds_bucket{route="/v1/invoke",le="0.01"} 2
+confbench_http_request_seconds_bucket{route="/v1/invoke",le="0.1"} 2
+confbench_http_request_seconds_bucket{route="/v1/invoke",le="+Inf"} 3
+confbench_http_request_seconds_sum{route="/v1/invoke"} 2.0055
+confbench_http_request_seconds_count{route="/v1/invoke"} 3
+# TYPE confbench_http_requests_total counter
+confbench_http_requests_total{route="/v1/health",status="200"} 2
+confbench_http_requests_total{route="/v1/invoke",status="200"} 10
+# TYPE confbench_pool_occupancy gauge
+confbench_pool_occupancy{tee="tdx"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("prometheus exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := fixedRegistry()
+	var a, b strings.Builder
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("consecutive scrapes of an idle registry differ")
+	}
+}
+
+func TestSnapshotJSONGolden(t *testing.T) {
+	snap := fixedRegistry().Snapshot()
+
+	if got := snap.Counters[`confbench_http_requests_total{route="/v1/invoke",status="200"}`]; got != 10 {
+		t.Errorf("invoke counter = %d, want 10", got)
+	}
+	if got := snap.Gauges[`confbench_pool_occupancy{tee="tdx"}`]; got != 3 {
+		t.Errorf("occupancy gauge = %d, want 3", got)
+	}
+	h, ok := snap.Histograms[`confbench_http_request_seconds{route="/v1/invoke"}`]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if h.Count != 3 {
+		t.Errorf("histogram count = %d, want 3", h.Count)
+	}
+	wantCounts := []uint64{1, 1, 0, 1}
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+
+	// The snapshot must round-trip through JSON unchanged.
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters[`confbench_http_requests_total{route="/v1/invoke",status="200"}`] != 10 {
+		t.Error("counter lost in JSON round-trip")
+	}
+	if back.Histograms[`confbench_http_request_seconds{route="/v1/invoke"}`].Count != 3 {
+		t.Error("histogram lost in JSON round-trip")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0.001:  "0.001",
+		2.0055: "2.0055",
+		1:      "1",
+		1e-07:  "1e-07",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

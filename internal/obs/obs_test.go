@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	r := New()
+	c := r.Counter("confbench_test_total", "k", "v")
+	const goroutines, perG = 32, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestCounterHandleIdentity(t *testing.T) {
+	r := New()
+	a := r.Counter("confbench_x_total", "tee", "tdx")
+	b := r.Counter("confbench_x_total", "tee", "tdx")
+	if a != b {
+		t.Error("same identity returned distinct counters")
+	}
+	other := r.Counter("confbench_x_total", "tee", "sev-snp")
+	if a == other {
+		t.Error("different labels returned the same counter")
+	}
+	// Label order must not matter.
+	c1 := r.Counter("confbench_y_total", "a", "1", "b", "2")
+	c2 := r.Counter("confbench_y_total", "b", "2", "a", "1")
+	if c1 != c2 {
+		t.Error("label order changed metric identity")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := New()
+	g := r.Gauge("confbench_depth")
+	g.Set(7)
+	g.Inc()
+	g.Add(2)
+	g.Dec()
+	if got := g.Value(); got != 9 {
+		t.Errorf("gauge = %d, want 9", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Errorf("gauge = %d, want -3", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := New()
+	h := r.Histogram("confbench_lat_seconds")
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(g+1) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("count = %d, want %d", got, goroutines*perG)
+	}
+	var wantSum time.Duration
+	for g := 0; g < goroutines; g++ {
+		wantSum += time.Duration(g+1) * time.Microsecond * perG
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("sum = %v, want %v", got, wantSum)
+	}
+	// Per-bucket counts must add up to the total.
+	var bucketSum uint64
+	for i := range h.buckets {
+		bucketSum += h.buckets[i].Load()
+	}
+	if bucketSum != goroutines*perG {
+		t.Errorf("bucket sum = %d, want %d", bucketSum, goroutines*perG)
+	}
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := newHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // <= 0.001 → bucket 0
+	h.Observe(time.Millisecond)       // == 0.001 → bucket 0 (le)
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(time.Second)            // +Inf bucket
+	want := []uint64{2, 1, 0, 1}
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestMetricID(t *testing.T) {
+	got := MetricID("confbench_http_requests_total", "status", "200", "route", "/v1/invoke")
+	want := `confbench_http_requests_total{route="/v1/invoke",status="200"}`
+	if got != want {
+		t.Errorf("MetricID = %q, want %q", got, want)
+	}
+	if got := MetricID("plain"); got != "plain" {
+		t.Errorf("unlabeled MetricID = %q", got)
+	}
+}
+
+func TestOrDefault(t *testing.T) {
+	if OrDefault(nil) != Default() {
+		t.Error("OrDefault(nil) != Default()")
+	}
+	r := New()
+	if OrDefault(r) != r {
+		t.Error("OrDefault(r) != r")
+	}
+}
+
+func TestRegistryConcurrentLookup(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("confbench_shared_total", "k", "v").Inc()
+				r.Gauge("confbench_shared_gauge").Set(int64(i))
+				r.Histogram("confbench_shared_seconds").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("confbench_shared_total", "k", "v").Value(); got != 16*500 {
+		t.Errorf("counter = %d, want %d", got, 16*500)
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderTree renders a span tree as indented text, one span per line:
+//
+//	[gateway] /v1/invoke — 12.3ms
+//	  [pool] checkout tdx — 8µs (vm=tdx-host-secure)
+//	  [gateway] relay-hop 127.0.0.1:40001 — 11.9ms
+//	    [hostagent] invoke tdx-host-secure — 11.2ms
+//	      [vm] exec hot-loop — 10.8ms
+//
+// Attributes are sorted by key so output is deterministic.
+func RenderTree(d *SpanData) string {
+	var b strings.Builder
+	renderSpan(&b, d, 0)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func renderSpan(b *strings.Builder, d *SpanData, depth int) {
+	if d == nil {
+		return
+	}
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(b, "[%s] %s — %s", d.Layer, d.Name, formatDur(d.Duration()))
+	if len(d.Attrs) > 0 {
+		keys := make([]string, 0, len(d.Attrs))
+		for k := range d.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + "=" + d.Attrs[k]
+		}
+		fmt.Fprintf(b, " (%s)", strings.Join(parts, " "))
+	}
+	b.WriteByte('\n')
+	for _, c := range d.Children {
+		renderSpan(b, c, depth+1)
+	}
+}
+
+// formatDur rounds a duration to a readable precision.
+func formatDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(100 * time.Nanosecond).String()
+	default:
+		return d.String()
+	}
+}

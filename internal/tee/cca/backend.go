@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"confbench/internal/cpumodel"
+	"confbench/internal/obs"
 	"confbench/internal/tee"
 )
 
@@ -17,6 +18,9 @@ type Options struct {
 	RMMVersion string
 	// Seed drives deterministic noise.
 	Seed int64
+	// Obs is the metrics registry the RMM and guests report to (nil =
+	// the process-wide default).
+	Obs *obs.Registry
 }
 
 // Backend implements tee.Backend for ARM CCA on the FVP simulator.
@@ -26,8 +30,9 @@ type Options struct {
 // also exhibits elevated jitter, and ratios compare realm-in-FVP
 // against normal-VM-in-FVP.
 type Backend struct {
-	host cpumodel.Profile
-	rmm  *RMM
+	host   cpumodel.Profile
+	rmm    *RMM
+	obsreg *obs.Registry
 
 	mu       sync.Mutex
 	nextSeed int64
@@ -45,9 +50,14 @@ func NewBackend(opts Options) (*Backend, error) {
 	if err := opts.Host.Validate(); err != nil {
 		return nil, err
 	}
+	rmm := NewRMM(opts.RMMVersion)
+	if opts.Obs != nil {
+		rmm.SetObsRegistry(opts.Obs)
+	}
 	return &Backend{
 		host:     opts.Host,
-		rmm:      NewRMM(opts.RMMVersion),
+		rmm:      rmm,
+		obsreg:   opts.Obs,
 		nextSeed: opts.Seed + 1,
 		nextPA:   GranuleSize, // skip granule 0
 	}, nil
@@ -154,6 +164,7 @@ func (b *Backend) Launch(cfg tee.GuestConfig) (tee.Guest, error) {
 		Model:    b.CostModel(),
 		BootBase: bootBaseNs,
 		Seed:     seed,
+		Obs:      b.obsreg,
 		// The FVP lacks the hardware support attestation requires
 		// (§IV-B: "We leave out CCA as the simulator lacks the
 		// required hardware support"), so no Report hook is set and
@@ -177,5 +188,6 @@ func (b *Backend) LaunchNormal(cfg tee.GuestConfig) (tee.Guest, error) {
 		Model:    normalCostModel(),
 		BootBase: bootBaseNs,
 		Seed:     seed,
+		Obs:      b.obsreg,
 	}), nil
 }

@@ -24,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"confbench/internal/obs"
 )
 
 // GranuleSize is the delegation granularity (4 KiB granules).
@@ -111,6 +113,9 @@ type RMM struct {
 	recs      map[uint64]*REC
 	nextID    uint64
 	nextRecID uint64
+
+	// calls counts RMI and RSI invocations the monitor served.
+	calls *obs.Counter
 }
 
 // NewRMM boots a Realm Management Monitor.
@@ -125,7 +130,16 @@ func NewRMM(version string) *RMM {
 		recs:      make(map[uint64]*REC, 8),
 		nextID:    1,
 		nextRecID: 1,
+		calls:     obs.Default().Counter("confbench_tee_rmm_calls_total", "tee", "cca"),
 	}
+}
+
+// SetObsRegistry points the monitor's call counter at reg instead of
+// the process-wide default. Call before serving traffic.
+func (m *RMM) SetObsRegistry(reg *obs.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calls = obs.OrDefault(reg).Counter("confbench_tee_rmm_calls_total", "tee", "cca")
 }
 
 // Version returns the RMM release string.
@@ -149,6 +163,7 @@ func (m *RMM) RMIGranuleDelegate(pa uint64) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.calls.Inc()
 	if g, ok := m.granules[idx]; ok && g.delegated {
 		return ErrGranuleDelegated
 	}
@@ -165,6 +180,7 @@ func (m *RMM) RMIGranuleUndelegate(pa uint64) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.calls.Inc()
 	g, ok := m.granules[idx]
 	if !ok || !g.delegated {
 		return ErrGranuleUndelegated
@@ -181,6 +197,7 @@ func (m *RMM) RMIGranuleUndelegate(pa uint64) error {
 func (m *RMM) RMIRealmCreate(rpv []byte) (uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.calls.Inc()
 	id := m.nextID
 	m.nextID++
 	r := &Realm{
@@ -216,6 +233,7 @@ func (m *RMM) RMIDataCreate(realmID, pa uint64, content []byte) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.calls.Inc()
 	r, err := m.realm(realmID)
 	if err != nil {
 		return err
@@ -250,6 +268,7 @@ func (m *RMM) RMIDataCreate(realmID, pa uint64, content []byte) error {
 func (m *RMM) RMIRealmActivate(realmID uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.calls.Inc()
 	r, err := m.realm(realmID)
 	if err != nil {
 		return err
@@ -266,6 +285,7 @@ func (m *RMM) RMIRealmActivate(realmID uint64) error {
 func (m *RMM) RMIRealmDestroy(realmID uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.calls.Inc()
 	r, err := m.realm(realmID)
 	if err != nil {
 		return err
@@ -288,6 +308,7 @@ func (m *RMM) RMIRealmDestroy(realmID uint64) error {
 func (m *RMM) RSIHostCall(realmID uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.calls.Inc()
 	r, err := m.realm(realmID)
 	if err != nil {
 		return err
@@ -304,6 +325,7 @@ func (m *RMM) RSIHostCall(realmID uint64) error {
 func (m *RMM) RSIMeasurementRead(realmID uint64) ([MeasurementSize]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.calls.Inc()
 	r, err := m.realm(realmID)
 	if err != nil {
 		return [MeasurementSize]byte{}, err

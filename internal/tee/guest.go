@@ -10,6 +10,7 @@ import (
 
 	"confbench/internal/cpumodel"
 	"confbench/internal/meter"
+	"confbench/internal/obs"
 )
 
 // guestSeq numbers guests for unique IDs across all backends.
@@ -37,6 +38,11 @@ type ModelGuest struct {
 	model  CostModel
 	boot   time.Duration
 
+	// transitions counts priced world/VM transitions; bounceBytes
+	// counts bytes that crossed the bounce buffer (secure I/O).
+	transitions *obs.Counter
+	bounceBytes *obs.Counter
+
 	mu        sync.Mutex
 	rng       *rand.Rand
 	destroyed bool
@@ -59,6 +65,9 @@ type ModelGuestConfig struct {
 	Seed     int64
 	Report   ReportFunc
 	Destroy  DestroyFunc
+	// Obs is the metrics registry transition and bounce-buffer
+	// counters report to (nil = the process-wide default).
+	Obs *obs.Registry
 }
 
 // NewModelGuest builds a guest from cfg.
@@ -67,15 +76,20 @@ func NewModelGuest(cfg ModelGuestConfig) *ModelGuest {
 	if cfg.Secure {
 		boot += cfg.Model.BootCost()
 	}
+	r := obs.OrDefault(cfg.Obs)
+	kind := string(cfg.Kind)
+	r.Counter("confbench_tee_guest_launches_total", "tee", kind).Inc()
 	return &ModelGuest{
-		id:      NextGuestID(cfg.IDPrefix),
-		kind:    cfg.Kind,
-		secure:  cfg.Secure,
-		model:   cfg.Model.WithSalt(uint64(cfg.Seed) * 0x9E3779B97F4A7C15),
-		boot:    boot,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		report:  cfg.Report,
-		destroy: cfg.Destroy,
+		id:          NextGuestID(cfg.IDPrefix),
+		kind:        cfg.Kind,
+		secure:      cfg.Secure,
+		model:       cfg.Model.WithSalt(uint64(cfg.Seed) * 0x9E3779B97F4A7C15),
+		boot:        boot,
+		transitions: r.Counter("confbench_tee_transitions_total", "tee", kind),
+		bounceBytes: r.Counter("confbench_tee_bounce_buffer_bytes_total", "tee", kind),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		report:      cfg.Report,
+		destroy:     cfg.Destroy,
 	}
 }
 
@@ -94,8 +108,17 @@ func (g *ModelGuest) BootCost() time.Duration { return g.boot }
 // Price implements Guest.
 func (g *ModelGuest) Price(u meter.Usage, base cpumodel.Breakdown) Charge {
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.model.Apply(u, base, g.rng)
+	charge := g.model.Apply(u, base, g.rng)
+	g.mu.Unlock()
+	if g.secure {
+		if charge.Exits > 0 {
+			g.transitions.Add(charge.Exits)
+		}
+		if bytes := u.Get(meter.IOReadBytes) + u.Get(meter.IOWriteBytes); bytes > 0 {
+			g.bounceBytes.Add(bytes)
+		}
+	}
+	return charge
 }
 
 // AttestationReport implements Guest.

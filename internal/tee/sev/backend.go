@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"confbench/internal/cpumodel"
+	"confbench/internal/obs"
 	"confbench/internal/tee"
 )
 
@@ -15,13 +16,17 @@ type Options struct {
 	Host cpumodel.Profile
 	// Seed drives deterministic noise and the chip identity.
 	Seed int64
+	// Obs is the metrics registry the RMP and guests report to (nil =
+	// the process-wide default).
+	Obs *obs.Registry
 }
 
 // Backend implements tee.Backend for AMD SEV-SNP.
 type Backend struct {
-	host cpumodel.Profile
-	sp   *AMDSP
-	rmp  *RMP
+	host   cpumodel.Profile
+	sp     *AMDSP
+	rmp    *RMP
+	obsreg *obs.Registry
 
 	mu       sync.Mutex
 	nextASID uint32
@@ -43,10 +48,15 @@ func NewBackend(opts Options) (*Backend, error) {
 	if err != nil {
 		return nil, err
 	}
+	rmp := NewRMP()
+	if opts.Obs != nil {
+		rmp.SetObsRegistry(opts.Obs)
+	}
 	return &Backend{
 		host:     opts.Host,
 		sp:       sp,
-		rmp:      NewRMP(),
+		rmp:      rmp,
+		obsreg:   opts.Obs,
 		nextASID: 1,
 		nextSeed: opts.Seed + 1,
 	}, nil
@@ -152,6 +162,7 @@ func (b *Backend) Launch(cfg tee.GuestConfig) (tee.Guest, error) {
 		Model:    b.CostModel(),
 		BootBase: bootBaseNs,
 		Seed:     seed,
+		Obs:      b.obsreg,
 		Report: func(_ context.Context, nonce []byte) ([]byte, error) {
 			r, err := sp.GuestRequestReport(asid, 0, nonce)
 			if err != nil {
@@ -181,5 +192,6 @@ func (b *Backend) LaunchNormal(cfg tee.GuestConfig) (tee.Guest, error) {
 		Model:    tee.NormalCostModel(),
 		BootBase: bootBaseNs,
 		Seed:     seed,
+		Obs:      b.obsreg,
 	}), nil
 }

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"confbench/internal/obs"
 )
 
 // PageSize is the RMP granularity.
@@ -63,11 +65,25 @@ type RMPEntry struct {
 type RMP struct {
 	mu      sync.Mutex
 	entries map[uint64]*RMPEntry
+
+	// ops counts RMP operations (RMPUPDATE, PVALIDATE, hardware walks).
+	ops *obs.Counter
 }
 
 // NewRMP returns an empty reverse map table.
 func NewRMP() *RMP {
-	return &RMP{entries: make(map[uint64]*RMPEntry, 256)}
+	return &RMP{
+		entries: make(map[uint64]*RMPEntry, 256),
+		ops:     obs.Default().Counter("confbench_tee_rmp_ops_total", "tee", "sev-snp"),
+	}
+}
+
+// SetObsRegistry points the RMP's operation counter at reg instead of
+// the process-wide default. Call before serving traffic.
+func (r *RMP) SetObsRegistry(reg *obs.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = obs.OrDefault(reg).Counter("confbench_tee_rmp_ops_total", "tee", "sev-snp")
 }
 
 func pfn(pa uint64) (uint64, error) {
@@ -91,6 +107,7 @@ func (r *RMP) Assign(pa uint64, asid uint32) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.ops.Inc()
 	if e, ok := r.entries[n]; ok && e.Assigned {
 		return fmt.Errorf("%w: page %#x owned by ASID %d", ErrPageAssigned, pa, e.ASID)
 	}
@@ -111,6 +128,7 @@ func (r *RMP) Validate(pa uint64, asid uint32) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.ops.Inc()
 	e, ok := r.entries[n]
 	if !ok || !e.Assigned {
 		return ErrPageNotAssigned
@@ -138,6 +156,7 @@ func (r *RMP) Check(pa uint64, asid uint32, vmpl int, perm uint8) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.ops.Inc()
 	e, ok := r.entries[n]
 	if !ok || !e.Assigned {
 		return ErrPageNotAssigned

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"confbench/internal/cpumodel"
+	"confbench/internal/obs"
 	"confbench/internal/tee"
 )
 
@@ -20,12 +21,16 @@ type Options struct {
 	// Seed drives deterministic noise; guests derive their seeds from
 	// it unless GuestConfig.Seed is set.
 	Seed int64
+	// Obs is the metrics registry the module and guests report to
+	// (nil = the process-wide default).
+	Obs *obs.Registry
 }
 
 // Backend implements tee.Backend for Intel TDX.
 type Backend struct {
 	host   cpumodel.Profile
 	module *Module
+	obsreg *obs.Registry
 	seed   int64
 
 	mu       sync.Mutex
@@ -45,9 +50,14 @@ func NewBackend(opts Options) (*Backend, error) {
 	if opts.FirmwareVersion == "" {
 		opts.FirmwareVersion = CurrentFirmware
 	}
+	module := NewModule(opts.FirmwareVersion, opts.Seed)
+	if opts.Obs != nil {
+		module.SetObsRegistry(opts.Obs)
+	}
 	return &Backend{
 		host:     opts.Host,
-		module:   NewModule(opts.FirmwareVersion, opts.Seed),
+		module:   module,
+		obsreg:   opts.Obs,
 		seed:     opts.Seed,
 		nextSeed: opts.Seed + 1,
 	}, nil
@@ -168,6 +178,7 @@ func (b *Backend) Launch(cfg tee.GuestConfig) (tee.Guest, error) {
 		Model:    b.CostModel(),
 		BootBase: bootBaseNs,
 		Seed:     b.guestSeed(cfg),
+		Obs:      b.obsreg,
 		Report: func(_ context.Context, nonce []byte) ([]byte, error) {
 			r, err := mod.TDGMrReport(id, nonce)
 			if err != nil {
@@ -189,5 +200,6 @@ func (b *Backend) LaunchNormal(cfg tee.GuestConfig) (tee.Guest, error) {
 		Model:    tee.NormalCostModel(),
 		BootBase: bootBaseNs,
 		Seed:     b.guestSeed(cfg),
+		Obs:      b.obsreg,
 	}), nil
 }

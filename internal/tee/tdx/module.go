@@ -22,6 +22,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"confbench/internal/obs"
 )
 
 // Lifecycle errors returned by the module.
@@ -140,6 +142,9 @@ type Module struct {
 	tds      map[uint64]*TD
 	nextID   uint64
 	shutdown bool
+
+	// calls counts SEAMCALL/TDCALL leaf invocations the module served.
+	calls *obs.Counter
 }
 
 // CurrentFirmware is the fixed module version the paper's final
@@ -166,7 +171,16 @@ func NewModule(version string, seed int64) *Module {
 		macKey: key[:],
 		tds:    make(map[uint64]*TD, 4),
 		nextID: 1,
+		calls:  obs.Default().Counter("confbench_tee_module_calls_total", "tee", "tdx"),
 	}
+}
+
+// SetObsRegistry points the module's call counter at reg instead of
+// the process-wide default. Call before serving traffic.
+func (m *Module) SetObsRegistry(reg *obs.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calls = obs.OrDefault(reg).Counter("confbench_tee_module_calls_total", "tee", "tdx")
 }
 
 // Info returns the module description.
@@ -184,6 +198,7 @@ func (m *Module) Shutdown() {
 }
 
 func (m *Module) get(id uint64) (*TD, error) {
+	m.calls.Inc()
 	if m.shutdown {
 		return nil, ErrModuleShutdown
 	}
@@ -200,6 +215,7 @@ func (m *Module) get(id uint64) (*TD, error) {
 func (m *Module) TDHMngCreate() (uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.calls.Inc()
 	if m.shutdown {
 		return 0, ErrModuleShutdown
 	}

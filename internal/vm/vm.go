@@ -22,6 +22,7 @@ import (
 	"confbench/internal/faas"
 	"confbench/internal/faas/langs"
 	"confbench/internal/meter"
+	"confbench/internal/obs"
 	"confbench/internal/perfmon"
 	"confbench/internal/tee"
 	"confbench/internal/workloads"
@@ -162,12 +163,18 @@ func (v *VM) InvokeFunction(ctx context.Context, fn faas.Function, scale int) (R
 		return Result{}, cberr.Wrap(cberr.CodeInvalid, cberr.LayerVM,
 			fmt.Errorf("%w: %q", ErrNoLauncher, fn.Language))
 	}
-	lr, err := l.Launch(ctx, fn, scale)
+	execCtx, execSpan := obs.StartSpan(ctx, "vm", "exec "+fn.Name)
+	lr, err := l.Launch(execCtx, fn, scale)
+	execSpan.End()
 	if err != nil {
 		return Result{}, cberr.From(err, cberr.LayerVM)
 	}
+	_, priceSpan := obs.StartSpan(ctx, "tee", "price "+string(v.Platform()))
 	charge, perf := v.price(lr.RunUsage)
 	bootCharge, _ := v.price(lr.BootstrapUsage)
+	priceSpan.SetAttrInt("exits", int64(charge.Exits))
+	priceSpan.SetAttrInt("wall_ns", charge.Total.Nanoseconds())
+	priceSpan.End()
 	return Result{
 		Output:    lr.Output,
 		Wall:      charge.Total,

@@ -1,0 +1,170 @@
+package confbench_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"confbench"
+	"confbench/internal/obs"
+)
+
+// TestObsSmoke is the end-to-end observability check behind
+// `make obs-smoke`: boot a cluster with a dedicated registry, run a
+// mixed batch of invocations, and assert the whole plane — HTTP
+// routes, pool checkouts, TEE structural counters — reports non-zero,
+// mutually consistent values.
+func TestObsSmoke(t *testing.T) {
+	reg := confbench.NewObsRegistry()
+	c, err := confbench.New(
+		confbench.WithTEEs(confbench.KindTDX, confbench.KindSEV),
+		confbench.WithGuestMemoryMB(8),
+		confbench.WithObsRegistry(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	client := c.Client()
+	// iostress meters real I/O → syscalls → priced world transitions
+	// and bounce-buffer traffic, so the TEE counters must move.
+	if err := client.Upload(ctx, confbench.Function{Name: "smoke", Language: "go", Workload: "iostress"}); err != nil {
+		t.Fatal(err)
+	}
+	const invokes = 10
+	for i := 0; i < invokes; i++ {
+		// Alternate platforms and security so every pool and both guest
+		// flavors see traffic.
+		req := confbench.InvokeRequest{
+			Function: "smoke",
+			Secure:   i%2 == 0,
+			TEE:      confbench.KindTDX,
+			Scale:    2, // iostress scale is ~MB of traffic; keep the smoke run quick
+		}
+		if i%4 >= 2 {
+			req.TEE = confbench.KindSEV
+		}
+		if _, err := client.Invoke(ctx, req); err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+	}
+
+	snap, err := client.Obs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := snap.Counters[obs.MetricID("confbench_http_requests_total", "route", "/v1/invoke", "status", "200")]; got != invokes {
+		t.Errorf("invoke route counter = %d, want %d", got, invokes)
+	}
+	checkouts := snap.Counters[obs.MetricID("confbench_pool_checkouts_total", "tee", "tdx")] +
+		snap.Counters[obs.MetricID("confbench_pool_checkouts_total", "tee", "sev-snp")]
+	if checkouts != invokes {
+		t.Errorf("total pool checkouts = %d, want %d", checkouts, invokes)
+	}
+	for _, kind := range []string{"tdx", "sev-snp"} {
+		if got := snap.Counters[obs.MetricID("confbench_tee_guest_launches_total", "tee", kind)]; got != 1 {
+			t.Errorf("%s secure guest launches = %d, want 1", kind, got)
+		}
+		if got := snap.Counters[obs.MetricID("confbench_tee_transitions_total", "tee", kind)]; got == 0 {
+			t.Errorf("%s transitions = 0, want > 0 after secure invokes", kind)
+		}
+		if got := snap.Counters[obs.MetricID("confbench_tee_bounce_buffer_bytes_total", "tee", kind)]; got == 0 {
+			t.Errorf("%s bounce-buffer bytes = 0, want > 0 after secure I/O", kind)
+		}
+	}
+	if got := snap.Counters[obs.MetricID("confbench_tee_guest_launches_total", "tee", "none")]; got != 2 {
+		t.Errorf("normal guest launches = %d, want 2 (one per host)", got)
+	}
+	if got := snap.Counters[obs.MetricID("confbench_tee_module_calls_total", "tee", "tdx")]; got == 0 {
+		t.Error("TDX module call counter = 0, want > 0 after guest builds")
+	}
+	if got := snap.Counters[obs.MetricID("confbench_tee_rmp_ops_total", "tee", "sev-snp")]; got == 0 {
+		t.Error("SEV RMP op counter = 0, want > 0 after guest builds")
+	}
+	if got := snap.Counters[obs.MetricID("confbench_hostagent_requests_total", "vm", "tdx-host-secure")]; got == 0 {
+		t.Error("host agent secure-VM request counter = 0")
+	}
+
+	// The same numbers must appear on the Prometheus surface.
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	text := b.String()
+	for _, want := range []string{
+		`confbench_http_requests_total{route="/v1/invoke",status="200"} 10`,
+		`# TYPE confbench_pool_checkouts_total counter`,
+		`confbench_tee_guest_launches_total{tee="tdx"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+}
+
+func TestNewWithOptions(t *testing.T) {
+	reg := confbench.NewObsRegistry()
+	c, err := confbench.New(
+		confbench.WithTEEs(confbench.KindSEV),
+		confbench.WithSeed(7),
+		confbench.WithGuestMemoryMB(8),
+		confbench.WithWorkers(4),
+		confbench.WithLeastLoaded(),
+		confbench.WithObsRegistry(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Kinds(); len(got) != 1 || got[0] != confbench.KindSEV {
+		t.Errorf("kinds = %v", got)
+	}
+	if c.Workers() != 4 {
+		t.Errorf("workers = %d", c.Workers())
+	}
+	if c.Obs() != reg {
+		t.Error("cluster not using the supplied registry")
+	}
+	pools, err := c.Client().Pools(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pools[0].Policy != "least-loaded" {
+		t.Errorf("policy = %s", pools[0].Policy)
+	}
+}
+
+func TestRootReexportsAreUsableEndToEnd(t *testing.T) {
+	// The re-exported aliases must interoperate with values produced by
+	// the internal packages — the quickstart example depends on it.
+	c, err := confbench.New(
+		confbench.WithTEEs(confbench.KindTDX),
+		confbench.WithGuestMemoryMB(8),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	var client *confbench.Client = c.Client()
+	fn := confbench.Function{Name: "alias", Language: "python", Workload: "factors"}
+	if err := client.Upload(ctx, fn); err != nil {
+		t.Fatal(err)
+	}
+	var resp confbench.InvokeResponse
+	resp, err = client.Invoke(ctx, confbench.InvokeRequest{
+		Function: "alias", Secure: true, TEE: confbench.KindTDX, Scale: 5040, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr *confbench.SpanData = resp.Trace
+	if tr == nil {
+		t.Fatal("no trace on traced invoke")
+	}
+	out := confbench.RenderTrace(tr)
+	if !strings.Contains(out, "[gateway]") || !strings.Contains(out, "[vm]") {
+		t.Errorf("rendered trace missing layers:\n%s", out)
+	}
+}
