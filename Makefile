@@ -1,11 +1,12 @@
 GO ?= go
 
 # Concurrency-sensitive packages: the bench Runner worker pool, the
-# gateway (TEE pools, load balancer, forwarding), the retrying HTTP
-# client, and the sharded metrics registry.
-RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/api/... ./internal/obs/...
+# gateway (TEE pools, circuit breakers, load balancer, forwarding),
+# the retrying HTTP client, the fault plane, and the sharded metrics
+# registry.
+RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/api/... ./internal/obs/... ./internal/faultplane/...
 
-.PHONY: build test vet race obs-smoke verify
+.PHONY: build test vet race obs-smoke chaos-smoke verify
 
 build:
 	$(GO) build ./...
@@ -25,7 +26,16 @@ race:
 obs-smoke:
 	$(GO) test -run TestObsSmoke -count=1 .
 
+# End-to-end chaos check: with one of two hosts in a pool
+# hard-erroring via the fault plane, a 100-invoke run must finish with
+# zero client-visible failures, the faulted endpoints' breakers must
+# read open, and the same seed must reproduce the identical
+# injected-fault sequence. Runs under the race detector — the
+# breaker/retry path is the most concurrent code in the gateway.
+chaos-smoke:
+	$(GO) test -race -run TestChaosSmoke -count=1 .
+
 # Full pre-merge check: compile, vet, unit tests, the race detector
-# over the concurrency-sensitive packages, and the observability
-# smoke test.
-verify: build vet test race obs-smoke
+# over the concurrency-sensitive packages, and the observability and
+# chaos smoke tests.
+verify: build vet test race obs-smoke chaos-smoke

@@ -1,0 +1,128 @@
+package confbench_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"confbench"
+	"confbench/internal/faultplane"
+	"confbench/internal/obs"
+)
+
+// chaosRun boots a two-host SEV pool with every exec on the first
+// host erroring, fires 100 invocations, and returns the injected
+// fault history plus the client-visible failure count and the final
+// obs snapshot. It is the repeatable unit behind the smoke's two
+// assertions: graceful degradation and seed determinism.
+func chaosRun(t *testing.T, seed int64) (history []faultplane.Injection, failures int, snap obs.Snapshot) {
+	t.Helper()
+	plane := confbench.NewFaultPlane(seed)
+	specs, err := confbench.ParseFaultSpecs("hostagent.exec:error:1.0:host=sev-snp-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if err := plane.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := confbench.NewObsRegistry()
+	c, err := confbench.New(
+		confbench.WithTEEs(confbench.KindSEV),
+		confbench.WithSeed(seed),
+		confbench.WithGuestMemoryMB(8),
+		confbench.WithObsRegistry(reg),
+		confbench.WithFaultPlane(plane),
+		confbench.WithHostsPerTEE(2),
+		// The hour-long cooldown pins tripped breakers open for the
+		// final assertions — no half-open probe can race the snapshot.
+		confbench.WithBreakerThreshold(3, time.Hour),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	client := c.Client()
+	if err := client.Upload(ctx, confbench.Function{Name: "chaos", Language: "go", Workload: "cpustress"}); err != nil {
+		t.Fatal(err)
+	}
+	const invokes = 100
+	for i := 0; i < invokes; i++ {
+		_, err := client.Invoke(ctx, confbench.InvokeRequest{
+			Function: "chaos", Secure: i%2 == 0, TEE: confbench.KindSEV, Scale: 1,
+		})
+		if err != nil {
+			failures++
+			t.Logf("invoke %d failed: %v", i, err)
+		}
+	}
+
+	snap, err = client.Obs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plane.History(), failures, snap
+}
+
+// TestChaosSmoke is the end-to-end chaos check behind `make
+// chaos-smoke`, matching the fault plane's acceptance scenario: with
+// one of two hosts in the SEV pool hard-erroring at the hostagent
+// layer, a 100-invoke run must complete with zero client-visible
+// failures — the dispatcher retries onto the healthy host and the
+// faulted endpoints' breakers trip out of rotation, visible as open
+// breaker gauges in /v1/obs. The same seed must reproduce the
+// identical injected-fault sequence.
+func TestChaosSmoke(t *testing.T) {
+	history, failures, snap := chaosRun(t, 42)
+
+	if failures != 0 {
+		t.Errorf("client-visible failures = %d, want 0 (healthy host must absorb the traffic)", failures)
+	}
+	if len(history) == 0 {
+		t.Fatal("no faults injected — the chaos spec did not match anything")
+	}
+	for _, inj := range history {
+		if inj.Host != "sev-snp-host" {
+			t.Errorf("fault injected on %q, spec pinned host=sev-snp-host", inj.Host)
+		}
+	}
+
+	// The faulted host's two endpoints (secure+normal see i%2
+	// alternation) read open; the sibling host stays closed.
+	breaker := func(host, vm string) int64 {
+		return snap.Gauges[obs.MetricID("confbench_breaker_state",
+			"tee", "sev-snp", "host", host, "vm", vm)]
+	}
+	const open, closed = 1, 0
+	for _, vm := range []string{"sev-snp-host-secure", "sev-snp-host-normal"} {
+		if got := breaker("sev-snp-host", vm); got != open {
+			t.Errorf("breaker gauge for %s = %d, want %d (open)", vm, got, open)
+		}
+	}
+	for _, vm := range []string{"sev-snp-host-2-secure", "sev-snp-host-2-normal"} {
+		if got := breaker("sev-snp-host-2", vm); got != closed {
+			t.Errorf("breaker gauge for %s = %d, want %d (closed)", vm, got, closed)
+		}
+	}
+
+	// Each faulted endpoint absorbed threshold (3) failures before its
+	// breaker opened; every one was retried onto the healthy sibling.
+	if got := snap.Counters["confbench_invoke_retries_total"]; got != uint64(len(history)) {
+		t.Errorf("gateway retries = %d, want %d (one per injected fault)", got, len(history))
+	}
+	if got := snap.Counters[obs.MetricID("confbench_faults_injected_total",
+		"point", "hostagent.exec", "kind", "error")]; got != uint64(len(history)) {
+		t.Errorf("faults-injected counter = %d, want %d", got, len(history))
+	}
+
+	// Determinism: a second full run with the same seed reproduces the
+	// identical injected-fault sequence, injection for injection.
+	history2, _, _ := chaosRun(t, 42)
+	if !reflect.DeepEqual(history, history2) {
+		t.Errorf("same seed produced different fault sequences:\nrun1: %v\nrun2: %v", history, history2)
+	}
+}

@@ -5,7 +5,7 @@
 //
 //	confbench-bench [-fig all|3|dbms|4|5|6|7|8|colocation] [-trials N]
 //	                [-scale-divisor N] [-size N] [-seed N] [-workers N]
-//	                [-trace]
+//	                [-trace] [-chaos SPECS [-chaos-invokes N]]
 //
 // With the defaults it runs the paper's full protocol (10 trials,
 // full workload scales, speedtest size 100); pass -quick for a
@@ -16,6 +16,10 @@
 // invocation per catalog workload through the gateway after the
 // figures and prints the slowest span tree per workload — the full
 // gateway → pool → relay → host agent → VM → TEE path with durations.
+// -chaos SPECS skips the figures and runs a chaos drill instead: the
+// specs are registered on a seeded fault plane, a two-hosts-per-TEE
+// cluster is booted, and the report shows injected faults, gateway
+// retries, and per-endpoint breaker states.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"confbench"
 	"confbench/internal/bench"
@@ -52,11 +57,16 @@ func run(ctx context.Context, args []string) error {
 	quick := fs.Bool("quick", false, "CI-sized run (3 trials, scales ÷8, size 20, 10 images)")
 	trace := fs.Bool("trace", false, "print the slowest traced span tree per workload")
 	jsonPath := fs.String("json", "", "also write results as JSON to this file")
+	chaos := fs.String("chaos", "", "run a chaos drill instead of figures: comma-separated fault specs, e.g. hostagent.exec:error:1.0:host=sev-host")
+	chaosInvokes := fs.Int("chaos-invokes", 100, "invocations in the chaos drill")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *quick {
 		*trials, *scaleDiv, *dbSize, *images = 3, 8, 20, 10
+	}
+	if *chaos != "" {
+		return runChaos(ctx, *chaos, *seed, *chaosInvokes)
 	}
 
 	cluster, err := confbench.New(
@@ -236,6 +246,94 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote JSON report to %s\n", *jsonPath)
+	}
+	return nil
+}
+
+// runChaos boots a two-hosts-per-TEE cluster with the given fault
+// specs registered on a seeded fault plane, fires invocations at the
+// gateway, and reports what was injected and how the pools reacted —
+// retries, breaker states, and the client-visible failure count.
+// With a fault pinned to one host (e.g. host=sev-host) the run should
+// end with zero failures: the breaker takes the faulted endpoint out
+// of rotation and the dispatcher retries onto its healthy sibling.
+func runChaos(ctx context.Context, spec string, seed int64, invokes int) error {
+	specs, err := confbench.ParseFaultSpecs(spec)
+	if err != nil {
+		return err
+	}
+	plane := confbench.NewFaultPlane(seed)
+	for _, s := range specs {
+		if err := plane.Register(s); err != nil {
+			return err
+		}
+	}
+	cluster, err := confbench.New(
+		confbench.WithSeed(seed),
+		confbench.WithGuestMemoryMB(16),
+		confbench.WithFaultPlane(plane),
+		confbench.WithHostsPerTEE(2),
+		// A long cooldown keeps tripped endpoints visibly open in the
+		// final pool report instead of racing half-open probes.
+		confbench.WithBreakerThreshold(0, 30*time.Second),
+	)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	client := cluster.Client()
+	fn := confbench.Function{Name: "chaos-cpustress", Language: "go", Workload: "cpustress"}
+	if err := client.Upload(ctx, fn); err != nil {
+		return err
+	}
+	kinds := cluster.Kinds()
+	var failures int
+	for i := 0; i < invokes; i++ {
+		_, err := client.Invoke(ctx, confbench.InvokeRequest{
+			Function: fn.Name,
+			Secure:   i%2 == 0,
+			TEE:      kinds[i%len(kinds)],
+			Scale:    1,
+		})
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "invoke %d failed: %v\n", i, err)
+		}
+	}
+
+	fmt.Printf("=== Chaos drill (seed %d) ===\n", seed)
+	fmt.Printf("specs:\n")
+	for _, s := range plane.Specs() {
+		fmt.Printf("  %s\n", s)
+	}
+	fmt.Printf("invokes: %d   client-visible failures: %d\n", invokes, failures)
+
+	byPoint := map[string]int{}
+	for _, inj := range plane.History() {
+		byPoint[string(inj.Point)+":"+string(inj.Kind)]++
+	}
+	fmt.Printf("faults injected: %d\n", plane.Injected())
+	for k, n := range byPoint {
+		fmt.Printf("  %-28s %d\n", k, n)
+	}
+
+	snap, err := client.Obs(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gateway retries: %d\n", snap.Counters["confbench_invoke_retries_total"])
+
+	pools, err := client.Pools(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println("pool health:")
+	for _, p := range pools {
+		fmt.Printf("  %-4s healthy %d/%d\n", p.TEE, p.Healthy, len(p.Members))
+		for _, m := range p.Members {
+			fmt.Printf("    %-14s vm=%-16s secure=%-5v breaker=%s\n", m.Host, m.VM, m.Secure, m.Breaker)
+		}
 	}
 	return nil
 }

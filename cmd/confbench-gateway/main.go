@@ -13,6 +13,7 @@
 //
 //	confbench-gateway [-addr 127.0.0.1:8080] [-hosts FILE]
 //	                  [-policy round-robin|least-loaded]
+//	                  [-breaker-threshold N] [-breaker-cooldown D]
 package main
 
 import (
@@ -47,6 +48,8 @@ func run(args []string) error {
 	hostsFile := fs.String("hosts", "", "JSON host config (empty = embedded test bed)")
 	policy := fs.String("policy", "round-robin", "pool load balancing: round-robin, least-loaded")
 	seed := fs.Int64("seed", 1, "deterministic noise seed (embedded mode)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures that trip an endpoint's circuit breaker (0 = default)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,7 +78,11 @@ func run(args []string) error {
 			return err
 		}
 		defer cluster.Close()
-		gw := gateway.New(gateway.Config{Policy: policyFactory})
+		gw := gateway.New(gateway.Config{
+			Policy:           policyFactory,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+		})
 		for _, kind := range cluster.Kinds() {
 			agent, err := cluster.Agent(kind)
 			if err != nil {
@@ -101,7 +108,11 @@ func run(args []string) error {
 	if err := json.Unmarshal(data, &hosts); err != nil {
 		return fmt.Errorf("parse hosts file: %w", err)
 	}
-	gw := gateway.New(gateway.Config{Policy: policyFactory})
+	gw := gateway.New(gateway.Config{
+		Policy:           policyFactory,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+	})
 	for _, h := range hosts {
 		gw.AddHost(h.Name, h.Endpoints)
 	}

@@ -32,7 +32,10 @@
 package confbench
 
 import (
+	"time"
+
 	"confbench/internal/core"
+	"confbench/internal/faultplane"
 	"confbench/internal/obs"
 	"confbench/internal/tee"
 )
@@ -92,6 +95,32 @@ func WithObsRegistry(r *ObsRegistry) Option {
 	return func(c *ClusterConfig) { c.Obs = r }
 }
 
+// WithFaultPlane threads a deterministic fault-injection plane through
+// every layer of the deployment — relays, host agents, and TEE guests.
+// Build one with NewFaultPlane and register FaultSpecs on it (or parse
+// a chaos spec string with ParseFaultSpecs).
+func WithFaultPlane(p *FaultPlane) Option {
+	return func(c *ClusterConfig) { c.Faults = p }
+}
+
+// WithHostsPerTEE deploys n host agents per platform, all serving the
+// same pool. Chaos runs use ≥2 so a faulted host leaves a healthy
+// alternate in rotation.
+func WithHostsPerTEE(n int) Option {
+	return func(c *ClusterConfig) { c.HostsPerTEE = n }
+}
+
+// WithBreakerThreshold tunes the pools' per-endpoint circuit breakers:
+// threshold consecutive retryable failures trip an endpoint out of
+// rotation; after cooldown one half-open probe is allowed through.
+// Zero values keep the gateway defaults.
+func WithBreakerThreshold(threshold int, cooldown time.Duration) Option {
+	return func(c *ClusterConfig) {
+		c.BreakerThreshold = threshold
+		c.BreakerCooldown = cooldown
+	}
+}
+
 // New boots a deployment configured by opts. Close it when done.
 func New(opts ...Option) (*Cluster, error) {
 	var cfg ClusterConfig
@@ -115,3 +144,21 @@ type ObsRegistry = obs.Registry
 // NewObsRegistry returns an empty metrics registry, for deployments
 // that want isolation from the process-wide default.
 func NewObsRegistry() *ObsRegistry { return obs.New() }
+
+// FaultPlane is the deterministic, seedable fault-injection plane.
+// See internal/faultplane.
+type FaultPlane = faultplane.Plane
+
+// FaultSpec describes one fault to inject: where (injection point,
+// TEE/host filters), what (error, latency, drop, crash, slow I/O),
+// and how often (seeded probability).
+type FaultSpec = faultplane.Spec
+
+// NewFaultPlane returns an empty fault plane whose probability draws
+// derive from seed — the same seed reproduces the identical injected
+// fault sequence.
+func NewFaultPlane(seed int64) *FaultPlane { return faultplane.New(seed) }
+
+// ParseFaultSpecs parses a comma-separated chaos spec string, e.g.
+// "hostagent.exec:error:1.0:tee=snp,relay.accept:latency:0.25".
+func ParseFaultSpecs(s string) ([]FaultSpec, error) { return faultplane.ParseSpecs(s) }

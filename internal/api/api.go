@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"time"
@@ -141,12 +142,29 @@ type Metrics struct {
 	PerPool map[string]uint64 `json:"per_pool"`
 }
 
-// PoolInfo describes one TEE pool for GET /pools.
+// PoolInfo describes one TEE pool for GET /pools. When some hosts
+// are down the gateway still answers with the full member list and
+// per-endpoint breaker states — partial status, not a 500.
 type PoolInfo struct {
 	TEE       tee.Kind `json:"tee"`
 	Endpoints int      `json:"endpoints"`
 	Policy    string   `json:"policy"`
 	InFlight  int      `json:"in_flight"`
+	// Healthy counts endpoints whose circuit breaker is not open.
+	Healthy int `json:"healthy"`
+	// Members is the per-endpoint health breakdown.
+	Members []EndpointHealth `json:"members,omitempty"`
+}
+
+// EndpointHealth is one pool member's health for GET /pools.
+type EndpointHealth struct {
+	Host   string `json:"host"`
+	VM     string `json:"vm"`
+	Secure bool   `json:"secure"`
+	// Breaker is the circuit-breaker position: closed, open, or
+	// half-open.
+	Breaker  string `json:"breaker"`
+	InFlight int64  `json:"in_flight"`
 }
 
 // ErrorResponse is the JSON error envelope. Code, Layer and Retryable
@@ -188,6 +206,15 @@ const (
 	DefaultMaxAttempts = 3
 	// DefaultRetryBackoff is the initial backoff, doubled per retry.
 	DefaultRetryBackoff = 50 * time.Millisecond
+	// DefaultBackoffCap bounds the exponential backoff. Without a cap,
+	// a generous attempt budget doubles the delay past any useful
+	// wait — and eventually overflows time.Duration into a negative
+	// (i.e. zero) sleep, hammering the gateway exactly when it is
+	// least able to take it.
+	DefaultBackoffCap = 5 * time.Second
+	// backoffJitter is the ± fraction applied to each sleep so a burst
+	// of failed clients doesn't retry in lockstep.
+	backoffJitter = 0.20
 )
 
 // Client is an HTTP client for the gateway REST API. Every method
@@ -204,6 +231,8 @@ type Client struct {
 	MaxAttempts int
 	// RetryBackoff is the first retry's delay; it doubles per retry.
 	RetryBackoff time.Duration
+	// BackoffCap bounds the doubled backoff (0 = DefaultBackoffCap).
+	BackoffCap time.Duration
 }
 
 // Option configures a Client built by New.
@@ -224,6 +253,11 @@ func WithRetries(attempts int) Option {
 // WithBackoff sets the first retry's delay; it doubles per retry.
 func WithBackoff(d time.Duration) Option {
 	return func(c *Client) { c.RetryBackoff = d }
+}
+
+// WithBackoffCap bounds the exponential backoff's growth.
+func WithBackoffCap(d time.Duration) Option {
+	return func(c *Client) { c.BackoffCap = d }
 }
 
 // WithHTTPClient substitutes the underlying *http.Client (custom
@@ -297,6 +331,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if backoff <= 0 {
 		backoff = DefaultRetryBackoff
 	}
+	limit := c.BackoffCap
+	if limit <= 0 {
+		limit = DefaultBackoffCap
+	}
+	if backoff > limit {
+		backoff = limit
+	}
 	var err error
 	for attempt := 1; ; attempt++ {
 		err = c.attempt(ctx, method, path, body, out)
@@ -306,10 +347,24 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		select {
 		case <-ctx.Done():
 			return cberr.From(ctx.Err(), cberr.LayerClient)
-		case <-time.After(backoff):
+		case <-time.After(jitter(backoff)):
 		}
-		backoff *= 2
+		// Double under the cap; comparing before the multiply (rather
+		// than clamping after) also keeps the duration from ever
+		// overflowing into a negative sleep.
+		if backoff > limit/2 {
+			backoff = limit
+		} else {
+			backoff *= 2
+		}
 	}
+}
+
+// jitter spreads d by ±backoffJitter so concurrent clients recovering
+// from the same outage don't retry in lockstep.
+func jitter(d time.Duration) time.Duration {
+	f := 1 - backoffJitter + 2*backoffJitter*rand.Float64()
+	return time.Duration(float64(d) * f)
 }
 
 // attempt performs a single HTTP exchange.

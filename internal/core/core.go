@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"confbench/internal/api"
 	"confbench/internal/attest"
@@ -18,6 +19,7 @@ import (
 	"confbench/internal/attest/snp"
 	"confbench/internal/faas"
 	"confbench/internal/faas/langs"
+	"confbench/internal/faultplane"
 	"confbench/internal/gateway"
 	"confbench/internal/hostagent"
 	"confbench/internal/obs"
@@ -50,6 +52,20 @@ type ClusterConfig struct {
 	// Obs is the metrics registry the whole deployment reports to
 	// (nil = the process-wide default).
 	Obs *obs.Registry
+	// Faults is the deterministic fault-injection plane threaded
+	// through every layer — relays, host agents, TEE guests (nil =
+	// fault-free).
+	Faults *faultplane.Plane
+	// HostsPerTEE deploys that many host agents per platform, all in
+	// the same pool (default 1). Chaos runs use ≥2 so a faulted host
+	// leaves a healthy alternate.
+	HostsPerTEE int
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// pool endpoint's circuit breaker (0 = the gateway default).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped endpoint stays out of
+	// rotation before a half-open probe (0 = the gateway default).
+	BreakerCooldown time.Duration
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -62,6 +78,9 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	if c.GuestMemoryMB == 0 {
 		c.GuestMemoryMB = 64
 	}
+	if c.HostsPerTEE <= 0 {
+		c.HostsPerTEE = 1
+	}
 	return c
 }
 
@@ -71,7 +90,7 @@ type Cluster struct {
 	catalog  *workloads.Registry
 	obsreg   *obs.Registry
 	backends map[tee.Kind]tee.Backend
-	agents   map[tee.Kind]*hostagent.Agent
+	agents   map[tee.Kind][]*hostagent.Agent
 	gw       *gateway.Gateway
 	client   *api.Client
 
@@ -89,7 +108,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		catalog:  workloads.Default(),
 		obsreg:   obs.OrDefault(cfg.Obs),
 		backends: make(map[tee.Kind]tee.Backend, len(cfg.TEEs)),
-		agents:   make(map[tee.Kind]*hostagent.Agent, len(cfg.TEEs)),
+		agents:   make(map[tee.Kind][]*hostagent.Agent, len(cfg.TEEs)),
 	}
 	if err := c.boot(); err != nil {
 		_ = c.Close()
@@ -99,32 +118,50 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 }
 
 func (c *Cluster) boot() error {
+	// The fault plane reports its injections to the same registry as
+	// everything else, so chaos runs read faults and reactions off one
+	// snapshot.
+	c.cfg.Faults.SetObsRegistry(c.obsreg)
 	for _, kind := range c.cfg.TEEs {
 		backend, err := c.newBackend(kind)
 		if err != nil {
 			return err
 		}
 		c.backends[kind] = backend
-		agent, err := hostagent.NewAgent(hostagent.AgentConfig{
-			Name:    string(kind) + "-host",
-			Backend: backend,
-			Guest:   tee.GuestConfig{MemoryMB: c.cfg.GuestMemoryMB},
-			Catalog: c.catalog,
-			Obs:     c.obsreg,
-		})
-		if err != nil {
-			return fmt.Errorf("confbench: boot %s host: %w", kind, err)
+		for i := 0; i < c.cfg.HostsPerTEE; i++ {
+			name := string(kind) + "-host"
+			if i > 0 {
+				name = fmt.Sprintf("%s-%d", name, i+1)
+			}
+			agent, err := hostagent.NewAgent(hostagent.AgentConfig{
+				Name:    name,
+				Backend: backend,
+				Guest:   tee.GuestConfig{Name: name, MemoryMB: c.cfg.GuestMemoryMB},
+				Catalog: c.catalog,
+				Obs:     c.obsreg,
+				Faults:  c.cfg.Faults,
+			})
+			if err != nil {
+				return fmt.Errorf("confbench: boot %s host: %w", kind, err)
+			}
+			c.agents[kind] = append(c.agents[kind], agent)
 		}
-		c.agents[kind] = agent
 	}
 
 	var policy func() gateway.Policy
 	if c.cfg.LeastLoaded {
 		policy = func() gateway.Policy { return gateway.LeastLoaded{} }
 	}
-	c.gw = gateway.New(gateway.Config{Policy: policy, Obs: c.obsreg})
-	for kind, agent := range c.agents {
-		c.gw.AddHost(string(kind)+"-host", agent.Endpoints())
+	c.gw = gateway.New(gateway.Config{
+		Policy:           policy,
+		Obs:              c.obsreg,
+		BreakerThreshold: c.cfg.BreakerThreshold,
+		BreakerCooldown:  c.cfg.BreakerCooldown,
+	})
+	for _, kind := range c.cfg.TEEs {
+		for _, agent := range c.agents[kind] {
+			c.gw.AddHost(agent.Name(), agent.Endpoints())
+		}
 	}
 	url, err := c.gw.Start("127.0.0.1:0")
 	if err != nil {
@@ -162,11 +199,11 @@ func (c *Cluster) boot() error {
 func (c *Cluster) newBackend(kind tee.Kind) (tee.Backend, error) {
 	switch kind {
 	case tee.KindTDX:
-		return tdx.NewBackend(tdx.Options{FirmwareVersion: c.cfg.TDXFirmware, Seed: c.cfg.Seed, Obs: c.obsreg})
+		return tdx.NewBackend(tdx.Options{FirmwareVersion: c.cfg.TDXFirmware, Seed: c.cfg.Seed, Obs: c.obsreg, Faults: c.cfg.Faults})
 	case tee.KindSEV:
-		return sev.NewBackend(sev.Options{Seed: c.cfg.Seed + 1000, Obs: c.obsreg})
+		return sev.NewBackend(sev.Options{Seed: c.cfg.Seed + 1000, Obs: c.obsreg, Faults: c.cfg.Faults})
 	case tee.KindCCA:
-		return cca.NewBackend(cca.Options{Seed: c.cfg.Seed + 2000, Obs: c.obsreg})
+		return cca.NewBackend(cca.Options{Seed: c.cfg.Seed + 2000, Obs: c.obsreg, Faults: c.cfg.Faults})
 	default:
 		return nil, fmt.Errorf("confbench: unsupported TEE %q", kind)
 	}
@@ -193,14 +230,23 @@ func (c *Cluster) Backend(kind tee.Kind) (tee.Backend, error) {
 	return b, nil
 }
 
-// Agent returns the host agent for kind.
+// Agent returns the first host agent for kind.
 func (c *Cluster) Agent(kind tee.Kind) (*hostagent.Agent, error) {
-	a, ok := c.agents[kind]
-	if !ok {
+	as, ok := c.agents[kind]
+	if !ok || len(as) == 0 {
 		return nil, fmt.Errorf("confbench: no %q host deployed", kind)
 	}
-	return a, nil
+	return as[0], nil
 }
+
+// Agents returns every host agent for kind (HostsPerTEE of them).
+func (c *Cluster) Agents(kind tee.Kind) []*hostagent.Agent {
+	return append([]*hostagent.Agent(nil), c.agents[kind]...)
+}
+
+// FaultPlane returns the configured fault-injection plane (nil when
+// the deployment is fault-free).
+func (c *Cluster) FaultPlane() *faultplane.Plane { return c.cfg.Faults }
 
 // Pair returns the secure/normal VM pair on the kind host, for
 // in-process classic-workload runs that bypass the network path.
@@ -293,7 +339,7 @@ func (c *Cluster) Close() error {
 		errs = append(errs, c.gw.Close())
 	}
 	for _, kind := range c.Kinds() {
-		if a, ok := c.agents[kind]; ok {
+		for _, a := range c.agents[kind] {
 			errs = append(errs, a.Close())
 		}
 	}

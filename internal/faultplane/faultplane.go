@@ -1,0 +1,359 @@
+// Package faultplane is ConfBench's deterministic fault-injection
+// layer: a registry of fault specifications evaluated at fixed
+// injection points threaded through the invocation pipeline (relay
+// accept path, host-agent exec/launch, TEE world transitions and
+// bounce-buffer I/O).
+//
+// Chaos runs must reproduce bit-for-bit, so every probabilistic
+// decision draws from one seeded generator under a lock, and a draw
+// happens only when a registered spec actually matches the injection
+// point — unmatched points never consume randomness, keeping the
+// sequence stable when unrelated traffic interleaves. The plane
+// records every injected fault in an ordered history so two runs with
+// the same seed and the same request schedule can be compared
+// injection-by-injection.
+//
+// A nil *Plane is valid everywhere: Evaluate on it returns the
+// zero Decision, which is how the production (chaos-free) path stays
+// branch-cheap — components hold a possibly-nil plane and call it
+// unconditionally.
+package faultplane
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"confbench/internal/cberr"
+	"confbench/internal/obs"
+)
+
+// Point identifies one injection point in the pipeline.
+type Point string
+
+// The injection points threaded through the stack.
+const (
+	// PointRelayAccept fires when a host relay accepts a gateway
+	// connection. Drop/error/crash faults close the connection before
+	// any byte is forwarded; latency faults delay the forward.
+	PointRelayAccept Point = "relay.accept"
+	// PointHostExec fires in the guest agent before a function
+	// executes. Error faults answer 503 (retryable), crash faults
+	// abort the connection mid-request like a dying guest, latency
+	// faults stall the handler.
+	PointHostExec Point = "hostagent.exec"
+	// PointHostLaunch fires while a host agent boots its VM pair;
+	// error faults fail the launch.
+	PointHostLaunch Point = "hostagent.launch"
+	// PointTEETransition fires when a secure guest prices world
+	// transitions (TDCALL/SEAMCALL, VMEXIT, RSI/RMI). The pricing
+	// pipeline has no error channel, so every fault kind here
+	// manifests as added virtual time charged to the execution.
+	PointTEETransition Point = "tee.transition"
+	// PointTEEBounceIO fires when a secure guest prices bounce-buffer
+	// I/O; slow-drip faults stretch the charged I/O time.
+	PointTEEBounceIO Point = "tee.bounce_io"
+)
+
+// Valid reports whether p names a known injection point.
+func (p Point) Valid() bool {
+	switch p {
+	case PointRelayAccept, PointHostExec, PointHostLaunch,
+		PointTEETransition, PointTEEBounceIO:
+		return true
+	default:
+		return false
+	}
+}
+
+// Kind is the fault category.
+type Kind string
+
+// The fault catalog.
+const (
+	// KindError injects a classified, retryable unavailable error.
+	KindError Kind = "error"
+	// KindLatency injects added latency (real time at network/host
+	// points, virtual time at TEE points).
+	KindLatency Kind = "latency"
+	// KindDrop severs the connection at the relay.
+	KindDrop Kind = "drop"
+	// KindCrash models a guest dying mid-request: the agent aborts
+	// the connection without a response.
+	KindCrash Kind = "crash"
+	// KindSlowIO drips I/O: throttled relay forwarding, stretched
+	// bounce-buffer pricing.
+	KindSlowIO Kind = "slow-io"
+)
+
+// Valid reports whether k names a known fault kind.
+func (k Kind) Valid() bool {
+	switch k {
+	case KindError, KindLatency, KindDrop, KindCrash, KindSlowIO:
+		return true
+	default:
+		return false
+	}
+}
+
+// DefaultLatency is charged by latency-bearing faults whose spec does
+// not set an explicit duration.
+const DefaultLatency = time.Millisecond
+
+// Spec registers one fault against an injection point. Zero-valued
+// filters match everything, so {Point, Kind, Probability} alone is a
+// whole-fleet fault.
+type Spec struct {
+	// Point is the injection point this fault arms.
+	Point Point
+	// Kind selects the failure mode.
+	Kind Kind
+	// TEE restricts the fault to one platform ("" = any). Compared
+	// against the tee.Kind string ("tdx", "sev-snp", "cca").
+	TEE string
+	// Host restricts the fault to one host agent ("" = any).
+	Host string
+	// Probability is the per-evaluation match chance in [0, 1].
+	// Values >= 1 always fire without consuming a random draw, so
+	// deterministic always-on faults never perturb the sequence of
+	// probabilistic ones.
+	Probability float64
+	// Latency is the injected delay for latency/slow-io kinds
+	// (DefaultLatency when zero).
+	Latency time.Duration
+	// Message overrides the injected error text.
+	Message string
+}
+
+// String renders the spec in the -chaos grammar.
+func (s Spec) String() string {
+	out := fmt.Sprintf("%s:%s:%g", s.Point, s.Kind, s.Probability)
+	if s.TEE != "" {
+		out += ":tee=" + s.TEE
+	}
+	if s.Host != "" {
+		out += ":host=" + s.Host
+	}
+	if s.Latency != 0 {
+		out += ":latency=" + s.Latency.String()
+	}
+	return out
+}
+
+// validate rejects malformed specs at registration time.
+func (s Spec) validate() error {
+	if !s.Point.Valid() {
+		return fmt.Errorf("faultplane: unknown injection point %q", s.Point)
+	}
+	if !s.Kind.Valid() {
+		return fmt.Errorf("faultplane: unknown fault kind %q", s.Kind)
+	}
+	if s.Probability < 0 {
+		return fmt.Errorf("faultplane: negative probability %g", s.Probability)
+	}
+	if s.Latency < 0 {
+		return fmt.Errorf("faultplane: negative latency %v", s.Latency)
+	}
+	return nil
+}
+
+// Target describes the component consulting the plane, matched
+// against each spec's filters.
+type Target struct {
+	// TEE is the platform kind string ("tdx", "sev-snp", "cca").
+	TEE string
+	// Host is the host-agent name. TEE-layer points evaluate with an
+	// empty host (guests do not know their agent), so host-filtered
+	// specs only arm network and host-agent points.
+	Host string
+	// VM labels the backing VM, for the injection history.
+	VM string
+}
+
+// Decision is the outcome of one evaluation. The zero value means "no
+// fault".
+type Decision struct {
+	// Inject reports whether a fault fired.
+	Inject bool
+	// Kind is the fired fault's category.
+	Kind Kind
+	// Latency is the delay to apply (latency/slow-io kinds; also set
+	// as the virtual-time charge for TEE-point faults).
+	Latency time.Duration
+	// Err is the classified error to surface for error/crash kinds at
+	// points that have an error channel.
+	Err error
+}
+
+// Injection is one recorded injected fault.
+type Injection struct {
+	// Seq numbers injections in firing order, from 1.
+	Seq uint64 `json:"seq"`
+	// Point is where the fault fired.
+	Point Point `json:"point"`
+	// Kind is the fired fault's category.
+	Kind Kind `json:"kind"`
+	// TEE/Host/VM identify the victim as known at the point.
+	TEE  string `json:"tee,omitempty"`
+	Host string `json:"host,omitempty"`
+	VM   string `json:"vm,omitempty"`
+}
+
+// Plane holds the armed fault specs and the seeded generator behind
+// probabilistic matches. Safe for concurrent use; nil-safe.
+type Plane struct {
+	mu      sync.Mutex
+	seed    int64
+	rng     *rand.Rand
+	specs   []Spec
+	history []Injection
+
+	obsreg *obs.Registry
+}
+
+// New returns an empty plane whose probabilistic decisions derive
+// from seed. Register specs, then hand it to the cluster (or the
+// individual components) before traffic starts.
+func New(seed int64) *Plane {
+	return &Plane{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the plane's generator seed.
+func (p *Plane) Seed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
+}
+
+// SetObsRegistry points the plane's injection counters at reg instead
+// of the process-wide default. Call before traffic starts.
+func (p *Plane) SetObsRegistry(reg *obs.Registry) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.obsreg = reg
+	p.mu.Unlock()
+}
+
+// Register arms a fault spec. Specs are evaluated in registration
+// order; the first match wins.
+func (p *Plane) Register(s Spec) error {
+	if p == nil {
+		return fmt.Errorf("faultplane: register on nil plane")
+	}
+	if err := s.validate(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.specs = append(p.specs, s)
+	p.mu.Unlock()
+	return nil
+}
+
+// Specs returns a copy of the armed specs in registration order.
+func (p *Plane) Specs() []Spec {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Spec(nil), p.specs...)
+}
+
+// History returns a copy of the injected-fault log in firing order.
+func (p *Plane) History() []Injection {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Injection(nil), p.history...)
+}
+
+// Injected returns the total number of fired faults.
+func (p *Plane) Injected() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.history)
+}
+
+// layerFor maps an injection point onto the cberr layer that reports
+// its injected errors.
+func layerFor(point Point) cberr.Layer {
+	switch point {
+	case PointRelayAccept:
+		return cberr.LayerHost
+	case PointHostExec, PointHostLaunch:
+		return cberr.LayerHost
+	default:
+		return cberr.LayerVM
+	}
+}
+
+// Evaluate consults the plane at an injection point. On a nil plane,
+// or when no armed spec matches, it returns the zero Decision. A
+// probability draw is consumed only for matching specs with
+// 0 < Probability < 1, so traffic through unarmed points never
+// perturbs the deterministic sequence.
+func (p *Plane) Evaluate(point Point, t Target) Decision {
+	if p == nil {
+		return Decision{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.specs {
+		if s.Point != point {
+			continue
+		}
+		if s.TEE != "" && s.TEE != t.TEE {
+			continue
+		}
+		if s.Host != "" && s.Host != t.Host {
+			continue
+		}
+		if s.Probability <= 0 {
+			continue
+		}
+		if s.Probability < 1 && p.rng.Float64() >= s.Probability {
+			continue
+		}
+		return p.fire(s, point, t)
+	}
+	return Decision{}
+}
+
+// fire records and returns the decision for a matched spec. Caller
+// holds p.mu.
+func (p *Plane) fire(s Spec, point Point, t Target) Decision {
+	inj := Injection{
+		Seq:   uint64(len(p.history) + 1),
+		Point: point,
+		Kind:  s.Kind,
+		TEE:   t.TEE,
+		Host:  t.Host,
+		VM:    t.VM,
+	}
+	p.history = append(p.history, inj)
+	obs.OrDefault(p.obsreg).Counter("confbench_faults_injected_total",
+		"point", string(point), "kind", string(s.Kind)).Inc()
+
+	d := Decision{Inject: true, Kind: s.Kind, Latency: s.Latency}
+	if d.Latency == 0 && (s.Kind == KindLatency || s.Kind == KindSlowIO) {
+		d.Latency = DefaultLatency
+	}
+	switch s.Kind {
+	case KindError, KindCrash, KindDrop:
+		msg := s.Message
+		if msg == "" {
+			msg = fmt.Sprintf("injected %s fault at %s", s.Kind, point)
+		}
+		d.Err = cberr.New(cberr.CodeUnavailable, layerFor(point), msg)
+	}
+	return d
+}

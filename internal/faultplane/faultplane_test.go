@@ -1,0 +1,200 @@
+package faultplane
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"confbench/internal/cberr"
+	"confbench/internal/obs"
+)
+
+func TestNilPlaneIsInert(t *testing.T) {
+	var p *Plane
+	if d := p.Evaluate(PointHostExec, Target{}); d.Inject {
+		t.Error("nil plane injected a fault")
+	}
+	if p.History() != nil || p.Injected() != 0 || p.Specs() != nil || p.Seed() != 0 {
+		t.Error("nil plane reported state")
+	}
+	if err := p.Register(Spec{Point: PointHostExec, Kind: KindError, Probability: 1}); err == nil {
+		t.Error("Register on nil plane should fail")
+	}
+}
+
+func TestEvaluateMatchesFilters(t *testing.T) {
+	p := New(1)
+	mustRegister(t, p, Spec{Point: PointHostExec, Kind: KindError, Probability: 1, Host: "sev-snp-host", TEE: "sev-snp"})
+
+	if d := p.Evaluate(PointHostExec, Target{Host: "tdx-host", TEE: "tdx"}); d.Inject {
+		t.Error("fault fired for the wrong host")
+	}
+	if d := p.Evaluate(PointRelayAccept, Target{Host: "sev-snp-host", TEE: "sev-snp"}); d.Inject {
+		t.Error("fault fired at the wrong point")
+	}
+	d := p.Evaluate(PointHostExec, Target{Host: "sev-snp-host", TEE: "sev-snp", VM: "vm-1"})
+	if !d.Inject || d.Kind != KindError {
+		t.Fatalf("decision = %+v, want injected error", d)
+	}
+	if !cberr.Retryable(d.Err) || !errors.Is(d.Err, cberr.ErrUnavailable) {
+		t.Errorf("injected error %v should be retryable unavailable", d.Err)
+	}
+	h := p.History()
+	if len(h) != 1 || h[0].Seq != 1 || h[0].VM != "vm-1" || h[0].Point != PointHostExec {
+		t.Errorf("history = %+v", h)
+	}
+}
+
+func TestLatencyDefaults(t *testing.T) {
+	p := New(1)
+	mustRegister(t, p, Spec{Point: PointTEETransition, Kind: KindLatency, Probability: 1})
+	d := p.Evaluate(PointTEETransition, Target{TEE: "tdx"})
+	if !d.Inject || d.Latency != DefaultLatency {
+		t.Errorf("decision = %+v, want default latency %v", d, DefaultLatency)
+	}
+
+	p2 := New(1)
+	mustRegister(t, p2, Spec{Point: PointTEEBounceIO, Kind: KindSlowIO, Probability: 1, Latency: 7 * time.Millisecond})
+	if d := p2.Evaluate(PointTEEBounceIO, Target{}); d.Latency != 7*time.Millisecond {
+		t.Errorf("latency = %v, want 7ms", d.Latency)
+	}
+}
+
+// TestDeterminism is the core chaos-reproducibility guarantee: two
+// planes with the same seed, specs, and evaluation schedule inject
+// the identical fault sequence.
+func TestDeterminism(t *testing.T) {
+	run := func() []Injection {
+		p := New(42)
+		mustRegister(t, p, Spec{Point: PointHostExec, Kind: KindError, Probability: 0.3})
+		mustRegister(t, p, Spec{Point: PointRelayAccept, Kind: KindDrop, Probability: 0.5, Host: "h2"})
+		for i := 0; i < 200; i++ {
+			p.Evaluate(PointHostExec, Target{Host: "h1", TEE: "tdx"})
+			p.Evaluate(PointRelayAccept, Target{Host: "h2", TEE: "sev-snp"})
+			// Unarmed point: must not consume randomness.
+			p.Evaluate(PointHostLaunch, Target{Host: "h1"})
+		}
+		return p.History()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no faults injected at p=0.3/0.5 over 400 draws")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("history lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("injection %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestUnmatchedTrafficDoesNotPerturbSequence: interleaving traffic
+// through points with no armed spec (or always-on specs) must leave
+// the probabilistic sequence untouched.
+func TestUnmatchedTrafficDoesNotPerturbSequence(t *testing.T) {
+	probabilistic := func(extra bool) []Injection {
+		p := New(7)
+		mustRegister(t, p, Spec{Point: PointHostExec, Kind: KindError, Probability: 0.4})
+		mustRegister(t, p, Spec{Point: PointRelayAccept, Kind: KindDrop, Probability: 1})
+		var out []Injection
+		for i := 0; i < 100; i++ {
+			if extra {
+				// Always-on spec (p>=1): fires without a draw.
+				p.Evaluate(PointRelayAccept, Target{Host: "noise"})
+				// Unarmed point: no spec matches.
+				p.Evaluate(PointTEETransition, Target{TEE: "cca"})
+			}
+			p.Evaluate(PointHostExec, Target{Host: "h"})
+		}
+		for _, inj := range p.History() {
+			if inj.Point == PointHostExec {
+				out = append(out, Injection{Point: inj.Point, Kind: inj.Kind, Host: inj.Host})
+			}
+		}
+		return out
+	}
+	quiet, noisy := probabilistic(false), probabilistic(true)
+	if len(quiet) != len(noisy) {
+		t.Fatalf("noise changed the probabilistic sequence: %d vs %d injections", len(quiet), len(noisy))
+	}
+}
+
+func TestRegisterValidates(t *testing.T) {
+	p := New(1)
+	for _, bad := range []Spec{
+		{Point: "bogus", Kind: KindError, Probability: 1},
+		{Point: PointHostExec, Kind: "bogus", Probability: 1},
+		{Point: PointHostExec, Kind: KindError, Probability: -0.1},
+		{Point: PointHostExec, Kind: KindError, Probability: 1, Latency: -time.Second},
+	} {
+		if err := p.Register(bad); err == nil {
+			t.Errorf("Register(%+v) should fail", bad)
+		}
+	}
+}
+
+func TestInjectionCounter(t *testing.T) {
+	reg := obs.New()
+	p := New(1)
+	p.SetObsRegistry(reg)
+	mustRegister(t, p, Spec{Point: PointHostExec, Kind: KindCrash, Probability: 1})
+	for i := 0; i < 3; i++ {
+		p.Evaluate(PointHostExec, Target{Host: "h"})
+	}
+	id := obs.MetricID("confbench_faults_injected_total", "point", string(PointHostExec), "kind", string(KindCrash))
+	if got := reg.Snapshot().Counters[id]; got != 3 {
+		t.Errorf("%s = %d, want 3", id, got)
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	specs, err := ParseSpecs("hostagent.exec:error:1:host=sev-snp-host, relay.accept:drop:0.05:tee=tdx:latency=2ms:msg=boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("parsed %d specs", len(specs))
+	}
+	want0 := Spec{Point: PointHostExec, Kind: KindError, Probability: 1, Host: "sev-snp-host"}
+	if specs[0] != want0 {
+		t.Errorf("spec[0] = %+v, want %+v", specs[0], want0)
+	}
+	want1 := Spec{Point: PointRelayAccept, Kind: KindDrop, Probability: 0.05, TEE: "tdx",
+		Latency: 2 * time.Millisecond, Message: "boom"}
+	if specs[1] != want1 {
+		t.Errorf("spec[1] = %+v, want %+v", specs[1], want1)
+	}
+
+	for _, bad := range []string{
+		"", "hostagent.exec:error", "hostagent.exec:error:x",
+		"bogus:error:1", "hostagent.exec:bogus:1",
+		"hostagent.exec:error:1:latency=fast",
+		"hostagent.exec:error:1:color=red",
+		"hostagent.exec:error:1:hostsev",
+	} {
+		if _, err := ParseSpecs(bad); err == nil {
+			t.Errorf("ParseSpecs(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSpecStringRoundTrips(t *testing.T) {
+	s := Spec{Point: PointRelayAccept, Kind: KindSlowIO, Probability: 0.25,
+		TEE: "cca", Host: "cca-host", Latency: 3 * time.Millisecond}
+	back, err := ParseSpec(s.String())
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", s.String(), err)
+	}
+	if back != s {
+		t.Errorf("round trip: %+v != %+v", back, s)
+	}
+}
+
+func mustRegister(t *testing.T, p *Plane, s Spec) {
+	t.Helper()
+	if err := p.Register(s); err != nil {
+		t.Fatal(err)
+	}
+}

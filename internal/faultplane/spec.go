@@ -1,0 +1,75 @@
+package faultplane
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpecs parses the -chaos command-line grammar: a comma-separated
+// list of specs, each
+//
+//	point:kind:probability[:tee=KIND][:host=NAME][:latency=DUR][:msg=TEXT]
+//
+// e.g.
+//
+//	hostagent.exec:error:1:host=sev-snp-host
+//	relay.accept:drop:0.05,tee.transition:latency:0.2:tee=tdx:latency=2ms
+func ParseSpecs(s string) ([]Spec, error) {
+	var specs []Spec
+	for _, raw := range strings.Split(s, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		spec, err := ParseSpec(raw)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("faultplane: empty chaos spec %q", s)
+	}
+	return specs, nil
+}
+
+// ParseSpec parses one spec in the -chaos grammar.
+func ParseSpec(s string) (Spec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 3 {
+		return Spec{}, fmt.Errorf("faultplane: spec %q: want point:kind:probability[:key=value...]", s)
+	}
+	prob, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return Spec{}, fmt.Errorf("faultplane: spec %q: probability: %w", s, err)
+	}
+	spec := Spec{Point: Point(parts[0]), Kind: Kind(parts[1]), Probability: prob}
+	for _, opt := range parts[3:] {
+		key, value, ok := strings.Cut(opt, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faultplane: spec %q: option %q: want key=value", s, opt)
+		}
+		switch key {
+		case "tee":
+			spec.TEE = value
+		case "host":
+			spec.Host = value
+		case "latency":
+			d, err := time.ParseDuration(value)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faultplane: spec %q: latency: %w", s, err)
+			}
+			spec.Latency = d
+		case "msg":
+			spec.Message = value
+		default:
+			return Spec{}, fmt.Errorf("faultplane: spec %q: unknown option %q", s, key)
+		}
+	}
+	if err := spec.validate(); err != nil {
+		return Spec{}, fmt.Errorf("%w (in %q)", err, s)
+	}
+	return spec, nil
+}

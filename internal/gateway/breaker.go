@@ -1,0 +1,146 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+
+	"confbench/internal/obs"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+// The breaker state machine: closed (healthy) → open (tripped after
+// BreakerThreshold consecutive failures) → half-open (one probe
+// allowed after the cooldown) → closed on probe success, back to open
+// on probe failure. The numeric values are what the
+// confbench_breaker_state gauge exports.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String renders the state for /pools output.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker defaults.
+const (
+	// DefaultBreakerThreshold is the consecutive-failure count that
+	// trips an endpoint open.
+	DefaultBreakerThreshold = 3
+	// DefaultBreakerCooldown is how long an open endpoint is skipped
+	// before one half-open probe is allowed through.
+	DefaultBreakerCooldown = time.Second
+)
+
+// breaker is the per-endpoint consecutive-failure circuit breaker.
+// Only infrastructure failures (retryable per the cberr taxonomy)
+// count; a request rejected as invalid says nothing about endpoint
+// health.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	gauge     *obs.Gauge
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration, gauge *obs.Gauge) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, gauge: gauge}
+}
+
+// setState transitions and publishes the gauge. Caller holds b.mu.
+func (b *breaker) setState(s BreakerState) {
+	b.state = s
+	if b.gauge != nil {
+		b.gauge.Set(int64(s))
+	}
+}
+
+// available reports whether the endpoint is a routing candidate right
+// now: closed, open with the cooldown elapsed (probe-eligible), or
+// half-open with no probe in flight. Read-only — the open→half-open
+// transition happens in beginAttempt so that merely being considered
+// by the policy does not consume the probe slot.
+func (b *breaker) available(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return now.Sub(b.openedAt) >= b.cooldown
+	default: // half-open
+		return !b.probing
+	}
+}
+
+// beginAttempt marks the picked endpoint as carrying a request,
+// moving open→half-open when the pick is the post-cooldown probe.
+func (b *breaker) beginAttempt(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.setState(BreakerHalfOpen)
+			b.probing = true
+		}
+	case BreakerHalfOpen:
+		b.probing = true
+	}
+}
+
+// onSuccess resets the failure streak and closes the breaker (a
+// successful half-open probe recovers the endpoint).
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	if b.state != BreakerClosed {
+		b.setState(BreakerClosed)
+	}
+}
+
+// onFailure extends the failure streak, tripping the breaker at the
+// threshold; a failed half-open probe re-opens immediately.
+func (b *breaker) onFailure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.probing = false
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		b.openedAt = now
+		b.setState(BreakerOpen)
+	}
+}
+
+// State reads the current breaker position.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

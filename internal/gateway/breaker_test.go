@@ -1,0 +1,254 @@
+package gateway
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"confbench/internal/hostagent"
+	"confbench/internal/obs"
+	"confbench/internal/tee"
+)
+
+// TestBreakerStateMachine table-drives the closed → open → half-open
+// transitions.
+func TestBreakerStateMachine(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	type step struct {
+		// op: "fail", "ok", "attempt", or "avail?" (assert available).
+		op        string
+		at        time.Duration // offset from t0
+		wantState BreakerState
+		wantAvail bool
+	}
+	tests := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			name: "trips at threshold",
+			steps: []step{
+				{op: "fail", wantState: BreakerClosed},
+				{op: "fail", wantState: BreakerClosed},
+				{op: "fail", wantState: BreakerOpen},
+			},
+		},
+		{
+			name: "success resets the streak",
+			steps: []step{
+				{op: "fail", wantState: BreakerClosed},
+				{op: "fail", wantState: BreakerClosed},
+				{op: "ok", wantState: BreakerClosed},
+				{op: "fail", wantState: BreakerClosed},
+				{op: "fail", wantState: BreakerClosed},
+				{op: "fail", wantState: BreakerOpen},
+			},
+		},
+		{
+			name: "open blocks until cooldown then probes half-open",
+			steps: []step{
+				{op: "fail"}, {op: "fail"}, {op: "fail", wantState: BreakerOpen},
+				{op: "avail?", at: 10 * time.Millisecond, wantAvail: false},
+				{op: "avail?", at: 2 * time.Second, wantAvail: true},
+				{op: "attempt", at: 2 * time.Second, wantState: BreakerHalfOpen},
+				// Probe in flight: not available to other requests.
+				{op: "avail?", at: 2 * time.Second, wantAvail: false},
+			},
+		},
+		{
+			name: "half-open probe success recovers",
+			steps: []step{
+				{op: "fail"}, {op: "fail"}, {op: "fail", wantState: BreakerOpen},
+				{op: "attempt", at: 2 * time.Second, wantState: BreakerHalfOpen},
+				{op: "ok", wantState: BreakerClosed},
+				{op: "avail?", wantAvail: true},
+			},
+		},
+		{
+			name: "half-open probe failure reopens immediately",
+			steps: []step{
+				{op: "fail"}, {op: "fail"}, {op: "fail", wantState: BreakerOpen},
+				{op: "attempt", at: 2 * time.Second, wantState: BreakerHalfOpen},
+				{op: "fail", at: 2 * time.Second, wantState: BreakerOpen},
+				// Fresh cooldown from the reopen.
+				{op: "avail?", at: 2*time.Second + 10*time.Millisecond, wantAvail: false},
+				{op: "avail?", at: 4 * time.Second, wantAvail: true},
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			b := newBreaker(3, time.Second, nil)
+			for i, s := range tc.steps {
+				now := t0.Add(s.at)
+				switch s.op {
+				case "fail":
+					b.onFailure(now)
+				case "ok":
+					b.onSuccess()
+				case "attempt":
+					b.beginAttempt(now)
+				case "avail?":
+					if got := b.available(now); got != s.wantAvail {
+						t.Fatalf("step %d: available = %v, want %v", i, got, s.wantAvail)
+					}
+					continue
+				}
+				if s.op != "avail?" && s.wantState != b.State() && stepAsserted(s) {
+					t.Fatalf("step %d (%s): state = %v, want %v", i, s.op, b.State(), s.wantState)
+				}
+			}
+		})
+	}
+}
+
+// stepAsserted reports whether a step pins a state (steps without an
+// expectation leave wantState at the zero value, BreakerClosed, which
+// would misfire on transitional steps; only explicit checks assert).
+func stepAsserted(s struct {
+	op        string
+	at        time.Duration
+	wantState BreakerState
+	wantAvail bool
+}) bool {
+	return s.wantState != BreakerClosed || s.op == "ok" || s.op == "avail?"
+}
+
+func TestBreakerGaugeTracksState(t *testing.T) {
+	reg := obs.New()
+	g := reg.Gauge("confbench_breaker_state", "vm", "v")
+	b := newBreaker(1, time.Second, g)
+	b.onFailure(time.Now())
+	if g.Value() != int64(BreakerOpen) {
+		t.Errorf("gauge = %d after trip, want %d", g.Value(), BreakerOpen)
+	}
+	b.onSuccess()
+	if g.Value() != int64(BreakerClosed) {
+		t.Errorf("gauge = %d after recover, want %d", g.Value(), BreakerClosed)
+	}
+}
+
+// TestRoundRobinWrap is the regression test for the int-conversion
+// bug: with the uint64 counter seeded just below the wrap point, Pick
+// must keep returning in-range non-negative indices (the old
+// int(counter) % len form went negative past MaxInt).
+func TestRoundRobinWrap(t *testing.T) {
+	entries := []*Entry{{}, {}, {}}
+	rr := &RoundRobin{}
+	rr.counter.Store(math.MaxUint64 - 4)
+	seen := make(map[int]bool)
+	for i := 0; i < 10; i++ {
+		got := rr.Pick(entries)
+		if got < 0 || got >= len(entries) {
+			t.Fatalf("Pick #%d = %d, out of range [0,%d)", i, got, len(entries))
+		}
+		seen[got] = true
+	}
+	if len(seen) != len(entries) {
+		t.Errorf("wrap broke the rotation: only %d of %d indices seen", len(seen), len(entries))
+	}
+	// MaxInt boundary specifically: counter value MaxInt64+1 used to
+	// convert negative on 64-bit builds too.
+	rr.counter.Store(uint64(math.MaxInt64))
+	if got := rr.Pick(entries); got < 0 || got >= len(entries) {
+		t.Errorf("Pick past MaxInt64 = %d", got)
+	}
+}
+
+// TestReleaseIdempotent is the regression test for the double-release
+// bug: releasing one checkout twice must decrement in-flight once.
+func TestReleaseIdempotent(t *testing.T) {
+	p := NewPool(tee.KindTDX, nil, obs.New())
+	p.Add("h", hostagent.Endpoint{Addr: "1.2.3.4:1", Secure: true, TEE: tee.KindTDX, VMName: "v1"})
+
+	a, err := p.Acquire(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Acquire(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InFlight() != 2 {
+		t.Fatalf("in-flight = %d, want 2", p.InFlight())
+	}
+	a.Release()
+	a.Release()
+	p.Release(a) // and via the pool: still a no-op
+	if p.InFlight() != 1 {
+		t.Errorf("in-flight after double release = %d, want 1 (b still out)", p.InFlight())
+	}
+	b.Release()
+	if p.InFlight() != 0 {
+		t.Errorf("in-flight = %d, want 0", p.InFlight())
+	}
+	p.Release(nil) // must not panic
+}
+
+// TestAcquireSkipsOpenBreakers: a tripped endpoint leaves rotation;
+// when every matching endpoint is open, Acquire reports unhealthy
+// rather than routing into a known-bad host.
+func TestAcquireSkipsOpenBreakers(t *testing.T) {
+	p := NewPool(tee.KindSEV, nil, obs.New(), WithBreaker(1, time.Hour))
+	p.Add("h1", hostagent.Endpoint{Addr: "a:1", Secure: true, TEE: tee.KindSEV, VMName: "v1"})
+	p.Add("h2", hostagent.Endpoint{Addr: "a:2", Secure: true, TEE: tee.KindSEV, VMName: "v2"})
+
+	// Trip h1.
+	var h1 *Entry
+	for _, e := range p.entries {
+		if e.Host == "h1" {
+			h1 = e
+		}
+	}
+	h1.breaker.onFailure(time.Now())
+	if h1.BreakerState() != BreakerOpen {
+		t.Fatal("h1 should be open at threshold 1")
+	}
+	if p.Healthy() != 1 {
+		t.Errorf("healthy = %d, want 1", p.Healthy())
+	}
+	for i := 0; i < 5; i++ {
+		co, err := p.Acquire(context.Background(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if co.Entry.Host != "h2" {
+			t.Fatalf("acquired %s, want h2 (h1 is open)", co.Entry.Host)
+		}
+		co.Release()
+	}
+
+	// Trip h2 as well: all matching endpoints unhealthy.
+	for _, e := range p.entries {
+		if e.Host == "h2" {
+			e.breaker.onFailure(time.Now())
+		}
+	}
+	if _, err := p.Acquire(context.Background(), true); err == nil {
+		t.Error("Acquire with all breakers open should fail")
+	}
+}
+
+// TestAcquireAvoiding: the retry path must not hand back the endpoint
+// that just failed.
+func TestAcquireAvoiding(t *testing.T) {
+	p := NewPool(tee.KindTDX, nil, obs.New())
+	p.Add("h1", hostagent.Endpoint{Addr: "a:1", Secure: true, TEE: tee.KindTDX, VMName: "v1"})
+	p.Add("h2", hostagent.Endpoint{Addr: "a:2", Secure: true, TEE: tee.KindTDX, VMName: "v2"})
+	first, err := p.Acquire(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Release()
+	for i := 0; i < 4; i++ {
+		co, err := p.AcquireAvoiding(context.Background(), true, first.Entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if co.Entry == first.Entry {
+			t.Fatal("AcquireAvoiding returned the avoided entry")
+		}
+		co.Release()
+	}
+}

@@ -31,6 +31,10 @@ type Gateway struct {
 	client        *http.Client
 	policyFactory func() Policy
 	obsreg        *obs.Registry
+	retries       *obs.Counter
+
+	breakerThreshold int
+	breakerCooldown  time.Duration
 
 	mu    sync.RWMutex
 	pools map[tee.Kind]*Pool
@@ -85,6 +89,12 @@ type Config struct {
 	// Obs is the metrics registry the gateway and its pools report to
 	// (nil = the process-wide default).
 	Obs *obs.Registry
+	// BreakerThreshold is the consecutive-failure count that trips an
+	// endpoint's circuit breaker open (0 = DefaultBreakerThreshold).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open endpoint is skipped before
+	// a half-open probe is allowed (0 = DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
 }
 
 // New builds a gateway with empty pools.
@@ -94,11 +104,14 @@ func New(cfg Config) *Gateway {
 		languages = langs.Names()
 	}
 	g := &Gateway{
-		db:     faas.NewDB(languages),
-		client: &http.Client{Timeout: 120 * time.Second},
-		pools:  make(map[tee.Kind]*Pool, 4),
-		obsreg: obs.OrDefault(cfg.Obs),
+		db:               faas.NewDB(languages),
+		client:           &http.Client{Timeout: 120 * time.Second},
+		pools:            make(map[tee.Kind]*Pool, 4),
+		obsreg:           obs.OrDefault(cfg.Obs),
+		breakerThreshold: cfg.BreakerThreshold,
+		breakerCooldown:  cfg.BreakerCooldown,
 	}
+	g.retries = g.obsreg.Counter("confbench_invoke_retries_total")
 	g.policyFactory = cfg.Policy
 	return g
 }
@@ -119,7 +132,8 @@ func (g *Gateway) AddHost(name string, eps []hostagent.Endpoint) {
 			if g.policyFactory != nil {
 				policy = g.policyFactory()
 			}
-			pool = NewPool(ep.TEE, policy, g.obsreg)
+			pool = NewPool(ep.TEE, policy, g.obsreg,
+				WithBreaker(g.breakerThreshold, g.breakerCooldown))
 			g.pools[ep.TEE] = pool
 		}
 		pool.Add(name, ep)
@@ -330,18 +344,9 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		g.fail(w, err)
 		return
 	}
-	entry, err := pool.Acquire(ctx, req.Secure)
-	if err != nil {
-		g.fail(w, cberr.Wrap(cberr.CodeUnavailable, cberr.LayerPool, err))
-		return
-	}
-	defer pool.Release(entry)
-
-	hopCtx, hop := obs.StartSpan(ctx, "gateway", "relay-hop "+entry.Endpoint.Addr)
 	var resp api.InvokeResponse
-	err = g.forward(hopCtx, entry.Endpoint.Addr, api.GuestPathInvoke,
+	entry, hop, err := g.dispatch(ctx, pool, req.Secure, api.GuestPathInvoke,
 		api.GuestInvokeRequest{Function: fn, Scale: req.Scale, Trace: req.Trace}, &resp)
-	hop.End()
 	if err != nil {
 		g.fail(w, err)
 		return
@@ -358,6 +363,57 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	g.invocations.Add(1)
 	g.poolCounter(pool.TEE).Add(1)
 	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+// dispatch runs one forwarded exchange with endpoint health
+// accounting: it acquires a healthy endpoint, forwards, reports the
+// outcome to that endpoint's breaker, and retries once on an
+// alternate endpoint when the attempt failed retryably (per the cberr
+// taxonomy). It returns the entry that served the successful attempt
+// and that attempt's relay-hop span, for trace grafting. Canceled
+// callers and non-retryable failures are never retried, and a
+// failed retry surfaces the retry's error (the fresher diagnosis).
+func (g *Gateway) dispatch(ctx context.Context, pool *Pool, secure bool, path string, in, out any) (*Entry, *obs.Span, error) {
+	var lastErr error
+	var avoid *Entry
+	for attempt := 0; attempt < 2; attempt++ {
+		co, err := pool.AcquireAvoiding(ctx, secure, avoid)
+		if err != nil {
+			// No alternate endpoint for the retry: the first failure
+			// is the better story.
+			if lastErr != nil {
+				return nil, nil, lastErr
+			}
+			return nil, nil, cberr.Wrap(cberr.CodeUnavailable, cberr.LayerPool, err)
+		}
+		entry := co.Entry
+		if attempt > 0 {
+			g.retries.Inc()
+		}
+		hopCtx, hop := obs.StartSpan(ctx, "gateway", "relay-hop "+entry.Endpoint.Addr)
+		if attempt > 0 {
+			hop.SetAttr("retry", strconv.Itoa(attempt))
+		}
+		err = g.forward(hopCtx, entry.Endpoint.Addr, path, in, out)
+		hop.End()
+		co.Release()
+		if err == nil {
+			entry.breaker.onSuccess()
+			return entry, hop, nil
+		}
+		if cberr.Retryable(err) {
+			// Only infrastructure failures count against the breaker;
+			// a request the guest rejected as invalid says nothing
+			// about endpoint health.
+			entry.breaker.onFailure(time.Now())
+		}
+		lastErr = err
+		if !cberr.Retryable(err) || ctx.Err() != nil {
+			return nil, nil, err
+		}
+		avoid = entry
+	}
+	return nil, nil, lastErr
 }
 
 func (g *Gateway) handleAttest(w http.ResponseWriter, r *http.Request) {
@@ -377,15 +433,8 @@ func (g *Gateway) handleAttest(w http.ResponseWriter, r *http.Request) {
 		g.fail(w, err)
 		return
 	}
-	entry, err := pool.Acquire(r.Context(), true)
-	if err != nil {
-		g.fail(w, cberr.Wrap(cberr.CodeUnavailable, cberr.LayerPool, err))
-		return
-	}
-	defer pool.Release(entry)
-
 	var resp api.AttestResponse
-	if err := g.forward(r.Context(), entry.Endpoint.Addr, api.GuestPathAttest, req, &resp); err != nil {
+	if _, _, err := g.dispatch(r.Context(), pool, true, api.GuestPathAttest, req, &resp); err != nil {
 		g.fail(w, err)
 		return
 	}
@@ -407,6 +456,8 @@ func (g *Gateway) handlePools(w http.ResponseWriter, r *http.Request) {
 			Endpoints: p.Len(),
 			Policy:    p.PolicyName(),
 			InFlight:  int(p.InFlight()),
+			Healthy:   p.Healthy(),
+			Members:   p.Members(),
 		})
 	}
 	g.mu.RUnlock()

@@ -244,7 +244,7 @@ func TestPoolAcquireRelease(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !e.Endpoint.Secure {
+	if !e.Entry.Endpoint.Secure {
 		t.Error("acquired wrong endpoint")
 	}
 	if p.InFlight() != 1 {

@@ -7,7 +7,11 @@
 // language, a configuration mapping TEEs to host endpoints, and "TEE
 // pools" that load-balance workload requests across hosts of the same
 // platform, with a pluggable policy (round-robin or least-loaded) that
-// cloud providers would adjust to their needs (§III-A).
+// cloud providers would adjust to their needs (§III-A). Pool entries
+// carry per-endpoint health: a consecutive-failure circuit breaker
+// takes wedged hosts out of rotation, and the dispatcher retries a
+// retryably-failed invoke once on an alternate endpoint, so one dead
+// SEV host does not sink every request routed to it.
 package gateway
 
 import (
@@ -18,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"confbench/internal/api"
 	"confbench/internal/hostagent"
 	"confbench/internal/obs"
 	"confbench/internal/tee"
@@ -27,17 +32,25 @@ import (
 var (
 	ErrNoEndpoint = errors.New("gateway: no endpoint available")
 	ErrNoPool     = errors.New("gateway: no pool for TEE")
+	// ErrAllUnhealthy is returned when endpoints matching the request
+	// exist but every breaker is open.
+	ErrAllUnhealthy = errors.New("gateway: all matching endpoints unhealthy")
 )
 
-// Entry is one VM endpoint inside a pool, with its in-flight counter.
+// Entry is one VM endpoint inside a pool, with its in-flight counter
+// and circuit breaker.
 type Entry struct {
 	Host     string
 	Endpoint hostagent.Endpoint
 	inFlight atomic.Int64
+	breaker  *breaker
 }
 
 // InFlight returns the endpoint's current in-flight request count.
 func (e *Entry) InFlight() int64 { return e.inFlight.Load() }
+
+// BreakerState returns the endpoint's circuit-breaker position.
+func (e *Entry) BreakerState() BreakerState { return e.breaker.State() }
 
 // Policy selects an endpoint from a candidate set.
 type Policy interface {
@@ -58,9 +71,12 @@ var _ Policy = (*RoundRobin)(nil)
 // Name implements Policy.
 func (r *RoundRobin) Name() string { return "round-robin" }
 
-// Pick implements Policy.
+// Pick implements Policy. The modulo happens in uint64 space: doing
+// it after the int conversion goes negative once the counter passes
+// MaxInt (32-bit builds, long-lived gateways) and yields a negative
+// index.
 func (r *RoundRobin) Pick(candidates []*Entry) int {
-	return int(r.counter.Add(1)-1) % len(candidates)
+	return int((r.counter.Add(1) - 1) % uint64(len(candidates)))
 }
 
 // LeastLoaded picks the endpoint with the fewest in-flight requests.
@@ -88,6 +104,10 @@ type Pool struct {
 	TEE    tee.Kind
 	policy Policy
 
+	reg              *obs.Registry
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
 	checkouts *obs.Counter
 	waitHist  *obs.Histogram
 	occupancy *obs.Gauge
@@ -96,27 +116,53 @@ type Pool struct {
 	entries []*Entry
 }
 
+// PoolOption tweaks a pool built by NewPool.
+type PoolOption func(*Pool)
+
+// WithBreaker sets the per-endpoint circuit-breaker parameters:
+// threshold consecutive failures trip an endpoint open; after
+// cooldown one probe request is allowed through. Zero values keep
+// the defaults.
+func WithBreaker(threshold int, cooldown time.Duration) PoolOption {
+	return func(p *Pool) {
+		p.breakerThreshold = threshold
+		p.breakerCooldown = cooldown
+	}
+}
+
 // NewPool builds a pool with the given policy (nil = round-robin),
 // registering its metrics in reg (nil = the default registry).
-func NewPool(kind tee.Kind, policy Policy, reg *obs.Registry) *Pool {
+func NewPool(kind tee.Kind, policy Policy, reg *obs.Registry, opts ...PoolOption) *Pool {
 	if policy == nil {
 		policy = &RoundRobin{}
 	}
 	r := obs.OrDefault(reg)
-	return &Pool{
+	p := &Pool{
 		TEE:       kind,
 		policy:    policy,
+		reg:       r,
 		checkouts: r.Counter("confbench_pool_checkouts_total", "tee", string(kind)),
 		waitHist:  r.Histogram("confbench_pool_checkout_wait_seconds", "tee", string(kind)),
 		occupancy: r.Gauge("confbench_pool_occupancy", "tee", string(kind)),
 	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
 }
 
-// Add registers an endpoint.
+// Add registers an endpoint with a fresh (closed) breaker.
 func (p *Pool) Add(host string, ep hostagent.Endpoint) {
+	gauge := p.reg.Gauge("confbench_breaker_state",
+		"tee", string(p.TEE), "host", host, "vm", ep.VMName)
+	gauge.Set(int64(BreakerClosed))
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.entries = append(p.entries, &Entry{Host: host, Endpoint: ep})
+	p.entries = append(p.entries, &Entry{
+		Host:     host,
+		Endpoint: ep,
+		breaker:  newBreaker(p.breakerThreshold, p.breakerCooldown, gauge),
+	})
 }
 
 // Len returns the endpoint count.
@@ -137,43 +183,113 @@ func (p *Pool) InFlight() int64 {
 	return total
 }
 
+// Healthy counts endpoints whose breaker is not open.
+func (p *Pool) Healthy() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	n := 0
+	for _, e := range p.entries {
+		if e.BreakerState() != BreakerOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// Members reports per-endpoint health for GET /pools — the partial
+// pool status the gateway serves while some hosts are down.
+func (p *Pool) Members() []api.EndpointHealth {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]api.EndpointHealth, 0, len(p.entries))
+	for _, e := range p.entries {
+		out = append(out, api.EndpointHealth{
+			Host:     e.Host,
+			VM:       e.Endpoint.VMName,
+			Secure:   e.Endpoint.Secure,
+			Breaker:  e.BreakerState().String(),
+			InFlight: e.InFlight(),
+		})
+	}
+	return out
+}
+
 // PolicyName returns the load-balancing policy label.
 func (p *Pool) PolicyName() string { return p.policy.Name() }
 
-// Acquire picks an endpoint matching secure, incrementing its
-// in-flight counter. Callers must Release it. The checkout is counted
-// and its wait timed; when the context carries an active trace, the
-// checkout gets its own pool-layer span.
-func (p *Pool) Acquire(ctx context.Context, secure bool) (*Entry, error) {
+// Checkout is one acquired endpoint lease. Release is idempotent per
+// checkout, so a double release cannot drive the in-flight counter
+// negative and corrupt least-loaded picks.
+type Checkout struct {
+	// Entry is the leased endpoint.
+	Entry *Entry
+
+	pool     *Pool
+	released atomic.Bool
+}
+
+// Release returns the lease. Safe to call more than once and on nil.
+func (c *Checkout) Release() {
+	if c == nil || c.released.Swap(true) {
+		return
+	}
+	c.Entry.inFlight.Add(-1)
+	c.pool.occupancy.Set(c.pool.InFlight())
+}
+
+// Acquire picks a healthy endpoint matching secure, incrementing its
+// in-flight counter. Callers must Release the checkout. The checkout
+// is counted and its wait timed; when the context carries an active
+// trace, the checkout gets its own pool-layer span.
+func (p *Pool) Acquire(ctx context.Context, secure bool) (*Checkout, error) {
+	return p.AcquireAvoiding(ctx, secure, nil)
+}
+
+// AcquireAvoiding is Acquire with one endpoint excluded — the retry
+// path uses it to move a failed invoke to an alternate endpoint.
+// Endpoints whose breaker is open (and still cooling down) are
+// skipped; when every matching endpoint is unhealthy the pool reports
+// ErrAllUnhealthy rather than routing into a known-bad host.
+func (p *Pool) AcquireAvoiding(ctx context.Context, secure bool, avoid *Entry) (*Checkout, error) {
 	_, span := obs.StartSpan(ctx, "pool", "checkout "+string(p.TEE))
 	defer span.End()
 	start := time.Now()
 	p.mu.RLock()
+	matching := 0
 	candidates := make([]*Entry, 0, len(p.entries))
 	for _, e := range p.entries {
-		if e.Endpoint.Secure == secure {
-			candidates = append(candidates, e)
+		if e.Endpoint.Secure != secure {
+			continue
 		}
+		matching++
+		if e == avoid || !e.breaker.available(start) {
+			continue
+		}
+		candidates = append(candidates, e)
 	}
 	p.mu.RUnlock()
 	if len(candidates) == 0 {
+		if matching > 0 {
+			span.SetAttr("error", "all endpoints unhealthy")
+			return nil, fmt.Errorf("%w: %s secure=%v (%d endpoints)",
+				ErrAllUnhealthy, p.TEE, secure, matching)
+		}
 		span.SetAttr("error", "no endpoint")
 		return nil, fmt.Errorf("%w: %s secure=%v", ErrNoEndpoint, p.TEE, secure)
 	}
 	e := candidates[p.policy.Pick(candidates)]
+	e.breaker.beginAttempt(start)
 	e.inFlight.Add(1)
 	p.checkouts.Inc()
 	p.waitHist.Observe(time.Since(start))
 	p.occupancy.Set(p.InFlight())
 	span.SetAttr("vm", e.Endpoint.VMName)
 	span.SetAttr("secure", fmt.Sprintf("%v", secure))
-	return e, nil
+	if e.breaker.State() == BreakerHalfOpen {
+		span.SetAttr("breaker", "half-open probe")
+	}
+	return &Checkout{Entry: e, pool: p}, nil
 }
 
-// Release returns an acquired endpoint.
-func (p *Pool) Release(e *Entry) {
-	if e != nil {
-		e.inFlight.Add(-1)
-		p.occupancy.Set(p.InFlight())
-	}
-}
+// Release returns an acquired checkout; idempotent and nil-safe.
+func (p *Pool) Release(c *Checkout) { c.Release() }

@@ -3,7 +3,9 @@ package hostagent
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"confbench/internal/faultplane"
 	"confbench/internal/obs"
 	"confbench/internal/relay"
 	"confbench/internal/tee"
@@ -47,6 +49,9 @@ type AgentConfig struct {
 	// Obs is the metrics registry the guest agents report to (nil =
 	// the process-wide default).
 	Obs *obs.Registry
+	// Faults is the fault plane threaded into the host's launch path,
+	// guest agents, and relays (nil = fault-free).
+	Faults *faultplane.Plane
 }
 
 // NewAgent boots a host: launches the VM pair, starts a guest agent in
@@ -61,19 +66,32 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.Guest.Name == "" {
 		cfg.Guest.Name = cfg.Name
 	}
+	if d := cfg.Faults.Evaluate(faultplane.PointHostLaunch, faultplane.Target{
+		TEE: string(cfg.Backend.Kind()), Host: cfg.Name,
+	}); d.Inject {
+		switch d.Kind {
+		case faultplane.KindLatency, faultplane.KindSlowIO:
+			time.Sleep(d.Latency)
+		default: // error / drop / crash: the host never comes up.
+			return nil, fmt.Errorf("hostagent: %s: launch: %w", cfg.Name, d.Err)
+		}
+	}
 	pair, err := vm.NewPair(cfg.Backend, cfg.Guest, cfg.Catalog)
 	if err != nil {
 		return nil, fmt.Errorf("hostagent: %s: %w", cfg.Name, err)
 	}
 	a := &Agent{name: cfg.Name, backend: cfg.Backend, pair: pair}
 	for _, machine := range []*vm.VM{pair.Secure, pair.Normal} {
-		gs, err := NewGuestServer(machine, cfg.Obs)
+		gs, err := NewGuestServer(GuestServerConfig{
+			VM: machine, Obs: cfg.Obs, Faults: cfg.Faults, Host: cfg.Name,
+		})
 		if err != nil {
 			_ = a.Close()
 			return nil, err
 		}
 		a.guests = append(a.guests, gs)
 		rl := relay.New(gs.Addr())
+		rl.SetFaults(cfg.Faults, cfg.Name, string(cfg.Backend.Kind()))
 		addr, err := rl.Start("127.0.0.1:0")
 		if err != nil {
 			_ = gs.Close()

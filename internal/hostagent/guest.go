@@ -18,6 +18,7 @@ import (
 
 	"confbench/internal/api"
 	"confbench/internal/cberr"
+	"confbench/internal/faultplane"
 	"confbench/internal/obs"
 	"confbench/internal/vm"
 )
@@ -30,20 +31,39 @@ type GuestServer struct {
 	listener net.Listener
 	addr     string
 
+	faults *faultplane.Plane
+	host   string
+
 	requests *obs.Counter
 	errs     *obs.Counter
 	latency  *obs.Histogram
 }
 
+// GuestServerConfig assembles a guest agent.
+type GuestServerConfig struct {
+	// VM is the machine the agent executes against (required).
+	VM *vm.VM
+	// Obs is the metrics registry (nil = the process-wide default).
+	Obs *obs.Registry
+	// Faults is the fault plane evaluated at hostagent.exec (nil =
+	// fault-free).
+	Faults *faultplane.Plane
+	// Host labels the agent's host for fault-spec matching.
+	Host string
+}
+
 // NewGuestServer starts the guest agent on a localhost ephemeral port,
-// reporting its request metrics to reg (nil = the default registry).
-func NewGuestServer(machine *vm.VM, reg *obs.Registry) (*GuestServer, error) {
+// reporting its request metrics to cfg.Obs.
+func NewGuestServer(cfg GuestServerConfig) (*GuestServer, error) {
+	machine := cfg.VM
 	if machine == nil {
 		return nil, errors.New("hostagent: nil vm")
 	}
-	r := obs.OrDefault(reg)
+	r := obs.OrDefault(cfg.Obs)
 	g := &GuestServer{
 		vm:       machine,
+		faults:   cfg.Faults,
+		host:     cfg.Host,
 		requests: r.Counter("confbench_hostagent_requests_total", "vm", machine.Name()),
 		errs:     r.Counter("confbench_hostagent_errors_total", "vm", machine.Name()),
 		latency:  r.Histogram("confbench_hostagent_request_seconds", "vm", machine.Name()),
@@ -94,6 +114,28 @@ func (g *GuestServer) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	var root *obs.Span
 	if req.Trace {
 		ctx, root = obs.NewRoot(ctx, "hostagent", "invoke "+g.vm.Name())
+	}
+	if d := g.faults.Evaluate(faultplane.PointHostExec, faultplane.Target{
+		TEE: string(g.vm.Platform()), Host: g.host, VM: g.vm.Name(),
+	}); d.Inject {
+		if root != nil {
+			root.SetAttr("faultplane", string(d.Kind))
+		}
+		switch d.Kind {
+		case faultplane.KindLatency, faultplane.KindSlowIO:
+			time.Sleep(d.Latency)
+		case faultplane.KindError:
+			g.errs.Inc()
+			if root != nil {
+				root.End()
+			}
+			api.WriteError(w, cberr.HTTPStatus(d.Err), d.Err)
+			return
+		default: // crash / drop: the agent dies mid-request — the
+			// gateway sees a severed connection, not an HTTP error.
+			g.errs.Inc()
+			panic(http.ErrAbortHandler)
+		}
 	}
 	res, err := g.vm.InvokeFunction(ctx, req.Function, req.Scale)
 	g.latency.Observe(time.Since(start))

@@ -1,15 +1,17 @@
 package hostagent
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"testing"
 	"time"
 
 	"confbench/internal/api"
+	"confbench/internal/cberr"
 	"confbench/internal/faas"
+	"confbench/internal/faultplane"
 	"confbench/internal/tee"
 	"confbench/internal/tee/tdx"
 )
@@ -184,5 +186,93 @@ func TestAgentCloseTearsDown(t *testing.T) {
 func TestAgentRejectsNilBackend(t *testing.T) {
 	if _, err := NewAgent(AgentConfig{}); err == nil {
 		t.Error("nil backend accepted")
+	}
+}
+
+// TestAgentLaunchFault: an error fault armed at hostagent.launch
+// keeps the host from coming up, and a latency fault merely delays
+// it.
+func TestAgentLaunchFault(t *testing.T) {
+	backend, err := tdx.NewBackend(tdx.Options{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := faultplane.New(1)
+	if err := plane.Register(faultplane.Spec{
+		Point:       faultplane.PointHostLaunch,
+		Kind:        faultplane.KindError,
+		Host:        "doomed-host",
+		Probability: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewAgent(AgentConfig{
+		Name:    "doomed-host",
+		Backend: backend,
+		Guest:   tee.GuestConfig{MemoryMB: 8},
+		Faults:  plane,
+	})
+	if err == nil {
+		t.Fatal("launch with an armed error fault should fail")
+	}
+	if !cberr.Retryable(err) {
+		t.Errorf("launch fault should classify retryable, got %v", err)
+	}
+
+	// A differently-named host does not match the filter and boots.
+	a, err := NewAgent(AgentConfig{
+		Name:    "healthy-host",
+		Backend: backend,
+		Guest:   tee.GuestConfig{MemoryMB: 8},
+		Faults:  plane,
+	})
+	if err != nil {
+		t.Fatalf("unfaulted host failed to boot: %v", err)
+	}
+	_ = a.Close()
+}
+
+// TestGuestServerExecFault: an error fault at hostagent.exec surfaces
+// as a retryable 503 from the guest agent, while unfaulted VMs on
+// other hosts keep serving.
+func TestGuestServerExecFault(t *testing.T) {
+	backend, err := tdx.NewBackend(tdx.Options{Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := faultplane.New(1)
+	if err := plane.Register(faultplane.Spec{
+		Point:       faultplane.PointHostExec,
+		Kind:        faultplane.KindError,
+		Host:        "faulted-host",
+		Probability: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAgent(AgentConfig{
+		Name:    "faulted-host",
+		Backend: backend,
+		Guest:   tee.GuestConfig{MemoryMB: 8},
+		Faults:  plane,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+
+	ep, err := a.Endpoint(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := api.GuestInvokeRequest{
+		Function: faas.Function{Name: "f", Language: "go", Workload: "cpustress"},
+		Scale:    1,
+	}
+	status := postJSON(t, "http://"+ep.Addr+api.GuestPathInvoke, req, nil)
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("faulted exec status = %d, want %d", status, http.StatusServiceUnavailable)
+	}
+	if plane.Injected() == 0 {
+		t.Error("no injection recorded")
 	}
 }

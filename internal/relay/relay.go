@@ -13,11 +13,18 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"confbench/internal/faultplane"
 )
 
 // Relay forwards TCP connections to a fixed target address.
 type Relay struct {
 	target string
+
+	faults    *faultplane.Plane
+	faultHost string
+	faultTEE  string
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -26,6 +33,7 @@ type Relay struct {
 	wg       sync.WaitGroup
 
 	accepted atomic.Uint64
+	dropped  atomic.Uint64
 	bytesFwd atomic.Uint64
 }
 
@@ -33,6 +41,17 @@ type Relay struct {
 func New(target string) *Relay {
 	return &Relay{target: target, conns: make(map[net.Conn]struct{}, 8)}
 }
+
+// SetFaults attaches a fault plane evaluated at the relay.accept
+// injection point, tagged with the relay's host and TEE kind. Call
+// before Start; a nil plane leaves the relay fault-free.
+func (r *Relay) SetFaults(plane *faultplane.Plane, host, teeKind string) {
+	r.faults, r.faultHost, r.faultTEE = plane, host, teeKind
+}
+
+// Dropped returns the number of accepted connections the fault plane
+// severed before forwarding.
+func (r *Relay) Dropped() uint64 { return r.dropped.Load() }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and
 // begins forwarding. It returns the bound address.
@@ -90,15 +109,36 @@ func (r *Relay) acceptLoop(ln net.Listener) {
 		r.conns[conn] = struct{}{}
 		r.mu.Unlock()
 		r.accepted.Add(1)
+		var delay time.Duration
+		if d := r.faults.Evaluate(faultplane.PointRelayAccept, faultplane.Target{
+			TEE: r.faultTEE, Host: r.faultHost,
+		}); d.Inject {
+			if d.Kind == faultplane.KindLatency || d.Kind == faultplane.KindSlowIO {
+				// Stall this connection before forwarding: models a
+				// congested relay rather than a dead one. The sleep
+				// happens in the forward goroutine so other accepts
+				// proceed.
+				delay = d.Latency
+			} else {
+				// error / drop / crash at the relay all look the same
+				// on the wire — the connection dies before forwarding.
+				r.dropped.Add(1)
+				r.drop(conn)
+				continue
+			}
+		}
 		r.wg.Add(1)
-		go r.forward(conn)
+		go r.forward(conn, delay)
 	}
 }
 
-func (r *Relay) forward(client net.Conn) {
+func (r *Relay) forward(client net.Conn, delay time.Duration) {
 	defer r.wg.Done()
 	defer r.drop(client)
 
+	if delay > 0 {
+		time.Sleep(delay)
+	}
 	server, err := net.Dial("tcp", r.target)
 	if err != nil {
 		return

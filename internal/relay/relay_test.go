@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"confbench/internal/faultplane"
 )
 
 // echoServer accepts connections and echoes every line back.
@@ -225,5 +227,72 @@ func TestRelayAddrAndTarget(t *testing.T) {
 	defer r.Close()
 	if r.Addr() != addr || !strings.HasPrefix(addr, "127.0.0.1:") {
 		t.Errorf("addr = %s", r.Addr())
+	}
+}
+
+// TestRelayFaultDrop: a drop fault at relay.accept severs the
+// accepted connection before any forwarding; a client sees EOF, and
+// unfaulted relays are untouched.
+func TestRelayFaultDrop(t *testing.T) {
+	target := echoServer(t)
+	plane := faultplane.New(7)
+	if err := plane.Register(faultplane.Spec{
+		Point:       faultplane.PointRelayAccept,
+		Kind:        faultplane.KindDrop,
+		Host:        "h1",
+		Probability: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := New(target)
+	r.SetFaults(plane, "h1", "tdx")
+	addr, err := r.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_, _ = conn.Write([]byte("ping\n"))
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err == nil {
+		t.Fatal("read succeeded through a dropped connection")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Dropped() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", r.Dropped())
+	}
+
+	// A second relay on a different host does not match the spec and
+	// forwards normally.
+	r2 := New(target)
+	r2.SetFaults(plane, "h2", "tdx")
+	addr2, err := r2.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	conn2, err := net.Dial("tcp", addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte("pong\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bufio.NewReader(conn2).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "pong\n" {
+		t.Errorf("echo through unfaulted relay = %q", got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"confbench/internal/cpumodel"
+	"confbench/internal/faultplane"
 	"confbench/internal/obs"
 	"confbench/internal/tee"
 )
@@ -21,6 +22,9 @@ type Options struct {
 	// Obs is the metrics registry the RMM and guests report to (nil =
 	// the process-wide default).
 	Obs *obs.Registry
+	// Faults is the fault plane guests evaluate at the TEE injection
+	// points (nil = fault-free).
+	Faults *faultplane.Plane
 }
 
 // Backend implements tee.Backend for ARM CCA on the FVP simulator.
@@ -33,6 +37,7 @@ type Backend struct {
 	host   cpumodel.Profile
 	rmm    *RMM
 	obsreg *obs.Registry
+	faults *faultplane.Plane
 
 	mu       sync.Mutex
 	nextSeed int64
@@ -58,6 +63,7 @@ func NewBackend(opts Options) (*Backend, error) {
 		host:     opts.Host,
 		rmm:      rmm,
 		obsreg:   opts.Obs,
+		faults:   opts.Faults,
 		nextSeed: opts.Seed + 1,
 		nextPA:   GranuleSize, // skip granule 0
 	}, nil
@@ -165,6 +171,8 @@ func (b *Backend) Launch(cfg tee.GuestConfig) (tee.Guest, error) {
 		BootBase: bootBaseNs,
 		Seed:     seed,
 		Obs:      b.obsreg,
+		Faults:   b.faults,
+		Host:     cfg.Name,
 		// The FVP lacks the hardware support attestation requires
 		// (§IV-B: "We leave out CCA as the simulator lacks the
 		// required hardware support"), so no Report hook is set and

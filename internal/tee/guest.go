@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"confbench/internal/cpumodel"
+	"confbench/internal/faultplane"
 	"confbench/internal/meter"
 	"confbench/internal/obs"
 )
@@ -43,6 +44,9 @@ type ModelGuest struct {
 	transitions *obs.Counter
 	bounceBytes *obs.Counter
 
+	faults *faultplane.Plane
+	host   string
+
 	mu        sync.Mutex
 	rng       *rand.Rand
 	destroyed bool
@@ -68,6 +72,11 @@ type ModelGuestConfig struct {
 	// Obs is the metrics registry transition and bounce-buffer
 	// counters report to (nil = the process-wide default).
 	Obs *obs.Registry
+	// Faults is the fault plane evaluated at the tee.transition and
+	// tee.bounce_io points while pricing (nil = fault-free).
+	Faults *faultplane.Plane
+	// Host labels the guest's host for fault-spec matching.
+	Host string
 }
 
 // NewModelGuest builds a guest from cfg.
@@ -87,6 +96,8 @@ func NewModelGuest(cfg ModelGuestConfig) *ModelGuest {
 		boot:        boot,
 		transitions: r.Counter("confbench_tee_transitions_total", "tee", kind),
 		bounceBytes: r.Counter("confbench_tee_bounce_buffer_bytes_total", "tee", kind),
+		faults:      cfg.Faults,
+		host:        cfg.Host,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		report:      cfg.Report,
 		destroy:     cfg.Destroy,
@@ -105,7 +116,11 @@ func (g *ModelGuest) Secure() bool { return g.secure }
 // BootCost implements Guest.
 func (g *ModelGuest) BootCost() time.Duration { return g.boot }
 
-// Price implements Guest.
+// Price implements Guest. On secure guests the fault plane is
+// consulted at the transition and bounce-buffer points; an injected
+// fault degrades the priced virtual time (Charge.Fault/FaultDelay)
+// rather than erroring — a wedged TDX module or RMP contention slows
+// the guest down, it does not return an error code.
 func (g *ModelGuest) Price(u meter.Usage, base cpumodel.Breakdown) Charge {
 	g.mu.Lock()
 	charge := g.model.Apply(u, base, g.rng)
@@ -114,9 +129,26 @@ func (g *ModelGuest) Price(u meter.Usage, base cpumodel.Breakdown) Charge {
 		if charge.Exits > 0 {
 			g.transitions.Add(charge.Exits)
 		}
-		if bytes := u.Get(meter.IOReadBytes) + u.Get(meter.IOWriteBytes); bytes > 0 {
+		bytes := u.Get(meter.IOReadBytes) + u.Get(meter.IOWriteBytes)
+		if bytes > 0 {
 			g.bounceBytes.Add(bytes)
 		}
+		target := faultplane.Target{TEE: string(g.kind), Host: g.host, VM: g.id}
+		if charge.Exits > 0 {
+			if d := g.faults.Evaluate(faultplane.PointTEETransition, target); d.Inject {
+				charge.Fault = string(d.Kind)
+				charge.FaultDelay += d.Latency
+			}
+		}
+		if bytes > 0 {
+			if d := g.faults.Evaluate(faultplane.PointTEEBounceIO, target); d.Inject {
+				if charge.Fault == "" {
+					charge.Fault = string(d.Kind)
+				}
+				charge.FaultDelay += d.Latency
+			}
+		}
+		charge.Total += charge.FaultDelay
 	}
 	return charge
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"confbench/internal/cpumodel"
+	"confbench/internal/faultplane"
 	"confbench/internal/obs"
 	"confbench/internal/tee"
 )
@@ -19,6 +20,9 @@ type Options struct {
 	// Obs is the metrics registry the RMP and guests report to (nil =
 	// the process-wide default).
 	Obs *obs.Registry
+	// Faults is the fault plane guests evaluate at the TEE injection
+	// points (nil = fault-free).
+	Faults *faultplane.Plane
 }
 
 // Backend implements tee.Backend for AMD SEV-SNP.
@@ -27,6 +31,7 @@ type Backend struct {
 	sp     *AMDSP
 	rmp    *RMP
 	obsreg *obs.Registry
+	faults *faultplane.Plane
 
 	mu       sync.Mutex
 	nextASID uint32
@@ -57,6 +62,7 @@ func NewBackend(opts Options) (*Backend, error) {
 		sp:       sp,
 		rmp:      rmp,
 		obsreg:   opts.Obs,
+		faults:   opts.Faults,
 		nextASID: 1,
 		nextSeed: opts.Seed + 1,
 	}, nil
@@ -163,6 +169,8 @@ func (b *Backend) Launch(cfg tee.GuestConfig) (tee.Guest, error) {
 		BootBase: bootBaseNs,
 		Seed:     seed,
 		Obs:      b.obsreg,
+		Faults:   b.faults,
+		Host:     cfg.Name,
 		Report: func(_ context.Context, nonce []byte) ([]byte, error) {
 			r, err := sp.GuestRequestReport(asid, 0, nonce)
 			if err != nil {

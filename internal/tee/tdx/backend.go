@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"confbench/internal/cpumodel"
+	"confbench/internal/faultplane"
 	"confbench/internal/obs"
 	"confbench/internal/tee"
 )
@@ -24,6 +25,9 @@ type Options struct {
 	// Obs is the metrics registry the module and guests report to
 	// (nil = the process-wide default).
 	Obs *obs.Registry
+	// Faults is the fault plane guests evaluate at the TEE injection
+	// points (nil = fault-free).
+	Faults *faultplane.Plane
 }
 
 // Backend implements tee.Backend for Intel TDX.
@@ -31,6 +35,7 @@ type Backend struct {
 	host   cpumodel.Profile
 	module *Module
 	obsreg *obs.Registry
+	faults *faultplane.Plane
 	seed   int64
 
 	mu       sync.Mutex
@@ -58,6 +63,7 @@ func NewBackend(opts Options) (*Backend, error) {
 		host:     opts.Host,
 		module:   module,
 		obsreg:   opts.Obs,
+		faults:   opts.Faults,
 		seed:     opts.Seed,
 		nextSeed: opts.Seed + 1,
 	}, nil
@@ -179,6 +185,8 @@ func (b *Backend) Launch(cfg tee.GuestConfig) (tee.Guest, error) {
 		BootBase: bootBaseNs,
 		Seed:     b.guestSeed(cfg),
 		Obs:      b.obsreg,
+		Faults:   b.faults,
+		Host:     cfg.Name,
 		Report: func(_ context.Context, nonce []byte) ([]byte, error) {
 			r, err := mod.TDGMrReport(id, nonce)
 			if err != nil {

@@ -105,6 +105,14 @@ type Charge struct {
 	Exits uint64
 	// Total is the adjusted wall-clock estimate.
 	Total time.Duration
+	// Fault names the injected fault kind when the fault plane fired
+	// at a TEE point during pricing ("" = clean). TEE-layer faults
+	// degrade virtual time rather than erroring: pricing has no error
+	// channel, and a slow transition path is what a wedged TDX module
+	// or RMP contention actually looks like.
+	Fault string
+	// FaultDelay is the virtual time the fault added to Total.
+	FaultDelay time.Duration
 }
 
 // Guest is a running (confidential or normal) VM context.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"confbench/internal/cpumodel"
+	"confbench/internal/faultplane"
 	"confbench/internal/meter"
 )
 
@@ -195,6 +196,90 @@ func TestModelGuestNoAttestationHardware(t *testing.T) {
 	g := NewModelGuest(ModelGuestConfig{IDPrefix: "r", Kind: KindCCA, Secure: true, Model: NormalCostModel()})
 	if _, err := g.AttestationReport(context.Background(), nil); !errors.Is(err, ErrNoAttestation) {
 		t.Errorf("want ErrNoAttestation, got %v", err)
+	}
+}
+
+// TestModelGuestFaultDegradation: TEE-layer faults have no error
+// channel — an injected fault at tee.transition or tee.bounce_io
+// degrades the priced virtual time instead. A faulted guest must
+// charge exactly its fault-free total plus the accumulated
+// FaultDelay, and must label the charge with the fault kind.
+func TestModelGuestFaultDegradation(t *testing.T) {
+	// A model that produces exits (arming the transition point) for
+	// the syscall-heavy usage below.
+	cm := NormalCostModel()
+	cm.JitterStd = 0
+	cm.ExitNs = 10_000
+	cm.ExitsPerSys = 1
+
+	mkGuest := func(plane *faultplane.Plane) *ModelGuest {
+		return NewModelGuest(ModelGuestConfig{
+			IDPrefix: "chaos",
+			Kind:     KindSEV,
+			Secure:   true,
+			Model:    cm,
+			Seed:     11,
+			Faults:   plane,
+			Host:     "sev-snp-host",
+		})
+	}
+
+	plane := faultplane.New(3)
+	const slow = 5 * time.Millisecond
+	if err := plane.Register(faultplane.Spec{
+		Point:       faultplane.PointTEETransition,
+		Kind:        faultplane.KindLatency,
+		Host:        "sev-snp-host",
+		Probability: 1,
+		Latency:     slow,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := plane.Register(faultplane.Spec{
+		Point:       faultplane.PointTEEBounceIO,
+		Kind:        faultplane.KindSlowIO,
+		Host:        "sev-snp-host",
+		Probability: 1,
+		Latency:     slow,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	u := meter.Usage{meter.Syscalls: 1000, meter.IOReadBytes: 1 << 20}
+	base := cpumodel.XeonGold5515.Cost(u)
+
+	clean := mkGuest(nil).Price(u, base)
+	if clean.Fault != "" || clean.FaultDelay != 0 {
+		t.Fatalf("fault-free charge carries fault: %+v", clean)
+	}
+
+	faulted := mkGuest(plane).Price(u, base)
+	if faulted.Fault != string(faultplane.KindLatency) {
+		t.Errorf("fault label = %q, want %q (first injection wins)", faulted.Fault, faultplane.KindLatency)
+	}
+	// Both points matched with Probability 1, so both latencies stack.
+	if faulted.FaultDelay != 2*slow {
+		t.Errorf("fault delay = %v, want %v", faulted.FaultDelay, 2*slow)
+	}
+	if faulted.Total != clean.Total+faulted.FaultDelay {
+		t.Errorf("degraded total = %v, want clean %v + delay %v", faulted.Total, clean.Total, faulted.FaultDelay)
+	}
+	if got := len(plane.History()); got != 2 {
+		t.Errorf("injections recorded = %d, want 2", got)
+	}
+
+	// A host that does not match the filter prices fault-free.
+	other := NewModelGuest(ModelGuestConfig{
+		IDPrefix: "other",
+		Kind:     KindSEV,
+		Secure:   true,
+		Model:    cm,
+		Seed:     11,
+		Faults:   plane,
+		Host:     "sev-snp-host-2",
+	})
+	if ch := other.Price(u, base); ch.Fault != "" || ch.Total != clean.Total {
+		t.Errorf("unmatched host degraded: %+v (clean total %v)", ch, clean.Total)
 	}
 }
 

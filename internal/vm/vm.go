@@ -174,6 +174,10 @@ func (v *VM) InvokeFunction(ctx context.Context, fn faas.Function, scale int) (R
 	bootCharge, _ := v.price(lr.BootstrapUsage)
 	priceSpan.SetAttrInt("exits", int64(charge.Exits))
 	priceSpan.SetAttrInt("wall_ns", charge.Total.Nanoseconds())
+	if charge.Fault != "" {
+		priceSpan.SetAttr("faultplane", charge.Fault)
+		priceSpan.SetAttrInt("fault_delay_ns", charge.FaultDelay.Nanoseconds())
+	}
 	priceSpan.End()
 	return Result{
 		Output:    lr.Output,
