@@ -2,11 +2,17 @@ GO ?= go
 
 # Concurrency-sensitive packages: the bench Runner worker pool, the
 # gateway (TEE pools, circuit breakers, load balancer, forwarding),
-# the retrying HTTP client, the fault plane, and the sharded metrics
-# registry.
-RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/api/... ./internal/obs/... ./internal/faultplane/...
+# the retrying HTTP client, the fault plane, the sharded metrics
+# registry, and the warm guest pool's refill goroutine.
+RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/api/... ./internal/obs/... ./internal/faultplane/... ./internal/hostagent/...
 
-.PHONY: build test vet race obs-smoke chaos-smoke verify
+# Packages held to the coverage floor: the statistics toolkit every
+# reported number flows through, the gateway dispatch path, and the
+# warm-pool/snapshot-cache subsystem.
+COVER_FLOOR ?= 70
+COVER_PKGS = ./internal/stats ./internal/gateway ./internal/hostagent ./internal/vm
+
+.PHONY: build test vet race cover cover-floor fuzz-smoke obs-smoke chaos-smoke verify
 
 build:
 	$(GO) build ./...
@@ -19,6 +25,30 @@ vet:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Per-package coverage report over the whole module.
+cover:
+	$(GO) test -cover ./...
+
+# Enforce the coverage floor on the load-bearing packages. Each
+# package is checked individually so one over-covered package cannot
+# mask an under-covered one.
+cover-floor:
+	@for pkg in $(COVER_PKGS); do \
+		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "FAIL $$pkg: no coverage output"; exit 1; fi; \
+		ok=$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { print (p >= f) ? 1 : 0 }'); \
+		if [ "$$ok" != "1" ]; then echo "FAIL $$pkg: coverage $$pct% below floor $(COVER_FLOOR)%"; exit 1; fi; \
+		echo "ok   $$pkg coverage $$pct% (floor $(COVER_FLOOR)%)"; \
+	done
+
+# Short fuzz pass over every harness, seeded by the committed corpora
+# in testdata/fuzz. Go permits one -fuzz pattern per invocation, hence
+# one run per target.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz 'FuzzParseSpec$$' -fuzztime 5s ./internal/faultplane
+	$(GO) test -run xxx -fuzz 'FuzzParseSpecs$$' -fuzztime 5s ./internal/faultplane
+	$(GO) test -run xxx -fuzz 'FuzzWireDecode$$' -fuzztime 5s ./internal/api
 
 # End-to-end observability check: boot a cluster, run a mixed batch of
 # invocations, and assert the /v1/obs plane (route counters, pool
@@ -36,6 +66,6 @@ chaos-smoke:
 	$(GO) test -race -run TestChaosSmoke -count=1 .
 
 # Full pre-merge check: compile, vet, unit tests, the race detector
-# over the concurrency-sensitive packages, and the observability and
-# chaos smoke tests.
-verify: build vet test race obs-smoke chaos-smoke
+# over the concurrency-sensitive packages, the coverage floor, and the
+# observability and chaos smoke tests.
+verify: build vet test race cover-floor obs-smoke chaos-smoke

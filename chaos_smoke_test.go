@@ -126,3 +126,81 @@ func TestChaosSmoke(t *testing.T) {
 		t.Errorf("same seed produced different fault sequences:\nrun1: %v\nrun2: %v", history, history2)
 	}
 }
+
+// TestChaosSmokeWarmRestoreFallback is the warm-pool counterpart to
+// TestChaosSmoke: with every snapshot restore hard-erroring, a
+// warm-pooled SEV cluster must still boot and serve all invocations —
+// each failed restore silently falls back to a cold measured launch,
+// so the chaos is visible only in the fault history and fallback
+// counters, never to the client.
+func TestChaosSmokeWarmRestoreFallback(t *testing.T) {
+	plane := confbench.NewFaultPlane(42)
+	specs, err := confbench.ParseFaultSpecs("snapshot.restore:error:1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if err := plane.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := confbench.NewObsRegistry()
+	c, err := confbench.New(
+		confbench.WithTEEs(confbench.KindSEV),
+		confbench.WithSeed(42),
+		confbench.WithGuestMemoryMB(8),
+		confbench.WithObsRegistry(reg),
+		confbench.WithFaultPlane(plane),
+		confbench.WithWarmPool(2),
+		confbench.WithSnapshotCacheMB(64),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	client := c.Client()
+	if err := client.Upload(ctx, confbench.Function{Name: "chaos-warm", Language: "go", Workload: "cpustress"}); err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	for i := 0; i < 20; i++ {
+		_, err := client.Invoke(ctx, confbench.InvokeRequest{
+			Function: "chaos-warm", Secure: i%2 == 0, TEE: confbench.KindSEV, Scale: 1,
+		})
+		if err != nil {
+			failures++
+			t.Logf("invoke %d failed: %v", i, err)
+		}
+	}
+	if failures != 0 {
+		t.Errorf("client-visible failures = %d, want 0 (restore faults must fall back to cold launches)", failures)
+	}
+
+	history := plane.History()
+	if len(history) == 0 {
+		t.Fatal("no faults injected — the restore chaos spec did not match anything")
+	}
+	for _, inj := range history {
+		if string(inj.Point) != "snapshot.restore" {
+			t.Errorf("fault injected at %q, spec pinned snapshot.restore", inj.Point)
+		}
+	}
+
+	snap, err := client.Obs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallbacks := snap.Counters[obs.MetricID("confbench_warm_fallbacks_total", "tee", "sev-snp")]
+	if fallbacks == 0 {
+		t.Error("no warm fallbacks recorded despite every restore erroring")
+	}
+	if got := snap.Counters[obs.MetricID("confbench_warm_hits_total", "tee", "sev-snp")]; got == 0 {
+		t.Error("no warm hits — the agent never acquired from its pool")
+	}
+	// Every restore attempt errored, so no restore ever completed.
+	if got := snap.Counters[obs.MetricID("confbench_tee_guest_restores_total", "tee", "sev-snp")]; got != 0 {
+		t.Errorf("restores completed = %d, want 0 under a 1.0 error spec", got)
+	}
+}

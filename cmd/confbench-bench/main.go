@@ -5,7 +5,7 @@
 //
 //	confbench-bench [-fig all|3|dbms|4|5|6|7|8|colocation] [-trials N]
 //	                [-scale-divisor N] [-size N] [-seed N] [-workers N]
-//	                [-trace] [-chaos SPECS [-chaos-invokes N]]
+//	                [-trace] [-chaos SPECS [-chaos-invokes N]] [-coldstart]
 //
 // With the defaults it runs the paper's full protocol (10 trials,
 // full workload scales, speedtest size 100); pass -quick for a
@@ -59,6 +59,7 @@ func run(ctx context.Context, args []string) error {
 	jsonPath := fs.String("json", "", "also write results as JSON to this file")
 	chaos := fs.String("chaos", "", "run a chaos drill instead of figures: comma-separated fault specs, e.g. hostagent.exec:error:1.0:host=sev-host")
 	chaosInvokes := fs.Int("chaos-invokes", 100, "invocations in the chaos drill")
+	coldstart := fs.Bool("coldstart", false, "run the cold-vs-warm start benchmark instead of figures")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +68,14 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *chaos != "" {
 		return runChaos(ctx, *chaos, *seed, *chaosInvokes)
+	}
+	if *coldstart {
+		out, _, err := coldstartReport(ctx, *seed, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
 	}
 
 	cluster, err := confbench.New(

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	confbench-host -tee tdx|sev-snp|cca [-name NAME] [-memory MB]
+//	               [-warm-pool N [-snapshot-cache-mb MB]]
 //
 // The process serves until interrupted.
 package main
@@ -23,6 +24,7 @@ import (
 	"confbench/internal/tee/cca"
 	"confbench/internal/tee/sev"
 	"confbench/internal/tee/tdx"
+	"confbench/internal/vm"
 )
 
 func main() {
@@ -38,6 +40,8 @@ func run(args []string) error {
 	name := fs.String("name", "", "host name (default <tee>-host)")
 	memory := fs.Int("memory", 64, "guest memory in MiB")
 	seed := fs.Int64("seed", 1, "deterministic noise seed")
+	warmPool := fs.Int("warm-pool", 0, "serve the secure VM from a prewarmed guest pool with this high watermark")
+	cacheMB := fs.Int("snapshot-cache-mb", 256, "snapshot image cache budget in MiB (with -warm-pool)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,10 +50,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var cache *vm.SnapshotCache
+	if *warmPool > 0 {
+		cache = vm.NewSnapshotCache(int64(*cacheMB)<<20, nil)
+	}
 	agent, err := hostagent.NewAgent(hostagent.AgentConfig{
-		Name:    *name,
-		Backend: backend,
-		Guest:   tee.GuestConfig{MemoryMB: *memory},
+		Name:     *name,
+		Backend:  backend,
+		Guest:    tee.GuestConfig{MemoryMB: *memory},
+		WarmPool: *warmPool,
+		Cache:    cache,
 	})
 	if err != nil {
 		return err

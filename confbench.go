@@ -110,6 +110,21 @@ func WithHostsPerTEE(n int) Option {
 	return func(c *ClusterConfig) { c.HostsPerTEE = n }
 }
 
+// WithWarmPool serves every host's secure VM out of a prewarmed guest
+// pool with high watermark n: guests are restored from cached snapshot
+// images instead of cold-booted, and a background goroutine refills
+// the pool as guests are taken. Enables the shared snapshot cache
+// (sized by WithSnapshotCacheMB, default 256 MiB).
+func WithWarmPool(n int) Option {
+	return func(c *ClusterConfig) { c.WarmPool = n }
+}
+
+// WithSnapshotCacheMB sets the byte budget of the cluster-shared
+// snapshot image cache used by warm pools.
+func WithSnapshotCacheMB(mb int) Option {
+	return func(c *ClusterConfig) { c.SnapshotCacheMB = mb }
+}
+
 // WithBreakerThreshold tunes the pools' per-endpoint circuit breakers:
 // threshold consecutive retryable failures trip an endpoint out of
 // rotation; after cooldown one half-open probe is allowed through.

@@ -65,16 +65,26 @@ func (r Runner) Run(ctx context.Context, n int, task func(ctx context.Context, i
 	depth := reg.Gauge("confbench_bench_queue_depth")
 	depth.Set(int64(n))
 	defer depth.Set(0)
+	// timed wraps one task execution so the timing sample and the task
+	// counter flush on EVERY exit path — error returns, mid-batch
+	// cancellation, even a panicking task. Without the defer a task
+	// that unwinds abnormally drops its final partial sample and the
+	// histogram count diverges from the number of started tasks.
+	timed := func(tasks *obs.Counter, seconds *obs.Histogram, i int) error {
+		start := time.Now()
+		defer func() {
+			seconds.Observe(time.Since(start))
+			tasks.Inc()
+		}()
+		return task(ctx, i)
+	}
 	if workers <= 1 {
 		tasks, seconds := workerMetrics(reg, 0)
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return cberr.From(err, cberr.LayerBench)
 			}
-			start := time.Now()
-			err := task(ctx, i)
-			seconds.Observe(time.Since(start))
-			tasks.Inc()
+			err := timed(tasks, seconds, i)
 			depth.Set(int64(n - i - 1))
 			if err != nil {
 				return cberr.From(err, cberr.LayerBench)
@@ -119,10 +129,7 @@ func (r Runner) Run(ctx context.Context, n int, task func(ctx context.Context, i
 				if !ok {
 					return
 				}
-				start := time.Now()
-				err := task(ctx, i)
-				seconds.Observe(time.Since(start))
-				tasks.Inc()
+				err := timed(tasks, seconds, i)
 				if err != nil {
 					mu.Lock()
 					taskErrs[i] = err

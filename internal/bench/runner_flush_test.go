@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"confbench/internal/obs"
+)
+
+// TestRunnerFlushesSampleOnCancel pins the timing contract: when a
+// batch is canceled mid-run, the task that observed the cancellation
+// still flushes its (partial) timing sample, so the histogram count
+// equals the number of started tasks — not started-minus-one.
+func TestRunnerFlushesSampleOnCancel(t *testing.T) {
+	reg := obs.New()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	err := Runner{Workers: 1, Obs: reg}.Run(ctx, 10, func(ctx context.Context, i int) error {
+		if i == 3 {
+			cancel()
+			return ctx.Err()
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("canceled run returned nil")
+	}
+	tasks, seconds := workerMetrics(reg, 0)
+	if got := seconds.Count(); got != 4 {
+		t.Errorf("timing samples = %d, want 4 (tasks 0..3 all started)", got)
+	}
+	if got := tasks.Value(); got != 4 {
+		t.Errorf("task counter = %d, want 4", got)
+	}
+}
+
+// TestRunnerFlushesSampleOnCancelConcurrent is the Workers>1 variant:
+// across all workers, one timing sample and one counter increment per
+// started task, no matter where cancellation lands.
+func TestRunnerFlushesSampleOnCancelConcurrent(t *testing.T) {
+	reg := obs.New()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Uint64
+
+	const workers, n = 4, 64
+	err := Runner{Workers: workers, Obs: reg}.Run(ctx, n, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 9 {
+			cancel()
+			return ctx.Err()
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("canceled run returned nil")
+	}
+	var samples, counted uint64
+	for w := 0; w < workers; w++ {
+		tasks, seconds := workerMetrics(reg, w)
+		samples += seconds.Count()
+		counted += tasks.Value()
+	}
+	if samples != started.Load() {
+		t.Errorf("timing samples = %d, want %d (one per started task)", samples, started.Load())
+	}
+	if counted != started.Load() {
+		t.Errorf("task counters = %d, want %d", counted, started.Load())
+	}
+}
+
+// TestRunnerFlushesSampleOnPanic pins the abnormal-unwind path: a
+// panicking task still records its sample before the panic propagates
+// to the caller.
+func TestRunnerFlushesSampleOnPanic(t *testing.T) {
+	reg := obs.New()
+	boom := errors.New("boom")
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		Runner{Workers: 1, Obs: reg}.Run(context.Background(), 5, func(ctx context.Context, i int) error {
+			if i == 2 {
+				panic(boom)
+			}
+			return nil
+		})
+	}()
+	_, seconds := workerMetrics(reg, 0)
+	if got := seconds.Count(); got != 3 {
+		t.Errorf("timing samples = %d, want 3 (tasks 0..2 all started)", got)
+	}
+}

@@ -66,6 +66,13 @@ type ClusterConfig struct {
 	// BreakerCooldown is how long a tripped endpoint stays out of
 	// rotation before a half-open probe (0 = the gateway default).
 	BreakerCooldown time.Duration
+	// WarmPool, when positive, serves every host's secure VM out of a
+	// prewarmed guest pool with this high watermark, restoring guests
+	// from the shared snapshot cache instead of cold-booting them.
+	WarmPool int
+	// SnapshotCacheMB is the byte budget of the cluster-shared snapshot
+	// image cache (default 256 MiB when warm pools are enabled).
+	SnapshotCacheMB int
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -81,6 +88,9 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	if c.HostsPerTEE <= 0 {
 		c.HostsPerTEE = 1
 	}
+	if c.WarmPool > 0 && c.SnapshotCacheMB <= 0 {
+		c.SnapshotCacheMB = 256
+	}
 	return c
 }
 
@@ -91,6 +101,7 @@ type Cluster struct {
 	obsreg   *obs.Registry
 	backends map[tee.Kind]tee.Backend
 	agents   map[tee.Kind][]*hostagent.Agent
+	cache    *vm.SnapshotCache
 	gw       *gateway.Gateway
 	client   *api.Client
 
@@ -122,6 +133,11 @@ func (c *Cluster) boot() error {
 	// everything else, so chaos runs read faults and reactions off one
 	// snapshot.
 	c.cfg.Faults.SetObsRegistry(c.obsreg)
+	if c.cfg.WarmPool > 0 {
+		// One cache for the whole deployment: hosts of the same kind
+		// share snapshot images keyed by (kind, runtime, memory size).
+		c.cache = vm.NewSnapshotCache(int64(c.cfg.SnapshotCacheMB)<<20, c.obsreg)
+	}
 	for _, kind := range c.cfg.TEEs {
 		backend, err := c.newBackend(kind)
 		if err != nil {
@@ -134,12 +150,14 @@ func (c *Cluster) boot() error {
 				name = fmt.Sprintf("%s-%d", name, i+1)
 			}
 			agent, err := hostagent.NewAgent(hostagent.AgentConfig{
-				Name:    name,
-				Backend: backend,
-				Guest:   tee.GuestConfig{Name: name, MemoryMB: c.cfg.GuestMemoryMB},
-				Catalog: c.catalog,
-				Obs:     c.obsreg,
-				Faults:  c.cfg.Faults,
+				Name:     name,
+				Backend:  backend,
+				Guest:    tee.GuestConfig{Name: name, MemoryMB: c.cfg.GuestMemoryMB},
+				Catalog:  c.catalog,
+				Obs:      c.obsreg,
+				Faults:   c.cfg.Faults,
+				WarmPool: c.cfg.WarmPool,
+				Cache:    c.cache,
 			})
 			if err != nil {
 				return fmt.Errorf("confbench: boot %s host: %w", kind, err)
@@ -247,6 +265,10 @@ func (c *Cluster) Agents(kind tee.Kind) []*hostagent.Agent {
 // FaultPlane returns the configured fault-injection plane (nil when
 // the deployment is fault-free).
 func (c *Cluster) FaultPlane() *faultplane.Plane { return c.cfg.Faults }
+
+// SnapshotCache returns the cluster-shared snapshot image cache (nil
+// when warm pools are disabled).
+func (c *Cluster) SnapshotCache() *vm.SnapshotCache { return c.cache }
 
 // Pair returns the secure/normal VM pair on the kind host, for
 // in-process classic-workload runs that bypass the network path.

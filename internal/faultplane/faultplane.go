@@ -21,6 +21,7 @@ package faultplane
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
@@ -54,13 +55,18 @@ const (
 	// PointTEEBounceIO fires when a secure guest prices bounce-buffer
 	// I/O; slow-drip faults stretch the charged I/O time.
 	PointTEEBounceIO Point = "tee.bounce_io"
+	// PointSnapshotRestore fires when a warm pool restores a guest from
+	// a snapshot image. Error/crash/drop faults fail the restore — the
+	// pool falls back to a cold launch — while latency/slow-io faults
+	// delay the warm path before it proceeds.
+	PointSnapshotRestore Point = "snapshot.restore"
 )
 
 // Valid reports whether p names a known injection point.
 func (p Point) Valid() bool {
 	switch p {
 	case PointRelayAccept, PointHostExec, PointHostLaunch,
-		PointTEETransition, PointTEEBounceIO:
+		PointTEETransition, PointTEEBounceIO, PointSnapshotRestore:
 		return true
 	default:
 		return false
@@ -151,6 +157,9 @@ func (s Spec) validate() error {
 	}
 	if s.Probability < 0 {
 		return fmt.Errorf("faultplane: negative probability %g", s.Probability)
+	}
+	if math.IsNaN(s.Probability) || math.IsInf(s.Probability, 0) {
+		return fmt.Errorf("faultplane: non-finite probability %g", s.Probability)
 	}
 	if s.Latency < 0 {
 		return fmt.Errorf("faultplane: negative latency %v", s.Latency)
@@ -289,7 +298,7 @@ func layerFor(point Point) cberr.Layer {
 	switch point {
 	case PointRelayAccept:
 		return cberr.LayerHost
-	case PointHostExec, PointHostLaunch:
+	case PointHostExec, PointHostLaunch, PointSnapshotRestore:
 		return cberr.LayerHost
 	default:
 		return cberr.LayerVM

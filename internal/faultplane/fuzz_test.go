@@ -1,0 +1,68 @@
+package faultplane
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec throws arbitrary strings at the -chaos grammar parser.
+// It must never panic, and any spec it accepts must survive a render/
+// re-parse round trip on the rendered fields (Message is deliberately
+// not part of the String() grammar, so it is excluded). This harness
+// caught the original acceptance of non-finite probabilities
+// ("tee.exec:error:NaN" registered a spec that could never match and
+// silently consumed the draw sequence) — validate() now rejects them.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("hostagent.exec:error:1.0:host=sev-snp-host")
+	f.Add("relay.accept:drop:0.05")
+	f.Add("tee.transition:latency:0.2:tee=tdx:latency=2ms")
+	f.Add("snapshot.restore:crash:0.5:msg=boom")
+	f.Add("tee.exec:slow-io:1e-3:latency=150us")
+	f.Add("hostagent.launch:error:NaN")
+	f.Add("tee.exec:error:+Inf")
+	f.Add("a:b:c")
+	f.Add(":::::")
+	f.Add("tee.exec:error:0x1p-2")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		rendered := spec.String()
+		spec2, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", s, rendered, err)
+		}
+		spec.Message, spec2.Message = "", ""
+		if spec != spec2 {
+			t.Fatalf("round trip drifted:\n  in:  %q -> %+v\n  out: %q -> %+v", s, spec, rendered, spec2)
+		}
+		// Anything the parser accepts must register cleanly too.
+		p := New(1)
+		if err := p.Register(spec); err != nil {
+			t.Fatalf("parsed spec %q failed registration: %v", s, err)
+		}
+	})
+}
+
+// FuzzParseSpecs exercises the comma-separated list wrapper: no
+// panics, and every accepted list re-parses from its joined rendering.
+func FuzzParseSpecs(f *testing.F) {
+	f.Add("relay.accept:drop:0.05,tee.transition:latency:0.2:tee=tdx")
+	f.Add(" , ,hostagent.exec:error:1")
+	f.Add(",")
+	f.Fuzz(func(t *testing.T, s string) {
+		specs, err := ParseSpecs(s)
+		if err != nil {
+			return
+		}
+		parts := make([]string, len(specs))
+		for i, sp := range specs {
+			parts[i] = sp.String()
+		}
+		if _, err := ParseSpecs(strings.Join(parts, ",")); err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering: %v", s, err)
+		}
+	})
+}

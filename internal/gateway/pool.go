@@ -268,6 +268,23 @@ func (p *Pool) AcquireAvoiding(ctx context.Context, secure bool, avoid *Entry) (
 		candidates = append(candidates, e)
 	}
 	p.mu.RUnlock()
+	// Prefer endpoints backed by a prewarmed guest pool: when any warm
+	// candidate is healthy, cold ones stay out of the pick.
+	warm := 0
+	for _, e := range candidates {
+		if e.Endpoint.Warm {
+			warm++
+		}
+	}
+	if warm > 0 && warm < len(candidates) {
+		warmOnly := candidates[:0]
+		for _, e := range candidates {
+			if e.Endpoint.Warm {
+				warmOnly = append(warmOnly, e)
+			}
+		}
+		candidates = warmOnly
+	}
 	if len(candidates) == 0 {
 		if matching > 0 {
 			span.SetAttr("error", "all endpoints unhealthy")

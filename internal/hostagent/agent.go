@@ -1,6 +1,7 @@
 package hostagent
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -23,6 +24,9 @@ type Endpoint struct {
 	TEE tee.Kind `json:"tee"`
 	// VMName labels the backing VM.
 	VMName string `json:"vm"`
+	// Warm marks an endpoint whose VM came out of a prewarmed guest
+	// pool; the gateway prefers warm endpoints when acquiring.
+	Warm bool `json:"warm,omitempty"`
 }
 
 // Agent is one TEE-enabled host: it owns the secure/normal VM pair,
@@ -34,6 +38,11 @@ type Agent struct {
 	guests  []*GuestServer
 	relays  []*relay.Relay
 	eps     []Endpoint
+
+	// pool and warmGuest are set when the agent serves its secure VM
+	// out of a prewarmed guest pool.
+	pool      *GuestPool
+	warmGuest tee.Guest
 }
 
 // AgentConfig assembles a host agent.
@@ -52,6 +61,16 @@ type AgentConfig struct {
 	// Faults is the fault plane threaded into the host's launch path,
 	// guest agents, and relays (nil = fault-free).
 	Faults *faultplane.Plane
+	// WarmPool, when positive, serves the secure VM from a prewarmed
+	// guest pool with this high watermark instead of a cold launch.
+	WarmPool int
+	// WarmLow overrides the pool's low watermark (0 = (high+1)/2).
+	WarmLow int
+	// Cache is the snapshot image cache backing the warm pool, usually
+	// shared across the cluster's agents (nil = no caching).
+	Cache *vm.SnapshotCache
+	// Runtime names the snapshot flavor for the warm pool's cache key.
+	Runtime string
 }
 
 // NewAgent boots a host: launches the VM pair, starts a guest agent in
@@ -76,12 +95,37 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 			return nil, fmt.Errorf("hostagent: %s: launch: %w", cfg.Name, d.Err)
 		}
 	}
-	pair, err := vm.NewPair(cfg.Backend, cfg.Guest, cfg.Catalog)
-	if err != nil {
-		return nil, fmt.Errorf("hostagent: %s: %w", cfg.Name, err)
+	a := &Agent{name: cfg.Name, backend: cfg.Backend}
+	if cfg.WarmPool > 0 {
+		pool, err := NewGuestPool(GuestPoolConfig{
+			Backend: cfg.Backend,
+			Guest:   cfg.Guest,
+			Runtime: cfg.Runtime,
+			Cache:   cfg.Cache,
+			Low:     cfg.WarmLow,
+			High:    cfg.WarmPool,
+			Obs:     cfg.Obs,
+			Faults:  cfg.Faults,
+			Host:    cfg.Name,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("hostagent: %s: %w", cfg.Name, err)
+		}
+		a.pool = pool
+		pair, warmGuest, err := warmPair(pool, cfg)
+		if err != nil {
+			_ = pool.Shutdown(context.Background())
+			return nil, fmt.Errorf("hostagent: %s: %w", cfg.Name, err)
+		}
+		a.pair, a.warmGuest = pair, warmGuest
+	} else {
+		pair, err := vm.NewPair(cfg.Backend, cfg.Guest, cfg.Catalog)
+		if err != nil {
+			return nil, fmt.Errorf("hostagent: %s: %w", cfg.Name, err)
+		}
+		a.pair = pair
 	}
-	a := &Agent{name: cfg.Name, backend: cfg.Backend, pair: pair}
-	for _, machine := range []*vm.VM{pair.Secure, pair.Normal} {
+	for _, machine := range []*vm.VM{a.pair.Secure, a.pair.Normal} {
 		gs, err := NewGuestServer(GuestServerConfig{
 			VM: machine, Obs: cfg.Obs, Faults: cfg.Faults, Host: cfg.Name,
 		})
@@ -104,9 +148,43 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 			Secure: machine.Secure(),
 			TEE:    cfg.Backend.Kind(),
 			VMName: machine.Name(),
+			Warm:   machine.Secure() && a.pool != nil,
 		})
 	}
 	return a, nil
+}
+
+// warmPair assembles the secure/normal VM pair with the secure guest
+// checked out of the warm pool.
+func warmPair(pool *GuestPool, cfg AgentConfig) (vm.Pair, tee.Guest, error) {
+	secureGuest, err := pool.Acquire()
+	if err != nil {
+		return vm.Pair{}, nil, fmt.Errorf("acquire warm guest: %w", err)
+	}
+	normalGuest, err := cfg.Backend.LaunchNormal(cfg.Guest)
+	if err != nil {
+		pool.Release(secureGuest)
+		return vm.Pair{}, nil, fmt.Errorf("launch normal guest: %w", err)
+	}
+	secureVM, err := vm.New(vm.Config{
+		Name: cfg.Guest.Name + "-secure", Guest: secureGuest,
+		Host: cfg.Backend.HostProfile(), Catalog: cfg.Catalog,
+	})
+	if err != nil {
+		pool.Release(secureGuest)
+		_ = normalGuest.Destroy()
+		return vm.Pair{}, nil, err
+	}
+	normalVM, err := vm.New(vm.Config{
+		Name: cfg.Guest.Name + "-normal", Guest: normalGuest,
+		Host: cfg.Backend.HostProfile(), Catalog: cfg.Catalog,
+	})
+	if err != nil {
+		pool.Release(secureGuest)
+		_ = normalGuest.Destroy()
+		return vm.Pair{}, nil, err
+	}
+	return vm.Pair{Secure: secureVM, Normal: normalVM}, secureGuest, nil
 }
 
 // Name returns the host label.
@@ -118,6 +196,10 @@ func (a *Agent) Backend() tee.Backend { return a.backend }
 // Pair returns the secure/normal VM pair (for in-process benchmarks
 // that bypass the network path).
 func (a *Agent) Pair() vm.Pair { return a.pair }
+
+// Pool returns the prewarmed guest pool, or nil when the agent was
+// built without one.
+func (a *Agent) Pool() *GuestPool { return a.pool }
 
 // Endpoints lists the relayed VM endpoints.
 func (a *Agent) Endpoints() []Endpoint {
@@ -155,5 +237,11 @@ func (a *Agent) Close() error {
 		errs = append(errs, g.Close())
 	}
 	errs = append(errs, a.pair.Stop())
+	if a.pool != nil {
+		// The secure guest was destroyed by pair.Stop; releasing it
+		// just clears the lease before the pool drains.
+		a.pool.Release(a.warmGuest)
+		errs = append(errs, a.pool.Shutdown(context.Background()))
+	}
 	return errors.Join(errs...)
 }

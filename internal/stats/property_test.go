@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// boundedSamples adapts testing/quick's raw float64 generation into a
+// non-empty sample set of finite values in (0, 1e9]. Raw quick values
+// include NaN, infinities, and zero-length slices, all of which the
+// properties below intentionally exclude (empty input is covered by
+// its own ErrEmpty tests).
+type boundedSamples []float64
+
+func (boundedSamples) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size) + 1
+	xs := make(boundedSamples, n)
+	for i := range xs {
+		xs[i] = math.Nextafter(0, 1) + r.Float64()*1e9
+	}
+	return reflect.ValueOf(xs)
+}
+
+// quickCfg keeps the property runs fast but meaningful.
+var quickCfg = &quick.Config{MaxCount: 500}
+
+// TestPercentileMonotonicProperty checks that for any sample set,
+// Percentile is monotone non-decreasing in p and bracketed by the
+// sample min and max.
+func TestPercentileMonotonicProperty(t *testing.T) {
+	prop := func(xs boundedSamples, rawP, rawQ float64) bool {
+		p := math.Mod(math.Abs(rawP), 100)
+		q := math.Mod(math.Abs(rawQ), 100)
+		if math.IsNaN(p) || math.IsNaN(q) {
+			return true
+		}
+		if p > q {
+			p, q = q, p
+		}
+		lo, err := Percentile(xs, p)
+		if err != nil {
+			return false
+		}
+		hi, err := Percentile(xs, q)
+		if err != nil {
+			return false
+		}
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			mn = math.Min(mn, x)
+			mx = math.Max(mx, x)
+		}
+		const eps = 1e-9
+		return lo <= hi+eps && lo >= mn-eps && hi <= mx+eps
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGeoMeanLeqMeanProperty checks the AM-GM inequality: over
+// positive samples the geometric mean never exceeds the arithmetic
+// mean, and both fall inside [min, max].
+func TestGeoMeanLeqMeanProperty(t *testing.T) {
+	prop := func(xs boundedSamples) bool {
+		gm := GeoMean(xs)
+		am := Mean(xs)
+		// Relative tolerance: both are float-accumulated.
+		return gm <= am*(1+1e-9)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRatioSymmetryProperty checks Ratio(a,b) * Ratio(b,a) == 1 for
+// positive operands, and the zero-denominator guard.
+func TestRatioSymmetryProperty(t *testing.T) {
+	prop := func(rawA, rawB float64) bool {
+		a := math.Abs(math.Mod(rawA, 1e9)) + 1e-6
+		b := math.Abs(math.Mod(rawB, 1e9)) + 1e-6
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		prod := Ratio(a, b) * Ratio(b, a)
+		return math.Abs(prod-1) < 1e-9
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+	if got := Ratio(3, 0); got != 0 {
+		t.Errorf("Ratio(3, 0) = %v, want 0 (zero-denominator guard)", got)
+	}
+}
+
+// TestSummaryAndBoxOrderingProperty checks the stacked-percentile
+// invariant behind Fig. 3 on the bounded generator — Min <= P25 <=
+// Median <= P95 <= Max — plus Box's quartile ordering and whiskers
+// staying inside the data range.
+func TestSummaryAndBoxOrderingProperty(t *testing.T) {
+	prop := func(xs boundedSamples) bool {
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		const eps = 1e-9
+		if !(s.Min <= s.P25+eps && s.P25 <= s.Median+eps && s.Median <= s.P95+eps && s.P95 <= s.Max+eps) {
+			return false
+		}
+		b, err := Box(xs)
+		if err != nil {
+			return false
+		}
+		return b.Q1 <= b.Median+eps && b.Median <= b.Q3+eps &&
+			b.WhiskerLow >= s.Min-eps && b.WhiskerHi <= s.Max+eps &&
+			len(b.Outliers)+1 <= s.N+1 // outliers never exceed N
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEmptyInputs pins the empty-input contract across the package:
+// the summary constructors return ErrEmpty, while Mean/GeoMean/StdDev
+// return 0 by design (see the Mean doc comment).
+func TestEmptyInputs(t *testing.T) {
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("Percentile(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("Summarize(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Box(nil); err != ErrEmpty {
+		t.Errorf("Box(nil) err = %v, want ErrEmpty", err)
+	}
+	// Regression: Mean's 0-for-empty contract is load-bearing for hot
+	// aggregation paths — a change to an error return must be caught.
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{-1, 0}); got != 0 {
+		t.Errorf("GeoMean(all non-positive) = %v, want 0", got)
+	}
+	if got := StdDev([]float64{4}); got != 0 {
+		t.Errorf("StdDev(single sample) = %v, want 0", got)
+	}
+}

@@ -15,6 +15,10 @@ import (
 var ErrEmpty = errors.New("stats: empty sample set")
 
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+// Returning 0 instead of an error is deliberate: Mean is used in hot
+// aggregation paths where an empty window is routine, and callers that
+// must distinguish "no samples" from "mean of zero" go through
+// Summarize, which returns ErrEmpty.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0

@@ -3,6 +3,7 @@ package cca
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"confbench/internal/cpumodel"
 	"confbench/internal/faultplane"
@@ -44,7 +45,10 @@ type Backend struct {
 	nextPA   uint64
 }
 
-var _ tee.Backend = (*Backend)(nil)
+var (
+	_ tee.Backend     = (*Backend)(nil)
+	_ tee.Snapshotter = (*Backend)(nil)
+)
 
 // NewBackend boots an FVP instance with an RMM loaded in the realm
 // world.
@@ -119,6 +123,12 @@ func (b *Backend) CostModel() tee.CostModel {
 		CacheBonusProb: 0.02,
 		CacheBonusMag:  0.08,
 		JitterStd:      0.085,
+		// Realm-image reuse skips the measured data-granule build but
+		// still pays the simulator for delegation replay; everything is
+		// slower under the FVP, including restores.
+		SnapshotPageNs: 1.5e6,
+		RestoreBaseNs:  900e6,
+		RestorePageNs:  0.50e6,
 	}
 }
 
@@ -177,6 +187,111 @@ func (b *Backend) Launch(cfg tee.GuestConfig) (tee.Guest, error) {
 		// (§IV-B: "We leave out CCA as the simulator lacks the
 		// required hardware support"), so no Report hook is set and
 		// AttestationReport returns tee.ErrNoAttestation.
+		Destroy: func() error { return rmm.RMIRealmDestroy(realmID) },
+	}), nil
+}
+
+// realmImage is the backend-private payload of a CCA guest image: the
+// sealed RIM and personalization value to import, and the granule count
+// to re-delegate.
+type realmImage struct {
+	rim   [MeasurementSize]byte
+	rpv   []byte
+	pages int
+}
+
+// Snapshot implements tee.Snapshotter: one full measured realm build
+// whose RIM is captured, then destroyed and its granules undelegated.
+// Restores reuse the image instead of re-measuring.
+func (b *Backend) Snapshot(cfg tee.GuestConfig) (*tee.GuestImage, error) {
+	cfg = cfg.WithDefaults()
+	pages := cfg.MemoryMB
+	base, _ := b.alloc(pages)
+
+	realmID, err := b.rmm.RMIRealmCreate([]byte(cfg.Name))
+	if err != nil {
+		return nil, fmt.Errorf("cca snapshot: %w", err)
+	}
+	for i := 0; i < pages; i++ {
+		pa := base + uint64(i)*GranuleSize
+		if err := b.rmm.RMIGranuleDelegate(pa); err != nil {
+			return nil, fmt.Errorf("cca snapshot: %w", err)
+		}
+		content := []byte(fmt.Sprintf("realm-image:%s:%d", cfg.Name, i))
+		if err := b.rmm.RMIDataCreate(realmID, pa, content); err != nil {
+			return nil, fmt.Errorf("cca snapshot: %w", err)
+		}
+	}
+	realm, err := b.rmm.RealmByID(realmID)
+	if err != nil {
+		return nil, fmt.Errorf("cca snapshot: %w", err)
+	}
+	rim := realm.RIM()
+	// The template realm's only job was producing the RIM; tear it down
+	// and return its granules to the normal world.
+	if err := b.rmm.RMIRealmDestroy(realmID); err != nil {
+		return nil, fmt.Errorf("cca snapshot: %w", err)
+	}
+	for i := 0; i < pages; i++ {
+		pa := base + uint64(i)*GranuleSize
+		if err := b.rmm.RMIGranuleUndelegate(pa); err != nil {
+			return nil, fmt.Errorf("cca snapshot: %w", err)
+		}
+	}
+
+	cm := b.CostModel()
+	rpv := make([]byte, len(cfg.Name))
+	copy(rpv, cfg.Name)
+	return &tee.GuestImage{
+		Kind:        tee.KindCCA,
+		MemoryMB:    cfg.MemoryMB,
+		SizeBytes:   int64(cfg.MemoryMB) << 20,
+		CaptureCost: time.Duration(bootBaseNs) + cm.BootCost() + cm.SnapshotCost(pages),
+		RestoreCost: cm.RestoreCost(pages),
+		Payload:     &realmImage{rim: rim, rpv: rpv, pages: pages},
+	}, nil
+}
+
+// Restore implements tee.Snapshotter: fresh granules are delegated to a
+// realm created directly active with the image's sealed RIM — the
+// measured data-granule build is skipped.
+func (b *Backend) Restore(img *tee.GuestImage, cfg tee.GuestConfig) (tee.Guest, error) {
+	if err := img.Validate(tee.KindCCA); err != nil {
+		return nil, fmt.Errorf("cca restore: %w", err)
+	}
+	ri, ok := img.Payload.(*realmImage)
+	if !ok {
+		return nil, fmt.Errorf("cca restore: %w", tee.ErrImagePayload)
+	}
+	cfg = cfg.WithDefaults()
+	base, seed := b.alloc(ri.pages)
+	if cfg.Seed != 0 {
+		seed = cfg.Seed
+	}
+	pas := make([]uint64, ri.pages)
+	for i := range pas {
+		pas[i] = base + uint64(i)*GranuleSize
+	}
+	realmID, err := b.rmm.RMIRealmImport(ri.rpv, ri.rim, pas)
+	if err != nil {
+		return nil, fmt.Errorf("cca restore: %w", err)
+	}
+
+	rmm := b.rmm
+	return tee.NewModelGuest(tee.ModelGuestConfig{
+		IDPrefix:         "realm",
+		Kind:             tee.KindCCA,
+		Secure:           true,
+		Model:            b.CostModel(),
+		BootBase:         bootBaseNs,
+		BootCostOverride: img.RestoreCost,
+		Restored:         true,
+		Seed:             seed,
+		Obs:              b.obsreg,
+		Faults:           b.faults,
+		Host:             cfg.Name,
+		// Same as Launch: the FVP lacks attestation support, so no
+		// Report hook is set.
 		Destroy: func() error { return rmm.RMIRealmDestroy(realmID) },
 	}), nil
 }

@@ -280,6 +280,45 @@ func (m *RMM) RMIRealmActivate(realmID uint64) error {
 	return nil
 }
 
+// RMIRealmImport rebuilds a realm from a saved image: the granules are
+// delegated and assigned without per-granule RIM extension, and the
+// realm is created directly in the active state carrying the image's
+// sealed measurement. This is the realm-image-reuse path warm pools
+// rely on — the expensive measured build is skipped.
+func (m *RMM) RMIRealmImport(rpv []byte, rim [MeasurementSize]byte, granulePAs []uint64) (uint64, error) {
+	indices := make([]uint64, len(granulePAs))
+	for i, pa := range granulePAs {
+		idx, err := granuleIndex(pa)
+		if err != nil {
+			return 0, err
+		}
+		indices[i] = idx
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calls.Inc()
+	for _, idx := range indices {
+		if g, ok := m.granules[idx]; ok && g.delegated {
+			return 0, ErrGranuleDelegated
+		}
+	}
+	id := m.nextID
+	m.nextID++
+	r := &Realm{
+		id:       id,
+		state:    RealmActive,
+		rim:      rim,
+		granules: make(map[uint64]bool, len(indices)),
+	}
+	copy(r.rpv[:], rpv)
+	for _, idx := range indices {
+		m.granules[idx] = &granule{delegated: true, realmID: id}
+		r.granules[idx] = true
+	}
+	m.realms[id] = r
+	return id, nil
+}
+
 // RMIRealmDestroy tears the realm down, detaching its granules (they
 // stay delegated until undelegated individually).
 func (m *RMM) RMIRealmDestroy(realmID uint64) error {

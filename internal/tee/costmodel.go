@@ -55,6 +55,17 @@ type CostModel struct {
 	// signatures
 	JitterStd float64 // relative gaussian noise on the total
 
+	// Snapshot/restore pricing. Capturing a guest memory image pays a
+	// per-page export cost on top of the full measured build; restoring
+	// from the image pays a fixed base (re-create the guest context,
+	// install the saved measurement) plus a per-page replay charge
+	// (page-table/RMP re-donation without re-hashing). The asymmetry —
+	// restore skips the measurement work that dominates launch — is what
+	// makes warm starts cheap.
+	SnapshotPageNs float64 // per-page memory-image capture cost
+	RestoreBaseNs  float64 // fixed guest-context rebuild cost on restore
+	RestorePageNs  float64 // per-page unmeasured replay cost on restore
+
 	// salt individualizes the cache-bonus signature hash per guest;
 	// set by the guest at launch.
 	salt uint64
@@ -187,6 +198,27 @@ func (cm CostModel) Apply(u meter.Usage, base cpumodel.Breakdown, rng *rand.Rand
 // BootCost returns the one-time launch overhead of the model.
 func (cm CostModel) BootCost() time.Duration {
 	return time.Duration(cm.StartupNs)
+}
+
+// SnapshotCost returns the one-time cost of capturing a guest memory
+// image of the given page count (the backends' per-MiB boot-image
+// granularity), charged on top of the full measured build.
+func (cm CostModel) SnapshotCost(pages int) time.Duration {
+	if pages < 0 {
+		pages = 0
+	}
+	return time.Duration(cm.SnapshotPageNs * float64(pages))
+}
+
+// RestoreCost returns the boot cost of a guest rebuilt from a captured
+// image: the fixed context-rebuild base plus the per-page replay
+// charge. Restored guests report this as their BootCost in place of
+// the full measured launch.
+func (cm CostModel) RestoreCost(pages int) time.Duration {
+	if pages < 0 {
+		pages = 0
+	}
+	return time.Duration(cm.RestoreBaseNs + cm.RestorePageNs*float64(pages))
 }
 
 // signatureHash derives a stable per-guest hash of the usage pattern

@@ -66,6 +66,14 @@ type ModelGuestConfig struct {
 	// BootBase is the baseline VM boot time; the model's StartupNs is
 	// added on top for secure guests.
 	BootBase time.Duration
+	// BootCostOverride, when positive, replaces the computed
+	// BootBase+StartupNs boot cost — restored guests charge their
+	// image's restore cost instead of a full measured boot.
+	BootCostOverride time.Duration
+	// Restored marks a guest rebuilt from a snapshot image; it is
+	// counted under confbench_tee_guest_restores_total instead of the
+	// launches counter.
+	Restored bool
 	Seed     int64
 	Report   ReportFunc
 	Destroy  DestroyFunc
@@ -85,9 +93,16 @@ func NewModelGuest(cfg ModelGuestConfig) *ModelGuest {
 	if cfg.Secure {
 		boot += cfg.Model.BootCost()
 	}
+	if cfg.BootCostOverride > 0 {
+		boot = cfg.BootCostOverride
+	}
 	r := obs.OrDefault(cfg.Obs)
 	kind := string(cfg.Kind)
-	r.Counter("confbench_tee_guest_launches_total", "tee", kind).Inc()
+	if cfg.Restored {
+		r.Counter("confbench_tee_guest_restores_total", "tee", kind).Inc()
+	} else {
+		r.Counter("confbench_tee_guest_launches_total", "tee", kind).Inc()
+	}
 	return &ModelGuest{
 		id:          NextGuestID(cfg.IDPrefix),
 		kind:        cfg.Kind,

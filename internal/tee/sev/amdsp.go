@@ -259,6 +259,21 @@ func (sp *AMDSP) LaunchUpdate(asid uint32, data []byte) error {
 	return nil
 }
 
+// LaunchImport installs a previously captured launch digest for asid
+// in one firmware call, skipping the per-page LAUNCH_UPDATE hashing
+// (modeled on the SNP migration-agent import path). The guest comes up
+// already finished, so attestation reports carry the imported
+// measurement.
+func (sp *AMDSP) LaunchImport(asid uint32, policy uint64, digest [MeasurementSize]byte) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if _, ok := sp.guests[asid]; ok {
+		return fmt.Errorf("sev: ASID %d already launching", asid)
+	}
+	sp.guests[asid] = &launchCtx{asid: asid, policy: policy, digest: digest, finished: true}
+	return nil
+}
+
 // LaunchFinish seals the launch digest (SNP_LAUNCH_FINISH).
 func (sp *AMDSP) LaunchFinish(asid uint32) ([MeasurementSize]byte, error) {
 	sp.mu.Lock()

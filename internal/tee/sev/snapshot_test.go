@@ -1,0 +1,128 @@
+package sev
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"confbench/internal/tee"
+)
+
+func TestBackendSnapshotRestore(t *testing.T) {
+	b, err := NewBackend(Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tee.GuestConfig{Name: "runtime", MemoryMB: 8}
+
+	img, err := b.Snapshot(cfg)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if img.Kind != tee.KindSEV || img.MemoryMB != 8 {
+		t.Fatalf("image identity: kind=%s mem=%d", img.Kind, img.MemoryMB)
+	}
+	// The template guest is decommissioned after capture; its RMP pages
+	// must not linger.
+	snp, ok := img.Payload.(*snpImage)
+	if !ok {
+		t.Fatalf("payload type %T", img.Payload)
+	}
+	if snp.pages != 8 {
+		t.Fatalf("image pages = %d, want 8", snp.pages)
+	}
+
+	cold, err := b.Launch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Destroy()
+	warm, err := b.Restore(img, cfg)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	defer warm.Destroy()
+
+	if got := warm.BootCost(); got != img.RestoreCost {
+		t.Errorf("warm boot = %v, want restore cost %v", got, img.RestoreCost)
+	}
+	if cold.BootCost() < 3*warm.BootCost() {
+		t.Errorf("cold boot %v not >= 3x warm boot %v", cold.BootCost(), warm.BootCost())
+	}
+
+	// The imported launch digest is what the restored guest attests
+	// with, and it matches an identically-configured cold launch.
+	raw, err := warm.AttestationReport(context.Background(), []byte("warm-nonce"))
+	if err != nil {
+		t.Fatalf("restored attestation: %v", err)
+	}
+	rep, err := UnmarshalReport(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Measurement != snp.digest {
+		t.Error("restored guest reports a different measurement than the image")
+	}
+	coldRaw, err := cold.AttestationReport(context.Background(), []byte("cold-nonce"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRep, err := UnmarshalReport(coldRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldRep.Measurement != rep.Measurement {
+		t.Error("restored measurement differs from an identically-configured cold launch")
+	}
+
+	// The restore replayed the full page donation (snapshot=1, cold
+	// launch=2, restore=3 in allocation order), and destroying the
+	// restored guest reclaims it.
+	const warmASID = 3
+	if got := b.rmp.AssignedPages(warmASID); got != snp.pages {
+		t.Errorf("restored rmp pages = %d, want %d", got, snp.pages)
+	}
+	if err := warm.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.rmp.AssignedPages(warmASID); got != 0 {
+		t.Errorf("rmp pages after destroy = %d, want 0", got)
+	}
+}
+
+func TestBackendRestoreRejectsForeignImage(t *testing.T) {
+	b, err := NewBackend(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := &tee.GuestImage{Kind: tee.KindCCA, MemoryMB: 8}
+	if _, err := b.Restore(wrong, tee.GuestConfig{}); !errors.Is(err, tee.ErrImageKind) {
+		t.Errorf("wrong kind: %v", err)
+	}
+	badPayload := &tee.GuestImage{Kind: tee.KindSEV, MemoryMB: 8, Payload: 42}
+	if _, err := b.Restore(badPayload, tee.GuestConfig{}); !errors.Is(err, tee.ErrImagePayload) {
+		t.Errorf("bad payload: %v", err)
+	}
+}
+
+func TestLaunchImportConflicts(t *testing.T) {
+	sp, err := NewAMDSP(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var digest [MeasurementSize]byte
+	if err := sp.LaunchStart(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// An ASID mid-launch cannot be the target of an import.
+	if err := sp.LaunchImport(1, 0, digest); err == nil {
+		t.Error("import over in-progress launch succeeded")
+	}
+	if err := sp.LaunchImport(2, 0, digest); err != nil {
+		t.Fatalf("import on fresh asid: %v", err)
+	}
+	// The imported context is finished: attestation works immediately.
+	if _, err := sp.GuestRequestReport(2, 0, []byte("n")); err != nil {
+		t.Errorf("report after import: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+package tee
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Snapshot errors shared by the backends.
+var (
+	// ErrNilImage is returned when restoring from a nil image.
+	ErrNilImage = errors.New("tee: nil guest image")
+	// ErrImageKind is returned when an image is restored on a backend
+	// of a different TEE kind.
+	ErrImageKind = errors.New("tee: guest image kind mismatch")
+	// ErrImagePayload is returned when an image's backend-private
+	// payload has the wrong type — the image was produced by a
+	// different backend implementation.
+	ErrImagePayload = errors.New("tee: foreign guest image payload")
+)
+
+// GuestImage is a captured, reusable guest memory image: the product
+// of one full measured build, priced once, that any number of guests
+// can then be restored from at the (much cheaper) restore cost. Images
+// are what the snapshot cache in internal/vm stores under its byte
+// budget.
+type GuestImage struct {
+	// Kind is the TEE platform the image was captured on; it can only
+	// be restored on a backend of the same kind.
+	Kind Kind
+	// MemoryMB is the guest memory size the image encodes.
+	MemoryMB int
+	// SizeBytes is the image's storage footprint, charged against the
+	// snapshot cache's byte budget.
+	SizeBytes int64
+	// CaptureCost is the one-time virtual cost of producing the image:
+	// the full measured template build plus the per-page export.
+	CaptureCost time.Duration
+	// RestoreCost is the virtual boot cost each restored guest charges
+	// in place of a full measured launch.
+	RestoreCost time.Duration
+	// Payload carries backend-private restore state (the exported TD
+	// image, the SNP launch digest, the realm RIM). Only the backend
+	// that produced the image understands it.
+	Payload any
+}
+
+// Validate checks that the image is restorable on a backend of kind k.
+func (img *GuestImage) Validate(k Kind) error {
+	if img == nil {
+		return ErrNilImage
+	}
+	if img.Kind != k {
+		return fmt.Errorf("%w: image is %q, backend is %q", ErrImageKind, img.Kind, k)
+	}
+	return nil
+}
+
+// Snapshotter is implemented by backends that support the priced
+// snapshot/restore pair behind warm guest pools. Snapshot performs one
+// full measured template build, captures it into an image, and tears
+// the template down; Restore rebuilds a running guest from the image
+// with the re-measurement skipped, so the restored guest's BootCost is
+// the image's RestoreCost rather than a cold launch.
+type Snapshotter interface {
+	Snapshot(cfg GuestConfig) (*GuestImage, error)
+	Restore(img *GuestImage, cfg GuestConfig) (Guest, error)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"confbench/internal/cpumodel"
 	"confbench/internal/faultplane"
@@ -42,7 +43,10 @@ type Backend struct {
 	nextSeed int64
 }
 
-var _ tee.Backend = (*Backend)(nil)
+var (
+	_ tee.Backend     = (*Backend)(nil)
+	_ tee.Snapshotter = (*Backend)(nil)
+)
 
 // NewBackend creates a TDX backend with a freshly loaded module.
 func NewBackend(opts Options) (*Backend, error) {
@@ -120,6 +124,13 @@ func (b *Backend) CostModel() tee.CostModel {
 		CacheBonusProb: 0.05,
 		CacheBonusMag:  0.18,
 		JitterStd:      0.020,
+		// Restores rebuild the TD context and replay page ownership
+		// without re-measuring: a fixed SEAM-side import base plus a
+		// cheap per-page charge, orders of magnitude under the
+		// measured build.
+		SnapshotPageNs: 0.40e6,
+		RestoreBaseNs:  120e6,
+		RestorePageNs:  0.10e6,
 	}
 	if b.module.Info().Version == BuggyFirmware {
 		cm = firmwarePenalty(cm, 10)
@@ -148,17 +159,16 @@ func firmwarePenalty(cm tee.CostModel, f float64) tee.CostModel {
 // bootBaseNs is the plain-VM boot cost on this host class.
 const bootBaseNs = 2.1e9
 
-// Launch implements tee.Backend: it walks the full TD build flow
-// (TDH.MNG.CREATE → INIT → measured page adds → TDH.MR.FINALIZE →
-// TDH.VP.ENTER) and returns a running confidential guest.
-func (b *Backend) Launch(cfg tee.GuestConfig) (tee.Guest, error) {
-	cfg = cfg.WithDefaults()
+// buildTD walks the measured TD build flow (TDH.MNG.CREATE → INIT →
+// measured page adds → TDH.MR.FINALIZE) and returns the finalized TD
+// id, not yet entered.
+func (b *Backend) buildTD(cfg tee.GuestConfig) (uint64, error) {
 	id, err := b.module.TDHMngCreate()
 	if err != nil {
-		return nil, fmt.Errorf("tdx launch: %w", err)
+		return 0, err
 	}
 	if err := b.module.TDHMngInit(id, 0x0000_0000_1000_0000, 0xe7); err != nil {
-		return nil, fmt.Errorf("tdx launch: %w", err)
+		return 0, err
 	}
 	// Measure a boot image: one page per MiB of guest memory stands in
 	// for the kernel+initrd pages added via TDH.MEM.PAGE.ADD.
@@ -166,27 +176,30 @@ func (b *Backend) Launch(cfg tee.GuestConfig) (tee.Guest, error) {
 		gpa := uint64(i) * PageSize
 		content := []byte(fmt.Sprintf("boot-image:%s:%d", cfg.Name, i))
 		if err := b.module.TDHMemPageAdd(id, gpa, content); err != nil {
-			return nil, fmt.Errorf("tdx launch: %w", err)
+			return 0, err
 		}
 	}
 	if err := b.module.TDHMrFinalize(id); err != nil {
-		return nil, fmt.Errorf("tdx launch: %w", err)
+		return 0, err
 	}
-	if err := b.module.TDHVPEnter(id); err != nil {
-		return nil, fmt.Errorf("tdx launch: %w", err)
-	}
+	return id, nil
+}
 
+// guestForTD wraps an entered TD id into a ModelGuest.
+func (b *Backend) guestForTD(id uint64, cfg tee.GuestConfig, restoreCost time.Duration, restored bool) tee.Guest {
 	mod := b.module
 	return tee.NewModelGuest(tee.ModelGuestConfig{
-		IDPrefix: "td",
-		Kind:     tee.KindTDX,
-		Secure:   true,
-		Model:    b.CostModel(),
-		BootBase: bootBaseNs,
-		Seed:     b.guestSeed(cfg),
-		Obs:      b.obsreg,
-		Faults:   b.faults,
-		Host:     cfg.Name,
+		IDPrefix:         "td",
+		Kind:             tee.KindTDX,
+		Secure:           true,
+		Model:            b.CostModel(),
+		BootBase:         bootBaseNs,
+		BootCostOverride: restoreCost,
+		Restored:         restored,
+		Seed:             b.guestSeed(cfg),
+		Obs:              b.obsreg,
+		Faults:           b.faults,
+		Host:             cfg.Name,
 		Report: func(_ context.Context, nonce []byte) ([]byte, error) {
 			r, err := mod.TDGMrReport(id, nonce)
 			if err != nil {
@@ -195,7 +208,75 @@ func (b *Backend) Launch(cfg tee.GuestConfig) (tee.Guest, error) {
 			return r.Marshal()
 		},
 		Destroy: func() error { return mod.TDHMngRemove(id) },
-	}), nil
+	})
+}
+
+// Launch implements tee.Backend: it walks the full TD build flow
+// (TDH.MNG.CREATE → INIT → measured page adds → TDH.MR.FINALIZE →
+// TDH.VP.ENTER) and returns a running confidential guest.
+func (b *Backend) Launch(cfg tee.GuestConfig) (tee.Guest, error) {
+	cfg = cfg.WithDefaults()
+	id, err := b.buildTD(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("tdx launch: %w", err)
+	}
+	if err := b.module.TDHVPEnter(id); err != nil {
+		return nil, fmt.Errorf("tdx launch: %w", err)
+	}
+	return b.guestForTD(id, cfg, 0, false), nil
+}
+
+// Snapshot implements tee.Snapshotter: one full measured template
+// build, exported via TDH.EXPORT.MEM, then torn down. The image's
+// capture cost prices that build; its restore cost is what every TD
+// imported from it charges as boot.
+func (b *Backend) Snapshot(cfg tee.GuestConfig) (*tee.GuestImage, error) {
+	cfg = cfg.WithDefaults()
+	id, err := b.buildTD(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("tdx snapshot: %w", err)
+	}
+	img, err := b.module.TDHExportMem(id)
+	if err != nil {
+		_ = b.module.TDHMngRemove(id)
+		return nil, fmt.Errorf("tdx snapshot: %w", err)
+	}
+	if err := b.module.TDHMngRemove(id); err != nil {
+		return nil, fmt.Errorf("tdx snapshot: %w", err)
+	}
+	cm := b.CostModel()
+	return &tee.GuestImage{
+		Kind:        tee.KindTDX,
+		MemoryMB:    cfg.MemoryMB,
+		SizeBytes:   int64(cfg.MemoryMB) << 20,
+		CaptureCost: time.Duration(bootBaseNs) + cm.BootCost() + cm.SnapshotCost(cfg.MemoryMB),
+		RestoreCost: cm.RestoreCost(cfg.MemoryMB),
+		Payload:     img,
+	}, nil
+}
+
+// Restore implements tee.Snapshotter: TDH.IMPORT.MEM installs the
+// image's measurement and page set with re-measurement skipped, and
+// the imported TD is entered. The restored guest charges the image's
+// restore cost as its boot.
+func (b *Backend) Restore(img *tee.GuestImage, cfg tee.GuestConfig) (tee.Guest, error) {
+	if err := img.Validate(tee.KindTDX); err != nil {
+		return nil, fmt.Errorf("tdx restore: %w", err)
+	}
+	tdImg, ok := img.Payload.(*TDImage)
+	if !ok {
+		return nil, fmt.Errorf("tdx restore: %w", tee.ErrImagePayload)
+	}
+	cfg = cfg.WithDefaults()
+	id, err := b.module.TDHImportMem(tdImg)
+	if err != nil {
+		return nil, fmt.Errorf("tdx restore: %w", err)
+	}
+	if err := b.module.TDHVPEnter(id); err != nil {
+		_ = b.module.TDHMngRemove(id)
+		return nil, fmt.Errorf("tdx restore: %w", err)
+	}
+	return b.guestForTD(id, cfg, img.RestoreCost, true), nil
 }
 
 // LaunchNormal implements tee.Backend: a plain VM on the same host.

@@ -316,6 +316,77 @@ func (m *Module) TDHVPEnter(id uint64) error {
 	}
 }
 
+// TDImage is an exported TD memory image: the attested identity
+// (MRTD, attributes, XFAM) plus the private page set, captured after
+// finalization. Importing it rebuilds an equivalent TD without
+// replaying the measured page adds — the re-measurement skip that
+// makes restored TDs cheap (modeled on the TDX 1.5 live-migration
+// TDH.EXPORT.*/TDH.IMPORT.* leaf families).
+type TDImage struct {
+	Attributes uint64
+	Xfam       uint64
+	MRTD       [MeasurementSize]byte
+	// Pages lists the guest-physical page frame numbers of the image.
+	Pages []uint64
+}
+
+// TDHExportMem captures a finalized TD's memory image (SEAMCALL
+// TDH.EXPORT.MEM, abridged). The source TD keeps running; the caller
+// owns the returned image.
+func (m *Module) TDHExportMem(id uint64) (*TDImage, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	td, err := m.get(id)
+	if err != nil {
+		return nil, err
+	}
+	if td.state != TDFinalized && td.state != TDRunning {
+		return nil, fmt.Errorf("%w: export in %s (%v)", ErrBadState, td.state, ErrNotFinalized)
+	}
+	img := &TDImage{
+		Attributes: td.attributes,
+		Xfam:       td.xfam,
+		MRTD:       td.mrtd,
+		Pages:      make([]uint64, 0, len(td.pages)),
+	}
+	for pfn := range td.pages {
+		img.Pages = append(img.Pages, pfn)
+	}
+	return img, nil
+}
+
+// TDHImportMem rebuilds a TD from an exported image (SEAMCALL
+// TDH.IMPORT.MEM, abridged): the TD is created directly in the
+// finalized state with the imported MRTD, attributes, XFAM, and page
+// set, skipping the per-page measured adds. The caller enters it with
+// TDHVPEnter as usual.
+func (m *Module) TDHImportMem(img *TDImage) (uint64, error) {
+	if img == nil {
+		return 0, errors.New("tdx: nil TD image")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calls.Inc()
+	if m.shutdown {
+		return 0, ErrModuleShutdown
+	}
+	id := m.nextID
+	m.nextID++
+	td := &TD{
+		id:         id,
+		state:      TDFinalized,
+		attributes: img.Attributes,
+		xfam:       img.Xfam,
+		mrtd:       img.MRTD,
+		pages:      make(map[uint64]bool, len(img.Pages)),
+	}
+	for _, pfn := range img.Pages {
+		td.pages[pfn] = true
+	}
+	m.tds[id] = td
+	return id, nil
+}
+
 // TDHMngRemove tears the TD down and reclaims its pages.
 func (m *Module) TDHMngRemove(id uint64) error {
 	m.mu.Lock()

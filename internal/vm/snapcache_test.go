@@ -1,0 +1,82 @@
+package vm
+
+import (
+	"testing"
+
+	"confbench/internal/obs"
+	"confbench/internal/tee"
+)
+
+func cacheKey(runtime string, mb int) SnapshotKey {
+	return SnapshotKey{Kind: tee.KindTDX, Runtime: runtime, MemoryMB: mb}
+}
+
+func cacheImg(mb int) *tee.GuestImage {
+	return &tee.GuestImage{Kind: tee.KindTDX, MemoryMB: mb, SizeBytes: int64(mb) << 20}
+}
+
+func TestSnapshotCacheLRUEviction(t *testing.T) {
+	reg := obs.New()
+	c := NewSnapshotCache(3<<20, reg)
+	c.Put(cacheKey("a", 1), cacheImg(1))
+	c.Put(cacheKey("b", 1), cacheImg(1))
+	c.Put(cacheKey("c", 1), cacheImg(1))
+	if c.Len() != 3 || c.UsedBytes() != 3<<20 {
+		t.Fatalf("len=%d used=%d", c.Len(), c.UsedBytes())
+	}
+	// Touch "a" so "b" becomes least recently used, then overflow.
+	if _, ok := c.Get(cacheKey("a", 1)); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put(cacheKey("d", 1), cacheImg(1))
+	if _, ok := c.Get(cacheKey("b", 1)); ok {
+		t.Error("b survived eviction despite being LRU")
+	}
+	for _, r := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(cacheKey(r, 1)); !ok {
+			t.Errorf("%s evicted unexpectedly", r)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.MetricID("confbench_snapshot_cache_evictions_total")]; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if got := snap.Gauges[obs.MetricID("confbench_snapshot_cache_bytes")]; got != 3<<20 {
+		t.Errorf("bytes gauge = %d, want %d", got, 3<<20)
+	}
+}
+
+func TestSnapshotCacheOversizedImageNotCached(t *testing.T) {
+	c := NewSnapshotCache(1<<20, obs.New())
+	c.Put(cacheKey("big", 2), cacheImg(2))
+	if c.Len() != 0 {
+		t.Error("image above the whole budget was cached")
+	}
+}
+
+func TestSnapshotCacheReplaceRefreshes(t *testing.T) {
+	c := NewSnapshotCache(4<<20, obs.New())
+	c.Put(cacheKey("a", 1), cacheImg(1))
+	c.Put(cacheKey("a", 1), cacheImg(2))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if c.UsedBytes() != 2<<20 {
+		t.Errorf("used = %d, want %d", c.UsedBytes(), 2<<20)
+	}
+	img, ok := c.Get(cacheKey("a", 1))
+	if !ok || img.MemoryMB != 2 {
+		t.Errorf("got %+v ok=%v, want the replacement image", img, ok)
+	}
+}
+
+func TestSnapshotCacheNilSafe(t *testing.T) {
+	var c *SnapshotCache
+	c.Put(cacheKey("a", 1), cacheImg(1))
+	if _, ok := c.Get(cacheKey("a", 1)); ok {
+		t.Error("nil cache hit")
+	}
+	if c.Len() != 0 || c.UsedBytes() != 0 || c.Budget() != 0 {
+		t.Error("nil cache reports non-zero state")
+	}
+}
