@@ -7,12 +7,12 @@ GO ?= go
 RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/api/... ./internal/obs/... ./internal/faultplane/... ./internal/hostagent/...
 
 # Packages held to the coverage floor: the statistics toolkit every
-# reported number flows through, the gateway dispatch path, and the
-# warm-pool/snapshot-cache subsystem.
+# reported number flows through, the gateway dispatch path, the
+# warm-pool/snapshot-cache subsystem, and the telemetry plane.
 COVER_FLOOR ?= 70
-COVER_PKGS = ./internal/stats ./internal/gateway ./internal/hostagent ./internal/vm
+COVER_PKGS = ./internal/stats ./internal/gateway ./internal/hostagent ./internal/vm ./internal/obs
 
-.PHONY: build test vet race cover cover-floor fuzz-smoke obs-smoke chaos-smoke verify
+.PHONY: build test vet race cover cover-floor fuzz-smoke obs-smoke chaos-smoke telemetry-smoke lint-metrics verify
 
 build:
 	$(GO) build ./...
@@ -65,7 +65,18 @@ obs-smoke:
 chaos-smoke:
 	$(GO) test -race -run TestChaosSmoke -count=1 .
 
+# End-to-end telemetry check: federation over multiple hosts, the
+# pinned windowed invoke rate, and the flight-recorder postmortem on
+# an exhausted-retry invoke.
+telemetry-smoke:
+	$(GO) test -run TestTelemetry -count=1 .
+
+# Static metric-naming lint: every literal metric family registered in
+# the tree must start with confbench_ and counters must end in _total.
+lint-metrics:
+	$(GO) test -run TestLintMetricNames -count=1 ./internal/obs
+
 # Full pre-merge check: compile, vet, unit tests, the race detector
-# over the concurrency-sensitive packages, the coverage floor, and the
-# observability and chaos smoke tests.
-verify: build vet test race cover-floor obs-smoke chaos-smoke
+# over the concurrency-sensitive packages, the coverage floor, the
+# metric-naming lint, and the observability/chaos/telemetry smokes.
+verify: build vet test race cover-floor lint-metrics obs-smoke chaos-smoke telemetry-smoke

@@ -60,6 +60,7 @@ func run(ctx context.Context, args []string) error {
 	chaos := fs.String("chaos", "", "run a chaos drill instead of figures: comma-separated fault specs, e.g. hostagent.exec:error:1.0:host=sev-host")
 	chaosInvokes := fs.Int("chaos-invokes", 100, "invocations in the chaos drill")
 	coldstart := fs.Bool("coldstart", false, "run the cold-vs-warm start benchmark instead of figures")
+	obsWindow := fs.Int("obs-window", 0, "print windowed cluster telemetry rates over this many scrape samples (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,7 +68,7 @@ func run(ctx context.Context, args []string) error {
 		*trials, *scaleDiv, *dbSize, *images = 3, 8, 20, 10
 	}
 	if *chaos != "" {
-		return runChaos(ctx, *chaos, *seed, *chaosInvokes)
+		return runChaos(ctx, *chaos, *seed, *chaosInvokes, *obsWindow)
 	}
 	if *coldstart {
 		out, _, err := coldstartReport(ctx, *seed, 16)
@@ -245,6 +246,12 @@ func run(ctx context.Context, args []string) error {
 		}
 	}
 
+	if *obsWindow > 0 {
+		if err := obsWindowReport(ctx, cluster.Client(), *obsWindow); err != nil {
+			return fmt.Errorf("obs-window: %w", err)
+		}
+	}
+
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
@@ -266,7 +273,7 @@ func run(ctx context.Context, args []string) error {
 // With a fault pinned to one host (e.g. host=sev-host) the run should
 // end with zero failures: the breaker takes the faulted endpoint out
 // of rotation and the dispatcher retries onto its healthy sibling.
-func runChaos(ctx context.Context, spec string, seed int64, invokes int) error {
+func runChaos(ctx context.Context, spec string, seed int64, invokes, obsWindow int) error {
 	specs, err := confbench.ParseFaultSpecs(spec)
 	if err != nil {
 		return err
@@ -342,6 +349,11 @@ func runChaos(ctx context.Context, spec string, seed int64, invokes int) error {
 		fmt.Printf("  %-4s healthy %d/%d\n", p.TEE, p.Healthy, len(p.Members))
 		for _, m := range p.Members {
 			fmt.Printf("    %-14s vm=%-16s secure=%-5v breaker=%s\n", m.Host, m.VM, m.Secure, m.Breaker)
+		}
+	}
+	if obsWindow > 0 {
+		if err := obsWindowReport(ctx, client, obsWindow); err != nil {
+			return fmt.Errorf("obs-window: %w", err)
 		}
 	}
 	return nil

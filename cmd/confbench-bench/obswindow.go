@@ -1,0 +1,62 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"confbench/internal/api"
+	"confbench/internal/obs"
+)
+
+// obsWindowReport fetches the federated cluster view twice and prints
+// the windowed rates the scrape series derived: cluster invokes/sec,
+// per-TEE checkout rates, and any scrape failures. Each fetch makes
+// the gateway sweep its host agents, so the report works without a
+// periodic scrape loop.
+func obsWindowReport(ctx context.Context, client *api.Client, window int) error {
+	set := obs.NewSeriesSet(window + 1)
+	first, err := client.ObsCluster(ctx, window)
+	if err != nil {
+		return err
+	}
+	set.RecordSnapshot(time.Now(), first.Merged)
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(500 * time.Millisecond):
+	}
+	cs, err := client.ObsCluster(ctx, window)
+	if err != nil {
+		return err
+	}
+	set.RecordSnapshot(time.Now(), cs.Merged)
+
+	fmt.Printf("=== Cluster telemetry (window %d samples) ===\n", window)
+	fmt.Printf("hosts scraped: %d", len(cs.Hosts))
+	if len(cs.ScrapeErrors) > 0 {
+		fmt.Printf(" (%d failed)", len(cs.ScrapeErrors))
+	}
+	fmt.Println()
+	if r, ok := cs.Rates[obs.RateInvokesPerSec]; ok {
+		fmt.Printf("%-50s %8.2f/s\n", obs.RateInvokesPerSec+" (gateway window)", r)
+	}
+	rates := set.Rates(0, "confbench_pool_checkouts_total")
+	ids := make([]string, 0, len(rates))
+	for id := range rates {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		_, labels := obs.ParseMetricID(id)
+		if labels["host"] != "gateway" {
+			continue // in-process hosts mirror the gateway registry
+		}
+		fmt.Printf("%-50s %8.2f/s\n", "checkouts tee="+labels["tee"], rates[id])
+	}
+	for host, msg := range cs.ScrapeErrors {
+		fmt.Printf("scrape error %s: %s\n", host, msg)
+	}
+	return nil
+}

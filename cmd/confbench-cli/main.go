@@ -8,6 +8,7 @@
 //	confbench-cli -gateway URL invoke -name NAME [-tee KIND] [-secure] [-scale N]
 //	confbench-cli -gateway URL functions
 //	confbench-cli -gateway URL obs [-json]
+//	confbench-cli -gateway URL top [-interval D] [-count N] [-window N]
 //	confbench-cli -gateway URL pools
 //	confbench-cli -gateway URL attest -tee KIND
 package main
@@ -45,7 +46,7 @@ func run(ctx context.Context, args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing subcommand: upload, invoke, functions, pools, metrics, obs, attest")
+		return fmt.Errorf("missing subcommand: upload, invoke, functions, pools, metrics, obs, top, attest")
 	}
 	client, err := api.NewClient(*gatewayURL)
 	if err != nil {
@@ -91,6 +92,8 @@ func run(ctx context.Context, args []string) error {
 		return nil
 	case "obs":
 		return cmdObs(ctx, client, rest[1:])
+	case "top":
+		return cmdTop(ctx, client, rest[1:])
 	case "attest":
 		return cmdAttest(ctx, client, rest[1:])
 	default:

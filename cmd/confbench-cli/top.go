@@ -1,0 +1,152 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"confbench/internal/api"
+	"confbench/internal/obs"
+)
+
+// cmdTop polls the gateway's federated cluster view and renders a
+// live per-TEE table: invoke rate, latency percentiles, breaker
+// states, and warm-pool hit ratio. Rates are computed client-side
+// from consecutive fetches, so `top` works against gateways that run
+// no periodic scrape loop of their own.
+func cmdTop(ctx context.Context, client *api.Client, args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	count := fs.Int("count", 0, "number of refreshes (0 = until interrupted)")
+	window := fs.Int("window", 30, "rate window in samples")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	set := obs.NewSeriesSet(*window + 1)
+	for i := 0; *count == 0 || i < *count; i++ {
+		cs, err := client.ObsCluster(ctx, *window)
+		if err != nil {
+			return err
+		}
+		set.RecordSnapshot(time.Now(), cs.Merged)
+		fmt.Print(renderTop(cs, set, *window))
+		if *count != 0 && i == *count-1 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+	return nil
+}
+
+// breakerStateName maps a confbench_breaker_state gauge value to its
+// label (mirrors gateway.BreakerState: 0 closed, 1 open, 2 half-open).
+func breakerStateName(v int64) string {
+	switch v {
+	case 1:
+		return "open"
+	case 2:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// gatewayOwned reports whether a merged metric ID belongs to the
+// gateway's own registry (so in-process deployments, where every host
+// shares one registry, are not counted once per scrape host).
+func gatewayOwned(labels map[string]string) bool {
+	return labels["host"] == "gateway"
+}
+
+// renderTop renders one refresh of the cluster table. Pure: it reads
+// only the snapshot and the series set, so tests can pin its output.
+func renderTop(cs obs.ClusterSnapshot, set *obs.SeriesSet, window int) string {
+	// TEEs present, from the gateway's per-pool checkout counters.
+	tees := make(map[string]bool)
+	for id := range cs.Merged.Counters {
+		family, labels := obs.ParseMetricID(id)
+		if family == "confbench_pool_checkouts_total" && gatewayOwned(labels) {
+			tees[labels["tee"]] = true
+		}
+	}
+	names := make([]string, 0, len(tees))
+	for t := range tees {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %9s %11s %11s %-22s %6s\n",
+		"TEE", "RATE/S", "P50", "P99", "BREAKERS", "WARM%")
+	for _, t := range names {
+		var rate float64
+		if s := set.Get(obs.MetricID("confbench_pool_checkouts_total",
+			"host", "gateway", "tee", t)); s != nil {
+			rate = s.Rate(window)
+		}
+		var p50, p99 float64
+		if hs, ok := cs.Merged.Histograms[obs.MetricID("confbench_invoke_seconds",
+			"host", "gateway", "tee", t)]; ok {
+			p50, p99 = hs.Quantile(0.50), hs.Quantile(0.99)
+		}
+		breakers := make(map[string]int)
+		for id, v := range cs.Merged.Gauges {
+			family, labels := obs.ParseMetricID(id)
+			if family == "confbench_breaker_state" && gatewayOwned(labels) && labels["tee"] == t {
+				breakers[breakerStateName(v)]++
+			}
+		}
+		var hits, misses uint64
+		for id, v := range cs.Merged.Counters {
+			family, labels := obs.ParseMetricID(id)
+			if !gatewayOwned(labels) || labels["tee"] != t {
+				continue
+			}
+			switch family {
+			case "confbench_warm_hits_total":
+				hits += v
+			case "confbench_warm_misses_total":
+				misses += v
+			}
+		}
+		warm := "-"
+		if hits+misses > 0 {
+			warm = fmt.Sprintf("%.1f", 100*float64(hits)/float64(hits+misses))
+		}
+		fmt.Fprintf(&b, "%-10s %9.2f %11s %11s %-22s %6s\n",
+			t, rate,
+			time.Duration(p50*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(p99*float64(time.Second)).Round(time.Microsecond),
+			breakerSummary(breakers), warm)
+	}
+	fmt.Fprintf(&b, "hosts: %d", len(cs.Hosts))
+	if len(cs.ScrapeErrors) > 0 {
+		fmt.Fprintf(&b, " (scrape errors: %d)", len(cs.ScrapeErrors))
+	}
+	if r, ok := cs.Rates[obs.RateInvokesPerSec]; ok {
+		fmt.Fprintf(&b, "  cluster invokes/sec: %.2f", r)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// breakerSummary renders breaker counts as "N closed, M open".
+func breakerSummary(counts map[string]int) string {
+	if len(counts) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(counts))
+	for _, state := range []string{"closed", "half-open", "open"} {
+		if n := counts[state]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, state))
+		}
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"confbench/internal/obs"
+)
+
+// TestRenderTop pins the cluster table against a synthetic federated
+// snapshot: rates come from the client-side series, percentiles from
+// the merged histogram, and only gateway-owned entries count.
+func TestRenderTop(t *testing.T) {
+	checkouts := obs.MetricID("confbench_pool_checkouts_total", "host", "gateway", "tee", "tdx")
+	merged := obs.Snapshot{
+		Counters: map[string]uint64{
+			checkouts: 20,
+			// Same counter under a scrape host: must not add a row.
+			obs.MetricID("confbench_pool_checkouts_total", "host", "tdx-host", "tee", "tdx"): 20,
+			obs.MetricID("confbench_warm_hits_total", "host", "gateway", "tee", "tdx"):       3,
+			obs.MetricID("confbench_warm_misses_total", "host", "gateway", "tee", "tdx"):     1,
+		},
+		Gauges: map[string]int64{
+			obs.MetricID("confbench_breaker_state", "endpoint", "a", "host", "gateway", "tee", "tdx"): 0,
+			obs.MetricID("confbench_breaker_state", "endpoint", "b", "host", "gateway", "tee", "tdx"): 1,
+		},
+		Histograms: map[string]obs.HistogramSnapshot{
+			obs.MetricID("confbench_invoke_seconds", "host", "gateway", "tee", "tdx"): {
+				Bounds:     []float64{0.001, 0.01, 0.1},
+				Counts:     []uint64{8, 2, 0, 0},
+				SumSeconds: 0.02,
+				Count:      10,
+			},
+		},
+	}
+	cs := obs.ClusterSnapshot{
+		Hosts:        []string{"gateway", "tdx-host"},
+		ScrapeErrors: map[string]string{"dead-host": "connection refused"},
+		Rates:        map[string]float64{obs.RateInvokesPerSec: 5.5},
+		Merged:       merged,
+	}
+
+	set := obs.NewSeriesSet(8)
+	t0 := time.Unix(1000, 0)
+	before := merged
+	before.Counters = map[string]uint64{checkouts: 10}
+	set.RecordSnapshot(t0, before)
+	set.RecordSnapshot(t0.Add(time.Second), merged)
+
+	out := renderTop(cs, set, 8)
+	for _, want := range []string{
+		"TEE", "tdx",
+		"10.00",              // (20-10)/1s from the series
+		"1 closed, 1 open",   // breaker summary
+		"75.0",               // warm hit ratio 3/(3+1)
+		"hosts: 2",           // scraped hosts
+		"(scrape errors: 1)", // dead target surfaced
+		"cluster invokes/sec: 5.50",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("renderTop output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "tdx") != 1 {
+		t.Fatalf("expected exactly one tdx row (gateway-owned only):\n%s", out)
+	}
+}
+
+// TestBreakerStateName pins the gauge-value → label mapping.
+func TestBreakerStateName(t *testing.T) {
+	for v, want := range map[int64]string{0: "closed", 1: "open", 2: "half-open", 7: "closed"} {
+		if got := breakerStateName(v); got != want {
+			t.Fatalf("breakerStateName(%d) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 //	confbench-gateway [-addr 127.0.0.1:8080] [-hosts FILE]
 //	                  [-policy round-robin|least-loaded]
 //	                  [-breaker-threshold N] [-breaker-cooldown D]
+//	                  [-scrape-interval D]
 package main
 
 import (
@@ -50,6 +51,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "deterministic noise seed (embedded mode)")
 	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures that trip an endpoint's circuit breaker (0 = default)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default)")
+	scrapeInterval := fs.Duration("scrape-interval", 0, "background telemetry scrape period for /v1/obs/cluster series (0 = scrape only on request)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,6 +84,7 @@ func run(args []string) error {
 			Policy:           policyFactory,
 			BreakerThreshold: *breakerThreshold,
 			BreakerCooldown:  *breakerCooldown,
+			ScrapeInterval:   *scrapeInterval,
 		})
 		for _, kind := range cluster.Kinds() {
 			agent, err := cluster.Agent(kind)
@@ -112,6 +115,7 @@ func run(args []string) error {
 		Policy:           policyFactory,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
+		ScrapeInterval:   *scrapeInterval,
 	})
 	for _, h := range hosts {
 		gw.AddHost(h.Name, h.Endpoints)

@@ -110,6 +110,15 @@ func WithHostsPerTEE(n int) Option {
 	return func(c *ClusterConfig) { c.HostsPerTEE = n }
 }
 
+// WithObsScrapeInterval enables the gateway's periodic federation
+// sweeps: every interval it scrapes each host agent's registry over
+// the relay hop, merges the snapshots under host labels, and feeds
+// the time series behind windowed rate queries. Without it the sweep
+// runs on demand, per GET /v1/obs/cluster request.
+func WithObsScrapeInterval(d time.Duration) Option {
+	return func(c *ClusterConfig) { c.ObsScrapeInterval = d }
+}
+
 // WithWarmPool serves every host's secure VM out of a prewarmed guest
 // pool with high watermark n: guests are restored from cached snapshot
 // images instead of cold-booted, and a background goroutine refills

@@ -44,6 +44,15 @@ type SpanData = obs.SpanData
 // returned by Client.Obs.
 type ObsSnapshot = obs.Snapshot
 
+// ClusterObsSnapshot is the federated cluster view served by GET
+// /v1/obs/cluster: every host agent's registry merged under host
+// labels, plus windowed rates, as returned by Client.ObsCluster.
+type ClusterObsSnapshot = obs.ClusterSnapshot
+
+// ObsEvent is one invoke's flight-recorder record, as returned by
+// Client.ObsEvents.
+type ObsEvent = obs.Event
+
 // RenderTrace formats a span tree as an indented text tree, one line
 // per span with layer, name, and duration.
 func RenderTrace(d *SpanData) string { return obs.RenderTree(d) }

@@ -37,6 +37,11 @@ const (
 	PathHealth    = "/health"
 	PathMetrics   = "/metrics"
 	PathObs       = "/obs"
+	// PathObsCluster serves the federated cluster view: every host
+	// agent's registry merged under host labels, plus windowed rates.
+	PathObsCluster = "/obs/cluster"
+	// PathObsEvents serves the gateway's invoke flight recorder.
+	PathObsEvents = "/obs/events"
 )
 
 // APIPrefixV1 is the versioned mount point of the REST surface.
@@ -45,13 +50,15 @@ const APIPrefixV1 = "/v1"
 // Versioned paths — the canonical routes new clients use. The
 // unversioned constants above remain valid aliases.
 const (
-	PathV1Functions = APIPrefixV1 + PathFunctions
-	PathV1Invoke    = APIPrefixV1 + PathInvoke
-	PathV1Attest    = APIPrefixV1 + PathAttest
-	PathV1Pools     = APIPrefixV1 + PathPools
-	PathV1Health    = APIPrefixV1 + PathHealth
-	PathV1Metrics   = APIPrefixV1 + PathMetrics
-	PathV1Obs       = APIPrefixV1 + PathObs
+	PathV1Functions  = APIPrefixV1 + PathFunctions
+	PathV1Invoke     = APIPrefixV1 + PathInvoke
+	PathV1Attest     = APIPrefixV1 + PathAttest
+	PathV1Pools      = APIPrefixV1 + PathPools
+	PathV1Health     = APIPrefixV1 + PathHealth
+	PathV1Metrics    = APIPrefixV1 + PathMetrics
+	PathV1Obs        = APIPrefixV1 + PathObs
+	PathV1ObsCluster = APIPrefixV1 + PathObsCluster
+	PathV1ObsEvents  = APIPrefixV1 + PathObsEvents
 )
 
 // Paths served by guest agents inside VMs.
@@ -59,6 +66,9 @@ const (
 	GuestPathInvoke = "/guest/invoke"
 	GuestPathAttest = "/guest/attest"
 	GuestPathHealth = "/guest/health"
+	// GuestPathObs serves the host process's metrics registry — the
+	// gateway's federation scraper pulls it over the relay hop.
+	GuestPathObs = "/guest/obs"
 )
 
 // UploadRequest registers a function with the gateway.
@@ -480,6 +490,31 @@ func (c *Client) Obs(ctx context.Context) (obs.Snapshot, error) {
 	var out obs.Snapshot
 	if err := c.do(ctx, http.MethodGet, PathObs+"?format=json", nil, &out); err != nil {
 		return obs.Snapshot{}, err
+	}
+	return out, nil
+}
+
+// ObsCluster fetches the federated cluster snapshot: every host
+// agent's registry merged under host labels, plus windowed rates.
+// window is the rate window in scrape samples (0 = server default).
+func (c *Client) ObsCluster(ctx context.Context, window int) (obs.ClusterSnapshot, error) {
+	path := PathObsCluster + "?format=json"
+	if window > 0 {
+		path += "&window=" + fmt.Sprint(window)
+	}
+	var out obs.ClusterSnapshot
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return obs.ClusterSnapshot{}, err
+	}
+	return out, nil
+}
+
+// ObsEvents fetches the gateway's invoke flight recorder (retained
+// events, oldest first).
+func (c *Client) ObsEvents(ctx context.Context) ([]obs.Event, error) {
+	var out []obs.Event
+	if err := c.do(ctx, http.MethodGet, PathObsEvents, nil, &out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

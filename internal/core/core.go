@@ -66,6 +66,10 @@ type ClusterConfig struct {
 	// BreakerCooldown is how long a tripped endpoint stays out of
 	// rotation before a half-open probe (0 = the gateway default).
 	BreakerCooldown time.Duration
+	// ObsScrapeInterval enables the gateway's periodic federation
+	// sweeps of the host agents' registries (0 = on-demand only, via
+	// GET /v1/obs/cluster).
+	ObsScrapeInterval time.Duration
 	// WarmPool, when positive, serves every host's secure VM out of a
 	// prewarmed guest pool with this high watermark, restoring guests
 	// from the shared snapshot cache instead of cold-booting them.
@@ -175,6 +179,8 @@ func (c *Cluster) boot() error {
 		Obs:              c.obsreg,
 		BreakerThreshold: c.cfg.BreakerThreshold,
 		BreakerCooldown:  c.cfg.BreakerCooldown,
+		Faults:           c.cfg.Faults,
+		ScrapeInterval:   c.cfg.ObsScrapeInterval,
 	})
 	for _, kind := range c.cfg.TEEs {
 		for _, agent := range c.agents[kind] {
@@ -238,6 +244,10 @@ func (c *Cluster) Workers() int { return c.cfg.Workers }
 
 // GatewayURL returns the gateway's base URL.
 func (c *Cluster) GatewayURL() string { return c.gw.BaseURL() }
+
+// Gateway returns the running gateway, exposing the federation
+// scraper and invoke flight recorder to in-process harnesses.
+func (c *Cluster) Gateway() *gateway.Gateway { return c.gw }
 
 // Backend returns the platform backend for kind.
 func (c *Cluster) Backend(kind tee.Kind) (tee.Backend, error) {

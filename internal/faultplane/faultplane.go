@@ -60,13 +60,19 @@ const (
 	// pool falls back to a cold launch — while latency/slow-io faults
 	// delay the warm path before it proceeds.
 	PointSnapshotRestore Point = "snapshot.restore"
+	// PointObsScrape fires when the gateway's federation scraper pulls a
+	// host agent's metrics registry. Error/drop/crash faults fail the
+	// scrape (counted, never fatal to invokes); latency/slow-io faults
+	// delay it, exercising the per-target scrape timeout.
+	PointObsScrape Point = "obs.scrape"
 )
 
 // Valid reports whether p names a known injection point.
 func (p Point) Valid() bool {
 	switch p {
 	case PointRelayAccept, PointHostExec, PointHostLaunch,
-		PointTEETransition, PointTEEBounceIO, PointSnapshotRestore:
+		PointTEETransition, PointTEEBounceIO, PointSnapshotRestore,
+		PointObsScrape:
 		return true
 	default:
 		return false
@@ -282,6 +288,26 @@ func (p *Plane) History() []Injection {
 	return append([]Injection(nil), p.history...)
 }
 
+// HistoryFrom returns a copy of the injections whose Seq is strictly
+// greater than afterSeq, in firing order. Callers that bracket an
+// operation with Injected() before and HistoryFrom(before) after get
+// the faults that fired during it (exact in serial runs; a superset
+// under concurrent traffic).
+func (p *Plane) HistoryFrom(afterSeq int) []Injection {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if afterSeq < 0 {
+		afterSeq = 0
+	}
+	if afterSeq >= len(p.history) {
+		return nil
+	}
+	return append([]Injection(nil), p.history[afterSeq:]...)
+}
+
 // Injected returns the total number of fired faults.
 func (p *Plane) Injected() int {
 	if p == nil {
@@ -300,6 +326,8 @@ func layerFor(point Point) cberr.Layer {
 		return cberr.LayerHost
 	case PointHostExec, PointHostLaunch, PointSnapshotRestore:
 		return cberr.LayerHost
+	case PointObsScrape:
+		return cberr.LayerGateway
 	default:
 		return cberr.LayerVM
 	}

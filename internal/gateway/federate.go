@@ -1,0 +1,244 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"confbench/internal/api"
+	"confbench/internal/cberr"
+	"confbench/internal/faultplane"
+	"confbench/internal/obs"
+)
+
+// This file is the gateway's federation scraper: it periodically (or
+// on demand) pulls every host agent's metrics registry over the same
+// relay hop invokes travel, merges the per-host snapshots into one
+// cluster view labeled by host, and feeds the scrape series that back
+// windowed rate queries.
+
+// Federation defaults.
+const (
+	// DefaultScrapeTimeout bounds one host's scrape; a wedged host
+	// costs one timeout, not the whole sweep.
+	DefaultScrapeTimeout = 2 * time.Second
+	// DefaultObsWindow is the sample window (scrape count) rate
+	// queries default to.
+	DefaultObsWindow = 60
+	// GatewayHostLabel is the host label the gateway's own registry
+	// merges under.
+	GatewayHostLabel = "gateway"
+)
+
+// scrapeTarget is one host agent's registry endpoint.
+type scrapeTarget struct {
+	host string
+	tee  string
+	url  string
+}
+
+// addScrapeTarget registers a host's registry endpoint for federation
+// sweeps. One target per host: the first endpoint wins (all of a
+// host's VMs share the host process's registry, so any relay reaches
+// the same snapshot).
+func (g *Gateway) addScrapeTarget(host, teeKind, addr string) {
+	g.scrapeMu.Lock()
+	defer g.scrapeMu.Unlock()
+	for _, t := range g.scrapeTargets {
+		if t.host == host {
+			return
+		}
+	}
+	g.scrapeTargets = append(g.scrapeTargets, scrapeTarget{
+		host: host,
+		tee:  teeKind,
+		url:  "http://" + addr + api.GuestPathObs + "?format=json",
+	})
+}
+
+// ScrapeTargets lists the registered scrape hosts, sorted.
+func (g *Gateway) ScrapeTargets() []string {
+	g.scrapeMu.Lock()
+	defer g.scrapeMu.Unlock()
+	out := make([]string, 0, len(g.scrapeTargets))
+	for _, t := range g.scrapeTargets {
+		out = append(out, t.host)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// scrapeOne pulls one target's snapshot, bounded by the scrape
+// timeout and subject to obs.scrape fault injection.
+func (g *Gateway) scrapeOne(ctx context.Context, t scrapeTarget) (obs.Snapshot, error) {
+	if d := g.faults.Evaluate(faultplane.PointObsScrape, faultplane.Target{
+		TEE: t.tee, Host: t.host,
+	}); d.Inject {
+		switch d.Kind {
+		case faultplane.KindLatency, faultplane.KindSlowIO:
+			time.Sleep(d.Latency)
+		default: // error / drop / crash: the scrape fails, counted.
+			return obs.Snapshot{}, d.Err
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, g.scrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.url, nil)
+	if err != nil {
+		return obs.Snapshot{}, fmt.Errorf("scrape %s: %w", t.host, err)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return obs.Snapshot{}, fmt.Errorf("scrape %s: %w", t.host, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.Snapshot{}, fmt.Errorf("scrape %s: status %d", t.host, resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&snap); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("scrape %s: decode: %w", t.host, err)
+	}
+	return snap, nil
+}
+
+// ScrapeOnce sweeps every registered host agent, merges the snapshots
+// (plus the gateway's own registry under GatewayHostLabel) into one
+// cluster view, and records the sweep into the scrape series at the
+// given instant. Hosts are swept in sorted order; a failed host is
+// reported in ScrapeErrors and counted, never fatal. Tests drive it
+// with synthetic instants to make windowed rates bit-identical.
+func (g *Gateway) ScrapeOnce(ctx context.Context, at time.Time) obs.ClusterSnapshot {
+	g.scrapeMu.Lock()
+	targets := append([]scrapeTarget(nil), g.scrapeTargets...)
+	g.scrapeMu.Unlock()
+	sort.Slice(targets, func(i, j int) bool { return targets[i].host < targets[j].host })
+
+	perHost := map[string]obs.Snapshot{GatewayHostLabel: g.obsreg.Snapshot()}
+	var scrapeErrs map[string]string
+	for _, t := range targets {
+		snap, err := g.scrapeOne(ctx, t)
+		if err != nil {
+			g.obsreg.Counter("confbench_obs_scrape_failures_total", "host", t.host).Inc()
+			if scrapeErrs == nil {
+				scrapeErrs = make(map[string]string)
+			}
+			scrapeErrs[t.host] = err.Error()
+			continue
+		}
+		perHost[t.host] = snap
+	}
+	hosts := make([]string, 0, len(perHost))
+	for h := range perHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+
+	merged := obs.MergeSnapshots(perHost)
+	g.series.RecordSnapshot(at, merged)
+	// The cluster invoke count gets its own series so the headline
+	// rate never depends on which hosts answered this sweep.
+	g.series.Series(obs.RateInvokesPerSec).Record(at, float64(g.invocations.Load()))
+
+	return obs.ClusterSnapshot{
+		Hosts:        hosts,
+		ScrapeErrors: scrapeErrs,
+		Merged:       merged,
+	}
+}
+
+// Series exposes the gateway's scrape series (windowed rate queries).
+func (g *Gateway) Series() *obs.SeriesSet { return g.series }
+
+// Recorder exposes the gateway's invoke flight recorder.
+func (g *Gateway) Recorder() *obs.Recorder { return g.recorder }
+
+// SetPostmortemWriter redirects flight-recorder postmortems (written
+// when an invoke exhausts its retry budget) away from stderr; tests
+// point it at a buffer.
+func (g *Gateway) SetPostmortemWriter(w io.Writer) {
+	g.postmortemMu.Lock()
+	g.postmortem = w
+	g.postmortemMu.Unlock()
+}
+
+// writePostmortem flushes one exhausted invoke's flight-recorder
+// event to the postmortem writer.
+func (g *Gateway) writePostmortem(ev obs.Event) {
+	g.postmortemMu.Lock()
+	w := g.postmortem
+	g.postmortemMu.Unlock()
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, "confbench postmortem: %s\n", ev.String())
+}
+
+// scrapeLoop runs periodic federation sweeps until stop closes.
+func (g *Gateway) scrapeLoop(interval time.Duration, stop <-chan struct{}) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-ticker.C:
+			g.ScrapeOnce(context.Background(), now)
+		}
+	}
+}
+
+// handleObsCluster serves the federated cluster view: a fresh sweep
+// of every host agent merged under host labels, with windowed rates
+// from the scrape series. Prometheus text by default, JSON via
+// ?format=json; ?window=N overrides the rate window (samples).
+func (g *Gateway) handleObsCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		g.countError(w, http.StatusMethodNotAllowed,
+			cberr.New(cberr.CodeInvalid, cberr.LayerGateway, "GET required"))
+		return
+	}
+	window := DefaultObsWindow
+	if v := r.URL.Query().Get("window"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			g.countError(w, http.StatusBadRequest,
+				cberr.New(cberr.CodeInvalid, cberr.LayerGateway, "window must be a non-negative integer"))
+			return
+		}
+		window = n
+	}
+	cs := g.ScrapeOnce(r.Context(), time.Now())
+	cs.Window = window
+	if s := g.series.Get(obs.RateInvokesPerSec); s != nil {
+		cs.Rates = map[string]float64{obs.RateInvokesPerSec: s.Rate(window)}
+	}
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		api.WriteJSON(w, http.StatusOK, cs)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WriteSnapshotPrometheus(w, cs.Merged)
+}
+
+// handleObsEvents serves the flight recorder's retained invoke events
+// (oldest first).
+func (g *Gateway) handleObsEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		g.countError(w, http.StatusMethodNotAllowed,
+			cberr.New(cberr.CodeInvalid, cberr.LayerGateway, "GET required"))
+		return
+	}
+	evs := g.recorder.Events()
+	if evs == nil {
+		evs = []obs.Event{}
+	}
+	api.WriteJSON(w, http.StatusOK, evs)
+}

@@ -1,0 +1,174 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"confbench/internal/api"
+	"confbench/internal/faultplane"
+	"confbench/internal/obs"
+)
+
+// fakeHost serves a registry's snapshot at the guest obs path, the
+// same endpoint a real host agent's relay exposes. Returns the
+// server and its scrape address (host:port).
+func fakeHost(t *testing.T, reg *obs.Registry) (*httptest.Server, string) {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc(api.GuestPathObs, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(reg.Snapshot())
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestScrapeOnceMergesMultipleHosts(t *testing.T) {
+	regA, regB := obs.New(), obs.New()
+	regA.Counter("confbench_relay_accepted_total", "vm", "tdx-secure").Add(7)
+	regB.Counter("confbench_relay_accepted_total", "vm", "snp-secure").Add(11)
+	_, addrA := fakeHost(t, regA)
+	_, addrB := fakeHost(t, regB)
+
+	gw := New(Config{Obs: obs.New()})
+	gw.addScrapeTarget("host-b", "sev-snp", addrB) // registered out of order
+	gw.addScrapeTarget("host-a", "tdx", addrA)
+
+	cs := gw.ScrapeOnce(context.Background(), time.Unix(100, 0))
+	wantHosts := []string{GatewayHostLabel, "host-a", "host-b"}
+	if fmt.Sprint(cs.Hosts) != fmt.Sprint(wantHosts) {
+		t.Fatalf("hosts = %v, want %v", cs.Hosts, wantHosts)
+	}
+	if len(cs.ScrapeErrors) != 0 {
+		t.Fatalf("unexpected scrape errors: %v", cs.ScrapeErrors)
+	}
+	idA := obs.MetricID("confbench_relay_accepted_total", "host", "host-a", "vm", "tdx-secure")
+	idB := obs.MetricID("confbench_relay_accepted_total", "host", "host-b", "vm", "snp-secure")
+	if got := cs.Merged.Counters[idA]; got != 7 {
+		t.Fatalf("%s = %d, want 7", idA, got)
+	}
+	if got := cs.Merged.Counters[idB]; got != 11 {
+		t.Fatalf("%s = %d, want 11", idB, got)
+	}
+}
+
+func TestScrapeFailureCountedNeverFatal(t *testing.T) {
+	reg := obs.New()
+	_, addr := fakeHost(t, obs.New())
+	gw := New(Config{Obs: reg, ScrapeTimeout: 200 * time.Millisecond})
+	gw.addScrapeTarget("alive", "tdx", addr)
+	gw.addScrapeTarget("dead", "cca", "127.0.0.1:1") // nothing listens here
+
+	cs := gw.ScrapeOnce(context.Background(), time.Unix(100, 0))
+	if _, ok := cs.ScrapeErrors["dead"]; !ok {
+		t.Fatalf("dead host missing from ScrapeErrors: %v", cs.ScrapeErrors)
+	}
+	for _, h := range cs.Hosts {
+		if h == "dead" {
+			t.Fatalf("dead host listed as scraped: %v", cs.Hosts)
+		}
+	}
+	failID := obs.MetricID("confbench_obs_scrape_failures_total", "host", "dead")
+	if got := reg.Snapshot().Counters[failID]; got != 1 {
+		t.Fatalf("%s = %d, want 1", failID, got)
+	}
+	// The healthy host's scrape still landed.
+	found := false
+	for _, h := range cs.Hosts {
+		found = found || h == "alive"
+	}
+	if !found {
+		t.Fatalf("alive host missing: %v", cs.Hosts)
+	}
+}
+
+func TestScrapeFaultInjection(t *testing.T) {
+	plane := faultplane.New(1)
+	if err := plane.Register(faultplane.Spec{
+		Point: faultplane.PointObsScrape, Kind: faultplane.KindError, Probability: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	plane.SetObsRegistry(reg)
+	_, addr := fakeHost(t, obs.New())
+	gw := New(Config{Obs: reg, Faults: plane})
+	gw.addScrapeTarget("victim", "tdx", addr)
+
+	cs := gw.ScrapeOnce(context.Background(), time.Unix(100, 0))
+	if _, ok := cs.ScrapeErrors["victim"]; !ok {
+		t.Fatalf("fault-injected scrape not surfaced: %v", cs.ScrapeErrors)
+	}
+	hist := plane.History()
+	if len(hist) != 1 || hist[0].Point != faultplane.PointObsScrape {
+		t.Fatalf("injection history = %+v, want one obs.scrape entry", hist)
+	}
+}
+
+// TestWindowedRatePinnedBySyntheticInstants drives the scrape series
+// with caller-supplied timestamps: the derived invoke rate must be an
+// exact function of the recorded samples, run after run.
+func TestWindowedRatePinnedBySyntheticInstants(t *testing.T) {
+	gw := New(Config{Obs: obs.New()})
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		gw.invocations.Add(10)
+		gw.ScrapeOnce(context.Background(), t0.Add(time.Duration(i)*time.Second))
+	}
+	s := gw.Series().Get(obs.RateInvokesPerSec)
+	if s == nil {
+		t.Fatal("invoke-rate series missing")
+	}
+	// 5 samples, values 10..50 over 4s: (50-10)/4 = 10/s exactly.
+	if got := s.Rate(5); got != 10 {
+		t.Fatalf("Rate(5) = %v, want exactly 10", got)
+	}
+}
+
+// TestScrapeWhileWorkersWrite federates a live registry while worker
+// goroutines hammer it — the satellite -race coverage for the scrape
+// path (run via `make race`).
+func TestScrapeWhileWorkersWrite(t *testing.T) {
+	live := obs.New()
+	_, addr := fakeHost(t, live)
+	gw := New(Config{Obs: obs.New()})
+	gw.addScrapeTarget("busy", "tdx", addr)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := live.Counter("confbench_relay_accepted_total", "vm", fmt.Sprintf("vm-%d", w))
+			h := live.Histogram("confbench_invoke_seconds", "tee", "tdx")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.ObserveExemplar(time.Duration(i%7)*time.Millisecond, fmt.Sprintf("inv-%d-%d", w, i))
+			}
+		}(w)
+	}
+	for i := 0; i < 20; i++ {
+		cs := gw.ScrapeOnce(context.Background(), time.Unix(int64(1000+i), 0))
+		if len(cs.ScrapeErrors) != 0 {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("scrape %d failed: %v", i, cs.ScrapeErrors)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -20,6 +21,7 @@ import (
 	"confbench/internal/cberr"
 	"confbench/internal/faas"
 	"confbench/internal/faas/langs"
+	"confbench/internal/faultplane"
 	"confbench/internal/hostagent"
 	"confbench/internal/obs"
 	"confbench/internal/tee"
@@ -32,12 +34,27 @@ type Gateway struct {
 	policyFactory func() Policy
 	obsreg        *obs.Registry
 	retries       *obs.Counter
+	faults        *faultplane.Plane
 
 	breakerThreshold int
 	breakerCooldown  time.Duration
 
 	mu    sync.RWMutex
 	pools map[tee.Kind]*Pool
+
+	// Federation scraper state (federate.go).
+	scrapeMu       sync.Mutex
+	scrapeTargets  []scrapeTarget
+	scrapeTimeout  time.Duration
+	scrapeInterval time.Duration
+	scrapeStop     chan struct{}
+	series         *obs.SeriesSet
+
+	// Invoke flight recorder (federate.go / handleInvoke).
+	recorder     *obs.Recorder
+	invokeSeq    atomic.Uint64
+	postmortemMu sync.Mutex
+	postmortem   io.Writer
 
 	server   *http.Server
 	listener net.Listener
@@ -95,6 +112,20 @@ type Config struct {
 	// BreakerCooldown is how long an open endpoint is skipped before
 	// a half-open probe is allowed (0 = DefaultBreakerCooldown).
 	BreakerCooldown time.Duration
+	// Faults is the fault plane the federation scraper consults at
+	// obs.scrape (nil = fault-free).
+	Faults *faultplane.Plane
+	// ScrapeInterval enables periodic federation sweeps of the host
+	// agents' registries (0 = on-demand only, via GET /v1/obs/cluster).
+	ScrapeInterval time.Duration
+	// ScrapeTimeout bounds one host's scrape (0 = DefaultScrapeTimeout).
+	ScrapeTimeout time.Duration
+	// RecorderCapacity sizes the invoke flight recorder's ring
+	// (0 = obs.DefaultRecorderCapacity).
+	RecorderCapacity int
+	// Postmortem receives one-line flight-recorder postmortems when an
+	// invoke exhausts its retry budget (nil = os.Stderr).
+	Postmortem io.Writer
 }
 
 // New builds a gateway with empty pools.
@@ -103,6 +134,18 @@ func New(cfg Config) *Gateway {
 	if languages == nil {
 		languages = langs.Names()
 	}
+	scrapeTimeout := cfg.ScrapeTimeout
+	if scrapeTimeout <= 0 {
+		scrapeTimeout = DefaultScrapeTimeout
+	}
+	recorderCap := cfg.RecorderCapacity
+	if recorderCap <= 0 {
+		recorderCap = obs.DefaultRecorderCapacity
+	}
+	postmortem := cfg.Postmortem
+	if postmortem == nil {
+		postmortem = os.Stderr
+	}
 	g := &Gateway{
 		db:               faas.NewDB(languages),
 		client:           &http.Client{Timeout: 120 * time.Second},
@@ -110,6 +153,12 @@ func New(cfg Config) *Gateway {
 		obsreg:           obs.OrDefault(cfg.Obs),
 		breakerThreshold: cfg.BreakerThreshold,
 		breakerCooldown:  cfg.BreakerCooldown,
+		faults:           cfg.Faults,
+		scrapeTimeout:    scrapeTimeout,
+		scrapeInterval:   cfg.ScrapeInterval,
+		series:           obs.NewSeriesSet(obs.DefaultSeriesCapacity),
+		recorder:         obs.NewRecorder(recorderCap),
+		postmortem:       postmortem,
 	}
 	g.retries = g.obsreg.Counter("confbench_invoke_retries_total")
 	g.policyFactory = cfg.Policy
@@ -124,7 +173,6 @@ func (g *Gateway) Obs() *obs.Registry { return g.obsreg }
 // that "maps TEEs and their interface ports".
 func (g *Gateway) AddHost(name string, eps []hostagent.Endpoint) {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	for _, ep := range eps {
 		pool, ok := g.pools[ep.TEE]
 		if !ok {
@@ -137,6 +185,12 @@ func (g *Gateway) AddHost(name string, eps []hostagent.Endpoint) {
 			g.pools[ep.TEE] = pool
 		}
 		pool.Add(name, ep)
+	}
+	g.mu.Unlock()
+	// Every host doubles as a federation scrape target: its registry
+	// is reachable through the same relay the invokes travel.
+	for _, ep := range eps {
+		g.addScrapeTarget(name, string(ep.TEE), ep.Addr)
 	}
 }
 
@@ -178,6 +232,10 @@ func (g *Gateway) Start(addr string) (string, error) {
 	}
 	mux.HandleFunc(api.PathV1Obs, g.handleObs)
 	mux.HandleFunc(api.PathObs, g.handleObs)
+	mux.HandleFunc(api.PathV1ObsCluster, g.handleObsCluster)
+	mux.HandleFunc(api.PathObsCluster, g.handleObsCluster)
+	mux.HandleFunc(api.PathV1ObsEvents, g.handleObsEvents)
+	mux.HandleFunc(api.PathObsEvents, g.handleObsEvents)
 	g.started = time.Now()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -190,6 +248,10 @@ func (g *Gateway) Start(addr string) (string, error) {
 	go func() {
 		_ = srv.Serve(ln) // ErrServerClosed on shutdown
 	}()
+	if g.scrapeInterval > 0 {
+		g.scrapeStop = make(chan struct{})
+		go g.scrapeLoop(g.scrapeInterval, g.scrapeStop)
+	}
 	return g.baseURL, nil
 }
 
@@ -200,13 +262,18 @@ func (g *Gateway) BaseURL() string {
 	return g.baseURL
 }
 
-// Close shuts the REST server down.
+// Close shuts the REST server and the federation scraper down.
 func (g *Gateway) Close() error {
 	g.mu.Lock()
 	srv := g.server
 	g.server = nil
 	g.listener = nil
+	stop := g.scrapeStop
+	g.scrapeStop = nil
 	g.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
 	if srv == nil {
 		return nil
 	}
@@ -344,13 +411,54 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		g.fail(w, err)
 		return
 	}
+	// Every invoke gets a deterministic flight-recorder ID: the
+	// exemplar on the latency histogram and the recorded event share
+	// it, so an outlier bucket leads straight to its event.
+	invokeID := "inv-" + strconv.FormatUint(g.invokeSeq.Add(1), 10)
+	faultsBefore := g.faults.Injected()
+	start := time.Now()
 	var resp api.InvokeResponse
-	entry, hop, err := g.dispatch(ctx, pool, req.Secure, api.GuestPathInvoke,
+	entry, hop, attempts, err := g.dispatch(ctx, pool, req.Secure, api.GuestPathInvoke,
 		api.GuestInvokeRequest{Function: fn, Scale: req.Scale, Trace: req.Trace}, &resp)
+	elapsed := time.Since(start)
+	retriesUsed := attempts - 1
+	if retriesUsed < 0 {
+		retriesUsed = 0 // acquire failed before the first attempt
+	}
+	ev := obs.Event{
+		Trace:     invokeID,
+		Function:  req.Function,
+		TEE:       string(pool.TEE),
+		Secure:    req.Secure,
+		Retries:   retriesUsed,
+		LatencyNs: elapsed.Nanoseconds(),
+	}
+	if entry != nil {
+		ev.Host = entry.Host
+		ev.Warm = entry.Endpoint.Warm
+	}
+	// Attribute the faults that fired during this dispatch. Exact in
+	// serial runs; under concurrent traffic the window may include a
+	// neighbour's injections (a superset, never a miss).
+	for _, inj := range g.faults.HistoryFrom(faultsBefore) {
+		ev.FaultPoints = append(ev.FaultPoints, string(inj.Point)+":"+string(inj.Kind))
+	}
 	if err != nil {
+		ev.Error = err.Error()
+		ev.Code = string(cberr.CodeOf(err))
+		g.recorder.Record(ev)
+		if attempts >= 2 {
+			// The invoke burned its whole retry budget and still
+			// failed: flush the postmortem so the failure is diagnosable
+			// even if nobody polls /obs/events before the ring wraps.
+			g.writePostmortem(ev)
+		}
 		g.fail(w, err)
 		return
 	}
+	g.recorder.Record(ev)
+	g.obsreg.Histogram("confbench_invoke_seconds", "tee", string(pool.TEE)).
+		ObserveExemplar(elapsed, invokeID)
 	// The guest's span tree rode back inside the response; graft it
 	// under the relay hop (its clock is not ours) and replace it with
 	// the full gateway-rooted tree.
@@ -369,24 +477,31 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 // accounting: it acquires a healthy endpoint, forwards, reports the
 // outcome to that endpoint's breaker, and retries once on an
 // alternate endpoint when the attempt failed retryably (per the cberr
-// taxonomy). It returns the entry that served the successful attempt
-// and that attempt's relay-hop span, for trace grafting. Canceled
-// callers and non-retryable failures are never retried, and a
-// failed retry surfaces the retry's error (the fresher diagnosis).
-func (g *Gateway) dispatch(ctx context.Context, pool *Pool, secure bool, path string, in, out any) (*Entry, *obs.Span, error) {
+// taxonomy). It returns the entry that served the last attempt (also
+// on failure, for flight-recorder attribution), that attempt's
+// relay-hop span for trace grafting, and the number of attempts made
+// — the flight recorder flags attempts >= 2 with an error as an
+// exhausted retry budget. Canceled callers and non-retryable failures
+// are never retried, and a failed retry surfaces the retry's error
+// (the fresher diagnosis).
+func (g *Gateway) dispatch(ctx context.Context, pool *Pool, secure bool, path string, in, out any) (*Entry, *obs.Span, int, error) {
 	var lastErr error
+	var lastEntry *Entry
 	var avoid *Entry
+	attempts := 0
 	for attempt := 0; attempt < 2; attempt++ {
 		co, err := pool.AcquireAvoiding(ctx, secure, avoid)
 		if err != nil {
 			// No alternate endpoint for the retry: the first failure
 			// is the better story.
 			if lastErr != nil {
-				return nil, nil, lastErr
+				return lastEntry, nil, attempts, lastErr
 			}
-			return nil, nil, cberr.Wrap(cberr.CodeUnavailable, cberr.LayerPool, err)
+			return nil, nil, attempts, cberr.Wrap(cberr.CodeUnavailable, cberr.LayerPool, err)
 		}
 		entry := co.Entry
+		attempts++
+		lastEntry = entry
 		if attempt > 0 {
 			g.retries.Inc()
 		}
@@ -399,7 +514,7 @@ func (g *Gateway) dispatch(ctx context.Context, pool *Pool, secure bool, path st
 		co.Release()
 		if err == nil {
 			entry.breaker.onSuccess()
-			return entry, hop, nil
+			return entry, hop, attempts, nil
 		}
 		if cberr.Retryable(err) {
 			// Only infrastructure failures count against the breaker;
@@ -409,11 +524,11 @@ func (g *Gateway) dispatch(ctx context.Context, pool *Pool, secure bool, path st
 		}
 		lastErr = err
 		if !cberr.Retryable(err) || ctx.Err() != nil {
-			return nil, nil, err
+			return lastEntry, nil, attempts, err
 		}
 		avoid = entry
 	}
-	return nil, nil, lastErr
+	return lastEntry, nil, attempts, lastErr
 }
 
 func (g *Gateway) handleAttest(w http.ResponseWriter, r *http.Request) {
@@ -434,7 +549,7 @@ func (g *Gateway) handleAttest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp api.AttestResponse
-	if _, _, err := g.dispatch(r.Context(), pool, true, api.GuestPathAttest, req, &resp); err != nil {
+	if _, _, _, err := g.dispatch(r.Context(), pool, true, api.GuestPathAttest, req, &resp); err != nil {
 		g.fail(w, err)
 		return
 	}

@@ -136,6 +136,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		a.guests = append(a.guests, gs)
 		rl := relay.New(gs.Addr())
 		rl.SetFaults(cfg.Faults, cfg.Name, string(cfg.Backend.Kind()))
+		rl.SetObs(cfg.Obs, machine.Name())
 		addr, err := rl.Start("127.0.0.1:0")
 		if err != nil {
 			_ = gs.Close()

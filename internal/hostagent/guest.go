@@ -34,6 +34,7 @@ type GuestServer struct {
 	faults *faultplane.Plane
 	host   string
 
+	reg      *obs.Registry
 	requests *obs.Counter
 	errs     *obs.Counter
 	latency  *obs.Histogram
@@ -64,6 +65,7 @@ func NewGuestServer(cfg GuestServerConfig) (*GuestServer, error) {
 		vm:       machine,
 		faults:   cfg.Faults,
 		host:     cfg.Host,
+		reg:      r,
 		requests: r.Counter("confbench_hostagent_requests_total", "vm", machine.Name()),
 		errs:     r.Counter("confbench_hostagent_errors_total", "vm", machine.Name()),
 		latency:  r.Histogram("confbench_hostagent_request_seconds", "vm", machine.Name()),
@@ -74,6 +76,7 @@ func NewGuestServer(cfg GuestServerConfig) (*GuestServer, error) {
 	mux.HandleFunc(api.GuestPathHealth, func(w http.ResponseWriter, _ *http.Request) {
 		api.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok", "vm": g.vm.Name()})
 	})
+	mux.HandleFunc(api.GuestPathObs, g.handleObs)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("hostagent: guest listen: %w", err)
@@ -89,6 +92,24 @@ func NewGuestServer(cfg GuestServerConfig) (*GuestServer, error) {
 
 // Addr returns the guest agent's listen address.
 func (g *GuestServer) Addr() string { return g.addr }
+
+// handleObs serves the host process's metrics registry so the
+// gateway's federation scraper can pull it over the relay hop:
+// Prometheus text by default, the JSON snapshot via ?format=json.
+// Deliberately not counted in the request metrics — scraping must not
+// move what it measures.
+func (g *GuestServer) handleObs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		api.WriteError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		api.WriteJSON(w, http.StatusOK, g.reg.Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = g.reg.WritePrometheus(w)
+}
 
 // VM returns the wrapped VM.
 func (g *GuestServer) VM() *vm.VM { return g.vm }

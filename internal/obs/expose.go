@@ -18,6 +18,50 @@ type HistogramSnapshot struct {
 	Count uint64 `json:"count"`
 	// SumSeconds is the sum of all observed durations.
 	SumSeconds float64 `json:"sum_seconds"`
+	// Exemplars holds, per bucket, the trace/invoke ID of the most
+	// recent observation recorded with ObserveExemplar ("" when none).
+	// Omitted entirely when the histogram never saw an exemplar.
+	Exemplars []string `json:"exemplars,omitempty"`
+}
+
+// Quantile estimates the q-th quantile (0..1) from the bucket counts,
+// Prometheus histogram_quantile style: find the bucket where the
+// cumulative count crosses q·total and interpolate linearly inside
+// it. Observations beyond the last finite bound report that bound.
+// Returns 0 when the histogram is empty.
+func (hs HistogramSnapshot) Quantile(q float64) float64 {
+	if hs.Count == 0 || len(hs.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(hs.Count)
+	var cum uint64
+	for i, bound := range hs.Bounds {
+		if i >= len(hs.Counts) {
+			break
+		}
+		prev := cum
+		cum += hs.Counts[i]
+		if float64(cum) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = hs.Bounds[i-1]
+			}
+			if hs.Counts[i] == 0 {
+				return bound
+			}
+			frac := (rank - float64(prev)) / float64(hs.Counts[i])
+			return lower + (bound-lower)*frac
+		}
+	}
+	// Crossed into the +Inf bucket: the last finite bound is the best
+	// answer the fixed buckets can give.
+	return hs.Bounds[len(hs.Bounds)-1]
 }
 
 // Snapshot is a point-in-time copy of a registry, keyed by canonical
@@ -52,6 +96,14 @@ func (r *Registry) Snapshot() Snapshot {
 			}
 			for i := range h.buckets {
 				hs.Counts[i] = h.buckets[i].Load()
+			}
+			for i := range h.exemplars {
+				if ref := h.Exemplar(i); ref != "" {
+					if hs.Exemplars == nil {
+						hs.Exemplars = make([]string, len(h.buckets))
+					}
+					hs.Exemplars[i] = ref
+				}
 			}
 			snap.Histograms[id] = hs
 		}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// LintMetricNames walks every non-test .go file under root and checks
+// each metric family registered through this package (Counter, Gauge,
+// Histogram, HistogramWith calls with a literal family name) against
+// the naming convention: every family starts with "confbench_" and
+// every counter family ends in "_total". It returns one
+// "file:line: message" string per violation — the `make lint-metrics`
+// check fails when any come back.
+func LintMetricNames(root string) ([]string, error) {
+	var violations []string
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("lint-metrics: parse %s: %w", path, err)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			method := sel.Sel.Name
+			switch method {
+			case "Counter", "Gauge", "Histogram", "HistogramWith":
+			default:
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			family, err := strconv.Unquote(lit.Value)
+			if err != nil || family == "" {
+				return true
+			}
+			// Only treat it as a metric registration when the name
+			// already looks like one; arbitrary same-named methods on
+			// other types (e.g. a matrix's Histogram) stay out of scope.
+			if !strings.Contains(family, "_") {
+				return true
+			}
+			pos := fset.Position(lit.Pos())
+			at := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			if !strings.HasPrefix(family, "confbench_") {
+				violations = append(violations,
+					fmt.Sprintf("%s: metric family %q must start with \"confbench_\"", at, family))
+			}
+			if method == "Counter" && !strings.HasSuffix(family, "_total") {
+				violations = append(violations,
+					fmt.Sprintf("%s: counter family %q must end in \"_total\"", at, family))
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return violations, nil
+}

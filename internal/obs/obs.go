@@ -104,23 +104,75 @@ type Histogram struct {
 	buckets []atomic.Uint64
 	count   atomic.Uint64
 	sumNs   atomic.Int64
+	// exemplars holds the most recent observation's reference (trace or
+	// invoke ID) per bucket, one slot past the bounds for +Inf. Slots
+	// stay nil until ObserveExemplar runs.
+	exemplars []atomic.Pointer[string]
+	// reg is the owning registry, used to count invalid observations;
+	// nil when the histogram was built outside a registry.
+	reg *Registry
 }
+
+// InvalidObservationsFamily counts histogram observations rejected as
+// malformed (negative durations). The counter is registered on first
+// rejection, so clean registries never expose it.
+const InvalidObservationsFamily = "confbench_obs_invalid_observations_total"
 
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
+	return &Histogram{
+		bounds:    bs,
+		buckets:   make([]atomic.Uint64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[string], len(bs)+1),
+	}
 }
 
-// Observe records one duration.
+// Observe records one duration. Negative durations are invalid input
+// (a clock went backwards, or a caller subtracted the wrong way):
+// they are clamped to zero — not silently misfiled with a decremented
+// sum — and counted in confbench_obs_invalid_observations_total.
 func (h *Histogram) Observe(d time.Duration) {
+	h.observe(d, nil)
+}
+
+// ObserveExemplar records one duration and remembers ref (a trace or
+// invoke ID) as the exemplar of the bucket the observation lands in,
+// so a latency outlier in a scrape can be chased back to the request
+// that produced it.
+func (h *Histogram) ObserveExemplar(d time.Duration, ref string) {
+	h.observe(d, &ref)
+}
+
+func (h *Histogram) observe(d time.Duration, ref *string) {
+	if d < 0 {
+		if h.reg != nil {
+			h.reg.Counter(InvalidObservationsFamily).Inc()
+		}
+		d = 0
+	}
 	s := d.Seconds()
 	// First bound >= s, i.e. Prometheus `le` semantics; the final
 	// bucket is +Inf.
 	i := sort.SearchFloat64s(h.bounds, s)
 	h.buckets[i].Add(1)
+	if ref != nil {
+		h.exemplars[i].Store(ref)
+	}
 	h.count.Add(1)
 	h.sumNs.Add(d.Nanoseconds())
+}
+
+// Exemplar returns the most recent exemplar reference recorded for
+// bucket i (bounds-indexed; len(bounds) is +Inf), or "".
+func (h *Histogram) Exemplar(i int) string {
+	if i < 0 || i >= len(h.exemplars) {
+		return ""
+	}
+	if p := h.exemplars[i].Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // Count returns the number of observations.
@@ -166,7 +218,7 @@ func labelBlock(labels []string, extraK, extraV string) string {
 		}
 		b.WriteString(labels[i])
 		b.WriteString(`="`)
-		b.WriteString(labels[i+1])
+		b.WriteString(escapeLabelValue(labels[i+1]))
 		b.WriteString(`"`)
 	}
 	if extraK != "" {
@@ -175,10 +227,63 @@ func labelBlock(labels []string, extraK, extraV string) string {
 		}
 		b.WriteString(extraK)
 		b.WriteString(`="`)
-		b.WriteString(extraV)
+		b.WriteString(escapeLabelValue(extraV))
 		b.WriteString(`"`)
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format 0.0.4: backslash, double-quote, and newline must
+// be written as \\, \", and \n or the line is unparseable.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// unescapeLabelValue reverses escapeLabelValue; the merge path uses it
+// when re-parsing canonical metric IDs.
+func unescapeLabelValue(v string) string {
+	if !strings.ContainsRune(v, '\\') {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v))
+	esc := false
+	for _, r := range v {
+		if esc {
+			switch r {
+			case 'n':
+				b.WriteByte('\n')
+			default: // \\ and \" unescape to themselves
+				b.WriteRune(r)
+			}
+			esc = false
+			continue
+		}
+		if r == '\\' {
+			esc = true
+			continue
+		}
+		b.WriteRune(r)
+	}
 	return b.String()
 }
 
@@ -283,7 +388,9 @@ func (r *Registry) Histogram(family string, labels ...string) *Histogram {
 func (r *Registry) HistogramWith(family string, bounds []float64, labels ...string) *Histogram {
 	ls := sortLabels(labels)
 	e := r.lookup(family+labelBlock(ls, "", ""), func() *entry {
-		return &entry{family: family, labels: ls, kind: kindHistogram, hist: newHistogram(bounds)}
+		h := newHistogram(bounds)
+		h.reg = r
+		return &entry{family: family, labels: ls, kind: kindHistogram, hist: h}
 	})
 	return e.hist
 }

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultRecorderCapacity is the event retention of a Recorder built
+// with capacity <= 0: enough history to cover the invokes of a whole
+// chaos drill, at well under 100 KiB.
+const DefaultRecorderCapacity = 512
+
+// Event is one flight-recorder record: the structured story of a
+// single invoke, captured whether or not tracing was requested, so a
+// postmortem on a failed chaos run can name the exact request that
+// died and the faults it hit.
+type Event struct {
+	// Seq numbers events in record order, from 1.
+	Seq uint64 `json:"seq"`
+	// Trace is the invoke/trace ID ("inv-42").
+	Trace string `json:"trace"`
+	// Function is the invoked function name.
+	Function string `json:"function,omitempty"`
+	// TEE is the platform kind that served (or rejected) the invoke.
+	TEE string `json:"tee,omitempty"`
+	// Host is the host agent that served the successful attempt.
+	Host string `json:"host,omitempty"`
+	// Secure reports whether a confidential VM was requested.
+	Secure bool `json:"secure,omitempty"`
+	// Warm reports whether the serving endpoint came from a prewarmed
+	// guest pool.
+	Warm bool `json:"warm,omitempty"`
+	// Retries counts dispatch attempts beyond the first.
+	Retries int `json:"retries,omitempty"`
+	// FaultPoints lists the "point:kind" pairs the fault plane injected
+	// while this invoke was in flight (sorted, deduplicated).
+	FaultPoints []string `json:"fault_points,omitempty"`
+	// LatencyNs is the gateway-side wall time of the whole invoke.
+	LatencyNs int64 `json:"latency_ns"`
+	// Code is the cberr taxonomy code on failure ("" on success).
+	Code string `json:"code,omitempty"`
+	// Error is the failure message ("" on success).
+	Error string `json:"error,omitempty"`
+}
+
+// Latency returns the event's gateway-side duration.
+func (e Event) Latency() time.Duration { return time.Duration(e.LatencyNs) }
+
+// String renders the event as one postmortem-friendly line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s fn=%s tee=%s host=%s secure=%v warm=%v retries=%d latency=%v",
+		e.Trace, e.Function, e.TEE, e.Host, e.Secure, e.Warm, e.Retries, e.Latency())
+	if len(e.FaultPoints) > 0 {
+		fmt.Fprintf(&b, " faults=%s", strings.Join(e.FaultPoints, ","))
+	}
+	if e.Error != "" {
+		fmt.Fprintf(&b, " code=%s error=%q", e.Code, e.Error)
+	}
+	return b.String()
+}
+
+// Recorder is a bounded ring of invoke events. Writers claim a slot
+// with one atomic add and lock only that slot, so concurrent invokes
+// on different slots never contend; the ring overwrites oldest-first
+// once full. A nil *Recorder is valid and drops every record.
+type Recorder struct {
+	next  atomic.Uint64 // next sequence number - 1
+	slots []recorderSlot
+}
+
+type recorderSlot struct {
+	mu sync.Mutex
+	ev Event
+	ok bool
+}
+
+// NewRecorder returns a recorder retaining the last capacity events
+// (DefaultRecorderCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCapacity
+	}
+	return &Recorder{slots: make([]recorderSlot, capacity)}
+}
+
+// Record stores ev, assigning and returning its sequence number.
+func (r *Recorder) Record(ev Event) uint64 {
+	if r == nil {
+		return 0
+	}
+	seq := r.next.Add(1)
+	ev.Seq = seq
+	slot := &r.slots[int((seq-1)%uint64(len(r.slots)))]
+	slot.mu.Lock()
+	slot.ev = ev
+	slot.ok = true
+	slot.mu.Unlock()
+	return seq
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Events returns the retained events oldest-first. Events recorded
+// while the copy is in flight may appear out of ring order; the Seq
+// sort restores record order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		s.mu.Lock()
+		if s.ok {
+			out = append(out, s.ev)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderRingOrder(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 6; i++ {
+		r.Record(Event{Trace: string(rune('a' + i))})
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(i + 3) // events 3..6 survive
+		if ev.Seq != wantSeq {
+			t.Errorf("event %d Seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	if seq := r.Record(Event{Trace: "inv-1"}); seq != 0 {
+		t.Errorf("nil Record = %d, want 0", seq)
+	}
+	if r.Len() != 0 || r.Events() != nil {
+		t.Error("nil recorder should report no events")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Event{Trace: "inv", LatencyNs: int64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.next.Load(); got != 800 {
+		t.Errorf("sequence = %d, want 800", got)
+	}
+	evs := r.Events()
+	if len(evs) != 64 {
+		t.Fatalf("Events len = %d, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events not ordered by Seq: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{
+		Trace: "inv-7", Function: "hot", TEE: "tdx", Host: "tdx-host",
+		Secure: true, Retries: 1, FaultPoints: []string{"hostagent.exec:error"},
+		LatencyNs: 1500000, Code: "unavailable", Error: "injected",
+	}
+	s := ev.String()
+	for _, want := range []string{"inv-7", "fn=hot", "tee=tdx", "retries=1",
+		"faults=hostagent.exec:error", "code=unavailable"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Event.String() = %q, missing %q", s, want)
+		}
+	}
+}

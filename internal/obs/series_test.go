@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+var seriesEpoch = time.Unix(1700000000, 0)
+
+func TestSeriesRingEviction(t *testing.T) {
+	s := NewSeries(3)
+	for i := 0; i < 5; i++ {
+		s.Record(seriesEpoch.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	w := s.Window(0)
+	if len(w) != 3 || w[0].Value != 2 || w[2].Value != 4 {
+		t.Errorf("Window = %+v, want values 2..4 oldest-first", w)
+	}
+	last, ok := s.Last()
+	if !ok || last.Value != 4 {
+		t.Errorf("Last = %+v ok=%v, want value 4", last, ok)
+	}
+}
+
+func TestSeriesRate(t *testing.T) {
+	s := NewSeries(10)
+	// Counter grows 5/step over 1-second steps.
+	for i := 0; i < 5; i++ {
+		s.Record(seriesEpoch.Add(time.Duration(i)*time.Second), float64(i*5))
+	}
+	if got := s.Rate(0); got != 5 {
+		t.Errorf("Rate(all) = %g, want 5", got)
+	}
+	if got := s.Rate(2); got != 5 {
+		t.Errorf("Rate(2) = %g, want 5", got)
+	}
+	// Window of one sample (or an empty series) cannot produce a rate.
+	if got := s.Rate(1); got != 0 {
+		t.Errorf("Rate(1) = %g, want 0", got)
+	}
+	if got := NewSeries(4).Rate(0); got != 0 {
+		t.Errorf("empty Rate = %g, want 0", got)
+	}
+	// A counter reset must not report a negative rate.
+	s.Record(seriesEpoch.Add(5*time.Second), 0)
+	if got := s.Rate(0); got != 0 {
+		t.Errorf("Rate after reset = %g, want 0", got)
+	}
+}
+
+func TestSeriesDeltaQuantile(t *testing.T) {
+	s := NewSeries(10)
+	// Per-step deltas over 1-second steps: 1, 1, 1, 10.
+	values := []float64{0, 1, 2, 3, 13}
+	for i, v := range values {
+		s.Record(seriesEpoch.Add(time.Duration(i)*time.Second), v)
+	}
+	if got := s.DeltaQuantile(0.5, 0); got != 1 {
+		t.Errorf("p50 = %g, want 1", got)
+	}
+	if got := s.DeltaQuantile(1.0, 0); got != 10 {
+		t.Errorf("p100 = %g, want 10", got)
+	}
+	if got := NewSeries(4).DeltaQuantile(0.99, 0); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestSeriesSetRecordSnapshot(t *testing.T) {
+	r := New()
+	c := r.Counter("confbench_x_total")
+	h := r.Histogram("confbench_x_seconds")
+	set := NewSeriesSet(8)
+
+	c.Add(10)
+	h.Observe(time.Millisecond)
+	set.RecordSnapshot(seriesEpoch, r.Snapshot())
+	c.Add(20)
+	h.Observe(time.Millisecond)
+	h.Observe(time.Millisecond)
+	set.RecordSnapshot(seriesEpoch.Add(10*time.Second), r.Snapshot())
+
+	if got := set.Series("confbench_x_total").Rate(0); got != 2 {
+		t.Errorf("counter rate = %g, want 2", got)
+	}
+	if got := set.Series("confbench_x_seconds_count").Rate(0); got != 0.2 {
+		t.Errorf("histogram count rate = %g, want 0.2", got)
+	}
+	rates := set.Rates(0, "confbench_x_total")
+	if len(rates) != 1 || rates["confbench_x_total"] != 2 {
+		t.Errorf("Rates = %v, want only confbench_x_total=2", rates)
+	}
+	if ids := set.IDs(); len(ids) != 2 {
+		t.Errorf("IDs = %v, want 2 series", ids)
+	}
+	if set.Get("confbench_missing_total") != nil {
+		t.Error("Get on unrecorded id should be nil")
+	}
+}

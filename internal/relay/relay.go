@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"confbench/internal/faultplane"
+	"confbench/internal/obs"
 )
 
 // Relay forwards TCP connections to a fixed target address.
@@ -35,6 +36,12 @@ type Relay struct {
 	accepted atomic.Uint64
 	dropped  atomic.Uint64
 	bytesFwd atomic.Uint64
+
+	// Registry-backed mirrors of the atomics above, so relay traffic
+	// shows up in the host's federated scrape. Nil until SetObs.
+	obsAccepted *obs.Counter
+	obsDropped  *obs.Counter
+	obsBytes    *obs.Counter
 }
 
 // New builds a relay toward target (host:port).
@@ -52,6 +59,16 @@ func (r *Relay) SetFaults(plane *faultplane.Plane, host, teeKind string) {
 // Dropped returns the number of accepted connections the fault plane
 // severed before forwarding.
 func (r *Relay) Dropped() uint64 { return r.dropped.Load() }
+
+// SetObs registers the relay's traffic counters in reg, labeled with
+// the VM the relay fronts. Call before Start; without it the relay
+// keeps only its local atomics.
+func (r *Relay) SetObs(reg *obs.Registry, vmName string) {
+	reg = obs.OrDefault(reg)
+	r.obsAccepted = reg.Counter("confbench_relay_accepted_total", "vm", vmName)
+	r.obsDropped = reg.Counter("confbench_relay_dropped_total", "vm", vmName)
+	r.obsBytes = reg.Counter("confbench_relay_bytes_forwarded_total", "vm", vmName)
+}
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and
 // begins forwarding. It returns the bound address.
@@ -109,6 +126,9 @@ func (r *Relay) acceptLoop(ln net.Listener) {
 		r.conns[conn] = struct{}{}
 		r.mu.Unlock()
 		r.accepted.Add(1)
+		if r.obsAccepted != nil {
+			r.obsAccepted.Inc()
+		}
 		var delay time.Duration
 		if d := r.faults.Evaluate(faultplane.PointRelayAccept, faultplane.Target{
 			TEE: r.faultTEE, Host: r.faultHost,
@@ -123,6 +143,9 @@ func (r *Relay) acceptLoop(ln net.Listener) {
 				// error / drop / crash at the relay all look the same
 				// on the wire — the connection dies before forwarding.
 				r.dropped.Add(1)
+				if r.obsDropped != nil {
+					r.obsDropped.Inc()
+				}
 				r.drop(conn)
 				continue
 			}
@@ -157,7 +180,7 @@ func (r *Relay) forward(client net.Conn, delay time.Duration) {
 	pipe := func(dst, src net.Conn) {
 		// Count bytes as they stream so long-lived (keep-alive)
 		// connections report traffic before they close.
-		_, _ = io.Copy(&countingWriter{w: dst, count: &r.bytesFwd}, src)
+		_, _ = io.Copy(&countingWriter{w: dst, count: &r.bytesFwd, obsCount: r.obsBytes}, src)
 		// Half-close so the peer sees EOF while the other direction
 		// drains, like socat.
 		if tc, ok := dst.(*net.TCPConn); ok {
@@ -170,15 +193,20 @@ func (r *Relay) forward(client net.Conn, delay time.Duration) {
 	<-done
 }
 
-// countingWriter adds every written byte to an atomic counter.
+// countingWriter adds every written byte to an atomic counter and,
+// when set, to the registry-backed mirror.
 type countingWriter struct {
-	w     io.Writer
-	count *atomic.Uint64
+	w        io.Writer
+	count    *atomic.Uint64
+	obsCount *obs.Counter
 }
 
 func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.count.Add(uint64(n))
+	if c.obsCount != nil {
+		c.obsCount.Add(uint64(n))
+	}
 	return n, err
 }
 

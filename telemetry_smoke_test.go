@@ -1,0 +1,224 @@
+package confbench_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"confbench"
+	"confbench/internal/obs"
+)
+
+// This file is the end-to-end telemetry smoke behind `make
+// telemetry-smoke`: federation over multiple host agents, the pinned
+// windowed invoke rate, and the flight-recorder postmortem when an
+// invoke exhausts its retry budget.
+
+// bootTelemetry boots a two-host SEV cluster on a dedicated registry
+// and runs n invokes.
+func bootTelemetry(t *testing.T, seed int64, n int) *confbench.Cluster {
+	t.Helper()
+	c, err := confbench.New(
+		confbench.WithTEEs(confbench.KindSEV),
+		confbench.WithSeed(seed),
+		confbench.WithGuestMemoryMB(8),
+		confbench.WithObsRegistry(confbench.NewObsRegistry()),
+		confbench.WithHostsPerTEE(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	ctx := context.Background()
+	client := c.Client()
+	if err := client.Upload(ctx, confbench.Function{Name: "telemetry", Language: "go", Workload: "cpustress"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := client.Invoke(ctx, confbench.InvokeRequest{
+			Function: "telemetry", Secure: i%2 == 0, TEE: confbench.KindSEV, Scale: 1,
+		}); err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+	}
+	return c
+}
+
+// TestTelemetryClusterFederation hits GET /v1/obs/cluster on a
+// two-host deployment and asserts the merged snapshot carries metrics
+// from at least two distinct scraped host agents, each under its own
+// host label.
+func TestTelemetryClusterFederation(t *testing.T) {
+	c := bootTelemetry(t, 7, 10)
+	cs, err := c.Client().ObsCluster(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.ScrapeErrors) != 0 {
+		t.Fatalf("scrape errors against live hosts: %v", cs.ScrapeErrors)
+	}
+	// The sweep covers the gateway's own registry plus both SEV hosts.
+	agents := make(map[string]bool)
+	for _, h := range cs.Hosts {
+		if h != "gateway" {
+			agents[h] = true
+		}
+	}
+	if len(agents) < 2 {
+		t.Fatalf("scraped %d host agents (%v), want >= 2", len(agents), cs.Hosts)
+	}
+	// Each scraped agent's relay counters appear under its host label.
+	labeled := make(map[string]bool)
+	for id := range cs.Merged.Counters {
+		family, labels := obs.ParseMetricID(id)
+		if family == "confbench_relay_accepted_total" && agents[labels["host"]] {
+			labeled[labels["host"]] = true
+		}
+	}
+	if len(labeled) < 2 {
+		t.Fatalf("relay counters carry host labels for %v, want both agents %v", labeled, agents)
+	}
+	// The flight recorder kept an event per invoke, exposed over the
+	// events endpoint with the histogram-exemplar trace IDs.
+	evs, err := c.Client().ObsEvents(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 10 {
+		t.Fatalf("flight recorder holds %d events, want 10", len(evs))
+	}
+	for _, ev := range evs {
+		if !strings.HasPrefix(ev.Trace, "inv-") {
+			t.Fatalf("event trace %q, want inv- prefix", ev.Trace)
+		}
+	}
+}
+
+// telemetryRate boots a fresh cluster from seed, runs the same invoke
+// schedule, and derives the windowed invoke rate from federation
+// sweeps driven at synthetic instants — the full pipeline with every
+// wall-clock input pinned.
+func telemetryRate(t *testing.T, seed int64) float64 {
+	t.Helper()
+	c := bootTelemetry(t, seed, 0)
+	ctx := context.Background()
+	client := c.Client()
+	gw := c.Gateway()
+	t0 := time.Unix(1_700_000_000, 0)
+	// Interleave bursts of 3 invokes with scrapes one synthetic second
+	// apart: the counter reads 3, 6, 9, 12 at the four samples.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			if _, err := client.Invoke(ctx, confbench.InvokeRequest{
+				Function: "telemetry", Secure: j%2 == 0, TEE: confbench.KindSEV, Scale: 1,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gw.ScrapeOnce(ctx, t0.Add(time.Duration(i)*time.Second))
+	}
+	s := gw.Series().Get(obs.RateInvokesPerSec)
+	if s == nil {
+		t.Fatal("invoke-rate series missing")
+	}
+	return s.Rate(4)
+}
+
+// TestTelemetryWindowedRatePinned runs the telemetry pipeline twice
+// from the same seed and demands the windowed invoke rate come out
+// bit-identical — scrapes at synthetic instants leave no wall-clock
+// residue in the series.
+func TestTelemetryWindowedRatePinned(t *testing.T) {
+	r1 := telemetryRate(t, 42)
+	r2 := telemetryRate(t, 42)
+	if r1 != r2 {
+		t.Fatalf("same seed produced different windowed rates: %v vs %v", r1, r2)
+	}
+	// (12-3) invokes over 3 synthetic seconds: exactly 3/s.
+	if r1 != 3 {
+		t.Fatalf("windowed rate = %v, want exactly 3", r1)
+	}
+}
+
+// TestTelemetryPostmortemOnExhaustedRetry arms a whole-fleet exec
+// fault so every dispatch attempt fails, fires one invoke, and
+// asserts the flight recorder flushed a postmortem naming the
+// invoke's trace ID and the fault points that killed it.
+func TestTelemetryPostmortemOnExhaustedRetry(t *testing.T) {
+	plane := confbench.NewFaultPlane(42)
+	specs, err := confbench.ParseFaultSpecs("hostagent.exec:error:1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if err := plane.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := confbench.New(
+		confbench.WithTEEs(confbench.KindSEV),
+		confbench.WithSeed(42),
+		confbench.WithGuestMemoryMB(8),
+		confbench.WithObsRegistry(confbench.NewObsRegistry()),
+		confbench.WithFaultPlane(plane),
+		// Two hosts: the retry onto the sibling burns the whole budget
+		// (the fleet-wide fault kills it too), which is what triggers
+		// the postmortem flush.
+		confbench.WithHostsPerTEE(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var post bytes.Buffer
+	c.Gateway().SetPostmortemWriter(&post)
+
+	ctx := context.Background()
+	client := c.Client()
+	if err := client.Upload(ctx, confbench.Function{Name: "doomed", Language: "go", Workload: "cpustress"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Invoke(ctx, confbench.InvokeRequest{
+		Function: "doomed", Secure: true, TEE: confbench.KindSEV, Scale: 1,
+	}); err == nil {
+		t.Fatal("invoke succeeded despite a 1.0 exec error spec")
+	}
+
+	evs, err := client.ObsEvents(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The api.Client retries retryable failures, so one logical invoke
+	// may record several gateway dispatches — every one exhausted.
+	if len(evs) == 0 {
+		t.Fatal("flight recorder empty after a failed invoke")
+	}
+	ev := evs[len(evs)-1]
+	if ev.Error == "" || ev.Code == "" {
+		t.Fatalf("failed invoke recorded without error/code: %+v", ev)
+	}
+	if ev.Retries == 0 {
+		t.Fatalf("exhausted invoke recorded zero retries: %+v", ev)
+	}
+	found := false
+	for _, fp := range ev.FaultPoints {
+		found = found || fp == "hostagent.exec:error"
+	}
+	if !found {
+		t.Fatalf("event fault points %v missing hostagent.exec:error", ev.FaultPoints)
+	}
+
+	out := post.String()
+	if !strings.Contains(out, "confbench postmortem:") {
+		t.Fatalf("no postmortem flushed; writer holds: %q", out)
+	}
+	if !strings.Contains(out, ev.Trace) {
+		t.Fatalf("postmortem %q does not name the failing trace %s", out, ev.Trace)
+	}
+	if !strings.Contains(out, "hostagent.exec:error") {
+		t.Fatalf("postmortem %q does not name the injected fault point", out)
+	}
+}
