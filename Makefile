@@ -2,17 +2,19 @@ GO ?= go
 
 # Concurrency-sensitive packages: the bench Runner worker pool, the
 # gateway (TEE pools, circuit breakers, load balancer, forwarding),
-# the retrying HTTP client, the fault plane, the sharded metrics
-# registry, and the warm guest pool's refill goroutine.
-RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/api/... ./internal/obs/... ./internal/faultplane/... ./internal/hostagent/...
+# the front tier (admission queues, shard breakers, async completion
+# goroutines), the retrying HTTP client, the fault plane, the sharded
+# metrics registry, and the warm guest pool's refill goroutine.
+RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/fronttier/... ./internal/api/... ./internal/obs/... ./internal/faultplane/... ./internal/hostagent/...
 
 # Packages held to the coverage floor: the statistics toolkit every
 # reported number flows through, the gateway dispatch path, the
-# warm-pool/snapshot-cache subsystem, and the telemetry plane.
+# sharded front tier, the warm-pool/snapshot-cache subsystem, and the
+# telemetry plane.
 COVER_FLOOR ?= 70
-COVER_PKGS = ./internal/stats ./internal/gateway ./internal/hostagent ./internal/vm ./internal/obs
+COVER_PKGS = ./internal/stats ./internal/gateway ./internal/fronttier ./internal/hostagent ./internal/vm ./internal/obs
 
-.PHONY: build test vet race cover cover-floor fuzz-smoke obs-smoke chaos-smoke telemetry-smoke lint-metrics verify
+.PHONY: build test vet race cover cover-floor fuzz-smoke obs-smoke chaos-smoke telemetry-smoke fronttier-smoke lint-metrics verify
 
 build:
 	$(GO) build ./...
@@ -71,6 +73,15 @@ chaos-smoke:
 telemetry-smoke:
 	$(GO) test -run TestTelemetry -count=1 .
 
+# End-to-end front-tier check: a seeded two-shard deployment absorbs
+# one shard being killed mid-bench with zero client-visible failures,
+# an over-quota tenant is shed with 503 + Retry-After that the client
+# honors, and the shed counters surface in the shard-federated
+# snapshot. Runs under the race detector — the tier's admission
+# queues, shard breakers, and async completions are concurrent.
+fronttier-smoke:
+	$(GO) test -race -run TestFrontTierSmoke -count=1 .
+
 # Static metric-naming lint: every literal metric family registered in
 # the tree must start with confbench_ and counters must end in _total.
 lint-metrics:
@@ -78,5 +89,6 @@ lint-metrics:
 
 # Full pre-merge check: compile, vet, unit tests, the race detector
 # over the concurrency-sensitive packages, the coverage floor, the
-# metric-naming lint, and the observability/chaos/telemetry smokes.
-verify: build vet test race cover-floor lint-metrics obs-smoke chaos-smoke telemetry-smoke
+# metric-naming lint, and the observability/chaos/telemetry/front-tier
+# smokes.
+verify: build vet test race cover-floor lint-metrics obs-smoke chaos-smoke telemetry-smoke fronttier-smoke

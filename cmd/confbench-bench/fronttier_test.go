@@ -1,0 +1,52 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestFronttierReportDeterministicPerSeed: the ISSUE's acceptance —
+// the same seed drives a bit-identical front-tier aggregate through
+// the async path, twice.
+func TestFronttierReportDeterministicPerSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots two sharded clusters")
+	}
+	ctx := context.Background()
+	first, err := fronttierReport(ctx, 7, 2, 12, "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := fronttierReport(ctx, 7, 2, 12, "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("same seed, different aggregates:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	if !strings.Contains(first, "ok: 12   failed: 0") {
+		t.Fatalf("async run had failures:\n%s", first)
+	}
+	if !strings.Contains(first, "shard-0") || !strings.Contains(first, "shard-1") {
+		t.Fatalf("report misses shard routing:\n%s", first)
+	}
+	if !strings.Contains(first, "async pending after drain: 0") {
+		t.Fatalf("async backlog did not drain:\n%s", first)
+	}
+}
+
+// TestFronttierReportTenantStamped: -tenant shows up in the header
+// and the sync path works.
+func TestFronttierReportTenantStamped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a sharded cluster")
+	}
+	out, err := fronttierReport(context.Background(), 3, 2, 6, "acme", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tenant: acme") || !strings.Contains(out, "ok: 6") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
+}

@@ -6,6 +6,7 @@
 //	confbench-bench [-fig all|3|dbms|4|5|6|7|8|colocation] [-trials N]
 //	                [-scale-divisor N] [-size N] [-seed N] [-workers N]
 //	                [-trace] [-chaos SPECS [-chaos-invokes N]] [-coldstart]
+//	                [-shards N [-async] [-tenant NAME] [-invokes N]]
 //
 // With the defaults it runs the paper's full protocol (10 trials,
 // full workload scales, speedtest size 100); pass -quick for a
@@ -19,7 +20,12 @@
 // -chaos SPECS skips the figures and runs a chaos drill instead: the
 // specs are registered on a seeded fault plane, a two-hosts-per-TEE
 // cluster is booted, and the report shows injected faults, gateway
-// retries, and per-endpoint breaker states.
+// retries, and per-endpoint breaker states. -shards N (> 1) skips the
+// figures and runs the front-tier bench: a seeded invocation mix is
+// driven through N gateway shards — with -async through the
+// submit→poll path, with -tenant stamped with that tenant identity —
+// and the aggregate (routing distribution, sheds, total virtual wall)
+// is bit-identical per seed.
 package main
 
 import (
@@ -61,6 +67,10 @@ func run(ctx context.Context, args []string) error {
 	chaosInvokes := fs.Int("chaos-invokes", 100, "invocations in the chaos drill")
 	coldstart := fs.Bool("coldstart", false, "run the cold-vs-warm start benchmark instead of figures")
 	obsWindow := fs.Int("obs-window", 0, "print windowed cluster telemetry rates over this many scrape samples (0 = off)")
+	shards := fs.Int("shards", 0, "run the front-tier bench instead of figures: deploy this many gateway shards (>1)")
+	async := fs.Bool("async", false, "front-tier bench: drive invocations through the async submit→poll path")
+	tenant := fs.String("tenant", "", "front-tier bench: stamp requests with this tenant identity")
+	ftInvokes := fs.Int("invokes", 60, "front-tier bench: invocations to drive")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +79,14 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *chaos != "" {
 		return runChaos(ctx, *chaos, *seed, *chaosInvokes, *obsWindow)
+	}
+	if *shards > 1 {
+		out, err := fronttierReport(ctx, *seed, *shards, *ftInvokes, *tenant, *async)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
 	}
 	if *coldstart {
 		out, _, err := coldstartReport(ctx, *seed, 16)

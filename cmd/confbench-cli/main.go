@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	confbench-cli -gateway URL upload -name NAME -lang LANG -workload W
-//	confbench-cli -gateway URL invoke -name NAME [-tee KIND] [-secure] [-scale N]
+//	confbench-cli -gateway URL [-tenant NAME] upload -name NAME -lang LANG -workload W
+//	confbench-cli -gateway URL [-tenant NAME] invoke -name NAME [-tee KIND] [-secure] [-scale N] [-async]
 //	confbench-cli -gateway URL functions
 //	confbench-cli -gateway URL obs [-json]
 //	confbench-cli -gateway URL top [-interval D] [-count N] [-window N]
@@ -41,6 +41,7 @@ func main() {
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("confbench-cli", flag.ContinueOnError)
 	gatewayURL := fs.String("gateway", "http://127.0.0.1:8080", "gateway base URL")
+	tenant := fs.String("tenant", "", "tenant identity stamped on every request (front-tier admission quotas key on it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,7 +49,11 @@ func run(ctx context.Context, args []string) error {
 	if len(rest) == 0 {
 		return fmt.Errorf("missing subcommand: upload, invoke, functions, pools, metrics, obs, top, attest")
 	}
-	client, err := api.NewClient(*gatewayURL)
+	var opts []api.Option
+	if *tenant != "" {
+		opts = append(opts, api.WithTenant(*tenant))
+	}
+	client, err := api.New(*gatewayURL, opts...)
 	if err != nil {
 		return err
 	}
@@ -131,16 +136,29 @@ func cmdInvoke(ctx context.Context, client *api.Client, args []string) error {
 	teeKind := fs.String("tee", "", "TEE platform (tdx, sev-snp, cca)")
 	secure := fs.Bool("secure", false, "run in a confidential VM")
 	scale := fs.Int("scale", 0, "workload scale (0 = default)")
+	async := fs.Bool("async", false, "submit via the front tier's async path and poll for the result")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	start := time.Now()
-	resp, err := client.Invoke(ctx, api.InvokeRequest{
+	req := api.InvokeRequest{
 		Function: *name,
 		TEE:      tee.Kind(*teeKind),
 		Secure:   *secure,
 		Scale:    *scale,
-	})
+	}
+	start := time.Now()
+	var resp api.InvokeResponse
+	var err error
+	if *async {
+		sub, serr := client.InvokeAsync(ctx, req)
+		if serr != nil {
+			return serr
+		}
+		fmt.Printf("submitted:  %s (%s)\n", sub.ID, sub.Status)
+		resp, err = client.AwaitResult(ctx, sub.ID, 0)
+	} else {
+		resp, err = client.Invoke(ctx, req)
+	}
 	if err != nil {
 		return err
 	}

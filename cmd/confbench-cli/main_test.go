@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"testing"
+
+	"confbench"
 )
 
 func TestRunValidation(t *testing.T) {
@@ -27,6 +29,31 @@ func TestRunValidation(t *testing.T) {
 		if err := run(context.Background(), args); err == nil {
 			t.Errorf("%v: expected connection error", sub)
 		}
+	}
+}
+
+// TestAsyncInvokeAgainstFrontTier drives upload and -async invoke with
+// a -tenant stamp through a real sharded deployment.
+func TestAsyncInvokeAgainstFrontTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a sharded cluster")
+	}
+	cluster, err := confbench.New(
+		confbench.WithGuestMemoryMB(4),
+		confbench.WithShards(2),
+		confbench.WithTEEs(confbench.KindSEV),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+	base := []string{"-gateway", cluster.GatewayURL(), "-tenant", "acme"}
+	if err := run(ctx, append(base, "upload", "-name", "cli-async", "-workload", "cpustress")); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if err := run(ctx, append(base, "invoke", "-name", "cli-async", "-tee", "sev-snp", "-async")); err != nil {
+		t.Fatalf("async invoke: %v", err)
 	}
 }
 

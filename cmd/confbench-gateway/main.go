@@ -12,9 +12,15 @@
 // Usage:
 //
 //	confbench-gateway [-addr 127.0.0.1:8080] [-hosts FILE]
-//	                  [-policy round-robin|least-loaded]
+//	                  [-policy round-robin|least-loaded] [-shards N]
 //	                  [-breaker-threshold N] [-breaker-cooldown D]
 //	                  [-scrape-interval D]
+//
+// -shards N (> 1, embedded mode only) deploys N gateway shards and
+// serves the front tier on -addr instead of a single gateway: invokes
+// consistent-hash across the shards, per-tenant admission control
+// applies, and the async invoke path (POST /v1/invoke/async) is
+// available.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"syscall"
 
 	"confbench"
+	"confbench/internal/fronttier"
 	"confbench/internal/gateway"
 	"confbench/internal/hostagent"
 )
@@ -52,8 +59,12 @@ func run(args []string) error {
 	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures that trip an endpoint's circuit breaker (0 = default)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default)")
 	scrapeInterval := fs.Duration("scrape-interval", 0, "background telemetry scrape period for /v1/obs/cluster series (0 = scrape only on request)")
+	shards := fs.Int("shards", 0, "deploy this many gateway shards behind a front tier served on -addr (embedded mode only, > 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards > 1 && *hostsFile != "" {
+		return fmt.Errorf("-shards needs the embedded test bed; it cannot shard an external -hosts fleet")
 	}
 
 	var policyFactory func() gateway.Policy
@@ -75,11 +86,38 @@ func run(args []string) error {
 		// host endpoints.
 		cluster, err := confbench.NewCluster(confbench.ClusterConfig{
 			Seed: *seed, GuestMemoryMB: 16, LeastLoaded: *policy == "least-loaded",
+			Shards: *shards,
 		})
 		if err != nil {
 			return err
 		}
 		defer cluster.Close()
+		if *shards > 1 {
+			// Sharded: expose a second front tier bound to the requested
+			// address over the cluster's shard gateways.
+			tier := cluster.FrontTier()
+			cfgs := make([]fronttier.ShardConfig, 0, *shards)
+			for _, name := range cluster.ShardNames() {
+				cfgs = append(cfgs, fronttier.ShardConfig{Name: name, URL: tier.ShardURL(name)})
+			}
+			front, err := fronttier.New(fronttier.Config{
+				Shards:           cfgs,
+				BreakerThreshold: *breakerThreshold,
+				BreakerCooldown:  *breakerCooldown,
+			})
+			if err != nil {
+				return err
+			}
+			url, err := front.Start(*addr)
+			if err != nil {
+				return err
+			}
+			defer front.Close()
+			fmt.Fprintf(os.Stderr, "front tier serving %s (%d shards, embedded test bed: %v)\n",
+				url, *shards, cluster.Kinds())
+			<-sig
+			return nil
+		}
 		gw := gateway.New(gateway.Config{
 			Policy:           policyFactory,
 			BreakerThreshold: *breakerThreshold,

@@ -23,4 +23,11 @@ func TestRunRejectsBadInput(t *testing.T) {
 	if err := run([]string{"-hosts", bad}); err == nil {
 		t.Error("malformed hosts file accepted")
 	}
+	good := filepath.Join(t.TempDir(), "hosts.json")
+	if err := os.WriteFile(good, []byte("[]"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-hosts", good, "-shards", "2"}); err == nil {
+		t.Error("-shards with an external -hosts fleet accepted")
+	}
 }

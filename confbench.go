@@ -36,6 +36,7 @@ import (
 
 	"confbench/internal/core"
 	"confbench/internal/faultplane"
+	"confbench/internal/fronttier"
 	"confbench/internal/obs"
 	"confbench/internal/tee"
 )
@@ -142,6 +143,30 @@ func WithBreakerThreshold(threshold int, cooldown time.Duration) Option {
 	return func(c *ClusterConfig) {
 		c.BreakerThreshold = threshold
 		c.BreakerCooldown = cooldown
+	}
+}
+
+// WithShards deploys n gateway shards behind a front tier that
+// consistent-hashes each invoke (function × tenant) across them on a
+// bounded-load hash ring, fails over along the ring's successor walk
+// when a shard's breaker opens, and serves the async invoke path
+// (POST /v1/invoke/async + GET /v1/invoke/{id}). n <= 1 keeps the
+// single-gateway deployment.
+func WithShards(n int) Option {
+	return func(c *ClusterConfig) { c.Shards = n }
+}
+
+// WithTenantQuota sets one tenant's front-tier admission limits: a
+// token-bucket invoke rate and/or an in-flight cap. Over-quota
+// requests shed with HTTP 503 and a Retry-After the client honors.
+// Tenants without quotas are unlimited. Only meaningful with
+// WithShards(n > 1).
+func WithTenantQuota(tenant string, limits TenantLimits) Option {
+	return func(c *ClusterConfig) {
+		if c.TenantQuotas == nil {
+			c.TenantQuotas = make(map[string]fronttier.TenantLimits)
+		}
+		c.TenantQuotas[tenant] = limits
 	}
 }
 

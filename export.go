@@ -3,6 +3,7 @@ package confbench
 import (
 	"confbench/internal/api"
 	"confbench/internal/faas"
+	"confbench/internal/fronttier"
 	"confbench/internal/obs"
 	"confbench/internal/tee"
 )
@@ -56,3 +57,45 @@ type ObsEvent = obs.Event
 // RenderTrace formats a span tree as an indented text tree, one line
 // per span with layer, name, and duration.
 func RenderTrace(d *SpanData) string { return obs.RenderTree(d) }
+
+// TenantLimits caps one tenant at the front tier: a token-bucket
+// invoke rate (RatePerSec/Burst) and an in-flight quota (MaxInFlight).
+// Zero fields are unlimited. See WithTenantQuota.
+type TenantLimits = fronttier.TenantLimits
+
+// AsyncSubmitResponse acknowledges an async invoke submission with
+// the invoke ID to poll.
+type AsyncSubmitResponse = api.AsyncSubmitResponse
+
+// AsyncResult is one async invoke's lifecycle record, as returned by
+// Client.Result: pending, done with the response, or error with the
+// envelope.
+type AsyncResult = api.AsyncResult
+
+// Async invoke lifecycle states (AsyncResult.Status).
+const (
+	AsyncPending = api.AsyncPending
+	AsyncDone    = api.AsyncDone
+	AsyncError   = api.AsyncError
+)
+
+// HeaderTenant carries the caller's tenant identity to the front
+// tier; absent means TenantDefault. Client-side, prefer the
+// WithClientTenant option.
+const HeaderTenant = api.HeaderTenant
+
+// TenantDefault is the tenant unstamped requests fall under.
+const TenantDefault = api.TenantDefault
+
+// ClientOption configures a Client built by NewClient.
+type ClientOption = api.Option
+
+// WithClientTenant stamps every request from a Client with a tenant
+// identity, so the front tier applies that tenant's quotas.
+func WithClientTenant(tenant string) ClientOption { return api.WithTenant(tenant) }
+
+// NewClient returns a REST client for an already-running deployment's
+// base URL — a front tier or a gateway; both serve the same API.
+func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
+	return api.New(baseURL, opts...)
+}

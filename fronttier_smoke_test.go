@@ -1,0 +1,186 @@
+package confbench_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"confbench"
+	"confbench/internal/api"
+	"confbench/internal/cberr"
+	"confbench/internal/fronttier"
+	"confbench/internal/obs"
+)
+
+// TestFrontTierSmoke is the end-to-end front-tier check behind `make
+// fronttier-smoke`: a seeded two-shard deployment absorbs one shard
+// being killed mid-bench with zero client-visible failures (the
+// tier's shard breaker trips and its keys fail over along the ring's
+// successor walk), an over-quota tenant is shed with HTTP 503 and a
+// Retry-After the client demonstrably honors, and the shed counters
+// surface in the shard-federated cluster snapshot.
+func TestFrontTierSmoke(t *testing.T) {
+	reg := confbench.NewObsRegistry()
+	c, err := confbench.New(
+		confbench.WithTEEs(confbench.KindSEV),
+		confbench.WithSeed(42),
+		confbench.WithGuestMemoryMB(8),
+		confbench.WithObsRegistry(reg),
+		confbench.WithShards(2),
+		// The hour-long cooldown pins the dead shard's breaker open for
+		// the final assertions; threshold 2 trips it after two walk-offs.
+		confbench.WithBreakerThreshold(2, time.Hour),
+		// 2 tokens/s, burst 1: the second immediate request sheds and a
+		// token refills within 500ms — fast enough to demonstrate the
+		// client honoring the advice.
+		confbench.WithTenantQuota("greedy", confbench.TenantLimits{RatePerSec: 2, Burst: 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	client := c.Client()
+	tier := c.FrontTier()
+	if tier == nil {
+		t.Fatal("no front tier deployed")
+	}
+
+	// Pick one function routed to each shard, so the bench provably
+	// exercises both the killed shard and its survivor. The ring is
+	// seedless and deterministic, so the scan always converges the same
+	// way.
+	owned := map[string]string{}
+	for i := 0; len(owned) < 2; i++ {
+		name := fmt.Sprintf("smoke-%d", i)
+		owner := tier.Ring().Owner(fronttier.RouteKey(name, api.TenantDefault))
+		if _, ok := owned[owner]; !ok {
+			owned[owner] = name
+		}
+	}
+	fns := []string{owned["shard-0"], owned["shard-1"]}
+	for _, fn := range fns {
+		if err := client.Upload(ctx, confbench.Function{Name: fn, Language: "go", Workload: "cpustress"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The bench: 30 invokes alternating across both shards' keys, with
+	// shard-1 killed a third of the way in. The client must never see
+	// a failure — the tier absorbs the loss.
+	const invokes = 30
+	failures := 0
+	for i := 0; i < invokes; i++ {
+		if i == invokes/3 {
+			if err := c.CloseShard("shard-1"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, err := client.Invoke(ctx, confbench.InvokeRequest{
+			Function: fns[i%2], Secure: i%2 == 0, TEE: confbench.KindSEV, Scale: 1,
+		})
+		if err != nil {
+			failures++
+			t.Logf("invoke %d failed: %v", i, err)
+		}
+	}
+	if failures != 0 {
+		t.Errorf("client-visible failures = %d, want 0 (the surviving shard must absorb the traffic)", failures)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.MetricID("confbench_fronttier_invokes_total", "shard", "shard-1")]; got == 0 {
+		t.Error("shard-1 served nothing before being killed — the bench never exercised it")
+	}
+	if got := snap.Counters[obs.MetricID("confbench_fronttier_failovers_total")]; got == 0 {
+		t.Error("no failovers recorded despite a shard dying mid-bench")
+	}
+	if got := snap.Gauges[obs.MetricID("confbench_fronttier_shard_breaker_state", "shard", "shard-1")]; got != 1 {
+		t.Errorf("dead shard's breaker gauge = %d, want 1 (open)", got)
+	}
+
+	// Over-quota tenant: the second immediate request sheds with a
+	// retryable unavailable carrying refill-derived retry advice.
+	start := time.Now()
+	oneShot, err := confbench.NewClient(c.GatewayURL(),
+		confbench.WithClientTenant("greedy"), api.WithRetries(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oneShot.Invoke(ctx, confbench.InvokeRequest{
+		Function: fns[0], TEE: confbench.KindSEV, Scale: 1,
+	}); err != nil {
+		t.Fatalf("greedy tenant's first request must pass: %v", err)
+	}
+	_, shedErr := oneShot.Invoke(ctx, confbench.InvokeRequest{
+		Function: fns[0], TEE: confbench.KindSEV, Scale: 1,
+	})
+	if shedErr == nil {
+		t.Fatal("over-quota request admitted")
+	}
+	if cberr.CodeOf(shedErr) != cberr.CodeUnavailable || !cberr.Retryable(shedErr) {
+		t.Errorf("shed is not a retryable unavailable: %v", shedErr)
+	}
+	if ra := cberr.RetryAfterOf(shedErr); ra <= 0 || ra > 500*time.Millisecond {
+		t.Errorf("shed RetryAfter = %v, want (0, 500ms]", ra)
+	}
+
+	// On the wire that shed is HTTP 503 with a Retry-After header.
+	body, _ := json.Marshal(api.InvokeRequest{Function: fns[0], TEE: confbench.KindSEV, Scale: 1})
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.GatewayURL()+api.PathV1Invoke, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq.Header.Set(confbench.HeaderTenant, "greedy")
+	httpResp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("over-quota status = %d, want 503", httpResp.StatusCode)
+	}
+	if httpResp.Header.Get("Retry-After") == "" {
+		t.Error("503 shed carries no Retry-After header")
+	}
+
+	// A retrying client honors the advice: its success implies a token
+	// had refilled, which takes 500ms from the bucket's last grant — so
+	// the client must have waited instead of surfacing the shed.
+	honoring, err := confbench.NewClient(c.GatewayURL(), confbench.WithClientTenant("greedy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := honoring.Invoke(ctx, confbench.InvokeRequest{
+		Function: fns[0], TEE: confbench.KindSEV, Scale: 1,
+	}); err != nil {
+		t.Fatalf("retrying client must outwait the quota: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 400*time.Millisecond {
+		t.Errorf("retrying client succeeded after %v — a token cannot have refilled that fast", elapsed)
+	}
+
+	// The federated cluster snapshot: the survivor's counters under its
+	// shard label, the dead shard as a scrape error, and the tier's
+	// shed counters under shard="front".
+	cs, err := client.ObsCluster(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.Merged.Counters[obs.MetricID("confbench_http_requests_total",
+		"route", api.PathV1Invoke, "status", "200", "shard", "shard-0")]; got == 0 {
+		t.Error("federated snapshot misses the surviving shard's served invokes")
+	}
+	if _, dead := cs.ScrapeErrors["shard-1"]; !dead {
+		t.Errorf("dead shard missing from scrape errors: %v", cs.ScrapeErrors)
+	}
+	if got := cs.Merged.Counters[obs.MetricID("confbench_fronttier_sheds_total",
+		"reason", "tenant_rate", "shard", "front")]; got == 0 {
+		t.Error("tenant_rate sheds missing from the federated snapshot under shard=\"front\"")
+	}
+}

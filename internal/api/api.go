@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"confbench/internal/cberr"
@@ -32,11 +33,15 @@ import (
 const (
 	PathFunctions = "/functions"
 	PathInvoke    = "/invoke"
-	PathAttest    = "/attest"
-	PathPools     = "/pools"
-	PathHealth    = "/health"
-	PathMetrics   = "/metrics"
-	PathObs       = "/obs"
+	// PathInvokeAsync submits an invoke without holding the
+	// connection: the response carries an invoke ID immediately and
+	// the result is fetched later from PathInvoke + "/{id}".
+	PathInvokeAsync = "/invoke/async"
+	PathAttest      = "/attest"
+	PathPools       = "/pools"
+	PathHealth      = "/health"
+	PathMetrics     = "/metrics"
+	PathObs         = "/obs"
 	// PathObsCluster serves the federated cluster view: every host
 	// agent's registry merged under host labels, plus windowed rates.
 	PathObsCluster = "/obs/cluster"
@@ -50,15 +55,16 @@ const APIPrefixV1 = "/v1"
 // Versioned paths — the canonical routes new clients use. The
 // unversioned constants above remain valid aliases.
 const (
-	PathV1Functions  = APIPrefixV1 + PathFunctions
-	PathV1Invoke     = APIPrefixV1 + PathInvoke
-	PathV1Attest     = APIPrefixV1 + PathAttest
-	PathV1Pools      = APIPrefixV1 + PathPools
-	PathV1Health     = APIPrefixV1 + PathHealth
-	PathV1Metrics    = APIPrefixV1 + PathMetrics
-	PathV1Obs        = APIPrefixV1 + PathObs
-	PathV1ObsCluster = APIPrefixV1 + PathObsCluster
-	PathV1ObsEvents  = APIPrefixV1 + PathObsEvents
+	PathV1Functions   = APIPrefixV1 + PathFunctions
+	PathV1Invoke      = APIPrefixV1 + PathInvoke
+	PathV1InvokeAsync = APIPrefixV1 + PathInvokeAsync
+	PathV1Attest      = APIPrefixV1 + PathAttest
+	PathV1Pools       = APIPrefixV1 + PathPools
+	PathV1Health      = APIPrefixV1 + PathHealth
+	PathV1Metrics     = APIPrefixV1 + PathMetrics
+	PathV1Obs         = APIPrefixV1 + PathObs
+	PathV1ObsCluster  = APIPrefixV1 + PathObsCluster
+	PathV1ObsEvents   = APIPrefixV1 + PathObsEvents
 )
 
 // Paths served by guest agents inside VMs.
@@ -125,6 +131,44 @@ type InvokeResponse struct {
 // Wall returns the priced wall-clock duration.
 func (r InvokeResponse) Wall() time.Duration { return time.Duration(r.WallNs) }
 
+// HeaderTenant carries the caller's tenant identity to the front
+// tier, which runs per-tenant admission control (rate limits and
+// in-flight quotas) on it. Absent means TenantDefault.
+const HeaderTenant = "X-Confbench-Tenant"
+
+// TenantDefault is the tenant requests without a tenant header are
+// accounted under.
+const TenantDefault = "default"
+
+// Async invoke lifecycle states, as reported by AsyncResult.Status.
+const (
+	// AsyncPending means the invoke is still executing.
+	AsyncPending = "pending"
+	// AsyncDone means the invoke finished and Response is populated.
+	AsyncDone = "done"
+	// AsyncError means the invoke failed and Error is populated.
+	AsyncError = "error"
+)
+
+// AsyncSubmitResponse acknowledges an async invoke submission: the
+// caller polls GET /v1/invoke/{id} for the result.
+type AsyncSubmitResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+}
+
+// AsyncResult is one async invoke's lifecycle record, served by
+// GET /v1/invoke/{id}. Completed records are retained for the result
+// store's TTL and then expire (polling an expired ID is a not_found).
+type AsyncResult struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	// Response is the invoke's result, present once Status is done.
+	Response *InvokeResponse `json:"response,omitempty"`
+	// Error is the invoke's failure, present once Status is error.
+	Error *ErrorResponse `json:"error,omitempty"`
+}
+
 // AttestRequest asks for an attestation round trip.
 type AttestRequest struct {
 	TEE   tee.Kind `json:"tee"`
@@ -185,6 +229,11 @@ type ErrorResponse struct {
 	Code      cberr.Code  `json:"code,omitempty"`
 	Layer     cberr.Layer `json:"layer,omitempty"`
 	Retryable bool        `json:"retryable,omitempty"`
+	// RetryAfterMS is the server's retry timing advice in
+	// milliseconds (sub-second precision the integer-second HTTP
+	// Retry-After header cannot carry; the header is still set for
+	// proxies and non-ConfBench clients).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // WriteJSON writes v as a JSON response with the given status.
@@ -197,15 +246,38 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 
 // WriteError writes an error envelope, deriving the taxonomy fields
 // from err. Unclassified errors fall back to the status-code mapping.
+// Retry advice attached via cberr.WithRetryAfter rides out twice: as
+// the standard Retry-After header (integer seconds, rounded up so the
+// advice is never shortened) and as retry_after_ms in the envelope
+// (full precision for ConfBench clients).
 func WriteError(w http.ResponseWriter, status int, err error) {
-	env := ErrorResponse{Error: err.Error()}
+	env := ErrorEnvelope(err)
+	if env.Code == "" {
+		env.Code = cberr.CodeForHTTPStatus(status)
+	}
+	if env.RetryAfterMS > 0 {
+		secs := (env.RetryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	WriteJSON(w, status, *env)
+}
+
+// ErrorEnvelope renders err into the wire envelope without writing
+// it: the taxonomy fields when err is classified (Code left empty
+// otherwise — WriteError falls back to the status mapping), plus
+// millisecond retry advice. The front tier stores async failures in
+// this shape so a poll returns the same envelope a sync call would
+// have.
+func ErrorEnvelope(err error) *ErrorResponse {
+	env := &ErrorResponse{Error: err.Error()}
 	var ce *cberr.Error
 	if errors.As(err, &ce) {
 		env.Code, env.Layer, env.Retryable = ce.Code, ce.Layer, ce.Retryable
-	} else {
-		env.Code = cberr.CodeForHTTPStatus(status)
 	}
-	WriteJSON(w, status, env)
+	if ra := cberr.RetryAfterOf(err); ra > 0 {
+		env.RetryAfterMS = int64((ra + time.Millisecond - 1) / time.Millisecond)
+	}
+	return env
 }
 
 // Client defaults.
@@ -225,6 +297,8 @@ const (
 	// backoffJitter is the ± fraction applied to each sleep so a burst
 	// of failed clients doesn't retry in lockstep.
 	backoffJitter = 0.20
+	// DefaultPollInterval paces AwaitResult's polls of an async invoke.
+	DefaultPollInterval = 25 * time.Millisecond
 )
 
 // Client is an HTTP client for the gateway REST API. Every method
@@ -233,6 +307,7 @@ const (
 type Client struct {
 	baseURL string
 	prefix  string
+	tenant  string
 	http    *http.Client
 
 	// MaxAttempts caps the total tries per call. Only failures the
@@ -275,6 +350,14 @@ func WithBackoffCap(d time.Duration) Option {
 // given client carries its own.
 func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
+}
+
+// WithTenant stamps every request with the given tenant identity (the
+// HeaderTenant header). The front tier's admission control — token
+// buckets and in-flight quotas — accounts the request against that
+// tenant; unstamped requests fall under TenantDefault.
+func WithTenant(tenant string) Option {
+	return func(c *Client) { c.tenant = tenant }
 }
 
 // WithPathPrefix overrides the API version prefix the client puts in
@@ -354,10 +437,21 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if err == nil || attempt >= attempts || !cberr.Retryable(err) {
 			return err
 		}
+		// A server-supplied Retry-After wins over the computed backoff
+		// — the shedder knows when capacity returns better than our
+		// doubling guess — but never past the configured cap, and with
+		// no jitter: the server already spreads its advice.
+		sleep := jitter(backoff)
+		if ra := cberr.RetryAfterOf(err); ra > 0 {
+			sleep = ra
+			if sleep > limit {
+				sleep = limit
+			}
+		}
 		select {
 		case <-ctx.Done():
 			return cberr.From(ctx.Err(), cberr.LayerClient)
-		case <-time.After(jitter(backoff)):
+		case <-time.After(sleep):
 		}
 		// Double under the cap; comparing before the multiply (rather
 		// than clamping after) also keeps the duration from ever
@@ -391,6 +485,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.tenant != "" {
+		req.Header.Set(HeaderTenant, c.tenant)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		// Cancellation and deadline expiry keep their taxonomy codes;
@@ -410,13 +507,29 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	return decodeResponse(resp, path, out)
 }
 
+// retryAfterFrom recovers the server's retry advice from a response:
+// the envelope's millisecond field when present (full precision),
+// else the standard Retry-After header (integer seconds).
+func retryAfterFrom(resp *http.Response, env ErrorResponse) time.Duration {
+	if env.RetryAfterMS > 0 {
+		return time.Duration(env.RetryAfterMS) * time.Millisecond
+	}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.ParseInt(v, 10, 64); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
 func decodeResponse(resp *http.Response, path string, out any) error {
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
 		return cberr.Wrap(cberr.CodeUnavailable, cberr.LayerClient,
 			fmt.Errorf("api: read %s response: %w", path, err))
 	}
-	if resp.StatusCode != http.StatusOK {
+	// Any 2xx carries a decodable body: async submissions answer 202.
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var e ErrorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
 			code, retryable := e.Code, e.Retryable
@@ -424,13 +537,15 @@ func decodeResponse(resp *http.Response, path string, out any) error {
 				code = cberr.CodeForHTTPStatus(resp.StatusCode)
 				retryable = cberr.New(code, "", "").Retryable
 			}
-			return fmt.Errorf("api: %s: %w (status %d)", path,
-				cberr.FromWire(code, e.Layer, retryable, e.Error), resp.StatusCode)
+			ce := cberr.FromWire(code, e.Layer, retryable, e.Error)
+			ce.RetryAfter = retryAfterFrom(resp, e)
+			return fmt.Errorf("api: %s: %w (status %d)", path, ce, resp.StatusCode)
 		}
 		code := cberr.CodeForHTTPStatus(resp.StatusCode)
-		return fmt.Errorf("api: %s: %w", path,
-			cberr.FromWire(code, "", cberr.New(code, "", "").Retryable,
-				fmt.Sprintf("status %d", resp.StatusCode)))
+		ce := cberr.FromWire(code, "", cberr.New(code, "", "").Retryable,
+			fmt.Sprintf("status %d", resp.StatusCode))
+		ce.RetryAfter = retryAfterFrom(resp, ErrorResponse{})
+		return fmt.Errorf("api: %s: %w", path, ce)
 	}
 	if out == nil {
 		return nil
@@ -463,6 +578,66 @@ func (c *Client) Invoke(ctx context.Context, req InvokeRequest) (InvokeResponse,
 		return InvokeResponse{}, err
 	}
 	return out, nil
+}
+
+// InvokeAsync submits a function execution without holding the
+// connection for its duration: the front tier answers immediately
+// with an invoke ID, and the result is fetched later with Result (or
+// AwaitResult). Only deployments with a front tier serve this path.
+func (c *Client) InvokeAsync(ctx context.Context, req InvokeRequest) (AsyncSubmitResponse, error) {
+	var out AsyncSubmitResponse
+	if err := c.do(ctx, http.MethodPost, PathInvokeAsync, req, &out); err != nil {
+		return AsyncSubmitResponse{}, err
+	}
+	return out, nil
+}
+
+// Result polls one async invoke's lifecycle record by ID. A pending
+// record answers with Status "pending" and no payload; polling an
+// unknown or expired ID is a not_found error.
+func (c *Client) Result(ctx context.Context, id string) (AsyncResult, error) {
+	var out AsyncResult
+	if err := c.do(ctx, http.MethodGet, PathInvoke+"/"+url.PathEscape(id), nil, &out); err != nil {
+		return AsyncResult{}, err
+	}
+	return out, nil
+}
+
+// AwaitResult polls an async invoke until it completes, the interval
+// elapses between polls (0 = DefaultPollInterval), or ctx ends. A
+// completed-with-error invoke surfaces its reconstructed classified
+// error, exactly as the synchronous path would have.
+func (c *Client) AwaitResult(ctx context.Context, id string, interval time.Duration) (InvokeResponse, error) {
+	if interval <= 0 {
+		interval = DefaultPollInterval
+	}
+	for {
+		res, err := c.Result(ctx, id)
+		if err != nil {
+			return InvokeResponse{}, err
+		}
+		switch res.Status {
+		case AsyncDone:
+			if res.Response == nil {
+				return InvokeResponse{}, cberr.Newf(cberr.CodeInternal, cberr.LayerClient,
+					"api: async invoke %s done without a response", id)
+			}
+			return *res.Response, nil
+		case AsyncError:
+			e := res.Error
+			if e == nil {
+				return InvokeResponse{}, cberr.Newf(cberr.CodeInternal, cberr.LayerClient,
+					"api: async invoke %s failed without an error record", id)
+			}
+			return InvokeResponse{}, fmt.Errorf("api: async invoke %s: %w", id,
+				cberr.FromWire(e.Code, e.Layer, e.Retryable, e.Error))
+		}
+		select {
+		case <-ctx.Done():
+			return InvokeResponse{}, cberr.From(ctx.Err(), cberr.LayerClient)
+		case <-time.After(interval):
+		}
+	}
 }
 
 // Attest requests attestation evidence from a confidential VM.

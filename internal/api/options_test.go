@@ -98,3 +98,34 @@ func TestDeprecatedNewClientMatchesNew(t *testing.T) {
 		t.Error("NewClient lost its URL validation")
 	}
 }
+
+func TestWithTenantStampsEveryRequest(t *testing.T) {
+	var got string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get(HeaderTenant)
+		WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}))
+	defer srv.Close()
+	c, err := New(srv.URL, WithTenant("team-blue"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got != "team-blue" {
+		t.Errorf("tenant header = %q, want team-blue", got)
+	}
+	// The default client stays unstamped — the server applies
+	// TenantDefault, not the client.
+	plain, err := New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got != "" {
+		t.Errorf("unconfigured client sent tenant header %q", got)
+	}
+}

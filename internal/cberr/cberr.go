@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 )
 
 // Code classifies a failure independently of the layer that raised it.
@@ -53,6 +54,7 @@ type Layer string
 // Pipeline layers, outermost first.
 const (
 	LayerClient  Layer = "client"
+	LayerFront   Layer = "front"
 	LayerGateway Layer = "gateway"
 	LayerPool    Layer = "pool"
 	LayerHost    Layer = "host"
@@ -71,6 +73,10 @@ type Error struct {
 	Layer     Layer  `json:"layer,omitempty"`
 	Retryable bool   `json:"retryable,omitempty"`
 	Message   string `json:"message"`
+	// RetryAfter is the server's advice on when a retry may succeed
+	// (0 = no advice). It maps to/from the HTTP Retry-After header on
+	// the wire, and clients honor it over their computed backoff.
+	RetryAfter time.Duration `json:"retry_after_ns,omitempty"`
 
 	cause error
 }
@@ -199,6 +205,41 @@ func LayerOf(err error) Layer {
 		return ce.Layer
 	}
 	return ""
+}
+
+// WithRetryAfter attaches retry timing advice to a classified error:
+// the returned error carries d in its RetryAfter field while keeping
+// the original error reachable through errors.Is/As. An unclassified
+// err is first classified as retryable CodeUnavailable (retry advice
+// only makes sense for failures a retry can cure). Nil errors and
+// non-positive durations pass through unchanged.
+func WithRetryAfter(err error, d time.Duration) error {
+	if err == nil || d <= 0 {
+		return err
+	}
+	var ce *Error
+	if errors.As(err, &ce) {
+		out := *ce
+		out.RetryAfter = d
+		out.cause = err
+		return &out
+	}
+	return &Error{
+		Code:       CodeUnavailable,
+		Retryable:  true,
+		Message:    err.Error(),
+		RetryAfter: d,
+		cause:      err,
+	}
+}
+
+// RetryAfterOf extracts the server-supplied retry advice (0 = none).
+func RetryAfterOf(err error) time.Duration {
+	var ce *Error
+	if errors.As(err, &ce) && ce.RetryAfter > 0 {
+		return ce.RetryAfter
+	}
+	return 0
 }
 
 // Retryable reports whether a retry may succeed.

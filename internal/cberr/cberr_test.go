@@ -119,3 +119,40 @@ func TestCodeOfFallbacks(t *testing.T) {
 		t.Error("LayerOf lost the layer")
 	}
 }
+
+func TestWithRetryAfter(t *testing.T) {
+	if got := WithRetryAfter(nil, time.Second); got != nil {
+		t.Fatalf("WithRetryAfter(nil) = %v, want nil", got)
+	}
+	base := New(CodeUnavailable, LayerPool, "queue full")
+	if got := WithRetryAfter(base, 0); got != base {
+		t.Error("non-positive duration should pass the error through")
+	}
+	err := WithRetryAfter(base, 250*time.Millisecond)
+	if RetryAfterOf(err) != 250*time.Millisecond {
+		t.Fatalf("RetryAfterOf = %v, want 250ms", RetryAfterOf(err))
+	}
+	// The classification and identity survive the attachment.
+	if !errors.Is(err, ErrUnavailable) {
+		t.Error("retry-after attachment lost the unavailable code")
+	}
+	if !errors.Is(err, base) {
+		t.Error("retry-after attachment lost the original error")
+	}
+	if !Retryable(err) {
+		t.Error("retry-after attachment lost retryability")
+	}
+	// The original error is untouched — sentinels stay shareable.
+	if base.RetryAfter != 0 {
+		t.Error("WithRetryAfter mutated its input")
+	}
+	// Unclassified errors get classified as retryable unavailable.
+	plain := WithRetryAfter(errors.New("busy"), time.Second)
+	if CodeOf(plain) != CodeUnavailable || !Retryable(plain) {
+		t.Errorf("plain error classified as %v retryable=%v, want unavailable/true",
+			CodeOf(plain), Retryable(plain))
+	}
+	if RetryAfterOf(New(CodeInternal, LayerHost, "x")) != 0 {
+		t.Error("RetryAfterOf without advice should be 0")
+	}
+}

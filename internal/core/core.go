@@ -20,6 +20,7 @@ import (
 	"confbench/internal/faas"
 	"confbench/internal/faas/langs"
 	"confbench/internal/faultplane"
+	"confbench/internal/fronttier"
 	"confbench/internal/gateway"
 	"confbench/internal/hostagent"
 	"confbench/internal/obs"
@@ -77,6 +78,15 @@ type ClusterConfig struct {
 	// SnapshotCacheMB is the byte budget of the cluster-shared snapshot
 	// image cache (default 256 MiB when warm pools are enabled).
 	SnapshotCacheMB int
+	// Shards, when > 1, deploys that many gateway shards behind a
+	// front tier that consistent-hashes invokes (function × tenant)
+	// across them, with per-tenant admission control and the async
+	// invoke path. 0 or 1 keeps the single-gateway deployment.
+	Shards int
+	// TenantQuotas maps tenants to front-tier admission limits
+	// (token-bucket rates and in-flight quotas). Only meaningful with
+	// Shards > 1; absent tenants are unlimited.
+	TenantQuotas map[string]fronttier.TenantLimits
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -108,6 +118,12 @@ type Cluster struct {
 	cache    *vm.SnapshotCache
 	gw       *gateway.Gateway
 	client   *api.Client
+
+	// Sharded deployments (cfg.Shards > 1): the shard gateways in
+	// shard-name order and the front tier routing across them.
+	shardNames []string
+	shardGWs   []*gateway.Gateway
+	tier       *fronttier.Tier
 
 	pcs *dcap.PCS
 	qe  *dcap.QuotingEnclave
@@ -174,22 +190,62 @@ func (c *Cluster) boot() error {
 	if c.cfg.LeastLoaded {
 		policy = func() gateway.Policy { return gateway.LeastLoaded{} }
 	}
-	c.gw = gateway.New(gateway.Config{
-		Policy:           policy,
-		Obs:              c.obsreg,
-		BreakerThreshold: c.cfg.BreakerThreshold,
-		BreakerCooldown:  c.cfg.BreakerCooldown,
-		Faults:           c.cfg.Faults,
-		ScrapeInterval:   c.cfg.ObsScrapeInterval,
-	})
-	for _, kind := range c.cfg.TEEs {
-		for _, agent := range c.agents[kind] {
-			c.gw.AddHost(agent.Name(), agent.Endpoints())
+	// newGateway builds one gateway over the full host fleet. Shards
+	// are stateless equivalents: every shard sees every host, so any
+	// shard can serve any key and a killed shard loses no capacity.
+	newGateway := func(reg *obs.Registry) *gateway.Gateway {
+		gw := gateway.New(gateway.Config{
+			Policy:           policy,
+			Obs:              reg,
+			BreakerThreshold: c.cfg.BreakerThreshold,
+			BreakerCooldown:  c.cfg.BreakerCooldown,
+			Faults:           c.cfg.Faults,
+			ScrapeInterval:   c.cfg.ObsScrapeInterval,
+		})
+		for _, kind := range c.cfg.TEEs {
+			for _, agent := range c.agents[kind] {
+				gw.AddHost(agent.Name(), agent.Endpoints())
+			}
 		}
+		return gw
 	}
-	url, err := c.gw.Start("127.0.0.1:0")
-	if err != nil {
-		return err
+	var url string
+	if c.cfg.Shards > 1 {
+		// Each shard reports to its own registry so the tier's
+		// federated cluster view keeps shard snapshots distinct; the
+		// hosts and backends stay on the cluster registry.
+		shardCfgs := make([]fronttier.ShardConfig, 0, c.cfg.Shards)
+		for i := 0; i < c.cfg.Shards; i++ {
+			name := fmt.Sprintf("shard-%d", i)
+			gw := newGateway(obs.New())
+			u, err := gw.Start("127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			c.shardNames = append(c.shardNames, name)
+			c.shardGWs = append(c.shardGWs, gw)
+			shardCfgs = append(shardCfgs, fronttier.ShardConfig{Name: name, URL: u})
+		}
+		tier, err := fronttier.New(fronttier.Config{
+			Shards:           shardCfgs,
+			Obs:              c.obsreg,
+			Quotas:           c.cfg.TenantQuotas,
+			BreakerThreshold: c.cfg.BreakerThreshold,
+			BreakerCooldown:  c.cfg.BreakerCooldown,
+		})
+		if err != nil {
+			return err
+		}
+		c.tier = tier
+		if url, err = tier.Start("127.0.0.1:0"); err != nil {
+			return err
+		}
+	} else {
+		c.gw = newGateway(c.obsreg)
+		var err error
+		if url, err = c.gw.Start("127.0.0.1:0"); err != nil {
+			return err
+		}
 	}
 	client, err := api.New(url)
 	if err != nil {
@@ -233,7 +289,8 @@ func (c *Cluster) newBackend(kind tee.Kind) (tee.Backend, error) {
 	}
 }
 
-// Client returns a REST client bound to the gateway.
+// Client returns a REST client bound to the deployment's front door —
+// the front tier when sharded, the gateway otherwise.
 func (c *Cluster) Client() *api.Client { return c.client }
 
 // Obs returns the registry every layer of the deployment reports to.
@@ -242,12 +299,45 @@ func (c *Cluster) Obs() *obs.Registry { return c.obsreg }
 // Workers returns the configured default benchmark concurrency.
 func (c *Cluster) Workers() int { return c.cfg.Workers }
 
-// GatewayURL returns the gateway's base URL.
-func (c *Cluster) GatewayURL() string { return c.gw.BaseURL() }
+// GatewayURL returns the front door's base URL: the front tier when
+// sharded, the single gateway otherwise.
+func (c *Cluster) GatewayURL() string {
+	if c.tier != nil {
+		return c.tier.BaseURL()
+	}
+	return c.gw.BaseURL()
+}
 
 // Gateway returns the running gateway, exposing the federation
-// scraper and invoke flight recorder to in-process harnesses.
-func (c *Cluster) Gateway() *gateway.Gateway { return c.gw }
+// scraper and invoke flight recorder to in-process harnesses. Sharded
+// deployments return the first shard.
+func (c *Cluster) Gateway() *gateway.Gateway {
+	if c.gw == nil && len(c.shardGWs) > 0 {
+		return c.shardGWs[0]
+	}
+	return c.gw
+}
+
+// FrontTier returns the sharded front tier (nil when Shards <= 1).
+func (c *Cluster) FrontTier() *fronttier.Tier { return c.tier }
+
+// ShardNames lists the deployed gateway shards in shard order (empty
+// when the deployment is not sharded).
+func (c *Cluster) ShardNames() []string {
+	return append([]string(nil), c.shardNames...)
+}
+
+// CloseShard kills one gateway shard mid-run — the chaos hook behind
+// the front-tier smoke test. The tier's shard breaker trips on the
+// dead shard and routes its keys along the ring's successor walk.
+func (c *Cluster) CloseShard(name string) error {
+	for i, n := range c.shardNames {
+		if n == name {
+			return c.shardGWs[i].Close()
+		}
+	}
+	return fmt.Errorf("confbench: no shard %q deployed", name)
+}
 
 // Backend returns the platform backend for kind.
 func (c *Cluster) Backend(kind tee.Kind) (tee.Backend, error) {
@@ -367,6 +457,12 @@ func (c *Cluster) PCS() *dcap.PCS { return c.pcs }
 // with errors.Join so none is masked.
 func (c *Cluster) Close() error {
 	var errs []error
+	if c.tier != nil {
+		errs = append(errs, c.tier.Close())
+	}
+	for _, gw := range c.shardGWs {
+		errs = append(errs, gw.Close()) // idempotent if CloseShard hit it first
+	}
 	if c.gw != nil {
 		errs = append(errs, c.gw.Close())
 	}

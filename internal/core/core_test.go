@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 
+	"confbench/internal/api"
+	"confbench/internal/faas"
 	"confbench/internal/tee"
 )
 
@@ -79,6 +81,64 @@ func TestUploadCatalogAndDuplicates(t *testing.T) {
 	// Unknown language surfaces the gateway's rejection.
 	if err := c.UploadCatalog(context.Background(), []string{"cobol"}); err == nil {
 		t.Error("unknown language accepted")
+	}
+}
+
+// TestShardedClusterServesThroughFrontTier: Shards > 1 boots shard
+// gateways behind a front tier, the client points at the tier, an
+// invoke flows end to end, and CloseShard kills exactly the named
+// shard.
+func TestShardedClusterServesThroughFrontTier(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{TEEs: []tee.Kind{tee.KindSEV}, GuestMemoryMB: 4, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.FrontTier() == nil {
+		t.Fatal("sharded cluster has no front tier")
+	}
+	if got := c.ShardNames(); len(got) != 2 || got[0] != "shard-0" || got[1] != "shard-1" {
+		t.Fatalf("shard names = %v", got)
+	}
+	if c.GatewayURL() != c.FrontTier().BaseURL() {
+		t.Errorf("front door URL %q is not the tier's %q", c.GatewayURL(), c.FrontTier().BaseURL())
+	}
+	if c.Gateway() == nil {
+		t.Error("Gateway() must still expose a shard gateway")
+	}
+	ctx := context.Background()
+	fn := faas.Function{Name: "sharded", Language: "go", Workload: "cpustress"}
+	if err := c.Client().Upload(ctx, fn); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Client().Invoke(ctx, api.InvokeRequest{Function: "sharded", TEE: tee.KindSEV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.WallNs <= 0 {
+		t.Errorf("invoke through the tier returned no wall time: %+v", resp)
+	}
+	if err := c.CloseShard("shard-9"); err == nil {
+		t.Error("closing an unknown shard must fail")
+	}
+	if err := c.CloseShard("shard-1"); err != nil {
+		t.Errorf("close shard-1: %v", err)
+	}
+}
+
+// TestSingleGatewayClusterHasNoTier: Shards <= 1 keeps the existing
+// single-gateway deployment untouched.
+func TestSingleGatewayClusterHasNoTier(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{TEEs: []tee.Kind{tee.KindSEV}, GuestMemoryMB: 4, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.FrontTier() != nil || len(c.ShardNames()) != 0 {
+		t.Error("Shards=1 must not deploy a front tier")
+	}
+	if c.GatewayURL() == "" {
+		t.Error("no gateway URL")
 	}
 }
 

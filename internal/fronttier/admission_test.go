@@ -1,0 +1,110 @@
+package fronttier
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"confbench/internal/cberr"
+)
+
+// clock is a hand-driven synthetic clock for admission tests.
+type clock struct{ t time.Time }
+
+func newClock() *clock                   { return &clock{t: time.Unix(1_700_000_000, 0)} }
+func (c *clock) now() time.Time          { return c.t }
+func (c *clock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestAdmissionRateBucket: a 2/s burst-2 bucket admits the burst,
+// sheds the third with refill-derived retry advice, and readmits once
+// the clock refills a token.
+func TestAdmissionRateBucket(t *testing.T) {
+	ck := newClock()
+	a := NewAdmission(map[string]TenantLimits{
+		"acme": {RatePerSec: 2, Burst: 2},
+	}, ck.now)
+	for i := 0; i < 2; i++ {
+		release, err := a.Admit("acme")
+		if err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+		release()
+	}
+	_, err := a.Admit("acme")
+	if !errors.Is(err, ErrTenantRate) {
+		t.Fatalf("over-burst err = %v, want ErrTenantRate", err)
+	}
+	if cberr.CodeOf(err) != cberr.CodeUnavailable || !cberr.Retryable(err) {
+		t.Fatalf("shed not a retryable unavailable: %v", err)
+	}
+	ra := cberr.RetryAfterOf(err)
+	// One token refills in 1/rate = 500ms.
+	if ra <= 0 || ra > 500*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want (0, 500ms]", ra)
+	}
+	ck.advance(ra)
+	if _, err := a.Admit("acme"); err != nil {
+		t.Fatalf("admit after honoring the advice: %v", err)
+	}
+}
+
+// TestAdmissionInFlightQuota: MaxInFlight holds until a release.
+func TestAdmissionInFlightQuota(t *testing.T) {
+	ck := newClock()
+	a := NewAdmission(map[string]TenantLimits{
+		"acme": {MaxInFlight: 2},
+	}, ck.now)
+	r1, err := a.Admit("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Admit("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.InFlight("acme") != 2 {
+		t.Fatalf("in-flight = %d, want 2", a.InFlight("acme"))
+	}
+	_, err = a.Admit("acme")
+	if !errors.Is(err, ErrTenantInFlight) {
+		t.Fatalf("over-quota err = %v, want ErrTenantInFlight", err)
+	}
+	if cberr.RetryAfterOf(err) <= 0 {
+		t.Fatalf("in-flight shed carries no retry advice: %v", err)
+	}
+	r1()
+	if _, err := a.Admit("acme"); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	r2()
+}
+
+// TestAdmissionUnlimitedTenants: tenants without quotas (and the
+// zero-value limit) are never shed, and releases never underflow.
+func TestAdmissionUnlimitedTenants(t *testing.T) {
+	a := NewAdmission(map[string]TenantLimits{"capped": {}}, nil)
+	for i := 0; i < 100; i++ {
+		for _, tenant := range []string{"anyone", "capped"} {
+			release, err := a.Admit(tenant)
+			if err != nil {
+				t.Fatalf("unlimited tenant %s shed: %v", tenant, err)
+			}
+			release()
+			release() // double release must be harmless
+		}
+	}
+}
+
+// TestAdmissionBurstDefaultsToOne: a rate with Burst 0 still admits
+// (capacity 1), because a bucket that can never hold a token would
+// shed everything forever.
+func TestAdmissionBurstDefaultsToOne(t *testing.T) {
+	ck := newClock()
+	a := NewAdmission(map[string]TenantLimits{"acme": {RatePerSec: 1}}, ck.now)
+	if _, err := a.Admit("acme"); err != nil {
+		t.Fatalf("first request shed with default burst: %v", err)
+	}
+	if _, err := a.Admit("acme"); !errors.Is(err, ErrTenantRate) {
+		t.Fatalf("second immediate request = %v, want rate shed", err)
+	}
+}

@@ -1,0 +1,776 @@
+package fronttier
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"confbench/internal/api"
+	"confbench/internal/cberr"
+	"confbench/internal/gateway"
+	"confbench/internal/obs"
+)
+
+// Front-tier defaults.
+const (
+	// DefaultQueueDepth bounds how many requests may wait for a
+	// shard's dispatch slots before new arrivals shed.
+	DefaultQueueDepth = 64
+	// DefaultShardConcurrency is the per-shard dispatch-slot count:
+	// how many forwarded requests one shard carries at once.
+	DefaultShardConcurrency = 32
+	// DefaultAsyncTimeout bounds one async invoke's execution after
+	// its submission was acknowledged.
+	DefaultAsyncTimeout = 2 * time.Minute
+	// FrontShardLabel is the shard label the tier's own registry
+	// merges under in the federated cluster view.
+	FrontShardLabel = "front"
+)
+
+// ErrNoShards marks a tier with an empty shard set.
+var ErrNoShards = errors.New("fronttier: no shards configured")
+
+// ShardConfig names one gateway shard and where it serves.
+type ShardConfig struct {
+	Name string
+	URL  string
+}
+
+// Config assembles a front tier.
+type Config struct {
+	// Shards are the gateway shards to route across (≥ 1).
+	Shards []ShardConfig
+	// Obs is the tier's metrics registry (nil = process default).
+	Obs *obs.Registry
+	// Quotas maps tenants to admission limits (absent = unlimited).
+	Quotas map[string]TenantLimits
+	// QueueDepth bounds each shard's admission queue (0 = default).
+	QueueDepth int
+	// ShardConcurrency is each shard's dispatch-slot count (0 = default).
+	ShardConcurrency int
+	// AsyncCapacity bounds the async result store (0 = default).
+	AsyncCapacity int
+	// AsyncTTL is how long completed async results stay pollable
+	// (0 = default).
+	AsyncTTL time.Duration
+	// AsyncTimeout bounds one async invoke's execution (0 = default).
+	AsyncTimeout time.Duration
+	// VirtualNodes is the ring's per-shard virtual-node count
+	// (0 = DefaultVirtualNodes).
+	VirtualNodes int
+	// LoadFactor is the bounded-load factor c (<= 1 = DefaultLoadFactor).
+	LoadFactor float64
+	// BreakerThreshold trips a shard open after that many consecutive
+	// failures (0 = gateway.DefaultBreakerThreshold).
+	BreakerThreshold int
+	// BreakerCooldown is the open shard's re-probe delay
+	// (0 = gateway.DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// Now injects the tier's clock for admission buckets, result TTLs,
+	// and breaker timing (nil = wall clock).
+	Now func() time.Time
+}
+
+// shard is one gateway shard as the tier sees it: a client, a
+// breaker, and the bounded admission queue in front of its slots.
+type shard struct {
+	name    string
+	url     string
+	client  *api.Client
+	breaker *gateway.Breaker
+
+	slots   chan struct{}
+	waiting atomic.Int64
+	load    atomic.Int64 // in-flight forwarded requests
+
+	// latencyNs is an EWMA of recent forward latency, feeding the
+	// queue-full retry-after estimate.
+	latencyNs atomic.Int64
+}
+
+// observeLatency folds one forward's latency into the EWMA (α = 1/4).
+func (s *shard) observeLatency(d time.Duration) {
+	prev := s.latencyNs.Load()
+	if prev == 0 {
+		s.latencyNs.Store(d.Nanoseconds())
+		return
+	}
+	s.latencyNs.Store(prev + (d.Nanoseconds()-prev)/4)
+}
+
+// Tier is the sharded front door. It terminates the public API,
+// admits per tenant, routes per the bounded-load ring, fails over
+// along the successor walk when a shard's breaker is open, and runs
+// the async submit/poll lifecycle.
+type Tier struct {
+	ring      *Ring
+	admission *Admission
+	store     *ResultStore
+	obsreg    *obs.Registry
+	clock     func() time.Time
+
+	shards     map[string]*shard
+	loadFactor float64
+	queueDepth int64
+
+	asyncSeq     atomic.Uint64
+	asyncTimeout time.Duration
+	asyncWG      sync.WaitGroup
+
+	series       *obs.SeriesSet
+	asyncPending *obs.Gauge
+
+	mu       sync.Mutex
+	server   *http.Server
+	listener net.Listener
+	baseURL  string
+	started  time.Time
+
+	invocations  atomic.Uint64
+	errors       atomic.Uint64
+	attestations atomic.Uint64
+}
+
+// New builds a tier over the configured shards. The shard set is
+// fixed at construction (membership changes go through the ring in
+// tests; production growth is a reboot concern for now).
+func New(cfg Config) (*Tier, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, ErrNoShards
+	}
+	clock := cfg.Now
+	if clock == nil {
+		clock = time.Now
+	}
+	reg := obs.OrDefault(cfg.Obs)
+	queueDepth := cfg.QueueDepth
+	if queueDepth <= 0 {
+		queueDepth = DefaultQueueDepth
+	}
+	concurrency := cfg.ShardConcurrency
+	if concurrency <= 0 {
+		concurrency = DefaultShardConcurrency
+	}
+	asyncTimeout := cfg.AsyncTimeout
+	if asyncTimeout <= 0 {
+		asyncTimeout = DefaultAsyncTimeout
+	}
+	t := &Tier{
+		ring:         NewRing(cfg.VirtualNodes),
+		admission:    NewAdmission(cfg.Quotas, clock),
+		store:        NewResultStore(cfg.AsyncCapacity, cfg.AsyncTTL, clock),
+		obsreg:       reg,
+		clock:        clock,
+		shards:       make(map[string]*shard, len(cfg.Shards)),
+		loadFactor:   cfg.LoadFactor,
+		queueDepth:   int64(queueDepth),
+		asyncTimeout: asyncTimeout,
+		series:       obs.NewSeriesSet(obs.DefaultSeriesCapacity),
+		asyncPending: reg.Gauge("confbench_fronttier_async_pending"),
+	}
+	for _, sc := range cfg.Shards {
+		if sc.Name == "" || sc.URL == "" {
+			return nil, fmt.Errorf("fronttier: shard needs a name and URL, got %+v", sc)
+		}
+		if _, dup := t.shards[sc.Name]; dup {
+			return nil, fmt.Errorf("fronttier: duplicate shard %q", sc.Name)
+		}
+		// One attempt per shard: failover is the tier's job (the
+		// successor walk), not the per-shard client's.
+		client, err := api.New(sc.URL, api.WithRetries(1))
+		if err != nil {
+			return nil, fmt.Errorf("fronttier: shard %s: %w", sc.Name, err)
+		}
+		gauge := reg.Gauge("confbench_fronttier_shard_breaker_state", "shard", sc.Name)
+		gauge.Set(int64(gateway.BreakerClosed))
+		t.shards[sc.Name] = &shard{
+			name:    sc.Name,
+			url:     sc.URL,
+			client:  client,
+			breaker: gateway.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, gauge),
+			slots:   make(chan struct{}, concurrency),
+		}
+		t.ring.Add(sc.Name)
+	}
+	return t, nil
+}
+
+// Ring exposes the tier's hash ring (tests drive membership through
+// it).
+func (t *Tier) Ring() *Ring { return t.ring }
+
+// Admission exposes the tier's admission controller.
+func (t *Tier) Admission() *Admission { return t.admission }
+
+// Obs exposes the tier's metrics registry.
+func (t *Tier) Obs() *obs.Registry { return t.obsreg }
+
+// Series exposes the tier's scrape series (windowed rate queries).
+func (t *Tier) Series() *obs.SeriesSet { return t.series }
+
+// ShardNames lists the configured shards, sorted.
+func (t *Tier) ShardNames() []string {
+	out := make([]string, 0, len(t.shards))
+	for n := range t.shards {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ShardURL reports where a shard serves ("" when unknown).
+func (t *Tier) ShardURL(name string) string {
+	if sh, ok := t.shards[name]; ok {
+		return sh.url
+	}
+	return ""
+}
+
+// countError bumps the error counter and writes the envelope.
+func (t *Tier) countError(w http.ResponseWriter, status int, err error) {
+	t.errors.Add(1)
+	api.WriteError(w, status, err)
+}
+
+// fail writes a classified error, deriving the status from its code.
+func (t *Tier) fail(w http.ResponseWriter, err error) {
+	t.countError(w, cberr.HTTPStatus(err), err)
+}
+
+// shed records one load-shed under its reason label and returns the
+// classified verdict for the wire.
+func (t *Tier) shed(reason string, err error) error {
+	t.obsreg.Counter("confbench_fronttier_sheds_total", "reason", reason).Inc()
+	return err
+}
+
+// tenantOf reads the request's tenant identity.
+func tenantOf(r *http.Request) string {
+	if ten := r.Header.Get(api.HeaderTenant); ten != "" {
+		return ten
+	}
+	return api.TenantDefault
+}
+
+// routeOrder resolves key's shard walk: ring successor order with
+// bounded-load applied — the first in-bound shard leads, the walk
+// continues in ring order.
+func (t *Tier) routeOrder(key string) []*shard {
+	names := t.ring.Successors(key)
+	if len(names) == 0 {
+		return nil
+	}
+	first := t.ring.PickBounded(key, func(name string) int64 {
+		if sh, ok := t.shards[name]; ok {
+			return sh.load.Load()
+		}
+		return 0
+	}, t.loadFactor)
+	out := make([]*shard, 0, len(names))
+	if sh, ok := t.shards[first]; ok {
+		out = append(out, sh)
+	}
+	for _, n := range names {
+		if n == first {
+			continue
+		}
+		if sh, ok := t.shards[n]; ok {
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+// enqueue claims one of sh's dispatch slots, waiting in its bounded
+// admission queue. A full queue (or a canceled wait) returns the shed
+// verdict with drain-time retry advice.
+func (t *Tier) enqueue(ctx context.Context, sh *shard) (func(), error) {
+	if sh.waiting.Load() >= t.queueDepth {
+		return nil, t.queueFullError(sh)
+	}
+	sh.waiting.Add(1)
+	t.obsreg.Gauge("confbench_fronttier_queue_depth", "shard", sh.name).Set(sh.waiting.Load())
+	defer func() {
+		sh.waiting.Add(-1)
+		t.obsreg.Gauge("confbench_fronttier_queue_depth", "shard", sh.name).Set(sh.waiting.Load())
+	}()
+	select {
+	case sh.slots <- struct{}{}:
+		sh.load.Add(1)
+		return func() {
+			sh.load.Add(-1)
+			<-sh.slots
+		}, nil
+	case <-ctx.Done():
+		return nil, cberr.From(ctx.Err(), cberr.LayerFront)
+	}
+}
+
+// queueFullError is the shed verdict for a saturated shard queue,
+// advising retry after the queue's estimated drain time.
+func (t *Tier) queueFullError(sh *shard) error {
+	lat := time.Duration(sh.latencyNs.Load())
+	if lat <= 0 {
+		lat = 10 * time.Millisecond
+	}
+	drain := lat * time.Duration(sh.waiting.Load()+1) / time.Duration(cap(sh.slots))
+	if drain < 10*time.Millisecond {
+		drain = 10 * time.Millisecond
+	}
+	err := cberr.Newf(cberr.CodeUnavailable, cberr.LayerFront,
+		"fronttier: shard %s admission queue full (%d waiting)", sh.name, sh.waiting.Load())
+	return cberr.WithRetryAfter(err, drain)
+}
+
+// forward walks key's shard order and runs call against the first
+// available shard, failing over along the successor walk on retryable
+// failures with breaker accounting — the shard-level mirror of the
+// gateway's endpoint dispatch. When every shard's breaker is open the
+// verdict is a shed naming the open shards, with the soonest breaker
+// re-admission as retry advice.
+func (t *Tier) forward(ctx context.Context, key string, call func(context.Context, *shard) error) error {
+	order := t.routeOrder(key)
+	if len(order) == 0 {
+		return cberr.Wrap(cberr.CodeUnavailable, cberr.LayerFront, ErrNoShards)
+	}
+	var lastErr error
+	var open []string
+	var soonest time.Duration
+	var queueErr error
+	attempted := 0
+	for _, sh := range order {
+		now := t.clock()
+		if !sh.breaker.Available(now) {
+			open = append(open, sh.name)
+			if in := sh.breaker.RetryIn(now); in > 0 && (soonest == 0 || in < soonest) {
+				soonest = in
+			}
+			continue
+		}
+		release, err := t.enqueue(ctx, sh)
+		if err != nil {
+			// A saturated queue walks on to the successor; the verdict
+			// only sheds when no shard could take the request.
+			queueErr = err
+			if ctx.Err() != nil {
+				return err
+			}
+			continue
+		}
+		sh.breaker.BeginAttempt(now)
+		if attempted > 0 {
+			t.obsreg.Counter("confbench_fronttier_failovers_total").Inc()
+		}
+		attempted++
+		start := time.Now()
+		err = call(ctx, sh)
+		release()
+		if err == nil {
+			sh.breaker.OnSuccess()
+			sh.observeLatency(time.Since(start))
+			t.obsreg.Counter("confbench_fronttier_invokes_total", "shard", sh.name).Inc()
+			return nil
+		}
+		if cberr.Retryable(err) {
+			sh.breaker.OnFailure(t.clock())
+		}
+		lastErr = err
+		if !cberr.Retryable(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+	if lastErr != nil {
+		return lastErr
+	}
+	if queueErr != nil {
+		return t.shed("queue_full", queueErr)
+	}
+	err := cberr.Newf(cberr.CodeUnavailable, cberr.LayerFront,
+		"fronttier: all shards unavailable — open breakers: %s", strings.Join(open, ", "))
+	return t.shed("shards_open", cberr.WithRetryAfter(err, soonest))
+}
+
+// Invoke routes one synchronous invocation: admission, ring
+// placement, breaker failover.
+func (t *Tier) Invoke(ctx context.Context, tenant string, req api.InvokeRequest) (api.InvokeResponse, error) {
+	release, err := t.admit(tenant)
+	if err != nil {
+		return api.InvokeResponse{}, err
+	}
+	defer release()
+	var resp api.InvokeResponse
+	err = t.forward(ctx, RouteKey(req.Function, tenant), func(ctx context.Context, sh *shard) error {
+		var ferr error
+		resp, ferr = sh.client.Invoke(ctx, req)
+		return ferr
+	})
+	if err != nil {
+		return api.InvokeResponse{}, err
+	}
+	t.invocations.Add(1)
+	return resp, nil
+}
+
+// admit runs tenant admission, mapping each shed onto its reason
+// counter.
+func (t *Tier) admit(tenant string) (func(), error) {
+	release, err := t.admission.Admit(tenant)
+	if err == nil {
+		return release, nil
+	}
+	reason := "tenant_rate"
+	if errors.Is(err, ErrTenantInFlight) {
+		reason = "tenant_inflight"
+	}
+	return nil, t.shed(reason, err)
+}
+
+// SubmitAsync runs the async submission: admission, a pending entry
+// in the result store, and a completion goroutine driving the same
+// forward path as the sync invoke. The admission slot is held until
+// completion, so in-flight quotas count async work.
+func (t *Tier) SubmitAsync(tenant string, req api.InvokeRequest) (api.AsyncSubmitResponse, error) {
+	release, err := t.admit(tenant)
+	if err != nil {
+		return api.AsyncSubmitResponse{}, err
+	}
+	id := "async-" + strconv.FormatUint(t.asyncSeq.Add(1), 10)
+	if err := t.store.Put(id); err != nil {
+		release()
+		shedErr := cberr.WithRetryAfter(
+			cberr.Wrap(cberr.CodeUnavailable, cberr.LayerFront, err), DefaultAsyncTTL)
+		return api.AsyncSubmitResponse{}, t.shed("async_backlog", shedErr)
+	}
+	t.asyncPending.Set(int64(t.store.Pending()))
+	t.asyncWG.Add(1)
+	go func() {
+		defer t.asyncWG.Done()
+		defer release()
+		ctx, cancel := context.WithTimeout(context.Background(), t.asyncTimeout)
+		defer cancel()
+		var resp api.InvokeResponse
+		err := t.forward(ctx, RouteKey(req.Function, tenant), func(ctx context.Context, sh *shard) error {
+			var ferr error
+			resp, ferr = sh.client.Invoke(ctx, req)
+			return ferr
+		})
+		if err != nil {
+			t.errors.Add(1)
+			t.store.Complete(id, nil, api.ErrorEnvelope(err))
+		} else {
+			t.invocations.Add(1)
+			t.store.Complete(id, &resp, nil)
+		}
+		t.asyncPending.Set(int64(t.store.Pending()))
+	}()
+	return api.AsyncSubmitResponse{ID: id, Status: api.AsyncPending}, nil
+}
+
+// Result reads an async invoke's lifecycle record.
+func (t *Tier) Result(id string) (api.AsyncResult, bool) {
+	return t.store.Get(id)
+}
+
+// handleInvoke terminates POST /v1/invoke.
+func (t *Tier) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	var req api.InvokeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		t.fail(w, cberr.Wrap(cberr.CodeInvalid, cberr.LayerFront,
+			fmt.Errorf("decode request: %w", err)))
+		return
+	}
+	resp, err := t.Invoke(r.Context(), tenantOf(r), req)
+	if err != nil {
+		t.fail(w, err)
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleInvokeAsync terminates POST /v1/invoke/async with 202 and the
+// invoke ID.
+func (t *Tier) handleInvokeAsync(w http.ResponseWriter, r *http.Request) {
+	var req api.InvokeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		t.fail(w, cberr.Wrap(cberr.CodeInvalid, cberr.LayerFront,
+			fmt.Errorf("decode request: %w", err)))
+		return
+	}
+	sub, err := t.SubmitAsync(tenantOf(r), req)
+	if err != nil {
+		t.fail(w, err)
+		return
+	}
+	api.WriteJSON(w, http.StatusAccepted, sub)
+}
+
+// handleResult terminates GET /v1/invoke/{id}.
+func (t *Tier) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, ok := t.Result(id)
+	if !ok {
+		t.fail(w, cberr.Newf(cberr.CodeNotFound, cberr.LayerFront,
+			"fronttier: no result for %q (unknown, expired, or evicted)", id))
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, res)
+}
+
+// handleFunctions broadcasts uploads to every shard and serves
+// listings from the first shard that answers. A shard reporting
+// conflict during the broadcast means it already holds the function —
+// that is completion, not failure, so retried broadcasts converge;
+// only an all-shards conflict reports conflict to the caller.
+func (t *Tier) handleFunctions(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req api.UploadRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.fail(w, cberr.Wrap(cberr.CodeInvalid, cberr.LayerFront,
+				fmt.Errorf("decode request: %w", err)))
+			return
+		}
+		conflicts := 0
+		for _, name := range t.ShardNames() {
+			err := t.shards[name].client.Upload(r.Context(), req.Function)
+			switch {
+			case err == nil:
+			case cberr.CodeOf(err) == cberr.CodeConflict:
+				conflicts++
+			default:
+				t.fail(w, err)
+				return
+			}
+		}
+		if conflicts == len(t.shards) {
+			t.fail(w, cberr.Newf(cberr.CodeConflict, cberr.LayerFront,
+				"fronttier: function %q already registered on every shard", req.Function.Name))
+			return
+		}
+		api.WriteJSON(w, http.StatusOK, map[string]string{"registered": req.Function.Name})
+	case http.MethodGet:
+		var lastErr error
+		for _, name := range t.ShardNames() {
+			names, err := t.shards[name].client.Functions(r.Context())
+			if err == nil {
+				api.WriteJSON(w, http.StatusOK, names)
+				return
+			}
+			lastErr = err
+		}
+		t.fail(w, lastErr)
+	default:
+		t.countError(w, http.StatusMethodNotAllowed,
+			cberr.New(cberr.CodeInvalid, cberr.LayerFront, "GET or POST required"))
+	}
+}
+
+// handleAttest routes attestation like an invoke, keyed by platform ×
+// tenant.
+func (t *Tier) handleAttest(w http.ResponseWriter, r *http.Request) {
+	var req api.AttestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		t.fail(w, cberr.Wrap(cberr.CodeInvalid, cberr.LayerFront,
+			fmt.Errorf("decode request: %w", err)))
+		return
+	}
+	tenant := tenantOf(r)
+	release, err := t.admit(tenant)
+	if err != nil {
+		t.fail(w, err)
+		return
+	}
+	defer release()
+	var resp api.AttestResponse
+	err = t.forward(r.Context(), RouteKey("attest\x1f"+string(req.TEE), tenant),
+		func(ctx context.Context, sh *shard) error {
+			var ferr error
+			resp, ferr = sh.client.Attest(ctx, req)
+			return ferr
+		})
+	if err != nil {
+		t.fail(w, err)
+		return
+	}
+	t.attestations.Add(1)
+	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+// handlePools concatenates every shard's pool report in shard-name
+// order.
+func (t *Tier) handlePools(w http.ResponseWriter, r *http.Request) {
+	out := make([]api.PoolInfo, 0, len(t.shards))
+	for _, name := range t.ShardNames() {
+		infos, err := t.shards[name].client.Pools(r.Context())
+		if err != nil {
+			continue // a dead shard hides its pools, never the report
+		}
+		out = append(out, infos...)
+	}
+	api.WriteJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics serves the tier's own request accounting.
+func (t *Tier) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	t.mu.Lock()
+	started := t.started
+	t.mu.Unlock()
+	api.WriteJSON(w, http.StatusOK, api.Metrics{
+		UptimeSeconds: time.Since(started).Seconds(),
+		Invocations:   t.invocations.Load(),
+		Errors:        t.errors.Load(),
+		Attestations:  t.attestations.Load(),
+	})
+}
+
+// handleObs serves the tier's own registry snapshot.
+func (t *Tier) handleObs(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		api.WriteJSON(w, http.StatusOK, t.obsreg.Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = t.obsreg.WritePrometheus(w)
+}
+
+// ScrapeOnce sweeps every shard's registry, merges the snapshots
+// (plus the tier's own under FrontShardLabel) into one cluster view
+// under shard labels, and records the sweep into the scrape series at
+// the given instant. A failed shard is reported and counted, never
+// fatal.
+func (t *Tier) ScrapeOnce(ctx context.Context, at time.Time) obs.ClusterSnapshot {
+	perShard := map[string]obs.Snapshot{FrontShardLabel: t.obsreg.Snapshot()}
+	var scrapeErrs map[string]string
+	for _, name := range t.ShardNames() {
+		snap, err := t.shards[name].client.Obs(ctx)
+		if err != nil {
+			t.obsreg.Counter("confbench_obs_scrape_failures_total", "host", name).Inc()
+			if scrapeErrs == nil {
+				scrapeErrs = make(map[string]string)
+			}
+			scrapeErrs[name] = err.Error()
+			continue
+		}
+		perShard[name] = snap
+	}
+	names := make([]string, 0, len(perShard))
+	for n := range perShard {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	merged := obs.MergeSnapshotsBy("shard", perShard)
+	t.series.RecordSnapshot(at, merged)
+	t.series.Series(obs.RateInvokesPerSec).Record(at, float64(t.invocations.Load()))
+	return obs.ClusterSnapshot{
+		Hosts:        names,
+		ScrapeErrors: scrapeErrs,
+		Merged:       merged,
+	}
+}
+
+// handleObsCluster serves the shard-federated cluster view:
+// Prometheus text by default, JSON via ?format=json, rate window via
+// ?window=N — the same surface the gateway serves for its host view.
+func (t *Tier) handleObsCluster(w http.ResponseWriter, r *http.Request) {
+	window := gateway.DefaultObsWindow
+	if v := r.URL.Query().Get("window"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			t.countError(w, http.StatusBadRequest,
+				cberr.New(cberr.CodeInvalid, cberr.LayerFront, "window must be a non-negative integer"))
+			return
+		}
+		window = n
+	}
+	cs := t.ScrapeOnce(r.Context(), time.Now())
+	cs.Window = window
+	if s := t.series.Get(obs.RateInvokesPerSec); s != nil {
+		cs.Rates = map[string]float64{obs.RateInvokesPerSec: s.Rate(window)}
+	}
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		api.WriteJSON(w, http.StatusOK, cs)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WriteSnapshotPrometheus(w, cs.Merged)
+}
+
+// Start serves the front-tier API on addr ("127.0.0.1:0" for
+// ephemeral) and returns the base URL.
+func (t *Tier) Start(addr string) (string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.listener != nil {
+		return "", errors.New("fronttier: already started")
+	}
+	mux := http.NewServeMux()
+	handleHealth := func(w http.ResponseWriter, _ *http.Request) {
+		api.WriteJSON(w, http.StatusOK, map[string]string{
+			"status": "ok", "shards": strconv.Itoa(len(t.shards)),
+		})
+	}
+	// Method-scoped routes, mounted under /v1 and bare like the
+	// gateway, so either a tier or a gateway can stand behind the same
+	// client.
+	for _, prefix := range []string{api.APIPrefixV1, ""} {
+		mux.HandleFunc("POST "+prefix+api.PathInvokeAsync, t.handleInvokeAsync)
+		mux.HandleFunc("POST "+prefix+api.PathInvoke, t.handleInvoke)
+		mux.HandleFunc("GET "+prefix+api.PathInvoke+"/{id}", t.handleResult)
+		mux.HandleFunc(prefix+api.PathFunctions, t.handleFunctions)
+		mux.HandleFunc("POST "+prefix+api.PathAttest, t.handleAttest)
+		mux.HandleFunc("GET "+prefix+api.PathPools, t.handlePools)
+		mux.HandleFunc("GET "+prefix+api.PathMetrics, t.handleMetrics)
+		mux.HandleFunc("GET "+prefix+api.PathHealth, handleHealth)
+		mux.HandleFunc("GET "+prefix+api.PathObs, t.handleObs)
+		mux.HandleFunc("GET "+prefix+api.PathObsCluster, t.handleObsCluster)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("fronttier: listen %s: %w", addr, err)
+	}
+	t.started = time.Now()
+	t.listener = ln
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	t.server = srv
+	t.baseURL = "http://" + ln.Addr().String()
+	go func() {
+		_ = srv.Serve(ln) // ErrServerClosed on shutdown
+	}()
+	return t.baseURL, nil
+}
+
+// BaseURL returns the served URL (empty before Start).
+func (t *Tier) BaseURL() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.baseURL
+}
+
+// Close shuts the server down and waits for in-flight async
+// completions, so no goroutine outlives the tier.
+func (t *Tier) Close() error {
+	t.mu.Lock()
+	srv := t.server
+	t.server = nil
+	t.listener = nil
+	t.mu.Unlock()
+	var err error
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		err = srv.Shutdown(ctx)
+	}
+	t.asyncWG.Wait()
+	return err
+}

@@ -1,0 +1,169 @@
+package fronttier
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"confbench/internal/api"
+)
+
+// Async result-store defaults.
+const (
+	// DefaultAsyncCapacity bounds how many async results (pending +
+	// retained) the store holds before submissions shed.
+	DefaultAsyncCapacity = 1024
+	// DefaultAsyncTTL is how long a completed result stays pollable.
+	DefaultAsyncTTL = time.Minute
+)
+
+// ErrStoreFull marks an async submission shed because the result
+// backlog is at capacity with nothing evictable (every entry still
+// pending).
+var ErrStoreFull = errors.New("fronttier: async result store full")
+
+// storeEntry is one async invoke's lifecycle record.
+type storeEntry struct {
+	res    api.AsyncResult
+	doneAt time.Time // zero while pending
+}
+
+// ResultStore is the bounded TTL store behind GET /v1/invoke/{id}:
+// submissions insert a pending entry, the completion goroutine fills
+// in the terminal result, and polls read it until the TTL expires.
+// Bounded on purpose — an abandoned poller must not grow the tier's
+// memory without limit. When full, expired and oldest-completed
+// entries evict first; a store full of pending work sheds new
+// submissions instead (those entries are owed to live callers).
+type ResultStore struct {
+	capacity int
+	ttl      time.Duration
+	now      func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*storeEntry
+	order   []string // insertion order: eviction scans oldest-first
+	pending int
+}
+
+// NewResultStore builds a store holding up to capacity results
+// (0 = DefaultAsyncCapacity), each retained ttl past completion
+// (0 = DefaultAsyncTTL), on the injected clock (nil = wall).
+func NewResultStore(capacity int, ttl time.Duration, now func() time.Time) *ResultStore {
+	if capacity <= 0 {
+		capacity = DefaultAsyncCapacity
+	}
+	if ttl <= 0 {
+		ttl = DefaultAsyncTTL
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &ResultStore{
+		capacity: capacity,
+		ttl:      ttl,
+		now:      now,
+		entries:  make(map[string]*storeEntry),
+	}
+}
+
+// Put inserts a pending entry for id, evicting expired and
+// oldest-completed entries to make room. ErrStoreFull when every
+// held entry is still pending.
+func (s *ResultStore) Put(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	if len(s.entries) >= s.capacity && !s.evictOldestDoneLocked() {
+		return ErrStoreFull
+	}
+	s.entries[id] = &storeEntry{res: api.AsyncResult{ID: id, Status: api.AsyncPending}}
+	s.order = append(s.order, id)
+	s.pending++
+	return nil
+}
+
+// Complete records id's terminal result: resp on success, errResp on
+// failure. Completing an evicted or unknown id is a no-op (the poller
+// already lost the race; nothing to serve).
+func (s *ResultStore) Complete(id string, resp *api.InvokeResponse, errResp *api.ErrorResponse) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok || e.res.Status != api.AsyncPending {
+		return
+	}
+	s.pending--
+	e.doneAt = s.now()
+	if errResp != nil {
+		e.res.Status = api.AsyncError
+		e.res.Error = errResp
+		return
+	}
+	e.res.Status = api.AsyncDone
+	e.res.Response = resp
+}
+
+// Get reads id's current lifecycle record. Misses cover never-seen,
+// evicted, and TTL-expired ids alike.
+func (s *ResultStore) Get(id string) (api.AsyncResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	e, ok := s.entries[id]
+	if !ok {
+		return api.AsyncResult{}, false
+	}
+	return e.res, true
+}
+
+// Pending reports how many stored invokes are still executing.
+func (s *ResultStore) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}
+
+// Len reports the live entry count (pending + retained).
+func (s *ResultStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	return len(s.entries)
+}
+
+// sweepLocked drops completed entries past their TTL. Caller holds
+// s.mu.
+func (s *ResultStore) sweepLocked() {
+	now := s.now()
+	kept := s.order[:0]
+	for _, id := range s.order {
+		e, ok := s.entries[id]
+		if !ok {
+			continue
+		}
+		if !e.doneAt.IsZero() && now.Sub(e.doneAt) >= s.ttl {
+			delete(s.entries, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// evictOldestDoneLocked drops the oldest completed entry, reporting
+// whether it made room. Caller holds s.mu.
+func (s *ResultStore) evictOldestDoneLocked() bool {
+	for i, id := range s.order {
+		e, ok := s.entries[id]
+		if !ok {
+			continue
+		}
+		if e.res.Status != api.AsyncPending {
+			delete(s.entries, id)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package fronttier
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"confbench/internal/api"
+)
+
+// TestResultStoreLifecycle: pending → done with the response, and
+// pending → error with the envelope.
+func TestResultStoreLifecycle(t *testing.T) {
+	s := NewResultStore(0, 0, nil)
+	if err := s.Put("a"); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := s.Get("a")
+	if !ok || res.Status != api.AsyncPending {
+		t.Fatalf("fresh entry = %+v ok=%v, want pending", res, ok)
+	}
+	s.Complete("a", &api.InvokeResponse{Output: "out", WallNs: 7}, nil)
+	res, ok = s.Get("a")
+	if !ok || res.Status != api.AsyncDone || res.Response == nil || res.Response.WallNs != 7 {
+		t.Fatalf("completed entry = %+v", res)
+	}
+
+	if err := s.Put("b"); err != nil {
+		t.Fatal(err)
+	}
+	s.Complete("b", nil, &api.ErrorResponse{Error: "boom", Code: "unavailable"})
+	res, _ = s.Get("b")
+	if res.Status != api.AsyncError || res.Error == nil || res.Error.Error != "boom" {
+		t.Fatalf("failed entry = %+v", res)
+	}
+	// Completing twice (a late duplicate) must not clobber the record.
+	s.Complete("b", &api.InvokeResponse{}, nil)
+	if res, _ = s.Get("b"); res.Status != api.AsyncError {
+		t.Fatalf("duplicate completion clobbered the record: %+v", res)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", s.Pending())
+	}
+}
+
+// TestResultStoreTTL: completed results expire ttl after completion;
+// pending entries never expire.
+func TestResultStoreTTL(t *testing.T) {
+	ck := newClock()
+	s := NewResultStore(8, time.Minute, ck.now)
+	_ = s.Put("done")
+	_ = s.Put("stuck")
+	s.Complete("done", &api.InvokeResponse{}, nil)
+	ck.advance(59 * time.Second)
+	if _, ok := s.Get("done"); !ok {
+		t.Fatal("result expired before its TTL")
+	}
+	ck.advance(2 * time.Second)
+	if _, ok := s.Get("done"); ok {
+		t.Fatal("result survived past its TTL")
+	}
+	if _, ok := s.Get("stuck"); !ok {
+		t.Fatal("pending entry must not expire")
+	}
+}
+
+// TestResultStoreBounded: at capacity the oldest completed entry
+// evicts; a store full of pending work sheds the submission instead.
+func TestResultStoreBounded(t *testing.T) {
+	s := NewResultStore(3, time.Hour, nil)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("p%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put("overflow"); !errors.Is(err, ErrStoreFull) {
+		t.Fatalf("all-pending overflow err = %v, want ErrStoreFull", err)
+	}
+	s.Complete("p0", &api.InvokeResponse{}, nil)
+	s.Complete("p1", &api.InvokeResponse{}, nil)
+	if err := s.Put("new"); err != nil {
+		t.Fatalf("put with evictable entries: %v", err)
+	}
+	if _, ok := s.Get("p0"); ok {
+		t.Fatal("oldest completed entry survived eviction")
+	}
+	if _, ok := s.Get("p1"); !ok {
+		t.Fatal("eviction took more than it needed")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want capacity 3", s.Len())
+	}
+}

@@ -45,11 +45,12 @@ const (
 	DefaultBreakerCooldown = time.Second
 )
 
-// breaker is the per-endpoint consecutive-failure circuit breaker.
-// Only infrastructure failures (retryable per the cberr taxonomy)
-// count; a request rejected as invalid says nothing about endpoint
-// health.
-type breaker struct {
+// Breaker is a consecutive-failure circuit breaker. The gateway hangs
+// one off every pool endpoint, and the front tier reuses the same
+// machinery for shard-level failover. Only infrastructure failures
+// (retryable per the cberr taxonomy) count; a request rejected as
+// invalid says nothing about endpoint health.
+type Breaker struct {
 	threshold int
 	cooldown  time.Duration
 	gauge     *obs.Gauge
@@ -61,30 +62,32 @@ type breaker struct {
 	probing  bool
 }
 
-func newBreaker(threshold int, cooldown time.Duration, gauge *obs.Gauge) *breaker {
+// NewBreaker builds a closed breaker publishing its state to gauge
+// (nil = unpublished). Zero threshold/cooldown take the defaults.
+func NewBreaker(threshold int, cooldown time.Duration, gauge *obs.Gauge) *Breaker {
 	if threshold <= 0 {
 		threshold = DefaultBreakerThreshold
 	}
 	if cooldown <= 0 {
 		cooldown = DefaultBreakerCooldown
 	}
-	return &breaker{threshold: threshold, cooldown: cooldown, gauge: gauge}
+	return &Breaker{threshold: threshold, cooldown: cooldown, gauge: gauge}
 }
 
 // setState transitions and publishes the gauge. Caller holds b.mu.
-func (b *breaker) setState(s BreakerState) {
+func (b *Breaker) setState(s BreakerState) {
 	b.state = s
 	if b.gauge != nil {
 		b.gauge.Set(int64(s))
 	}
 }
 
-// available reports whether the endpoint is a routing candidate right
+// Available reports whether the endpoint is a routing candidate right
 // now: closed, open with the cooldown elapsed (probe-eligible), or
 // half-open with no probe in flight. Read-only — the open→half-open
-// transition happens in beginAttempt so that merely being considered
+// transition happens in BeginAttempt so that merely being considered
 // by the policy does not consume the probe slot.
-func (b *breaker) available(now time.Time) bool {
+func (b *Breaker) Available(now time.Time) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -97,9 +100,33 @@ func (b *breaker) available(now time.Time) bool {
 	}
 }
 
-// beginAttempt marks the picked endpoint as carrying a request,
+// RetryIn reports how long until the breaker could next admit a
+// request: 0 when it is available now, the remaining cooldown when
+// open, and one full cooldown while a half-open probe is in flight
+// (the probe's verdict decides sooner, but its failure re-opens for a
+// cooldown — the pessimistic bound is honest retry advice).
+func (b *Breaker) RetryIn(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if left := b.cooldown - now.Sub(b.openedAt); left > 0 {
+			return left
+		}
+		return 0
+	case BreakerHalfOpen:
+		if b.probing {
+			return b.cooldown
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// BeginAttempt marks the picked endpoint as carrying a request,
 // moving open→half-open when the pick is the post-cooldown probe.
-func (b *breaker) beginAttempt(now time.Time) {
+func (b *Breaker) BeginAttempt(now time.Time) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -113,9 +140,9 @@ func (b *breaker) beginAttempt(now time.Time) {
 	}
 }
 
-// onSuccess resets the failure streak and closes the breaker (a
+// OnSuccess resets the failure streak and closes the breaker (a
 // successful half-open probe recovers the endpoint).
-func (b *breaker) onSuccess() {
+func (b *Breaker) OnSuccess() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.failures = 0
@@ -125,9 +152,9 @@ func (b *breaker) onSuccess() {
 	}
 }
 
-// onFailure extends the failure streak, tripping the breaker at the
+// OnFailure extends the failure streak, tripping the breaker at the
 // threshold; a failed half-open probe re-opens immediately.
-func (b *breaker) onFailure(now time.Time) {
+func (b *Breaker) OnFailure(now time.Time) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.failures++
@@ -139,7 +166,7 @@ func (b *breaker) onFailure(now time.Time) {
 }
 
 // State reads the current breaker position.
-func (b *breaker) State() BreakerState {
+func (b *Breaker) State() BreakerState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state

@@ -2,10 +2,13 @@ package gateway
 
 import (
 	"context"
+	"errors"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
+	"confbench/internal/cberr"
 	"confbench/internal/hostagent"
 	"confbench/internal/obs"
 	"confbench/internal/tee"
@@ -79,18 +82,18 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
-			b := newBreaker(3, time.Second, nil)
+			b := NewBreaker(3, time.Second, nil)
 			for i, s := range tc.steps {
 				now := t0.Add(s.at)
 				switch s.op {
 				case "fail":
-					b.onFailure(now)
+					b.OnFailure(now)
 				case "ok":
-					b.onSuccess()
+					b.OnSuccess()
 				case "attempt":
-					b.beginAttempt(now)
+					b.BeginAttempt(now)
 				case "avail?":
-					if got := b.available(now); got != s.wantAvail {
+					if got := b.Available(now); got != s.wantAvail {
 						t.Fatalf("step %d: available = %v, want %v", i, got, s.wantAvail)
 					}
 					continue
@@ -118,12 +121,12 @@ func stepAsserted(s struct {
 func TestBreakerGaugeTracksState(t *testing.T) {
 	reg := obs.New()
 	g := reg.Gauge("confbench_breaker_state", "vm", "v")
-	b := newBreaker(1, time.Second, g)
-	b.onFailure(time.Now())
+	b := NewBreaker(1, time.Second, g)
+	b.OnFailure(time.Now())
 	if g.Value() != int64(BreakerOpen) {
 		t.Errorf("gauge = %d after trip, want %d", g.Value(), BreakerOpen)
 	}
-	b.onSuccess()
+	b.OnSuccess()
 	if g.Value() != int64(BreakerClosed) {
 		t.Errorf("gauge = %d after recover, want %d", g.Value(), BreakerClosed)
 	}
@@ -201,7 +204,7 @@ func TestAcquireSkipsOpenBreakers(t *testing.T) {
 			h1 = e
 		}
 	}
-	h1.breaker.onFailure(time.Now())
+	h1.breaker.OnFailure(time.Now())
 	if h1.BreakerState() != BreakerOpen {
 		t.Fatal("h1 should be open at threshold 1")
 	}
@@ -222,7 +225,7 @@ func TestAcquireSkipsOpenBreakers(t *testing.T) {
 	// Trip h2 as well: all matching endpoints unhealthy.
 	for _, e := range p.entries {
 		if e.Host == "h2" {
-			e.breaker.onFailure(time.Now())
+			e.breaker.OnFailure(time.Now())
 		}
 	}
 	if _, err := p.Acquire(context.Background(), true); err == nil {
@@ -250,5 +253,67 @@ func TestAcquireAvoiding(t *testing.T) {
 			t.Fatal("AcquireAvoiding returned the avoided entry")
 		}
 		co.Release()
+	}
+}
+
+// TestAllUnhealthyNamesOpenBreakers: the shed verdict for a pool whose
+// every breaker is open must name the tripped endpoints (host/vm) so a
+// postmortem can attribute the shed to breaker trips, classify as
+// retryable unavailable, keep ErrAllUnhealthy matchable, and advise
+// the soonest breaker re-admission as RetryAfter.
+func TestAllUnhealthyNamesOpenBreakers(t *testing.T) {
+	p := NewPool(tee.KindSEV, nil, obs.New(), WithBreaker(1, time.Hour))
+	p.Add("h1", hostagent.Endpoint{Addr: "a:1", Secure: true, TEE: tee.KindSEV, VMName: "v1"})
+	p.Add("h2", hostagent.Endpoint{Addr: "a:2", Secure: true, TEE: tee.KindSEV, VMName: "v2"})
+	for _, e := range p.entries {
+		e.breaker.OnFailure(time.Now())
+	}
+
+	_, err := p.Acquire(context.Background(), true)
+	if err == nil {
+		t.Fatal("Acquire with all breakers open should fail")
+	}
+	if !errors.Is(err, ErrAllUnhealthy) {
+		t.Fatalf("err = %v, want errors.Is ErrAllUnhealthy", err)
+	}
+	if cberr.CodeOf(err) != cberr.CodeUnavailable {
+		t.Fatalf("code = %s, want unavailable", cberr.CodeOf(err))
+	}
+	if !cberr.Retryable(err) {
+		t.Fatalf("shed verdict not retryable: %v", err)
+	}
+	for _, name := range []string{"h1/v1", "h2/v2"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("shed message %q does not name open breaker %s", err, name)
+		}
+	}
+	ra := cberr.RetryAfterOf(err)
+	if ra <= 0 || ra > time.Hour {
+		t.Fatalf("RetryAfter = %v, want within the 1h cooldown", ra)
+	}
+}
+
+// TestRetryIn: remaining cooldown while open, zero once probe-eligible
+// or closed, a full cooldown while a probe is in flight.
+func TestRetryIn(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := NewBreaker(1, 10*time.Second, nil)
+	if got := b.RetryIn(t0); got != 0 {
+		t.Fatalf("closed RetryIn = %v, want 0", got)
+	}
+	b.OnFailure(t0)
+	if got := b.RetryIn(t0.Add(3 * time.Second)); got != 7*time.Second {
+		t.Fatalf("open RetryIn = %v, want 7s", got)
+	}
+	if got := b.RetryIn(t0.Add(11 * time.Second)); got != 0 {
+		t.Fatalf("probe-eligible RetryIn = %v, want 0", got)
+	}
+	b.BeginAttempt(t0.Add(11 * time.Second)) // open → half-open probe
+	if got := b.RetryIn(t0.Add(11 * time.Second)); got != 10*time.Second {
+		t.Fatalf("probing RetryIn = %v, want the full 10s cooldown", got)
+	}
+	b.OnSuccess()
+	if got := b.RetryIn(t0.Add(12 * time.Second)); got != 0 {
+		t.Fatalf("recovered RetryIn = %v, want 0", got)
 	}
 }

@@ -394,12 +394,25 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("decode request: %w", err)))
 		return
 	}
-	fn, err := g.db.Lookup(req.Function)
+	resp, err := g.Invoke(r.Context(), req)
 	if err != nil {
-		g.fail(w, cberr.Wrap(cberr.CodeNotFound, cberr.LayerGateway, err))
+		g.fail(w, err)
 		return
 	}
-	ctx := r.Context()
+	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+// Invoke runs one invocation through the full gateway pipeline —
+// lookup, pool pick, health-aware dispatch with one alternate-endpoint
+// retry, flight-recorder event, exemplared latency histogram, optional
+// trace grafting. handleInvoke is a thin HTTP shell around it, and the
+// front tier's shards drive the same method, so the sharded and
+// single-gateway paths cannot drift apart.
+func (g *Gateway) Invoke(ctx context.Context, req api.InvokeRequest) (api.InvokeResponse, error) {
+	fn, err := g.db.Lookup(req.Function)
+	if err != nil {
+		return api.InvokeResponse{}, cberr.Wrap(cberr.CodeNotFound, cberr.LayerGateway, err)
+	}
 	var root *obs.Span
 	if req.Trace {
 		ctx, root = obs.NewRoot(ctx, "gateway", api.PathV1Invoke)
@@ -408,8 +421,7 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	}
 	pool, err := g.pickPool(req.TEE, req.Secure)
 	if err != nil {
-		g.fail(w, err)
-		return
+		return api.InvokeResponse{}, err
 	}
 	// Every invoke gets a deterministic flight-recorder ID: the
 	// exemplar on the latency histogram and the recorded event share
@@ -453,8 +465,7 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			// even if nobody polls /obs/events before the ring wraps.
 			g.writePostmortem(ev)
 		}
-		g.fail(w, err)
-		return
+		return api.InvokeResponse{}, err
 	}
 	g.recorder.Record(ev)
 	g.obsreg.Histogram("confbench_invoke_seconds", "tee", string(pool.TEE)).
@@ -470,7 +481,7 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	resp.Host = entry.Host
 	g.invocations.Add(1)
 	g.poolCounter(pool.TEE).Add(1)
-	api.WriteJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // dispatch runs one forwarded exchange with endpoint health
@@ -513,14 +524,14 @@ func (g *Gateway) dispatch(ctx context.Context, pool *Pool, secure bool, path st
 		hop.End()
 		co.Release()
 		if err == nil {
-			entry.breaker.onSuccess()
+			entry.breaker.OnSuccess()
 			return entry, hop, attempts, nil
 		}
 		if cberr.Retryable(err) {
 			// Only infrastructure failures count against the breaker;
 			// a request the guest rejected as invalid says nothing
 			// about endpoint health.
-			entry.breaker.onFailure(time.Now())
+			entry.breaker.OnFailure(time.Now())
 		}
 		lastErr = err
 		if !cberr.Retryable(err) || ctx.Err() != nil {

@@ -18,11 +18,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"confbench/internal/api"
+	"confbench/internal/cberr"
 	"confbench/internal/hostagent"
 	"confbench/internal/obs"
 	"confbench/internal/tee"
@@ -43,7 +45,7 @@ type Entry struct {
 	Host     string
 	Endpoint hostagent.Endpoint
 	inFlight atomic.Int64
-	breaker  *breaker
+	breaker  *Breaker
 }
 
 // InFlight returns the endpoint's current in-flight request count.
@@ -161,7 +163,7 @@ func (p *Pool) Add(host string, ep hostagent.Endpoint) {
 	p.entries = append(p.entries, &Entry{
 		Host:     host,
 		Endpoint: ep,
-		breaker:  newBreaker(p.breakerThreshold, p.breakerCooldown, gauge),
+		breaker:  NewBreaker(p.breakerThreshold, p.breakerCooldown, gauge),
 	})
 }
 
@@ -257,12 +259,17 @@ func (p *Pool) AcquireAvoiding(ctx context.Context, secure bool, avoid *Entry) (
 	p.mu.RLock()
 	matching := 0
 	candidates := make([]*Entry, 0, len(p.entries))
+	var tripped []*Entry // matching endpoints an open/probing breaker blocked
 	for _, e := range p.entries {
 		if e.Endpoint.Secure != secure {
 			continue
 		}
 		matching++
-		if e == avoid || !e.breaker.available(start) {
+		if e == avoid {
+			continue
+		}
+		if !e.breaker.Available(start) {
+			tripped = append(tripped, e)
 			continue
 		}
 		candidates = append(candidates, e)
@@ -288,14 +295,13 @@ func (p *Pool) AcquireAvoiding(ctx context.Context, secure bool, avoid *Entry) (
 	if len(candidates) == 0 {
 		if matching > 0 {
 			span.SetAttr("error", "all endpoints unhealthy")
-			return nil, fmt.Errorf("%w: %s secure=%v (%d endpoints)",
-				ErrAllUnhealthy, p.TEE, secure, matching)
+			return nil, p.allUnhealthyError(secure, matching, tripped, start)
 		}
 		span.SetAttr("error", "no endpoint")
 		return nil, fmt.Errorf("%w: %s secure=%v", ErrNoEndpoint, p.TEE, secure)
 	}
 	e := candidates[p.policy.Pick(candidates)]
-	e.breaker.beginAttempt(start)
+	e.breaker.BeginAttempt(start)
 	e.inFlight.Add(1)
 	p.checkouts.Inc()
 	p.waitHist.Observe(time.Since(start))
@@ -306,6 +312,30 @@ func (p *Pool) AcquireAvoiding(ctx context.Context, secure bool, avoid *Entry) (
 		span.SetAttr("breaker", "half-open probe")
 	}
 	return &Checkout{Entry: e, pool: p}, nil
+}
+
+// allUnhealthyError builds the shed verdict for a pool whose every
+// matching endpoint is blocked. The message names the open breakers
+// (host/vm) so postmortems can attribute the shed to breaker trips
+// rather than admission-control load shedding, and the error carries
+// the soonest breaker re-admission as RetryAfter advice. errors.Is
+// against ErrAllUnhealthy keeps holding through the classification.
+func (p *Pool) allUnhealthyError(secure bool, matching int, tripped []*Entry, now time.Time) error {
+	names := make([]string, 0, len(tripped))
+	var soonest time.Duration
+	for _, e := range tripped {
+		names = append(names, e.Host+"/"+e.Endpoint.VMName)
+		if in := e.breaker.RetryIn(now); in > 0 && (soonest == 0 || in < soonest) {
+			soonest = in
+		}
+	}
+	detail := fmt.Sprintf("%d endpoints", matching)
+	if len(names) > 0 {
+		detail = "open breakers: " + strings.Join(names, ", ")
+	}
+	err := cberr.Wrap(cberr.CodeUnavailable, cberr.LayerPool,
+		fmt.Errorf("%w: %s secure=%v (%s)", ErrAllUnhealthy, p.TEE, secure, detail))
+	return cberr.WithRetryAfter(err, soonest)
 }
 
 // Release returns an acquired checkout; idempotent and nil-safe.

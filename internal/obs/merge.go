@@ -93,26 +93,35 @@ func WithLabel(id, key, value string) string {
 // unique per host, so the merged view is independent of scrape
 // arrival order — rendering it is byte-identical across runs.
 func MergeSnapshots(hosts map[string]Snapshot) Snapshot {
+	return MergeSnapshotsBy("host", hosts)
+}
+
+// MergeSnapshotsBy is MergeSnapshots with the identity label chosen by
+// the caller: the gateway federates host agents under "host", and the
+// front tier federates whole gateway shards under "shard". Snapshots
+// already carrying the label (a shard's own host-federated view) keep
+// the inner pair as "exported_<label>", Prometheus-federation style.
+func MergeSnapshotsBy(label string, snaps map[string]Snapshot) Snapshot {
 	merged := Snapshot{
 		Counters:   make(map[string]uint64),
 		Gauges:     make(map[string]int64),
 		Histograms: make(map[string]HistogramSnapshot),
 	}
-	names := make([]string, 0, len(hosts))
-	for h := range hosts {
+	names := make([]string, 0, len(snaps))
+	for h := range snaps {
 		names = append(names, h)
 	}
 	sort.Strings(names)
-	for _, host := range names {
-		snap := hosts[host]
+	for _, name := range names {
+		snap := snaps[name]
 		for id, v := range snap.Counters {
-			merged.Counters[WithLabel(id, "host", host)] = v
+			merged.Counters[WithLabel(id, label, name)] = v
 		}
 		for id, v := range snap.Gauges {
-			merged.Gauges[WithLabel(id, "host", host)] = v
+			merged.Gauges[WithLabel(id, label, name)] = v
 		}
 		for id, h := range snap.Histograms {
-			merged.Histograms[WithLabel(id, "host", host)] = h
+			merged.Histograms[WithLabel(id, label, name)] = h
 		}
 	}
 	return merged

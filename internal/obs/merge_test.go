@@ -237,3 +237,27 @@ func use(r reg) {
 		t.Errorf("violations = %v, want 3", violations)
 	}
 }
+
+// TestMergeSnapshotsBy: the front tier federates whole gateway shards
+// under a "shard" label; a snapshot already carrying that label (a
+// shard's own federated view) keeps the inner pair as exported_shard.
+func TestMergeSnapshotsBy(t *testing.T) {
+	merged := MergeSnapshotsBy("shard", map[string]Snapshot{
+		"shard-0": hostSnap(4),
+		"shard-1": hostSnap(6),
+	})
+	if got := merged.Counters[`confbench_hostagent_requests_total{shard="shard-0",vm="vm-a"}`]; got != 4 {
+		t.Errorf("shard-0 counter = %d, want 4", got)
+	}
+	if got := merged.Counters[`confbench_hostagent_requests_total{shard="shard-1",vm="vm-a"}`]; got != 6 {
+		t.Errorf("shard-1 counter = %d, want 6", got)
+	}
+	// Collision: an inner shard label survives as exported_shard.
+	inner := Snapshot{
+		Counters: map[string]uint64{`confbench_x_total{shard="inner"}`: 1},
+	}
+	m2 := MergeSnapshotsBy("shard", map[string]Snapshot{"outer": inner})
+	if _, ok := m2.Counters[`confbench_x_total{exported_shard="inner",shard="outer"}`]; !ok {
+		t.Errorf("inner shard label not preserved as exported_shard; got %v", m2.Counters)
+	}
+}
