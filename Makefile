@@ -5,16 +5,25 @@ GO ?= go
 # the front tier (admission queues, shard breakers, async completion
 # goroutines), the retrying HTTP client, the fault plane, the sharded
 # metrics registry, and the warm guest pool's refill goroutine.
-RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/fronttier/... ./internal/api/... ./internal/obs/... ./internal/faultplane/... ./internal/hostagent/...
+RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/fronttier/... ./internal/api/... ./internal/obs/... ./internal/faultplane/... ./internal/hostagent/... ./internal/wire/...
 
 # Packages held to the coverage floor: the statistics toolkit every
 # reported number flows through, the gateway dispatch path, the
 # sharded front tier, the warm-pool/snapshot-cache subsystem, and the
 # telemetry plane.
 COVER_FLOOR ?= 70
-COVER_PKGS = ./internal/stats ./internal/gateway ./internal/fronttier ./internal/hostagent ./internal/vm ./internal/obs
+COVER_PKGS = ./internal/stats ./internal/gateway ./internal/fronttier ./internal/hostagent ./internal/vm ./internal/obs ./internal/wire
 
-.PHONY: build test vet race cover cover-floor fuzz-smoke obs-smoke chaos-smoke telemetry-smoke fronttier-smoke lint-metrics verify
+# The relay benchmark suite behind the committed perf trajectory
+# (BENCH_relay.json). Iterations are pinned so baseline and gate runs
+# measure identical work; each benchmark runs BENCH_COUNT times and
+# benchgate keeps the best sample per metric, absorbing machine noise.
+BENCH_TIME ?= 2000x
+BENCH_COUNT ?= 3
+BENCH_RUN = $(GO) test -run xxx -bench 'BenchmarkWireTransportInvoke|BenchmarkCodec|BenchmarkTransportRoundTrip' \
+	-benchmem -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . ./internal/wire
+
+.PHONY: build test vet race cover cover-floor fuzz-smoke bench bench-gate obs-smoke chaos-smoke telemetry-smoke fronttier-smoke lint-metrics verify
 
 build:
 	$(GO) build ./...
@@ -51,6 +60,19 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz 'FuzzParseSpec$$' -fuzztime 5s ./internal/faultplane
 	$(GO) test -run xxx -fuzz 'FuzzParseSpecs$$' -fuzztime 5s ./internal/faultplane
 	$(GO) test -run xxx -fuzz 'FuzzWireDecode$$' -fuzztime 5s ./internal/api
+	$(GO) test -run xxx -fuzz 'FuzzWireFrame$$' -fuzztime 5s ./internal/wire
+
+# Refresh the committed relay perf trajectory. Refuses to write a
+# baseline where binary is not >= 2x httpjson invokes/s at <= 25% of
+# its allocs/op on the e2e invoke pair.
+bench:
+	$(BENCH_RUN) | $(GO) run ./tools/benchgate -update -out BENCH_relay.json
+
+# Enforce the committed trajectory: a fresh seed-pinned run must stay
+# within 10% on allocs/op and 15% on invokes/s of BENCH_relay.json,
+# and the binary-vs-httpjson e2e claim must still hold.
+bench-gate:
+	$(BENCH_RUN) | $(GO) run ./tools/benchgate -gate -baseline BENCH_relay.json
 
 # End-to-end observability check: boot a cluster, run a mixed batch of
 # invocations, and assert the /v1/obs plane (route counters, pool
@@ -89,6 +111,6 @@ lint-metrics:
 
 # Full pre-merge check: compile, vet, unit tests, the race detector
 # over the concurrency-sensitive packages, the coverage floor, the
-# metric-naming lint, and the observability/chaos/telemetry/front-tier
-# smokes.
-verify: build vet test race cover-floor lint-metrics obs-smoke chaos-smoke telemetry-smoke fronttier-smoke
+# metric-naming lint, the observability/chaos/telemetry/front-tier
+# smokes, and the committed relay perf trajectory.
+verify: build vet test race cover-floor lint-metrics obs-smoke chaos-smoke telemetry-smoke fronttier-smoke bench-gate

@@ -445,3 +445,44 @@ func BenchmarkBootCosts(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWireTransportInvoke is the committed relay trajectory
+// (BENCH_relay.json): one synchronous invoke per iteration through the
+// full pipeline — client, front tier, gateway shard, guest server —
+// once per hop carrier. The bench-gate target holds binary to at least
+// 2x the httpjson invoke rate and at most 25% of its allocations.
+func BenchmarkWireTransportInvoke(b *testing.B) {
+	for _, transport := range []string{"httpjson", "binary"} {
+		b.Run(transport, func(b *testing.B) {
+			c, err := confbench.New(
+				confbench.WithTEEs(confbench.KindSEV),
+				confbench.WithSeed(7),
+				confbench.WithGuestMemoryMB(8),
+				confbench.WithTransport(transport),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			ctx := context.Background()
+			client := c.Client()
+			if err := client.Upload(ctx, confbench.Function{Name: "wirebench", Language: "go", Workload: "fib"}); err != nil {
+				b.Fatal(err)
+			}
+			req := api.InvokeRequest{Function: "wirebench", Scale: 5}
+			// One warm-up invoke keeps pool spin-up off the clock.
+			if _, err := client.Invoke(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Invoke(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "invokes/s")
+		})
+	}
+}

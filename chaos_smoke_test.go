@@ -11,12 +11,17 @@ import (
 	"confbench/internal/obs"
 )
 
+// smokeTransports parametrizes the end-to-end smokes over both hop
+// carriers: every scenario must hold identically whether the pipeline
+// rides JSON-over-HTTP or the binary wire protocol.
+var smokeTransports = []string{"httpjson", "binary"}
+
 // chaosRun boots a two-host SEV pool with every exec on the first
 // host erroring, fires 100 invocations, and returns the injected
 // fault history plus the client-visible failure count and the final
 // obs snapshot. It is the repeatable unit behind the smoke's two
 // assertions: graceful degradation and seed determinism.
-func chaosRun(t *testing.T, seed int64) (history []faultplane.Injection, failures int, snap obs.Snapshot) {
+func chaosRun(t *testing.T, seed int64, transport string) (history []faultplane.Injection, failures int, snap obs.Snapshot) {
 	t.Helper()
 	plane := confbench.NewFaultPlane(seed)
 	specs, err := confbench.ParseFaultSpecs("hostagent.exec:error:1.0:host=sev-snp-host")
@@ -36,6 +41,7 @@ func chaosRun(t *testing.T, seed int64) (history []faultplane.Injection, failure
 		confbench.WithObsRegistry(reg),
 		confbench.WithFaultPlane(plane),
 		confbench.WithHostsPerTEE(2),
+		confbench.WithTransport(transport),
 		// The hour-long cooldown pins tripped breakers open for the
 		// final assertions — no half-open probe can race the snapshot.
 		confbench.WithBreakerThreshold(3, time.Hour),
@@ -77,7 +83,13 @@ func chaosRun(t *testing.T, seed int64) (history []faultplane.Injection, failure
 // breaker gauges in /v1/obs. The same seed must reproduce the
 // identical injected-fault sequence.
 func TestChaosSmoke(t *testing.T) {
-	history, failures, snap := chaosRun(t, 42)
+	for _, transport := range smokeTransports {
+		t.Run(transport, func(t *testing.T) { chaosSmoke(t, transport) })
+	}
+}
+
+func chaosSmoke(t *testing.T, transport string) {
+	history, failures, snap := chaosRun(t, 42, transport)
 
 	if failures != 0 {
 		t.Errorf("client-visible failures = %d, want 0 (healthy host must absorb the traffic)", failures)
@@ -121,7 +133,7 @@ func TestChaosSmoke(t *testing.T) {
 
 	// Determinism: a second full run with the same seed reproduces the
 	// identical injected-fault sequence, injection for injection.
-	history2, _, _ := chaosRun(t, 42)
+	history2, _, _ := chaosRun(t, 42, transport)
 	if !reflect.DeepEqual(history, history2) {
 		t.Errorf("same seed produced different fault sequences:\nrun1: %v\nrun2: %v", history, history2)
 	}
@@ -134,6 +146,12 @@ func TestChaosSmoke(t *testing.T) {
 // so the chaos is visible only in the fault history and fallback
 // counters, never to the client.
 func TestChaosSmokeWarmRestoreFallback(t *testing.T) {
+	for _, transport := range smokeTransports {
+		t.Run(transport, func(t *testing.T) { warmRestoreFallback(t, transport) })
+	}
+}
+
+func warmRestoreFallback(t *testing.T, transport string) {
 	plane := confbench.NewFaultPlane(42)
 	specs, err := confbench.ParseFaultSpecs("snapshot.restore:error:1.0")
 	if err != nil {
@@ -153,6 +171,7 @@ func TestChaosSmokeWarmRestoreFallback(t *testing.T) {
 		confbench.WithFaultPlane(plane),
 		confbench.WithWarmPool(2),
 		confbench.WithSnapshotCacheMB(64),
+		confbench.WithTransport(transport),
 	)
 	if err != nil {
 		t.Fatal(err)

@@ -16,12 +16,13 @@ import (
 // wall. Everything reported is virtual time or deterministic
 // counters, and the invocations run serially, so the same seed yields
 // a bit-identical report.
-func fronttierReport(ctx context.Context, seed int64, shards, invokes int, tenant string, async bool) (string, error) {
+func fronttierReport(ctx context.Context, seed int64, shards, invokes int, tenant string, async bool, transport string) (string, error) {
 	reg := confbench.NewObsRegistry()
 	cluster, err := confbench.New(
 		confbench.WithSeed(seed),
 		confbench.WithGuestMemoryMB(16),
 		confbench.WithShards(shards),
+		confbench.WithTransport(transport),
 		confbench.WithObsRegistry(reg),
 	)
 	if err != nil {

@@ -14,11 +14,11 @@ func TestFronttierReportDeterministicPerSeed(t *testing.T) {
 		t.Skip("boots two sharded clusters")
 	}
 	ctx := context.Background()
-	first, err := fronttierReport(ctx, 7, 2, 12, "", true)
+	first, err := fronttierReport(ctx, 7, 2, 12, "", true, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := fronttierReport(ctx, 7, 2, 12, "", true)
+	second, err := fronttierReport(ctx, 7, 2, 12, "", true, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestFronttierReportTenantStamped(t *testing.T) {
 	if testing.Short() {
 		t.Skip("boots a sharded cluster")
 	}
-	out, err := fronttierReport(context.Background(), 3, 2, 6, "acme", false)
+	out, err := fronttierReport(context.Background(), 3, 2, 6, "acme", false, "binary")
 	if err != nil {
 		t.Fatal(err)
 	}

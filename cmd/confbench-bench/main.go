@@ -39,7 +39,9 @@ import (
 
 	"confbench"
 	"confbench/internal/bench"
+	"confbench/internal/profiler"
 	"confbench/internal/tee"
+	"confbench/internal/wire"
 )
 
 func main() {
@@ -71,8 +73,22 @@ func run(ctx context.Context, args []string) error {
 	async := fs.Bool("async", false, "front-tier bench: drive invocations through the async submit→poll path")
 	tenant := fs.String("tenant", "", "front-tier bench: stamp requests with this tenant identity")
 	ftInvokes := fs.Int("invokes", 60, "front-tier bench: invocations to drive")
+	transport := fs.String("transport", "", "pipeline hop carrier: httpjson (default) or binary (persistent multiplexed wire frames)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address while the bench runs (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if !wire.ValidTransport(*transport) {
+		return fmt.Errorf("unknown transport %q (want %q or %q)",
+			*transport, wire.TransportHTTPJSON, wire.TransportBinary)
+	}
+	if *pprofAddr != "" {
+		url, stopProf, err := profiler.Enable(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer stopProf()
+		fmt.Fprintln(os.Stderr, "pprof serving", url)
 	}
 	if *quick {
 		*trials, *scaleDiv, *dbSize, *images = 3, 8, 20, 10
@@ -81,7 +97,7 @@ func run(ctx context.Context, args []string) error {
 		return runChaos(ctx, *chaos, *seed, *chaosInvokes, *obsWindow)
 	}
 	if *shards > 1 {
-		out, err := fronttierReport(ctx, *seed, *shards, *ftInvokes, *tenant, *async)
+		out, err := fronttierReport(ctx, *seed, *shards, *ftInvokes, *tenant, *async, *transport)
 		if err != nil {
 			return err
 		}
@@ -101,6 +117,7 @@ func run(ctx context.Context, args []string) error {
 		confbench.WithSeed(*seed),
 		confbench.WithGuestMemoryMB(16),
 		confbench.WithWorkers(*workers),
+		confbench.WithTransport(*transport),
 	)
 	if err != nil {
 		return err

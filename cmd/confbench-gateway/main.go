@@ -35,6 +35,8 @@ import (
 	"confbench/internal/fronttier"
 	"confbench/internal/gateway"
 	"confbench/internal/hostagent"
+	"confbench/internal/profiler"
+	"confbench/internal/wire"
 )
 
 // hostEntry is one record of the -hosts file.
@@ -60,11 +62,25 @@ func run(args []string) error {
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default)")
 	scrapeInterval := fs.Duration("scrape-interval", 0, "background telemetry scrape period for /v1/obs/cluster series (0 = scrape only on request)")
 	shards := fs.Int("shards", 0, "deploy this many gateway shards behind a front tier served on -addr (embedded mode only, > 1)")
+	transport := fs.String("transport", "", "outbound hop carrier: httpjson (default, JSON over HTTP) or binary (persistent multiplexed wire frames); inbound always accepts both")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *shards > 1 && *hostsFile != "" {
 		return fmt.Errorf("-shards needs the embedded test bed; it cannot shard an external -hosts fleet")
+	}
+	if !wire.ValidTransport(*transport) {
+		return fmt.Errorf("unknown transport %q (want %q or %q)",
+			*transport, wire.TransportHTTPJSON, wire.TransportBinary)
+	}
+	if *pprofAddr != "" {
+		url, stopProf, err := profiler.Enable(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer stopProf()
+		fmt.Fprintln(os.Stderr, "pprof serving", url)
 	}
 
 	var policyFactory func() gateway.Policy
@@ -86,7 +102,7 @@ func run(args []string) error {
 		// host endpoints.
 		cluster, err := confbench.NewCluster(confbench.ClusterConfig{
 			Seed: *seed, GuestMemoryMB: 16, LeastLoaded: *policy == "least-loaded",
-			Shards: *shards,
+			Shards: *shards, Transport: *transport,
 		})
 		if err != nil {
 			return err
@@ -104,6 +120,7 @@ func run(args []string) error {
 				Shards:           cfgs,
 				BreakerThreshold: *breakerThreshold,
 				BreakerCooldown:  *breakerCooldown,
+				Transport:        *transport,
 			})
 			if err != nil {
 				return err
@@ -123,6 +140,7 @@ func run(args []string) error {
 			BreakerThreshold: *breakerThreshold,
 			BreakerCooldown:  *breakerCooldown,
 			ScrapeInterval:   *scrapeInterval,
+			Transport:        *transport,
 		})
 		for _, kind := range cluster.Kinds() {
 			agent, err := cluster.Agent(kind)
@@ -154,6 +172,7 @@ func run(args []string) error {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		ScrapeInterval:   *scrapeInterval,
+		Transport:        *transport,
 	})
 	for _, h := range hosts {
 		gw.AddHost(h.Name, h.Endpoints)

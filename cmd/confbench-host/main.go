@@ -20,11 +20,13 @@ import (
 	"syscall"
 
 	"confbench/internal/hostagent"
+	"confbench/internal/profiler"
 	"confbench/internal/tee"
 	"confbench/internal/tee/cca"
 	"confbench/internal/tee/sev"
 	"confbench/internal/tee/tdx"
 	"confbench/internal/vm"
+	"confbench/internal/wire"
 )
 
 func main() {
@@ -42,8 +44,22 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "deterministic noise seed")
 	warmPool := fs.Int("warm-pool", 0, "serve the secure VM from a prewarmed guest pool with this high watermark")
 	cacheMB := fs.Int("snapshot-cache-mb", 256, "snapshot image cache budget in MiB (with -warm-pool)")
+	transport := fs.String("transport", "", "accepted guest carriers: default serves HTTP and binary wire frames behind a protocol sniffer; httpjson serves plain HTTP only")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if !wire.ValidTransport(*transport) {
+		return fmt.Errorf("unknown transport %q (want %q or %q)",
+			*transport, wire.TransportHTTPJSON, wire.TransportBinary)
+	}
+	if *pprofAddr != "" {
+		url, stopProf, err := profiler.Enable(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer stopProf()
+		fmt.Fprintln(os.Stderr, "pprof serving", url)
 	}
 
 	backend, err := newBackend(tee.Kind(*teeFlag), *seed)
@@ -55,11 +71,12 @@ func run(args []string) error {
 		cache = vm.NewSnapshotCache(int64(*cacheMB)<<20, nil)
 	}
 	agent, err := hostagent.NewAgent(hostagent.AgentConfig{
-		Name:     *name,
-		Backend:  backend,
-		Guest:    tee.GuestConfig{MemoryMB: *memory},
-		WarmPool: *warmPool,
-		Cache:    cache,
+		Name:      *name,
+		Backend:   backend,
+		Guest:     tee.GuestConfig{MemoryMB: *memory},
+		WarmPool:  *warmPool,
+		Cache:     cache,
+		Transport: *transport,
 	})
 	if err != nil {
 		return err

@@ -170,6 +170,17 @@ func WithTenantQuota(tenant string, limits TenantLimits) Option {
 	}
 }
 
+// WithTransport selects the carrier for every hop of the invoke
+// pipeline — client→front door, tier→shard, gateway→guest. "httpjson"
+// (the default) is one JSON-over-HTTP exchange per call; "binary"
+// keeps a persistent multiplexed connection per peer pair carrying
+// length-prefixed frames with out-of-order completion by correlation
+// ID. Servers accept both carriers regardless, so mixed deployments
+// interoperate.
+func WithTransport(name string) Option {
+	return func(c *ClusterConfig) { c.Transport = name }
+}
+
 // New boots a deployment configured by opts. Close it when done.
 func New(opts ...Option) (*Cluster, error) {
 	var cfg ClusterConfig

@@ -24,6 +24,12 @@ import (
 // Retry-After the client demonstrably honors, and the shed counters
 // surface in the shard-federated cluster snapshot.
 func TestFrontTierSmoke(t *testing.T) {
+	for _, transport := range smokeTransports {
+		t.Run(transport, func(t *testing.T) { frontTierSmoke(t, transport) })
+	}
+}
+
+func frontTierSmoke(t *testing.T, transport string) {
 	reg := confbench.NewObsRegistry()
 	c, err := confbench.New(
 		confbench.WithTEEs(confbench.KindSEV),
@@ -31,6 +37,7 @@ func TestFrontTierSmoke(t *testing.T) {
 		confbench.WithGuestMemoryMB(8),
 		confbench.WithObsRegistry(reg),
 		confbench.WithShards(2),
+		confbench.WithTransport(transport),
 		// The hour-long cooldown pins the dead shard's breaker open for
 		// the final assertions; threshold 2 trips it after two walk-offs.
 		confbench.WithBreakerThreshold(2, time.Hour),

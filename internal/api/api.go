@@ -68,6 +68,10 @@ const (
 )
 
 // Paths served by guest agents inside VMs.
+//
+// Deprecated: these are the pre-versioning spellings, kept as
+// byte-identical aliases of the GuestV1 routes below. New callers use
+// the GuestV1 constants.
 const (
 	GuestPathInvoke = "/guest/invoke"
 	GuestPathAttest = "/guest/attest"
@@ -75,6 +79,20 @@ const (
 	// GuestPathObs serves the host process's metrics registry — the
 	// gateway's federation scraper pulls it over the relay hop.
 	GuestPathObs = "/guest/obs"
+)
+
+// GuestPrefixV1 is the versioned mount point of the guest surface,
+// mirroring the gateway's /v1 redesign.
+const GuestPrefixV1 = "/guest/v1"
+
+// Versioned guest paths — the canonical routes the gateway dispatches
+// to. Guest servers also serve the unversioned spellings above as
+// aliases to the same handlers.
+const (
+	GuestV1Invoke = GuestPrefixV1 + "/invoke"
+	GuestV1Attest = GuestPrefixV1 + "/attest"
+	GuestV1Health = GuestPrefixV1 + "/health"
+	GuestV1Obs    = GuestPrefixV1 + "/obs"
 )
 
 // UploadRequest registers a function with the gateway.
@@ -298,7 +316,13 @@ const (
 	// of failed clients doesn't retry in lockstep.
 	backoffJitter = 0.20
 	// DefaultPollInterval paces AwaitResult's polls of an async invoke.
+	//
+	// Deprecated: AwaitResult now long-polls server-side; the interval
+	// is one round trip's parked wait, defaulting to DefaultAwaitWait.
 	DefaultPollInterval = 25 * time.Millisecond
+	// DefaultAwaitWait is the per-round-trip wait AwaitResult asks the
+	// front tier to park a result poll for (the server clamps it).
+	DefaultAwaitWait = 2 * time.Second
 )
 
 // Client is an HTTP client for the gateway REST API. Every method
@@ -306,9 +330,15 @@ const (
 // cancellation surfaces as cberr.ErrCanceled.
 type Client struct {
 	baseURL string
+	host    string
 	prefix  string
 	tenant  string
 	http    *http.Client
+
+	// transport, when set, carries frame-mappable calls (invoke,
+	// attest, health) instead of the HTTP client; everything without a
+	// frame mapping still goes over HTTP.
+	transport Transport
 
 	// MaxAttempts caps the total tries per call. Only failures the
 	// taxonomy marks retryable (unavailable, upstream, deadline) are
@@ -360,6 +390,16 @@ func WithTenant(tenant string) Option {
 	return func(c *Client) { c.tenant = tenant }
 }
 
+// WithTransport routes the client's frame-mappable calls — invoke,
+// attest, health — through t (typically wire.NewBinary, which keeps
+// one persistent multiplexed connection to the front door). Calls
+// with no frame mapping (uploads, async polls, metrics) keep using
+// HTTP; the retry/backoff policy applies identically to both
+// carriers. The caller owns t's lifecycle (its Close).
+func WithTransport(t Transport) Option {
+	return func(c *Client) { c.transport = t }
+}
+
 // WithPathPrefix overrides the API version prefix the client puts in
 // front of every path. The default is APIPrefixV1; pass "" to talk to
 // a pre-versioning gateway through the unversioned aliases.
@@ -388,6 +428,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	}
 	c := &Client{
 		baseURL:      baseURL,
+		host:         u.Host,
 		prefix:       APIPrefixV1,
 		http:         &http.Client{Timeout: DefaultTimeout},
 		MaxAttempts:  DefaultMaxAttempts,
@@ -406,10 +447,42 @@ func NewClient(baseURL string) (*Client, error) {
 	return New(baseURL)
 }
 
+// wirePayload maps one client call onto the binary transport's frame
+// vocabulary. Tenant-scoped requests get wrapped so the tenant rides
+// in the frame payload (binary frames have no headers). ok=false
+// means the call has no frame mapping and must go over HTTP.
+func (c *Client) wirePayload(method, path string, in any) (any, bool) {
+	if c.transport == nil {
+		return nil, false
+	}
+	tenant := c.tenant
+	if tenant == "" {
+		tenant = TenantDefault
+	}
+	switch {
+	case method == http.MethodPost && path == PathInvoke:
+		req, ok := in.(InvokeRequest)
+		if !ok {
+			return nil, false
+		}
+		return &TenantedInvoke{Tenant: tenant, Req: req}, true
+	case method == http.MethodPost && path == PathAttest:
+		req, ok := in.(AttestRequest)
+		if !ok {
+			return nil, false
+		}
+		return &TenantedAttest{Tenant: tenant, Req: req}, true
+	case method == http.MethodGet && path == PathHealth:
+		return nil, true
+	}
+	return nil, false
+}
+
 // do runs one request with retry-with-backoff on retryable errors.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	win, overWire := c.wirePayload(method, path, in)
 	var body []byte
-	if in != nil {
+	if in != nil && !overWire {
 		var err error
 		if body, err = json.Marshal(in); err != nil {
 			return cberr.Wrap(cberr.CodeInvalid, cberr.LayerClient,
@@ -433,7 +506,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	var err error
 	for attempt := 1; ; attempt++ {
-		err = c.attempt(ctx, method, path, body, out)
+		if overWire {
+			err = c.transport.RoundTrip(ctx, c.host, c.prefix+path, win, out)
+		} else {
+			err = c.attempt(ctx, method, path, body, out)
+		}
 		if err == nil || attempt >= attempts || !cberr.Retryable(err) {
 			return err
 		}
@@ -547,7 +624,9 @@ func decodeResponse(resp *http.Response, path string, out any) error {
 		ce.RetryAfter = retryAfterFrom(resp, ErrorResponse{})
 		return fmt.Errorf("api: %s: %w", path, ce)
 	}
-	if out == nil {
+	// 204 is the long-poll's "still pending" answer: deliberately
+	// body-free, so out keeps whatever the caller seeded it with.
+	if out == nil || resp.StatusCode == http.StatusNoContent {
 		return nil
 	}
 	if err := json.Unmarshal(data, out); err != nil {
@@ -603,16 +682,36 @@ func (c *Client) Result(ctx context.Context, id string) (AsyncResult, error) {
 	return out, nil
 }
 
-// AwaitResult polls an async invoke until it completes, the interval
-// elapses between polls (0 = DefaultPollInterval), or ctx ends. A
+// ResultWait long-polls one async invoke: the front tier parks the
+// request until the invoke completes or wait elapses (clamped
+// server-side to the tier's MaxResultWait). A still-pending timeout
+// answers 204 with no body, which surfaces here as a pending record —
+// poll again. wait <= 0 degenerates to an ordinary Result poll.
+func (c *Client) ResultWait(ctx context.Context, id string, wait time.Duration) (AsyncResult, error) {
+	// Seed the pending shape: a 204 leaves it untouched.
+	out := AsyncResult{ID: id, Status: AsyncPending}
+	p := PathInvoke + "/" + url.PathEscape(id)
+	if wait > 0 {
+		p += "?wait=" + url.QueryEscape(wait.String())
+	}
+	if err := c.do(ctx, http.MethodGet, p, nil, &out); err != nil {
+		return AsyncResult{}, err
+	}
+	return out, nil
+}
+
+// AwaitResult waits for an async invoke via server-side long-polls:
+// each round trip parks on the front tier for up to interval (0 =
+// DefaultAwaitWait) instead of sleeping client-side between polls, so
+// completion is seen one network round trip after it happens. A
 // completed-with-error invoke surfaces its reconstructed classified
 // error, exactly as the synchronous path would have.
 func (c *Client) AwaitResult(ctx context.Context, id string, interval time.Duration) (InvokeResponse, error) {
 	if interval <= 0 {
-		interval = DefaultPollInterval
+		interval = DefaultAwaitWait
 	}
 	for {
-		res, err := c.Result(ctx, id)
+		res, err := c.ResultWait(ctx, id, interval)
 		if err != nil {
 			return InvokeResponse{}, err
 		}
@@ -632,10 +731,8 @@ func (c *Client) AwaitResult(ctx context.Context, id string, interval time.Durat
 			return InvokeResponse{}, fmt.Errorf("api: async invoke %s: %w", id,
 				cberr.FromWire(e.Code, e.Layer, e.Retryable, e.Error))
 		}
-		select {
-		case <-ctx.Done():
-			return InvokeResponse{}, cberr.From(ctx.Err(), cberr.LayerClient)
-		case <-time.After(interval):
+		if err := ctx.Err(); err != nil {
+			return InvokeResponse{}, cberr.From(err, cberr.LayerClient)
 		}
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"confbench/internal/tee/sev"
 	"confbench/internal/tee/tdx"
 	"confbench/internal/vm"
+	"confbench/internal/wire"
 	"confbench/internal/workloads"
 )
 
@@ -87,6 +88,13 @@ type ClusterConfig struct {
 	// (token-bucket rates and in-flight quotas). Only meaningful with
 	// Shards > 1; absent tenants are unlimited.
 	TenantQuotas map[string]fronttier.TenantLimits
+	// Transport selects the carrier for every hop of the invoke
+	// pipeline — client→front door, tier→shard, gateway→guest: "" or
+	// "httpjson" is one JSON-over-HTTP exchange per call; "binary" is
+	// the persistent multiplexed wire protocol (persistent connection
+	// per peer pair, length-prefixed frames, out-of-order completion).
+	// Servers accept both carriers regardless.
+	Transport string
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -118,6 +126,9 @@ type Cluster struct {
 	cache    *vm.SnapshotCache
 	gw       *gateway.Gateway
 	client   *api.Client
+	// clientTransport is the client's binary carrier when
+	// cfg.Transport selected it (owned here; closed with the cluster).
+	clientTransport api.Transport
 
 	// Sharded deployments (cfg.Shards > 1): the shard gateways in
 	// shard-name order and the front tier routing across them.
@@ -149,6 +160,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 }
 
 func (c *Cluster) boot() error {
+	if !wire.ValidTransport(c.cfg.Transport) {
+		return fmt.Errorf("confbench: unknown transport %q (want %q or %q)",
+			c.cfg.Transport, wire.TransportHTTPJSON, wire.TransportBinary)
+	}
 	// The fault plane reports its injections to the same registry as
 	// everything else, so chaos runs read faults and reactions off one
 	// snapshot.
@@ -170,14 +185,15 @@ func (c *Cluster) boot() error {
 				name = fmt.Sprintf("%s-%d", name, i+1)
 			}
 			agent, err := hostagent.NewAgent(hostagent.AgentConfig{
-				Name:     name,
-				Backend:  backend,
-				Guest:    tee.GuestConfig{Name: name, MemoryMB: c.cfg.GuestMemoryMB},
-				Catalog:  c.catalog,
-				Obs:      c.obsreg,
-				Faults:   c.cfg.Faults,
-				WarmPool: c.cfg.WarmPool,
-				Cache:    c.cache,
+				Name:      name,
+				Backend:   backend,
+				Guest:     tee.GuestConfig{Name: name, MemoryMB: c.cfg.GuestMemoryMB},
+				Catalog:   c.catalog,
+				Obs:       c.obsreg,
+				Faults:    c.cfg.Faults,
+				WarmPool:  c.cfg.WarmPool,
+				Cache:     c.cache,
+				Transport: c.cfg.Transport,
 			})
 			if err != nil {
 				return fmt.Errorf("confbench: boot %s host: %w", kind, err)
@@ -201,6 +217,7 @@ func (c *Cluster) boot() error {
 			BreakerCooldown:  c.cfg.BreakerCooldown,
 			Faults:           c.cfg.Faults,
 			ScrapeInterval:   c.cfg.ObsScrapeInterval,
+			Transport:        c.cfg.Transport,
 		})
 		for _, kind := range c.cfg.TEEs {
 			for _, agent := range c.agents[kind] {
@@ -232,6 +249,7 @@ func (c *Cluster) boot() error {
 			Quotas:           c.cfg.TenantQuotas,
 			BreakerThreshold: c.cfg.BreakerThreshold,
 			BreakerCooldown:  c.cfg.BreakerCooldown,
+			Transport:        c.cfg.Transport,
 		})
 		if err != nil {
 			return err
@@ -247,7 +265,12 @@ func (c *Cluster) boot() error {
 			return err
 		}
 	}
-	client, err := api.New(url)
+	var clientOpts []api.Option
+	if c.cfg.Transport == wire.TransportBinary {
+		c.clientTransport = wire.NewBinary(c.obsreg)
+		clientOpts = append(clientOpts, api.WithTransport(c.clientTransport))
+	}
+	client, err := api.New(url, clientOpts...)
 	if err != nil {
 		return err
 	}
@@ -473,6 +496,9 @@ func (c *Cluster) Close() error {
 	}
 	if c.pcs != nil {
 		errs = append(errs, c.pcs.Close())
+	}
+	if c.clientTransport != nil {
+		errs = append(errs, c.clientTransport.Close())
 	}
 	return errors.Join(errs...)
 }

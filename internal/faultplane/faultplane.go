@@ -65,6 +65,12 @@ const (
 	// scrape (counted, never fatal to invokes); latency/slow-io faults
 	// delay it, exercising the per-target scrape timeout.
 	PointObsScrape Point = "obs.scrape"
+	// PointWireFrame fires server-side for every frame received on a
+	// binary wire connection. Error faults answer the frame with a
+	// classified error frame, latency/slow-io faults stall the serving
+	// loop, and drop/crash faults sever the connection mid-stream —
+	// failing every multiplexed call in flight on it.
+	PointWireFrame Point = "wire.frame"
 )
 
 // Valid reports whether p names a known injection point.
@@ -72,7 +78,7 @@ func (p Point) Valid() bool {
 	switch p {
 	case PointRelayAccept, PointHostExec, PointHostLaunch,
 		PointTEETransition, PointTEEBounceIO, PointSnapshotRestore,
-		PointObsScrape:
+		PointObsScrape, PointWireFrame:
 		return true
 	default:
 		return false
@@ -324,7 +330,7 @@ func layerFor(point Point) cberr.Layer {
 	switch point {
 	case PointRelayAccept:
 		return cberr.LayerHost
-	case PointHostExec, PointHostLaunch, PointSnapshotRestore:
+	case PointHostExec, PointHostLaunch, PointSnapshotRestore, PointWireFrame:
 		return cberr.LayerHost
 	case PointObsScrape:
 		return cberr.LayerGateway

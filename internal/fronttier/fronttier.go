@@ -18,6 +18,7 @@ import (
 	"confbench/internal/cberr"
 	"confbench/internal/gateway"
 	"confbench/internal/obs"
+	"confbench/internal/wire"
 )
 
 // Front-tier defaults.
@@ -78,6 +79,10 @@ type Config struct {
 	// Now injects the tier's clock for admission buckets, result TTLs,
 	// and breaker timing (nil = wall clock).
 	Now func() time.Time
+	// Transport selects the tier→shard hop carrier ("" or "httpjson" =
+	// JSON over HTTP; "binary" = the persistent multiplexed wire
+	// protocol). The tier's own front door always accepts both.
+	Transport string
 }
 
 // shard is one gateway shard as the tier sees it: a client, a
@@ -138,6 +143,10 @@ type Tier struct {
 	invocations  atomic.Uint64
 	errors       atomic.Uint64
 	attestations atomic.Uint64
+
+	// transport is the shared shard-hop carrier when Config.Transport
+	// selected binary (nil = each client's default HTTP).
+	transport api.Transport
 }
 
 // New builds a tier over the configured shards. The shard set is
@@ -177,6 +186,11 @@ func New(cfg Config) (*Tier, error) {
 		series:       obs.NewSeriesSet(obs.DefaultSeriesCapacity),
 		asyncPending: reg.Gauge("confbench_fronttier_async_pending"),
 	}
+	if cfg.Transport == wire.TransportBinary {
+		// One multiplexed-connection transport shared by every shard
+		// client, so per-shard conns pool under one registry.
+		t.transport = wire.NewBinary(reg)
+	}
 	for _, sc := range cfg.Shards {
 		if sc.Name == "" || sc.URL == "" {
 			return nil, fmt.Errorf("fronttier: shard needs a name and URL, got %+v", sc)
@@ -186,7 +200,11 @@ func New(cfg Config) (*Tier, error) {
 		}
 		// One attempt per shard: failover is the tier's job (the
 		// successor walk), not the per-shard client's.
-		client, err := api.New(sc.URL, api.WithRetries(1))
+		opts := []api.Option{api.WithRetries(1)}
+		if t.transport != nil {
+			opts = append(opts, api.WithTransport(t.transport))
+		}
+		client, err := api.New(sc.URL, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("fronttier: shard %s: %w", sc.Name, err)
 		}
@@ -513,13 +531,35 @@ func (t *Tier) handleInvokeAsync(w http.ResponseWriter, r *http.Request) {
 	api.WriteJSON(w, http.StatusAccepted, sub)
 }
 
-// handleResult terminates GET /v1/invoke/{id}.
+// handleResult terminates GET /v1/invoke/{id}. An optional
+// ?wait=<dur> long-polls the result store: the response parks until
+// the invoke completes or the wait (clamped to MaxResultWait)
+// elapses, answering 204 when the invoke is still pending — poll
+// again — so completion costs one round trip, not a sleep loop.
 func (t *Tier) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	res, ok := t.Result(id)
+	var wait time.Duration
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			t.countError(w, http.StatusBadRequest,
+				cberr.New(cberr.CodeInvalid, cberr.LayerFront,
+					"wait must be a non-negative Go duration"))
+			return
+		}
+		if d > MaxResultWait {
+			d = MaxResultWait
+		}
+		wait = d
+	}
+	res, ok := t.store.Await(r.Context(), id, wait)
 	if !ok {
 		t.fail(w, cberr.Newf(cberr.CodeNotFound, cberr.LayerFront,
 			"fronttier: no result for %q (unknown, expired, or evicted)", id))
+		return
+	}
+	if wait > 0 && res.Status == api.AsyncPending {
+		w.WriteHeader(http.StatusNoContent)
 		return
 	}
 	api.WriteJSON(w, http.StatusOK, res)
@@ -583,26 +623,92 @@ func (t *Tier) handleAttest(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("decode request: %w", err)))
 		return
 	}
-	tenant := tenantOf(r)
-	release, err := t.admit(tenant)
+	resp, err := t.Attest(r.Context(), tenantOf(r), req)
 	if err != nil {
 		t.fail(w, err)
 		return
 	}
+	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+// Attest routes one attestation round trip — admission, ring
+// placement keyed by platform × tenant, breaker failover. handleAttest
+// and the wire front door both drive it.
+func (t *Tier) Attest(ctx context.Context, tenant string, req api.AttestRequest) (api.AttestResponse, error) {
+	release, err := t.admit(tenant)
+	if err != nil {
+		return api.AttestResponse{}, err
+	}
 	defer release()
 	var resp api.AttestResponse
-	err = t.forward(r.Context(), RouteKey("attest\x1f"+string(req.TEE), tenant),
+	err = t.forward(ctx, RouteKey("attest\x1f"+string(req.TEE), tenant),
 		func(ctx context.Context, sh *shard) error {
 			var ferr error
 			resp, ferr = sh.client.Attest(ctx, req)
 			return ferr
 		})
 	if err != nil {
-		t.fail(w, err)
-		return
+		return api.AttestResponse{}, err
 	}
 	t.attestations.Add(1)
-	api.WriteJSON(w, http.StatusOK, resp)
+	return resp, nil
+}
+
+// handleWire serves the tier's binary front door against the same
+// Invoke/Attest pipeline the HTTP handlers drive. The tenant rides in
+// the frame payload (binary frames have no headers).
+func (t *Tier) handleWire(ctx context.Context, ft wire.Type, payload []byte) (wire.Type, []byte, error) {
+	switch ft {
+	case wire.TFrontInvokeReq:
+		ti, err := wire.DecodeFrontInvoke(payload)
+		if err != nil {
+			t.errors.Add(1)
+			return 0, nil, cberr.Wrap(cberr.CodeInvalid, cberr.LayerFront,
+				fmt.Errorf("decode request: %w", err))
+		}
+		tenant := ti.Tenant
+		if tenant == "" {
+			tenant = api.TenantDefault
+		}
+		resp, err := t.Invoke(ctx, tenant, ti.Req)
+		if err != nil {
+			t.errors.Add(1)
+			return 0, nil, err
+		}
+		out, err := wire.AppendInvokeResponse(wire.GetBuf(0), &resp)
+		if err != nil {
+			return 0, nil, cberr.Wrap(cberr.CodeInternal, cberr.LayerFront, err)
+		}
+		return wire.TInvokeResp, out, nil
+	case wire.TAttestReq:
+		tenant, req, err := wire.DecodeAttest(payload)
+		if err != nil {
+			t.errors.Add(1)
+			return 0, nil, cberr.Wrap(cberr.CodeInvalid, cberr.LayerFront,
+				fmt.Errorf("decode request: %w", err))
+		}
+		if tenant == "" {
+			tenant = api.TenantDefault
+		}
+		resp, err := t.Attest(ctx, tenant, req)
+		if err != nil {
+			t.errors.Add(1)
+			return 0, nil, err
+		}
+		return wire.TAttestResp, wire.AppendAttestResp(wire.GetBuf(0), &resp), nil
+	case wire.THealthReq:
+		return wire.THealthResp, wire.AppendHealthResp(wire.GetBuf(0),
+			strconv.Itoa(len(t.shards))+" shards"), nil
+	case wire.TObsReq:
+		blob, err := json.Marshal(t.obsreg.Snapshot())
+		if err != nil {
+			return 0, nil, cberr.Wrap(cberr.CodeInternal, cberr.LayerFront, err)
+		}
+		return wire.TObsResp, append(wire.GetBuf(0), blob...), nil
+	default:
+		return 0, nil, cberr.Newf(cberr.CodeInvalid, cberr.LayerFront,
+			"fronttier: unexpected frame type %s", ft)
+	}
 }
 
 // handlePools concatenates every shard's pool report in shard-name
@@ -741,11 +847,17 @@ func (t *Tier) Start(addr string) (string, error) {
 	}
 	t.started = time.Now()
 	t.listener = ln
+	// The front door accepts both carriers behind a protocol sniffer,
+	// exactly like the gateway's.
+	sniffer := wire.NewSniffer(ln, wire.ServerConfig{
+		Handler: t.handleWire,
+		Obs:     t.obsreg,
+	})
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	t.server = srv
 	t.baseURL = "http://" + ln.Addr().String()
 	go func() {
-		_ = srv.Serve(ln) // ErrServerClosed on shutdown
+		_ = srv.Serve(sniffer) // ErrServerClosed on shutdown
 	}()
 	return t.baseURL, nil
 }
@@ -772,5 +884,8 @@ func (t *Tier) Close() error {
 		err = srv.Shutdown(ctx)
 	}
 	t.asyncWG.Wait()
+	if t.transport != nil {
+		err = errors.Join(err, t.transport.Close())
+	}
 	return err
 }

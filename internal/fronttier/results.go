@@ -1,6 +1,7 @@
 package fronttier
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -15,6 +16,9 @@ const (
 	DefaultAsyncCapacity = 1024
 	// DefaultAsyncTTL is how long a completed result stays pollable.
 	DefaultAsyncTTL = time.Minute
+	// MaxResultWait caps one long-poll's server-side wait; clients
+	// asking for more are clamped, never rejected.
+	MaxResultWait = 30 * time.Second
 )
 
 // ErrStoreFull marks an async submission shed because the result
@@ -25,7 +29,8 @@ var ErrStoreFull = errors.New("fronttier: async result store full")
 // storeEntry is one async invoke's lifecycle record.
 type storeEntry struct {
 	res    api.AsyncResult
-	doneAt time.Time // zero while pending
+	doneAt time.Time     // zero while pending
+	done   chan struct{} // closed on completion; long-polls park on it
 }
 
 // ResultStore is the bounded TTL store behind GET /v1/invoke/{id}:
@@ -77,7 +82,10 @@ func (s *ResultStore) Put(id string) error {
 	if len(s.entries) >= s.capacity && !s.evictOldestDoneLocked() {
 		return ErrStoreFull
 	}
-	s.entries[id] = &storeEntry{res: api.AsyncResult{ID: id, Status: api.AsyncPending}}
+	s.entries[id] = &storeEntry{
+		res:  api.AsyncResult{ID: id, Status: api.AsyncPending},
+		done: make(chan struct{}),
+	}
 	s.order = append(s.order, id)
 	s.pending++
 	return nil
@@ -95,6 +103,7 @@ func (s *ResultStore) Complete(id string, resp *api.InvokeResponse, errResp *api
 	}
 	s.pending--
 	e.doneAt = s.now()
+	close(e.done)
 	if errResp != nil {
 		e.res.Status = api.AsyncError
 		e.res.Error = errResp
@@ -115,6 +124,33 @@ func (s *ResultStore) Get(id string) (api.AsyncResult, bool) {
 		return api.AsyncResult{}, false
 	}
 	return e.res, true
+}
+
+// Await blocks until id completes, ctx cancels, or wait elapses —
+// the long-poll behind GET /v1/invoke/{id}?wait=<dur>. The bool
+// reports whether the id is known; the returned result may still be
+// pending when the wait (or the caller) expired first.
+func (s *ResultStore) Await(ctx context.Context, id string, wait time.Duration) (api.AsyncResult, bool) {
+	s.mu.Lock()
+	s.sweepLocked()
+	e, ok := s.entries[id]
+	if !ok {
+		s.mu.Unlock()
+		return api.AsyncResult{}, false
+	}
+	res, done := e.res, e.done
+	s.mu.Unlock()
+	if res.Status != api.AsyncPending || wait <= 0 {
+		return res, true
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	return s.Get(id)
 }
 
 // Pending reports how many stored invokes are still executing.

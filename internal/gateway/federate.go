@@ -2,7 +2,6 @@ package gateway
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -40,7 +39,7 @@ const (
 type scrapeTarget struct {
 	host string
 	tee  string
-	url  string
+	addr string
 }
 
 // addScrapeTarget registers a host's registry endpoint for federation
@@ -58,7 +57,7 @@ func (g *Gateway) addScrapeTarget(host, teeKind, addr string) {
 	g.scrapeTargets = append(g.scrapeTargets, scrapeTarget{
 		host: host,
 		tee:  teeKind,
-		url:  "http://" + addr + api.GuestPathObs + "?format=json",
+		addr: addr,
 	})
 }
 
@@ -89,21 +88,9 @@ func (g *Gateway) scrapeOne(ctx context.Context, t scrapeTarget) (obs.Snapshot, 
 	}
 	ctx, cancel := context.WithTimeout(ctx, g.scrapeTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.url, nil)
-	if err != nil {
-		return obs.Snapshot{}, fmt.Errorf("scrape %s: %w", t.host, err)
-	}
-	resp, err := g.client.Do(req)
-	if err != nil {
-		return obs.Snapshot{}, fmt.Errorf("scrape %s: %w", t.host, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return obs.Snapshot{}, fmt.Errorf("scrape %s: status %d", t.host, resp.StatusCode)
-	}
 	var snap obs.Snapshot
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&snap); err != nil {
-		return obs.Snapshot{}, fmt.Errorf("scrape %s: decode: %w", t.host, err)
+	if err := g.transport.RoundTrip(ctx, t.addr, api.GuestV1Obs+"?format=json", nil, &snap); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("scrape %s: %w", t.host, err)
 	}
 	return snap, nil
 }

@@ -22,10 +22,14 @@ import (
 func fakeHost(t *testing.T, reg *obs.Registry) (*httptest.Server, string) {
 	t.Helper()
 	mux := http.NewServeMux()
-	mux.HandleFunc(api.GuestPathObs, func(w http.ResponseWriter, r *http.Request) {
+	serveObs := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(reg.Snapshot())
-	})
+	}
+	// Real guest agents serve the versioned path with the legacy
+	// spelling as an alias; the scraper asks for the versioned one.
+	mux.HandleFunc(api.GuestV1Obs, serveObs)
+	mux.HandleFunc(api.GuestPathObs, serveObs)
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 	return srv, strings.TrimPrefix(srv.URL, "http://")

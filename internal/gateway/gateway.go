@@ -1,7 +1,6 @@
 package gateway
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -25,12 +24,13 @@ import (
 	"confbench/internal/hostagent"
 	"confbench/internal/obs"
 	"confbench/internal/tee"
+	"confbench/internal/wire"
 )
 
 // Gateway is ConfBench's REST entry point.
 type Gateway struct {
 	db            *faas.DB
-	client        *http.Client
+	transport     api.Transport
 	policyFactory func() Policy
 	obsreg        *obs.Registry
 	retries       *obs.Counter
@@ -65,6 +65,21 @@ type Gateway struct {
 	errors       atomic.Uint64
 	attestations atomic.Uint64
 	perPool      sync.Map // tee.Kind → *atomic.Uint64
+
+	// Cached labeled-metric handles for the per-invoke hot path: the
+	// registry lookup sorts labels and allocates on every call, so the
+	// wire front door resolves its fixed (route, status-OK) handles
+	// once and the per-TEE invoke histogram on first sight.
+	wireRoutes map[string]routeMetrics
+	invokeHist sync.Map // tee.Kind → *obs.Histogram
+}
+
+// routeMetrics is one wire route's pre-resolved latency histogram and
+// success counter. Error statuses are rare and fall back to the
+// registry lookup.
+type routeMetrics struct {
+	latency *obs.Histogram
+	ok      *obs.Counter
 }
 
 // countError bumps the error counter and writes the envelope.
@@ -77,6 +92,19 @@ func (g *Gateway) countError(w http.ResponseWriter, status int, err error) {
 // taxonomy code.
 func (g *Gateway) fail(w http.ResponseWriter, err error) {
 	g.countError(w, cberr.HTTPStatus(err), err)
+}
+
+// invokeHistogram returns the cached per-TEE invoke latency
+// histogram, resolving it from the registry on first sight.
+func (g *Gateway) invokeHistogram(kind tee.Kind) *obs.Histogram {
+	if v, ok := g.invokeHist.Load(kind); ok {
+		if h, ok := v.(*obs.Histogram); ok {
+			return h
+		}
+	}
+	h := g.obsreg.Histogram("confbench_invoke_seconds", "tee", string(kind))
+	g.invokeHist.Store(kind, h)
+	return h
 }
 
 // poolCounter returns the invocation counter for kind.
@@ -126,6 +154,12 @@ type Config struct {
 	// Postmortem receives one-line flight-recorder postmortems when an
 	// invoke exhausts its retry budget (nil = os.Stderr).
 	Postmortem io.Writer
+	// Transport selects the carrier for the gateway's outbound hops —
+	// guest-agent forwards and federation scrapes ("" or "httpjson" =
+	// one JSON-over-HTTP exchange per call; "binary" = the persistent
+	// multiplexed wire protocol). The inbound front door always
+	// accepts both.
+	Transport string
 }
 
 // New builds a gateway with empty pools.
@@ -146,11 +180,19 @@ func New(cfg Config) *Gateway {
 	if postmortem == nil {
 		postmortem = os.Stderr
 	}
+	reg := obs.OrDefault(cfg.Obs)
+	transport, err := wire.NewTransport(cfg.Transport, reg)
+	if err != nil {
+		// Entry points validate the name before it gets here; an
+		// unknown transport degrades to the legacy carrier rather than
+		// refusing to build.
+		transport = wire.NewHTTPJSON()
+	}
 	g := &Gateway{
 		db:               faas.NewDB(languages),
-		client:           &http.Client{Timeout: 120 * time.Second},
+		transport:        transport,
 		pools:            make(map[tee.Kind]*Pool, 4),
-		obsreg:           obs.OrDefault(cfg.Obs),
+		obsreg:           reg,
 		breakerThreshold: cfg.BreakerThreshold,
 		breakerCooldown:  cfg.BreakerCooldown,
 		faults:           cfg.Faults,
@@ -161,6 +203,14 @@ func New(cfg Config) *Gateway {
 		postmortem:       postmortem,
 	}
 	g.retries = g.obsreg.Counter("confbench_invoke_retries_total")
+	g.wireRoutes = make(map[string]routeMetrics, 4)
+	for _, route := range []string{api.PathV1Invoke, api.PathV1Attest, api.PathV1Health, api.PathV1Obs} {
+		g.wireRoutes[route] = routeMetrics{
+			latency: reg.Histogram("confbench_http_request_seconds", "route", route),
+			ok: reg.Counter("confbench_http_requests_total",
+				"route", route, "status", strconv.Itoa(http.StatusOK)),
+		}
+	}
 	g.policyFactory = cfg.Policy
 	return g
 }
@@ -242,11 +292,20 @@ func (g *Gateway) Start(addr string) (string, error) {
 		return "", fmt.Errorf("gateway: listen %s: %w", addr, err)
 	}
 	g.listener = ln
+	// The front door accepts both carriers: the sniffer peeks each
+	// connection's first bytes and routes wire frames to handleWire,
+	// HTTP to the mux. Shutting the HTTP server down closes the
+	// sniffer, which closes the raw listener and live wire conns.
+	sniffer := wire.NewSniffer(ln, wire.ServerConfig{
+		Handler: g.handleWire,
+		Faults:  g.faults,
+		Obs:     g.obsreg,
+	})
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	g.server = srv
 	g.baseURL = "http://" + ln.Addr().String()
 	go func() {
-		_ = srv.Serve(ln) // ErrServerClosed on shutdown
+		_ = srv.Serve(sniffer) // ErrServerClosed on shutdown
 	}()
 	if g.scrapeInterval > 0 {
 		g.scrapeStop = make(chan struct{})
@@ -274,12 +333,13 @@ func (g *Gateway) Close() error {
 	if stop != nil {
 		close(stop)
 	}
+	terr := g.transport.Close()
 	if srv == nil {
-		return nil
+		return terr
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
-	return srv.Shutdown(ctx)
+	return errors.Join(srv.Shutdown(ctx), terr)
 }
 
 // statusWriter captures the response status for the request counter.
@@ -430,8 +490,8 @@ func (g *Gateway) Invoke(ctx context.Context, req api.InvokeRequest) (api.Invoke
 	faultsBefore := g.faults.Injected()
 	start := time.Now()
 	var resp api.InvokeResponse
-	entry, hop, attempts, err := g.dispatch(ctx, pool, req.Secure, api.GuestPathInvoke,
-		api.GuestInvokeRequest{Function: fn, Scale: req.Scale, Trace: req.Trace}, &resp)
+	entry, hop, attempts, err := g.dispatch(ctx, pool, req.Secure, api.GuestV1Invoke,
+		&api.GuestInvokeRequest{Function: fn, Scale: req.Scale, Trace: req.Trace}, &resp)
 	elapsed := time.Since(start)
 	retriesUsed := attempts - 1
 	if retriesUsed < 0 {
@@ -468,8 +528,7 @@ func (g *Gateway) Invoke(ctx context.Context, req api.InvokeRequest) (api.Invoke
 		return api.InvokeResponse{}, err
 	}
 	g.recorder.Record(ev)
-	g.obsreg.Histogram("confbench_invoke_seconds", "tee", string(pool.TEE)).
-		ObserveExemplar(elapsed, invokeID)
+	g.invokeHistogram(pool.TEE).ObserveExemplar(elapsed, invokeID)
 	// The guest's span tree rode back inside the response; graft it
 	// under the relay hop (its clock is not ours) and replace it with
 	// the full gateway-rooted tree.
@@ -554,18 +613,110 @@ func (g *Gateway) handleAttest(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("decode request: %w", err)))
 		return
 	}
-	pool, err := g.pickPool(req.TEE, true)
+	resp, err := g.Attest(r.Context(), req)
 	if err != nil {
 		g.fail(w, err)
 		return
 	}
+	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+// Attest runs one attestation round trip through the dispatch
+// pipeline. handleAttest and the wire front door both drive it.
+func (g *Gateway) Attest(ctx context.Context, req api.AttestRequest) (api.AttestResponse, error) {
+	pool, err := g.pickPool(req.TEE, true)
+	if err != nil {
+		return api.AttestResponse{}, err
+	}
 	var resp api.AttestResponse
-	if _, _, _, err := g.dispatch(r.Context(), pool, true, api.GuestPathAttest, req, &resp); err != nil {
-		g.fail(w, err)
-		return
+	if _, _, _, err := g.dispatch(ctx, pool, true, api.GuestV1Attest, &req, &resp); err != nil {
+		return api.AttestResponse{}, err
 	}
 	g.attestations.Add(1)
-	api.WriteJSON(w, http.StatusOK, resp)
+	return resp, nil
+}
+
+// wireRoute mirrors instrument() for the wire front door: the same
+// route/status counters and latency histogram, labeled with the
+// canonical v1 route and the status the HTTP surface would have
+// served, so per-route accounting does not depend on the carrier.
+func (g *Gateway) wireRoute(route string, start time.Time, err error) {
+	rm, cached := g.wireRoutes[route]
+	if !cached {
+		rm = routeMetrics{
+			latency: g.obsreg.Histogram("confbench_http_request_seconds", "route", route),
+			ok: g.obsreg.Counter("confbench_http_requests_total",
+				"route", route, "status", strconv.Itoa(http.StatusOK)),
+		}
+	}
+	rm.latency.Observe(time.Since(start))
+	if err == nil {
+		rm.ok.Inc()
+		return
+	}
+	g.obsreg.Counter("confbench_http_requests_total",
+		"route", route, "status", strconv.Itoa(cberr.HTTPStatus(err))).Inc()
+}
+
+// handleWire serves the gateway's binary front door against the same
+// Invoke/Attest pipeline the HTTP handlers use. The obs scrape is,
+// like its HTTP twin, deliberately not instrumented.
+func (g *Gateway) handleWire(ctx context.Context, t wire.Type, payload []byte) (wire.Type, []byte, error) {
+	switch t {
+	case wire.TFrontInvokeReq:
+		start := time.Now()
+		ti, err := wire.DecodeFrontInvoke(payload)
+		if err != nil {
+			err = cberr.Wrap(cberr.CodeInvalid, cberr.LayerGateway,
+				fmt.Errorf("decode request: %w", err))
+			g.errors.Add(1)
+			g.wireRoute(api.PathV1Invoke, start, err)
+			return 0, nil, err
+		}
+		// The single gateway runs no admission control; the tenant only
+		// matters at the front tier, which has its own wire door.
+		resp, err := g.Invoke(ctx, ti.Req)
+		g.wireRoute(api.PathV1Invoke, start, err)
+		if err != nil {
+			g.errors.Add(1)
+			return 0, nil, err
+		}
+		out, err := wire.AppendInvokeResponse(wire.GetBuf(0), &resp)
+		if err != nil {
+			return 0, nil, cberr.Wrap(cberr.CodeInternal, cberr.LayerGateway, err)
+		}
+		return wire.TInvokeResp, out, nil
+	case wire.TAttestReq:
+		start := time.Now()
+		_, req, err := wire.DecodeAttest(payload)
+		if err != nil {
+			err = cberr.Wrap(cberr.CodeInvalid, cberr.LayerGateway,
+				fmt.Errorf("decode request: %w", err))
+			g.errors.Add(1)
+			g.wireRoute(api.PathV1Attest, start, err)
+			return 0, nil, err
+		}
+		resp, err := g.Attest(ctx, req)
+		g.wireRoute(api.PathV1Attest, start, err)
+		if err != nil {
+			g.errors.Add(1)
+			return 0, nil, err
+		}
+		return wire.TAttestResp, wire.AppendAttestResp(wire.GetBuf(0), &resp), nil
+	case wire.THealthReq:
+		start := time.Now()
+		g.wireRoute(api.PathV1Health, start, nil)
+		return wire.THealthResp, wire.AppendHealthResp(wire.GetBuf(0), "ok"), nil
+	case wire.TObsReq:
+		blob, err := json.Marshal(g.obsreg.Snapshot())
+		if err != nil {
+			return 0, nil, cberr.Wrap(cberr.CodeInternal, cberr.LayerGateway, err)
+		}
+		return wire.TObsResp, append(wire.GetBuf(0), blob...), nil
+	default:
+		return 0, nil, cberr.Newf(cberr.CodeInvalid, cberr.LayerGateway,
+			"gateway: unexpected frame type %s", t)
+	}
 }
 
 func (g *Gateway) handlePools(w http.ResponseWriter, r *http.Request) {
@@ -616,54 +767,13 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	api.WriteJSON(w, http.StatusOK, m)
 }
 
-// forward POSTs a JSON payload to a VM endpoint (through the host's
-// relay) and decodes the response. The ctx (normally the inbound
+// forward runs one exchange with a VM endpoint (through the host's
+// relay) over the configured transport. The ctx (normally the inbound
 // request's) cancels the upstream hop; transport failures classify as
-// upstream errors unless the caller canceled.
+// upstream/unavailable errors unless the caller canceled.
 func (g *Gateway) forward(ctx context.Context, addr, path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return cberr.Wrap(cberr.CodeInternal, cberr.LayerGateway,
-			fmt.Errorf("gateway: marshal forward body: %w", err))
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+path, bytes.NewReader(body))
-	if err != nil {
-		return cberr.Wrap(cberr.CodeInternal, cberr.LayerGateway,
-			fmt.Errorf("gateway: forward to %s: %w", addr, err))
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := g.client.Do(req)
-	if err != nil {
-		if cerr := ctx.Err(); cerr != nil {
-			return cberr.From(fmt.Errorf("gateway: forward to %s: %w", addr, cerr), cberr.LayerGateway)
-		}
-		return cberr.Wrap(cberr.CodeUpstream, cberr.LayerGateway,
-			fmt.Errorf("gateway: forward to %s: %w", addr, err))
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-	if err != nil {
-		return cberr.Wrap(cberr.CodeUpstream, cberr.LayerGateway,
-			fmt.Errorf("gateway: read %s response: %w", addr, err))
-	}
-	if resp.StatusCode != http.StatusOK {
-		var e api.ErrorResponse
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			if e.Code != "" {
-				// Re-attach the upstream classification so canceled and
-				// deadline verdicts keep their identity across the hop.
-				return fmt.Errorf("gateway: vm %s: %w", addr,
-					cberr.FromWire(e.Code, e.Layer, e.Retryable, e.Error))
-			}
-			return cberr.Wrap(cberr.CodeUpstream, cberr.LayerGateway,
-				fmt.Errorf("gateway: vm %s: %s", addr, e.Error))
-		}
-		return cberr.Wrap(cberr.CodeUpstream, cberr.LayerGateway,
-			fmt.Errorf("gateway: vm %s: status %d", addr, resp.StatusCode))
-	}
-	if err := json.Unmarshal(data, out); err != nil {
-		return cberr.Wrap(cberr.CodeUpstream, cberr.LayerGateway,
-			fmt.Errorf("gateway: decode %s response: %w", addr, err))
-	}
-	return nil
+	return g.transport.RoundTrip(ctx, addr, path, in, out)
 }
+
+// Transport exposes the gateway's outbound hop carrier.
+func (g *Gateway) Transport() api.Transport { return g.transport }

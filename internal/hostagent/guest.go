@@ -21,6 +21,7 @@ import (
 	"confbench/internal/faultplane"
 	"confbench/internal/obs"
 	"confbench/internal/vm"
+	"confbench/internal/wire"
 )
 
 // GuestServer is the agent running inside one VM: a small HTTP server
@@ -51,6 +52,12 @@ type GuestServerConfig struct {
 	Faults *faultplane.Plane
 	// Host labels the agent's host for fault-spec matching.
 	Host string
+	// Transport selects the carriers the agent accepts. The default
+	// (and "binary") serves both: a protocol sniffer peeks each
+	// connection's first bytes and routes wire frames to the binary
+	// serving loop, everything else to the HTTP mux. "httpjson"
+	// disables the sniffer and serves plain HTTP only.
+	Transport string
 }
 
 // NewGuestServer starts the guest agent on a localhost ephemeral port,
@@ -70,12 +77,20 @@ func NewGuestServer(cfg GuestServerConfig) (*GuestServer, error) {
 		errs:     r.Counter("confbench_hostagent_errors_total", "vm", machine.Name()),
 		latency:  r.Histogram("confbench_hostagent_request_seconds", "vm", machine.Name()),
 	}
+	// The guest surface is versioned under /guest/v1 with the
+	// pre-versioning spellings kept as byte-identical aliases — same
+	// handlers, both mounts.
 	mux := http.NewServeMux()
-	mux.HandleFunc(api.GuestPathInvoke, g.handleInvoke)
-	mux.HandleFunc(api.GuestPathAttest, g.handleAttest)
-	mux.HandleFunc(api.GuestPathHealth, func(w http.ResponseWriter, _ *http.Request) {
+	health := func(w http.ResponseWriter, _ *http.Request) {
 		api.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok", "vm": g.vm.Name()})
-	})
+	}
+	mux.HandleFunc(api.GuestV1Invoke, g.handleInvoke)
+	mux.HandleFunc(api.GuestPathInvoke, g.handleInvoke)
+	mux.HandleFunc(api.GuestV1Attest, g.handleAttest)
+	mux.HandleFunc(api.GuestPathAttest, g.handleAttest)
+	mux.HandleFunc(api.GuestV1Health, health)
+	mux.HandleFunc(api.GuestPathHealth, health)
+	mux.HandleFunc(api.GuestV1Obs, g.handleObs)
 	mux.HandleFunc(api.GuestPathObs, g.handleObs)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -83,9 +98,20 @@ func NewGuestServer(cfg GuestServerConfig) (*GuestServer, error) {
 	}
 	g.listener = ln
 	g.addr = ln.Addr().String()
+	var serveLn net.Listener = ln
+	if cfg.Transport != wire.TransportHTTPJSON {
+		serveLn = wire.NewSniffer(ln, wire.ServerConfig{
+			Handler: g.handleWire,
+			Faults:  cfg.Faults,
+			Target: faultplane.Target{
+				TEE: string(machine.Platform()), Host: cfg.Host, VM: machine.Name(),
+			},
+			Obs: r,
+		})
+	}
 	g.server = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
-		_ = g.server.Serve(ln) // returns ErrServerClosed on shutdown
+		_ = g.server.Serve(serveLn) // returns ErrServerClosed on shutdown
 	}()
 	return g, nil
 }
@@ -114,24 +140,17 @@ func (g *GuestServer) handleObs(w http.ResponseWriter, r *http.Request) {
 // VM returns the wrapped VM.
 func (g *GuestServer) VM() *vm.VM { return g.vm }
 
-func (g *GuestServer) handleInvoke(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		api.WriteError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
-		return
-	}
-	var req api.GuestInvokeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		g.errs.Inc()
-		api.WriteError(w, http.StatusBadRequest,
-			cberr.Wrap(cberr.CodeInvalid, cberr.LayerHost, fmt.Errorf("decode request: %w", err)))
-		return
-	}
+// execInvoke runs one guest invocation — metrics, fault injection,
+// tracing, VM execution — independent of the carrier. A crash/drop
+// fault returns wire.ErrSever: the HTTP handler converts it to an
+// aborted connection, the wire serving loop to a severed one, so a
+// dying guest looks identical under both transports.
+func (g *GuestServer) execInvoke(ctx context.Context, req *api.GuestInvokeRequest) (api.InvokeResponse, error) {
 	g.requests.Inc()
 	start := time.Now()
 	// When the caller wants a trace, this side of the network hop
 	// starts its own root (the gateway's clock is not ours); the tree
 	// rides back in the response for the gateway to graft.
-	ctx := r.Context()
 	var root *obs.Span
 	if req.Trace {
 		ctx, root = obs.NewRoot(ctx, "hostagent", "invoke "+g.vm.Name())
@@ -150,21 +169,18 @@ func (g *GuestServer) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			if root != nil {
 				root.End()
 			}
-			api.WriteError(w, cberr.HTTPStatus(d.Err), d.Err)
-			return
+			return api.InvokeResponse{}, d.Err
 		default: // crash / drop: the agent dies mid-request — the
-			// gateway sees a severed connection, not an HTTP error.
+			// gateway sees a severed connection, not an error reply.
 			g.errs.Inc()
-			panic(http.ErrAbortHandler)
+			return api.InvokeResponse{}, wire.ErrSever
 		}
 	}
 	res, err := g.vm.InvokeFunction(ctx, req.Function, req.Scale)
 	g.latency.Observe(time.Since(start))
 	if err != nil {
 		g.errs.Inc()
-		err = cberr.From(err, cberr.LayerHost)
-		api.WriteError(w, cberr.HTTPStatus(err), err)
-		return
+		return api.InvokeResponse{}, cberr.From(err, cberr.LayerHost)
 	}
 	resp := api.InvokeResponse{
 		Output:      res.Output,
@@ -178,6 +194,42 @@ func (g *GuestServer) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	if root != nil {
 		root.End()
 		resp.Trace = root.Data()
+	}
+	return resp, nil
+}
+
+// execAttest runs one attestation round trip, carrier-independent.
+func (g *GuestServer) execAttest(ctx context.Context, req *api.AttestRequest) (api.AttestResponse, error) {
+	start := time.Now()
+	evidence, err := g.vm.AttestationReport(ctx, req.Nonce)
+	if err != nil {
+		return api.AttestResponse{}, cberr.From(err, cberr.LayerHost)
+	}
+	return api.AttestResponse{
+		Evidence: evidence,
+		AttestNs: time.Since(start).Nanoseconds(),
+	}, nil
+}
+
+func (g *GuestServer) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		api.WriteError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req api.GuestInvokeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		g.errs.Inc()
+		api.WriteError(w, http.StatusBadRequest,
+			cberr.Wrap(cberr.CodeInvalid, cberr.LayerHost, fmt.Errorf("decode request: %w", err)))
+		return
+	}
+	resp, err := g.execInvoke(r.Context(), &req)
+	if err != nil {
+		if errors.Is(err, wire.ErrSever) {
+			panic(http.ErrAbortHandler)
+		}
+		api.WriteError(w, cberr.HTTPStatus(err), err)
+		return
 	}
 	api.WriteJSON(w, http.StatusOK, resp)
 }
@@ -193,17 +245,59 @@ func (g *GuestServer) handleAttest(w http.ResponseWriter, r *http.Request) {
 			cberr.Wrap(cberr.CodeInvalid, cberr.LayerHost, fmt.Errorf("decode request: %w", err)))
 		return
 	}
-	start := time.Now()
-	evidence, err := g.vm.AttestationReport(r.Context(), req.Nonce)
+	resp, err := g.execAttest(r.Context(), &req)
 	if err != nil {
-		err = cberr.From(err, cberr.LayerHost)
 		api.WriteError(w, cberr.HTTPStatus(err), err)
 		return
 	}
-	api.WriteJSON(w, http.StatusOK, api.AttestResponse{
-		Evidence: evidence,
-		AttestNs: time.Since(start).Nanoseconds(),
-	})
+	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleWire serves the binary protocol against the same execution
+// paths the HTTP handlers use. Request payloads arrive pooled and are
+// decoded (copied) before any execution; responses are built into
+// pooled buffers owned by the serving loop.
+func (g *GuestServer) handleWire(ctx context.Context, t wire.Type, payload []byte) (wire.Type, []byte, error) {
+	switch t {
+	case wire.TInvokeReq:
+		req, err := wire.DecodeGuestInvoke(payload)
+		if err != nil {
+			g.errs.Inc()
+			return 0, nil, cberr.Wrap(cberr.CodeInvalid, cberr.LayerHost,
+				fmt.Errorf("decode request: %w", err))
+		}
+		resp, err := g.execInvoke(ctx, &req)
+		if err != nil {
+			return 0, nil, err
+		}
+		out, err := wire.AppendInvokeResponse(wire.GetBuf(0), &resp)
+		if err != nil {
+			return 0, nil, cberr.Wrap(cberr.CodeInternal, cberr.LayerHost, err)
+		}
+		return wire.TInvokeResp, out, nil
+	case wire.TAttestReq:
+		_, req, err := wire.DecodeAttest(payload)
+		if err != nil {
+			return 0, nil, cberr.Wrap(cberr.CodeInvalid, cberr.LayerHost,
+				fmt.Errorf("decode request: %w", err))
+		}
+		resp, err := g.execAttest(ctx, &req)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.TAttestResp, wire.AppendAttestResp(wire.GetBuf(0), &resp), nil
+	case wire.THealthReq:
+		return wire.THealthResp, wire.AppendHealthResp(wire.GetBuf(0), g.vm.Name()), nil
+	case wire.TObsReq:
+		blob, err := json.Marshal(g.reg.Snapshot())
+		if err != nil {
+			return 0, nil, cberr.Wrap(cberr.CodeInternal, cberr.LayerHost, err)
+		}
+		return wire.TObsResp, append(wire.GetBuf(0), blob...), nil
+	default:
+		return 0, nil, cberr.Newf(cberr.CodeInvalid, cberr.LayerHost,
+			"hostagent: unexpected frame type %s", t)
+	}
 }
 
 // Close shuts the guest agent down (the VM itself is owned by the

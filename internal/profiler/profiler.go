@@ -1,0 +1,36 @@
+// Package profiler exposes Go's net/http/pprof surface on a dedicated
+// listener, gated behind an explicit -pprof flag on each command so a
+// production-shaped run never serves profiling endpoints by accident.
+// The handlers live on their own mux — the benchmark and gateway muxes
+// stay clean of debug routes.
+package profiler
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Enable starts serving the pprof handlers (index, cmdline, profile,
+// symbol, trace, and the runtime profiles behind the index) on addr
+// and returns the index URL plus a shutdown func. A typical CPU
+// capture against a running benchmark:
+//
+//	go tool pprof 'http://127.0.0.1:6060/debug/pprof/profile?seconds=10'
+func Enable(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("profiler: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String() + "/debug/pprof/", srv.Close, nil
+}

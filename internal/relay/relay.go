@@ -9,7 +9,6 @@ package relay
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -17,7 +16,13 @@ import (
 
 	"confbench/internal/faultplane"
 	"confbench/internal/obs"
+	"confbench/internal/wire"
 )
+
+// copyBufSize is the per-direction forwarding chunk size. The buffers
+// come from the wire package's pool, so a busy relay recycles the same
+// few chunks instead of allocating per connection.
+const copyBufSize = 32 << 10
 
 // Relay forwards TCP connections to a fixed target address.
 type Relay struct {
@@ -178,9 +183,7 @@ func (r *Relay) forward(client net.Conn, delay time.Duration) {
 
 	done := make(chan struct{}, 2)
 	pipe := func(dst, src net.Conn) {
-		// Count bytes as they stream so long-lived (keep-alive)
-		// connections report traffic before they close.
-		_, _ = io.Copy(&countingWriter{w: dst, count: &r.bytesFwd, obsCount: r.obsBytes}, src)
+		r.pipe(dst, src)
 		// Half-close so the peer sees EOF while the other direction
 		// drains, like socat.
 		if tc, ok := dst.(*net.TCPConn); ok {
@@ -193,21 +196,33 @@ func (r *Relay) forward(client net.Conn, delay time.Duration) {
 	<-done
 }
 
-// countingWriter adds every written byte to an atomic counter and,
-// when set, to the registry-backed mirror.
-type countingWriter struct {
-	w        io.Writer
-	count    *atomic.Uint64
-	obsCount *obs.Counter
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.count.Add(uint64(n))
-	if c.obsCount != nil {
-		c.obsCount.Add(uint64(n))
+// pipe streams one direction dst←src through a pooled chunk buffer,
+// crediting the byte counters with exactly what each write delivered.
+// Counting the write's return — once, after the write — keeps the
+// totals exact when a connection is severed mid-stream: the final
+// partial flush lands in the counters a single time, never per
+// buffered retry, and bytes the kernel refused are never credited.
+func (r *Relay) pipe(dst, src net.Conn) {
+	buf := wire.GetBuf(copyBufSize)
+	defer wire.PutBuf(buf)
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			wn, werr := dst.Write(buf[:n])
+			if wn > 0 {
+				r.bytesFwd.Add(uint64(wn))
+				if r.obsBytes != nil {
+					r.obsBytes.Add(uint64(wn))
+				}
+			}
+			if werr != nil {
+				return
+			}
+		}
+		if rerr != nil {
+			return // EOF or severed — either way this direction is done
+		}
 	}
-	return n, err
 }
 
 func (r *Relay) drop(c net.Conn) {

@@ -296,3 +296,93 @@ func TestRelayFaultDrop(t *testing.T) {
 		t.Errorf("echo through unfaulted relay = %q", got)
 	}
 }
+
+// TestRelayForwardedBytesExactCleanClose pins the byte counters to a
+// known payload: an echoed transfer crossing the copy-chunk boundary
+// must count every byte exactly once per direction — no more, no less.
+func TestRelayForwardedBytesExactCleanClose(t *testing.T) {
+	target := echoServer(t)
+	r := New(target)
+	addr, err := r.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	payload := make([]byte, copyBufSize+4096+7) // forces multiple chunks
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, _ = conn.Write(payload)
+		_ = conn.(*net.TCPConn).CloseWrite()
+	}()
+	got, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("echoed %d bytes, want %d", len(got), len(payload))
+	}
+	_ = conn.Close()
+	// Close drains the forwarders, making the counters final.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * uint64(len(payload))
+	if fwd := r.BytesForwarded(); fwd != want {
+		t.Fatalf("bytes forwarded = %d, want exactly %d", fwd, want)
+	}
+}
+
+// TestRelayForwardedBytesExactOnSever severs the target side after it
+// consumed a known one-way payload: the counters must report exactly
+// that payload, not double-counted chunks from the teardown path.
+func TestRelayForwardedBytesExactOnSever(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	const n = 1000
+	consumed := make(chan struct{})
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if _, err := io.ReadFull(c, make([]byte, n)); err != nil {
+			t.Error(err)
+		}
+		_ = c.Close() // sever without replying
+		close(consumed)
+	}()
+
+	r := New(ln.Addr().String())
+	addr, err := r.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(make([]byte, n)); err != nil {
+		t.Fatal(err)
+	}
+	<-consumed
+	// The sever propagates back as EOF; nothing ever flowed toward us.
+	if _, err := io.ReadAll(conn); err != nil {
+		t.Fatalf("reading the severed connection: %v", err)
+	}
+	_ = conn.Close()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fwd := r.BytesForwarded(); fwd != n {
+		t.Fatalf("bytes forwarded = %d, want exactly %d", fwd, n)
+	}
+}

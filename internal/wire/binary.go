@@ -1,0 +1,320 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"confbench/internal/api"
+	"confbench/internal/cberr"
+	"confbench/internal/obs"
+)
+
+// Binary is the persistent-connection transport: one multiplexed TCP
+// connection per peer address, length-prefixed binary frames, and
+// out-of-order completion by correlation ID. A connection that dies
+// mid-flight fails its pending calls with a retryable unavailable
+// error and is replaced on the next call — redial policy stays with
+// the existing retry machinery (gateway alternate-endpoint dispatch,
+// client retry loop) rather than being duplicated here.
+type Binary struct {
+	m *wireMetrics
+
+	mu     sync.Mutex
+	conns  map[string]*mconn
+	closed bool
+}
+
+// NewBinary builds the binary transport. reg may be nil to run
+// without wire metrics.
+func NewBinary(reg *obs.Registry) *Binary {
+	return &Binary{m: newWireMetrics(reg), conns: make(map[string]*mconn)}
+}
+
+// Name implements Transport.
+func (t *Binary) Name() string { return TransportBinary }
+
+// Close severs every connection; pending calls fail unavailable.
+func (t *Binary) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	conns := t.conns
+	t.conns = map[string]*mconn{}
+	t.mu.Unlock()
+	for _, mc := range conns {
+		mc.kill(errors.New("wire: transport closed"))
+	}
+	return nil
+}
+
+// RoundTrip implements Transport.
+func (t *Binary) RoundTrip(ctx context.Context, addr, path string, in, out any) error {
+	ft, payload, err := encodeRequest(path, in)
+	if err != nil {
+		return err
+	}
+	mc, err := t.conn(addr)
+	if err != nil {
+		PutBuf(payload)
+		return err
+	}
+	rt, rp, err := mc.roundTrip(ctx, ft, payload)
+	if err != nil {
+		return err
+	}
+	defer PutBuf(rp)
+	return decodeWireResponse(addr, rt, rp, out)
+}
+
+// conn returns the live connection to addr, dialing or replacing a
+// dead one under the transport lock (peers are local, dials are
+// cheap; a slow peer only stalls calls to other peers during its own
+// dial, which the pipeline never does mid-benchmark).
+func (t *Binary) conn(addr string) (*mconn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, cberr.New(cberr.CodeUnavailable, cberr.LayerGateway, "wire: transport closed")
+	}
+	if mc, ok := t.conns[addr]; ok {
+		select {
+		case <-mc.dead:
+			// fall through and redial
+		default:
+			return mc, nil
+		}
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, cberr.Wrap(cberr.CodeUnavailable, cberr.LayerGateway,
+			fmt.Errorf("wire: dial %s: %w", addr, err))
+	}
+	mc := newMconn(addr, c, t.m)
+	t.conns[addr] = mc
+	return mc, nil
+}
+
+// inFrame is a matched response handed from the read loop to a waiter.
+type inFrame struct {
+	t       Type
+	payload []byte
+}
+
+// mconn is one multiplexed connection: a write loop batching outbound
+// frames, a read loop matching responses to waiters by correlation ID,
+// and a pending table. kill runs exactly once, closes dead, and every
+// waiter observes it.
+type mconn struct {
+	addr    string
+	conn    net.Conn
+	writeCh chan outFrame
+	dead    chan struct{}
+	m       *wireMetrics
+
+	mu      sync.Mutex
+	deadErr error
+	seq     uint64
+	pending map[uint64]chan inFrame
+}
+
+func newMconn(addr string, conn net.Conn, m *wireMetrics) *mconn {
+	mc := &mconn{
+		addr:    addr,
+		conn:    conn,
+		writeCh: make(chan outFrame, maxBatch),
+		dead:    make(chan struct{}),
+		m:       m,
+		pending: make(map[uint64]chan inFrame),
+	}
+	go writeLoop(conn, mc.writeCh, mc.dead, m)
+	go mc.readLoop()
+	return mc
+}
+
+func (mc *mconn) readLoop() {
+	for {
+		h, payload, err := ReadFrame(mc.conn)
+		if err != nil {
+			mc.kill(fmt.Errorf("wire: %s: %w", mc.addr, err))
+			return
+		}
+		mc.m.countIn(HeaderSize + len(payload))
+		mc.mu.Lock()
+		ch := mc.pending[h.Corr]
+		delete(mc.pending, h.Corr)
+		mc.mu.Unlock()
+		if ch == nil {
+			// Response for a caller that already gave up (canceled).
+			PutBuf(payload)
+			continue
+		}
+		ch <- inFrame{t: h.Type, payload: payload} // buffered; sole sender
+	}
+}
+
+// kill marks the connection dead (first error wins), closes it, and
+// releases every waiter via the dead channel.
+func (mc *mconn) kill(err error) {
+	mc.mu.Lock()
+	if mc.deadErr != nil {
+		mc.mu.Unlock()
+		return
+	}
+	mc.deadErr = err
+	mc.pending = make(map[uint64]chan inFrame)
+	mc.mu.Unlock()
+	close(mc.dead)
+	mc.conn.Close()
+}
+
+func (mc *mconn) connErr() error {
+	mc.mu.Lock()
+	err := mc.deadErr
+	mc.mu.Unlock()
+	if err == nil {
+		err = errors.New("wire: connection closed")
+	}
+	return cberr.Wrap(cberr.CodeUnavailable, cberr.LayerGateway, err)
+}
+
+func (mc *mconn) forget(corr uint64) {
+	mc.mu.Lock()
+	delete(mc.pending, corr)
+	mc.mu.Unlock()
+}
+
+// roundTrip sends one request frame and waits for its correlated
+// response. payload is pooled and ownership passes to the write loop;
+// the returned payload is pooled and owned by the caller.
+func (mc *mconn) roundTrip(ctx context.Context, ft Type, payload []byte) (Type, []byte, error) {
+	mc.mu.Lock()
+	if mc.deadErr != nil {
+		mc.mu.Unlock()
+		PutBuf(payload)
+		return 0, nil, mc.connErr()
+	}
+	mc.seq++
+	corr := mc.seq
+	respCh := make(chan inFrame, 1)
+	mc.pending[corr] = respCh
+	mc.mu.Unlock()
+
+	select {
+	case mc.writeCh <- outFrame{t: ft, corr: corr, payload: payload}:
+	case <-mc.dead:
+		mc.forget(corr)
+		PutBuf(payload)
+		return 0, nil, mc.connErr()
+	case <-ctx.Done():
+		mc.forget(corr)
+		PutBuf(payload)
+		return 0, nil, cberr.From(fmt.Errorf("wire: %s: %w", mc.addr, ctx.Err()), cberr.LayerGateway)
+	}
+
+	select {
+	case in := <-respCh:
+		return in.t, in.payload, nil
+	case <-mc.dead:
+		mc.forget(corr)
+		return 0, nil, mc.connErr()
+	case <-ctx.Done():
+		mc.forget(corr)
+		return 0, nil, cberr.From(fmt.Errorf("wire: %s: %w", mc.addr, ctx.Err()), cberr.LayerGateway)
+	}
+}
+
+// encodeRequest maps a (path, request) pair onto a frame. The query
+// suffix (e.g. the obs scrape's ?format=json) is irrelevant to binary
+// framing and stripped.
+func encodeRequest(path string, in any) (Type, []byte, error) {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	buf := GetBuf(0)
+	switch path {
+	case api.GuestV1Invoke, api.GuestPathInvoke:
+		if req, ok := in.(*api.GuestInvokeRequest); ok {
+			return TInvokeReq, AppendGuestInvoke(buf, req), nil
+		}
+	case api.PathInvoke, api.PathV1Invoke:
+		switch v := in.(type) {
+		case *api.TenantedInvoke:
+			return TFrontInvokeReq, AppendFrontInvoke(buf, v), nil
+		case *api.InvokeRequest:
+			return TFrontInvokeReq, AppendFrontInvoke(buf, &api.TenantedInvoke{Req: *v}), nil
+		}
+	case api.GuestV1Attest, api.GuestPathAttest, api.PathAttest, api.PathV1Attest:
+		if req, ok := in.(*api.AttestRequest); ok {
+			return TAttestReq, AppendAttest(buf, "", req), nil
+		}
+		if ti, ok := in.(*api.TenantedAttest); ok {
+			return TAttestReq, AppendAttest(buf, ti.Tenant, &ti.Req), nil
+		}
+	case api.PathHealth, api.PathV1Health, api.GuestV1Health, api.GuestPathHealth:
+		if in == nil {
+			return THealthReq, buf, nil
+		}
+	case api.GuestV1Obs, api.GuestPathObs, api.PathObs, api.PathV1Obs:
+		if in == nil {
+			return TObsReq, buf, nil
+		}
+	}
+	PutBuf(buf)
+	return 0, nil, cberr.Newf(cberr.CodeInvalid, cberr.LayerGateway,
+		"wire: no binary mapping for %T at %s", in, path)
+}
+
+// decodeWireResponse decodes a response frame into out. TError frames
+// reconstruct the peer's classified error regardless of out.
+func decodeWireResponse(addr string, t Type, payload []byte, out any) error {
+	if t == TError {
+		werr, derr := DecodeError(payload)
+		if derr != nil {
+			return cberr.Wrap(cberr.CodeUpstream, cberr.LayerGateway, errString(addr, derr))
+		}
+		return errString(addr, werr)
+	}
+	switch o := out.(type) {
+	case nil:
+		return nil
+	case *api.InvokeResponse:
+		if t != TInvokeResp {
+			return typeMismatch(addr, t, TInvokeResp)
+		}
+		resp, err := DecodeInvokeResponse(payload)
+		if err != nil {
+			return cberr.Wrap(cberr.CodeUpstream, cberr.LayerGateway, errString(addr, err))
+		}
+		*o = resp
+		return nil
+	case *api.AttestResponse:
+		if t != TAttestResp {
+			return typeMismatch(addr, t, TAttestResp)
+		}
+		resp, err := DecodeAttestResp(payload)
+		if err != nil {
+			return cberr.Wrap(cberr.CodeUpstream, cberr.LayerGateway, errString(addr, err))
+		}
+		*o = resp
+		return nil
+	default:
+		// Obs snapshots (and any other structured response) ride as
+		// JSON payloads, exactly what the HTTP surface serves.
+		if t != TObsResp {
+			return typeMismatch(addr, t, TObsResp)
+		}
+		if err := json.Unmarshal(payload, out); err != nil {
+			return cberr.Wrap(cberr.CodeUpstream, cberr.LayerGateway, errString(addr, err))
+		}
+		return nil
+	}
+}
+
+func typeMismatch(addr string, got, want Type) error {
+	return cberr.Wrap(cberr.CodeUpstream, cberr.LayerGateway,
+		fmt.Errorf("wire: peer %s: frame type %s, want %s", addr, got, want))
+}

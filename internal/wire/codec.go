@@ -1,0 +1,329 @@
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"confbench/internal/api"
+	"confbench/internal/cberr"
+	"confbench/internal/faas"
+	"confbench/internal/obs"
+	"confbench/internal/tee"
+)
+
+// Payload codecs. Hand-rolled append-based encoding rather than
+// encoding/json or gob: the hot path (invoke request/response) must
+// not allocate per field, and the format must stay stable for the
+// committed fuzz corpus. Integers use varints; byte slices and
+// strings are length-prefixed. Decoders copy what they keep — payload
+// buffers return to the pool the moment decoding finishes.
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// dec is a bounds-checked decode cursor. Every read failure wraps
+// ErrTruncated so fuzz inputs map to a typed error, never a panic.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrTruncated, what)
+	}
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// bytes returns a COPY of the encoded slice: the backing payload
+// buffer is pooled and reused after decode. The length is validated
+// against both the remaining input and MaxPayload before allocating,
+// so a hostile length cannot over-allocate.
+func (d *dec) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxPayload || n > uint64(len(d.b)) {
+		d.fail("bytes length")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.b[:n])
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *dec) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > MaxPayload || n > uint64(len(d.b)) {
+		d.fail("string length")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *dec) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b) < 1 {
+		d.fail("bool")
+		return false
+	}
+	v := d.b[0] != 0
+	d.b = d.b[1:]
+	return v
+}
+
+// AppendGuestInvoke encodes the guest-hop invoke request.
+func AppendGuestInvoke(dst []byte, req *api.GuestInvokeRequest) []byte {
+	dst = appendString(dst, req.Function.Name)
+	dst = appendString(dst, req.Function.Language)
+	dst = appendString(dst, req.Function.Workload)
+	dst = appendBytes(dst, req.Function.Source)
+	dst = appendVarint(dst, int64(req.Scale))
+	dst = appendBool(dst, req.Trace)
+	return dst
+}
+
+// DecodeGuestInvoke decodes a TInvokeReq payload.
+func DecodeGuestInvoke(b []byte) (api.GuestInvokeRequest, error) {
+	d := dec{b: b}
+	var req api.GuestInvokeRequest
+	req.Function = faas.Function{
+		Name:     d.string(),
+		Language: d.string(),
+		Workload: d.string(),
+		Source:   d.bytes(),
+	}
+	req.Scale = int(d.varint())
+	req.Trace = d.bool()
+	return req, d.err
+}
+
+// AppendInvokeResponse encodes an invoke response, including the full
+// perfmon block the paper piggybacks on results. The optional trace
+// tree rides as a JSON blob: traces are explicitly opt-in and off the
+// hot path, so schema flexibility beats hand-rolled field codecs
+// there.
+func AppendInvokeResponse(dst []byte, resp *api.InvokeResponse) ([]byte, error) {
+	dst = appendString(dst, resp.Output)
+	dst = appendVarint(dst, resp.WallNs)
+	dst = appendVarint(dst, resp.BootstrapNs)
+	dst = appendVarint(dst, int64(resp.Perf.Wall))
+	dst = appendUvarint(dst, resp.Perf.Instructions)
+	dst = appendUvarint(dst, resp.Perf.Cycles)
+	dst = appendUvarint(dst, resp.Perf.CacheRefs)
+	dst = appendUvarint(dst, resp.Perf.CacheMisses)
+	dst = appendUvarint(dst, resp.Perf.ContextSwitches)
+	dst = appendUvarint(dst, resp.Perf.PageFaults)
+	dst = appendUvarint(dst, resp.Perf.TEEExits)
+	dst = appendString(dst, resp.Perf.Monitor)
+	dst = appendBool(dst, resp.Secure)
+	dst = appendString(dst, string(resp.Platform))
+	dst = appendString(dst, resp.Host)
+	dst = appendString(dst, resp.VM)
+	if resp.Trace == nil {
+		return appendBool(dst, false), nil
+	}
+	blob, err := json.Marshal(resp.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encode trace: %w", err)
+	}
+	dst = appendBool(dst, true)
+	return appendBytes(dst, blob), nil
+}
+
+// DecodeInvokeResponse decodes a TInvokeResp payload.
+func DecodeInvokeResponse(b []byte) (api.InvokeResponse, error) {
+	d := dec{b: b}
+	var resp api.InvokeResponse
+	resp.Output = d.string()
+	resp.WallNs = d.varint()
+	resp.BootstrapNs = d.varint()
+	resp.Perf.Wall = time.Duration(d.varint())
+	resp.Perf.Instructions = d.uvarint()
+	resp.Perf.Cycles = d.uvarint()
+	resp.Perf.CacheRefs = d.uvarint()
+	resp.Perf.CacheMisses = d.uvarint()
+	resp.Perf.ContextSwitches = d.uvarint()
+	resp.Perf.PageFaults = d.uvarint()
+	resp.Perf.TEEExits = d.uvarint()
+	resp.Perf.Monitor = d.string()
+	resp.Secure = d.bool()
+	resp.Platform = tee.Kind(d.string())
+	resp.Host = d.string()
+	resp.VM = d.string()
+	if d.bool() {
+		blob := d.bytes()
+		if d.err == nil {
+			var span obs.SpanData
+			if err := json.Unmarshal(blob, &span); err != nil {
+				return resp, fmt.Errorf("wire: decode trace: %w", err)
+			}
+			resp.Trace = &span
+		}
+	}
+	return resp, d.err
+}
+
+// AppendFrontInvoke encodes the front-door invoke (tenant + request).
+func AppendFrontInvoke(dst []byte, ti *api.TenantedInvoke) []byte {
+	dst = appendString(dst, ti.Tenant)
+	dst = appendString(dst, ti.Req.Function)
+	dst = appendVarint(dst, int64(ti.Req.Scale))
+	dst = appendBool(dst, ti.Req.Secure)
+	dst = appendString(dst, string(ti.Req.TEE))
+	dst = appendBool(dst, ti.Req.Trace)
+	return dst
+}
+
+// DecodeFrontInvoke decodes a TFrontInvokeReq payload.
+func DecodeFrontInvoke(b []byte) (api.TenantedInvoke, error) {
+	d := dec{b: b}
+	var ti api.TenantedInvoke
+	ti.Tenant = d.string()
+	ti.Req.Function = d.string()
+	ti.Req.Scale = int(d.varint())
+	ti.Req.Secure = d.bool()
+	ti.Req.TEE = tee.Kind(d.string())
+	ti.Req.Trace = d.bool()
+	return ti, d.err
+}
+
+// AppendAttest encodes an attestation request. The tenant is empty on
+// the guest hop and carries the caller's identity at the front door.
+func AppendAttest(dst []byte, tenant string, req *api.AttestRequest) []byte {
+	dst = appendString(dst, tenant)
+	dst = appendString(dst, string(req.TEE))
+	dst = appendBytes(dst, req.Nonce)
+	return dst
+}
+
+// DecodeAttest decodes a TAttestReq payload.
+func DecodeAttest(b []byte) (string, api.AttestRequest, error) {
+	d := dec{b: b}
+	tenant := d.string()
+	var req api.AttestRequest
+	req.TEE = tee.Kind(d.string())
+	req.Nonce = d.bytes()
+	return tenant, req, d.err
+}
+
+// AppendAttestResp encodes an attestation response.
+func AppendAttestResp(dst []byte, resp *api.AttestResponse) []byte {
+	dst = appendBytes(dst, resp.Evidence)
+	dst = appendVarint(dst, resp.AttestNs)
+	return dst
+}
+
+// DecodeAttestResp decodes a TAttestResp payload.
+func DecodeAttestResp(b []byte) (api.AttestResponse, error) {
+	d := dec{b: b}
+	var resp api.AttestResponse
+	resp.Evidence = d.bytes()
+	resp.AttestNs = d.varint()
+	return resp, d.err
+}
+
+// AppendHealthResp encodes a health response detail string.
+func AppendHealthResp(dst []byte, detail string) []byte {
+	return appendString(dst, detail)
+}
+
+// DecodeHealthResp decodes a THealthResp payload.
+func DecodeHealthResp(b []byte) (string, error) {
+	d := dec{b: b}
+	s := d.string()
+	return s, d.err
+}
+
+// AppendError encodes an error frame from the same envelope the HTTP
+// surface serves, so the cberr taxonomy — code, layer, retryability,
+// retry-after — crosses the hop bit-for-bit equivalently under both
+// carriers.
+func AppendError(dst []byte, err error) []byte {
+	env := api.ErrorEnvelope(err)
+	dst = appendString(dst, string(env.Code))
+	dst = appendString(dst, string(env.Layer))
+	dst = appendBool(dst, env.Retryable)
+	dst = appendUvarint(dst, uint64(env.RetryAfterMS))
+	dst = appendString(dst, env.Error)
+	return dst
+}
+
+// DecodeError decodes a TError payload back into a *cberr.Error.
+func DecodeError(b []byte) (error, error) {
+	d := dec{b: b}
+	code := d.string()
+	layer := d.string()
+	retryable := d.bool()
+	retryAfterMS := d.uvarint()
+	msg := d.string()
+	if d.err != nil {
+		return nil, d.err
+	}
+	var ce error = cberr.FromWire(cberr.Code(code), cberr.Layer(layer), retryable, msg)
+	if retryAfterMS > 0 {
+		ce = cberr.WithRetryAfter(ce, time.Duration(retryAfterMS)*time.Millisecond)
+	}
+	return ce, nil
+}

@@ -18,7 +18,7 @@ import (
 
 // bootTelemetry boots a two-host SEV cluster on a dedicated registry
 // and runs n invokes.
-func bootTelemetry(t *testing.T, seed int64, n int) *confbench.Cluster {
+func bootTelemetry(t *testing.T, seed int64, n int, transport string) *confbench.Cluster {
 	t.Helper()
 	c, err := confbench.New(
 		confbench.WithTEEs(confbench.KindSEV),
@@ -26,6 +26,7 @@ func bootTelemetry(t *testing.T, seed int64, n int) *confbench.Cluster {
 		confbench.WithGuestMemoryMB(8),
 		confbench.WithObsRegistry(confbench.NewObsRegistry()),
 		confbench.WithHostsPerTEE(2),
+		confbench.WithTransport(transport),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +52,13 @@ func bootTelemetry(t *testing.T, seed int64, n int) *confbench.Cluster {
 // from at least two distinct scraped host agents, each under its own
 // host label.
 func TestTelemetryClusterFederation(t *testing.T) {
-	c := bootTelemetry(t, 7, 10)
+	for _, transport := range smokeTransports {
+		t.Run(transport, func(t *testing.T) { telemetryClusterFederation(t, transport) })
+	}
+}
+
+func telemetryClusterFederation(t *testing.T, transport string) {
+	c := bootTelemetry(t, 7, 10, transport)
 	cs, err := c.Client().ObsCluster(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
@@ -100,9 +107,9 @@ func TestTelemetryClusterFederation(t *testing.T) {
 // schedule, and derives the windowed invoke rate from federation
 // sweeps driven at synthetic instants — the full pipeline with every
 // wall-clock input pinned.
-func telemetryRate(t *testing.T, seed int64) float64 {
+func telemetryRate(t *testing.T, seed int64, transport string) float64 {
 	t.Helper()
-	c := bootTelemetry(t, seed, 0)
+	c := bootTelemetry(t, seed, 0, transport)
 	ctx := context.Background()
 	client := c.Client()
 	gw := c.Gateway()
@@ -131,14 +138,18 @@ func telemetryRate(t *testing.T, seed int64) float64 {
 // bit-identical — scrapes at synthetic instants leave no wall-clock
 // residue in the series.
 func TestTelemetryWindowedRatePinned(t *testing.T) {
-	r1 := telemetryRate(t, 42)
-	r2 := telemetryRate(t, 42)
-	if r1 != r2 {
-		t.Fatalf("same seed produced different windowed rates: %v vs %v", r1, r2)
-	}
-	// (12-3) invokes over 3 synthetic seconds: exactly 3/s.
-	if r1 != 3 {
-		t.Fatalf("windowed rate = %v, want exactly 3", r1)
+	for _, transport := range smokeTransports {
+		t.Run(transport, func(t *testing.T) {
+			r1 := telemetryRate(t, 42, transport)
+			r2 := telemetryRate(t, 42, transport)
+			if r1 != r2 {
+				t.Fatalf("same seed produced different windowed rates: %v vs %v", r1, r2)
+			}
+			// (12-3) invokes over 3 synthetic seconds: exactly 3/s.
+			if r1 != 3 {
+				t.Fatalf("windowed rate = %v, want exactly 3", r1)
+			}
+		})
 	}
 }
 
@@ -147,6 +158,12 @@ func TestTelemetryWindowedRatePinned(t *testing.T) {
 // asserts the flight recorder flushed a postmortem naming the
 // invoke's trace ID and the fault points that killed it.
 func TestTelemetryPostmortemOnExhaustedRetry(t *testing.T) {
+	for _, transport := range smokeTransports {
+		t.Run(transport, func(t *testing.T) { telemetryPostmortem(t, transport) })
+	}
+}
+
+func telemetryPostmortem(t *testing.T, transport string) {
 	plane := confbench.NewFaultPlane(42)
 	specs, err := confbench.ParseFaultSpecs("hostagent.exec:error:1.0")
 	if err != nil {
@@ -167,6 +184,7 @@ func TestTelemetryPostmortemOnExhaustedRetry(t *testing.T) {
 		// (the fleet-wide fault kills it too), which is what triggers
 		// the postmortem flush.
 		confbench.WithHostsPerTEE(2),
+		confbench.WithTransport(transport),
 	)
 	if err != nil {
 		t.Fatal(err)

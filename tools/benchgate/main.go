@@ -1,0 +1,264 @@
+// Command benchgate turns `go test -bench -benchmem` output into the
+// committed perf trajectory (BENCH_relay.json) and enforces it.
+//
+// Update the baseline (refuses to commit a run that breaks the
+// binary-vs-httpjson trajectory):
+//
+//	go test -run xxx -bench ... -benchmem -benchtime=2000x . | go run ./tools/benchgate -update -out BENCH_relay.json
+//
+// Gate a fresh run against the committed baseline:
+//
+//	go test -run xxx -bench ... -benchmem -benchtime=2000x . | go run ./tools/benchgate -gate -baseline BENCH_relay.json
+//
+// The gate fails when any benchmark's allocs/op regresses more than
+// 10% or its invokes/s regresses more than 15% against the baseline,
+// and when the end-to-end pair no longer shows the committed
+// trajectory: binary at >= 2x httpjson's invoke rate with <= 25% of
+// its allocations.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements. InvokesPerSec is 0
+// for benchmarks that do not report the custom metric.
+type Result struct {
+	Iterations    int64   `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp   float64 `json:"allocs_per_op,omitempty"`
+	InvokesPerSec float64 `json:"invokes_per_sec,omitempty"`
+}
+
+// Baseline is the BENCH_relay.json schema.
+type Baseline struct {
+	// Note records how to regenerate the file.
+	Note       string            `json:"note"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+const (
+	regenNote = "regenerate with `make bench`; checked by `make bench-gate`"
+
+	// The committed trajectory on the e2e invoke pair.
+	e2eHTTPJSON = "BenchmarkWireTransportInvoke/httpjson"
+	e2eBinary   = "BenchmarkWireTransportInvoke/binary"
+	minSpeedup  = 2.0  // binary invokes/s >= 2x httpjson
+	maxAllocs   = 0.25 // binary allocs/op <= 25% of httpjson
+
+	// Regression tolerances for -gate.
+	allocsSlack  = 0.10 // allocs/op may grow at most 10%
+	invokesSlack = 0.15 // invokes/s may drop at most 15%
+)
+
+// gomaxprocsSuffix strips the trailing -N that `go test` appends for
+// GOMAXPROCS, so baselines survive core-count changes.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	update := flag.Bool("update", false, "write a new baseline from stdin")
+	gate := flag.Bool("gate", false, "check stdin against the baseline")
+	out := flag.String("out", "BENCH_relay.json", "baseline file to write (-update)")
+	baseline := flag.String("baseline", "BENCH_relay.json", "baseline file to check against (-gate)")
+	flag.Parse()
+	if *update == *gate {
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -update or -gate required")
+		os.Exit(2)
+	}
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if errs := checkTrajectory(results); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "benchgate: trajectory:", e)
+		}
+		os.Exit(1)
+	}
+
+	if *update {
+		if err := write(*out, results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: wrote %s (%d benchmarks)\n", *out, len(results))
+		return
+	}
+
+	base, err := read(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	if errs := checkRegression(base.Benchmarks, results); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", e)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok (%d benchmarks within tolerance of %s)\n", len(results), *baseline)
+}
+
+// parse extracts benchmark result lines from `go test -bench` output.
+// Repeated names (-count=N) merge best-case per metric — min ns/op,
+// bytes, and allocs, max invokes/s — so machine noise in any single
+// sample neither poisons a baseline nor trips the gate.
+func parse(r io.Reader) (map[string]Result, error) {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the raw output so the gate's log keeps the full run.
+		fmt.Println(line)
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters}
+		// The remainder is (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			case "invokes/s":
+				res.InvokesPerSec = v
+			}
+		}
+		if prev, ok := results[name]; ok {
+			res = bestOf(prev, res)
+		}
+		results[name] = res
+	}
+	return results, sc.Err()
+}
+
+// bestOf merges two samples of the same benchmark metric-by-metric.
+func bestOf(a, b Result) Result {
+	out := a
+	if b.NsPerOp > 0 && (out.NsPerOp == 0 || b.NsPerOp < out.NsPerOp) {
+		out.NsPerOp = b.NsPerOp
+	}
+	if b.BytesPerOp > 0 && (out.BytesPerOp == 0 || b.BytesPerOp < out.BytesPerOp) {
+		out.BytesPerOp = b.BytesPerOp
+	}
+	if b.AllocsPerOp > 0 && (out.AllocsPerOp == 0 || b.AllocsPerOp < out.AllocsPerOp) {
+		out.AllocsPerOp = b.AllocsPerOp
+	}
+	if b.InvokesPerSec > out.InvokesPerSec {
+		out.InvokesPerSec = b.InvokesPerSec
+	}
+	return out
+}
+
+// checkTrajectory enforces the committed binary-vs-httpjson claim on
+// the e2e pair, whenever both are present in the run.
+func checkTrajectory(results map[string]Result) []string {
+	httpjson, okH := results[e2eHTTPJSON]
+	binary, okB := results[e2eBinary]
+	if !okH || !okB {
+		return []string{fmt.Sprintf("run missing the e2e pair %s / %s", e2eHTTPJSON, e2eBinary)}
+	}
+	var errs []string
+	if httpjson.InvokesPerSec <= 0 || binary.InvokesPerSec <= 0 {
+		errs = append(errs, "e2e pair did not report invokes/s")
+		return errs
+	}
+	if speedup := binary.InvokesPerSec / httpjson.InvokesPerSec; speedup < minSpeedup {
+		errs = append(errs, fmt.Sprintf("binary %.0f invokes/s is only %.2fx httpjson's %.0f (need >= %.1fx)",
+			binary.InvokesPerSec, speedup, httpjson.InvokesPerSec, minSpeedup))
+	}
+	if httpjson.AllocsPerOp > 0 {
+		if ratio := binary.AllocsPerOp / httpjson.AllocsPerOp; ratio > maxAllocs {
+			errs = append(errs, fmt.Sprintf("binary %.0f allocs/op is %.0f%% of httpjson's %.0f (need <= %.0f%%)",
+				binary.AllocsPerOp, ratio*100, httpjson.AllocsPerOp, maxAllocs*100))
+		}
+	}
+	return errs
+}
+
+// checkRegression compares a fresh run to the committed baseline.
+// Benchmarks new to either side are reported but not failed, so
+// adding a benchmark does not require a lockstep baseline refresh.
+func checkRegression(base, fresh map[string]Result) []string {
+	var errs []string
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		got := fresh[name]
+		want, ok := base[name]
+		if !ok {
+			fmt.Printf("benchgate: note: %s not in baseline, skipping\n", name)
+			continue
+		}
+		if want.AllocsPerOp > 0 && got.AllocsPerOp > want.AllocsPerOp*(1+allocsSlack) {
+			errs = append(errs, fmt.Sprintf("%s: allocs/op %.0f regressed >%.0f%% over baseline %.0f",
+				name, got.AllocsPerOp, allocsSlack*100, want.AllocsPerOp))
+		}
+		if want.InvokesPerSec > 0 && got.InvokesPerSec < want.InvokesPerSec*(1-invokesSlack) {
+			errs = append(errs, fmt.Sprintf("%s: invokes/s %.0f regressed >%.0f%% under baseline %.0f",
+				name, got.InvokesPerSec, invokesSlack*100, want.InvokesPerSec))
+		}
+	}
+	for name := range base {
+		if _, ok := fresh[name]; !ok {
+			errs = append(errs, fmt.Sprintf("%s: in baseline but missing from run", name))
+		}
+	}
+	return errs
+}
+
+func write(path string, results map[string]Result) error {
+	b, err := json.MarshalIndent(Baseline{Note: regenNote, Benchmarks: results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func read(path string) (Baseline, error) {
+	var base Baseline
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return base, fmt.Errorf("read baseline: %w (run `make bench` to create it)", err)
+	}
+	if err := json.Unmarshal(b, &base); err != nil {
+		return base, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return base, nil
+}
