@@ -5,14 +5,14 @@ GO ?= go
 # the front tier (admission queues, shard breakers, async completion
 # goroutines), the retrying HTTP client, the fault plane, the sharded
 # metrics registry, and the warm guest pool's refill goroutine.
-RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/fronttier/... ./internal/api/... ./internal/obs/... ./internal/faultplane/... ./internal/hostagent/... ./internal/wire/...
+RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/fronttier/... ./internal/api/... ./internal/obs/... ./internal/faultplane/... ./internal/hostagent/... ./internal/wire/... ./internal/wal/...
 
 # Packages held to the coverage floor: the statistics toolkit every
 # reported number flows through, the gateway dispatch path, the
-# sharded front tier, the warm-pool/snapshot-cache subsystem, and the
-# telemetry plane.
+# sharded front tier, the warm-pool/snapshot-cache subsystem, the
+# telemetry plane, and the persistence plane's log.
 COVER_FLOOR ?= 70
-COVER_PKGS = ./internal/stats ./internal/gateway ./internal/fronttier ./internal/hostagent ./internal/vm ./internal/obs ./internal/wire
+COVER_PKGS = ./internal/stats ./internal/gateway ./internal/fronttier ./internal/hostagent ./internal/vm ./internal/obs ./internal/wire ./internal/wal
 
 # The relay benchmark suite behind the committed perf trajectory
 # (BENCH_relay.json). Iterations are pinned so baseline and gate runs
@@ -23,7 +23,7 @@ BENCH_COUNT ?= 3
 BENCH_RUN = $(GO) test -run xxx -bench 'BenchmarkWireTransportInvoke|BenchmarkCodec|BenchmarkTransportRoundTrip' \
 	-benchmem -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . ./internal/wire
 
-.PHONY: build test vet race cover cover-floor fuzz-smoke bench bench-gate obs-smoke chaos-smoke telemetry-smoke fronttier-smoke lint-metrics verify
+.PHONY: build test vet race cover cover-floor fuzz-smoke bench bench-gate obs-smoke chaos-smoke telemetry-smoke fronttier-smoke durability-smoke lint-metrics verify
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz 'FuzzParseSpecs$$' -fuzztime 5s ./internal/faultplane
 	$(GO) test -run xxx -fuzz 'FuzzWireDecode$$' -fuzztime 5s ./internal/api
 	$(GO) test -run xxx -fuzz 'FuzzWireFrame$$' -fuzztime 5s ./internal/wire
+	$(GO) test -run xxx -fuzz 'FuzzRecovery$$' -fuzztime 5s ./internal/wal
 
 # Refresh the committed relay perf trajectory. Refuses to write a
 # baseline where binary is not >= 2x httpjson invokes/s at <= 25% of
@@ -104,6 +105,13 @@ telemetry-smoke:
 fronttier-smoke:
 	$(GO) test -race -run TestFrontTierSmoke -count=1 .
 
+# End-to-end durability check: committed minidb batches survive a
+# crash that tears the log tail, and a cluster rebooted on the same
+# durable dir serves restart-spanning windowed rates and replayed
+# flight-recorder events.
+durability-smoke:
+	$(GO) test -run TestDurabilitySmoke -count=1 .
+
 # Static metric-naming lint: every literal metric family registered in
 # the tree must start with confbench_ and counters must end in _total.
 lint-metrics:
@@ -111,6 +119,6 @@ lint-metrics:
 
 # Full pre-merge check: compile, vet, unit tests, the race detector
 # over the concurrency-sensitive packages, the coverage floor, the
-# metric-naming lint, the observability/chaos/telemetry/front-tier
-# smokes, and the committed relay perf trajectory.
-verify: build vet test race cover-floor lint-metrics obs-smoke chaos-smoke telemetry-smoke fronttier-smoke bench-gate
+# metric-naming lint, the observability/chaos/telemetry/front-tier/
+# durability smokes, and the committed relay perf trajectory.
+verify: build vet test race cover-floor lint-metrics obs-smoke chaos-smoke telemetry-smoke fronttier-smoke durability-smoke bench-gate

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	confbench-bench [-fig all|3|dbms|4|5|6|7|8|colocation] [-trials N]
+//	confbench-bench [-fig all|3|dbms|4|5|6|7|8|colocation|storage] [-trials N]
 //	                [-scale-divisor N] [-size N] [-seed N] [-workers N]
 //	                [-trace] [-chaos SPECS [-chaos-invokes N]] [-coldstart]
 //	                [-shards N [-async] [-tenant NAME] [-invokes N]]
+//	                [-durable-dir DIR]
 //
 // With the defaults it runs the paper's full protocol (10 trials,
 // full workload scales, speedtest size 100); pass -quick for a
@@ -25,7 +26,12 @@
 // driven through N gateway shards — with -async through the
 // submit→poll path, with -tenant stamped with that tenant identity —
 // and the aggregate (routing distribution, sheds, total virtual wall)
-// is bit-identical per seed.
+// is bit-identical per seed. -fig storage (excluded from "all") prices
+// the speedtest suite on the durable log-structured backend against
+// the in-memory pager — write amplification and per-commit fsyncs,
+// under each TEE's cost model. -durable-dir DIR roots the persistence
+// plane: gateway telemetry spills (and replays) under DIR, and the
+// storage figure keeps its speedtest logs there for inspection.
 package main
 
 import (
@@ -55,7 +61,7 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("confbench-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: all, 3, dbms, 4, 5, 6, 7, 8, colocation")
+	fig := fs.String("fig", "all", "figure to regenerate: all, 3, dbms, 4, 5, 6, 7, 8, colocation, storage (storage is not part of all)")
 	trials := fs.Int("trials", 10, "independent trials per measurement point")
 	scaleDiv := fs.Int("scale-divisor", 1, "divide workload scales by this factor")
 	dbSize := fs.Int("size", 100, "speedtest relative size (speedtest1 --size)")
@@ -74,6 +80,7 @@ func run(ctx context.Context, args []string) error {
 	tenant := fs.String("tenant", "", "front-tier bench: stamp requests with this tenant identity")
 	ftInvokes := fs.Int("invokes", 60, "front-tier bench: invocations to drive")
 	transport := fs.String("transport", "", "pipeline hop carrier: httpjson (default) or binary (persistent multiplexed wire frames)")
+	durableDir := fs.String("durable-dir", "", "root of the durable persistence plane: gateway telemetry spills here, and -fig storage keeps its speedtest logs here (empty = in-memory telemetry, throwaway storage logs)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address while the bench runs (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,12 +120,16 @@ func run(ctx context.Context, args []string) error {
 		return nil
 	}
 
-	cluster, err := confbench.New(
+	clusterOpts := []confbench.Option{
 		confbench.WithSeed(*seed),
 		confbench.WithGuestMemoryMB(16),
 		confbench.WithWorkers(*workers),
 		confbench.WithTransport(*transport),
-	)
+	}
+	if *durableDir != "" {
+		clusterOpts = append(clusterOpts, confbench.WithDurableDir(*durableDir))
+	}
+	cluster, err := confbench.New(clusterOpts...)
 	if err != nil {
 		return err
 	}
@@ -163,6 +174,26 @@ func run(ctx context.Context, args []string) error {
 		}
 		report.DBMS = results
 		fmt.Println(bench.RenderDBMS(results))
+	}
+
+	// The storage figure runs only when asked for by name: it doubles
+	// the speedtest work (memory + durable run per platform), so "all"
+	// keeps the paper's original protocol.
+	if *fig == "storage" {
+		var results []bench.DBMSStorageResult
+		for _, kind := range cluster.Kinds() {
+			pair, err := cluster.Pair(kind)
+			if err != nil {
+				return err
+			}
+			res, err := bench.DBMSStorage(ctx, pair, bench.DBMSStorageOptions{Size: *dbSize, Dir: *durableDir})
+			if err != nil {
+				return fmt.Errorf("storage (%s): %w", kind, err)
+			}
+			results = append(results, res)
+		}
+		report.Storage = results
+		fmt.Println(bench.RenderDBMSStorage(results))
 	}
 
 	if want("4") {

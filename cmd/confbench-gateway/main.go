@@ -14,7 +14,7 @@
 //	confbench-gateway [-addr 127.0.0.1:8080] [-hosts FILE]
 //	                  [-policy round-robin|least-loaded] [-shards N]
 //	                  [-breaker-threshold N] [-breaker-cooldown D]
-//	                  [-scrape-interval D]
+//	                  [-scrape-interval D] [-durable-dir DIR]
 //
 // -shards N (> 1, embedded mode only) deploys N gateway shards and
 // serves the front tier on -addr instead of a single gateway: invokes
@@ -62,6 +62,7 @@ func run(args []string) error {
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default)")
 	scrapeInterval := fs.Duration("scrape-interval", 0, "background telemetry scrape period for /v1/obs/cluster series (0 = scrape only on request)")
 	shards := fs.Int("shards", 0, "deploy this many gateway shards behind a front tier served on -addr (embedded mode only, > 1)")
+	durableDir := fs.String("durable-dir", "", "spill gateway telemetry (federation sweeps, flight-recorder events) to an append-only log under this directory and replay it on start, so /v1/obs/cluster?window= and /v1/obs/events span restarts (empty = in-memory only)")
 	transport := fs.String("transport", "", "outbound hop carrier: httpjson (default, JSON over HTTP) or binary (persistent multiplexed wire frames); inbound always accepts both")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
@@ -100,9 +101,15 @@ func run(args []string) error {
 		// Embedded mode: the Cluster boots gateway + hosts; we expose
 		// a second gateway bound to the requested address on the same
 		// host endpoints.
+		// Sharded deployments spill per shard inside the cluster; the
+		// single-gateway mode spills from the exposed gateway below.
+		var clusterDurable string
+		if *shards > 1 {
+			clusterDurable = *durableDir
+		}
 		cluster, err := confbench.NewCluster(confbench.ClusterConfig{
 			Seed: *seed, GuestMemoryMB: 16, LeastLoaded: *policy == "least-loaded",
-			Shards: *shards, Transport: *transport,
+			Shards: *shards, Transport: *transport, DurableDir: clusterDurable,
 		})
 		if err != nil {
 			return err
@@ -141,6 +148,7 @@ func run(args []string) error {
 			BreakerCooldown:  *breakerCooldown,
 			ScrapeInterval:   *scrapeInterval,
 			Transport:        *transport,
+			DurableDir:       *durableDir,
 		})
 		for _, kind := range cluster.Kinds() {
 			agent, err := cluster.Agent(kind)
@@ -173,6 +181,7 @@ func run(args []string) error {
 		BreakerCooldown:  *breakerCooldown,
 		ScrapeInterval:   *scrapeInterval,
 		Transport:        *transport,
+		DurableDir:       *durableDir,
 	})
 	for _, h := range hosts {
 		gw.AddHost(h.Name, h.Endpoints)

@@ -181,6 +181,16 @@ func WithTransport(name string) Option {
 	return func(c *ClusterConfig) { c.Transport = name }
 }
 
+// WithDurableDir roots the deployment's persistence plane at dir: each
+// gateway (or shard, under its own subdirectory) spills federation
+// sweeps and flight-recorder events to an append-only checksummed log
+// and replays them on start, so windowed /v1/obs/cluster rates and
+// /v1/obs/events span process restarts. Without it telemetry lives
+// only in memory and dies with the process.
+func WithDurableDir(dir string) Option {
+	return func(c *ClusterConfig) { c.DurableDir = dir }
+}
+
 // New boots a deployment configured by opts. Close it when done.
 func New(opts ...Option) (*Cluster, error) {
 	var cfg ClusterConfig

@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"context"
+	"os"
 	"strings"
 	"testing"
 
@@ -85,6 +86,48 @@ func TestDBMSShape(t *testing.T) {
 	}
 	if len(tdxRes.PerTest) != 18 {
 		t.Errorf("per-test rows = %d", len(tdxRes.PerTest))
+	}
+}
+
+func TestDBMSStorageShape(t *testing.T) {
+	dir := t.TempDir()
+	res, err := DBMSStorage(context.Background(), pairFor(t, tee.KindTDX), DBMSStorageOptions{Size: 10, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The durable cell charges the log's physical footprint (framing,
+	// checksums, superseded versions) where the memory cell charges
+	// logical dirty pages, plus a fsync pair per commit point.
+	if res.Durable.WriteBytes <= res.Memory.WriteBytes {
+		t.Errorf("durable writes %d <= memory writes %d; want amplification",
+			res.Durable.WriteBytes, res.Memory.WriteBytes)
+	}
+	if res.WriteAmplification <= 1 {
+		t.Errorf("write amplification = %.2f, want > 1", res.WriteAmplification)
+	}
+	if res.Durable.Syscalls <= res.Memory.Syscalls {
+		t.Errorf("durable syscalls %d <= memory syscalls %d; want per-commit fsyncs",
+			res.Durable.Syscalls, res.Memory.Syscalls)
+	}
+	if res.DurableOverhead < 1 {
+		t.Errorf("durable overhead = %.2f, want >= 1", res.DurableOverhead)
+	}
+	// The suite ends with DROP TABLEs, so the live set is empty; the
+	// log itself must still exist.
+	if res.Segments < 1 {
+		t.Errorf("log stats = %d segments; want >= 1", res.Segments)
+	}
+	if res.LiveBytes != 0 {
+		t.Errorf("live bytes = %d after the suite's DROP TABLEs, want 0", res.LiveBytes)
+	}
+	// An explicit Dir keeps the log on disk for inspection.
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Errorf("durable dir empty after run (err=%v)", err)
+	}
+	out := RenderDBMSStorage([]DBMSStorageResult{res})
+	if !strings.Contains(out, "write amplification") || !strings.Contains(out, "durable") {
+		t.Errorf("render missing storage cells:\n%s", out)
 	}
 }
 

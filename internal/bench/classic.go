@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"confbench/internal/cberr"
@@ -193,6 +194,123 @@ func DBMS(ctx context.Context, pair vm.Pair, opts DBMSOptions) (DBMSResult, erro
 		}
 	}
 	out.AvgRatio = stats.Mean(ratios)
+	return out, nil
+}
+
+// DBMSStorageCell is one backend's priced speedtest run: the suite's
+// total metered usage priced under both VMs, plus the raw storage
+// counters the pricing derives from.
+type DBMSStorageCell struct {
+	Backend    string  `json:"backend"` // "memory" or "durable"
+	SecureMs   float64 `json:"secure_ms"`
+	NormalMs   float64 `json:"normal_ms"`
+	WriteBytes uint64  `json:"write_bytes"`
+	Syscalls   uint64  `json:"syscalls"`
+}
+
+// DBMSStorageResult compares the speedtest suite on the in-memory
+// pager against the durable log-structured backend for one platform.
+// The memory cell charges the logical dirty-page volume at each commit
+// point; the durable cell charges the write-ahead log's actual on-disk
+// footprint (record framing, checksums, superseded versions) plus a
+// fsync syscall pair per commit — the persistence plane's real price.
+type DBMSStorageResult struct {
+	Kind    tee.Kind        `json:"tee"`
+	Size    int             `json:"size"`
+	Memory  DBMSStorageCell `json:"memory"`
+	Durable DBMSStorageCell `json:"durable"`
+	// WriteAmplification is durable/memory storage write bytes.
+	WriteAmplification float64 `json:"write_amplification"`
+	// DurableOverhead is the durable/memory secure-time ratio.
+	DurableOverhead float64 `json:"durable_overhead"`
+	// Segments and LiveBytes snapshot the log after the suite.
+	Segments  int   `json:"segments"`
+	LiveBytes int64 `json:"live_bytes"`
+}
+
+// DBMSStorageOptions sizes the durability experiment.
+type DBMSStorageOptions struct {
+	// Size is the speedtest relative size (0 = 100).
+	Size int
+	// Dir roots the durable run's log. Empty uses a throwaway temp dir;
+	// otherwise a fresh subdirectory is created under Dir and left in
+	// place for inspection (segments, compaction state).
+	Dir string
+}
+
+// DBMSStorage runs the speedtest suite twice — once on the in-memory
+// pager, once mounted on the durable write-ahead-log backend — and
+// prices both runs under the platform's secure and normal VM. The two
+// cells isolate what durability costs a confidential DBMS: write
+// amplification and per-commit fsyncs, which the TEE prices again as
+// guest exits.
+func DBMSStorage(ctx context.Context, pair vm.Pair, opts DBMSStorageOptions) (DBMSStorageResult, error) {
+	if err := ctx.Err(); err != nil {
+		return DBMSStorageResult{}, cberr.From(err, cberr.LayerBench)
+	}
+	if opts.Size <= 0 {
+		opts.Size = 100
+	}
+	dir := opts.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "confbench-storage-")
+		if err != nil {
+			return DBMSStorageResult{}, fmt.Errorf("bench storage: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	logDir, err := os.MkdirTemp(dir, "speedtest-")
+	if err != nil {
+		return DBMSStorageResult{}, fmt.Errorf("bench storage: %w", err)
+	}
+
+	runSuite := func(b minidb.Backend) (meter.Usage, error) {
+		st := minidb.NewSpeedTest(opts.Size)
+		st.Backend = b
+		m := meter.NewContext()
+		if _, err := st.Run(m); err != nil {
+			return nil, err
+		}
+		return m.Snapshot(), nil
+	}
+	memUsage, err := runSuite(nil)
+	if err != nil {
+		return DBMSStorageResult{}, fmt.Errorf("bench storage (memory): %w", err)
+	}
+	durable, err := minidb.NewDurableBackend(logDir)
+	if err != nil {
+		return DBMSStorageResult{}, err
+	}
+	durUsage, err := runSuite(durable)
+	if err != nil {
+		_ = durable.Close()
+		return DBMSStorageResult{}, fmt.Errorf("bench storage (durable): %w", err)
+	}
+	logStats := durable.Stats()
+	if err := durable.Close(); err != nil {
+		return DBMSStorageResult{}, err
+	}
+
+	cell := func(name string, u meter.Usage) DBMSStorageCell {
+		return DBMSStorageCell{
+			Backend:    name,
+			SecureMs:   float64(pair.Secure.PriceUsage(u).Nanoseconds()) / 1e6,
+			NormalMs:   float64(pair.Normal.PriceUsage(u).Nanoseconds()) / 1e6,
+			WriteBytes: u[meter.IOWriteBytes],
+			Syscalls:   u[meter.Syscalls],
+		}
+	}
+	out := DBMSStorageResult{
+		Kind:      pair.Secure.Platform(),
+		Size:      opts.Size,
+		Memory:    cell("memory", memUsage),
+		Durable:   cell("durable", durUsage),
+		Segments:  logStats.Segments,
+		LiveBytes: logStats.LiveBytes,
+	}
+	out.WriteAmplification = stats.Ratio(float64(out.Durable.WriteBytes), float64(out.Memory.WriteBytes))
+	out.DurableOverhead = stats.Ratio(out.Durable.SecureMs, out.Memory.SecureMs)
 	return out, nil
 }
 

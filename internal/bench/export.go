@@ -12,6 +12,7 @@ import (
 type Report struct {
 	ML          []MLResult          `json:"ml,omitempty"`
 	DBMS        []DBMSResult        `json:"dbms,omitempty"`
+	Storage     []DBMSStorageResult `json:"storage,omitempty"`
 	UnixBench   []UnixBenchResult   `json:"unixbench,omitempty"`
 	Attestation []AttestationResult `json:"attestation,omitempty"`
 	FaaS        []FaaSResult        `json:"faas,omitempty"`

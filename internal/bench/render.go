@@ -38,6 +38,25 @@ func RenderDBMS(results []DBMSResult) string {
 	return sb.String()
 }
 
+// RenderDBMSStorage renders the durability pricing view: per platform,
+// the speedtest suite priced on the in-memory pager vs the durable
+// write-ahead-log backend.
+func RenderDBMSStorage(results []DBMSStorageResult) string {
+	var sb strings.Builder
+	sb.WriteString("Storage — speedtest on the durable persistence plane vs the in-memory pager\n")
+	fmt.Fprintf(&sb, "%-10s %-8s %12s %12s %13s %10s\n",
+		"tee", "backend", "secure ms", "normal ms", "write bytes", "syscalls")
+	for _, r := range results {
+		for _, c := range []DBMSStorageCell{r.Memory, r.Durable} {
+			fmt.Fprintf(&sb, "%-10s %-8s %12.3f %12.3f %13d %10d\n",
+				r.Kind, c.Backend, c.SecureMs, c.NormalMs, c.WriteBytes, c.Syscalls)
+		}
+		fmt.Fprintf(&sb, "  [%s] write amplification %.2fx, durable overhead %.2fx, log: %d segments, %d live bytes (size %d)\n",
+			r.Kind, r.WriteAmplification, r.DurableOverhead, r.Segments, r.LiveBytes, r.Size)
+	}
+	return sb.String()
+}
+
 // RenderUnixBench renders the Fig. 4 view.
 func RenderUnixBench(results []UnixBenchResult) string {
 	var sb strings.Builder

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -95,6 +96,13 @@ type ClusterConfig struct {
 	// per peer pair, length-prefixed frames, out-of-order completion).
 	// Servers accept both carriers regardless.
 	Transport string
+	// DurableDir, when set, roots the deployment's persistence plane:
+	// each gateway (or shard) spills its federation sweeps and flight-
+	// recorder events to an append-only checksummed log under its own
+	// subdirectory, and replays them on start, so /v1/obs/cluster
+	// ?window= rates and /v1/obs/events span process restarts. Empty
+	// keeps telemetry in-memory only.
+	DurableDir string
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -206,10 +214,19 @@ func (c *Cluster) boot() error {
 	if c.cfg.LeastLoaded {
 		policy = func() gateway.Policy { return gateway.LeastLoaded{} }
 	}
+	// durableDir roots one gateway's telemetry spill under its own
+	// subdirectory of the deployment's persistence plane ("" = no
+	// spill). Per-gateway subdirs keep shard logs from interleaving.
+	durableDir := func(sub string) string {
+		if c.cfg.DurableDir == "" {
+			return ""
+		}
+		return filepath.Join(c.cfg.DurableDir, sub)
+	}
 	// newGateway builds one gateway over the full host fleet. Shards
 	// are stateless equivalents: every shard sees every host, so any
 	// shard can serve any key and a killed shard loses no capacity.
-	newGateway := func(reg *obs.Registry) *gateway.Gateway {
+	newGateway := func(reg *obs.Registry, sub string) *gateway.Gateway {
 		gw := gateway.New(gateway.Config{
 			Policy:           policy,
 			Obs:              reg,
@@ -218,6 +235,7 @@ func (c *Cluster) boot() error {
 			Faults:           c.cfg.Faults,
 			ScrapeInterval:   c.cfg.ObsScrapeInterval,
 			Transport:        c.cfg.Transport,
+			DurableDir:       durableDir(sub),
 		})
 		for _, kind := range c.cfg.TEEs {
 			for _, agent := range c.agents[kind] {
@@ -234,7 +252,7 @@ func (c *Cluster) boot() error {
 		shardCfgs := make([]fronttier.ShardConfig, 0, c.cfg.Shards)
 		for i := 0; i < c.cfg.Shards; i++ {
 			name := fmt.Sprintf("shard-%d", i)
-			gw := newGateway(obs.New())
+			gw := newGateway(obs.New(), name)
 			u, err := gw.Start("127.0.0.1:0")
 			if err != nil {
 				return err
@@ -259,7 +277,7 @@ func (c *Cluster) boot() error {
 			return err
 		}
 	} else {
-		c.gw = newGateway(c.obsreg)
+		c.gw = newGateway(c.obsreg, "gateway")
 		var err error
 		if url, err = c.gw.Start("127.0.0.1:0"); err != nil {
 			return err

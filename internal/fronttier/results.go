@@ -150,7 +150,12 @@ func (s *ResultStore) Await(ctx context.Context, id string, wait time.Duration) 
 	case <-timer.C:
 	case <-ctx.Done():
 	}
-	return s.Get(id)
+	// Read the held entry, not the map: a result that completed and was
+	// then capacity-evicted (or TTL-swept) during the park window is
+	// still owed to this caller. e.res is only written under s.mu.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return e.res, true
 }
 
 // Pending reports how many stored invokes are still executing.

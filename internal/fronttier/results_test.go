@@ -1,8 +1,10 @@
 package fronttier
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -62,6 +64,74 @@ func TestResultStoreTTL(t *testing.T) {
 	}
 	if _, ok := s.Get("stuck"); !ok {
 		t.Fatal("pending entry must not expire")
+	}
+}
+
+// TestResultStoreAwaitSurvivesEvictionDuringPark is the regression
+// test for the long-poll re-read race: a result that completed and was
+// then capacity-evicted while Await was parked used to be re-read
+// through the map and reported ok=false — the poller lost a result it
+// was owed. The fixed Await reads the entry it captured before
+// parking.
+//
+// Sequencing is deterministic: the injected clock fires a signal from
+// inside Await's first locked section, and the test then takes s.mu
+// itself — which can only succeed after Await has captured the entry
+// and released the lock. Completion and eviction happen in one
+// critical section, so the parked Await can only ever observe the
+// post-eviction store.
+func TestResultStoreAwaitSurvivesEvictionDuringPark(t *testing.T) {
+	awaitEntered := make(chan struct{}, 8)
+	var armed atomic.Bool
+	base := time.Unix(1700000000, 0)
+	s := NewResultStore(4, time.Hour, func() time.Time {
+		if armed.Load() {
+			select {
+			case awaitEntered <- struct{}{}:
+			default:
+			}
+		}
+		return base
+	})
+	if err := s.Put("x"); err != nil {
+		t.Fatal(err)
+	}
+	armed.Store(true)
+
+	type answer struct {
+		res api.AsyncResult
+		ok  bool
+	}
+	got := make(chan answer, 1)
+	go func() {
+		res, ok := s.Await(context.Background(), "x", 30*time.Second)
+		got <- answer{res, ok}
+	}()
+
+	<-awaitEntered // Await is inside its first locked section
+	s.mu.Lock()    // acquired only after Await captured the entry and parked
+	e := s.entries["x"]
+	if e == nil {
+		s.mu.Unlock()
+		t.Fatal("entry missing before eviction")
+	}
+	// Complete and capacity-evict in one critical section (what
+	// Complete + a racing Put's evictOldestDoneLocked do across two).
+	s.pending--
+	e.doneAt = base
+	e.res.Status = api.AsyncDone
+	e.res.Response = &api.InvokeResponse{Output: "late", WallNs: 9}
+	close(e.done)
+	delete(s.entries, "x")
+	s.order = s.order[:0]
+	s.mu.Unlock()
+
+	a := <-got
+	if !a.ok {
+		t.Fatal("Await reported ok=false for a result completed during its park window")
+	}
+	if a.res.Status != api.AsyncDone || a.res.Response == nil || a.res.Response.WallNs != 9 {
+		t.Fatalf("Await result = %+v, want the completed response", a.res)
 	}
 }
 

@@ -132,11 +132,39 @@ func (g *Gateway) ScrapeOnce(ctx context.Context, at time.Time) obs.ClusterSnaps
 	// The cluster invoke count gets its own series so the headline
 	// rate never depends on which hosts answered this sweep.
 	g.series.Series(obs.RateInvokesPerSec).Record(at, float64(g.invocations.Load()))
+	g.spillSweep(at, merged)
 
 	return obs.ClusterSnapshot{
 		Hosts:        hosts,
 		ScrapeErrors: scrapeErrs,
 		Merged:       merged,
+	}
+}
+
+// spillSweep persists one sweep's samples — the same points
+// RecordSnapshot just fed the in-memory rings — plus any new flight-
+// recorder events. A spill failure is counted, never fatal: telemetry
+// durability must not take the scrape path down.
+func (g *Gateway) spillSweep(at time.Time, merged obs.Snapshot) {
+	g.spillMu.Lock()
+	sp := g.spill
+	g.spillMu.Unlock()
+	if sp == nil {
+		return
+	}
+	samples := make(map[string]float64, len(merged.Counters)+len(merged.Histograms)+1)
+	for id, v := range merged.Counters {
+		samples[id] = float64(v)
+	}
+	for id, h := range merged.Histograms {
+		samples[id+"_count"] = float64(h.Count)
+	}
+	samples[obs.RateInvokesPerSec] = float64(g.invocations.Load())
+	if err := sp.FlushSweep(at, samples); err != nil {
+		g.spillFailures.Inc()
+	}
+	if err := sp.FlushEvents(g.recorder.Events()); err != nil {
+		g.spillFailures.Inc()
 	}
 }
 

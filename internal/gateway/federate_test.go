@@ -176,3 +176,54 @@ func TestScrapeWhileWorkersWrite(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestTelemetrySpillSpansRestart drives a gateway with a DurableDir
+// through sweeps and recorded events, closes it, and asserts a second
+// gateway on the same directory serves the pre-restart windowed rate
+// and flight-recorder events.
+func TestTelemetrySpillSpansRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	gw := New(Config{Obs: obs.New(), DurableDir: dir})
+	if _, err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// A growing invoke count over three synthetic sweeps.
+	for i := 1; i <= 3; i++ {
+		gw.invocations.Add(10)
+		gw.ScrapeOnce(context.Background(), time.Unix(int64(100+i), 0))
+	}
+	gw.recorder.Record(obs.Event{Trace: "inv-1", Function: "pyaes", TEE: "tdx"})
+	gw.recorder.Record(obs.Event{Trace: "inv-2", Function: "chacha20", Code: "unavailable"})
+	if err := gw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	gw2 := New(Config{Obs: obs.New(), DurableDir: dir})
+	if _, err := gw2.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("restart Start: %v", err)
+	}
+	defer gw2.Close()
+	s := gw2.Series().Get(obs.RateInvokesPerSec)
+	if s == nil || s.Len() != 3 {
+		t.Fatalf("replayed invoke series missing (len %d, want 3)", s.Len())
+	}
+	if got := s.Rate(0); got != 10 {
+		t.Fatalf("replayed invoke rate = %g, want 10", got)
+	}
+	evs := gw2.Recorder().Events()
+	if len(evs) != 2 || evs[0].Trace != "inv-1" || evs[1].Trace != "inv-2" {
+		t.Fatalf("replayed events = %+v", evs)
+	}
+	// The restarted gateway's own sweeps extend the recovered series:
+	// the fresh invocations counter restarts at zero, and the reset
+	// step is skipped rather than zeroing the window.
+	gw2.invocations.Add(5)
+	gw2.ScrapeOnce(context.Background(), time.Unix(110, 0))
+	gw2.ScrapeOnce(context.Background(), time.Unix(111, 0))
+	if s := gw2.Series().Get(obs.RateInvokesPerSec); s.Len() != 5 {
+		t.Fatalf("series after restart sweeps has %d samples, want 5", s.Len())
+	} else if got := s.Rate(0); got <= 0 {
+		t.Fatalf("restart-spanning rate = %g, want positive", got)
+	}
+}

@@ -50,6 +50,13 @@ type Gateway struct {
 	scrapeStop     chan struct{}
 	series         *obs.SeriesSet
 
+	// Telemetry spill (Config.DurableDir): opened and replayed by
+	// Start, flushed after every sweep and on Close.
+	durableDir    string
+	spillMu       sync.Mutex
+	spill         *obs.Spill
+	spillFailures *obs.Counter
+
 	// Invoke flight recorder (federate.go / handleInvoke).
 	recorder     *obs.Recorder
 	invokeSeq    atomic.Uint64
@@ -160,6 +167,12 @@ type Config struct {
 	// multiplexed wire protocol). The inbound front door always
 	// accepts both.
 	Transport string
+	// DurableDir, when set, persists the telemetry plane there: every
+	// federation sweep's series samples and new flight-recorder events
+	// are spilled to an append-only checksummed log, and Start replays
+	// the previous process's spill, so /v1/obs/cluster?window= rate
+	// queries and /v1/obs/events span restarts ("" = in-memory only).
+	DurableDir string
 }
 
 // New builds a gateway with empty pools.
@@ -201,8 +214,12 @@ func New(cfg Config) *Gateway {
 		series:           obs.NewSeriesSet(obs.DefaultSeriesCapacity),
 		recorder:         obs.NewRecorder(recorderCap),
 		postmortem:       postmortem,
+		durableDir:       cfg.DurableDir,
 	}
 	g.retries = g.obsreg.Counter("confbench_invoke_retries_total")
+	if g.durableDir != "" {
+		g.spillFailures = reg.Counter("confbench_obs_spill_failures_total")
+	}
 	g.wireRoutes = make(map[string]routeMetrics, 4)
 	for _, route := range []string{api.PathV1Invoke, api.PathV1Attest, api.PathV1Health, api.PathV1Obs} {
 		g.wireRoutes[route] = routeMetrics{
@@ -255,6 +272,21 @@ func (g *Gateway) Start(addr string) (string, error) {
 	if g.listener != nil {
 		return "", errors.New("gateway: already started")
 	}
+	if g.durableDir != "" {
+		sp, err := obs.OpenSpill(g.durableDir)
+		if err != nil {
+			return "", fmt.Errorf("gateway: %w", err)
+		}
+		// Replay the previous process's telemetry into the fresh rings
+		// so windowed rates and event reads span the restart.
+		if _, _, err := sp.Replay(g.series, g.recorder); err != nil {
+			sp.Close()
+			return "", fmt.Errorf("gateway: replay telemetry spill: %w", err)
+		}
+		g.spillMu.Lock()
+		g.spill = sp
+		g.spillMu.Unlock()
+	}
 	mux := http.NewServeMux()
 	handleHealth := func(w http.ResponseWriter, _ *http.Request) {
 		api.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -289,6 +321,12 @@ func (g *Gateway) Start(addr string) (string, error) {
 	g.started = time.Now()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		g.spillMu.Lock()
+		if g.spill != nil {
+			g.spill.Close()
+			g.spill = nil
+		}
+		g.spillMu.Unlock()
 		return "", fmt.Errorf("gateway: listen %s: %w", addr, err)
 	}
 	g.listener = ln
@@ -333,7 +371,17 @@ func (g *Gateway) Close() error {
 	if stop != nil {
 		close(stop)
 	}
-	terr := g.transport.Close()
+	// Flush any events recorded since the last sweep, then release the
+	// spill so a successor process can reopen the directory.
+	g.spillMu.Lock()
+	sp := g.spill
+	g.spill = nil
+	g.spillMu.Unlock()
+	var sperr error
+	if sp != nil {
+		sperr = errors.Join(sp.FlushEvents(g.recorder.Events()), sp.Close())
+	}
+	terr := errors.Join(g.transport.Close(), sperr)
 	if srv == nil {
 		return terr
 	}

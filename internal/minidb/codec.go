@@ -1,0 +1,153 @@
+package minidb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary row/schema codec for the durable backend. The format is a
+// plain tagged encoding — count-prefixed values, one type byte each —
+// so the on-disk record size tracks the logical row size closely and
+// the metered write amplification stays honest.
+
+// Value type tags.
+const (
+	tagNull byte = 0
+	tagInt  byte = 1
+	tagReal byte = 2
+	tagText byte = 3
+)
+
+// encodeRow renders a row: count u16, then per value a tag byte and
+// its payload (int64/float64 as 8 big-endian bytes, text as u32 length
+// + bytes, null as nothing).
+func encodeRow(r Row) []byte {
+	n := 2
+	for _, v := range r {
+		n++ // tag
+		switch v.Type {
+		case TypeInt, TypeReal:
+			n += 8
+		case TypeText:
+			n += 4 + len(v.Str)
+		}
+	}
+	buf := make([]byte, 0, n)
+	var scratch [8]byte
+	binary.BigEndian.PutUint16(scratch[:2], uint16(len(r)))
+	buf = append(buf, scratch[:2]...)
+	for _, v := range r {
+		switch v.Type {
+		case TypeInt:
+			buf = append(buf, tagInt)
+			binary.BigEndian.PutUint64(scratch[:], uint64(v.Int))
+			buf = append(buf, scratch[:]...)
+		case TypeReal:
+			buf = append(buf, tagReal)
+			binary.BigEndian.PutUint64(scratch[:], math.Float64bits(v.Real))
+			buf = append(buf, scratch[:]...)
+		case TypeText:
+			buf = append(buf, tagText)
+			binary.BigEndian.PutUint32(scratch[:4], uint32(len(v.Str)))
+			buf = append(buf, scratch[:4]...)
+			buf = append(buf, v.Str...)
+		default:
+			buf = append(buf, tagNull)
+		}
+	}
+	return buf
+}
+
+// decodeRow parses an encodeRow payload.
+func decodeRow(b []byte) (Row, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("minidb: row record too short (%d bytes)", len(b))
+	}
+	count := int(binary.BigEndian.Uint16(b[:2]))
+	b = b[2:]
+	row := make(Row, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < 1 {
+			return nil, fmt.Errorf("minidb: row record truncated at value %d", i)
+		}
+		tag := b[0]
+		b = b[1:]
+		switch tag {
+		case tagNull:
+			row = append(row, Null())
+		case tagInt:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("minidb: row record truncated at value %d", i)
+			}
+			row = append(row, Int(int64(binary.BigEndian.Uint64(b[:8]))))
+			b = b[8:]
+		case tagReal:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("minidb: row record truncated at value %d", i)
+			}
+			row = append(row, Real(math.Float64frombits(binary.BigEndian.Uint64(b[:8]))))
+			b = b[8:]
+		case tagText:
+			if len(b) < 4 {
+				return nil, fmt.Errorf("minidb: row record truncated at value %d", i)
+			}
+			l := int(binary.BigEndian.Uint32(b[:4]))
+			b = b[4:]
+			if len(b) < l {
+				return nil, fmt.Errorf("minidb: row record truncated at value %d", i)
+			}
+			row = append(row, Text(string(b[:l])))
+			b = b[l:]
+		default:
+			return nil, fmt.Errorf("minidb: row record has unknown tag %d", tag)
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("minidb: row record has %d trailing bytes", len(b))
+	}
+	return row, nil
+}
+
+// encodeSchema renders a table's column definitions: count u16, then
+// per column a type byte and a u16 length + name.
+func encodeSchema(cols []ColDef) []byte {
+	var buf []byte
+	var scratch [2]byte
+	binary.BigEndian.PutUint16(scratch[:], uint16(len(cols)))
+	buf = append(buf, scratch[:]...)
+	for _, c := range cols {
+		buf = append(buf, byte(c.Type))
+		binary.BigEndian.PutUint16(scratch[:], uint16(len(c.Name)))
+		buf = append(buf, scratch[:]...)
+		buf = append(buf, c.Name...)
+	}
+	return buf
+}
+
+// decodeSchema parses an encodeSchema payload.
+func decodeSchema(b []byte) ([]ColDef, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("minidb: schema record too short (%d bytes)", len(b))
+	}
+	count := int(binary.BigEndian.Uint16(b[:2]))
+	b = b[2:]
+	cols := make([]ColDef, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < 3 {
+			return nil, fmt.Errorf("minidb: schema record truncated at column %d", i)
+		}
+		typ := Type(b[0])
+		l := int(binary.BigEndian.Uint16(b[1:3]))
+		b = b[3:]
+		if len(b) < l {
+			return nil, fmt.Errorf("minidb: schema record truncated at column %d", i)
+		}
+		cols = append(cols, ColDef{Name: string(b[:l]), Type: typ})
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("minidb: schema record has %d trailing bytes", len(b))
+	}
+	return cols, nil
+}

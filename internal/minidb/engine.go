@@ -1,6 +1,7 @@
 package minidb
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -35,12 +36,128 @@ type Database struct {
 	tables map[string]*table
 	inTxn  bool
 	undo   []undoEntry
+	// backend is the storage plane behind commit points; nil means the
+	// pure in-memory pager (metering-identical to MemoryBackend, with
+	// zero change-buffering overhead).
+	backend Backend
+	// pending buffers keyed mutations between commit points when a
+	// backend is mounted.
+	pending []Change
+	// suppress disables change recording while rollback's undo
+	// application and recovery's heap rebuild replay row operations
+	// that must not reach the backend.
+	suppress bool
 }
 
 // New creates an empty database.
 func New() *Database {
 	return &Database{tables: make(map[string]*table, 8)}
 }
+
+// NewWithBackend creates a database mounted on the given storage
+// backend, replaying any state the backend already persists (a durable
+// backend reopened after a crash or restart recovers every committed
+// row). A nil backend is equivalent to New.
+func NewWithBackend(b Backend) (*Database, error) {
+	db := New()
+	if b == nil {
+		return db, nil
+	}
+	db.backend = b
+	if err := db.recover(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// recover rebuilds the heap from the backend's persisted state:
+// schemas first, then rows (Load yields them in (table, rowid) order),
+// then secondary indexes. The replay meters nothing — recovery work is
+// priced by the caller as real open-time I/O, not workload activity —
+// and records nothing back to the backend.
+func (db *Database) recover() (err error) {
+	db.suppress = true
+	defer func() { db.suppress = false }()
+	throwaway := meter.NewContext()
+	type rowRec struct {
+		table string
+		rowid int64
+		row   Row
+	}
+	type idxRec struct{ table, col, name string }
+	var rows []rowRec
+	var idxs []idxRec
+	err = db.backend.Load(func(key string, val []byte) error {
+		switch {
+		case strings.HasPrefix(key, keyPrefixSchema):
+			name := key[len(keyPrefixSchema):]
+			cols, err := decodeSchema(val)
+			if err != nil {
+				return err
+			}
+			db.tables[name] = newTable(name, cols)
+		case strings.HasPrefix(key, keyPrefixRow):
+			// The rowid is a fixed-width 8-byte big-endian suffix (it
+			// may itself contain zero bytes), preceded by a separator.
+			rest := key[len(keyPrefixRow):]
+			if len(rest) < 10 || rest[len(rest)-9] != 0 {
+				return fmt.Errorf("minidb: malformed row key %q", key)
+			}
+			rowid := int64(binary.BigEndian.Uint64([]byte(rest[len(rest)-8:])))
+			row, err := decodeRow(val)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, rowRec{table: rest[:len(rest)-9], rowid: rowid, row: row})
+		case strings.HasPrefix(key, keyPrefixIndex):
+			rest := key[len(keyPrefixIndex):]
+			sep := strings.IndexByte(rest, 0)
+			if sep < 0 {
+				return fmt.Errorf("minidb: malformed index key %q", key)
+			}
+			idxs = append(idxs, idxRec{table: rest[:sep], col: rest[sep+1:], name: string(val)})
+		default:
+			return fmt.Errorf("minidb: unknown key prefix in %q", key)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		t, ok := db.tables[r.table]
+		if !ok {
+			return fmt.Errorf("%w: row for unrecovered table %q", ErrNoTable, r.table)
+		}
+		t.insertWithRowid(throwaway, r.rowid, r.row)
+	}
+	for _, ix := range idxs {
+		t, ok := db.tables[ix.table]
+		if !ok {
+			return fmt.Errorf("%w: index for unrecovered table %q", ErrNoTable, ix.table)
+		}
+		if err := t.addIndex(throwaway, ix.name, ix.col); err != nil {
+			return err
+		}
+	}
+	// The rebuild is not dirty state: it already is the durable state.
+	for _, t := range db.tables {
+		t.flushDirty()
+		t.rec = db.record
+	}
+	return nil
+}
+
+// record buffers one keyed mutation for the next commit point.
+func (db *Database) record(c Change) {
+	if db.suppress || db.backend == nil {
+		return
+	}
+	db.pending = append(db.pending, c)
+}
+
+// Backend returns the mounted storage backend (nil for in-memory).
+func (db *Database) Backend() Backend { return db.backend }
 
 // TableNames lists tables in sorted order.
 func (db *Database) TableNames() []string {
@@ -73,26 +190,42 @@ func (db *Database) Exec(m *meter.Context, sql string) (*ResultSet, error) {
 	return db.ExecStmt(m, stmt)
 }
 
-// flushDirty charges all buffered table writes as one batched device
-// write (the page-cache flush / journal fsync at a commit point).
-func (db *Database) flushDirty(m *meter.Context) {
+// flushDirty hands all buffered table writes to the backend as one
+// commit point. Without a backend this is the page-cache flush /
+// journal fsync of the in-memory pager: one batched device write of
+// the logical dirty volume. A durable backend instead appends the
+// buffered Changes to its log and fsyncs, charging real write
+// amplification.
+func (db *Database) flushDirty(m *meter.Context) error {
 	var total int64
 	for _, t := range db.tables {
 		total += t.flushDirty()
 	}
-	if total > 0 {
-		m.WriteIO(total)
+	if db.backend == nil {
+		if total > 0 {
+			m.WriteIO(total)
+		}
+		return nil
 	}
+	changes := db.pending
+	db.pending = nil
+	if len(changes) == 0 && total == 0 {
+		return nil
+	}
+	return db.backend.Apply(m, changes, total)
 }
 
 // ExecStmt executes a pre-parsed statement.
-func (db *Database) ExecStmt(m *meter.Context, stmt Stmt) (*ResultSet, error) {
+func (db *Database) ExecStmt(m *meter.Context, stmt Stmt) (rs *ResultSet, err error) {
 	m.CPU(60) // parse/plan overhead proxy
 	defer func() {
 		// Autocommit: outside a transaction every statement is its
-		// own commit point.
+		// own commit point. A backend flush failure fails the
+		// statement — the durable log refused the commit.
 		if !db.inTxn {
-			db.flushDirty(m)
+			if ferr := db.flushDirty(m); ferr != nil && err == nil {
+				rs, err = nil, ferr
+			}
 		}
 	}()
 	switch s := stmt.(type) {
@@ -124,7 +257,9 @@ func (db *Database) ExecStmt(m *meter.Context, stmt Stmt) (*ResultSet, error) {
 		}
 		db.inTxn = false
 		db.undo = db.undo[:0]
-		db.flushDirty(m)
+		if err := db.flushDirty(m); err != nil {
+			return nil, err
+		}
 		m.Syscall(2) // journal fsync pair
 		return &ResultSet{}, nil
 	case *RollbackStmt:
@@ -147,6 +282,22 @@ func (db *Database) logUndo(e undoEntry) {
 }
 
 func (db *Database) rollback(m *meter.Context) {
+	// Undo application restores the pre-transaction heap — a state the
+	// backend already holds — so none of it is recorded, and the
+	// aborted transaction's buffered row changes are discarded. DDL
+	// changes survive: the undo log does not undo DDL, so the durable
+	// state must keep pace with the in-memory catalog.
+	db.suppress = true
+	defer func() {
+		db.suppress = false
+		kept := db.pending[:0]
+		for _, c := range db.pending {
+			if c.DDL {
+				kept = append(kept, c)
+			}
+		}
+		db.pending = kept
+	}()
 	for i := len(db.undo) - 1; i >= 0; i-- {
 		e := db.undo[i]
 		t, ok := db.tables[e.table]
@@ -181,7 +332,12 @@ func (db *Database) createTable(m *meter.Context, s *CreateTableStmt) (*ResultSe
 		}
 		return nil, fmt.Errorf("%w: %q", ErrTableExists, s.Table)
 	}
-	db.tables[s.Table] = newTable(s.Table, s.Cols)
+	t := newTable(s.Table, s.Cols)
+	if db.backend != nil {
+		t.rec = db.record
+	}
+	db.tables[s.Table] = t
+	db.record(Change{Key: schemaKey(s.Table), Val: encodeSchema(s.Cols), DDL: true})
 	m.Touch(PageSize) // catalog page, flushed with the next commit
 	m.Syscall(1)
 	return &ResultSet{}, nil
@@ -195,17 +351,30 @@ func (db *Database) createIndex(m *meter.Context, s *CreateIndexStmt) (*ResultSe
 	if err := t.addIndex(m, s.Name, s.Col); err != nil {
 		return nil, err
 	}
+	db.record(Change{Key: indexKey(s.Table, s.Col), Val: []byte(s.Name), DDL: true})
 	m.Touch(PageSize)
 	m.Syscall(1)
 	return &ResultSet{}, nil
 }
 
 func (db *Database) dropTable(m *meter.Context, s *DropTableStmt) (*ResultSet, error) {
-	if _, ok := db.tables[s.Table]; !ok {
+	t, ok := db.tables[s.Table]
+	if !ok {
 		if s.IfExists {
 			return &ResultSet{}, nil
 		}
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, s.Table)
+	}
+	if db.backend != nil {
+		// Tombstone everything the table persisted: schema, index
+		// definitions, and every live row.
+		db.record(Change{Key: schemaKey(s.Table), Delete: true, DDL: true})
+		for col := range t.indexes {
+			db.record(Change{Key: indexKey(s.Table, col), Delete: true, DDL: true})
+		}
+		for rowid := range t.locs {
+			db.record(Change{Key: rowKey(s.Table, rowid), Delete: true, DDL: true})
+		}
 	}
 	delete(db.tables, s.Table)
 	m.Touch(PageSize)

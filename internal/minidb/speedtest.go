@@ -15,6 +15,11 @@ import (
 type SpeedTest struct {
 	// Size is the relative test size (speedtest1's --size; default 100).
 	Size int
+	// Backend, when set, mounts the suite's database on a storage
+	// backend (a DurableBackend makes every commit point append to a
+	// checksummed log and fsync, so the metered costs include real
+	// write amplification). Nil runs the classic in-memory suite.
+	Backend Backend
 	// db is rebuilt on every Run.
 	db *Database
 }
@@ -109,7 +114,11 @@ func (st *SpeedTest) Run(m *meter.Context) ([]TestResult, error) {
 // each numbered test completes (the benchmark harness uses it to
 // snapshot per-test metered usage).
 func (st *SpeedTest) RunWithProgress(m *meter.Context, progress func(TestResult)) ([]TestResult, error) {
-	st.db = New()
+	db, err := NewWithBackend(st.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("minidb speedtest: %w", err)
+	}
+	st.db = db
 	var results []TestResult
 	record := func(id int, name string, statements, rows int) {
 		r := TestResult{ID: id, Name: name, Statements: statements, Rows: rows}

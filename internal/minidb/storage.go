@@ -53,6 +53,9 @@ type table struct {
 	// dirtyBytes accumulates buffered writes until the next commit
 	// point, when they are charged as one batched device write.
 	dirtyBytes int64
+	// rec, when set, buffers each row mutation as a backend Change
+	// alongside the dirty-byte accounting (nil on in-memory databases).
+	rec func(Change)
 }
 
 // flushDirty returns and clears the buffered write volume.
@@ -126,6 +129,9 @@ func (t *table) insertWithRowid(m *meter.Context, rowid int64, r Row) {
 	m.Touch(int64(size))
 	m.Syscall(1)
 	t.dirtyBytes += int64(size)
+	if t.rec != nil {
+		t.rec(Change{Key: rowKey(t.name, rowid), Val: encodeRow(r)})
+	}
 	m.CPU(int64(len(r)) * 12)
 	for _, idx := range t.indexes {
 		idx.tree.Insert(r[idx.col], rowid)
@@ -164,6 +170,9 @@ func (t *table) delete(m *meter.Context, rowid int64) (Row, bool) {
 	m.Touch(rowOverhead)
 	m.Syscall(1)
 	t.dirtyBytes += rowOverhead
+	if t.rec != nil {
+		t.rec(Change{Key: rowKey(t.name, rowid), Delete: true})
+	}
 	for _, idx := range t.indexes {
 		idx.tree.Delete(old[idx.col], rowid)
 		m.CPU(40)
@@ -188,6 +197,9 @@ func (t *table) update(m *meter.Context, rowid int64, r Row) (Row, bool) {
 	m.Touch(size)
 	m.Syscall(1)
 	t.dirtyBytes += size
+	if t.rec != nil {
+		t.rec(Change{Key: rowKey(t.name, rowid), Val: encodeRow(r)})
+	}
 	for _, idx := range t.indexes {
 		if !Equal(old[idx.col], r[idx.col]) || old[idx.col].IsNull() != r[idx.col].IsNull() {
 			idx.tree.Delete(old[idx.col], rowid)

@@ -19,6 +19,16 @@ func (db *Database) vacuum(m *meter.Context) (*ResultSet, error) {
 	for _, t := range db.tables {
 		reclaimed += t.vacuum(m)
 	}
+	if db.backend != nil {
+		// Flush the rewritten heaps through the backend, then merge
+		// the log down to its live set — VACUUM's durable half.
+		if err := db.flushDirty(m); err != nil {
+			return nil, err
+		}
+		if err := db.backend.Compact(m); err != nil {
+			return nil, err
+		}
+	}
 	return &ResultSet{Affected: reclaimed}, nil
 }
 
@@ -31,7 +41,14 @@ func (t *table) vacuum(m *meter.Context) int {
 	}
 	var dropped int
 	for _, pg := range t.pages {
-		m.ReadIO(PageSize)
+		// Page-cache-resident pages are memory traffic, exactly as in
+		// scan; only cold pages are priced as storage reads.
+		if pg.cached {
+			m.Touch(PageSize)
+		} else {
+			pg.cached = true
+			m.ReadIO(PageSize)
+		}
 		for i, rowid := range pg.rowids {
 			if pg.dead[i] {
 				dropped++
@@ -64,9 +81,13 @@ func (t *table) vacuum(m *meter.Context) int {
 		}
 		t.indexes[col] = fresh
 	}
-	// The rewritten file is flushed to the device immediately.
-	if dirty := t.flushDirty(); dirty > 0 {
-		m.WriteIO(dirty)
+	// The rewritten file is flushed to the device immediately; with a
+	// backend mounted the rewrite instead flushes through Apply at the
+	// statement's commit point, followed by a log compaction.
+	if t.rec == nil {
+		if dirty := t.flushDirty(); dirty > 0 {
+			m.WriteIO(dirty)
+		}
 	}
 	return dropped
 }

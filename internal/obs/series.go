@@ -88,25 +88,32 @@ func (s *Series) Window(window int) []Sample {
 }
 
 // Rate returns the per-second rate of change across the last window
-// samples: (last - first) / (tLast - tFirst). It needs at least two
-// samples spanning nonzero time; otherwise it reports 0. A negative
-// delta (a counter reset after a component restart) also reports 0
-// rather than a nonsense negative rate.
+// samples: the sum of per-step increases divided by the window's time
+// span. It needs at least two samples spanning nonzero time; otherwise
+// it reports 0. Steps with a negative delta (a counter reset after a
+// component restart) or a non-advancing clock are skipped — exactly as
+// DeltaQuantile does — so one restart mid-window costs only the
+// progress of the reset step instead of zeroing the whole window. For
+// a monotone series the per-step sum telescopes to last-first, so the
+// reported rate is unchanged from the naive endpoints formula.
 func (s *Series) Rate(window int) float64 {
 	w := s.Window(window)
 	if len(w) < 2 {
 		return 0
 	}
-	first, last := w[0], w[len(w)-1]
-	secs := last.At.Sub(first.At).Seconds()
+	secs := w[len(w)-1].At.Sub(w[0].At).Seconds()
 	if secs <= 0 {
 		return 0
 	}
-	delta := last.Value - first.Value
-	if delta < 0 {
-		return 0
+	var total float64
+	for i := 1; i < len(w); i++ {
+		delta := w[i].Value - w[i-1].Value
+		if delta < 0 || w[i].At.Sub(w[i-1].At) <= 0 {
+			continue
+		}
+		total += delta
 	}
-	return delta / secs
+	return total / secs
 }
 
 // DeltaQuantile returns the q-th quantile (0..1) of the per-step

@@ -44,10 +44,46 @@ func TestSeriesRate(t *testing.T) {
 	if got := NewSeries(4).Rate(0); got != 0 {
 		t.Errorf("empty Rate = %g, want 0", got)
 	}
-	// A counter reset must not report a negative rate.
+	// A counter reset must not report a negative rate — and must not
+	// zero the progress made before it either (see the dedicated
+	// reset-mid-window test).
 	s.Record(seriesEpoch.Add(5*time.Second), 0)
-	if got := s.Rate(0); got != 0 {
-		t.Errorf("Rate after reset = %g, want 0", got)
+	if got := s.Rate(0); got < 0 {
+		t.Errorf("Rate after reset = %g, want non-negative", got)
+	}
+}
+
+// TestSeriesRateCounterResetMidWindow is the regression test for the
+// whole-window zeroing bug: a counter reset (component restart) used
+// to make last-first negative and Rate report 0 for the entire window,
+// blanking confbench_invokes_per_sec for up to a full window after one
+// restart. The fix sums per-step positive deltas, so only the reset
+// step's progress is lost.
+func TestSeriesRateCounterResetMidWindow(t *testing.T) {
+	s := NewSeries(10)
+	// 1-second steps: 50 -> 150 (+100), restart resets to 0 (skipped),
+	// 0 -> 10 (+10). Window spans 3 seconds.
+	samples := []float64{50, 150, 0, 10}
+	for i, v := range samples {
+		s.Record(seriesEpoch.Add(time.Duration(i)*time.Second), v)
+	}
+	want := (100.0 + 10.0) / 3.0
+	if got := s.Rate(0); got != want {
+		t.Fatalf("Rate with reset mid-window = %g, want %g (pre-fix code reports 0)", got, want)
+	}
+	// A monotone window is unaffected: per-step sum telescopes to
+	// last-first.
+	mono := NewSeries(10)
+	for i, v := range []float64{10, 30, 60, 100} {
+		mono.Record(seriesEpoch.Add(time.Duration(i)*time.Second), v)
+	}
+	if got := mono.Rate(0); got != 30 {
+		t.Fatalf("monotone Rate = %g, want 30", got)
+	}
+	// A window starting right at the pre-reset peak (150, 0, 10) skips
+	// the reset step and reports the remaining progress over the span.
+	if got := s.Rate(3); got != 5 {
+		t.Errorf("Rate(3) spanning the reset = %g, want 5", got)
 	}
 }
 

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSpillReplaySpansRestart(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := OpenSpill(dir)
+	if err != nil {
+		t.Fatalf("OpenSpill: %v", err)
+	}
+	set := NewSeriesSet(16)
+	rec := NewRecorder(16)
+
+	// Process one: three sweeps of a growing counter plus two events.
+	for i := 1; i <= 3; i++ {
+		at := seriesEpoch.Add(time.Duration(i) * time.Second)
+		v := float64(i * 10)
+		set.Series("confbench_x_total").Record(at, v)
+		if err := sp.FlushSweep(at, map[string]float64{"confbench_x_total": v}); err != nil {
+			t.Fatalf("FlushSweep: %v", err)
+		}
+	}
+	rec.Record(Event{Trace: "inv-1", Function: "pyaes"})
+	rec.Record(Event{Trace: "inv-2", Function: "chacha20", Code: "unavailable"})
+	if err := sp.FlushEvents(rec.Events()); err != nil {
+		t.Fatalf("FlushEvents: %v", err)
+	}
+	// A second flush of the same events writes nothing new.
+	if err := sp.FlushEvents(rec.Events()); err != nil {
+		t.Fatalf("FlushEvents (repeat): %v", err)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Process two: replay restores series history and events.
+	sp2, err := OpenSpill(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer sp2.Close()
+	set2 := NewSeriesSet(16)
+	rec2 := NewRecorder(16)
+	samples, events, err := sp2.Replay(set2, rec2)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if samples != 3 || events != 2 {
+		t.Fatalf("Replay = %d samples, %d events; want 3, 2", samples, events)
+	}
+	s := set2.Get("confbench_x_total")
+	if s == nil || s.Len() != 3 {
+		t.Fatalf("replayed series missing or wrong length")
+	}
+	if got := s.Rate(0); got != 10 {
+		t.Fatalf("replayed Rate = %g, want 10", got)
+	}
+	evs := rec2.Events()
+	if len(evs) != 2 || evs[0].Trace != "inv-1" || evs[1].Trace != "inv-2" {
+		t.Fatalf("replayed events = %+v", evs)
+	}
+	if evs[1].Code != "unavailable" || evs[1].Function != "chacha20" {
+		t.Fatalf("replayed event payload lost: %+v", evs[1])
+	}
+
+	// The restarted process keeps flushing: a new sweep and a new
+	// event, then a third process sees the union.
+	at := seriesEpoch.Add(10 * time.Second)
+	set2.Series("confbench_x_total").Record(at, 5) // post-restart counter reset
+	if err := sp2.FlushSweep(at, map[string]float64{"confbench_x_total": 5}); err != nil {
+		t.Fatalf("FlushSweep after replay: %v", err)
+	}
+	rec2.Record(Event{Trace: "inv-3"})
+	if err := sp2.FlushEvents(rec2.Events()); err != nil {
+		t.Fatalf("FlushEvents after replay: %v", err)
+	}
+	sp2.Close()
+
+	sp3, err := OpenSpill(dir)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer sp3.Close()
+	set3 := NewSeriesSet(16)
+	rec3 := NewRecorder(16)
+	samples, events, err = sp3.Replay(set3, rec3)
+	if err != nil {
+		t.Fatalf("third Replay: %v", err)
+	}
+	if samples != 4 || events != 3 {
+		t.Fatalf("third Replay = %d samples, %d events; want 4, 3", samples, events)
+	}
+	evs = rec3.Events()
+	if len(evs) != 3 || evs[2].Trace != "inv-3" {
+		t.Fatalf("third replay events = %+v", evs)
+	}
+	// The replayed timeline spans the restart-time counter reset: the
+	// per-step Rate skips the reset instead of zeroing the window.
+	if got := set3.Get("confbench_x_total").Rate(0); got <= 0 {
+		t.Fatalf("restart-spanning Rate = %g, want positive", got)
+	}
+}
+
+func TestSpillRetentionTrimsOldBlocks(t *testing.T) {
+	sp, err := OpenSpill(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenSpill: %v", err)
+	}
+	defer sp.Close()
+	sp.maxBlocks = 5
+	for i := 1; i <= 12; i++ {
+		at := seriesEpoch.Add(time.Duration(i) * time.Second)
+		if err := sp.FlushSweep(at, map[string]float64{"confbench_x_total": float64(i)}); err != nil {
+			t.Fatalf("FlushSweep: %v", err)
+		}
+	}
+	if got := len(sp.blockKeys); got != 5 {
+		t.Fatalf("retained %d blocks, want 5", got)
+	}
+	set := NewSeriesSet(16)
+	samples, _, err := sp.Replay(set, nil)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	// Replay on a primed spill double-appends keys in memory, but the
+	// persisted state it reads is the trimmed five blocks.
+	if samples != 5 {
+		t.Fatalf("replayed %d samples, want 5", samples)
+	}
+	w := set.Get("confbench_x_total").Window(0)
+	if len(w) != 5 || w[0].Value != 8 || w[4].Value != 12 {
+		t.Fatalf("replayed window = %+v, want values 8..12", w)
+	}
+}
+
+func TestSpillEmptyFlushesAreNoops(t *testing.T) {
+	sp, err := OpenSpill(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenSpill: %v", err)
+	}
+	defer sp.Close()
+	if err := sp.FlushSweep(seriesEpoch, nil); err != nil {
+		t.Fatalf("empty FlushSweep: %v", err)
+	}
+	if err := sp.FlushEvents(nil); err != nil {
+		t.Fatalf("empty FlushEvents: %v", err)
+	}
+	samples, events, err := sp.Replay(NewSeriesSet(4), NewRecorder(4))
+	if err != nil || samples != 0 || events != 0 {
+		t.Fatalf("Replay of empty spill = %d, %d, %v", samples, events, err)
+	}
+}
+
+func TestSpillManySeriesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := OpenSpill(dir)
+	if err != nil {
+		t.Fatalf("OpenSpill: %v", err)
+	}
+	samples := make(map[string]float64, 40)
+	for i := 0; i < 40; i++ {
+		samples[fmt.Sprintf("confbench_m%02d_total", i)] = float64(i)
+	}
+	if err := sp.FlushSweep(seriesEpoch, samples); err != nil {
+		t.Fatalf("FlushSweep: %v", err)
+	}
+	sp.Close()
+
+	sp2, err := OpenSpill(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer sp2.Close()
+	set := NewSeriesSet(4)
+	n, _, err := sp2.Replay(set, nil)
+	if err != nil || n != 40 {
+		t.Fatalf("Replay = %d, %v; want 40 samples", n, err)
+	}
+	last, ok := set.Get("confbench_m39_total").Last()
+	if !ok || last.Value != 39 || !last.At.Equal(seriesEpoch) {
+		t.Fatalf("replayed sample = %+v ok=%v", last, ok)
+	}
+}

@@ -1,0 +1,380 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// openT opens a log rooted in a fresh temp dir and registers cleanup.
+func openT(t *testing.T, opts Options) *Log {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func mustPut(t *testing.T, l *Log, key, val string) {
+	t.Helper()
+	if _, err := l.Put(key, []byte(val)); err != nil {
+		t.Fatalf("Put(%q): %v", key, err)
+	}
+}
+
+func wantGet(t *testing.T, l *Log, key, val string) {
+	t.Helper()
+	got, ok, err := l.Get(key)
+	if err != nil {
+		t.Fatalf("Get(%q): %v", key, err)
+	}
+	if !ok {
+		t.Fatalf("Get(%q): missing, want %q", key, val)
+	}
+	if string(got) != val {
+		t.Fatalf("Get(%q) = %q, want %q", key, got, val)
+	}
+}
+
+func wantMissing(t *testing.T, l *Log, key string) {
+	t.Helper()
+	if _, ok, err := l.Get(key); err != nil {
+		t.Fatalf("Get(%q): %v", key, err)
+	} else if ok {
+		t.Fatalf("Get(%q): present, want missing", key)
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	l := openT(t, Options{})
+	mustPut(t, l, "a", "1")
+	mustPut(t, l, "b", "2")
+	mustPut(t, l, "a", "3") // supersede
+	wantGet(t, l, "a", "3")
+	wantGet(t, l, "b", "2")
+	wantMissing(t, l, "nope")
+
+	n, err := l.Delete("a")
+	if err != nil || n == 0 {
+		t.Fatalf("Delete(a) = %d, %v; want tombstone bytes, nil", n, err)
+	}
+	wantMissing(t, l, "a")
+
+	// Deleting a key that was never live appends nothing.
+	n, err = l.Delete("ghost")
+	if err != nil || n != 0 {
+		t.Fatalf("Delete(ghost) = %d, %v; want 0, nil", n, err)
+	}
+
+	if got := l.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestPutReportsRecordFootprint(t *testing.T) {
+	l := openT(t, Options{})
+	n, err := l.Put("key", []byte("value"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	want := int64(recordHeaderLen + len("key") + len("value"))
+	if n != want {
+		t.Fatalf("Put footprint = %d, want %d", n, want)
+	}
+}
+
+func TestReopenRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustPut(t, l, "a", "1")
+	mustPut(t, l, "b", "2")
+	mustPut(t, l, "a", "updated")
+	if _, err := l.Delete("b"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	wantGet(t, l2, "a", "updated")
+	wantMissing(t, l2, "b")
+	st := l2.Stats()
+	if st.Keys != 1 {
+		t.Fatalf("Keys = %d, want 1", st.Keys)
+	}
+	if st.RecoveredRecords != 4 {
+		t.Fatalf("RecoveredRecords = %d, want 4", st.RecoveredRecords)
+	}
+	if st.TruncatedTail {
+		t.Fatal("TruncatedTail set on a clean log")
+	}
+}
+
+func TestSegmentRollover(t *testing.T) {
+	l := openT(t, Options{SegmentBytes: 256, CompactRatio: -1})
+	for i := 0; i < 50; i++ {
+		mustPut(t, l, fmt.Sprintf("k%02d", i), "0123456789abcdef")
+	}
+	st := l.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("Segments = %d, want >= 2 after roll-over", st.Segments)
+	}
+	for i := 0; i < 50; i++ {
+		wantGet(t, l, fmt.Sprintf("k%02d", i), "0123456789abcdef")
+	}
+
+	// Reopen spans segments too.
+	dir := l.Dir()
+	l.Close()
+	l2, err := Open(dir, Options{SegmentBytes: 256, CompactRatio: -1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if got := l2.Len(); got != 50 {
+		t.Fatalf("Len after reopen = %d, want 50", got)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustPut(t, l, "committed1", "v1")
+	mustPut(t, l, "committed2", "v2")
+	// Crash mid-append: a partial record header lands at the tail.
+	if err := l.CorruptTailForTest([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatalf("CorruptTailForTest: %v", err)
+	}
+	l.Close()
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer l2.Close()
+	wantGet(t, l2, "committed1", "v1")
+	wantGet(t, l2, "committed2", "v2")
+	st := l2.Stats()
+	if !st.TruncatedTail {
+		t.Fatal("TruncatedTail not reported")
+	}
+	if st.RecoveredRecords != 2 {
+		t.Fatalf("RecoveredRecords = %d, want 2", st.RecoveredRecords)
+	}
+
+	// The log stays writable after recovery.
+	if _, err := l2.Put("post", []byte("recovery")); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	wantGet(t, l2, "post", "recovery")
+}
+
+func TestCorruptedChecksumCutsTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustPut(t, l, "good", "keep")
+	mustPut(t, l, "bad", "flip")
+	l.Close()
+
+	// Bit-flip a byte inside the second record's value.
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatalf("write segment: %v", err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after bit flip: %v", err)
+	}
+	defer l2.Close()
+	wantGet(t, l2, "good", "keep")
+	wantMissing(t, l2, "bad")
+	if st := l2.Stats(); !st.TruncatedTail || st.RecoveredRecords != 1 {
+		t.Fatalf("Stats = %+v, want TruncatedTail with 1 recovered record", st)
+	}
+}
+
+func TestCompactDropsDeadRecords(t *testing.T) {
+	l := openT(t, Options{SegmentBytes: 512, CompactRatio: -1})
+	for i := 0; i < 40; i++ {
+		mustPut(t, l, fmt.Sprintf("k%02d", i%4), fmt.Sprintf("gen-%02d-0123456789", i))
+	}
+	if _, err := l.Delete("k03"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	before := l.Stats()
+	if before.DeadRatio() < 0.5 {
+		t.Fatalf("test setup: DeadRatio = %.2f, want mostly dead", before.DeadRatio())
+	}
+
+	if err := l.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after := l.Stats()
+	if after.TotalBytes != after.LiveBytes {
+		t.Fatalf("after compact TotalBytes=%d LiveBytes=%d, want equal", after.TotalBytes, after.LiveBytes)
+	}
+	if after.TotalBytes >= before.TotalBytes {
+		t.Fatalf("compact did not shrink: %d -> %d", before.TotalBytes, after.TotalBytes)
+	}
+	if after.Compactions != 1 {
+		t.Fatalf("Compactions = %d, want 1", after.Compactions)
+	}
+	wantGet(t, l, "k00", "gen-36-0123456789")
+	wantGet(t, l, "k01", "gen-37-0123456789")
+	wantGet(t, l, "k02", "gen-38-0123456789")
+	wantMissing(t, l, "k03")
+
+	// Post-compact state survives reopen.
+	dir := l.Dir()
+	l.Close()
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after compact: %v", err)
+	}
+	defer l2.Close()
+	wantGet(t, l2, "k02", "gen-38-0123456789")
+	wantMissing(t, l2, "k03")
+}
+
+func TestAutoCompactionTriggers(t *testing.T) {
+	// Small segments plus heavy overwrite of one key pushes the dead
+	// ratio past the threshold and total bytes past compactMinBytes.
+	l := openT(t, Options{SegmentBytes: 8 << 10, CompactRatio: 0.5})
+	val := bytes.Repeat([]byte("x"), 1024)
+	for i := 0; i < 200; i++ {
+		if _, err := l.Put("hot", val); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	l.wg.Wait() // drain any in-flight background merge
+	st := l.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no automatic compaction after %d overwrites (stats %+v)", 200, st)
+	}
+	wantGet(t, l, "hot", string(val))
+}
+
+func TestRangeSortedAndComplete(t *testing.T) {
+	l := openT(t, Options{})
+	mustPut(t, l, "b", "2")
+	mustPut(t, l, "a", "1")
+	mustPut(t, l, "c", "3")
+	var keys []string
+	err := l.Range(func(k string, v []byte) error {
+		keys = append(keys, k+"="+string(v))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Range: %v", err)
+	}
+	want := []string{"a=1", "b=2", "c=3"}
+	if len(keys) != len(want) {
+		t.Fatalf("Range visited %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Range visited %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestClosedLogRejectsOps(t *testing.T) {
+	l := openT(t, Options{})
+	mustPut(t, l, "k", "v")
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := l.Put("k", nil); err != ErrClosed {
+		t.Fatalf("Put after close: %v, want ErrClosed", err)
+	}
+	if _, _, err := l.Get("k"); err != ErrClosed {
+		t.Fatalf("Get after close: %v, want ErrClosed", err)
+	}
+	if err := l.Sync(); err != ErrClosed {
+		t.Fatalf("Sync after close: %v, want ErrClosed", err)
+	}
+	if err := l.Compact(); err != ErrClosed {
+		t.Fatalf("Compact after close: %v, want ErrClosed", err)
+	}
+	// Double close is a no-op.
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	l := openT(t, Options{})
+	if _, err := l.Put("", []byte("v")); err == nil {
+		t.Fatal("Put with empty key succeeded")
+	}
+	if _, err := l.Put(string(bytes.Repeat([]byte("k"), MaxKeyLen+1)), nil); err == nil {
+		t.Fatal("Put with oversized key succeeded")
+	}
+}
+
+func TestConcurrentPutsAndGets(t *testing.T) {
+	l := openT(t, Options{SegmentBytes: 4 << 10})
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i%10)
+				if _, err := l.Put(key, []byte(fmt.Sprintf("%d", i))); err != nil {
+					done <- err
+					return
+				}
+				if _, _, err := l.Get(key); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+	if got := l.Len(); got != 40 {
+		t.Fatalf("Len = %d, want 40", got)
+	}
+}
+
+func TestSyncAndNoFsync(t *testing.T) {
+	l := openT(t, Options{})
+	mustPut(t, l, "k", "v")
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	nf := openT(t, Options{NoFsync: true})
+	mustPut(t, nf, "k", "v")
+	if err := nf.Sync(); err != nil {
+		t.Fatalf("Sync (NoFsync): %v", err)
+	}
+}

@@ -226,11 +226,22 @@ func checkRegression(base, fresh map[string]Result) []string {
 			fmt.Printf("benchgate: note: %s not in baseline, skipping\n", name)
 			continue
 		}
-		if want.AllocsPerOp > 0 && got.AllocsPerOp > want.AllocsPerOp*(1+allocsSlack) {
+		// A metric the baseline reports but the fresh run does not is a
+		// hard failure, not a pass: a dropped -benchmem flag or renamed
+		// custom metric would otherwise blind the gate silently.
+		switch {
+		case want.AllocsPerOp > 0 && got.AllocsPerOp == 0:
+			errs = append(errs, fmt.Sprintf("%s: baseline reports %.0f allocs/op but the run reports none (dropped -benchmem?)",
+				name, want.AllocsPerOp))
+		case want.AllocsPerOp > 0 && got.AllocsPerOp > want.AllocsPerOp*(1+allocsSlack):
 			errs = append(errs, fmt.Sprintf("%s: allocs/op %.0f regressed >%.0f%% over baseline %.0f",
 				name, got.AllocsPerOp, allocsSlack*100, want.AllocsPerOp))
 		}
-		if want.InvokesPerSec > 0 && got.InvokesPerSec < want.InvokesPerSec*(1-invokesSlack) {
+		switch {
+		case want.InvokesPerSec > 0 && got.InvokesPerSec == 0:
+			errs = append(errs, fmt.Sprintf("%s: baseline reports %.0f invokes/s but the run reports none (metric renamed?)",
+				name, want.InvokesPerSec))
+		case want.InvokesPerSec > 0 && got.InvokesPerSec < want.InvokesPerSec*(1-invokesSlack):
 			errs = append(errs, fmt.Sprintf("%s: invokes/s %.0f regressed >%.0f%% under baseline %.0f",
 				name, got.InvokesPerSec, invokesSlack*100, want.InvokesPerSec))
 		}

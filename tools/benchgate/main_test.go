@@ -1,0 +1,127 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMergesBestOf(t *testing.T) {
+	out := `goos: linux
+BenchmarkWireTransportInvoke/httpjson-8   2000   52000 ns/op   19000 invokes/s   4100 B/op   61 allocs/op
+BenchmarkWireTransportInvoke/httpjson-8   2000   61000 ns/op   16000 invokes/s   4300 B/op   64 allocs/op
+BenchmarkWireTransportInvoke/binary-8     2000   11000 ns/op   90000 invokes/s    900 B/op   11 allocs/op
+PASS
+`
+	results, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(results))
+	}
+	// The GOMAXPROCS suffix is stripped; repeated samples merge
+	// best-case per metric.
+	hj, ok := results[e2eHTTPJSON]
+	if !ok {
+		t.Fatalf("missing %s in %v", e2eHTTPJSON, results)
+	}
+	if hj.NsPerOp != 52000 || hj.InvokesPerSec != 19000 || hj.AllocsPerOp != 61 || hj.BytesPerOp != 4100 {
+		t.Fatalf("best-of merge = %+v", hj)
+	}
+}
+
+func TestParseRejectsMalformedValue(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX-8 100 oops ns/op\n")); err == nil {
+		t.Fatal("malformed value parsed without error")
+	}
+}
+
+func TestCheckRegressionWithinTolerance(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA": {AllocsPerOp: 100, InvokesPerSec: 1000},
+	}
+	fresh := map[string]Result{
+		"BenchmarkA": {AllocsPerOp: 105, InvokesPerSec: 900},
+		"BenchmarkB": {AllocsPerOp: 7}, // new benchmark: noted, not failed
+	}
+	if errs := checkRegression(base, fresh); len(errs) != 0 {
+		t.Fatalf("in-tolerance run failed the gate: %v", errs)
+	}
+}
+
+func TestCheckRegressionCatchesRegressions(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA": {AllocsPerOp: 100, InvokesPerSec: 1000},
+	}
+	fresh := map[string]Result{
+		"BenchmarkA": {AllocsPerOp: 120, InvokesPerSec: 500},
+	}
+	errs := checkRegression(base, fresh)
+	if len(errs) != 2 {
+		t.Fatalf("errs = %v, want an allocs and an invokes regression", errs)
+	}
+}
+
+// TestCheckRegressionFailsMissingBenchmark: a benchmark deleted or
+// renamed out of the fresh run must fail the gate, not shrink it.
+func TestCheckRegressionFailsMissingBenchmark(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA": {AllocsPerOp: 100},
+		"BenchmarkB": {AllocsPerOp: 50},
+	}
+	fresh := map[string]Result{
+		"BenchmarkA": {AllocsPerOp: 100},
+	}
+	errs := checkRegression(base, fresh)
+	if len(errs) != 1 || !strings.Contains(errs[0], "BenchmarkB") || !strings.Contains(errs[0], "missing from run") {
+		t.Fatalf("errs = %v, want BenchmarkB missing-from-run failure", errs)
+	}
+}
+
+// TestCheckRegressionFailsMissingMetric is the regression test for the
+// silent-pass hole: a baseline-reported metric absent from the fresh
+// run (allocs/op when -benchmem is dropped, invokes/s when the custom
+// metric is renamed) used to compare 0 against the slack bound and
+// pass.
+func TestCheckRegressionFailsMissingMetric(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA": {AllocsPerOp: 100},
+		"BenchmarkB": {InvokesPerSec: 1000},
+	}
+	fresh := map[string]Result{
+		"BenchmarkA": {NsPerOp: 10}, // no allocs/op reported
+		"BenchmarkB": {NsPerOp: 10}, // no invokes/s reported
+	}
+	errs := checkRegression(base, fresh)
+	if len(errs) != 2 {
+		t.Fatalf("errs = %v, want one missing-metric failure per benchmark", errs)
+	}
+	if !strings.Contains(errs[0], "reports none") || !strings.Contains(errs[1], "reports none") {
+		t.Fatalf("errs = %v, want missing-metric messages", errs)
+	}
+	// A baseline without the metric keeps not requiring it.
+	if errs := checkRegression(map[string]Result{"BenchmarkC": {NsPerOp: 5}},
+		map[string]Result{"BenchmarkC": {NsPerOp: 5}}); len(errs) != 0 {
+		t.Fatalf("metric-free benchmark failed: %v", errs)
+	}
+}
+
+func TestCheckTrajectory(t *testing.T) {
+	good := map[string]Result{
+		e2eHTTPJSON: {InvokesPerSec: 10000, AllocsPerOp: 100},
+		e2eBinary:   {InvokesPerSec: 30000, AllocsPerOp: 20},
+	}
+	if errs := checkTrajectory(good); len(errs) != 0 {
+		t.Fatalf("committed trajectory rejected: %v", errs)
+	}
+	slow := map[string]Result{
+		e2eHTTPJSON: {InvokesPerSec: 10000, AllocsPerOp: 100},
+		e2eBinary:   {InvokesPerSec: 15000, AllocsPerOp: 20},
+	}
+	if errs := checkTrajectory(slow); len(errs) != 1 {
+		t.Fatalf("sub-2x speedup passed: %v", errs)
+	}
+	if errs := checkTrajectory(map[string]Result{e2eHTTPJSON: {InvokesPerSec: 1}}); len(errs) == 0 {
+		t.Fatal("missing e2e pair passed")
+	}
+}
