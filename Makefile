@@ -4,15 +4,17 @@ GO ?= go
 # gateway (TEE pools, circuit breakers, load balancer, forwarding),
 # the front tier (admission queues, shard breakers, async completion
 # goroutines), the retrying HTTP client, the fault plane, the sharded
-# metrics registry, and the warm guest pool's refill goroutine.
-RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/fronttier/... ./internal/api/... ./internal/obs/... ./internal/faultplane/... ./internal/hostagent/... ./internal/wire/... ./internal/wal/...
+# metrics registry, the warm guest pool's refill goroutine, and the
+# live-migration engine's chunk-resume path.
+RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/fronttier/... ./internal/api/... ./internal/obs/... ./internal/faultplane/... ./internal/hostagent/... ./internal/wire/... ./internal/wal/... ./internal/migrate/...
 
 # Packages held to the coverage floor: the statistics toolkit every
 # reported number flows through, the gateway dispatch path, the
 # sharded front tier, the warm-pool/snapshot-cache subsystem, the
-# telemetry plane, and the persistence plane's log.
+# telemetry plane, the persistence plane's log, and the live-migration
+# engine.
 COVER_FLOOR ?= 70
-COVER_PKGS = ./internal/stats ./internal/gateway ./internal/fronttier ./internal/hostagent ./internal/vm ./internal/obs ./internal/wire ./internal/wal
+COVER_PKGS = ./internal/stats ./internal/gateway ./internal/fronttier ./internal/hostagent ./internal/vm ./internal/obs ./internal/wire ./internal/wal ./internal/migrate
 
 # The relay benchmark suite behind the committed perf trajectory
 # (BENCH_relay.json). Iterations are pinned so baseline and gate runs
@@ -23,7 +25,7 @@ BENCH_COUNT ?= 3
 BENCH_RUN = $(GO) test -run xxx -bench 'BenchmarkWireTransportInvoke|BenchmarkCodec|BenchmarkTransportRoundTrip' \
 	-benchmem -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . ./internal/wire
 
-.PHONY: build test vet race cover cover-floor fuzz-smoke bench bench-gate obs-smoke chaos-smoke telemetry-smoke fronttier-smoke durability-smoke lint-metrics verify
+.PHONY: build test vet race cover cover-floor fuzz-smoke bench bench-gate obs-smoke chaos-smoke telemetry-smoke fronttier-smoke durability-smoke migration-smoke lint-metrics verify
 
 build:
 	$(GO) build ./...
@@ -62,6 +64,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz 'FuzzWireDecode$$' -fuzztime 5s ./internal/api
 	$(GO) test -run xxx -fuzz 'FuzzWireFrame$$' -fuzztime 5s ./internal/wire
 	$(GO) test -run xxx -fuzz 'FuzzRecovery$$' -fuzztime 5s ./internal/wal
+	$(GO) test -run xxx -fuzz 'FuzzMigrationStream$$' -fuzztime 5s ./internal/migrate
 
 # Refresh the committed relay perf trajectory. Refuses to write a
 # baseline where binary is not >= 2x httpjson invokes/s at <= 25% of
@@ -112,6 +115,15 @@ fronttier-smoke:
 durability-smoke:
 	$(GO) test -run TestDurabilitySmoke -count=1 .
 
+# End-to-end live-migration check: a seeded two-host SEV deployment
+# drains one host mid-bench under 1% migrate.stream chaos with zero
+# client-visible invoke failures, both the serving and warm guests
+# live-migrate behind the attestation gate, and the reported downtime
+# is bit-identical across same-seed runs. Runs under the race detector
+# — the drain path quiesces pools while invokes are in flight.
+migration-smoke:
+	$(GO) test -race -run TestMigrationSmoke -count=1 .
+
 # Static metric-naming lint: every literal metric family registered in
 # the tree must start with confbench_ and counters must end in _total.
 lint-metrics:
@@ -120,5 +132,5 @@ lint-metrics:
 # Full pre-merge check: compile, vet, unit tests, the race detector
 # over the concurrency-sensitive packages, the coverage floor, the
 # metric-naming lint, the observability/chaos/telemetry/front-tier/
-# durability smokes, and the committed relay perf trajectory.
-verify: build vet test race cover-floor lint-metrics obs-smoke chaos-smoke telemetry-smoke fronttier-smoke durability-smoke bench-gate
+# durability/migration smokes, and the committed relay perf trajectory.
+verify: build vet test race cover-floor lint-metrics obs-smoke chaos-smoke telemetry-smoke fronttier-smoke durability-smoke migration-smoke bench-gate

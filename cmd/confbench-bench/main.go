@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	confbench-bench [-fig all|3|dbms|4|5|6|7|8|colocation|storage] [-trials N]
+//	confbench-bench [-fig all|3|dbms|4|5|6|7|8|colocation|storage|migration] [-trials N]
 //	                [-scale-divisor N] [-size N] [-seed N] [-workers N]
 //	                [-trace] [-chaos SPECS [-chaos-invokes N]] [-coldstart]
 //	                [-shards N [-async] [-tenant NAME] [-invokes N]]
@@ -29,7 +29,13 @@
 // is bit-identical per seed. -fig storage (excluded from "all") prices
 // the speedtest suite on the durable log-structured backend against
 // the in-memory pager — write amplification and per-commit fsyncs,
-// under each TEE's cost model. -durable-dir DIR roots the persistence
+// under each TEE's cost model. -fig migration (also excluded from
+// "all") boots a two-hosts-per-TEE warm-pooled cluster, drains one
+// host per platform mid-service — live-migrating its serving and warm
+// guests behind the attestation gate — and reports the blackout
+// window against the cold boot and warm restore it replaces, plus the
+// transfer bill under each TEE's cost model.
+// -durable-dir DIR roots the persistence
 // plane: gateway telemetry spills (and replays) under DIR, and the
 // storage figure keeps its speedtest logs there for inspection.
 package main
@@ -61,7 +67,7 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("confbench-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: all, 3, dbms, 4, 5, 6, 7, 8, colocation, storage (storage is not part of all)")
+	fig := fs.String("fig", "all", "figure to regenerate: all, 3, dbms, 4, 5, 6, 7, 8, colocation, storage, migration (storage and migration are not part of all)")
 	trials := fs.Int("trials", 10, "independent trials per measurement point")
 	scaleDiv := fs.Int("scale-divisor", 1, "divide workload scales by this factor")
 	dbSize := fs.Int("size", 100, "speedtest relative size (speedtest1 --size)")
@@ -113,6 +119,17 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *coldstart {
 		out, _, err := coldstartReport(ctx, *seed, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	// The migration figure boots its own two-hosts-per-TEE warm-pooled
+	// cluster (it drains hosts mid-run), so it runs before — and
+	// instead of — the shared single-host deployment below.
+	if *fig == "migration" {
+		out, _, err := migrationReport(ctx, *seed, 16)
 		if err != nil {
 			return err
 		}

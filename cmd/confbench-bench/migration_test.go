@@ -1,0 +1,63 @@
+package main
+
+import (
+	"context"
+	"testing"
+)
+
+// TestMigrationReportDeterministic pins the -fig migration acceptance
+// properties: the same seed renders a bit-identical report, every
+// platform's live-migrate downtime beats the cold boot a failover
+// would pay, each drain moved the serving guest plus the warm-pool
+// idle set, and the post-drain invoke kept serving.
+func TestMigrationReportDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots two full two-hosts-per-TEE clusters")
+	}
+	ctx := context.Background()
+
+	out1, rows, err := migrationReport(ctx, 42, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, _, err := migrationReport(ctx, 42, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != out2 {
+		t.Errorf("same-seed reports differ:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+	}
+
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want one per TEE", len(rows))
+	}
+	for _, r := range rows {
+		if r.Downtime <= 0 {
+			t.Errorf("%s: non-positive downtime %v", r.Kind, r.Downtime)
+		}
+		if r.Downtime >= r.ColdBoot {
+			t.Errorf("%s: live-migrate downtime %v not below cold boot %v", r.Kind, r.Downtime, r.ColdBoot)
+		}
+		if r.Migrated != 2 {
+			t.Errorf("%s: migrated %d guests, want serving + 1 idle", r.Kind, r.Migrated)
+		}
+		if r.Bytes <= 0 {
+			t.Errorf("%s: no stream bytes transferred", r.Kind)
+		}
+		if r.PostDrain <= 0 {
+			t.Errorf("%s: post-drain invoke reported no wall time", r.Kind)
+		}
+	}
+
+	// A different seed still satisfies the downtime bound — the
+	// blackout is model-derived, not seed luck.
+	_, rows2, err := migrationReport(ctx, 7, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows2 {
+		if r.Downtime >= r.ColdBoot {
+			t.Errorf("seed 7 %s: downtime %v not below cold boot %v", r.Kind, r.Downtime, r.ColdBoot)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 //	confbench-cli -gateway URL top [-interval D] [-count N] [-window N]
 //	confbench-cli -gateway URL pools
 //	confbench-cli -gateway URL attest -tee KIND
+//	confbench-cli -gateway URL drain HOST
 package main
 
 import (
@@ -47,7 +48,7 @@ func run(ctx context.Context, args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing subcommand: upload, invoke, functions, pools, metrics, obs, top, attest")
+		return fmt.Errorf("missing subcommand: upload, invoke, functions, pools, metrics, obs, top, attest, drain")
 	}
 	var opts []api.Option
 	if *tenant != "" {
@@ -101,6 +102,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdTop(ctx, client, rest[1:])
 	case "attest":
 		return cmdAttest(ctx, client, rest[1:])
+	case "drain":
+		return cmdDrain(ctx, client, rest[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", rest[0])
 	}
@@ -215,6 +218,30 @@ func cmdObs(ctx context.Context, client *api.Client, args []string) error {
 			mean = h.SumSeconds / float64(h.Count)
 		}
 		fmt.Printf("%-70s count=%d mean=%.6fs\n", id, h.Count, mean)
+	}
+	return nil
+}
+
+// cmdDrain asks the deployment to drain a host: quiesce its
+// endpoints, live-migrate its serving and warm guests to a surviving
+// host of the same platform, and remove it from the ring.
+func cmdDrain(ctx context.Context, client *api.Client, args []string) error {
+	if len(args) != 1 || args[0] == "" {
+		return fmt.Errorf("usage: drain HOST")
+	}
+	report, err := client.DrainHost(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	mode := "live-migrating"
+	if report.RoutingOnly {
+		mode = "routing-only"
+	}
+	fmt.Printf("drained:    %s (%s, %s)\n", report.Host, report.TEE, mode)
+	fmt.Printf("endpoints:  quiesced %d, removed %d\n", report.Quiesced, report.Removed)
+	for _, m := range report.Migrations {
+		fmt.Printf("  guest %-16s %-12s downtime %-14v resumes %d  bytes %d\n",
+			m.Guest, m.Outcome, time.Duration(m.DowntimeNs), m.Resumes, m.TransferredBytes)
 	}
 	return nil
 }

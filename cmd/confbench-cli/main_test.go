@@ -24,6 +24,7 @@ func TestRunValidation(t *testing.T) {
 		{"invoke", "-name", "x"},
 		{"upload", "-name", "x", "-workload", "w"},
 		{"attest", "-tee", "tdx"},
+		{"drain", "some-host"},
 	} {
 		args := append([]string{"-gateway", "http://127.0.0.1:1"}, sub...)
 		if err := run(context.Background(), args); err == nil {
@@ -54,6 +55,40 @@ func TestAsyncInvokeAgainstFrontTier(t *testing.T) {
 	}
 	if err := run(ctx, append(base, "invoke", "-name", "cli-async", "-tee", "sev-snp", "-async")); err != nil {
 		t.Fatalf("async invoke: %v", err)
+	}
+}
+
+// TestDrainSubcommand drains one of two warm-pooled SEV hosts through
+// the gateway's POST /v1/drain and expects the CLI to succeed, then
+// rejects a second drain (last host) and a bogus host name.
+func TestDrainSubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a two-host cluster")
+	}
+	cluster, err := confbench.New(
+		confbench.WithGuestMemoryMB(4),
+		confbench.WithTEEs(confbench.KindSEV),
+		confbench.WithHostsPerTEE(2),
+		confbench.WithWarmPool(2),
+		confbench.WithObsRegistry(confbench.NewObsRegistry()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+	base := []string{"-gateway", cluster.GatewayURL()}
+	if err := run(ctx, append(base, "drain")); err == nil {
+		t.Error("drain without a host accepted")
+	}
+	if err := run(ctx, append(base, "drain", "no-such-host")); err == nil {
+		t.Error("drain of unknown host accepted")
+	}
+	if err := run(ctx, append(base, "drain", "sev-snp-host")); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := run(ctx, append(base, "drain", "sev-snp-host-2")); err == nil {
+		t.Error("drain of the last host accepted")
 	}
 }
 

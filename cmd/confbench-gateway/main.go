@@ -13,8 +13,9 @@
 //
 //	confbench-gateway [-addr 127.0.0.1:8080] [-hosts FILE]
 //	                  [-policy round-robin|least-loaded] [-shards N]
-//	                  [-breaker-threshold N] [-breaker-cooldown D]
-//	                  [-scrape-interval D] [-durable-dir DIR]
+//	                  [-hosts-per-tee N] [-warm-pool N] [-breaker-threshold N]
+//	                  [-breaker-cooldown D] [-scrape-interval D]
+//	                  [-durable-dir DIR]
 //
 // -shards N (> 1, embedded mode only) deploys N gateway shards and
 // serves the front tier on -addr instead of a single gateway: invokes
@@ -62,6 +63,8 @@ func run(args []string) error {
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default)")
 	scrapeInterval := fs.Duration("scrape-interval", 0, "background telemetry scrape period for /v1/obs/cluster series (0 = scrape only on request)")
 	shards := fs.Int("shards", 0, "deploy this many gateway shards behind a front tier served on -addr (embedded mode only, > 1)")
+	hostsPerTEE := fs.Int("hosts-per-tee", 0, "host agents per platform in the embedded test bed (0 = one; >= 2 makes drain HOST live-migrate instead of refusing the last host)")
+	warmPool := fs.Int("warm-pool", 0, "serve each embedded host's secure VM from a prewarmed guest pool with this high watermark (drain HOST live-migrates only pooled hosts; 0 = no pools, routing-only drain)")
 	durableDir := fs.String("durable-dir", "", "spill gateway telemetry (federation sweeps, flight-recorder events) to an append-only log under this directory and replay it on start, so /v1/obs/cluster?window= and /v1/obs/events span restarts (empty = in-memory only)")
 	transport := fs.String("transport", "", "outbound hop carrier: httpjson (default, JSON over HTTP) or binary (persistent multiplexed wire frames); inbound always accepts both")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
@@ -110,6 +113,7 @@ func run(args []string) error {
 		cluster, err := confbench.NewCluster(confbench.ClusterConfig{
 			Seed: *seed, GuestMemoryMB: 16, LeastLoaded: *policy == "least-loaded",
 			Shards: *shards, Transport: *transport, DurableDir: clusterDurable,
+			HostsPerTEE: *hostsPerTEE, WarmPool: *warmPool,
 		})
 		if err != nil {
 			return err
@@ -151,12 +155,19 @@ func run(args []string) error {
 			DurableDir:       *durableDir,
 		})
 		for _, kind := range cluster.Kinds() {
-			agent, err := cluster.Agent(kind)
-			if err != nil {
-				return err
+			agents := cluster.Agents(kind)
+			if len(agents) == 0 {
+				return fmt.Errorf("no host agents for %s", kind)
 			}
-			gw.AddHost(agent.Name(), agent.Endpoints())
+			for _, agent := range agents {
+				gw.AddHost(agent.Name(), agent.Endpoints())
+			}
 		}
+		// POST /v1/drain on the exposed gateway routes into the
+		// cluster's migrating drain (with -hosts, the external-fleet
+		// gateway below instead serves its built-in routing-only drain:
+		// it cannot reach into another process's guests).
+		gw.SetDrainer(cluster.DrainHost)
 		url, err := gw.Start(*addr)
 		if err != nil {
 			return err

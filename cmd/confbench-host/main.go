@@ -12,12 +12,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"confbench/internal/hostagent"
 	"confbench/internal/profiler"
@@ -45,6 +47,7 @@ func run(args []string) error {
 	warmPool := fs.Int("warm-pool", 0, "serve the secure VM from a prewarmed guest pool with this high watermark")
 	cacheMB := fs.Int("snapshot-cache-mb", 256, "snapshot image cache budget in MiB (with -warm-pool)")
 	transport := fs.String("transport", "", "accepted guest carriers: default serves HTTP and binary wire frames behind a protocol sniffer; httpjson serves plain HTTP only")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 5*time.Second, "deadline for draining the warm pool on SIGTERM (idle guests are destroyed even when it expires)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +97,17 @@ func run(args []string) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Fprintln(os.Stderr, "shutting down")
+	// Drain the warm pool under a deadline before the general teardown:
+	// an impatient exit must not leak warm guests, and Shutdown
+	// guarantees the idle set is destroyed even when the refill
+	// goroutine outlives the timeout.
+	if pool := agent.Pool(); pool != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := pool.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "warm pool shutdown:", err)
+		}
+	}
 	return nil
 }
 

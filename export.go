@@ -87,6 +87,14 @@ const HeaderTenant = api.HeaderTenant
 // TenantDefault is the tenant unstamped requests fall under.
 const TenantDefault = api.TenantDefault
 
+// DrainReport summarizes one host drain: endpoints quiesced and
+// removed, and the per-guest live-migration outcomes, as returned by
+// Cluster.DrainHost and Client.DrainHost.
+type DrainReport = api.DrainReport
+
+// MigrationSummary is one guest's migration inside a DrainReport.
+type MigrationSummary = api.MigrationSummary
+
 // ClientOption configures a Client built by NewClient.
 type ClientOption = api.Option
 

@@ -39,7 +39,11 @@ const (
 	PathInvokeAsync = "/invoke/async"
 	PathAttest      = "/attest"
 	PathPools       = "/pools"
-	PathHealth      = "/health"
+	// PathDrain quiesces a host, live-migrates its warm guests to the
+	// surviving hosts of the same TEE kind, and removes it from the
+	// routing ring.
+	PathDrain  = "/drain"
+	PathHealth = "/health"
 	PathMetrics     = "/metrics"
 	PathObs         = "/obs"
 	// PathObsCluster serves the federated cluster view: every host
@@ -60,6 +64,7 @@ const (
 	PathV1InvokeAsync = APIPrefixV1 + PathInvokeAsync
 	PathV1Attest      = APIPrefixV1 + PathAttest
 	PathV1Pools       = APIPrefixV1 + PathPools
+	PathV1Drain       = APIPrefixV1 + PathDrain
 	PathV1Health      = APIPrefixV1 + PathHealth
 	PathV1Metrics     = APIPrefixV1 + PathMetrics
 	PathV1Obs         = APIPrefixV1 + PathObs
@@ -237,6 +242,49 @@ type EndpointHealth struct {
 	// half-open.
 	Breaker  string `json:"breaker"`
 	InFlight int64  `json:"in_flight"`
+	// Draining marks an endpoint quiesced for live migration: no new
+	// work routes to it while its in-flight invokes complete.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// DrainRequest asks the gateway to drain one host: quiesce it,
+// live-migrate its warm guests, and remove it from the ring.
+type DrainRequest struct {
+	Host string `json:"host"`
+}
+
+// MigrationSummary reports one guest migration inside a drain.
+type MigrationSummary struct {
+	// Guest is the migrated guest's ID on the destination (or the
+	// still-running source guest ID when the migration rolled back).
+	Guest string `json:"guest"`
+	// Outcome is "migrated" or "rolled_back".
+	Outcome string `json:"outcome"`
+	// DowntimeNs is the modeled blackout window for this guest.
+	DowntimeNs int64 `json:"downtime_ns"`
+	// Resumes counts mid-stream recoveries.
+	Resumes int `json:"resumes"`
+	// TransferredBytes counts stream bytes delivered (resent bytes
+	// included).
+	TransferredBytes int64 `json:"transferred_bytes"`
+}
+
+// DrainReport is the POST /drain response.
+type DrainReport struct {
+	// Host is the drained host.
+	Host string `json:"host"`
+	// TEE is the host's platform kind.
+	TEE string `json:"tee,omitempty"`
+	// RoutingOnly marks a drain that only quiesced and removed routing
+	// entries (a gateway fronting external hosts cannot migrate guest
+	// state it does not hold).
+	RoutingOnly bool `json:"routing_only,omitempty"`
+	// Quiesced counts routing entries taken out of rotation.
+	Quiesced int `json:"quiesced"`
+	// Removed counts routing entries deleted from the ring.
+	Removed int `json:"removed"`
+	// Migrations reports the per-guest migrations a full drain ran.
+	Migrations []MigrationSummary `json:"migrations,omitempty"`
 }
 
 // ErrorResponse is the JSON error envelope. Code, Layer and Retryable
@@ -798,6 +846,17 @@ func (c *Client) Pools(ctx context.Context) ([]PoolInfo, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// DrainHost asks the gateway to drain host: quiesce its endpoints,
+// live-migrate its warm guests to surviving hosts of the same kind,
+// and remove it from the routing ring.
+func (c *Client) DrainHost(ctx context.Context, host string) (*DrainReport, error) {
+	var out DrainReport
+	if err := c.do(ctx, http.MethodPost, PathDrain, DrainRequest{Host: host}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Health checks gateway liveness.

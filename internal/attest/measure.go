@@ -1,0 +1,41 @@
+package attest
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+
+	"confbench/internal/tee"
+)
+
+// VerifyMeasurement is the migration gate's re-verification step: the
+// destination host compares the launch measurement a source sealed
+// into the migration stream (claimed) against the measurement the
+// platform re-derives from the imported guest (actual). A mismatch
+// means the stream was tampered with or is stale relative to the
+// running guest, and the migration must abort before resume.
+//
+// The verdict mirrors the quote/report flows so relying parties read
+// one shape regardless of how the evidence was produced.
+func VerifyMeasurement(platform tee.Kind, claimed, actual []byte) (*Verdict, error) {
+	if len(claimed) == 0 || len(actual) == 0 || !bytes.Equal(claimed, actual) {
+		v := &Verdict{
+			OK:          false,
+			Platform:    platform,
+			Measurement: hex.EncodeToString(actual),
+			TCBStatus:   "Tampered",
+			Details: []string{
+				fmt.Sprintf("claimed measurement %s does not match re-derived %s",
+					hex.EncodeToString(claimed), hex.EncodeToString(actual)),
+			},
+		}
+		return v, fmt.Errorf("%w: migration measurement mismatch", ErrVerification)
+	}
+	return &Verdict{
+		OK:          true,
+		Platform:    platform,
+		Measurement: hex.EncodeToString(claimed),
+		TCBStatus:   "UpToDate",
+		Details:     []string{"migration measurement re-verified before resume"},
+	}, nil
+}

@@ -253,6 +253,7 @@ func (c *Cluster) boot() error {
 		for i := 0; i < c.cfg.Shards; i++ {
 			name := fmt.Sprintf("shard-%d", i)
 			gw := newGateway(obs.New(), name)
+			gw.SetDrainer(c.DrainHost)
 			u, err := gw.Start("127.0.0.1:0")
 			if err != nil {
 				return err
@@ -278,6 +279,10 @@ func (c *Cluster) boot() error {
 		}
 	} else {
 		c.gw = newGateway(c.obsreg, "gateway")
+		// POST /v1/drain on the gateway routes into the cluster's
+		// migrating drain, so remote clients get the same semantics as
+		// in-process callers of DrainHost.
+		c.gw.SetDrainer(c.DrainHost)
 		var err error
 		if url, err = c.gw.Start("127.0.0.1:0"); err != nil {
 			return err

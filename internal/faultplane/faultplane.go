@@ -71,6 +71,20 @@ const (
 	// loop, and drop/crash faults sever the connection mid-stream —
 	// failing every multiplexed call in flight on it.
 	PointWireFrame Point = "wire.frame"
+	// PointMigrateStream fires for every chunk of a live-migration
+	// stream. Drop/crash faults sever the stream at that chunk offset
+	// (the engine resumes from the last acked chunk), error faults
+	// corrupt the chunk in transit (caught by the chunk CRC and
+	// re-requested), and latency/slow-io faults stretch the transfer —
+	// counted into downtime when the fault lands in the blackout
+	// window.
+	PointMigrateStream Point = "migrate.stream"
+	// PointMigrateVerify fires at the destination's attestation gate
+	// before a migrated guest is resumed. Error/drop/crash faults fail
+	// the re-verification — the migration rolls back to the still-
+	// running source guest — while latency/slow-io faults delay the
+	// gate, extending the measured downtime.
+	PointMigrateVerify Point = "migrate.verify"
 )
 
 // Valid reports whether p names a known injection point.
@@ -78,7 +92,8 @@ func (p Point) Valid() bool {
 	switch p {
 	case PointRelayAccept, PointHostExec, PointHostLaunch,
 		PointTEETransition, PointTEEBounceIO, PointSnapshotRestore,
-		PointObsScrape, PointWireFrame:
+		PointObsScrape, PointWireFrame,
+		PointMigrateStream, PointMigrateVerify:
 		return true
 	default:
 		return false
@@ -330,8 +345,11 @@ func layerFor(point Point) cberr.Layer {
 	switch point {
 	case PointRelayAccept:
 		return cberr.LayerHost
-	case PointHostExec, PointHostLaunch, PointSnapshotRestore, PointWireFrame:
+	case PointHostExec, PointHostLaunch, PointSnapshotRestore, PointWireFrame,
+		PointMigrateStream:
 		return cberr.LayerHost
+	case PointMigrateVerify:
+		return cberr.LayerAttest
 	case PointObsScrape:
 		return cberr.LayerGateway
 	default:

@@ -61,6 +61,24 @@ func (g *Gateway) addScrapeTarget(host, teeKind, addr string) {
 	})
 }
 
+// removeScrapeTarget drops a host from the federation sweep — a
+// drained host's registry is gone, and sweeping it would only count
+// scrape failures against a machine that left on purpose.
+func (g *Gateway) removeScrapeTarget(host string) {
+	g.scrapeMu.Lock()
+	defer g.scrapeMu.Unlock()
+	kept := g.scrapeTargets[:0]
+	for _, t := range g.scrapeTargets {
+		if t.host != host {
+			kept = append(kept, t)
+		}
+	}
+	for i := len(kept); i < len(g.scrapeTargets); i++ {
+		g.scrapeTargets[i] = scrapeTarget{}
+	}
+	g.scrapeTargets = kept
+}
+
 // ScrapeTargets lists the registered scrape hosts, sorted.
 func (g *Gateway) ScrapeTargets() []string {
 	g.scrapeMu.Lock()

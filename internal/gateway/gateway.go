@@ -42,6 +42,13 @@ type Gateway struct {
 	mu    sync.RWMutex
 	pools map[tee.Kind]*Pool
 
+	// drainFn, when set (SetDrainer), serves POST /v1/drain: the
+	// cluster core plugs in live migration so draining a host moves its
+	// warm guests instead of discarding them. Unset, handleDrain falls
+	// back to a routing-only drain (quiesce, wait out in-flight,
+	// remove).
+	drainFn func(context.Context, string) (*api.DrainReport, error)
+
 	// Federation scraper state (federate.go).
 	scrapeMu       sync.Mutex
 	scrapeTargets  []scrapeTarget
@@ -261,6 +268,131 @@ func (g *Gateway) AddHost(name string, eps []hostagent.Endpoint) {
 	}
 }
 
+// SetDrainer installs the drain implementation POST /v1/drain
+// delegates to. The cluster core registers its migrating drain here;
+// without one the gateway serves a routing-only drain. Call before
+// Start.
+func (g *Gateway) SetDrainer(fn func(context.Context, string) (*api.DrainReport, error)) {
+	g.mu.Lock()
+	g.drainFn = fn
+	g.mu.Unlock()
+}
+
+// QuiesceHost marks every endpoint of host draining across all pools
+// so new acquisitions route around it, and returns how many endpoints
+// were marked. In-flight invokes keep their endpoints until they
+// complete.
+func (g *Gateway) QuiesceHost(host string) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, p := range g.pools {
+		n += p.Quiesce(host)
+	}
+	return n
+}
+
+// UnquiesceHost returns host's endpoints to routing after an aborted
+// drain.
+func (g *Gateway) UnquiesceHost(host string) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, p := range g.pools {
+		n += p.Unquiesce(host)
+	}
+	return n
+}
+
+// HostInFlight sums the in-flight invokes still holding host's
+// endpoints across all pools. A drain polls this to zero after
+// quiescing before it may move or remove anything.
+func (g *Gateway) HostInFlight(host string) int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var n int64
+	for _, p := range g.pools {
+		n += p.InFlightFor(host)
+	}
+	return n
+}
+
+// RemoveHost drops every endpoint of host from routing and the
+// federation sweep, returning the number of endpoints removed.
+func (g *Gateway) RemoveHost(host string) int {
+	g.mu.Lock()
+	n := 0
+	for _, p := range g.pools {
+		n += p.Remove(host)
+	}
+	g.mu.Unlock()
+	g.removeScrapeTarget(host)
+	return n
+}
+
+// drainRoutingOnly is the gateway's built-in drain: quiesce the
+// host's endpoints, wait (ctx-bounded) for in-flight invokes to
+// complete on them, then remove the host from the ring. No guests
+// move — that is the cluster core's job via SetDrainer.
+func (g *Gateway) drainRoutingOnly(ctx context.Context, host string) (*api.DrainReport, error) {
+	quiesced := g.QuiesceHost(host)
+	if quiesced == 0 {
+		return nil, cberr.Newf(cberr.CodeNotFound, cberr.LayerGateway,
+			"gateway: drain: unknown host %q", host)
+	}
+	for g.HostInFlight(host) > 0 {
+		select {
+		case <-ctx.Done():
+			// Abort restores routing: a host that could not drain must
+			// keep serving, not sit invisible forever.
+			g.UnquiesceHost(host)
+			return nil, cberr.Wrap(cberr.CodeUnavailable, cberr.LayerGateway,
+				fmt.Errorf("gateway: drain %s: in-flight wait: %w", host, ctx.Err()))
+		case <-time.After(time.Millisecond):
+		}
+	}
+	removed := g.RemoveHost(host)
+	return &api.DrainReport{
+		Host:        host,
+		RoutingOnly: true,
+		Quiesced:    quiesced,
+		Removed:     removed,
+	}, nil
+}
+
+// handleDrain serves POST /v1/drain: quiesce, migrate (when a drainer
+// is installed), remove.
+func (g *Gateway) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		g.countError(w, http.StatusMethodNotAllowed,
+			cberr.New(cberr.CodeInvalid, cberr.LayerGateway, "POST required"))
+		return
+	}
+	var req api.DrainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		g.fail(w, cberr.Wrap(cberr.CodeInvalid, cberr.LayerGateway,
+			fmt.Errorf("decode request: %w", err)))
+		return
+	}
+	if req.Host == "" {
+		g.fail(w, cberr.New(cberr.CodeInvalid, cberr.LayerGateway,
+			"gateway: drain: host required"))
+		return
+	}
+	g.mu.RLock()
+	fn := g.drainFn
+	g.mu.RUnlock()
+	if fn == nil {
+		fn = g.drainRoutingOnly
+	}
+	report, err := fn(r.Context(), req.Host)
+	if err != nil {
+		g.fail(w, err)
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, report)
+}
+
 // DB exposes the function database.
 func (g *Gateway) DB() *faas.DB { return g.db }
 
@@ -305,6 +437,7 @@ func (g *Gateway) Start(addr string) (string, error) {
 		{api.PathInvoke, g.handleInvoke},
 		{api.PathAttest, g.handleAttest},
 		{api.PathPools, g.handlePools},
+		{api.PathDrain, g.handleDrain},
 		{api.PathMetrics, g.handleMetrics},
 		{api.PathHealth, handleHealth},
 	} {

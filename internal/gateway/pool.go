@@ -46,6 +46,7 @@ type Entry struct {
 	Endpoint hostagent.Endpoint
 	inFlight atomic.Int64
 	breaker  *Breaker
+	draining atomic.Bool
 }
 
 // InFlight returns the endpoint's current in-flight request count.
@@ -53,6 +54,10 @@ func (e *Entry) InFlight() int64 { return e.inFlight.Load() }
 
 // BreakerState returns the endpoint's circuit-breaker position.
 func (e *Entry) BreakerState() BreakerState { return e.breaker.State() }
+
+// Draining reports whether the endpoint is quiesced for migration:
+// it accepts no new checkouts while its in-flight invokes complete.
+func (e *Entry) Draining() bool { return e.draining.Load() }
 
 // Policy selects an endpoint from a candidate set.
 type Policy interface {
@@ -211,6 +216,7 @@ func (p *Pool) Members() []api.EndpointHealth {
 			Secure:   e.Endpoint.Secure,
 			Breaker:  e.BreakerState().String(),
 			InFlight: e.InFlight(),
+			Draining: e.Draining(),
 		})
 	}
 	return out
@@ -262,6 +268,11 @@ func (p *Pool) AcquireAvoiding(ctx context.Context, secure bool, avoid *Entry) (
 	var tripped []*Entry // matching endpoints an open/probing breaker blocked
 	for _, e := range p.entries {
 		if e.Endpoint.Secure != secure {
+			continue
+		}
+		// A draining endpoint is invisible to routing: its in-flight
+		// invokes finish on the source host, new work goes elsewhere.
+		if e.Draining() {
 			continue
 		}
 		matching++
@@ -340,3 +351,72 @@ func (p *Pool) allUnhealthyError(secure bool, matching int, tripped []*Entry, no
 
 // Release returns an acquired checkout; idempotent and nil-safe.
 func (p *Pool) Release(c *Checkout) { c.Release() }
+
+// Quiesce marks every endpoint on host as draining and returns how
+// many were marked. Checkouts already in flight keep their leases and
+// complete on the host; new acquires route around it.
+func (p *Pool) Quiesce(host string) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	n := 0
+	for _, e := range p.entries {
+		if e.Host == host {
+			e.draining.Store(true)
+			n++
+		}
+	}
+	return n
+}
+
+// Unquiesce clears the draining mark on host's endpoints, returning
+// them to routing — the recovery path when a drain aborts (e.g. a
+// migration failed attestation) and the host must keep serving.
+func (p *Pool) Unquiesce(host string) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	n := 0
+	for _, e := range p.entries {
+		if e.Host == host {
+			e.draining.Store(false)
+			n++
+		}
+	}
+	return n
+}
+
+// InFlightFor sums in-flight requests on one host's endpoints — the
+// drain path polls it to zero before migrating the host's guests.
+func (p *Pool) InFlightFor(host string) int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var total int64
+	for _, e := range p.entries {
+		if e.Host == host {
+			total += e.InFlight()
+		}
+	}
+	return total
+}
+
+// Remove deletes every endpoint on host from the pool and returns how
+// many were removed. Call after Quiesce has drained the in-flight
+// work; a removed endpoint can never be picked again.
+func (p *Pool) Remove(host string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kept := p.entries[:0]
+	n := 0
+	for _, e := range p.entries {
+		if e.Host == host {
+			n++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	// Zero the tail so removed entries do not linger reachable.
+	for i := len(kept); i < len(p.entries); i++ {
+		p.entries[i] = nil
+	}
+	p.entries = kept
+	return n
+}

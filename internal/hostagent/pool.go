@@ -313,7 +313,11 @@ func (p *GuestPool) refillLoop() {
 
 // Shutdown stops the refill goroutine and destroys the idle guests.
 // Leased guests are the holders' to destroy and release. The ctx
-// bounds the wait for the refill goroutine to drain.
+// bounds the wait for the refill goroutine to drain — but the idle
+// guests are destroyed even when that wait times out: an impatient
+// ctx must not leak warm guests. (A refill create still in flight at
+// that point lands on the closed pool and is destroyed by the refill
+// goroutine itself, so nothing escapes either way.)
 func (p *GuestPool) Shutdown(ctx context.Context) error {
 	p.mu.Lock()
 	if p.closed {
@@ -328,19 +332,52 @@ func (p *GuestPool) Shutdown(ctx context.Context) error {
 		p.wg.Wait()
 		close(drained)
 	}()
+	var errs []error
 	select {
 	case <-drained:
 	case <-ctx.Done():
-		return ctx.Err()
+		errs = append(errs, ctx.Err())
 	}
 	p.mu.Lock()
 	idle := p.idle
 	p.idle = nil
 	p.idleGauge.Set(0)
 	p.mu.Unlock()
-	var errs []error
 	for _, g := range idle {
 		errs = append(errs, g.Destroy())
 	}
 	return errors.Join(errs...)
+}
+
+// DrainIdle pops and returns every idle guest without destroying it,
+// leaving the pool empty (the refill goroutine will top it back up
+// unless the pool is being shut down). Live migration uses this to
+// move a departing host's warm capacity instead of burning it.
+func (p *GuestPool) DrainIdle() []tee.Guest {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.idleGauge.Set(0)
+	p.mu.Unlock()
+	return idle
+}
+
+// Adopt inserts an externally built guest (e.g. one migrated in from
+// a draining host) into the idle set. A closed pool, or one already
+// at its high watermark, destroys the guest instead — mirroring
+// Release — and Adopt reports whether the guest was kept.
+func (p *GuestPool) Adopt(g tee.Guest) bool {
+	if g == nil {
+		return false
+	}
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= p.high {
+		p.mu.Unlock()
+		_ = g.Destroy()
+		return false
+	}
+	p.idle = append(p.idle, g)
+	p.idleGauge.Set(int64(len(p.idle)))
+	p.mu.Unlock()
+	return true
 }

@@ -1,0 +1,60 @@
+package migrate
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// corpusDir is the committed seed corpus for FuzzMigrationStream.
+const corpusDir = "testdata/fuzz/FuzzMigrationStream"
+
+// corpusSeeds enumerates the committed corpus: valid streams of a few
+// shapes, truncations, a bit flip, and plain garbage — the decoder's
+// boundary cases, so `make fuzz-smoke` starts from interesting inputs
+// instead of rediscovering the format.
+func corpusSeeds(tb testing.TB) map[string][]byte {
+	valid := fuzzSeedStream(tb, 64, 32)
+	truncated := valid[:len(valid)-10]
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x04
+	return map[string][]byte{
+		"seed-valid":       valid,
+		"seed-empty-state": fuzzSeedStream(tb, 0, 16),
+		"seed-multi-chunk": fuzzSeedStream(tb, 100, 16),
+		"seed-truncated":   truncated,
+		"seed-bitflip":     flipped,
+		"seed-header-only": valid[:40],
+		"seed-garbage":     []byte("CBMG\x01garbage that is not a stream"),
+		"seed-wrong-magic": []byte("GBMC\x01\x00\x00\x00"),
+	}
+}
+
+// TestFuzzCorpusCommitted checks every committed corpus file matches
+// what corpusSeeds generates; run with CONFBENCH_REGEN_CORPUS=1 to
+// (re)write the files after a deliberate format change.
+func TestFuzzCorpusCommitted(t *testing.T) {
+	regen := os.Getenv("CONFBENCH_REGEN_CORPUS") != ""
+	for name, data := range corpusSeeds(t) {
+		path := filepath.Join(corpusDir, name)
+		want := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if regen {
+			if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with CONFBENCH_REGEN_CORPUS=1)", name, err)
+		}
+		if string(got) != want {
+			t.Errorf("%s: committed corpus stale (regenerate with CONFBENCH_REGEN_CORPUS=1)", name)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package migrate
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"confbench/internal/tee"
+)
+
+// fuzzSeedStream builds a small valid stream for the fuzz corpus.
+func fuzzSeedStream(tb testing.TB, stateLen, chunkSize int) []byte {
+	tb.Helper()
+	img := &tee.MigrationImage{
+		Kind:        tee.KindSEV,
+		MemoryMB:    8,
+		Measurement: bytes.Repeat([]byte{0xAB}, tee.MeasurementSize),
+		State:       bytes.Repeat([]byte{0x5C}, stateLen),
+		ExportCost:  time.Millisecond,
+		ResumeCost:  2 * time.Millisecond,
+	}
+	st, err := Encode(img, chunkSize)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return st.Bytes()
+}
+
+// FuzzMigrationStream hammers the chunked stream decoder with
+// arbitrary bytes. The decoder must never panic; when it does accept
+// an input, the reassembled image must survive a re-encode/decode
+// round trip unchanged (the decoder and encoder agree on the format).
+func FuzzMigrationStream(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("CBMG"))
+	f.Add([]byte("CBMG\x01\x00"))
+	f.Add(fuzzSeedStream(f, 0, 16))
+	f.Add(fuzzSeedStream(f, 100, 16))
+	valid := fuzzSeedStream(f, 64, 32)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:len(valid)/2])
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/2] ^= 0x10
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if img == nil {
+			t.Fatal("nil image with nil error")
+		}
+		st, err := Encode(img, int(DefaultChunkSize))
+		if err != nil {
+			t.Fatalf("accepted image fails to re-encode: %v", err)
+		}
+		back, err := Decode(st.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded stream fails to decode: %v", err)
+		}
+		if back.Kind != img.Kind || back.MemoryMB != img.MemoryMB ||
+			!bytes.Equal(back.Measurement, img.Measurement) ||
+			!bytes.Equal(back.State, img.State) {
+			t.Fatal("round trip through re-encode changed the image")
+		}
+	})
+}

@@ -1,0 +1,248 @@
+package migrate
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"confbench/internal/tee"
+)
+
+func testImage(stateLen int) *tee.MigrationImage {
+	state := make([]byte, stateLen)
+	for i := range state {
+		state[i] = byte(i * 7)
+	}
+	meas := make([]byte, tee.MeasurementSize)
+	for i := range meas {
+		meas[i] = byte(i + 1)
+	}
+	return &tee.MigrationImage{
+		Kind:        tee.KindSEV,
+		MemoryMB:    8,
+		Measurement: meas,
+		State:       state,
+		ExportCost:  3 * time.Millisecond,
+		ResumeCost:  9 * time.Millisecond,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, stateLen := range []int{0, 1, 15, 16, 17, 1000} {
+		img := testImage(stateLen)
+		st, err := Encode(img, 16)
+		if err != nil {
+			t.Fatalf("encode %d: %v", stateLen, err)
+		}
+		wantChunks := (stateLen + 15) / 16
+		if st.NumChunks() != wantChunks {
+			t.Fatalf("stateLen %d: %d chunks, want %d", stateLen, st.NumChunks(), wantChunks)
+		}
+		got, err := Decode(st.Bytes())
+		if err != nil {
+			t.Fatalf("decode %d: %v", stateLen, err)
+		}
+		if got.Kind != img.Kind || got.MemoryMB != img.MemoryMB ||
+			!bytes.Equal(got.Measurement, img.Measurement) ||
+			!bytes.Equal(got.State, img.State) ||
+			got.ExportCost != img.ExportCost || got.ResumeCost != img.ResumeCost {
+			t.Fatalf("stateLen %d: round trip mismatch: %+v", stateLen, got)
+		}
+		if int64(len(st.Bytes())) != st.TotalBytes() {
+			t.Fatalf("TotalBytes %d != wire %d", st.TotalBytes(), len(st.Bytes()))
+		}
+	}
+}
+
+func TestEncodeRejectsOversize(t *testing.T) {
+	img := testImage(10)
+	img.Measurement = make([]byte, maxMeasurement+1)
+	if _, err := Encode(img, 16); !errors.Is(err, ErrOversize) {
+		t.Errorf("oversize measurement: %v", err)
+	}
+	if _, err := Encode(nil, 16); !errors.Is(err, tee.ErrNilImage) {
+		t.Errorf("nil image: %v", err)
+	}
+	if _, err := Encode(testImage(4), maxChunkSize+1); !errors.Is(err, ErrOversize) {
+		t.Errorf("oversize chunk: %v", err)
+	}
+}
+
+// TestReceiverResume models a severed transfer: the sender re-attaches,
+// re-feeds the header (idempotent), replays an already-acked chunk
+// (ignored), and continues from the cursor.
+func TestReceiverResume(t *testing.T) {
+	img := testImage(100)
+	st, err := Encode(img, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReceiver()
+	if err := r.FeedHeader(st.HeaderFrame()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := r.FeedChunk(st.ChunkFrame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Cursor() != 3 {
+		t.Fatalf("cursor %d, want 3", r.Cursor())
+	}
+	// Sever: re-attach re-feeds the header and overlaps one chunk.
+	if err := r.FeedHeader(st.HeaderFrame()); err != nil {
+		t.Fatalf("header re-feed: %v", err)
+	}
+	if err := r.FeedChunk(st.ChunkFrame(2)); err != nil {
+		t.Fatalf("duplicate chunk: %v", err)
+	}
+	if r.Cursor() != 3 {
+		t.Fatalf("cursor moved on duplicate: %d", r.Cursor())
+	}
+	// Skipping ahead is rejected.
+	if err := r.FeedChunk(st.ChunkFrame(5)); !errors.Is(err, ErrChunkOrder) {
+		t.Fatalf("out of order: %v", err)
+	}
+	for i := 3; i < st.NumChunks(); i++ {
+		if err := r.FeedChunk(st.ChunkFrame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.FeedTrailer(st.TrailerFrame()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.State, img.State) {
+		t.Error("resumed state differs")
+	}
+}
+
+func TestReceiverRejectsCorruptChunk(t *testing.T) {
+	img := testImage(64)
+	st, err := Encode(img, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReceiver()
+	if err := r.FeedHeader(st.HeaderFrame()); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), st.ChunkFrame(0)...)
+	bad[len(bad)-1] ^= 0xFF
+	if err := r.FeedChunk(bad); !errors.Is(err, ErrChunkCRC) {
+		t.Fatalf("corrupt payload: %v", err)
+	}
+	if r.Cursor() != 0 {
+		t.Fatalf("cursor advanced past corrupt chunk: %d", r.Cursor())
+	}
+	// Clean retransmit is accepted.
+	if err := r.FeedChunk(st.ChunkFrame(0)); err != nil {
+		t.Fatalf("retransmit: %v", err)
+	}
+}
+
+func TestReceiverRejectsConsistentTamper(t *testing.T) {
+	// Defense in depth: an attacker who rewrites a chunk payload AND
+	// fixes up its CRC gets past the per-chunk check but not the
+	// trailer binding.
+	img := testImage(64)
+	st, err := Encode(img, 64) // one chunk
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := testImage(64)
+	tampered.State[10] ^= 0x01
+	st2, err := Encode(tampered, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReceiver()
+	if err := r.FeedHeader(st.HeaderFrame()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FeedChunk(st2.ChunkFrame(0)); err != nil {
+		t.Fatalf("CRC-consistent tampered chunk should pass the chunk check: %v", err)
+	}
+	if err := r.FeedTrailer(st.TrailerFrame()); !errors.Is(err, ErrBinding) {
+		t.Fatalf("binding: %v", err)
+	}
+}
+
+func TestReceiverHeaderMismatchOnResume(t *testing.T) {
+	a, err := Encode(testImage(32), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := testImage(32)
+	b2.MemoryMB = 9
+	b, err := Encode(b2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReceiver()
+	if err := r.FeedHeader(a.HeaderFrame()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FeedHeader(b.HeaderFrame()); !errors.Is(err, ErrHeaderDiff) {
+		t.Fatalf("differing resumed header: %v", err)
+	}
+}
+
+func TestReceiverOrderOfOperations(t *testing.T) {
+	st, err := Encode(testImage(32), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReceiver()
+	if err := r.FeedChunk(st.ChunkFrame(0)); !errors.Is(err, ErrNoHeader) {
+		t.Fatalf("chunk before header: %v", err)
+	}
+	if err := r.FeedTrailer(st.TrailerFrame()); !errors.Is(err, ErrNoHeader) {
+		t.Fatalf("trailer before header: %v", err)
+	}
+	if err := r.FeedHeader(st.HeaderFrame()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FeedTrailer(st.TrailerFrame()); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("trailer before chunks: %v", err)
+	}
+	if _, err := r.Image(); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("image before complete: %v", err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	st, err := Encode(testImage(40), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := st.Bytes()
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short", []byte{1, 2, 3}, ErrTruncated},
+		{"bad magic", append([]byte("XXXX"), wire[4:]...), ErrMagic},
+		{"bad version", append([]byte("CBMG\xff"), wire[5:]...), ErrVersion},
+		{"truncated mid-chunk", wire[:len(wire)-40], ErrTruncated},
+		{"missing trailer", wire[:len(wire)-33], ErrIncomplete},
+		{"trailing junk", append(append([]byte(nil), wire...), 0xEE), ErrMarker},
+	}
+	for _, tc := range cases {
+		if _, err := Decode(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Header CRC: flip one header byte past the magic/version.
+	hcrc := append([]byte(nil), wire...)
+	hcrc[8] ^= 0x01
+	if _, err := Decode(hcrc); err == nil {
+		t.Error("flipped header byte accepted")
+	}
+}

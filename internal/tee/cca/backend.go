@@ -43,11 +43,23 @@ type Backend struct {
 	mu       sync.Mutex
 	nextSeed int64
 	nextPA   uint64
+	// live maps running guest IDs to their migration handles — the
+	// realm id plus the personalization value and granule count a
+	// destination needs to rebuild the realm around the sealed RIM.
+	live map[string]ccaLive
+}
+
+// ccaLive is the migration handle of one running realm.
+type ccaLive struct {
+	realmID uint64
+	rpv     []byte
+	pages   int
 }
 
 var (
 	_ tee.Backend     = (*Backend)(nil)
 	_ tee.Snapshotter = (*Backend)(nil)
+	_ tee.Migrator    = (*Backend)(nil)
 )
 
 // NewBackend boots an FVP instance with an RMM loaded in the realm
@@ -70,6 +82,7 @@ func NewBackend(opts Options) (*Backend, error) {
 		faults:   opts.Faults,
 		nextSeed: opts.Seed + 1,
 		nextPA:   GranuleSize, // skip granule 0
+		live:     make(map[string]ccaLive),
 	}, nil
 }
 
@@ -171,24 +184,53 @@ func (b *Backend) Launch(cfg tee.GuestConfig) (tee.Guest, error) {
 	if err := b.rmm.RMIRealmActivate(realmID); err != nil {
 		return nil, fmt.Errorf("cca launch: %w", err)
 	}
+	rpv := make([]byte, len(cfg.Name))
+	copy(rpv, cfg.Name)
+	return b.guestForRealm(ccaLive{realmID: realmID, rpv: rpv, pages: pages}, cfg, seed, 0, false), nil
+}
 
+// forgetRealm drops the live-tracking entry of a destroyed realm.
+func (b *Backend) forgetRealm(realmID uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for gid, h := range b.live {
+		if h.realmID == realmID {
+			delete(b.live, gid)
+		}
+	}
+}
+
+// guestForRealm wraps an active realm into a ModelGuest and tracks it
+// live so ExportLive can find its migration handle.
+//
+// The FVP lacks the hardware support attestation requires (§IV-B: "We
+// leave out CCA as the simulator lacks the required hardware
+// support"), so no Report hook is set and AttestationReport returns
+// tee.ErrNoAttestation — the migration gate verifies the RIM via
+// RSI_MEASUREMENT_READ instead.
+func (b *Backend) guestForRealm(h ccaLive, cfg tee.GuestConfig, seed int64, bootOverride time.Duration, restored bool) tee.Guest {
 	rmm := b.rmm
-	return tee.NewModelGuest(tee.ModelGuestConfig{
-		IDPrefix: "realm",
-		Kind:     tee.KindCCA,
-		Secure:   true,
-		Model:    b.CostModel(),
-		BootBase: bootBaseNs,
-		Seed:     seed,
-		Obs:      b.obsreg,
-		Faults:   b.faults,
-		Host:     cfg.Name,
-		// The FVP lacks the hardware support attestation requires
-		// (§IV-B: "We leave out CCA as the simulator lacks the
-		// required hardware support"), so no Report hook is set and
-		// AttestationReport returns tee.ErrNoAttestation.
-		Destroy: func() error { return rmm.RMIRealmDestroy(realmID) },
-	}), nil
+	g := tee.NewModelGuest(tee.ModelGuestConfig{
+		IDPrefix:         "realm",
+		Kind:             tee.KindCCA,
+		Secure:           true,
+		Model:            b.CostModel(),
+		BootBase:         bootBaseNs,
+		BootCostOverride: bootOverride,
+		Restored:         restored,
+		Seed:             seed,
+		Obs:              b.obsreg,
+		Faults:           b.faults,
+		Host:             cfg.Name,
+		Destroy: func() error {
+			b.forgetRealm(h.realmID)
+			return rmm.RMIRealmDestroy(h.realmID)
+		},
+	})
+	b.mu.Lock()
+	b.live[g.ID()] = h
+	b.mu.Unlock()
+	return g
 }
 
 // realmImage is the backend-private payload of a CCA guest image: the
@@ -276,24 +318,9 @@ func (b *Backend) Restore(img *tee.GuestImage, cfg tee.GuestConfig) (tee.Guest, 
 	if err != nil {
 		return nil, fmt.Errorf("cca restore: %w", err)
 	}
-
-	rmm := b.rmm
-	return tee.NewModelGuest(tee.ModelGuestConfig{
-		IDPrefix:         "realm",
-		Kind:             tee.KindCCA,
-		Secure:           true,
-		Model:            b.CostModel(),
-		BootBase:         bootBaseNs,
-		BootCostOverride: img.RestoreCost,
-		Restored:         true,
-		Seed:             seed,
-		Obs:              b.obsreg,
-		Faults:           b.faults,
-		Host:             cfg.Name,
-		// Same as Launch: the FVP lacks attestation support, so no
-		// Report hook is set.
-		Destroy: func() error { return rmm.RMIRealmDestroy(realmID) },
-	}), nil
+	rpv := make([]byte, len(ri.rpv))
+	copy(rpv, ri.rpv)
+	return b.guestForRealm(ccaLive{realmID: realmID, rpv: rpv, pages: ri.pages}, cfg, seed, img.RestoreCost, true), nil
 }
 
 // LaunchNormal implements tee.Backend: a non-secure VM, still inside

@@ -1,0 +1,93 @@
+package cca
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+
+	"confbench/internal/tee"
+)
+
+// realmState is the serialized form of a migrating realm: the
+// personalization value and granule count to rebuild it around the
+// sealed RIM (which travels in the image's Measurement field, where
+// the destination's attestation gate verifies it).
+type realmState struct {
+	RPV   string `json:"rpv"` // base64 personalization value
+	Pages int    `json:"pages"`
+}
+
+// ExportLive implements tee.Migrator — the CCA realm handoff: the
+// realm keeps running while its RIM (read back via
+// RSI_MEASUREMENT_READ, the realm-world measurement interface), its
+// personalization value, and its granule count are captured for the
+// destination to rebuild.
+func (b *Backend) ExportLive(g tee.Guest) (*tee.MigrationImage, error) {
+	if g == nil {
+		return nil, fmt.Errorf("cca export: %w", tee.ErrNotLive)
+	}
+	b.mu.Lock()
+	h, ok := b.live[g.ID()]
+	b.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("cca export %s: %w", g.ID(), tee.ErrNotLive)
+	}
+	rim, err := b.rmm.RSIMeasurementRead(h.realmID)
+	if err != nil {
+		return nil, fmt.Errorf("cca export: %w", err)
+	}
+	state, err := json.Marshal(realmState{
+		RPV:   base64.StdEncoding.EncodeToString(h.rpv),
+		Pages: h.pages,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cca export: %w", err)
+	}
+	cm := b.CostModel()
+	return &tee.MigrationImage{
+		Kind:        tee.KindCCA,
+		MemoryMB:    h.pages, // one granule per MiB stands in for the image
+		Measurement: append([]byte(nil), rim[:]...),
+		State:       state,
+		ExportCost:  cm.SnapshotCost(h.pages),
+		ResumeCost:  cm.RestoreCost(h.pages),
+	}, nil
+}
+
+// ImportLive implements tee.Migrator: fresh granules are delegated to
+// a realm created directly active around the streamed RIM — the
+// measured data-granule build is skipped, like a restore. The imported
+// guest is tracked live, so re-exporting it reproduces the RIM for the
+// destination's attestation gate.
+func (b *Backend) ImportLive(img *tee.MigrationImage, cfg tee.GuestConfig) (tee.Guest, error) {
+	if err := img.Validate(tee.KindCCA); err != nil {
+		return nil, fmt.Errorf("cca import: %w", err)
+	}
+	var st realmState
+	if err := json.Unmarshal(img.State, &st); err != nil {
+		return nil, fmt.Errorf("cca import: %w: %v", tee.ErrBadMigrationState, err)
+	}
+	rpv, err := base64.StdEncoding.DecodeString(st.RPV)
+	if err != nil {
+		return nil, fmt.Errorf("cca import: %w: %v", tee.ErrBadMigrationState, err)
+	}
+	if st.Pages < 0 || st.Pages > 1<<20 {
+		return nil, fmt.Errorf("cca import: %w: %d pages", tee.ErrBadMigrationState, st.Pages)
+	}
+	cfg = cfg.WithDefaults()
+	base, seed := b.alloc(st.Pages)
+	if cfg.Seed != 0 {
+		seed = cfg.Seed
+	}
+	pas := make([]uint64, st.Pages)
+	for i := range pas {
+		pas[i] = base + uint64(i)*GranuleSize
+	}
+	var rim [MeasurementSize]byte
+	copy(rim[:], img.Measurement)
+	realmID, err := b.rmm.RMIRealmImport(rpv, rim, pas)
+	if err != nil {
+		return nil, fmt.Errorf("cca import: %w", err)
+	}
+	return b.guestForRealm(ccaLive{realmID: realmID, rpv: rpv, pages: st.Pages}, cfg, seed, img.ResumeCost, true), nil
+}

@@ -37,11 +37,24 @@ type Backend struct {
 	mu       sync.Mutex
 	nextASID uint32
 	nextSeed int64
+	// live maps running guest IDs to their migration handles (ASID,
+	// policy, sealed launch digest, RMP donation shape) — what the
+	// SNP migration agent streams to a destination host.
+	live map[string]sevLive
+}
+
+// sevLive is the migration handle of one running SNP guest.
+type sevLive struct {
+	asid   uint32
+	policy uint64
+	digest [MeasurementSize]byte
+	pages  int
 }
 
 var (
 	_ tee.Backend     = (*Backend)(nil)
 	_ tee.Snapshotter = (*Backend)(nil)
+	_ tee.Migrator    = (*Backend)(nil)
 )
 
 // NewBackend provisions an SEV-SNP host: an AMD-SP with a fresh
@@ -69,6 +82,7 @@ func NewBackend(opts Options) (*Backend, error) {
 		faults:   opts.Faults,
 		nextASID: 1,
 		nextSeed: opts.Seed + 1,
+		live:     make(map[string]sevLive),
 	}, nil
 }
 
@@ -166,34 +180,59 @@ func (b *Backend) Launch(cfg tee.GuestConfig) (tee.Guest, error) {
 			return nil, fmt.Errorf("sev launch: %w", err)
 		}
 	}
-	if _, err := b.sp.LaunchFinish(asid); err != nil {
+	digest, err := b.sp.LaunchFinish(asid)
+	if err != nil {
 		return nil, fmt.Errorf("sev launch: %w", err)
 	}
+	handle := sevLive{asid: asid, policy: policy, digest: digest, pages: bootImagePages(cfg)}
+	return b.guestForASID(handle, cfg, seed, 0, false), nil
+}
 
+// forgetASID drops the live-tracking entry of a decommissioned guest.
+func (b *Backend) forgetASID(asid uint32) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for gid, h := range b.live {
+		if h.asid == asid {
+			delete(b.live, gid)
+		}
+	}
+}
+
+// guestForASID wraps a finished SNP context into a ModelGuest and
+// tracks it live so ExportLive can find its migration handle.
+func (b *Backend) guestForASID(h sevLive, cfg tee.GuestConfig, seed int64, bootOverride time.Duration, restored bool) tee.Guest {
 	sp, rmp := b.sp, b.rmp
-	return tee.NewModelGuest(tee.ModelGuestConfig{
-		IDPrefix: "snp",
-		Kind:     tee.KindSEV,
-		Secure:   true,
-		Model:    b.CostModel(),
-		BootBase: bootBaseNs,
-		Seed:     seed,
-		Obs:      b.obsreg,
-		Faults:   b.faults,
-		Host:     cfg.Name,
+	g := tee.NewModelGuest(tee.ModelGuestConfig{
+		IDPrefix:         "snp",
+		Kind:             tee.KindSEV,
+		Secure:           true,
+		Model:            b.CostModel(),
+		BootBase:         bootBaseNs,
+		BootCostOverride: bootOverride,
+		Restored:         restored,
+		Seed:             seed,
+		Obs:              b.obsreg,
+		Faults:           b.faults,
+		Host:             cfg.Name,
 		Report: func(_ context.Context, nonce []byte) ([]byte, error) {
-			r, err := sp.GuestRequestReport(asid, 0, nonce)
+			r, err := sp.GuestRequestReport(h.asid, 0, nonce)
 			if err != nil {
 				return nil, err
 			}
 			return r.Marshal()
 		},
 		Destroy: func() error {
-			rmp.ReclaimAll(asid)
-			sp.Decommission(asid)
+			b.forgetASID(h.asid)
+			rmp.ReclaimAll(h.asid)
+			sp.Decommission(h.asid)
 			return nil
 		},
-	}), nil
+	})
+	b.mu.Lock()
+	b.live[g.ID()] = h
+	b.mu.Unlock()
+	return g
 }
 
 // snpImage is the backend-private payload of an SEV-SNP guest image:
@@ -276,33 +315,8 @@ func (b *Backend) Restore(img *tee.GuestImage, cfg tee.GuestConfig) (tee.Guest, 
 			return nil, fmt.Errorf("sev restore: %w", err)
 		}
 	}
-
-	sp, rmp := b.sp, b.rmp
-	return tee.NewModelGuest(tee.ModelGuestConfig{
-		IDPrefix:         "snp",
-		Kind:             tee.KindSEV,
-		Secure:           true,
-		Model:            b.CostModel(),
-		BootBase:         bootBaseNs,
-		BootCostOverride: img.RestoreCost,
-		Restored:         true,
-		Seed:             seed,
-		Obs:              b.obsreg,
-		Faults:           b.faults,
-		Host:             cfg.Name,
-		Report: func(_ context.Context, nonce []byte) ([]byte, error) {
-			r, err := sp.GuestRequestReport(asid, 0, nonce)
-			if err != nil {
-				return nil, err
-			}
-			return r.Marshal()
-		},
-		Destroy: func() error {
-			rmp.ReclaimAll(asid)
-			sp.Decommission(asid)
-			return nil
-		},
-	}), nil
+	handle := sevLive{asid: asid, policy: snp.policy, digest: snp.digest, pages: snp.pages}
+	return b.guestForASID(handle, cfg, seed, img.RestoreCost, true), nil
 }
 
 // LaunchNormal implements tee.Backend: a plain VM on the same host.

@@ -1,0 +1,85 @@
+package sev
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"confbench/internal/tee"
+)
+
+// snpState is the serialized form of a migrating SNP guest: the guest
+// policy and the RMP donation shape to replay on the destination. The
+// sealed launch digest travels in the image's Measurement field, where
+// the destination's attestation gate verifies it before LAUNCH_IMPORT.
+type snpState struct {
+	Policy uint64 `json:"policy"`
+	Pages  int    `json:"pages"`
+}
+
+// ExportLive implements tee.Migrator — the SNP migration-agent page
+// stream: the source guest keeps running while its policy, sealed
+// launch digest, and RMP donation shape are captured for the
+// destination to replay.
+func (b *Backend) ExportLive(g tee.Guest) (*tee.MigrationImage, error) {
+	if g == nil {
+		return nil, fmt.Errorf("sev export: %w", tee.ErrNotLive)
+	}
+	b.mu.Lock()
+	h, ok := b.live[g.ID()]
+	b.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("sev export %s: %w", g.ID(), tee.ErrNotLive)
+	}
+	state, err := json.Marshal(snpState{Policy: h.policy, Pages: h.pages})
+	if err != nil {
+		return nil, fmt.Errorf("sev export: %w", err)
+	}
+	cm := b.CostModel()
+	return &tee.MigrationImage{
+		Kind:        tee.KindSEV,
+		MemoryMB:    h.pages, // one donated page per MiB
+		Measurement: append([]byte(nil), h.digest[:]...),
+		State:       state,
+		ExportCost:  cm.SnapshotCost(h.pages),
+		ResumeCost:  cm.RestoreCost(h.pages),
+	}, nil
+}
+
+// ImportLive implements tee.Migrator: a fresh ASID receives the
+// streamed launch digest via SNP_LAUNCH_IMPORT and the RMP page
+// donation is replayed (RMPUPDATE+PVALIDATE per page, no per-page
+// measurement). The imported guest is tracked live, so re-exporting
+// it reproduces the digest for the destination's attestation gate.
+func (b *Backend) ImportLive(img *tee.MigrationImage, cfg tee.GuestConfig) (tee.Guest, error) {
+	if err := img.Validate(tee.KindSEV); err != nil {
+		return nil, fmt.Errorf("sev import: %w", err)
+	}
+	var st snpState
+	if err := json.Unmarshal(img.State, &st); err != nil {
+		return nil, fmt.Errorf("sev import: %w: %v", tee.ErrBadMigrationState, err)
+	}
+	if st.Pages < 0 || st.Pages > 1<<20 {
+		return nil, fmt.Errorf("sev import: %w: %d pages", tee.ErrBadMigrationState, st.Pages)
+	}
+	cfg = cfg.WithDefaults()
+	asid, seed := b.alloc()
+	if cfg.Seed != 0 {
+		seed = cfg.Seed
+	}
+	var digest [MeasurementSize]byte
+	copy(digest[:], img.Measurement)
+	if err := b.sp.LaunchImport(asid, st.Policy, digest); err != nil {
+		return nil, fmt.Errorf("sev import: %w", err)
+	}
+	for i := 0; i < st.Pages; i++ {
+		pa := (uint64(asid)<<32 | uint64(i)) * PageSize
+		if err := b.rmp.Assign(pa, asid); err != nil {
+			return nil, fmt.Errorf("sev import: %w", err)
+		}
+		if err := b.rmp.Validate(pa, asid); err != nil {
+			return nil, fmt.Errorf("sev import: %w", err)
+		}
+	}
+	handle := sevLive{asid: asid, policy: st.Policy, digest: digest, pages: st.Pages}
+	return b.guestForASID(handle, cfg, seed, img.ResumeCost, true), nil
+}

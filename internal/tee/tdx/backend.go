@@ -41,11 +41,15 @@ type Backend struct {
 
 	mu       sync.Mutex
 	nextSeed int64
+	// live maps running guest IDs to their TD ids — the handle
+	// ExportLive needs to reach the TD behind a tee.Guest.
+	live map[string]uint64
 }
 
 var (
 	_ tee.Backend     = (*Backend)(nil)
 	_ tee.Snapshotter = (*Backend)(nil)
+	_ tee.Migrator    = (*Backend)(nil)
 )
 
 // NewBackend creates a TDX backend with a freshly loaded module.
@@ -70,6 +74,7 @@ func NewBackend(opts Options) (*Backend, error) {
 		faults:   opts.Faults,
 		seed:     opts.Seed,
 		nextSeed: opts.Seed + 1,
+		live:     make(map[string]uint64),
 	}, nil
 }
 
@@ -185,10 +190,22 @@ func (b *Backend) buildTD(cfg tee.GuestConfig) (uint64, error) {
 	return id, nil
 }
 
-// guestForTD wraps an entered TD id into a ModelGuest.
+// forgetTD drops the live-tracking entry of a destroyed TD.
+func (b *Backend) forgetTD(id uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for gid, tid := range b.live {
+		if tid == id {
+			delete(b.live, gid)
+		}
+	}
+}
+
+// guestForTD wraps an entered TD id into a ModelGuest and tracks it
+// live so ExportLive can find the TD again.
 func (b *Backend) guestForTD(id uint64, cfg tee.GuestConfig, restoreCost time.Duration, restored bool) tee.Guest {
 	mod := b.module
-	return tee.NewModelGuest(tee.ModelGuestConfig{
+	g := tee.NewModelGuest(tee.ModelGuestConfig{
 		IDPrefix:         "td",
 		Kind:             tee.KindTDX,
 		Secure:           true,
@@ -207,8 +224,15 @@ func (b *Backend) guestForTD(id uint64, cfg tee.GuestConfig, restoreCost time.Du
 			}
 			return r.Marshal()
 		},
-		Destroy: func() error { return mod.TDHMngRemove(id) },
+		Destroy: func() error {
+			b.forgetTD(id)
+			return mod.TDHMngRemove(id)
+		},
 	})
+	b.mu.Lock()
+	b.live[g.ID()] = id
+	b.mu.Unlock()
+	return g
 }
 
 // Launch implements tee.Backend: it walks the full TD build flow

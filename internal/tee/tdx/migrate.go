@@ -1,0 +1,85 @@
+package tdx
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"confbench/internal/tee"
+)
+
+// tdState is the serialized form of a migrating TD: the attested
+// identity minus the MRTD (which travels in the image's Measurement
+// field, where the destination's attestation gate verifies it) plus
+// the private page set. Pages are sorted so the same TD always
+// serializes to the same bytes — the migration smoke pins on that.
+type tdState struct {
+	Attributes uint64   `json:"attributes"`
+	Xfam       uint64   `json:"xfam"`
+	Pages      []uint64 `json:"pages"`
+}
+
+// ExportLive implements tee.Migrator: TDH.EXPORT.MEM on the running
+// TD (the TDX 1.5 migration-TD stream source). The TD keeps running —
+// export does not change its state — so the source serves until the
+// migration engine cuts over.
+func (b *Backend) ExportLive(g tee.Guest) (*tee.MigrationImage, error) {
+	if g == nil {
+		return nil, fmt.Errorf("tdx export: %w", tee.ErrNotLive)
+	}
+	b.mu.Lock()
+	id, ok := b.live[g.ID()]
+	b.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tdx export %s: %w", g.ID(), tee.ErrNotLive)
+	}
+	img, err := b.module.TDHExportMem(id)
+	if err != nil {
+		return nil, fmt.Errorf("tdx export: %w", err)
+	}
+	sort.Slice(img.Pages, func(i, j int) bool { return img.Pages[i] < img.Pages[j] })
+	state, err := json.Marshal(tdState{
+		Attributes: img.Attributes,
+		Xfam:       img.Xfam,
+		Pages:      img.Pages,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tdx export: %w", err)
+	}
+	cm := b.CostModel()
+	pages := len(img.Pages)
+	return &tee.MigrationImage{
+		Kind:        tee.KindTDX,
+		MemoryMB:    pages, // one measured page per MiB
+		Measurement: append([]byte(nil), img.MRTD[:]...),
+		State:       state,
+		ExportCost:  cm.SnapshotCost(pages),
+		ResumeCost:  cm.RestoreCost(pages),
+	}, nil
+}
+
+// ImportLive implements tee.Migrator: TDH.IMPORT.MEM rebuilds the TD
+// from the streamed state with re-measurement skipped and enters it.
+// The imported guest is tracked live, so re-exporting it reproduces
+// the MRTD — the destination's attestation gate depends on that.
+func (b *Backend) ImportLive(img *tee.MigrationImage, cfg tee.GuestConfig) (tee.Guest, error) {
+	if err := img.Validate(tee.KindTDX); err != nil {
+		return nil, fmt.Errorf("tdx import: %w", err)
+	}
+	var st tdState
+	if err := json.Unmarshal(img.State, &st); err != nil {
+		return nil, fmt.Errorf("tdx import: %w: %v", tee.ErrBadMigrationState, err)
+	}
+	cfg = cfg.WithDefaults()
+	tdImg := &TDImage{Attributes: st.Attributes, Xfam: st.Xfam, Pages: st.Pages}
+	copy(tdImg.MRTD[:], img.Measurement)
+	id, err := b.module.TDHImportMem(tdImg)
+	if err != nil {
+		return nil, fmt.Errorf("tdx import: %w", err)
+	}
+	if err := b.module.TDHVPEnter(id); err != nil {
+		_ = b.module.TDHMngRemove(id)
+		return nil, fmt.Errorf("tdx import: %w", err)
+	}
+	return b.guestForTD(id, cfg, img.ResumeCost, true), nil
+}

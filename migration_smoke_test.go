@@ -1,0 +1,124 @@
+package confbench_test
+
+import (
+	"context"
+	"testing"
+
+	"confbench"
+	"confbench/internal/obs"
+)
+
+// migrationSmoke boots a seeded two-host SEV deployment with 1% chaos
+// armed on migrate.stream, drains the first host mid-bench, and
+// returns the rendered drain outcome (per-guest downtime, resumes,
+// bytes) plus the client-visible failure count. Everything returned
+// is deterministic per seed.
+func migrationSmoke(t *testing.T, seed int64) (downtimes []int64, failures int) {
+	t.Helper()
+	reg := confbench.NewObsRegistry()
+	plane := confbench.NewFaultPlane(seed)
+	specs, err := confbench.ParseFaultSpecs("migrate.stream:drop:0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if err := plane.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := confbench.New(
+		confbench.WithTEEs(confbench.KindSEV),
+		confbench.WithSeed(seed),
+		confbench.WithGuestMemoryMB(8),
+		confbench.WithObsRegistry(reg),
+		confbench.WithFaultPlane(plane),
+		confbench.WithHostsPerTEE(2),
+		confbench.WithWarmPool(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	client := c.Client()
+	if err := client.Upload(ctx, confbench.Function{
+		Name: "mig-smoke", Language: "go", Workload: "cpustress",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The bench: 30 invokes with the first host drained a third of the
+	// way in. The drain quiesces, migrates the serving and warm guests
+	// to the surviving host, and removes the source — the client must
+	// never see a failure.
+	const invokes = 30
+	var report *confbench.DrainReport
+	for i := 0; i < invokes; i++ {
+		if i == invokes/3 {
+			report, err = c.DrainHost(ctx, "sev-snp-host")
+			if err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+		}
+		_, err := client.Invoke(ctx, confbench.InvokeRequest{
+			Function: "mig-smoke", Secure: i%2 == 0, TEE: confbench.KindSEV, Scale: 1,
+		})
+		if err != nil {
+			failures++
+			t.Logf("invoke %d failed: %v", i, err)
+		}
+	}
+	if report == nil {
+		t.Fatal("drain never ran")
+	}
+	if report.Quiesced == 0 || report.Removed == 0 {
+		t.Errorf("drain removed nothing: quiesced %d removed %d", report.Quiesced, report.Removed)
+	}
+	if len(report.Migrations) != 2 {
+		t.Fatalf("migrated %d guests, want serving + 1 idle", len(report.Migrations))
+	}
+	for _, m := range report.Migrations {
+		if m.Outcome != "migrated" {
+			t.Errorf("guest %s outcome %q, want migrated", m.Guest, m.Outcome)
+		}
+		if m.DowntimeNs <= 0 {
+			t.Errorf("guest %s reported no downtime", m.Guest)
+		}
+		downtimes = append(downtimes, m.DowntimeNs)
+	}
+
+	// The migration counters surface in the deployment registry.
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.MetricID("confbench_migrations_total",
+		"kind", "sev-snp", "outcome", "migrated")]; got != 2 {
+		t.Errorf("confbench_migrations_total{sev-snp,migrated} = %d, want 2", got)
+	}
+	if got := snap.Counters[obs.MetricID("confbench_migration_bytes_total",
+		"kind", "sev-snp")]; got == 0 {
+		t.Error("no migration stream bytes counted")
+	}
+	return downtimes, failures
+}
+
+// TestMigrationSmoke is the end-to-end live-migration check behind
+// `make migration-smoke`: a seeded two-host SEV deployment drains one
+// host mid-bench under 1% migrate.stream chaos with zero
+// client-visible invoke failures, every guest live-migrates behind the
+// attestation gate, and the reported downtime is bit-identical across
+// two same-seed runs.
+func TestMigrationSmoke(t *testing.T) {
+	down1, failures := migrationSmoke(t, 42)
+	if failures != 0 {
+		t.Errorf("client-visible failures = %d, want 0 (the drain must be invisible to clients)", failures)
+	}
+	down2, _ := migrationSmoke(t, 42)
+	if len(down1) != len(down2) {
+		t.Fatalf("same-seed runs migrated different guest counts: %d vs %d", len(down1), len(down2))
+	}
+	for i := range down1 {
+		if down1[i] != down2[i] {
+			t.Errorf("migration %d downtime differs across same-seed runs: %d vs %d ns",
+				i, down1[i], down2[i])
+		}
+	}
+}
