@@ -4,17 +4,18 @@ GO ?= go
 # gateway (TEE pools, circuit breakers, load balancer, forwarding),
 # the front tier (admission queues, shard breakers, async completion
 # goroutines), the retrying HTTP client, the fault plane, the sharded
-# metrics registry, the warm guest pool's refill goroutine, and the
-# live-migration engine's chunk-resume path.
-RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/fronttier/... ./internal/api/... ./internal/obs/... ./internal/faultplane/... ./internal/hostagent/... ./internal/wire/... ./internal/wal/... ./internal/migrate/...
+# metrics registry, the warm guest pool's refill goroutine, the
+# live-migration engine's chunk-resume path, and the SLO engine
+# (evaluated from federation sweeps while handlers read its status).
+RACE_PKGS = ./internal/bench/... ./internal/gateway/... ./internal/fronttier/... ./internal/api/... ./internal/obs/... ./internal/faultplane/... ./internal/hostagent/... ./internal/wire/... ./internal/wal/... ./internal/migrate/... ./internal/slo/...
 
 # Packages held to the coverage floor: the statistics toolkit every
 # reported number flows through, the gateway dispatch path, the
 # sharded front tier, the warm-pool/snapshot-cache subsystem, the
-# telemetry plane, the persistence plane's log, and the live-migration
-# engine.
+# telemetry plane, the persistence plane's log, the live-migration
+# engine, and the SLO engine.
 COVER_FLOOR ?= 70
-COVER_PKGS = ./internal/stats ./internal/gateway ./internal/fronttier ./internal/hostagent ./internal/vm ./internal/obs ./internal/wire ./internal/wal ./internal/migrate
+COVER_PKGS = ./internal/stats ./internal/gateway ./internal/fronttier ./internal/hostagent ./internal/vm ./internal/obs ./internal/wire ./internal/wal ./internal/migrate ./internal/slo
 
 # The relay benchmark suite behind the committed perf trajectory
 # (BENCH_relay.json). Iterations are pinned so baseline and gate runs
@@ -25,7 +26,7 @@ BENCH_COUNT ?= 3
 BENCH_RUN = $(GO) test -run xxx -bench 'BenchmarkWireTransportInvoke|BenchmarkCodec|BenchmarkTransportRoundTrip' \
 	-benchmem -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . ./internal/wire
 
-.PHONY: build test vet race cover cover-floor fuzz-smoke bench bench-gate obs-smoke chaos-smoke telemetry-smoke fronttier-smoke durability-smoke migration-smoke lint-metrics verify
+.PHONY: build test vet race cover cover-floor fuzz-smoke bench bench-gate obs-smoke chaos-smoke telemetry-smoke fronttier-smoke durability-smoke migration-smoke slo-smoke lint-metrics verify
 
 build:
 	$(GO) build ./...
@@ -124,13 +125,24 @@ durability-smoke:
 migration-smoke:
 	$(GO) test -race -run TestMigrationSmoke -count=1 .
 
+# End-to-end SLO check: a seeded sharded deployment under chaos drives
+# one availability objective through the full warn → firing → resolved
+# → ok alert cycle with a byte-identical timeline across same-seed
+# runs, and a durable single-gateway deployment proves the timeline
+# survives a restart through the telemetry spill.
+slo-smoke:
+	$(GO) test -run TestSLOSmoke -count=1 .
+
 # Static metric-naming lint: every literal metric family registered in
-# the tree must start with confbench_ and counters must end in _total.
+# the tree must start with confbench_, counters must end in _total,
+# histograms must end in a unit suffix (_seconds/_ms/_bytes/_size),
+# and gauges must not end in _total.
 lint-metrics:
 	$(GO) test -run TestLintMetricNames -count=1 ./internal/obs
 
 # Full pre-merge check: compile, vet, unit tests, the race detector
 # over the concurrency-sensitive packages, the coverage floor, the
 # metric-naming lint, the observability/chaos/telemetry/front-tier/
-# durability/migration smokes, and the committed relay perf trajectory.
-verify: build vet test race cover-floor lint-metrics obs-smoke chaos-smoke telemetry-smoke fronttier-smoke durability-smoke migration-smoke bench-gate
+# durability/migration/SLO smokes, and the committed relay perf
+# trajectory.
+verify: build vet test race cover-floor lint-metrics obs-smoke chaos-smoke telemetry-smoke fronttier-smoke durability-smoke migration-smoke slo-smoke bench-gate

@@ -7,7 +7,7 @@
 //	                [-scale-divisor N] [-size N] [-seed N] [-workers N]
 //	                [-trace] [-chaos SPECS [-chaos-invokes N]] [-coldstart]
 //	                [-shards N [-async] [-tenant NAME] [-invokes N]]
-//	                [-durable-dir DIR]
+//	                [-durable-dir DIR] [-slo SPEC]
 //
 // With the defaults it runs the paper's full protocol (10 trials,
 // full workload scales, speedtest size 100); pass -quick for a
@@ -38,6 +38,12 @@
 // -durable-dir DIR roots the persistence
 // plane: gateway telemetry spills (and replays) under DIR, and the
 // storage figure keeps its speedtest logs there for inspection.
+// -slo SPEC skips the figures and runs an SLO-gated drill: the
+// objectives are evaluated every federation sweep while a seeded
+// invocation mix (optionally under -chaos faults, -chaos-invokes of
+// them) runs, the error-budget table and alert timeline are
+// printed, and the command exits non-zero if any objective fired or
+// overspent its budget — so CI can gate on "stays within SLO".
 package main
 
 import (
@@ -78,6 +84,7 @@ func run(ctx context.Context, args []string) error {
 	trace := fs.Bool("trace", false, "print the slowest traced span tree per workload")
 	jsonPath := fs.String("json", "", "also write results as JSON to this file")
 	chaos := fs.String("chaos", "", "run a chaos drill instead of figures: comma-separated fault specs, e.g. hostagent.exec:error:1.0:host=sev-host")
+	sloSpec := fs.String("slo", "", `run an SLO-gated drill instead of figures: comma-separated objectives, e.g. "avail:availability:success>=99.9%"; composes with -chaos; exits non-zero on violation`)
 	chaosInvokes := fs.Int("chaos-invokes", 100, "invocations in the chaos drill")
 	coldstart := fs.Bool("coldstart", false, "run the cold-vs-warm start benchmark instead of figures")
 	obsWindow := fs.Int("obs-window", 0, "print windowed cluster telemetry rates over this many scrape samples (0 = off)")
@@ -105,6 +112,9 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *quick {
 		*trials, *scaleDiv, *dbSize, *images = 3, 8, 20, 10
+	}
+	if *sloSpec != "" {
+		return runSLO(ctx, *sloSpec, *chaos, *seed, *chaosInvokes)
 	}
 	if *chaos != "" {
 		return runChaos(ctx, *chaos, *seed, *chaosInvokes, *obsWindow)

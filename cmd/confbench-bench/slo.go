@@ -1,0 +1,147 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"confbench"
+	"confbench/internal/slo"
+)
+
+// errSLOViolated is the sentinel for an SLO-gated run that ended with
+// a fired objective or an overspent error budget. main exits non-zero
+// on it, so CI can gate merges on "the bench run stayed within SLO".
+var errSLOViolated = errors.New("slo violated")
+
+// runSLO drives a seeded invocation mix through a cluster that
+// evaluates the given SLO objectives on every federation sweep, then
+// renders the error-budget table and alert timeline and fails the run
+// if any objective fired or overspent its budget. A -chaos spec
+// composes: its faults are injected during the run, so the gate
+// answers "does the deployment stay within SLO under this failure
+// mode?".
+func runSLO(ctx context.Context, sloSpec, chaosSpec string, seed int64, invokes int) error {
+	// Validate the spec before paying for a cluster boot.
+	if _, err := slo.ParseSpecs(sloSpec); err != nil {
+		return err
+	}
+	opts := []confbench.Option{
+		confbench.WithSeed(seed),
+		confbench.WithGuestMemoryMB(16),
+		confbench.WithHostsPerTEE(2),
+		confbench.WithSLOSpec(sloSpec),
+		// A huge breaker threshold keeps faulted endpoints in rotation:
+		// the gate measures the deployment's error rate, and a breaker
+		// quietly absorbing the bad host would hide exactly the signal
+		// the objectives watch.
+		confbench.WithBreakerThreshold(1000, time.Second),
+	}
+	if chaosSpec != "" {
+		specs, err := confbench.ParseFaultSpecs(chaosSpec)
+		if err != nil {
+			return err
+		}
+		plane := confbench.NewFaultPlane(seed)
+		for _, s := range specs {
+			if err := plane.Register(s); err != nil {
+				return err
+			}
+		}
+		opts = append(opts, confbench.WithFaultPlane(plane))
+	}
+	cluster, err := confbench.New(opts...)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	client := cluster.Client()
+	fn := confbench.Function{Name: "slo-cpustress", Language: "go", Workload: "cpustress"}
+	if err := client.Upload(ctx, fn); err != nil {
+		return err
+	}
+	kinds := cluster.Kinds()
+	// Sweep the SLO engine on a synthetic clock every batch, so burn
+	// windows fill deterministically regardless of wall-clock speed.
+	gw := cluster.Gateway()
+	base := time.Unix(1000, 0)
+	sweep := 0
+	batch := invokes / 10
+	if batch < 1 {
+		batch = 1
+	}
+	var failures int
+	for i := 0; i < invokes; i++ {
+		_, err := client.Invoke(ctx, confbench.InvokeRequest{
+			Function: fn.Name,
+			Secure:   i%2 == 0,
+			TEE:      kinds[i%len(kinds)],
+			Scale:    1,
+		})
+		if err != nil {
+			failures++
+		}
+		if (i+1)%batch == 0 {
+			sweep++
+			gw.ScrapeOnce(ctx, base.Add(time.Duration(sweep)*time.Second))
+		}
+	}
+	sweep++
+	gw.ScrapeOnce(ctx, base.Add(time.Duration(sweep)*time.Second))
+
+	eng := gw.SLO()
+	statuses := eng.Status()
+	timeline := eng.Timeline()
+	fmt.Print(sloReport(sloSpec, chaosSpec, seed, invokes, failures, statuses, timeline))
+
+	violated := false
+	for _, s := range statuses {
+		if s.State == slo.StateFiring || s.BudgetRemaining < 0 {
+			violated = true
+		}
+	}
+	for _, tr := range timeline {
+		if tr.To == slo.StateFiring {
+			violated = true
+		}
+	}
+	if violated {
+		return fmt.Errorf("%w: see the error-budget table above", errSLOViolated)
+	}
+	return nil
+}
+
+// sloReport renders the SLO-gated run: the error-budget table per
+// objective (with its TEE selector, if any) and the alert timeline.
+// Pure, so tests can pin its output.
+func sloReport(sloSpec, chaosSpec string, seed int64, invokes, failures int,
+	statuses []slo.Status, timeline []slo.Transition) string {
+	out := fmt.Sprintf("=== SLO-gated run (seed %d) ===\n", seed)
+	out += fmt.Sprintf("objectives: %s\n", sloSpec)
+	if chaosSpec != "" {
+		out += fmt.Sprintf("chaos:      %s\n", chaosSpec)
+	}
+	out += fmt.Sprintf("invokes: %d   client-visible failures: %d\n", invokes, failures)
+	out += fmt.Sprintf("%-24s %-12s %-6s %-9s %9s %9s %9s\n",
+		"OBJECTIVE", "KIND", "TEE", "STATE", "BURN(S)", "BURN(L)", "BUDGET")
+	for _, s := range statuses {
+		tee := s.TEE
+		if tee == "" {
+			tee = "*"
+		}
+		out += fmt.Sprintf("%-24s %-12s %-6s %-9s %8.2fx %8.2fx %8.1f%%\n",
+			s.Objective, s.Kind, tee, s.State, s.BurnShort, s.BurnLong, 100*s.BudgetRemaining)
+	}
+	if len(timeline) == 0 {
+		out += "no alert transitions\n"
+		return out
+	}
+	out += "timeline:\n"
+	for _, tr := range timeline {
+		out += fmt.Sprintf("  %s  %-24s %s\n",
+			time.Unix(0, tr.AtUnixNs).UTC().Format(time.RFC3339), tr.Objective, tr.Detail)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"confbench/internal/slo"
+)
+
+// TestRunSLOViolated pins the gate's failure mode: every host faulted
+// means every invoke fails, the availability objective fires, and the
+// run returns errSLOViolated (so main exits non-zero).
+func TestRunSLOViolated(t *testing.T) {
+	err := runSLO(context.Background(),
+		"avail:availability:success>=99%:short=1:long=2",
+		"hostagent.exec:error:1.0", 7, 30)
+	if !errors.Is(err, errSLOViolated) {
+		t.Fatalf("all-hosts fault must violate the SLO, got %v", err)
+	}
+}
+
+// TestRunSLOMet pins the gate's success mode: a healthy run against a
+// lenient objective exits clean.
+func TestRunSLOMet(t *testing.T) {
+	if err := runSLO(context.Background(),
+		"avail:availability:success>=99%", "", 7, 30); err != nil {
+		t.Fatalf("healthy run must meet the SLO, got %v", err)
+	}
+}
+
+// TestRunSLOBadSpec pins early spec validation (no cluster boot).
+func TestRunSLOBadSpec(t *testing.T) {
+	if err := runSLO(context.Background(), "not-a-spec", "", 1, 1); err == nil {
+		t.Fatal("malformed spec must fail")
+	}
+}
+
+// TestSLOReport pins the error-budget table and timeline rendering.
+func TestSLOReport(t *testing.T) {
+	statuses := []slo.Status{
+		{Objective: "avail", Kind: slo.KindAvailability, State: slo.StateFiring,
+			BurnShort: 33.33, BurnLong: 23.33, BudgetRemaining: -2.1},
+		{Objective: "lat", Kind: slo.KindLatency, TEE: "tdx", State: slo.StateOK, BudgetRemaining: 1},
+	}
+	timeline := []slo.Transition{{
+		Objective: "avail", From: slo.StateOK, To: slo.StateFiring,
+		AtUnixNs: time.Date(2026, 8, 8, 9, 0, 0, 0, time.UTC).UnixNano(),
+		Detail:   "ok->firing short=33.33x long=23.33x budget=-2.100",
+	}}
+	out := sloReport("avail:availability:success>=99%", "hostagent.exec:error:1.0",
+		7, 30, 30, statuses, timeline)
+	for _, want := range []string{
+		"=== SLO-gated run (seed 7) ===",
+		"chaos:      hostagent.exec:error:1.0",
+		"invokes: 30   client-visible failures: 30",
+		"OBJECTIVE", "BURN(S)", "BUDGET",
+		"avail", "firing", "33.33x", "-210.0%",
+		"lat", "tdx", "ok",
+		"timeline:", "2026-08-08T09:00:00Z", "ok->firing",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sloReport missing %q:\n%s", want, out)
+		}
+	}
+	if empty := sloReport("s", "", 1, 0, 0, nil, nil); !strings.Contains(empty, "no alert transitions") {
+		t.Errorf("empty timeline missing notice:\n%s", empty)
+	}
+}

@@ -9,6 +9,7 @@
 //	confbench-cli -gateway URL functions
 //	confbench-cli -gateway URL obs [-json]
 //	confbench-cli -gateway URL top [-interval D] [-count N] [-window N]
+//	confbench-cli -gateway URL alerts [-json]
 //	confbench-cli -gateway URL pools
 //	confbench-cli -gateway URL attest -tee KIND
 //	confbench-cli -gateway URL drain HOST
@@ -48,7 +49,7 @@ func run(ctx context.Context, args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing subcommand: upload, invoke, functions, pools, metrics, obs, top, attest, drain")
+		return fmt.Errorf("missing subcommand: upload, invoke, functions, pools, metrics, obs, top, alerts, attest, drain")
 	}
 	var opts []api.Option
 	if *tenant != "" {
@@ -100,6 +101,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdObs(ctx, client, rest[1:])
 	case "top":
 		return cmdTop(ctx, client, rest[1:])
+	case "alerts":
+		return cmdAlerts(ctx, client, rest[1:])
 	case "attest":
 		return cmdAttest(ctx, client, rest[1:])
 	case "drain":

@@ -10,6 +10,7 @@ import (
 
 	"confbench/internal/api"
 	"confbench/internal/obs"
+	"confbench/internal/slo"
 )
 
 // cmdTop polls the gateway's federated cluster view and renders a
@@ -31,8 +32,11 @@ func cmdTop(ctx context.Context, client *api.Client, args []string) error {
 		if err != nil {
 			return err
 		}
+		// SLO status is best-effort: a pre-SLO gateway (404) or a
+		// deployment without objectives just blanks the ALERT column.
+		statuses, _ := client.SLOStatus(ctx)
 		set.RecordSnapshot(time.Now(), cs.Merged)
-		fmt.Print(renderTop(cs, set, *window))
+		fmt.Print(renderTop(cs, set, *window, statuses))
 		if *count != 0 && i == *count-1 {
 			break
 		}
@@ -65,9 +69,39 @@ func gatewayOwned(labels map[string]string) bool {
 	return labels["host"] == "gateway"
 }
 
+// alertCell summarizes one TEE's SLO state: the worst state among the
+// objectives selecting that TEE (or every TEE), with its current
+// short-window burn. Empty when the gateway serves no SLO plane, so
+// the column degrades to blanks against pre-SLO gateways.
+func alertCell(statuses []slo.Status, teeKind string) string {
+	if len(statuses) == 0 {
+		return ""
+	}
+	rank := map[slo.State]int{slo.StateOK: 0, slo.StateResolved: 1, slo.StateWarn: 2, slo.StateFiring: 3}
+	var worst *slo.Status
+	for i := range statuses {
+		s := &statuses[i]
+		if s.TEE != "" && s.TEE != teeKind {
+			continue
+		}
+		if worst == nil || rank[s.State] > rank[worst.State] {
+			worst = s
+		}
+	}
+	if worst == nil {
+		return "-"
+	}
+	if worst.State == slo.StateOK {
+		return "ok"
+	}
+	return fmt.Sprintf("%s %.1fx", worst.State, worst.BurnShort)
+}
+
 // renderTop renders one refresh of the cluster table. Pure: it reads
-// only the snapshot and the series set, so tests can pin its output.
-func renderTop(cs obs.ClusterSnapshot, set *obs.SeriesSet, window int) string {
+// only the snapshot, the series set, and the SLO statuses, so tests
+// can pin its output. statuses may be nil (no SLO plane): the ALERT
+// column renders blank.
+func renderTop(cs obs.ClusterSnapshot, set *obs.SeriesSet, window int, statuses []slo.Status) string {
 	// TEEs present, from the gateway's per-pool checkout counters.
 	tees := make(map[string]bool)
 	for id := range cs.Merged.Counters {
@@ -83,8 +117,8 @@ func renderTop(cs obs.ClusterSnapshot, set *obs.SeriesSet, window int) string {
 	sort.Strings(names)
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %9s %11s %11s %-22s %6s\n",
-		"TEE", "RATE/S", "P50", "P99", "BREAKERS", "WARM%")
+	fmt.Fprintf(&b, "%-10s %9s %11s %11s %-22s %6s %-14s\n",
+		"TEE", "RATE/S", "P50", "P99", "BREAKERS", "WARM%", "ALERT")
 	for _, t := range names {
 		var rate float64
 		if s := set.Get(obs.MetricID("confbench_pool_checkouts_total",
@@ -120,11 +154,11 @@ func renderTop(cs obs.ClusterSnapshot, set *obs.SeriesSet, window int) string {
 		if hits+misses > 0 {
 			warm = fmt.Sprintf("%.1f", 100*float64(hits)/float64(hits+misses))
 		}
-		fmt.Fprintf(&b, "%-10s %9.2f %11s %11s %-22s %6s\n",
+		fmt.Fprintf(&b, "%-10s %9.2f %11s %11s %-22s %6s %-14s\n",
 			t, rate,
 			time.Duration(p50*float64(time.Second)).Round(time.Microsecond),
 			time.Duration(p99*float64(time.Second)).Round(time.Microsecond),
-			breakerSummary(breakers), warm)
+			breakerSummary(breakers), warm, alertCell(statuses, t))
 	}
 	fmt.Fprintf(&b, "hosts: %d", len(cs.Hosts))
 	if len(cs.ScrapeErrors) > 0 {

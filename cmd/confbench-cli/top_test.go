@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"confbench/internal/obs"
+	"confbench/internal/slo"
 )
 
 // TestRenderTop pins the cluster table against a synthetic federated
@@ -48,9 +49,16 @@ func TestRenderTop(t *testing.T) {
 	set.RecordSnapshot(t0, before)
 	set.RecordSnapshot(t0.Add(time.Second), merged)
 
-	out := renderTop(cs, set, 8)
+	statuses := []slo.Status{
+		{Objective: "avail", Kind: slo.KindAvailability, State: slo.StateWarn, BurnShort: 6.4},
+		{Objective: "tdx-lat", Kind: slo.KindLatency, TEE: "tdx", State: slo.StateFiring, BurnShort: 28.6},
+		{Objective: "sev-lat", Kind: slo.KindLatency, TEE: "sev-snp", State: slo.StateOK},
+	}
+	out := renderTop(cs, set, 8, statuses)
 	for _, want := range []string{
 		"TEE", "tdx",
+		"ALERT",              // new SLO column header
+		"firing 28.6x",       // worst matching objective for tdx wins
 		"10.00",              // (20-10)/1s from the series
 		"1 closed, 1 open",   // breaker summary
 		"75.0",               // warm hit ratio 3/(3+1)
@@ -62,8 +70,80 @@ func TestRenderTop(t *testing.T) {
 			t.Fatalf("renderTop output missing %q:\n%s", want, out)
 		}
 	}
-	if strings.Count(out, "tdx") != 1 {
+	if strings.Count(out, "\ntdx") != 1 {
 		t.Fatalf("expected exactly one tdx row (gateway-owned only):\n%s", out)
+	}
+
+	// Against a pre-SLO gateway (no statuses) the column is blank and
+	// the table still renders.
+	blank := renderTop(cs, set, 8, nil)
+	if !strings.Contains(blank, "ALERT") {
+		t.Fatalf("header must keep the ALERT column:\n%s", blank)
+	}
+	if strings.Contains(blank, "firing") || strings.Contains(blank, "warn") {
+		t.Fatalf("no statuses must render no alert states:\n%s", blank)
+	}
+}
+
+// TestAlertCell pins the per-TEE summarization: TEE-selective
+// objectives only match their platform, global ones match every row,
+// and the worst state wins.
+func TestAlertCell(t *testing.T) {
+	statuses := []slo.Status{
+		{Objective: "avail", State: slo.StateWarn, BurnShort: 6.45},
+		{Objective: "tdx-lat", TEE: "tdx", State: slo.StateFiring, BurnShort: 28.6},
+	}
+	if got := alertCell(statuses, "tdx"); got != "firing 28.6x" {
+		t.Errorf("tdx cell = %q, want \"firing 28.6x\"", got)
+	}
+	if got := alertCell(statuses, "sev-snp"); got != "warn 6.5x" {
+		t.Errorf("sev cell = %q, want the global objective's \"warn 6.5x\"", got)
+	}
+	if got := alertCell(nil, "tdx"); got != "" {
+		t.Errorf("no statuses = %q, want blank", got)
+	}
+	if got := alertCell([]slo.Status{{Objective: "x", TEE: "cca", State: slo.StateOK}}, "tdx"); got != "-" {
+		t.Errorf("no matching objective = %q, want \"-\"", got)
+	}
+	if got := alertCell([]slo.Status{{Objective: "x", State: slo.StateOK}}, "tdx"); got != "ok" {
+		t.Errorf("ok objective = %q, want \"ok\"", got)
+	}
+}
+
+// TestRenderAlerts pins the alerts subcommand's table and timeline.
+func TestRenderAlerts(t *testing.T) {
+	statuses := []slo.Status{
+		{Objective: "avail", Kind: slo.KindAvailability, Target: "success>=99%",
+			State: slo.StateFiring, BurnShort: 28.57, BurnLong: 18.18, BudgetRemaining: -1.857},
+		{Objective: "tdx-lat", Kind: slo.KindLatency, Target: "p99<250ms", TEE: "tdx",
+			State: slo.StateOK, BudgetRemaining: 1},
+	}
+	timeline := []slo.Transition{
+		{Objective: "avail", From: slo.StateOK, To: slo.StateWarn,
+			AtUnixNs: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC).UnixNano(),
+			Trace:    "inv-31", Detail: "ok->warn short=6.45x long=3.28x budget=0.871"},
+		{Objective: "avail", From: slo.StateWarn, To: slo.StateFiring,
+			AtUnixNs: time.Date(2026, 8, 8, 12, 0, 10, 0, time.UTC).UnixNano(),
+			Detail:   "warn->firing short=28.57x long=18.18x budget=-1.857"},
+	}
+	out := renderAlerts(statuses, timeline)
+	for _, want := range []string{
+		"OBJECTIVE", "BURN(S)", "BUDGET",
+		"avail", "firing", "28.57x", "-185.7%",
+		"tdx-lat[tdx]", "p99<250ms",
+		"timeline:",
+		"2026-08-08T12:00:00Z", "ok->warn", "trace=inv-31",
+		"2026-08-08T12:00:10Z", "warn->firing", "trace=-",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("renderAlerts missing %q:\n%s", want, out)
+		}
+	}
+	if got := renderAlerts(nil, nil); !strings.Contains(got, "no SLO objectives") {
+		t.Errorf("empty statuses = %q", got)
+	}
+	if got := renderAlerts(statuses, nil); !strings.Contains(got, "no alert transitions") {
+		t.Errorf("empty timeline missing notice:\n%s", got)
 	}
 }
 

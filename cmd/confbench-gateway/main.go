@@ -15,7 +15,7 @@
 //	                  [-policy round-robin|least-loaded] [-shards N]
 //	                  [-hosts-per-tee N] [-warm-pool N] [-breaker-threshold N]
 //	                  [-breaker-cooldown D] [-scrape-interval D]
-//	                  [-durable-dir DIR]
+//	                  [-durable-dir DIR] [-slo SPEC]
 //
 // -shards N (> 1, embedded mode only) deploys N gateway shards and
 // serves the front tier on -addr instead of a single gateway: invokes
@@ -37,6 +37,7 @@ import (
 	"confbench/internal/gateway"
 	"confbench/internal/hostagent"
 	"confbench/internal/profiler"
+	"confbench/internal/slo"
 	"confbench/internal/wire"
 )
 
@@ -67,6 +68,7 @@ func run(args []string) error {
 	warmPool := fs.Int("warm-pool", 0, "serve each embedded host's secure VM from a prewarmed guest pool with this high watermark (drain HOST live-migrates only pooled hosts; 0 = no pools, routing-only drain)")
 	durableDir := fs.String("durable-dir", "", "spill gateway telemetry (federation sweeps, flight-recorder events) to an append-only log under this directory and replay it on start, so /v1/obs/cluster?window= and /v1/obs/events span restarts (empty = in-memory only)")
 	transport := fs.String("transport", "", "outbound hop carrier: httpjson (default, JSON over HTTP) or binary (persistent multiplexed wire frames); inbound always accepts both")
+	sloSpec := fs.String("slo", "", `comma-separated SLO objectives evaluated every federation sweep, e.g. "avail:availability:success>=99.9%,lat:latency:p99<250ms:tee=tdx"; serves GET /v1/obs/slo and /v1/obs/alerts`)
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +87,19 @@ func run(args []string) error {
 		}
 		defer stopProf()
 		fmt.Fprintln(os.Stderr, "pprof serving", url)
+	}
+
+	// SLO objectives go to the layer with the federated cluster view:
+	// the exposed front tier when sharded, otherwise the exposed
+	// gateway (evaluating the same objectives on inner layers too
+	// would double-alert).
+	var objectives []slo.Objective
+	if *sloSpec != "" {
+		var err error
+		objectives, err = slo.ParseSpecs(*sloSpec)
+		if err != nil {
+			return err
+		}
 	}
 
 	var policyFactory func() gateway.Policy
@@ -132,6 +147,7 @@ func run(args []string) error {
 				BreakerThreshold: *breakerThreshold,
 				BreakerCooldown:  *breakerCooldown,
 				Transport:        *transport,
+				SLO:              objectives,
 			})
 			if err != nil {
 				return err
@@ -153,6 +169,7 @@ func run(args []string) error {
 			ScrapeInterval:   *scrapeInterval,
 			Transport:        *transport,
 			DurableDir:       *durableDir,
+			SLO:              objectives,
 		})
 		for _, kind := range cluster.Kinds() {
 			agents := cluster.Agents(kind)
@@ -193,6 +210,7 @@ func run(args []string) error {
 		ScrapeInterval:   *scrapeInterval,
 		Transport:        *transport,
 		DurableDir:       *durableDir,
+		SLO:              objectives,
 	})
 	for _, h := range hosts {
 		gw.AddHost(h.Name, h.Endpoints)

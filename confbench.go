@@ -191,6 +191,16 @@ func WithDurableDir(dir string) Option {
 	return func(c *ClusterConfig) { c.DurableDir = dir }
 }
 
+// WithSLOSpec declares service-level objectives for the deployment,
+// in the slo package's comma-separated spec grammar — e.g.
+// "invoke-availability:availability:success>=99.9%,tdx-latency:latency:p99<250ms:tee=tdx".
+// The federating layer (front tier when sharded, gateway otherwise)
+// evaluates them with multi-window burn-rate alerting on every
+// federation sweep and serves GET /v1/obs/slo and /v1/obs/alerts.
+func WithSLOSpec(spec string) Option {
+	return func(c *ClusterConfig) { c.SLOSpec = spec }
+}
+
 // New boots a deployment configured by opts. Close it when done.
 func New(opts ...Option) (*Cluster, error) {
 	var cfg ClusterConfig

@@ -23,6 +23,7 @@ import (
 	"confbench/internal/faas"
 	"confbench/internal/obs"
 	"confbench/internal/perfmon"
+	"confbench/internal/slo"
 	"confbench/internal/tee"
 )
 
@@ -42,15 +43,21 @@ const (
 	// PathDrain quiesces a host, live-migrates its warm guests to the
 	// surviving hosts of the same TEE kind, and removes it from the
 	// routing ring.
-	PathDrain  = "/drain"
-	PathHealth = "/health"
-	PathMetrics     = "/metrics"
-	PathObs         = "/obs"
+	PathDrain   = "/drain"
+	PathHealth  = "/health"
+	PathMetrics = "/metrics"
+	PathObs     = "/obs"
 	// PathObsCluster serves the federated cluster view: every host
 	// agent's registry merged under host labels, plus windowed rates.
 	PathObsCluster = "/obs/cluster"
 	// PathObsEvents serves the gateway's invoke flight recorder.
 	PathObsEvents = "/obs/events"
+	// PathObsSLO serves the SLO engine's per-objective status: state,
+	// burn rates, and remaining error budget.
+	PathObsSLO = "/obs/slo"
+	// PathObsAlerts serves the alert timeline: SLO state transitions
+	// with trace attribution, durable across restarts via the spill.
+	PathObsAlerts = "/obs/alerts"
 )
 
 // APIPrefixV1 is the versioned mount point of the REST surface.
@@ -70,6 +77,8 @@ const (
 	PathV1Obs         = APIPrefixV1 + PathObs
 	PathV1ObsCluster  = APIPrefixV1 + PathObsCluster
 	PathV1ObsEvents   = APIPrefixV1 + PathObsEvents
+	PathV1ObsSLO      = APIPrefixV1 + PathObsSLO
+	PathV1ObsAlerts   = APIPrefixV1 + PathObsAlerts
 )
 
 // Paths served by guest agents inside VMs.
@@ -832,8 +841,61 @@ func (c *Client) ObsCluster(ctx context.Context, window int) (obs.ClusterSnapsho
 // ObsEvents fetches the gateway's invoke flight recorder (retained
 // events, oldest first).
 func (c *Client) ObsEvents(ctx context.Context) ([]obs.Event, error) {
+	return c.ObsEventsWhere(ctx, EventsQuery{})
+}
+
+// EventsQuery narrows an ObsEventsWhere fetch; the filtering happens
+// server-side on the recorder ring. The zero value fetches everything.
+type EventsQuery struct {
+	// Limit keeps only the newest N matching events (0 = all).
+	Limit int
+	// ErrOnly keeps only failed events.
+	ErrOnly bool
+	// Trace keeps only events whose trace ID matches exactly
+	// (e.g. "inv-42").
+	Trace string
+}
+
+// ObsEventsWhere fetches the flight recorder filtered by q.
+func (c *Client) ObsEventsWhere(ctx context.Context, q EventsQuery) ([]obs.Event, error) {
+	vals := url.Values{}
+	if q.Limit > 0 {
+		vals.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if q.ErrOnly {
+		vals.Set("err", "1")
+	}
+	if q.Trace != "" {
+		vals.Set("trace", q.Trace)
+	}
+	path := PathObsEvents
+	if enc := vals.Encode(); enc != "" {
+		path += "?" + enc
+	}
 	var out []obs.Event
-	if err := c.do(ctx, http.MethodGet, PathObsEvents, nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SLOStatus fetches the gateway's per-objective SLO evaluation. An
+// empty list when the deployment declares no objectives; pre-SLO
+// gateways return a not-found error callers should treat as "no SLO
+// plane".
+func (c *Client) SLOStatus(ctx context.Context) ([]slo.Status, error) {
+	var out []slo.Status
+	if err := c.do(ctx, http.MethodGet, PathObsSLO, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Alerts fetches the alert timeline: every SLO state transition
+// observed (or restored from the telemetry spill), oldest first.
+func (c *Client) Alerts(ctx context.Context) ([]slo.Transition, error) {
+	var out []slo.Transition
+	if err := c.do(ctx, http.MethodGet, PathObsAlerts, nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil

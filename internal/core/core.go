@@ -25,6 +25,7 @@ import (
 	"confbench/internal/gateway"
 	"confbench/internal/hostagent"
 	"confbench/internal/obs"
+	"confbench/internal/slo"
 	"confbench/internal/tee"
 	"confbench/internal/tee/cca"
 	"confbench/internal/tee/sev"
@@ -103,6 +104,13 @@ type ClusterConfig struct {
 	// ?window= rates and /v1/obs/events span process restarts. Empty
 	// keeps telemetry in-memory only.
 	DurableDir string
+	// SLOSpec declares service-level objectives in the slo spec
+	// grammar (comma-separated "name:kind:target[:options]"). The
+	// evaluating layer — the front tier when Shards > 1, otherwise
+	// the gateway — runs the burn-rate state machine on every
+	// federation sweep and serves /v1/obs/slo and /v1/obs/alerts.
+	// Empty deploys no SLO plane.
+	SLOSpec string
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -214,6 +222,16 @@ func (c *Cluster) boot() error {
 	if c.cfg.LeastLoaded {
 		policy = func() gateway.Policy { return gateway.LeastLoaded{} }
 	}
+	// Objectives go to whichever layer federates the whole
+	// deployment: the front tier when sharded, the gateway otherwise.
+	// Evaluating them on every shard too would double-alert.
+	var objectives []slo.Objective
+	if c.cfg.SLOSpec != "" {
+		var err error
+		if objectives, err = slo.ParseSpecs(c.cfg.SLOSpec); err != nil {
+			return fmt.Errorf("confbench: %w", err)
+		}
+	}
 	// durableDir roots one gateway's telemetry spill under its own
 	// subdirectory of the deployment's persistence plane ("" = no
 	// spill). Per-gateway subdirs keep shard logs from interleaving.
@@ -226,7 +244,7 @@ func (c *Cluster) boot() error {
 	// newGateway builds one gateway over the full host fleet. Shards
 	// are stateless equivalents: every shard sees every host, so any
 	// shard can serve any key and a killed shard loses no capacity.
-	newGateway := func(reg *obs.Registry, sub string) *gateway.Gateway {
+	newGateway := func(reg *obs.Registry, sub string, slos []slo.Objective) *gateway.Gateway {
 		gw := gateway.New(gateway.Config{
 			Policy:           policy,
 			Obs:              reg,
@@ -236,6 +254,7 @@ func (c *Cluster) boot() error {
 			ScrapeInterval:   c.cfg.ObsScrapeInterval,
 			Transport:        c.cfg.Transport,
 			DurableDir:       durableDir(sub),
+			SLO:              slos,
 		})
 		for _, kind := range c.cfg.TEEs {
 			for _, agent := range c.agents[kind] {
@@ -252,7 +271,7 @@ func (c *Cluster) boot() error {
 		shardCfgs := make([]fronttier.ShardConfig, 0, c.cfg.Shards)
 		for i := 0; i < c.cfg.Shards; i++ {
 			name := fmt.Sprintf("shard-%d", i)
-			gw := newGateway(obs.New(), name)
+			gw := newGateway(obs.New(), name, nil)
 			gw.SetDrainer(c.DrainHost)
 			u, err := gw.Start("127.0.0.1:0")
 			if err != nil {
@@ -269,6 +288,7 @@ func (c *Cluster) boot() error {
 			BreakerThreshold: c.cfg.BreakerThreshold,
 			BreakerCooldown:  c.cfg.BreakerCooldown,
 			Transport:        c.cfg.Transport,
+			SLO:              objectives,
 		})
 		if err != nil {
 			return err
@@ -278,7 +298,7 @@ func (c *Cluster) boot() error {
 			return err
 		}
 	} else {
-		c.gw = newGateway(c.obsreg, "gateway")
+		c.gw = newGateway(c.obsreg, "gateway", objectives)
 		// POST /v1/drain on the gateway routes into the cluster's
 		// migrating drain, so remote clients get the same semantics as
 		// in-process callers of DrainHost.

@@ -18,6 +18,7 @@ import (
 	"confbench/internal/cberr"
 	"confbench/internal/gateway"
 	"confbench/internal/obs"
+	"confbench/internal/slo"
 	"confbench/internal/wire"
 )
 
@@ -83,6 +84,9 @@ type Config struct {
 	// JSON over HTTP; "binary" = the persistent multiplexed wire
 	// protocol). The tier's own front door always accepts both.
 	Transport string
+	// SLO declares the service-level objectives the tier evaluates on
+	// each shard-federation sweep (nil = no SLO plane).
+	SLO []slo.Objective
 }
 
 // shard is one gateway shard as the tier sees it: a client, a
@@ -133,6 +137,10 @@ type Tier struct {
 
 	series       *obs.SeriesSet
 	asyncPending *obs.Gauge
+
+	// sloEng evaluates Config.SLO on every federation sweep; nil
+	// without objectives.
+	sloEng *slo.Engine
 
 	mu       sync.Mutex
 	server   *http.Server
@@ -185,6 +193,18 @@ func New(cfg Config) (*Tier, error) {
 		asyncTimeout: asyncTimeout,
 		series:       obs.NewSeriesSet(obs.DefaultSeriesCapacity),
 		asyncPending: reg.Gauge("confbench_fronttier_async_pending"),
+	}
+	if len(cfg.SLO) > 0 {
+		// No scope filter: each scraped shard registry is distinct in
+		// the tier's federated view (no family repeats across shard
+		// labels the way an in-process gateway repeats host labels),
+		// and the tier's own registry — merged under FrontShardLabel —
+		// is where cluster-level signals like migration downtime land.
+		t.sloEng = slo.NewEngine(slo.Config{
+			Objectives: cfg.SLO,
+			Series:     t.series,
+			Obs:        reg,
+		})
 	}
 	if cfg.Transport == wire.TransportBinary {
 		// One multiplexed-connection transport shared by every shard
@@ -777,6 +797,9 @@ func (t *Tier) ScrapeOnce(ctx context.Context, at time.Time) obs.ClusterSnapshot
 	merged := obs.MergeSnapshotsBy("shard", perShard)
 	t.series.RecordSnapshot(at, merged)
 	t.series.Series(obs.RateInvokesPerSec).Record(at, float64(t.invocations.Load()))
+	if t.sloEng != nil {
+		t.sloEng.Evaluate(at, merged)
+	}
 	return obs.ClusterSnapshot{
 		Hosts:        names,
 		ScrapeErrors: scrapeErrs,
@@ -812,6 +835,28 @@ func (t *Tier) handleObsCluster(w http.ResponseWriter, r *http.Request) {
 	_ = obs.WriteSnapshotPrometheus(w, cs.Merged)
 }
 
+// handleObsSLO serves the tier's per-objective SLO evaluation (empty
+// without configured objectives).
+func (t *Tier) handleObsSLO(w http.ResponseWriter, r *http.Request) {
+	sts := t.sloEng.Status()
+	if sts == nil {
+		sts = []slo.Status{}
+	}
+	api.WriteJSON(w, http.StatusOK, sts)
+}
+
+// handleObsAlerts serves the tier's alert timeline, oldest first.
+func (t *Tier) handleObsAlerts(w http.ResponseWriter, r *http.Request) {
+	trs := t.sloEng.Timeline()
+	if trs == nil {
+		trs = []slo.Transition{}
+	}
+	api.WriteJSON(w, http.StatusOK, trs)
+}
+
+// SLO exposes the tier's SLO engine (nil without objectives).
+func (t *Tier) SLO() *slo.Engine { return t.sloEng }
+
 // Start serves the front-tier API on addr ("127.0.0.1:0" for
 // ephemeral) and returns the base URL.
 func (t *Tier) Start(addr string) (string, error) {
@@ -840,6 +885,8 @@ func (t *Tier) Start(addr string) (string, error) {
 		mux.HandleFunc("GET "+prefix+api.PathHealth, handleHealth)
 		mux.HandleFunc("GET "+prefix+api.PathObs, t.handleObs)
 		mux.HandleFunc("GET "+prefix+api.PathObsCluster, t.handleObsCluster)
+		mux.HandleFunc("GET "+prefix+api.PathObsSLO, t.handleObsSLO)
+		mux.HandleFunc("GET "+prefix+api.PathObsAlerts, t.handleObsAlerts)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

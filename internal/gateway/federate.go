@@ -14,6 +14,7 @@ import (
 	"confbench/internal/cberr"
 	"confbench/internal/faultplane"
 	"confbench/internal/obs"
+	"confbench/internal/slo"
 )
 
 // This file is the gateway's federation scraper: it periodically (or
@@ -150,7 +151,14 @@ func (g *Gateway) ScrapeOnce(ctx context.Context, at time.Time) obs.ClusterSnaps
 	// The cluster invoke count gets its own series so the headline
 	// rate never depends on which hosts answered this sweep.
 	g.series.Series(obs.RateInvokesPerSec).Record(at, float64(g.invocations.Load()))
-	g.spillSweep(at, merged)
+	// SLO evaluation rides the sweep: it records derived good/seen
+	// series into the same ring set, and its samples join the spill
+	// below so burn windows replay across restarts.
+	var sloSamples map[string]float64
+	if g.sloEng != nil {
+		sloSamples = g.sloEng.Evaluate(at, merged).Samples
+	}
+	g.spillSweep(at, merged, sloSamples)
 
 	return obs.ClusterSnapshot{
 		Hosts:        hosts,
@@ -160,22 +168,26 @@ func (g *Gateway) ScrapeOnce(ctx context.Context, at time.Time) obs.ClusterSnaps
 }
 
 // spillSweep persists one sweep's samples — the same points
-// RecordSnapshot just fed the in-memory rings — plus any new flight-
+// RecordSnapshot just fed the in-memory rings, plus any extra derived
+// samples (the SLO engine's good/seen series) — and any new flight-
 // recorder events. A spill failure is counted, never fatal: telemetry
 // durability must not take the scrape path down.
-func (g *Gateway) spillSweep(at time.Time, merged obs.Snapshot) {
+func (g *Gateway) spillSweep(at time.Time, merged obs.Snapshot, extra map[string]float64) {
 	g.spillMu.Lock()
 	sp := g.spill
 	g.spillMu.Unlock()
 	if sp == nil {
 		return
 	}
-	samples := make(map[string]float64, len(merged.Counters)+len(merged.Histograms)+1)
+	samples := make(map[string]float64, len(merged.Counters)+len(merged.Histograms)+len(extra)+1)
 	for id, v := range merged.Counters {
 		samples[id] = float64(v)
 	}
 	for id, h := range merged.Histograms {
 		samples[id+"_count"] = float64(h.Count)
+	}
+	for id, v := range extra {
+		samples[id] = v
 	}
 	samples[obs.RateInvokesPerSec] = float64(g.invocations.Load())
 	if err := sp.FlushSweep(at, samples); err != nil {
@@ -262,16 +274,63 @@ func (g *Gateway) handleObsCluster(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleObsEvents serves the flight recorder's retained invoke events
-// (oldest first).
+// (oldest first), filtered server-side by ?limit= (newest N),
+// ?err=1 (failures only), and ?trace=inv-N (exact trace match).
 func (g *Gateway) handleObsEvents(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		g.countError(w, http.StatusMethodNotAllowed,
 			cberr.New(cberr.CodeInvalid, cberr.LayerGateway, "GET required"))
 		return
 	}
-	evs := g.recorder.Events()
+	q := r.URL.Query()
+	f := obs.EventFilter{Trace: q.Get("trace"), ErrOnly: q.Get("err") == "1"}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			g.countError(w, http.StatusBadRequest,
+				cberr.New(cberr.CodeInvalid, cberr.LayerGateway, "limit must be a non-negative integer"))
+			return
+		}
+		f.Limit = n
+	}
+	evs := g.recorder.Filter(f)
 	if evs == nil {
 		evs = []obs.Event{}
 	}
 	api.WriteJSON(w, http.StatusOK, evs)
 }
+
+// handleObsSLO serves the SLO engine's per-objective status: state,
+// two-window burn rates, and remaining error budget. An empty list
+// when no objectives are configured.
+func (g *Gateway) handleObsSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		g.countError(w, http.StatusMethodNotAllowed,
+			cberr.New(cberr.CodeInvalid, cberr.LayerGateway, "GET required"))
+		return
+	}
+	sts := g.sloEng.Status()
+	if sts == nil {
+		sts = []slo.Status{}
+	}
+	api.WriteJSON(w, http.StatusOK, sts)
+}
+
+// handleObsAlerts serves the alert timeline: every SLO state
+// transition observed (or restored from the spill) so far, oldest
+// first, with trace attribution from the flight recorder.
+func (g *Gateway) handleObsAlerts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		g.countError(w, http.StatusMethodNotAllowed,
+			cberr.New(cberr.CodeInvalid, cberr.LayerGateway, "GET required"))
+		return
+	}
+	trs := g.sloEng.Timeline()
+	if trs == nil {
+		trs = []slo.Transition{}
+	}
+	api.WriteJSON(w, http.StatusOK, trs)
+}
+
+// SLO exposes the gateway's SLO engine (nil without objectives).
+func (g *Gateway) SLO() *slo.Engine { return g.sloEng }

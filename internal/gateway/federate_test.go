@@ -227,3 +227,74 @@ func TestTelemetrySpillSpansRestart(t *testing.T) {
 		t.Fatalf("restart-spanning rate = %g, want positive", got)
 	}
 }
+
+// TestObsEventsServerSideFilters drives GET /v1/obs/events through
+// the api client: ?err=1, ?trace=, and ?limit= filter on the gateway,
+// compose, and reject a malformed limit with 400.
+func TestObsEventsServerSideFilters(t *testing.T) {
+	gw := New(Config{Obs: obs.New()})
+	for i := 1; i <= 5; i++ {
+		ev := obs.Event{Trace: fmt.Sprintf("inv-%d", i), Function: "fn"}
+		if i%2 == 0 {
+			ev.Error = "boom"
+		}
+		gw.Recorder().Record(ev)
+	}
+	url, err := gw.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	client, err := api.New(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	all, err := client.ObsEvents(ctx)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("unfiltered events = %d, %v; want all 5", len(all), err)
+	}
+	failed, err := client.ObsEventsWhere(ctx, api.EventsQuery{ErrOnly: true})
+	if err != nil || len(failed) != 2 {
+		t.Fatalf("err-only events = %d, %v; want 2", len(failed), err)
+	}
+	for _, ev := range failed {
+		if ev.Error == "" {
+			t.Errorf("err-only returned clean event %+v", ev)
+		}
+	}
+	newest, err := client.ObsEventsWhere(ctx, api.EventsQuery{Limit: 2})
+	if err != nil || len(newest) != 2 || newest[0].Trace != "inv-4" || newest[1].Trace != "inv-5" {
+		t.Fatalf("limit=2 events = %+v, %v; want the newest two in order", newest, err)
+	}
+	one, err := client.ObsEventsWhere(ctx, api.EventsQuery{Trace: "inv-3"})
+	if err != nil || len(one) != 1 || one[0].Trace != "inv-3" {
+		t.Fatalf("trace=inv-3 events = %+v, %v", one, err)
+	}
+	composed, err := client.ObsEventsWhere(ctx, api.EventsQuery{ErrOnly: true, Limit: 1})
+	if err != nil || len(composed) != 1 || composed[0].Trace != "inv-4" {
+		t.Fatalf("composed filter = %+v, %v; want just inv-4", composed, err)
+	}
+	if none, err := client.ObsEventsWhere(ctx, api.EventsQuery{Trace: "inv-99"}); err != nil || len(none) != 0 {
+		t.Fatalf("missing trace = %+v, %v; want empty", none, err)
+	}
+
+	resp, err := http.Get(url + "/v1/obs/events?limit=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed limit status = %d, want 400", resp.StatusCode)
+	}
+
+	// Without objectives the SLO endpoints serve empty lists, not
+	// errors — the CLI degrades gracefully against them.
+	if sts, err := client.SLOStatus(ctx); err != nil || len(sts) != 0 {
+		t.Fatalf("no-SLO gateway status = %+v, %v; want empty", sts, err)
+	}
+	if trs, err := client.Alerts(ctx); err != nil || len(trs) != 0 {
+		t.Fatalf("no-SLO gateway alerts = %+v, %v; want empty", trs, err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"confbench/internal/faultplane"
 	"confbench/internal/hostagent"
 	"confbench/internal/obs"
+	"confbench/internal/slo"
 	"confbench/internal/tee"
 	"confbench/internal/wire"
 )
@@ -63,6 +64,10 @@ type Gateway struct {
 	spillMu       sync.Mutex
 	spill         *obs.Spill
 	spillFailures *obs.Counter
+
+	// SLO engine (Config.SLO): evaluated on every federation sweep,
+	// served at /v1/obs/slo and /v1/obs/alerts. Nil without objectives.
+	sloEng *slo.Engine
 
 	// Invoke flight recorder (federate.go / handleInvoke).
 	recorder     *obs.Recorder
@@ -180,6 +185,10 @@ type Config struct {
 	// the previous process's spill, so /v1/obs/cluster?window= rate
 	// queries and /v1/obs/events span restarts ("" = in-memory only).
 	DurableDir string
+	// SLO declares the service-level objectives the gateway evaluates
+	// on every federation sweep (nil = no SLO plane; /v1/obs/slo and
+	// /v1/obs/alerts serve empty lists).
+	SLO []slo.Objective
 }
 
 // New builds a gateway with empty pools.
@@ -222,6 +231,19 @@ func New(cfg Config) *Gateway {
 		recorder:         obs.NewRecorder(recorderCap),
 		postmortem:       postmortem,
 		durableDir:       cfg.DurableDir,
+	}
+	if len(cfg.SLO) > 0 {
+		// In-process deployments share one registry between the
+		// gateway and its hosts, so the federated snapshot repeats
+		// every family once per host label; scoping to the gateway's
+		// own label counts each request exactly once.
+		g.sloEng = slo.NewEngine(slo.Config{
+			Objectives: cfg.SLO,
+			Series:     g.series,
+			Obs:        reg,
+			Recorder:   g.recorder,
+			Scope:      slo.Scope{Label: "host", Match: GatewayHostLabel},
+		})
 	}
 	g.retries = g.obsreg.Counter("confbench_invoke_retries_total")
 	if g.durableDir != "" {
@@ -418,6 +440,12 @@ func (g *Gateway) Start(addr string) (string, error) {
 		g.spillMu.Lock()
 		g.spill = sp
 		g.spillMu.Unlock()
+		// The replayed flight recorder carries the previous process's
+		// alert transitions; rebuild the SLO timeline from them so
+		// /v1/obs/alerts spans the restart.
+		if g.sloEng != nil {
+			g.sloEng.Restore(g.recorder.Events())
+		}
 	}
 	mux := http.NewServeMux()
 	handleHealth := func(w http.ResponseWriter, _ *http.Request) {
@@ -451,6 +479,10 @@ func (g *Gateway) Start(addr string) (string, error) {
 	mux.HandleFunc(api.PathObsCluster, g.handleObsCluster)
 	mux.HandleFunc(api.PathV1ObsEvents, g.handleObsEvents)
 	mux.HandleFunc(api.PathObsEvents, g.handleObsEvents)
+	mux.HandleFunc(api.PathV1ObsSLO, g.handleObsSLO)
+	mux.HandleFunc(api.PathObsSLO, g.handleObsSLO)
+	mux.HandleFunc(api.PathV1ObsAlerts, g.handleObsAlerts)
+	mux.HandleFunc(api.PathObsAlerts, g.handleObsAlerts)
 	g.started = time.Now()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

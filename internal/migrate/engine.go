@@ -137,7 +137,7 @@ func (e *Engine) record(res *Result, err error) {
 	reg.Counter("confbench_migration_resumes_total", "kind", kind).
 		Add(uint64(res.Resumes))
 	if res.Outcome == OutcomeMigrated {
-		reg.Histogram("confbench_migration_downtime_ms", "tee", kind).
+		reg.Histogram("confbench_migration_downtime_seconds", "tee", kind).
 			Observe(res.Downtime)
 	}
 }

@@ -11,13 +11,20 @@ import (
 	"strings"
 )
 
+// histogramUnitSuffixes are the unit suffixes a histogram family must
+// end in, so a reader can tell what a bucket bound means without
+// chasing the observation site.
+var histogramUnitSuffixes = []string{"_seconds", "_ms", "_bytes", "_size"}
+
 // LintMetricNames walks every non-test .go file under root and checks
 // each metric family registered through this package (Counter, Gauge,
 // Histogram, HistogramWith calls with a literal family name) against
-// the naming convention: every family starts with "confbench_" and
-// every counter family ends in "_total". It returns one
-// "file:line: message" string per violation — the `make lint-metrics`
-// check fails when any come back.
+// the naming convention: every family starts with "confbench_",
+// every counter family ends in "_total", every histogram family ends
+// in a unit suffix (histogramUnitSuffixes), and no gauge family ends
+// in "_total" (that suffix promises a monotone counter). It returns
+// one "file:line: message" string per violation — the
+// `make lint-metrics` check fails when any come back.
 func LintMetricNames(root string) ([]string, error) {
 	var violations []string
 	fset := token.NewFileSet()
@@ -77,6 +84,24 @@ func LintMetricNames(root string) ([]string, error) {
 			if method == "Counter" && !strings.HasSuffix(family, "_total") {
 				violations = append(violations,
 					fmt.Sprintf("%s: counter family %q must end in \"_total\"", at, family))
+			}
+			if method == "Histogram" || method == "HistogramWith" {
+				hasUnit := false
+				for _, suffix := range histogramUnitSuffixes {
+					if strings.HasSuffix(family, suffix) {
+						hasUnit = true
+						break
+					}
+				}
+				if !hasUnit {
+					violations = append(violations,
+						fmt.Sprintf("%s: histogram family %q must end in a unit suffix (%s)",
+							at, family, strings.Join(histogramUnitSuffixes, ", ")))
+				}
+			}
+			if method == "Gauge" && strings.HasSuffix(family, "_total") {
+				violations = append(violations,
+					fmt.Sprintf("%s: gauge family %q must not end in \"_total\"", at, family))
 			}
 			return true
 		})

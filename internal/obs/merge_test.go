@@ -211,7 +211,8 @@ func TestLintMetricNames(t *testing.T) {
 		t.Errorf("lint-metrics: %s", v)
 	}
 
-	// And the linter itself must catch both rule violations.
+	// And the linter itself must catch every rule violation: prefix,
+	// counter suffix, histogram unit suffix, and the gauge _total ban.
 	bad := t.TempDir()
 	src := `package bad
 
@@ -219,11 +220,15 @@ type reg struct{}
 
 func (reg) Counter(string, ...string) int   { return 0 }
 func (reg) Gauge(string, ...string) int     { return 0 }
+func (reg) Histogram(string, ...string) int { return 0 }
 
 func use(r reg) {
 	r.Counter("confbench_missing_suffix")
 	r.Counter("wrong_prefix_total")
 	r.Gauge("not_confbench_depth")
+	r.Gauge("confbench_queue_total")
+	r.Histogram("confbench_latency_unitless")
+	r.Histogram("confbench_wait_seconds")
 }
 `
 	if err := os.WriteFile(filepath.Join(bad, "bad.go"), []byte(src), 0o644); err != nil {
@@ -233,8 +238,21 @@ func use(r reg) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(violations) != 3 {
-		t.Errorf("violations = %v, want 3", violations)
+	if len(violations) != 5 {
+		t.Errorf("violations = %v, want 5", violations)
+	}
+	wantFrags := []string{"must start", "must end in \"_total\"", "must not end in \"_total\"", "unit suffix"}
+	for _, frag := range wantFrags {
+		found := false
+		for _, v := range violations {
+			if strings.Contains(v, frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no violation mentions %q in %v", frag, violations)
+		}
 	}
 }
 

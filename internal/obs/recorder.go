@@ -45,6 +45,11 @@ type Event struct {
 	Code string `json:"code,omitempty"`
 	// Error is the failure message ("" on success).
 	Error string `json:"error,omitempty"`
+	// AtUnixNs is the event's wall-clock instant in Unix nanoseconds,
+	// when the recording layer stamped one (the invoke path keys on
+	// Seq alone; SLO alert transitions stamp their sweep instant so a
+	// replayed timeline keeps its timestamps). 0 means unstamped.
+	AtUnixNs int64 `json:"at_unix_ns,omitempty"`
 }
 
 // Latency returns the event's gateway-side duration.
@@ -133,4 +138,33 @@ func (r *Recorder) Events() []Event {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
+}
+
+// EventFilter selects flight-recorder events: Trace exact-matches the
+// event's trace ID, ErrOnly keeps only failed events, and Limit keeps
+// the newest N matches (0 = all). Zero-value filters pass everything.
+type EventFilter struct {
+	Trace   string
+	ErrOnly bool
+	Limit   int
+}
+
+// Filter returns the retained events matching f, oldest-first. Limit
+// trims from the front so the newest matches survive.
+func (r *Recorder) Filter(f EventFilter) []Event {
+	evs := r.Events()
+	kept := make([]Event, 0, len(evs))
+	for _, ev := range evs {
+		if f.Trace != "" && ev.Trace != f.Trace {
+			continue
+		}
+		if f.ErrOnly && ev.Error == "" {
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	if f.Limit > 0 && len(kept) > f.Limit {
+		kept = kept[len(kept)-f.Limit:]
+	}
+	return kept
 }

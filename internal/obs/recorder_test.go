@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -75,5 +76,54 @@ func TestEventString(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("Event.String() = %q, missing %q", s, want)
 		}
+	}
+}
+
+// TestRecorderFilter covers the server-side event filters: trace
+// exact match, failures-only, newest-N limit, and their composition.
+func TestRecorderFilter(t *testing.T) {
+	r := NewRecorder(16)
+	for i := 1; i <= 6; i++ {
+		ev := Event{Trace: fmt.Sprintf("inv-%d", i), Function: "f"}
+		if i%2 == 0 {
+			ev.Error = "boom"
+			ev.Code = "upstream"
+		}
+		r.Record(ev)
+	}
+
+	if got := r.Filter(EventFilter{}); len(got) != 6 {
+		t.Fatalf("no filter: %d events, want 6", len(got))
+	}
+	errs := r.Filter(EventFilter{ErrOnly: true})
+	if len(errs) != 3 {
+		t.Fatalf("ErrOnly: %d events, want 3", len(errs))
+	}
+	for _, ev := range errs {
+		if ev.Error == "" {
+			t.Errorf("ErrOnly kept success event %+v", ev)
+		}
+	}
+	byTrace := r.Filter(EventFilter{Trace: "inv-3"})
+	if len(byTrace) != 1 || byTrace[0].Trace != "inv-3" {
+		t.Errorf("Trace filter = %+v, want exactly inv-3", byTrace)
+	}
+	// Limit keeps the newest N, still oldest-first.
+	newest := r.Filter(EventFilter{Limit: 2})
+	if len(newest) != 2 || newest[0].Trace != "inv-5" || newest[1].Trace != "inv-6" {
+		t.Errorf("Limit=2 = %+v, want inv-5 then inv-6", newest)
+	}
+	// Composed: the newest single failure.
+	both := r.Filter(EventFilter{ErrOnly: true, Limit: 1})
+	if len(both) != 1 || both[0].Trace != "inv-6" {
+		t.Errorf("ErrOnly+Limit = %+v, want inv-6", both)
+	}
+	if got := r.Filter(EventFilter{Trace: "inv-99"}); len(got) != 0 {
+		t.Errorf("missing trace matched %+v", got)
+	}
+	// A nil recorder filters to nothing, like Events.
+	var nilRec *Recorder
+	if got := nilRec.Filter(EventFilter{}); len(got) != 0 {
+		t.Errorf("nil recorder Filter = %+v, want empty", got)
 	}
 }

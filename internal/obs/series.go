@@ -96,6 +96,10 @@ func (s *Series) Window(window int) []Sample {
 // progress of the reset step instead of zeroing the whole window. For
 // a monotone series the per-step sum telescopes to last-first, so the
 // reported rate is unchanged from the naive endpoints formula.
+//
+// Units: value-units per second of wall-clock time — the divisor is
+// the span between the window's first and last sample timestamps, not
+// the sample count.
 func (s *Series) Rate(window int) float64 {
 	w := s.Window(window)
 	if len(w) < 2 {
@@ -122,6 +126,9 @@ func (s *Series) Rate(window int) float64 {
 // window, e.g. the p99 invoke rate over the last 60 scrapes. Steps
 // with non-advancing clocks or counter resets are skipped. Uses the
 // nearest-rank method, so the answer is always an observed step rate.
+//
+// Units: value-units per second of wall-clock time, like Rate — each
+// step's delta is divided by that step's own timestamp span.
 func (s *Series) DeltaQuantile(q float64, window int) float64 {
 	w := s.Window(window)
 	rates := make([]float64, 0, len(w))

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -134,5 +135,60 @@ func TestSeriesSetRecordSnapshot(t *testing.T) {
 	}
 	if set.Get("confbench_missing_total") != nil {
 		t.Error("Get on unrecorded id should be nil")
+	}
+}
+
+// TestSeriesRatePropertyMixedResets pins Rate under interleaved
+// counter resets and growth inside one window: across many seeded
+// random walks, the reported rate must equal the sum of the positive
+// per-step deltas divided by the window's wall-clock span, computed
+// independently of the implementation's loop.
+func TestSeriesRatePropertyMixedResets(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(30)
+		s := NewSeries(n)
+		values := make([]float64, n)
+		v := float64(rng.Intn(100))
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0: // counter reset: a component restarted from zero.
+				v = float64(rng.Intn(10))
+			case 1: // idle step.
+			default: // growth.
+				v += float64(1 + rng.Intn(50))
+			}
+			values[i] = v
+			s.Record(seriesEpoch.Add(time.Duration(i)*time.Second), v)
+		}
+		var want float64
+		for i := 1; i < n; i++ {
+			if d := values[i] - values[i-1]; d > 0 {
+				want += d
+			}
+		}
+		want /= float64(n - 1) // samples are 1s apart: span = (n-1)s
+		if got := s.Rate(0); got != want {
+			t.Fatalf("iter %d: Rate = %g, want %g (values %v)", iter, got, want, values)
+		}
+		if got := s.Rate(0); got < 0 {
+			t.Fatalf("iter %d: negative rate %g", iter, got)
+		}
+	}
+}
+
+// TestSeriesRateMonotoneEndpoints: for a reset-free monotone series
+// the per-step sum telescopes, so Rate must equal the naive
+// (last-first)/span endpoints formula exactly.
+func TestSeriesRateMonotoneEndpoints(t *testing.T) {
+	s := NewSeries(8)
+	vals := []float64{3, 3, 10, 12, 40, 41}
+	for i, v := range vals {
+		s.Record(seriesEpoch.Add(time.Duration(i*2)*time.Second), v)
+	}
+	span := float64((len(vals) - 1) * 2)
+	want := (vals[len(vals)-1] - vals[0]) / span
+	if got := s.Rate(0); got != want {
+		t.Errorf("Rate = %g, want endpoints formula %g", got, want)
 	}
 }

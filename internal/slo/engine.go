@@ -1,0 +1,483 @@
+package slo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"confbench/internal/obs"
+)
+
+// State is an objective's alert state.
+type State string
+
+const (
+	StateOK       State = "ok"
+	StateWarn     State = "warn"
+	StateFiring   State = "firing"
+	StateResolved State = "resolved"
+)
+
+// EventPrefix marks flight-recorder events that encode alert
+// transitions; the rest of the Function field is the objective name.
+const EventPrefix = "slo:"
+
+// Route and family names the extractors key on. The route strings are
+// spelled out rather than imported from the api package so slo stays
+// below api in the layering (api's client returns slo types).
+const (
+	routeInvoke = "/v1/invoke"
+	routeAttest = "/v1/attest"
+
+	famHTTPRequests = "confbench_http_requests_total"
+	famInvoke       = "confbench_invoke_seconds"
+	famDowntime     = "confbench_migration_downtime_seconds"
+)
+
+// Derived cumulative series the engine records each sweep so burn
+// windows survive restarts through the spill/replay path.
+const (
+	familyGood = "confbench_slo_good_total"
+	familySeen = "confbench_slo_seen_total"
+)
+
+// Status is one objective's externally visible evaluation.
+type Status struct {
+	Objective string `json:"objective"`
+	Kind      Kind   `json:"kind"`
+	Target    string `json:"target"`
+	TEE       string `json:"tee,omitempty"`
+	State     State  `json:"state"`
+	// BurnShort and BurnLong are the burn-rate multiples over the two
+	// windows: 1.0 means the error budget is being consumed exactly
+	// at the rate that exhausts it at the window's end.
+	BurnShort float64 `json:"burn_short"`
+	BurnLong  float64 `json:"burn_long"`
+	// BudgetRemaining is the unspent fraction of the error budget
+	// over the budget window: 1 = untouched, 0 = spent, negative =
+	// overspent.
+	BudgetRemaining float64 `json:"budget_remaining"`
+	// LastChangeUnixNs is the instant of the last state transition
+	// (0 when the objective never left ok).
+	LastChangeUnixNs int64 `json:"last_change_unix_ns,omitempty"`
+}
+
+// Transition is one alert state change, durable in the flight
+// recorder and the spill WAL.
+type Transition struct {
+	Objective string `json:"objective"`
+	From      State  `json:"from"`
+	To        State  `json:"to"`
+	AtUnixNs  int64  `json:"at_unix_ns"`
+	// Trace attributes the transition to a flight-recorder exemplar:
+	// the most recent failed invoke at evaluation time, when one is
+	// on record.
+	Trace string `json:"trace,omitempty"`
+	// Detail carries the burn rates and remaining budget at
+	// transition time, e.g. "ok->warn short=6.45x long=3.28x budget=0.871".
+	Detail string `json:"detail"`
+}
+
+// Event encodes the transition as a flight-recorder event so it rides
+// the existing record/spill/replay machinery.
+func (t Transition) Event() obs.Event {
+	return obs.Event{
+		Function: EventPrefix + t.Objective,
+		Code:     string(t.To),
+		Error:    t.Detail,
+		Trace:    t.Trace,
+		AtUnixNs: t.AtUnixNs,
+	}
+}
+
+// TransitionFromEvent inverts Transition.Event. The second return is
+// false for ordinary (non-SLO) events.
+func TransitionFromEvent(ev obs.Event) (Transition, bool) {
+	name, ok := strings.CutPrefix(ev.Function, EventPrefix)
+	if !ok || name == "" {
+		return Transition{}, false
+	}
+	from, _, ok := strings.Cut(ev.Error, "->")
+	if !ok {
+		return Transition{}, false
+	}
+	return Transition{
+		Objective: name,
+		From:      State(from),
+		To:        State(ev.Code),
+		AtUnixNs:  ev.AtUnixNs,
+		Trace:     ev.Trace,
+		Detail:    ev.Error,
+	}, true
+}
+
+// Scope filters which labeled units of a merged snapshot feed the
+// extractors. A federated snapshot repeats every family once per
+// scraped unit; without a scope an in-process deployment (gateway and
+// hosts sharing one registry) would count each request once per host
+// label.
+type Scope struct {
+	// Label/Match: when set, only metrics whose Label equals Match
+	// are counted.
+	Label, Match string
+	// Exclude: when set (with Label), metrics whose Label equals
+	// Exclude are skipped; others pass.
+	Exclude string
+}
+
+func (sc Scope) match(labels map[string]string) bool {
+	if sc.Label == "" {
+		return true
+	}
+	v := labels[sc.Label]
+	if sc.Match != "" && v != sc.Match {
+		return false
+	}
+	if sc.Exclude != "" && v == sc.Exclude {
+		return false
+	}
+	return true
+}
+
+// Config assembles an Engine.
+type Config struct {
+	Objectives []Objective
+	// Series is the evaluator's ring set — the same set the
+	// gateway/front tier federate into, so derived SLO series spill
+	// and replay with everything else. A private set is created when
+	// nil.
+	Series *obs.SeriesSet
+	// Obs receives the confbench_slo_* gauges and the alerts counter.
+	Obs *obs.Registry
+	// Recorder, when set, receives a flight-recorder event per
+	// transition and supplies trace attribution.
+	Recorder *obs.Recorder
+	// Scope filters the merged snapshot; see Scope.
+	Scope Scope
+}
+
+// Result is one evaluation sweep's outcome.
+type Result struct {
+	// Transitions holds the state changes this sweep caused, in
+	// objective order.
+	Transitions []Transition
+	// Samples are the derived cumulative series values recorded this
+	// sweep, keyed by metric ID — the caller merges them into its
+	// spill sweep so replay restores the burn windows.
+	Samples map[string]float64
+}
+
+type objective struct {
+	Objective
+	state  State
+	status Status
+}
+
+// Engine evaluates a set of objectives against federation sweeps.
+// Time is injectable: Evaluate stamps whatever instant the caller
+// passes, so tests and seeded smokes drive it deterministically.
+type Engine struct {
+	set   *obs.SeriesSet
+	reg   *obs.Registry
+	rec   *obs.Recorder
+	scope Scope
+
+	mu       sync.Mutex
+	objs     []*objective
+	timeline []Transition
+}
+
+// NewEngine builds an engine over cfg. Objectives start in StateOK
+// with a full budget.
+func NewEngine(cfg Config) *Engine {
+	e := &Engine{
+		set:   cfg.Series,
+		reg:   obs.OrDefault(cfg.Obs),
+		rec:   cfg.Recorder,
+		scope: cfg.Scope,
+	}
+	if e.set == nil {
+		e.set = obs.NewSeriesSet(0)
+	}
+	for _, o := range cfg.Objectives {
+		e.objs = append(e.objs, &objective{
+			Objective: o,
+			state:     StateOK,
+			status: Status{
+				Objective:       o.Name,
+				Kind:            o.Kind,
+				Target:          o.TargetRaw,
+				TEE:             o.TEE,
+				State:           StateOK,
+				BudgetRemaining: 1,
+			},
+		})
+	}
+	return e
+}
+
+// Evaluate runs one sweep at the given instant over a merged
+// snapshot: it extracts each objective's cumulative (good, total)
+// counts, records them as derived series, computes the two-window
+// burn rates and remaining budget, and advances the state machine.
+// Transitions are appended to the timeline, recorded in the flight
+// recorder, and counted in confbench_alerts_total.
+func (e *Engine) Evaluate(at time.Time, snap obs.Snapshot) Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	res := Result{Samples: make(map[string]float64)}
+	for _, o := range e.objs {
+		good, total := e.extract(o.Objective, snap)
+		goodID := obs.MetricID(familyGood, "objective", o.Name)
+		seenID := obs.MetricID(familySeen, "objective", o.Name)
+		e.set.Series(goodID).Record(at, good)
+		e.set.Series(seenID).Record(at, total)
+		res.Samples[goodID] = good
+		res.Samples[seenID] = total
+
+		budget := o.Budget()
+		short := e.burn(goodID, seenID, o.Short, budget)
+		long := e.burn(goodID, seenID, o.Long, budget)
+		remaining := e.remaining(goodID, seenID, o.BudgetWindow, budget)
+
+		next := nextState(o.state, short, long, o.Page, o.Warn)
+		if next != o.state {
+			tr := Transition{
+				Objective: o.Name,
+				From:      o.state,
+				To:        next,
+				AtUnixNs:  at.UnixNano(),
+				Trace:     e.attribution(),
+				Detail: fmt.Sprintf("%s->%s short=%.2fx long=%.2fx budget=%.3f",
+					o.state, next, short, long, remaining),
+			}
+			o.state = next
+			o.status.LastChangeUnixNs = tr.AtUnixNs
+			e.timeline = append(e.timeline, tr)
+			res.Transitions = append(res.Transitions, tr)
+			if e.rec != nil {
+				e.rec.Record(tr.Event())
+			}
+			e.reg.Counter("confbench_alerts_total", "objective", o.Name, "state", string(next)).Inc()
+		}
+		o.status.State = o.state
+		o.status.BurnShort = short
+		o.status.BurnLong = long
+		o.status.BudgetRemaining = remaining
+		// obs gauges are integral; burn and budget are exposed in
+		// milli-units (1000 = burn 1x / full budget).
+		e.reg.Gauge("confbench_slo_burn_rate", "objective", o.Name).Set(int64(short * 1000))
+		e.reg.Gauge("confbench_slo_budget_remaining", "objective", o.Name).Set(int64(remaining * 1000))
+	}
+	return res
+}
+
+// nextState applies the multi-window multi-burn-rate ladder: firing
+// when both windows burn at or above the page multiple, warn when
+// both reach the warn multiple, otherwise the ok level — which is
+// "resolved" right after leaving warn/firing and "ok" after a further
+// clean sweep.
+func nextState(cur State, short, long, page, warn float64) State {
+	switch {
+	case short >= page && long >= page:
+		return StateFiring
+	case short >= warn && long >= warn:
+		return StateWarn
+	}
+	if cur == StateWarn || cur == StateFiring {
+		return StateResolved
+	}
+	return StateOK
+}
+
+// burn computes the burn-rate multiple over the trailing window:
+// (bad fraction of events in the window) / (error budget).
+func (e *Engine) burn(goodID, seenID string, sweeps int, budget float64) float64 {
+	dTotal := windowDelta(e.set.Get(seenID), sweeps)
+	if dTotal <= 0 || budget <= 0 {
+		return 0
+	}
+	dGood := windowDelta(e.set.Get(goodID), sweeps)
+	bad := dTotal - dGood
+	if bad < 0 {
+		bad = 0
+	}
+	return (bad / dTotal) / budget
+}
+
+// remaining computes the unspent budget fraction over the budget
+// window (0 sweeps = whole ring): 1 - bad/(budget*total). Full budget
+// when the window saw no events; negative when overspent.
+func (e *Engine) remaining(goodID, seenID string, sweeps int, budget float64) float64 {
+	dTotal := windowDelta(e.set.Get(seenID), sweeps)
+	if dTotal <= 0 || budget <= 0 {
+		return 1
+	}
+	dGood := windowDelta(e.set.Get(goodID), sweeps)
+	bad := dTotal - dGood
+	if bad < 0 {
+		bad = 0
+	}
+	allowed := budget * dTotal
+	return (allowed - bad) / allowed
+}
+
+// windowDelta sums the positive, clock-advancing steps across the
+// trailing `sweeps` deltas of a cumulative series (all retained
+// deltas when sweeps <= 0). Counter resets — a restart replays the
+// old ring, then fresh registries restart from zero — show up as
+// negative steps and are skipped, the same convention as
+// obs.Series.Rate.
+func windowDelta(s *obs.Series, sweeps int) float64 {
+	if s == nil {
+		return 0
+	}
+	var w []obs.Sample
+	if sweeps <= 0 {
+		w = s.Window(0)
+	} else {
+		w = s.Window(sweeps + 1)
+	}
+	var total float64
+	for i := 1; i < len(w); i++ {
+		d := w[i].Value - w[i-1].Value
+		if d < 0 || !w[i].At.After(w[i-1].At) {
+			continue
+		}
+		total += d
+	}
+	return total
+}
+
+// extract reduces the snapshot to the objective's cumulative
+// (good, total) event counts.
+func (e *Engine) extract(o Objective, snap obs.Snapshot) (good, total float64) {
+	switch o.Kind {
+	case KindAvailability, KindAttest:
+		route := routeInvoke
+		if o.Kind == KindAttest {
+			route = routeAttest
+		}
+		for id, v := range snap.Counters {
+			family, labels := obs.ParseMetricID(id)
+			if family != famHTTPRequests || labels["route"] != route || !e.scope.match(labels) {
+				continue
+			}
+			code, err := strconv.Atoi(labels["status"])
+			if err != nil {
+				continue
+			}
+			total += float64(v)
+			if code < 500 {
+				good += float64(v)
+			}
+		}
+	case KindLatency, KindDowntime:
+		family := famInvoke
+		if o.Kind == KindDowntime {
+			family = famDowntime
+		}
+		thr := o.Threshold.Seconds()
+		for id, h := range snap.Histograms {
+			got, labels := obs.ParseMetricID(id)
+			if got != family || !e.scope.match(labels) {
+				continue
+			}
+			if o.TEE != "" && labels["tee"] != o.TEE {
+				continue
+			}
+			total += float64(h.Count)
+			good += goodUnder(h, thr)
+		}
+	}
+	return good, total
+}
+
+// goodUnder counts the observations in buckets wholly at or below the
+// threshold. The threshold effectively snaps DOWN to a bucket bound:
+// a bucket straddling it may hold violations, so it never counts as
+// good, and neither does the +Inf overflow bucket.
+func goodUnder(h obs.HistogramSnapshot, threshold float64) float64 {
+	var n uint64
+	for i, bound := range h.Bounds {
+		if bound > threshold || i >= len(h.Counts) {
+			break
+		}
+		n += h.Counts[i]
+	}
+	return float64(n)
+}
+
+// attribution picks a trace ID for a transition: the newest failed
+// non-SLO event in the flight recorder, falling back to the newest
+// event of any kind. Empty without a recorder.
+func (e *Engine) attribution() string {
+	if e.rec == nil {
+		return ""
+	}
+	evs := e.rec.Events()
+	for i := len(evs) - 1; i >= 0; i-- {
+		if evs[i].Error != "" && !strings.HasPrefix(evs[i].Function, EventPrefix) {
+			return evs[i].Trace
+		}
+	}
+	for i := len(evs) - 1; i >= 0; i-- {
+		if !strings.HasPrefix(evs[i].Function, EventPrefix) {
+			return evs[i].Trace
+		}
+	}
+	return ""
+}
+
+// Status returns every objective's current evaluation, in declaration
+// order.
+func (e *Engine) Status() []Status {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Status, 0, len(e.objs))
+	for _, o := range e.objs {
+		out = append(out, o.status)
+	}
+	return out
+}
+
+// Timeline returns the alert transitions observed (or restored) so
+// far, oldest first.
+func (e *Engine) Timeline() []Transition {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Transition(nil), e.timeline...)
+}
+
+// Restore rebuilds the alert timeline and each objective's last state
+// from replayed flight-recorder events (non-SLO events are ignored).
+// Call it after the spill replay and before the first Evaluate.
+func (e *Engine) Restore(evs []obs.Event) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ev := range evs {
+		tr, ok := TransitionFromEvent(ev)
+		if !ok {
+			continue
+		}
+		e.timeline = append(e.timeline, tr)
+		for _, o := range e.objs {
+			if o.Name == tr.Objective {
+				o.state = tr.To
+				o.status.State = tr.To
+				o.status.LastChangeUnixNs = tr.AtUnixNs
+			}
+		}
+	}
+}

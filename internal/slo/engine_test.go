@@ -1,0 +1,379 @@
+package slo
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"confbench/internal/obs"
+)
+
+var epoch = time.Unix(1_700_000_000, 0)
+
+// httpSnap builds a merged-view snapshot holding cumulative invoke
+// request counters under two host labels; the engine's gateway scope
+// must count only the "gateway" pair.
+func httpSnap(good, bad uint64) obs.Snapshot {
+	return obs.Snapshot{Counters: map[string]uint64{
+		obs.MetricID("confbench_http_requests_total",
+			"host", "gateway", "route", "/v1/invoke", "status", "200"): good,
+		obs.MetricID("confbench_http_requests_total",
+			"host", "gateway", "route", "/v1/invoke", "status", "502"): bad,
+		// A duplicate under another host label, as an in-process
+		// federated snapshot produces: must be scoped out.
+		obs.MetricID("confbench_http_requests_total",
+			"host", "tdx-host", "route", "/v1/invoke", "status", "200"): good,
+	}}
+}
+
+func mustSpec(t *testing.T, spec string) Objective {
+	t.Helper()
+	o, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func within(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestBurnRateHandComputed pins the burn-rate math against fixtures
+// computed by hand: budget 0.001 (99.9%), a sweep of 1000 events with
+// 5 bad is a 5.0x burn; a sweep of 10000 with 144 bad is exactly the
+// classic 14.4x page threshold.
+func TestBurnRateHandComputed(t *testing.T) {
+	e := NewEngine(Config{
+		Objectives: []Objective{mustSpec(t, "avail:availability:success>=99.9%:short=1:long=2")},
+		Obs:        obs.New(),
+		Scope:      Scope{Label: "host", Match: "gateway"},
+	})
+	e.Evaluate(epoch, httpSnap(0, 0))
+
+	res := e.Evaluate(epoch.Add(10*time.Second), httpSnap(995, 5))
+	st := e.Status()[0]
+	if !within(st.BurnShort, 5.0) {
+		t.Errorf("burn after 5/1000 bad = %g, want 5.0", st.BurnShort)
+	}
+	// The derived series the caller spills: cumulative good and seen.
+	goodID := obs.MetricID("confbench_slo_good_total", "objective", "avail")
+	seenID := obs.MetricID("confbench_slo_seen_total", "objective", "avail")
+	if res.Samples[goodID] != 995 || res.Samples[seenID] != 1000 {
+		t.Errorf("samples = %v, want good=995 seen=1000", res.Samples)
+	}
+
+	e.Evaluate(epoch.Add(20*time.Second), httpSnap(995+9856, 5+144))
+	st = e.Status()[0]
+	if !within(st.BurnShort, 14.4) {
+		t.Errorf("burn after 144/10000 bad = %g, want 14.4", st.BurnShort)
+	}
+	// Long window spans both sweeps: (149/11000)/0.001.
+	if !within(st.BurnLong, (149.0/11000.0)/0.001) {
+		t.Errorf("long burn = %g, want %g", st.BurnLong, (149.0/11000.0)/0.001)
+	}
+	// Remaining budget over the whole ring: 1 - 149/(0.001*11000).
+	if !within(st.BudgetRemaining, 1-149.0/11.0) {
+		t.Errorf("budget remaining = %g, want %g", st.BudgetRemaining, 1-149.0/11.0)
+	}
+}
+
+// TestBudgetRemainingPositive: with a 1% budget, 5 bad of 1000 leaves
+// exactly half the budget.
+func TestBudgetRemainingPositive(t *testing.T) {
+	e := NewEngine(Config{
+		Objectives: []Objective{mustSpec(t, "avail:availability:success>=99%:short=1:long=1")},
+		Obs:        obs.New(),
+		Scope:      Scope{Label: "host", Match: "gateway"},
+	})
+	e.Evaluate(epoch, httpSnap(0, 0))
+	e.Evaluate(epoch.Add(10*time.Second), httpSnap(995, 5))
+	st := e.Status()[0]
+	if !within(st.BudgetRemaining, 0.5) {
+		t.Errorf("budget remaining = %g, want 0.5", st.BudgetRemaining)
+	}
+	if !within(st.BurnShort, 0.5) {
+		t.Errorf("burn = %g, want 0.5", st.BurnShort)
+	}
+	// No events in a window = no burn, full budget.
+	e.Evaluate(epoch.Add(20*time.Second), httpSnap(995, 5))
+	st = e.Status()[0]
+	if st.BurnShort != 0 {
+		t.Errorf("idle burn = %g, want 0", st.BurnShort)
+	}
+}
+
+// TestStateMachine drives every transition of the
+// ok→warn→firing→resolved ladder with an injectable clock. Budget
+// 0.1 (90%), warn at 2x (bad fraction 0.2), page at 5x (0.5);
+// short=long=1 so each sweep's fraction is the whole signal.
+func TestStateMachine(t *testing.T) {
+	reg := obs.New()
+	rec := obs.NewRecorder(64)
+	e := NewEngine(Config{
+		Objectives: []Objective{mustSpec(t, "avail:availability:success>=90%:short=1:long=1:page=5:warn=2")},
+		Obs:        reg,
+		Recorder:   rec,
+		Scope:      Scope{Label: "host", Match: "gateway"},
+	})
+
+	var good, bad uint64
+	at := epoch
+	sweep := func(dGood, dBad uint64) {
+		good += dGood
+		bad += dBad
+		at = at.Add(10 * time.Second)
+		e.Evaluate(at, httpSnap(good, bad))
+	}
+
+	sweep(100, 0) // first sample: no deltas yet, stays ok
+	if st := e.Status()[0]; st.State != StateOK || st.LastChangeUnixNs != 0 {
+		t.Fatalf("initial state = %+v, want ok/unchanged", st)
+	}
+	sweep(70, 30) // 0.3 → 3x: warn
+	sweep(40, 60) // 0.6 → 6x: firing
+	sweep(70, 30) // 3x: de-escalates to warn
+	sweep(100, 0) // clean: resolved
+	sweep(100, 0) // clean again: ok
+	sweep(40, 60) // 6x: straight to firing from ok
+	sweep(100, 0) // clean: resolved
+	sweep(70, 30) // 3x: resolved → warn
+	sweep(100, 0) // resolved
+	sweep(100, 0) // ok
+
+	want := []State{StateWarn, StateFiring, StateWarn, StateResolved, StateOK,
+		StateFiring, StateResolved, StateWarn, StateResolved, StateOK}
+	tl := e.Timeline()
+	if len(tl) != len(want) {
+		t.Fatalf("timeline has %d transitions, want %d: %+v", len(tl), len(want), tl)
+	}
+	prev := StateOK
+	for i, tr := range tl {
+		if tr.To != want[i] {
+			t.Errorf("transition %d: to %q, want %q", i, tr.To, want[i])
+		}
+		if tr.From != prev {
+			t.Errorf("transition %d: from %q, want %q", i, tr.From, prev)
+		}
+		if tr.AtUnixNs == 0 || tr.Detail == "" {
+			t.Errorf("transition %d missing timestamp/detail: %+v", i, tr)
+		}
+		prev = tr.To
+	}
+	if st := e.Status()[0]; st.State != StateOK || st.LastChangeUnixNs != tl[len(tl)-1].AtUnixNs {
+		t.Errorf("final status = %+v", st)
+	}
+
+	// Every transition was recorded as a flight-recorder event and
+	// counted per target state.
+	var sloEvents int
+	for _, ev := range rec.Events() {
+		if _, ok := TransitionFromEvent(ev); ok {
+			sloEvents++
+		}
+	}
+	if sloEvents != len(want) {
+		t.Errorf("recorder holds %d slo events, want %d", sloEvents, len(want))
+	}
+	snap := reg.Snapshot()
+	firingID := obs.MetricID("confbench_alerts_total", "objective", "avail", "state", "firing")
+	if snap.Counters[firingID] != 2 {
+		t.Errorf("alerts_total{state=firing} = %d, want 2", snap.Counters[firingID])
+	}
+	burnID := obs.MetricID("confbench_slo_burn_rate", "objective", "avail")
+	if snap.Gauges[burnID] != 0 {
+		t.Errorf("burn gauge after clean sweep = %d, want 0", snap.Gauges[burnID])
+	}
+}
+
+// TestLatencyExtraction: a latency objective counts histogram buckets
+// at or below the threshold as good — the threshold snaps down to a
+// bucket bound, the straddling bucket and overflow never count — and
+// honors the tee selector and scope.
+func TestLatencyExtraction(t *testing.T) {
+	hist := func(counts []uint64) obs.HistogramSnapshot {
+		var total uint64
+		for _, c := range counts {
+			total += c
+		}
+		return obs.HistogramSnapshot{Bounds: []float64{0.05, 0.1, 0.5}, Counts: counts, Count: total}
+	}
+	snap := obs.Snapshot{Histograms: map[string]obs.HistogramSnapshot{
+		obs.MetricID("confbench_invoke_seconds", "host", "gateway", "tee", "tdx"):     hist([]uint64{3, 4, 2, 1}),
+		obs.MetricID("confbench_invoke_seconds", "host", "gateway", "tee", "sev-snp"): hist([]uint64{50, 0, 0, 0}),
+		obs.MetricID("confbench_invoke_seconds", "host", "tdx-host", "tee", "tdx"):    hist([]uint64{9, 9, 9, 9}),
+	}}
+	e := NewEngine(Config{
+		Objectives: []Objective{mustSpec(t, "tdx-lat:latency:p99<250ms:tee=tdx:short=1:long=1")},
+		Obs:        obs.New(),
+		Scope:      Scope{Label: "host", Match: "gateway"},
+	})
+	// 250ms snaps down past the 0.5s bucket: good = 3+4 = 7 of 10.
+	good, total := e.extract(e.objs[0].Objective, snap)
+	if good != 7 || total != 10 {
+		t.Errorf("extract = (%g, %g), want (7, 10)", good, total)
+	}
+
+	// Without the tee selector, both gateway-scoped TEEs count.
+	all := NewEngine(Config{
+		Objectives: []Objective{mustSpec(t, "lat:latency:p99<250ms:short=1:long=1")},
+		Obs:        obs.New(),
+		Scope:      Scope{Label: "host", Match: "gateway"},
+	})
+	good, total = all.extract(all.objs[0].Objective, snap)
+	if good != 57 || total != 60 {
+		t.Errorf("unselective extract = (%g, %g), want (57, 60)", good, total)
+	}
+}
+
+// TestDowntimeAndAttestExtraction covers the other two kinds' metric
+// families, plus the Exclude scope.
+func TestDowntimeAndAttestExtraction(t *testing.T) {
+	snap := obs.Snapshot{
+		Counters: map[string]uint64{
+			obs.MetricID("confbench_http_requests_total",
+				"route", "/v1/attest", "shard", "shard-0", "status", "200"): 40,
+			obs.MetricID("confbench_http_requests_total",
+				"route", "/v1/attest", "shard", "shard-0", "status", "503"): 10,
+			obs.MetricID("confbench_http_requests_total",
+				"route", "/v1/attest", "shard", "skipme", "status", "200"): 7,
+			// Non-numeric status labels are ignored, not counted.
+			obs.MetricID("confbench_http_requests_total",
+				"route", "/v1/attest", "shard", "shard-0", "status", "weird"): 3,
+		},
+		Histograms: map[string]obs.HistogramSnapshot{
+			obs.MetricID("confbench_migration_downtime_seconds", "tee", "sev-snp"): {
+				Bounds: []float64{0.5, 1}, Counts: []uint64{6, 3, 1}, Count: 10,
+			},
+		},
+	}
+	attest := NewEngine(Config{
+		Objectives: []Objective{mustSpec(t, "quote:attest:success>=99%")},
+		Obs:        obs.New(),
+		Scope:      Scope{Label: "shard", Exclude: "skipme"},
+	})
+	good, total := attest.extract(attest.objs[0].Objective, snap)
+	if good != 40 || total != 50 {
+		t.Errorf("attest extract = (%g, %g), want (40, 50)", good, total)
+	}
+
+	down := NewEngine(Config{
+		Objectives: []Objective{mustSpec(t, "blackout:downtime:p99<1s")},
+		Obs:        obs.New(),
+	})
+	good, total = down.extract(down.objs[0].Objective, snap)
+	if good != 9 || total != 10 {
+		t.Errorf("downtime extract = (%g, %g), want (9, 10)", good, total)
+	}
+}
+
+func TestTransitionEventRoundTrip(t *testing.T) {
+	tr := Transition{
+		Objective: "avail",
+		From:      StateWarn,
+		To:        StateFiring,
+		AtUnixNs:  epoch.UnixNano(),
+		Trace:     "inv-17",
+		Detail:    "warn->firing short=28.57x long=18.18x budget=-1.857",
+	}
+	got, ok := TransitionFromEvent(tr.Event())
+	if !ok || got != tr {
+		t.Errorf("round trip = %+v (ok=%v), want %+v", got, ok, tr)
+	}
+	// Ordinary invoke events never decode as transitions.
+	if _, ok := TransitionFromEvent(obs.Event{Function: "cpu-stress", Trace: "inv-1"}); ok {
+		t.Error("non-slo event decoded as transition")
+	}
+	if _, ok := TransitionFromEvent(obs.Event{Function: "slo:x", Error: "no arrow here"}); ok {
+		t.Error("malformed detail decoded as transition")
+	}
+}
+
+// TestRestore: a fresh engine rebuilds the timeline and last state
+// from replayed flight-recorder events — the restart path.
+func TestRestore(t *testing.T) {
+	rec := obs.NewRecorder(64)
+	a := NewEngine(Config{
+		Objectives: []Objective{mustSpec(t, "avail:availability:success>=90%:short=1:long=1:page=5:warn=2")},
+		Obs:        obs.New(),
+		Recorder:   rec,
+		Scope:      Scope{Label: "host", Match: "gateway"},
+	})
+	a.Evaluate(epoch, httpSnap(100, 0))
+	a.Evaluate(epoch.Add(10*time.Second), httpSnap(170, 30)) // warn
+	a.Evaluate(epoch.Add(20*time.Second), httpSnap(210, 90)) // firing
+	// An unrelated invoke event mixed in must be ignored by Restore.
+	rec.Record(obs.Event{Trace: "inv-9", Function: "cpu-stress"})
+
+	b := NewEngine(Config{
+		Objectives: []Objective{mustSpec(t, "avail:availability:success>=90%:short=1:long=1:page=5:warn=2")},
+		Obs:        obs.New(),
+		Scope:      Scope{Label: "host", Match: "gateway"},
+	})
+	b.Restore(rec.Events())
+	at, bt := a.Timeline(), b.Timeline()
+	if len(bt) != len(at) {
+		t.Fatalf("restored %d transitions, want %d", len(bt), len(at))
+	}
+	for i := range at {
+		if at[i] != bt[i] {
+			t.Errorf("transition %d: restored %+v, want %+v", i, bt[i], at[i])
+		}
+	}
+	st := b.Status()[0]
+	if st.State != StateFiring || st.LastChangeUnixNs != at[len(at)-1].AtUnixNs {
+		t.Errorf("restored status = %+v, want firing at last transition", st)
+	}
+}
+
+// TestCounterResetAcrossRestart: after a restart the fresh registry's
+// cumulative counters drop below the replayed ring; the negative step
+// is skipped (like Series.Rate), so the first post-restart sweep
+// reads zero burn and a firing objective de-escalates to resolved.
+func TestCounterResetAcrossRestart(t *testing.T) {
+	e := NewEngine(Config{
+		Objectives: []Objective{mustSpec(t, "avail:availability:success>=90%:short=1:long=2:page=5:warn=2")},
+		Obs:        obs.New(),
+		Scope:      Scope{Label: "host", Match: "gateway"},
+	})
+	e.Evaluate(epoch, httpSnap(100, 0))
+	e.Evaluate(epoch.Add(10*time.Second), httpSnap(140, 60)) // firing
+	if st := e.Status()[0]; st.State != StateFiring {
+		t.Fatalf("state = %q, want firing", st.State)
+	}
+	// "Restart": counters fall back to a small clean count.
+	e.Evaluate(epoch.Add(20*time.Second), httpSnap(30, 0))
+	st := e.Status()[0]
+	if st.State != StateResolved || st.BurnShort != 0 {
+		t.Errorf("post-reset status = %+v, want resolved with 0 burn", st)
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	rec := obs.NewRecorder(16)
+	rec.Record(obs.Event{Trace: "inv-1", Function: "f"})
+	rec.Record(obs.Event{Trace: "inv-2", Function: "f", Error: "boom"})
+	rec.Record(obs.Event{Trace: "inv-3", Function: "f"})
+	e := NewEngine(Config{Obs: obs.New(), Recorder: rec})
+	if got := e.attribution(); got != "inv-2" {
+		t.Errorf("attribution = %q, want the newest failed invoke inv-2", got)
+	}
+	// Without failures, the newest event of any kind.
+	clean := obs.NewRecorder(16)
+	clean.Record(obs.Event{Trace: "inv-7", Function: "f"})
+	e2 := NewEngine(Config{Obs: obs.New(), Recorder: clean})
+	if got := e2.attribution(); got != "inv-7" {
+		t.Errorf("clean attribution = %q, want inv-7", got)
+	}
+	// Without a recorder, empty.
+	e3 := NewEngine(Config{Obs: obs.New()})
+	if got := e3.attribution(); got != "" {
+		t.Errorf("recorderless attribution = %q, want empty", got)
+	}
+}
+
+func TestNilEngineAccessors(t *testing.T) {
+	var e *Engine
+	if e.Status() != nil || e.Timeline() != nil {
+		t.Error("nil engine must report empty status and timeline")
+	}
+	e.Restore(nil) // must not panic
+}
